@@ -1,0 +1,84 @@
+#include "common/experiment.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+#include "geom/topology.hpp"
+#include "routing/qos_router.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace mrwsn::benchx {
+
+Section52Setup make_section52_setup(std::uint64_t seed, std::size_t num_nodes,
+                                    std::size_t num_flows, double demand_mbps) {
+  Rng rng(seed);
+  const double width = 400.0, height = 600.0;
+  phy::PhyModel phy = phy::PhyModel::paper_default();
+  auto positions = geom::connected_random_rectangle(num_nodes, width, height,
+                                                    phy.max_tx_range(), rng);
+  net::Network network(std::move(positions), std::move(phy));
+
+  // Draw multihop source/destination pairs: reachable and >= 2 hops apart.
+  core::PhysicalInterferenceModel model(network);
+  routing::QosRouter router(network, model);
+  const std::vector<double> all_idle(network.num_nodes(), 1.0);
+
+  std::vector<routing::FlowRequest> requests;
+  int attempts = 0;
+  while (requests.size() < num_flows && attempts++ < 10000) {
+    const auto src = static_cast<net::NodeId>(rng.uniform_int(0, num_nodes - 1));
+    const auto dst = static_cast<net::NodeId>(rng.uniform_int(0, num_nodes - 1));
+    if (src == dst) continue;
+    const auto path =
+        router.find_path(src, dst, routing::Metric::kHopCount, all_idle);
+    if (!path || path->hop_count() < 2) continue;
+    requests.push_back(routing::FlowRequest{src, dst, demand_mbps});
+  }
+  MRWSN_REQUIRE(requests.size() == num_flows,
+                "could not draw enough multihop flow requests");
+  return Section52Setup{std::move(network), std::move(requests), seed};
+}
+
+std::string render_topology(const net::Network& network, double width,
+                            double height, int cols, int rows) {
+  std::vector<std::string> canvas(static_cast<std::size_t>(rows),
+                                  std::string(static_cast<std::size_t>(cols), '.'));
+  auto label = [](net::NodeId id) -> char {
+    if (id < 26) return static_cast<char>('a' + id);
+    if (id < 52) return static_cast<char>('A' + (id - 26));
+    return '#';
+  };
+  for (const net::Node& node : network.nodes()) {
+    const int c = std::min(cols - 1, static_cast<int>(node.position.x / width *
+                                                      static_cast<double>(cols)));
+    const int r = std::min(rows - 1, static_cast<int>(node.position.y / height *
+                                                      static_cast<double>(rows)));
+    canvas[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] = label(node.id);
+  }
+  std::ostringstream os;
+  for (const std::string& line : canvas) os << line << '\n';
+  return os.str();
+}
+
+std::string describe_path(const net::Network& network, const net::Path& path) {
+  std::ostringstream os;
+  os << path.source();
+  for (net::LinkId id : path.links()) {
+    const net::Link& link = network.link(id);
+    os << " -(" << link.best_mbps_alone << ")-> " << link.rx;
+  }
+  return os.str();
+}
+
+std::uint64_t seed_from_args(int argc, char** argv, std::uint64_t fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0) {
+      return static_cast<std::uint64_t>(std::stoull(argv[i + 1]));
+    }
+  }
+  return fallback;
+}
+
+}  // namespace mrwsn::benchx

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/interference.hpp"
+#include "net/network.hpp"
+#include "routing/admission.hpp"
+
+/// Shared setup for the paper's Section 5.2/5.3 experiments: a random
+/// 30-node topology in a 400 m x 600 m rectangle with the 802.11a PHY
+/// (path-loss exponent 4), and 8 randomly chosen source-destination pairs
+/// each demanding 2 Mbps.
+namespace mrwsn::benchx {
+
+struct Section52Setup {
+  net::Network network;
+  std::vector<routing::FlowRequest> requests;
+  std::uint64_t seed = 0;
+};
+
+/// Build the paper's evaluation scenario deterministically from a seed.
+/// Source-destination pairs are drawn uniformly among pairs that are
+/// connected and at least two hops apart (so the flows are genuinely
+/// multihop, as in Fig. 2).
+Section52Setup make_section52_setup(std::uint64_t seed, std::size_t num_nodes = 30,
+                                    std::size_t num_flows = 8,
+                                    double demand_mbps = 2.0);
+
+/// ASCII rendering of the topology (nodes labelled a..z, A..Z by id) for
+/// the Fig. 2 reproduction.
+std::string render_topology(const net::Network& network, double width,
+                            double height, int cols = 60, int rows = 30);
+
+/// "s -> a -> b -> d" with per-hop lone rates, e.g. "0 -(36)-> 7 -(54)-> 3".
+std::string describe_path(const net::Network& network, const net::Path& path);
+
+/// Parse a single optional "--seed N" style argument (defaults otherwise).
+std::uint64_t seed_from_args(int argc, char** argv, std::uint64_t fallback);
+
+}  // namespace mrwsn::benchx

@@ -1,0 +1,129 @@
+// Reproduces Section 5.1 (Fig. 1 Scenario II): the four-link chain with
+// rates {36, 54} where the clique constraint becomes invalid. Prints the
+// paper's numbers verbatim: the optimal schedule (f = 16.2), the two
+// maximal cliques with maximum rates, their violated time shares (1.2 and
+// 1.05), the fixed-rate bounds of Eq. 7 (13.5 and 108/7), and the valid
+// Eq. 9 upper bound.
+#include <iostream>
+#include <sstream>
+
+#include "core/available_bandwidth.hpp"
+#include "core/bounds.hpp"
+#include "core/clique.hpp"
+#include "core/scenarios.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+std::string couples(const std::vector<mrwsn::net::LinkId>& links,
+                    const std::vector<double>& mbps) {
+  std::ostringstream os;
+  os << '{';
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    if (i) os << ", ";
+    os << "(L" << links[i] + 1 << ',' << mbps[i] << ')';
+  }
+  os << '}';
+  return os.str();
+}
+
+}  // namespace
+
+int main() {
+  using namespace mrwsn;
+  core::ScenarioTwo scenario = core::make_scenario_two();
+
+  std::cout << "Fig. 1 Scenario II — four-link chain, rates {36, 54} Mbps\n"
+            << "conflicts: {L1,L2,L3} pairwise always; {L2,L3,L4} pairwise "
+               "always; L1<->L4 iff L1 at 54\n\n";
+
+  // --- maximal independent sets -------------------------------------------
+  const auto sets = scenario.model.maximal_independent_sets(scenario.chain);
+  std::cout << "Maximal independent sets with maximum rate vectors ("
+            << sets.size() << "):\n";
+  for (const auto& s : sets) std::cout << "  " << couples(s.links, s.mbps) << '\n';
+
+  // --- optimal schedule (Eq. 6) -------------------------------------------
+  const auto result = core::max_path_bandwidth(scenario.model, {}, scenario.chain);
+  std::cout << "\nOptimal end-to-end throughput f = " << result.available_mbps
+            << " Mbps (paper: 16.2)\nOptimal schedule S:\n";
+  Table schedule({"time share", "concurrent set"});
+  for (const auto& entry : result.schedule)
+    schedule.add_row({Table::num(entry.time_share, 4),
+                      couples(entry.set.links, entry.set.mbps)});
+  schedule.print(std::cout);
+
+  // --- clique analysis ------------------------------------------------------
+  const std::vector<double> demand(4, result.available_mbps);
+  const auto cliques =
+      core::maximal_cliques_with_max_rates(scenario.model, scenario.chain);
+  std::cout << "\nMaximal cliques with maximum rates and their time shares "
+               "sum(y_i / r_i) at y = f:\n";
+  Table cliqueTable({"clique", "time share", "<= 1 ?"});
+  for (const auto& clique : cliques) {
+    const double t = core::clique_time_share(clique, demand);
+    cliqueTable.add_row({couples(clique.links, clique.mbps), Table::num(t, 4),
+                         t <= 1.0 ? "yes" : "VIOLATED"});
+  }
+  cliqueTable.print(std::cout);
+  std::cout << "(paper: 1.2 for the all-54 clique, 1.05 for the (36,54,54) "
+               "clique — both > 1)\n";
+
+  // --- bottleneck analysis from the LP duals --------------------------------
+  std::cout << "\nShadow prices (Mbps of f lost per extra Mbps of background "
+               "on each link):\n";
+  Table prices({"link", "shadow price"});
+  for (const auto& [link, price] : result.link_shadow_prices)
+    prices.add_row({"L" + std::to_string(link + 1), Table::num(price, 4)});
+  prices.print(std::cout);
+
+  // --- fixed-rate bounds (Eq. 7) --------------------------------------------
+  std::cout << "\nFixed-rate clique bounds (Eq. 7):\n";
+  Table bounds({"rate vector", "bound [Mbps]"});
+  const core::RateAssignment all54(4, core::ScenarioTwo::kRate54);
+  core::RateAssignment mixed = all54;
+  mixed[0] = core::ScenarioTwo::kRate36;
+  bounds.add_row({"(54,54,54,54)",
+                  Table::num(core::fixed_rate_equal_throughput_bound(
+                                 scenario.model, scenario.chain, all54),
+                             4)});
+  bounds.add_row({"(36,54,54,54)",
+                  Table::num(core::fixed_rate_equal_throughput_bound(
+                                 scenario.model, scenario.chain, mixed),
+                             4)});
+  bounds.print(std::cout);
+  std::cout << "(paper: 13.5 and 108/7 = 15.4286, both below f = 16.2 — link "
+               "adaptation wins)\n";
+
+  // --- Hypothesis (8) ---------------------------------------------------------
+  const double hypothesis = core::hypothesis_min_max_clique_time(
+      scenario.model, scenario.chain, demand);
+  std::cout << "\nHypothesis (8): min over rate vectors of the max clique "
+               "time share at y = f is "
+            << hypothesis << " > 1 -> the hypothesis is FALSE (paper: 1.05).\n";
+
+  // --- Eq. 9 upper bound ------------------------------------------------------
+  const auto upper = core::clique_upper_bound(scenario.model, {}, scenario.chain);
+  std::cout << "\nEq. 9 upper bound over " << upper.num_rate_vectors
+            << " rate vectors: " << upper.upper_bound_mbps
+            << " Mbps (valid: >= 16.2).\n";
+
+  // --- fixed-rate LP optima ----------------------------------------------------
+  std::cout << "\nLP optimum when every link is pinned to one rate:\n";
+  Table pinned({"pinned rate", "optimal f [Mbps]"});
+  for (phy::RateIndex fixed :
+       {core::ScenarioTwo::kRate54, core::ScenarioTwo::kRate36}) {
+    core::ScenarioTwo restricted = core::make_scenario_two();
+    for (net::LinkId link = 0; link < 4; ++link) {
+      std::vector<char> usable(2, 0);
+      usable[fixed] = 1;
+      restricted.model.set_usable_rates(link, usable);
+    }
+    const auto r = core::max_path_bandwidth(restricted.model, {}, restricted.chain);
+    pinned.add_row({fixed == core::ScenarioTwo::kRate54 ? "54" : "36",
+                    Table::num(r.available_mbps, 4)});
+  }
+  pinned.print(std::cout);
+
+  return 0;
+}

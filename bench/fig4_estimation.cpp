@@ -1,0 +1,145 @@
+// Reproduces Fig. 4: estimated available bandwidth of each flow's path
+// (found by the average-e2eD metric, as in Section 5.3) under the five
+// Section-4 estimators, against the Eq. 6 LP ground truth. Background
+// traffic grows as flows join, so later rows show the heavy-background
+// regime. Ends with error statistics per estimator; the paper's claim is
+// that the conservative clique constraint (Eq. 13) performs best.
+#include <iostream>
+
+#include "common/experiment.hpp"
+#include "core/estimation.hpp"
+#include "core/idle_time.hpp"
+#include "core/interference.hpp"
+#include "routing/admission.hpp"
+#include "routing/qos_router.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace mrwsn;
+
+/// Per-flow series for one topology: the LP truth and the five estimates.
+struct EstimationSeries {
+  std::vector<double> truth, e10, e11, e12, e13, e15;
+};
+
+/// Walk the Section 5.3 protocol on one topology: route each flow with
+/// average-e2eD, record truth + estimates, admit while the LP truth covers
+/// the demand.
+EstimationSeries run_estimation(const benchx::Section52Setup& setup) {
+  const net::Network& network = setup.network;
+  core::PhysicalInterferenceModel model(network);
+  routing::QosRouter router(network, model);
+  EstimationSeries series;
+  std::vector<core::LinkFlow> background;
+  for (const auto& request : setup.requests) {
+    const core::IdleResult idle =
+        core::schedule_idle_ratios(network, model, background);
+    const auto path = router.find_path(request.src, request.dst,
+                                       routing::Metric::kAverageE2eDelay,
+                                       idle.node_idle);
+    if (!path) break;
+    const auto lp = core::max_path_bandwidth(model, background, path->links());
+    const auto input = core::make_path_estimate_input(network, model,
+                                                      path->links(), idle.node_idle);
+    series.truth.push_back(lp.background_feasible ? lp.available_mbps : 0.0);
+    series.e10.push_back(core::estimate_bottleneck_node(input));
+    series.e11.push_back(core::estimate_clique_constraint(input));
+    series.e12.push_back(core::estimate_min_clique_bottleneck(input));
+    series.e13.push_back(core::estimate_conservative_clique(input));
+    series.e15.push_back(core::estimate_expected_clique_time(input));
+    if (series.truth.back() + 1e-9 < request.demand_mbps) break;
+    background.push_back(routing::to_link_flow(*path, request.demand_mbps));
+  }
+  return series;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = benchx::seed_from_args(argc, argv, 4);
+  benchx::Section52Setup setup = benchx::make_section52_setup(seed);
+  const net::Network& network = setup.network;
+  core::PhysicalInterferenceModel model(network);
+  routing::QosRouter router(network, model);
+
+  std::cout << "Fig. 4 — estimated vs true available bandwidth on the paths "
+               "found by average-e2eD (seed "
+            << seed << ")\nEstimators: Eq.10 bottleneck node, Eq.11 clique "
+               "constraint, Eq.12 min of both,\nEq.13 conservative clique, "
+               "Eq.15 expected clique transmission time.\n\n";
+
+  const EstimationSeries series = run_estimation(setup);
+  Table table({"flow", "LP truth", "Eq.10 node", "Eq.11 clique", "Eq.12 min",
+               "Eq.13 conservative", "Eq.15 expected-T"});
+  for (std::size_t i = 0; i < series.truth.size(); ++i) {
+    table.add_row({std::to_string(i + 1), Table::num(series.truth[i], 2),
+                   Table::num(series.e10[i], 2), Table::num(series.e11[i], 2),
+                   Table::num(series.e12[i], 2), Table::num(series.e13[i], 2),
+                   Table::num(series.e15[i], 2)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nEstimation error vs LP truth on this topology (positive "
+               "bias = over-estimate):\n";
+  const struct {
+    const char* name;
+    const std::vector<double> EstimationSeries::* member;
+  } kSeries[] = {{"Eq.10 bottleneck node", &EstimationSeries::e10},
+                 {"Eq.11 clique constraint", &EstimationSeries::e11},
+                 {"Eq.12 min of both", &EstimationSeries::e12},
+                 {"Eq.13 conservative clique", &EstimationSeries::e13},
+                 {"Eq.15 expected clique time", &EstimationSeries::e15}};
+  Table errors({"estimator", "RMS error", "mean bias", "max |error|"});
+  for (const auto& entry : kSeries) {
+    const auto& values = series.*(entry.member);
+    errors.add_row({entry.name,
+                    Table::num(stats::rms_error(values, series.truth), 3),
+                    Table::num(stats::mean_bias(values, series.truth), 3),
+                    Table::num(stats::max_abs_error(values, series.truth), 3)});
+  }
+  errors.print(std::cout);
+
+  // ---------------------------------------------------------- robustness
+  // Aggregate across topologies, including admission-decision quality at
+  // the 2 Mbps demand: a FALSE ADMIT (estimate says yes, truth says no) is
+  // the error admission control exists to prevent; a false reject wastes
+  // capacity. The paper's "conservative clique performs best" claim is
+  // about tracking truth without false admits.
+  std::cout << "\nAggregate over 10 topologies (demand 2 Mbps):\n";
+  std::vector<double> all_truth;
+  std::vector<std::vector<double>> all_est(5);
+  for (std::uint64_t s = 1; s <= 10; ++s) {
+    const EstimationSeries r = run_estimation(benchx::make_section52_setup(s));
+    all_truth.insert(all_truth.end(), r.truth.begin(), r.truth.end());
+    for (std::size_t e = 0; e < 5; ++e) {
+      const auto& values = r.*(kSeries[e].member);
+      all_est[e].insert(all_est[e].end(), values.begin(), values.end());
+    }
+  }
+  Table aggregate({"estimator", "RMS error", "mean bias", "false admits",
+                   "false rejects", "n"});
+  const double demand = 2.0;
+  for (std::size_t e = 0; e < 5; ++e) {
+    int false_admit = 0, false_reject = 0;
+    for (std::size_t i = 0; i < all_truth.size(); ++i) {
+      const bool est_yes = all_est[e][i] >= demand;
+      const bool truth_yes = all_truth[i] >= demand;
+      false_admit += est_yes && !truth_yes;
+      false_reject += !est_yes && truth_yes;
+    }
+    aggregate.add_row({kSeries[e].name,
+                       Table::num(stats::rms_error(all_est[e], all_truth), 3),
+                       Table::num(stats::mean_bias(all_est[e], all_truth), 3),
+                       std::to_string(false_admit), std::to_string(false_reject),
+                       std::to_string(all_truth.size())});
+  }
+  aggregate.print(std::cout);
+  std::cout << "\n(paper: Eq.13 conservative clique performs best — it tracks "
+               "the truth while never over-admitting;\nEq.11 over-estimates "
+               "under heavy background, Eq.10 over-estimates under light "
+               "background,\nEq.15 runs a little below Eq.13; all idle-based "
+               "estimators under-estimate when background is heavy.)\n";
+  return 0;
+}

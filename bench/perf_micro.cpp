@@ -1,0 +1,115 @@
+// Microbenchmarks (google-benchmark) for the computational kernels:
+// simplex solves, Bron–Kerbosch clique enumeration, physical independent-
+// set enumeration, the full Eq. 6 pipeline, and the CSMA/CA simulator's
+// event throughput.
+#include <benchmark/benchmark.h>
+
+#include "core/available_bandwidth.hpp"
+#include "mac/tdma.hpp"
+#include "core/interference.hpp"
+#include "core/scenarios.hpp"
+#include "geom/topology.hpp"
+#include "graph/undirected.hpp"
+#include "lp/simplex.hpp"
+#include "mac/csma.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mrwsn;
+
+void BM_SimplexRandom(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(7);
+  lp::Problem problem(lp::Objective::kMaximize);
+  std::vector<lp::VarId> vars;
+  for (int j = 0; j < n; ++j) vars.push_back(problem.add_variable(rng.uniform(0.0, 2.0)));
+  for (int i = 0; i < n; ++i) {
+    std::vector<std::pair<lp::VarId, double>> row;
+    for (int j = 0; j < n; ++j) row.emplace_back(vars[j], rng.uniform(0.1, 2.0));
+    problem.add_constraint(row, lp::Sense::kLessEqual, rng.uniform(2.0, 8.0));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lp::solve(problem));
+  }
+}
+BENCHMARK(BM_SimplexRandom)->Arg(8)->Arg(24)->Arg(64);
+
+void BM_BronKerbosch(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(11);
+  graph::UndirectedGraph g(n);
+  for (graph::Vertex u = 0; u < n; ++u)
+    for (graph::Vertex v = u + 1; v < n; ++v)
+      if (rng.uniform() < 0.4) g.add_edge(u, v);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::maximal_cliques(g));
+  }
+}
+BENCHMARK(BM_BronKerbosch)->Arg(12)->Arg(20)->Arg(28);
+
+void BM_PhysicalMis(benchmark::State& state) {
+  const std::size_t nodes = static_cast<std::size_t>(state.range(0));
+  const net::Network network(geom::chain(nodes, 70.0), phy::PhyModel::paper_default());
+  core::PhysicalInterferenceModel model(network);
+  std::vector<net::LinkId> universe;
+  for (std::size_t i = 0; i + 1 < nodes; ++i)
+    universe.push_back(*network.find_link(i, i + 1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.maximal_independent_sets(universe));
+  }
+}
+BENCHMARK(BM_PhysicalMis)->Arg(5)->Arg(8)->Arg(12);
+
+void BM_ScenarioTwoPipeline(benchmark::State& state) {
+  for (auto _ : state) {
+    core::ScenarioTwo scenario = core::make_scenario_two();
+    benchmark::DoNotOptimize(
+        core::max_path_bandwidth(scenario.model, {}, scenario.chain));
+  }
+}
+BENCHMARK(BM_ScenarioTwoPipeline);
+
+void BM_JointBandwidthLp(benchmark::State& state) {
+  const net::Network network(geom::chain(6, 70.0), phy::PhyModel::paper_default());
+  core::PhysicalInterferenceModel model(network);
+  std::vector<std::vector<net::LinkId>> paths;
+  paths.push_back({*network.find_link(0, 1), *network.find_link(1, 2)});
+  paths.push_back({*network.find_link(2, 3), *network.find_link(3, 4)});
+  paths.push_back({*network.find_link(4, 5)});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::max_joint_bandwidth(model, {}, paths));
+  }
+}
+BENCHMARK(BM_JointBandwidthLp);
+
+void BM_TdmaSimulatedQuarterSecond(benchmark::State& state) {
+  const net::Network network(geom::chain(5, 70.0), phy::PhyModel::paper_default());
+  core::PhysicalInterferenceModel model(network);
+  std::vector<net::LinkId> path;
+  for (std::size_t i = 0; i < 4; ++i) path.push_back(*network.find_link(i, i + 1));
+  const auto lp = core::max_path_bandwidth(model, {}, path);
+  for (auto _ : state) {
+    mac::TdmaSimulator sim(network, model, lp.schedule, mac::TdmaParams{}, 3);
+    sim.add_flow(path, 8.0);
+    benchmark::DoNotOptimize(sim.run(0.25, 0.05));
+  }
+}
+BENCHMARK(BM_TdmaSimulatedQuarterSecond);
+
+void BM_CsmaSimulatedSecond(benchmark::State& state) {
+  const net::Network network(geom::chain(4, 70.0), phy::PhyModel::paper_default());
+  const std::vector<net::LinkId> path{*network.find_link(0, 1),
+                                      *network.find_link(1, 2),
+                                      *network.find_link(2, 3)};
+  for (auto _ : state) {
+    mac::CsmaSimulator sim(network, mac::MacParams{}, 3);
+    sim.add_flow(path, 4.0);
+    benchmark::DoNotOptimize(sim.run(0.25, 0.05));
+  }
+}
+BENCHMARK(BM_CsmaSimulatedSecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,262 @@
+#include "core/available_bandwidth.hpp"
+
+#include <algorithm>
+
+#include "lp/simplex.hpp"
+#include "util/error.hpp"
+
+namespace mrwsn::core {
+
+namespace {
+
+constexpr double kTimeShareFloor = 1e-9;
+
+std::vector<net::LinkId> union_of_links(std::span<const LinkFlow> background,
+                                        std::span<const net::LinkId> new_path) {
+  std::vector<net::LinkId> universe(new_path.begin(), new_path.end());
+  for (const LinkFlow& flow : background)
+    universe.insert(universe.end(), flow.links.begin(), flow.links.end());
+  std::sort(universe.begin(), universe.end());
+  universe.erase(std::unique(universe.begin(), universe.end()), universe.end());
+  return universe;
+}
+
+std::vector<ScheduledSet> extract_schedule(const std::vector<IndependentSet>& sets,
+                                           const lp::Solution& solution,
+                                           const std::vector<lp::VarId>& lambda) {
+  std::vector<ScheduledSet> schedule;
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    const double share = solution.value(lambda[i]);
+    if (share > kTimeShareFloor) schedule.push_back({sets[i], share});
+  }
+  return schedule;
+}
+
+}  // namespace
+
+std::vector<double> accumulate_link_demands(const InterferenceModel& model,
+                                            std::span<const LinkFlow> flows) {
+  std::vector<double> demand(model.num_links(), 0.0);
+  for (const LinkFlow& flow : flows) {
+    MRWSN_REQUIRE(flow.demand_mbps >= 0.0, "flow demand cannot be negative");
+    for (net::LinkId link : flow.links) {
+      MRWSN_REQUIRE(link < model.num_links(), "flow link id out of range");
+      demand[link] += flow.demand_mbps;
+    }
+  }
+  return demand;
+}
+
+AvailableBandwidthResult max_path_bandwidth(const InterferenceModel& model,
+                                            std::span<const LinkFlow> background,
+                                            std::span<const net::LinkId> new_path) {
+  MRWSN_REQUIRE(!new_path.empty(), "the new path needs at least one link");
+  const std::vector<net::LinkId> universe = union_of_links(background, new_path);
+  const std::vector<IndependentSet> sets = model.maximal_independent_sets(universe);
+  const std::vector<double> bg_demand = accumulate_link_demands(model, background);
+
+  AvailableBandwidthResult result;
+  result.num_independent_sets = sets.size();
+
+  // Eq. 6:  maximize f
+  //   s.t.  Σ_α λ_α <= 1
+  //         Σ_α λ_α R*_α[e] - Σ_k x_k I_e(P_k) - f I_e(P_new) >= 0  ∀ e ∈ P
+  //         λ >= 0, f >= 0
+  lp::Problem problem(lp::Objective::kMaximize);
+  std::vector<lp::VarId> lambda;
+  lambda.reserve(sets.size());
+  for (std::size_t i = 0; i < sets.size(); ++i)
+    lambda.push_back(problem.add_variable(0.0, "lambda" + std::to_string(i)));
+  const lp::VarId f = problem.add_variable(1.0, "f");
+
+  {
+    std::vector<std::pair<lp::VarId, double>> total_time;
+    for (lp::VarId id : lambda) total_time.emplace_back(id, 1.0);
+    problem.add_constraint(total_time, lp::Sense::kLessEqual, 1.0);
+  }
+
+  for (net::LinkId link : universe) {
+    std::vector<std::pair<lp::VarId, double>> row;
+    for (std::size_t i = 0; i < sets.size(); ++i) {
+      const double mbps = sets[i].mbps_on(link);
+      if (mbps > 0.0) row.emplace_back(lambda[i], mbps);
+    }
+    const bool on_new_path =
+        std::find(new_path.begin(), new_path.end(), link) != new_path.end();
+    if (on_new_path) row.emplace_back(f, -1.0);
+    problem.add_constraint(row, lp::Sense::kGreaterEqual, bg_demand[link]);
+  }
+
+  const lp::Solution solution = lp::solve(problem);
+  if (solution.status != lp::Status::kOptimal) {
+    // With f free to be 0 the LP is infeasible only when the background
+    // demands alone are unschedulable; it can never be unbounded
+    // (Σλ <= 1 caps f through the new path's constraints).
+    MRWSN_ASSERT(solution.status == lp::Status::kInfeasible,
+                 "Eq. 6 LP cannot be unbounded");
+    return result;
+  }
+
+  result.background_feasible = true;
+  result.available_mbps = solution.objective;
+  result.schedule = extract_schedule(sets, solution, lambda);
+  // Constraint 0 is Σλ <= 1; constraints 1.. are the per-link rows in
+  // universe order. The link rows are >=-sense, so their duals are <= 0
+  // for this maximization; negate to report "bandwidth lost per extra
+  // Mbps of background demand".
+  result.airtime_shadow_price = solution.dual(0);
+  for (std::size_t k = 0; k < universe.size(); ++k) {
+    const double price = -solution.dual(1 + k);
+    result.link_shadow_prices.emplace_back(universe[k],
+                                           price > kTimeShareFloor ? price : 0.0);
+  }
+  return result;
+}
+
+JointBandwidthResult max_joint_bandwidth(
+    const InterferenceModel& model, std::span<const LinkFlow> background,
+    std::span<const std::vector<net::LinkId>> new_paths,
+    JointObjective objective) {
+  MRWSN_REQUIRE(!new_paths.empty(), "need at least one new path");
+  for (const auto& path : new_paths)
+    MRWSN_REQUIRE(!path.empty(), "every new path needs at least one link");
+
+  std::vector<net::LinkId> universe;
+  for (const auto& path : new_paths)
+    universe.insert(universe.end(), path.begin(), path.end());
+  for (const LinkFlow& flow : background)
+    universe.insert(universe.end(), flow.links.begin(), flow.links.end());
+  std::sort(universe.begin(), universe.end());
+  universe.erase(std::unique(universe.begin(), universe.end()), universe.end());
+
+  const std::vector<IndependentSet> sets = model.maximal_independent_sets(universe);
+  const std::vector<double> bg_demand = accumulate_link_demands(model, background);
+
+  JointBandwidthResult result;
+  result.num_independent_sets = sets.size();
+
+  // Two passes for kMaxMin (floor first, then sum at the pinned floor);
+  // one pass for kMaxSum (floor constraint disabled with floor = 0 and
+  // sum objective directly).
+  double floor = 0.0;
+  for (int pass = 0; pass < 2; ++pass) {
+    const bool floor_pass = objective == JointObjective::kMaxMin && pass == 0;
+    if (pass == 1 && objective == JointObjective::kMaxSum) break;
+
+    lp::Problem problem(lp::Objective::kMaximize);
+    std::vector<lp::VarId> lambda;
+    for (std::size_t i = 0; i < sets.size(); ++i)
+      lambda.push_back(problem.add_variable(0.0));
+    std::vector<lp::VarId> f;
+    for (std::size_t j = 0; j < new_paths.size(); ++j)
+      f.push_back(problem.add_variable(floor_pass ? 0.0 : 1.0,
+                                       "f" + std::to_string(j)));
+    lp::VarId t = -1;
+    if (floor_pass) {
+      t = problem.add_variable(1.0, "t");
+      for (lp::VarId fj : f)
+        problem.add_constraint({{fj, 1.0}, {t, -1.0}}, lp::Sense::kGreaterEqual,
+                               0.0);
+    } else if (objective == JointObjective::kMaxMin) {
+      for (lp::VarId fj : f)
+        problem.add_constraint({{fj, 1.0}}, lp::Sense::kGreaterEqual,
+                               floor - 1e-9);
+    }
+
+    {
+      std::vector<std::pair<lp::VarId, double>> row;
+      for (lp::VarId id : lambda) row.emplace_back(id, 1.0);
+      problem.add_constraint(row, lp::Sense::kLessEqual, 1.0);
+    }
+    for (net::LinkId link : universe) {
+      std::vector<std::pair<lp::VarId, double>> row;
+      for (std::size_t i = 0; i < sets.size(); ++i) {
+        const double mbps = sets[i].mbps_on(link);
+        if (mbps > 0.0) row.emplace_back(lambda[i], mbps);
+      }
+      for (std::size_t j = 0; j < new_paths.size(); ++j) {
+        const auto count = std::count(new_paths[j].begin(), new_paths[j].end(), link);
+        if (count > 0) row.emplace_back(f[j], -static_cast<double>(count));
+      }
+      problem.add_constraint(row, lp::Sense::kGreaterEqual, bg_demand[link]);
+    }
+
+    const lp::Solution solution = lp::solve(problem);
+    if (solution.status != lp::Status::kOptimal) {
+      MRWSN_ASSERT(solution.status == lp::Status::kInfeasible,
+                   "joint LP cannot be unbounded");
+      return result;
+    }
+    if (floor_pass) {
+      floor = solution.value(t);
+      continue;
+    }
+    result.background_feasible = true;
+    result.per_path_mbps.clear();
+    result.total_mbps = 0.0;
+    for (std::size_t j = 0; j < new_paths.size(); ++j) {
+      result.per_path_mbps.push_back(solution.value(f[j]));
+      result.total_mbps += solution.value(f[j]);
+    }
+    result.schedule = extract_schedule(sets, solution, lambda);
+  }
+  return result;
+}
+
+double path_capacity(const InterferenceModel& model,
+                     std::span<const net::LinkId> path) {
+  const AvailableBandwidthResult result = max_path_bandwidth(model, {}, path);
+  MRWSN_ASSERT(result.background_feasible,
+               "path capacity with no background cannot be infeasible");
+  return result.available_mbps;
+}
+
+std::optional<AirtimeSchedule> min_airtime_schedule(
+    const InterferenceModel& model, std::span<const net::LinkId> universe,
+    std::span<const double> link_demand_mbps) {
+  MRWSN_REQUIRE(link_demand_mbps.size() == model.num_links(),
+                "demand vector must be indexed by link id over all links");
+  const std::vector<IndependentSet> sets = model.maximal_independent_sets(universe);
+
+  // minimize Σλ  s.t.  Σ_α λ_α R*_α[e] >= demand[e]  ∀ e ∈ universe.
+  lp::Problem problem(lp::Objective::kMinimize);
+  std::vector<lp::VarId> lambda;
+  lambda.reserve(sets.size());
+  for (std::size_t i = 0; i < sets.size(); ++i)
+    lambda.push_back(problem.add_variable(1.0, "lambda" + std::to_string(i)));
+
+  std::vector<net::LinkId> links(universe.begin(), universe.end());
+  std::sort(links.begin(), links.end());
+  links.erase(std::unique(links.begin(), links.end()), links.end());
+  for (net::LinkId link : links) {
+    MRWSN_REQUIRE(link < model.num_links(), "universe link id out of range");
+    if (link_demand_mbps[link] <= 0.0) continue;
+    std::vector<std::pair<lp::VarId, double>> row;
+    for (std::size_t i = 0; i < sets.size(); ++i) {
+      const double mbps = sets[i].mbps_on(link);
+      if (mbps > 0.0) row.emplace_back(lambda[i], mbps);
+    }
+    problem.add_constraint(row, lp::Sense::kGreaterEqual, link_demand_mbps[link]);
+  }
+
+  const lp::Solution solution = lp::solve(problem);
+  if (solution.status != lp::Status::kOptimal) return std::nullopt;
+
+  AirtimeSchedule schedule;
+  schedule.total_airtime = solution.objective;
+  schedule.entries = extract_schedule(sets, solution, lambda);
+  return schedule;
+}
+
+bool flows_feasible(const InterferenceModel& model,
+                    std::span<const LinkFlow> flows) {
+  std::vector<net::LinkId> universe;
+  for (const LinkFlow& flow : flows)
+    universe.insert(universe.end(), flow.links.begin(), flow.links.end());
+  if (universe.empty()) return true;
+  const std::vector<double> demand = accumulate_link_demands(model, flows);
+  const auto schedule = min_airtime_schedule(model, universe, demand);
+  return schedule.has_value() && schedule->total_airtime <= 1.0 + 1e-9;
+}
+
+}  // namespace mrwsn::core

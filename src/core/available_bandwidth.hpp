@@ -1,0 +1,119 @@
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/independent_set.hpp"
+#include "core/interference.hpp"
+
+namespace mrwsn::core {
+
+/// A flow expressed at the core-model level: the ordered links of its path
+/// and its end-to-end demand in Mbps. (routing:: adapts net::Flow to this.)
+struct LinkFlow {
+  std::vector<net::LinkId> links;
+  double demand_mbps = 0.0;
+};
+
+/// One scheduled maximal independent set and its time share λ.
+struct ScheduledSet {
+  IndependentSet set;
+  double time_share = 0.0;
+};
+
+/// Result of the available-path-bandwidth LP (Eq. 6 of the paper).
+struct AvailableBandwidthResult {
+  /// False when the background demands alone are not schedulable — the
+  /// LP of Eq. 6 is then infeasible and no bandwidth is available.
+  bool background_feasible = false;
+
+  /// The maximum end-to-end throughput f_{K+1} the new path can carry
+  /// while every background demand keeps being delivered.
+  double available_mbps = 0.0;
+
+  /// An optimal link schedule achieving `available_mbps` (entries with
+  /// time share > 1e-9 only). Σ time_share <= 1.
+  std::vector<ScheduledSet> schedule;
+
+  /// Number of maximal independent sets the LP was built from (|M-hat|).
+  std::size_t num_independent_sets = 0;
+
+  /// Bottleneck analysis from the LP duals: for each link of the problem's
+  /// universe, the Mbps of available bandwidth lost per extra Mbps of
+  /// background demand on that link. Links with a positive price are the
+  /// bottlenecks; zero-price links have slack.
+  std::vector<std::pair<net::LinkId, double>> link_shadow_prices;
+
+  /// Marginal value of schedulable airtime: the Mbps gained per extra unit
+  /// of schedule time (the dual of the Σλ <= 1 constraint).
+  double airtime_shadow_price = 0.0;
+};
+
+/// The paper's core model (Eq. 6): assuming a globally optimal link
+/// scheduling over the maximal rate-coupled independent sets of
+/// P = union of all involved paths, maximize the new path's throughput
+/// subject to delivering every background demand.
+AvailableBandwidthResult max_path_bandwidth(const InterferenceModel& model,
+                                            std::span<const LinkFlow> background,
+                                            std::span<const net::LinkId> new_path);
+
+/// Path capacity with no background traffic — the model of the authors'
+/// prior work [1] as a special case of Eq. 6 with K = 0.
+double path_capacity(const InterferenceModel& model,
+                     std::span<const net::LinkId> path);
+
+/// How a joint multi-flow optimization splits capacity among new flows.
+enum class JointObjective {
+  kMaxSum,  ///< maximize Σ f_k (can starve some flows)
+  kMaxMin,  ///< maximize min f_k, then the sum at that floor
+};
+
+/// Result of admitting several new flows simultaneously (the extension the
+/// paper sketches at the end of Section 2.5).
+struct JointBandwidthResult {
+  bool background_feasible = false;
+  /// Throughput per new path, in input order.
+  std::vector<double> per_path_mbps;
+  /// Σ of per_path_mbps.
+  double total_mbps = 0.0;
+  std::vector<ScheduledSet> schedule;
+  std::size_t num_independent_sets = 0;
+};
+
+/// Eq. 6 with more than one new flow joining at once: maximize the chosen
+/// objective over (f_1 ... f_J) subject to the same schedulability and
+/// background-delivery constraints. kMaxMin solves two LPs (the standard
+/// lexicographic max-min: first the floor, then the sum with the floor
+/// pinned).
+JointBandwidthResult max_joint_bandwidth(
+    const InterferenceModel& model, std::span<const LinkFlow> background,
+    std::span<const std::vector<net::LinkId>> new_paths,
+    JointObjective objective = JointObjective::kMaxMin);
+
+/// A schedule delivering fixed per-link demands with minimum total airtime.
+struct AirtimeSchedule {
+  double total_airtime = 0.0;  ///< Σλ; demands are feasible iff <= 1
+  std::vector<ScheduledSet> entries;
+};
+
+/// Minimize Σλ subject to delivering `link_demand_mbps` (indexed by link
+/// id) over links in `universe`. Returns nullopt when the demands cannot
+/// be delivered even with unlimited airtime (a link with demand but no
+/// usable rate). The demands are jointly schedulable iff
+/// total_airtime <= 1 (the feasibility condition Eq. 2/4).
+std::optional<AirtimeSchedule> min_airtime_schedule(
+    const InterferenceModel& model, std::span<const net::LinkId> universe,
+    std::span<const double> link_demand_mbps);
+
+/// Feasibility of a set of flows (Eq. 2/4): is there a schedule delivering
+/// every flow's demand within one unit of time?
+bool flows_feasible(const InterferenceModel& model,
+                    std::span<const LinkFlow> flows);
+
+/// Per-link accumulated demand vector (indexed by link id, sized
+/// model.num_links()) of a set of flows.
+std::vector<double> accumulate_link_demands(const InterferenceModel& model,
+                                            std::span<const LinkFlow> flows);
+
+}  // namespace mrwsn::core

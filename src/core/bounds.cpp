@@ -1,0 +1,286 @@
+#include "core/bounds.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/undirected.hpp"
+#include "lp/simplex.hpp"
+#include "util/error.hpp"
+
+namespace mrwsn::core {
+
+namespace {
+
+std::vector<net::LinkId> sorted_unique(std::span<const net::LinkId> universe) {
+  std::vector<net::LinkId> links(universe.begin(), universe.end());
+  std::sort(links.begin(), links.end());
+  links.erase(std::unique(links.begin(), links.end()), links.end());
+  return links;
+}
+
+std::vector<net::LinkId> union_of_links(std::span<const LinkFlow> background,
+                                        std::span<const net::LinkId> new_path) {
+  std::vector<net::LinkId> universe(new_path.begin(), new_path.end());
+  for (const LinkFlow& flow : background)
+    universe.insert(universe.end(), flow.links.begin(), flow.links.end());
+  return sorted_unique(universe);
+}
+
+}  // namespace
+
+std::vector<RateAssignment> enumerate_rate_assignments(
+    const InterferenceModel& model, std::span<const net::LinkId> universe,
+    std::size_t max_assignments) {
+  const std::vector<net::LinkId> links = sorted_unique(universe);
+
+  std::vector<std::vector<phy::RateIndex>> usable(links.size());
+  std::size_t count = 1;
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    for (phy::RateIndex r = 0; r < model.rate_table().size(); ++r)
+      if (model.usable_alone(links[i], r)) usable[i].push_back(r);
+    MRWSN_REQUIRE(!usable[i].empty(), "a universe link has no usable rate");
+    MRWSN_REQUIRE(count <= max_assignments / usable[i].size(),
+                  "rate-assignment enumeration would exceed max_assignments");
+    count *= usable[i].size();
+  }
+
+  std::vector<RateAssignment> assignments;
+  assignments.reserve(count);
+  RateAssignment current(links.size(), 0);
+  // Odometer enumeration over the per-link usable rate lists.
+  std::vector<std::size_t> idx(links.size(), 0);
+  for (;;) {
+    for (std::size_t i = 0; i < links.size(); ++i) current[i] = usable[i][idx[i]];
+    assignments.push_back(current);
+    std::size_t pos = 0;
+    while (pos < links.size() && ++idx[pos] == usable[pos].size()) {
+      idx[pos] = 0;
+      ++pos;
+    }
+    if (pos == links.size()) break;
+  }
+  return assignments;
+}
+
+std::vector<std::vector<std::size_t>> fixed_rate_maximal_cliques(
+    const InterferenceModel& model, std::span<const net::LinkId> universe,
+    const RateAssignment& rates) {
+  const std::vector<net::LinkId> links = sorted_unique(universe);
+  MRWSN_REQUIRE(rates.size() == links.size(),
+                "rate assignment must cover the sorted universe");
+
+  graph::UndirectedGraph conflict(links.size());
+  for (std::size_t i = 0; i < links.size(); ++i)
+    for (std::size_t j = i + 1; j < links.size(); ++j)
+      if (model.interferes(links[i], rates[i], links[j], rates[j]))
+        conflict.add_edge(i, j);
+  return graph::maximal_cliques(conflict);
+}
+
+double fixed_rate_equal_throughput_bound(const InterferenceModel& model,
+                                         std::span<const net::LinkId> path_links,
+                                         const RateAssignment& rates) {
+  const std::vector<net::LinkId> links = sorted_unique(path_links);
+  const auto cliques = fixed_rate_maximal_cliques(model, links, rates);
+  double max_unit_time = 0.0;  // T-hat for one unit of traffic on every link
+  for (const auto& clique : cliques) {
+    double t = 0.0;
+    for (std::size_t member : clique)
+      t += 1.0 / model.rate_table()[rates[member]].mbps;
+    max_unit_time = std::max(max_unit_time, t);
+  }
+  MRWSN_ASSERT(max_unit_time > 0.0, "a nonempty path has at least one clique");
+  return 1.0 / max_unit_time;
+}
+
+double hypothesis_min_max_clique_time(const InterferenceModel& model,
+                                      std::span<const net::LinkId> universe,
+                                      std::span<const double> demand_mbps,
+                                      std::size_t max_assignments) {
+  const std::vector<net::LinkId> links = sorted_unique(universe);
+  double best = std::numeric_limits<double>::infinity();
+  for (const RateAssignment& rates :
+       enumerate_rate_assignments(model, links, max_assignments)) {
+    double worst_clique = 0.0;
+    for (const auto& clique : fixed_rate_maximal_cliques(model, links, rates)) {
+      double t = 0.0;
+      for (std::size_t member : clique) {
+        MRWSN_REQUIRE(links[member] < demand_mbps.size(),
+                      "demand vector does not cover universe");
+        t += demand_mbps[links[member]] / model.rate_table()[rates[member]].mbps;
+      }
+      worst_clique = std::max(worst_clique, t);
+    }
+    best = std::min(best, worst_clique);
+  }
+  return best;
+}
+
+namespace {
+
+UpperBoundResult upper_bound_impl(const InterferenceModel& model,
+                                  std::span<const LinkFlow> background,
+                                  std::span<const net::LinkId> new_path,
+                                  std::size_t max_cliques_per_vector,
+                                  std::size_t max_assignments) {
+  MRWSN_REQUIRE(!new_path.empty(), "the new path needs at least one link");
+  MRWSN_REQUIRE(max_cliques_per_vector > 0, "need at least one clique per vector");
+  const std::vector<net::LinkId> links = union_of_links(background, new_path);
+  const std::vector<double> bg_demand = accumulate_link_demands(model, background);
+  const auto assignments = enumerate_rate_assignments(model, links, max_assignments);
+
+  // Eq. 9 linearized with h_ik = γ_i * g_ik:
+  //   maximize f
+  //   s.t. Σ_{k∈C_ij} h_ik / r_ik <= γ_i                (clique constraints)
+  //        0 <= h_ik <= γ_i r_ik                         (rate caps)
+  //        Σ_i h_ie >= bg_demand[e] + f·I_e(P_new)       (link demands)
+  //        Σ_i γ_i <= 1
+  lp::Problem problem(lp::Objective::kMaximize);
+  const lp::VarId f = problem.add_variable(1.0, "f");
+  std::vector<lp::VarId> gamma(assignments.size());
+  std::vector<std::vector<lp::VarId>> h(assignments.size());
+
+  for (std::size_t i = 0; i < assignments.size(); ++i) {
+    gamma[i] = problem.add_variable(0.0, "gamma" + std::to_string(i));
+    h[i].resize(links.size());
+    for (std::size_t k = 0; k < links.size(); ++k)
+      h[i][k] = problem.add_variable(0.0);
+  }
+
+  for (std::size_t i = 0; i < assignments.size(); ++i) {
+    const RateAssignment& rates = assignments[i];
+    auto cliques = fixed_rate_maximal_cliques(model, links, rates);
+    if (cliques.size() > max_cliques_per_vector) {
+      // Keep the cliques with the largest unit transmission time — the
+      // tightest constraints; dropping the rest only loosens the bound.
+      auto unit_time = [&](const std::vector<std::size_t>& clique) {
+        double t = 0.0;
+        for (std::size_t member : clique)
+          t += 1.0 / model.rate_table()[rates[member]].mbps;
+        return t;
+      };
+      std::partial_sort(cliques.begin(),
+                        cliques.begin() + static_cast<std::ptrdiff_t>(max_cliques_per_vector),
+                        cliques.end(),
+                        [&](const auto& a, const auto& b) {
+                          return unit_time(a) > unit_time(b);
+                        });
+      cliques.resize(max_cliques_per_vector);
+    }
+    for (const auto& clique : cliques) {
+      std::vector<std::pair<lp::VarId, double>> row;
+      for (std::size_t member : clique)
+        row.emplace_back(h[i][member], 1.0 / model.rate_table()[rates[member]].mbps);
+      row.emplace_back(gamma[i], -1.0);
+      problem.add_constraint(row, lp::Sense::kLessEqual, 0.0);
+    }
+    for (std::size_t k = 0; k < links.size(); ++k) {
+      problem.add_constraint(
+          {{h[i][k], 1.0}, {gamma[i], -model.rate_table()[rates[k]].mbps}},
+          lp::Sense::kLessEqual, 0.0);
+    }
+  }
+
+  {
+    std::vector<std::pair<lp::VarId, double>> row;
+    for (lp::VarId g : gamma) row.emplace_back(g, 1.0);
+    problem.add_constraint(row, lp::Sense::kLessEqual, 1.0);
+  }
+
+  for (std::size_t k = 0; k < links.size(); ++k) {
+    std::vector<std::pair<lp::VarId, double>> row;
+    for (std::size_t i = 0; i < assignments.size(); ++i)
+      row.emplace_back(h[i][k], 1.0);
+    const bool on_new_path =
+        std::find(new_path.begin(), new_path.end(), links[k]) != new_path.end();
+    if (on_new_path) row.emplace_back(f, -1.0);
+    problem.add_constraint(row, lp::Sense::kGreaterEqual, bg_demand[links[k]]);
+  }
+
+  UpperBoundResult result;
+  result.num_rate_vectors = assignments.size();
+  const lp::Solution solution = lp::solve(problem);
+  if (solution.status != lp::Status::kOptimal) {
+    MRWSN_ASSERT(solution.status == lp::Status::kInfeasible,
+                 "Eq. 9 LP cannot be unbounded");
+    return result;
+  }
+  result.background_feasible = true;
+  result.upper_bound_mbps = solution.objective;
+  return result;
+}
+
+}  // namespace
+
+UpperBoundResult clique_upper_bound(const InterferenceModel& model,
+                                    std::span<const LinkFlow> background,
+                                    std::span<const net::LinkId> new_path,
+                                    std::size_t max_assignments) {
+  return upper_bound_impl(model, background, new_path,
+                          std::numeric_limits<std::size_t>::max(),
+                          max_assignments);
+}
+
+UpperBoundResult clique_upper_bound_reduced(const InterferenceModel& model,
+                                            std::span<const LinkFlow> background,
+                                            std::span<const net::LinkId> new_path,
+                                            std::size_t max_cliques_per_vector,
+                                            std::size_t max_assignments) {
+  return upper_bound_impl(model, background, new_path, max_cliques_per_vector,
+                          max_assignments);
+}
+
+LowerBoundResult independent_set_lower_bound(const InterferenceModel& model,
+                                             std::span<const LinkFlow> background,
+                                             std::span<const net::LinkId> new_path,
+                                             std::size_t max_sets) {
+  MRWSN_REQUIRE(!new_path.empty(), "the new path needs at least one link");
+  MRWSN_REQUIRE(max_sets > 0, "need at least one independent set");
+  const std::vector<net::LinkId> links = union_of_links(background, new_path);
+  const std::vector<double> bg_demand = accumulate_link_demands(model, background);
+
+  std::vector<IndependentSet> sets = model.maximal_independent_sets(links);
+  if (sets.size() > max_sets) {
+    // Keep the highest-throughput sets; stable ranking keeps prefixes
+    // nested so the bound is monotone in max_sets.
+    std::stable_sort(sets.begin(), sets.end(),
+                     [](const IndependentSet& a, const IndependentSet& b) {
+                       double ta = 0.0, tb = 0.0;
+                       for (double m : a.mbps) ta += m;
+                       for (double m : b.mbps) tb += m;
+                       return ta > tb;
+                     });
+    sets.resize(max_sets);
+  }
+
+  lp::Problem problem(lp::Objective::kMaximize);
+  std::vector<lp::VarId> lambda;
+  for (std::size_t i = 0; i < sets.size(); ++i)
+    lambda.push_back(problem.add_variable(0.0));
+  const lp::VarId f = problem.add_variable(1.0, "f");
+  {
+    std::vector<std::pair<lp::VarId, double>> row;
+    for (lp::VarId id : lambda) row.emplace_back(id, 1.0);
+    problem.add_constraint(row, lp::Sense::kLessEqual, 1.0);
+  }
+  for (net::LinkId link : links) {
+    std::vector<std::pair<lp::VarId, double>> row;
+    for (std::size_t i = 0; i < sets.size(); ++i) {
+      const double mbps = sets[i].mbps_on(link);
+      if (mbps > 0.0) row.emplace_back(lambda[i], mbps);
+    }
+    if (std::find(new_path.begin(), new_path.end(), link) != new_path.end())
+      row.emplace_back(f, -1.0);
+    problem.add_constraint(row, lp::Sense::kGreaterEqual, bg_demand[link]);
+  }
+
+  LowerBoundResult result;
+  result.sets_used = sets.size();
+  const lp::Solution solution = lp::solve(problem);
+  if (solution.status != lp::Status::kOptimal) return result;
+  result.feasible = true;
+  result.lower_bound_mbps = solution.objective;
+  return result;
+}
+
+}  // namespace mrwsn::core

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/available_bandwidth.hpp"
+#include "core/clique.hpp"
+#include "core/interference.hpp"
+
+namespace mrwsn::core {
+
+/// A complete fixed-rate assignment: one RateIndex per universe link
+/// (parallel to the sorted universe used by the bound functions).
+using RateAssignment = std::vector<phy::RateIndex>;
+
+/// Enumerate every fixed-rate assignment over the (sorted, de-duplicated)
+/// universe, each link ranging over its usable-alone rates. Throws
+/// PreconditionError when the count would exceed `max_assignments` — the
+/// enumeration is exponential (Ω <= Z^L in the paper's notation) and is
+/// meant for the small analytical scenarios.
+std::vector<RateAssignment> enumerate_rate_assignments(
+    const InterferenceModel& model, std::span<const net::LinkId> universe,
+    std::size_t max_assignments = 65536);
+
+/// Link-level maximal cliques of the conflict graph induced by one fixed
+/// rate assignment (indices into the sorted universe).
+std::vector<std::vector<std::size_t>> fixed_rate_maximal_cliques(
+    const InterferenceModel& model, std::span<const net::LinkId> universe,
+    const RateAssignment& rates);
+
+/// Eq. 7: with a fixed rate vector, equal per-link throughput s over the
+/// path satisfies s <= 1 / max_C Σ_{i∈C} 1/r_i, the inverse of the largest
+/// clique transmission time for one unit of traffic.
+double fixed_rate_equal_throughput_bound(const InterferenceModel& model,
+                                         std::span<const net::LinkId> path_links,
+                                         const RateAssignment& rates);
+
+/// The paper's Hypothesis (8) quantity: min over all fixed rate vectors
+/// R_i of the largest clique time share T-hat_i for the demand vector Y
+/// (indexed by link id). The hypothesis claims this is <= 1 for feasible
+/// Y; Scenario II yields 1.05 > 1, the paper's counterexample.
+double hypothesis_min_max_clique_time(const InterferenceModel& model,
+                                      std::span<const net::LinkId> universe,
+                                      std::span<const double> demand_mbps,
+                                      std::size_t max_assignments = 65536);
+
+/// Result of the Eq. 9 upper-bound LP.
+struct UpperBoundResult {
+  bool background_feasible = false;  ///< LP feasible at f = 0
+  double upper_bound_mbps = 0.0;     ///< a valid upper bound on Eq. 6's optimum
+  std::size_t num_rate_vectors = 0;  ///< Ω actually enumerated
+};
+
+/// Eq. 9: a *valid* upper bound on available path bandwidth in multirate
+/// networks, built by mixing per-rate-vector clique constraints with time
+/// shares γ_i. (The bilinear γ_i·g_ik of the paper is linearized with the
+/// standard substitution h_ik = γ_i·g_ik.) Exponential in |P|; intended
+/// for small scenarios, as the paper itself notes.
+UpperBoundResult clique_upper_bound(const InterferenceModel& model,
+                                    std::span<const LinkFlow> background,
+                                    std::span<const net::LinkId> new_path,
+                                    std::size_t max_assignments = 65536);
+
+/// The paper's suggested complexity reduction ("use a small number of
+/// cliques for each i to derive a loose upper bound", Section 3.2): keep,
+/// for each rate vector, only the `max_cliques_per_vector` maximal cliques
+/// with the largest unit transmission time Σ 1/r. Dropping constraints
+/// only enlarges the relaxation, so the result is still a valid — merely
+/// looser — upper bound, at a fraction of the LP size. The per-link rate
+/// caps h <= γ·r are always kept so the bound stays finite.
+///
+/// (The paper's second suggestion — dropping whole rate vectors — is NOT
+/// implemented: removing a γ_i genuinely shrinks the feasible region and
+/// can push the "bound" below the true optimum; see the ablation bench.)
+UpperBoundResult clique_upper_bound_reduced(const InterferenceModel& model,
+                                            std::span<const LinkFlow> background,
+                                            std::span<const net::LinkId> new_path,
+                                            std::size_t max_cliques_per_vector,
+                                            std::size_t max_assignments = 65536);
+
+/// Result of the Section 3.3 lower bound.
+struct LowerBoundResult {
+  /// False when the restricted LP cannot even deliver the background —
+  /// the subset was too small to conclude anything.
+  bool feasible = false;
+  double lower_bound_mbps = 0.0;
+  std::size_t sets_used = 0;
+};
+
+/// Section 3.3: restricting the schedule to a *subset* of the maximal
+/// independent sets shrinks the feasible region, so the restricted Eq. 6
+/// optimum lower-bounds the true one. Keeps the `max_sets` sets with the
+/// largest total throughput over the involved links (ties by insertion
+/// order); with max_sets >= all sets this equals the exact optimum.
+LowerBoundResult independent_set_lower_bound(const InterferenceModel& model,
+                                             std::span<const LinkFlow> background,
+                                             std::span<const net::LinkId> new_path,
+                                             std::size_t max_sets);
+
+}  // namespace mrwsn::core

@@ -1,0 +1,148 @@
+#include "core/clique.hpp"
+
+#include <algorithm>
+
+#include "graph/undirected.hpp"
+#include "util/error.hpp"
+
+namespace mrwsn::core {
+
+namespace {
+
+struct Couple {
+  net::LinkId link;
+  phy::RateIndex rate;
+};
+
+/// All usable (link, rate) couples over a sorted de-duplicated universe.
+std::vector<Couple> usable_couples(const InterferenceModel& model,
+                                   std::span<const net::LinkId> universe) {
+  std::vector<net::LinkId> links(universe.begin(), universe.end());
+  std::sort(links.begin(), links.end());
+  links.erase(std::unique(links.begin(), links.end()), links.end());
+
+  std::vector<Couple> couples;
+  for (net::LinkId link : links) {
+    MRWSN_REQUIRE(link < model.num_links(), "universe link id out of range");
+    for (phy::RateIndex r = 0; r < model.rate_table().size(); ++r)
+      if (model.usable_alone(link, r)) couples.push_back({link, r});
+  }
+  return couples;
+}
+
+Clique to_clique(const InterferenceModel& model, const std::vector<Couple>& couples,
+                 const std::vector<graph::Vertex>& members) {
+  std::vector<graph::Vertex> order(members.begin(), members.end());
+  std::sort(order.begin(), order.end(), [&](graph::Vertex a, graph::Vertex b) {
+    return couples[a].link < couples[b].link;
+  });
+  Clique clique;
+  for (graph::Vertex v : order) {
+    clique.links.push_back(couples[v].link);
+    clique.rates.push_back(couples[v].rate);
+    clique.mbps.push_back(model.rate_table()[couples[v].rate].mbps);
+  }
+  return clique;
+}
+
+/// Is `clique` maximal: no usable couple of a link outside it interferes
+/// with every member?
+bool is_maximal_clique(const InterferenceModel& model,
+                       std::span<const net::LinkId> universe, const Clique& clique) {
+  for (const Couple& candidate : usable_couples(model, universe)) {
+    if (clique.contains_link(candidate.link)) continue;
+    bool conflicts_all = true;
+    for (std::size_t i = 0; i < clique.size(); ++i) {
+      if (!model.interferes(candidate.link, candidate.rate, clique.links[i],
+                            clique.rates[i])) {
+        conflicts_all = false;
+        break;
+      }
+    }
+    if (conflicts_all) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool Clique::contains_link(net::LinkId link) const {
+  return std::binary_search(links.begin(), links.end(), link);
+}
+
+bool is_clique(const InterferenceModel& model, std::span<const net::LinkId> links,
+               std::span<const phy::RateIndex> rates) {
+  MRWSN_REQUIRE(links.size() == rates.size(), "links/rates must be parallel");
+  for (std::size_t i = 0; i < links.size(); ++i)
+    for (std::size_t j = i + 1; j < links.size(); ++j)
+      if (!model.interferes(links[i], rates[i], links[j], rates[j])) return false;
+  return true;
+}
+
+std::vector<Clique> maximal_cliques(const InterferenceModel& model,
+                                    std::span<const net::LinkId> universe) {
+  const std::vector<Couple> couples = usable_couples(model, universe);
+
+  // Conflict graph over couples: edge = "interferes". Couples of the same
+  // link are never adjacent, so each clique uses a link at most once —
+  // matching the paper's definition of a clique as couples of distinct
+  // links. Graph-maximal cliques are then exactly the paper's maximal
+  // cliques: the only possible extensions are couples of new links.
+  graph::UndirectedGraph conflict(couples.size());
+  for (std::size_t i = 0; i < couples.size(); ++i)
+    for (std::size_t j = i + 1; j < couples.size(); ++j)
+      if (couples[i].link != couples[j].link &&
+          model.interferes(couples[i].link, couples[i].rate, couples[j].link,
+                           couples[j].rate))
+        conflict.add_edge(i, j);
+
+  std::vector<Clique> cliques;
+  for (const auto& members : graph::maximal_cliques(conflict))
+    cliques.push_back(to_clique(model, couples, members));
+  return cliques;
+}
+
+std::vector<Clique> maximal_cliques_with_max_rates(
+    const InterferenceModel& model, std::span<const net::LinkId> universe) {
+  std::vector<Clique> result;
+  for (const Clique& clique : maximal_cliques(model, universe)) {
+    // "Maximum rates": replacing any member (L, r) with a faster usable
+    // (L, r') must destroy either the clique property or its maximality.
+    bool has_max_rates = true;
+    for (std::size_t i = 0; i < clique.size() && has_max_rates; ++i) {
+      for (phy::RateIndex faster = 0; faster < clique.rates[i]; ++faster) {
+        if (!model.usable_alone(clique.links[i], faster)) continue;
+        Clique candidate = clique;
+        candidate.rates[i] = faster;
+        candidate.mbps[i] = model.rate_table()[faster].mbps;
+        if (is_clique(model, candidate.links, candidate.rates) &&
+            is_maximal_clique(model, universe, candidate)) {
+          has_max_rates = false;  // a faster variant is an equally good clique
+          break;
+        }
+      }
+    }
+    if (has_max_rates) result.push_back(clique);
+  }
+  return result;
+}
+
+double clique_time_share(const Clique& clique, std::span<const double> demand_mbps) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < clique.size(); ++i) {
+    MRWSN_REQUIRE(clique.links[i] < demand_mbps.size(),
+                  "demand vector does not cover clique link");
+    total += demand_mbps[clique.links[i]] / clique.mbps[i];
+  }
+  return total;
+}
+
+double max_clique_time_share(std::span<const Clique> cliques,
+                             std::span<const double> demand_mbps) {
+  double best = 0.0;
+  for (const Clique& clique : cliques)
+    best = std::max(best, clique_time_share(clique, demand_mbps));
+  return best;
+}
+
+}  // namespace mrwsn::core

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/interference.hpp"
+
+namespace mrwsn::core {
+
+/// A rate-coupled clique (Section 3.1): a set of (link, rate) couples such
+/// that any two of them interfere — no two members can transmit
+/// successfully at the same time at those rates. `links` is sorted
+/// ascending; `rates`/`mbps` are parallel.
+struct Clique {
+  std::vector<net::LinkId> links;
+  std::vector<phy::RateIndex> rates;
+  std::vector<double> mbps;
+
+  std::size_t size() const { return links.size(); }
+
+  /// True when `link` (at any rate) is a member.
+  bool contains_link(net::LinkId link) const;
+};
+
+/// True when every two couples of (links[i], rates[i]) mutually interfere
+/// under `model` — i.e. the couples form a clique.
+bool is_clique(const InterferenceModel& model, std::span<const net::LinkId> links,
+               std::span<const phy::RateIndex> rates);
+
+/// All maximal cliques over the universe: cliques that cannot be extended
+/// by any (link, rate) couple of a link outside the clique (the paper's
+/// Section 3.1 definition). Enumerated as maximal cliques of the conflict
+/// graph over usable (link, rate) couples.
+std::vector<Clique> maximal_cliques(const InterferenceModel& model,
+                                    std::span<const net::LinkId> universe);
+
+/// The subset of maximal cliques that also carry *maximum rates*: raising
+/// any member's rate either breaks the clique property or yields a clique
+/// that is no longer maximal (Section 3.1). These are the cliques the
+/// paper uses in its Scenario II analysis.
+std::vector<Clique> maximal_cliques_with_max_rates(
+    const InterferenceModel& model, std::span<const net::LinkId> universe);
+
+/// Clique time share T = sum over members of y_link / r_member (Sec. 3.2):
+/// the fraction of time the clique needs to deliver throughput `y` (Mbps,
+/// indexed by link id) with each member transmitting at its clique rate.
+/// In a single-rate or fixed-rate network a feasible demand satisfies
+/// T <= 1; the paper shows this fails under time-varying rates.
+double clique_time_share(const Clique& clique, std::span<const double> demand_mbps);
+
+/// max over `cliques` of clique_time_share — the paper's T-hat.
+double max_clique_time_share(std::span<const Clique> cliques,
+                             std::span<const double> demand_mbps);
+
+}  // namespace mrwsn::core

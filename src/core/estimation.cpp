@@ -1,0 +1,189 @@
+#include "core/estimation.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace mrwsn::core {
+
+namespace {
+
+constexpr double kIdleFloor = 1e-12;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Local interference cliques: maximal windows [a, b] of consecutive path
+/// links that pairwise interfere at their maximum lone rates. Every link
+/// belongs to at least one window (a window may be a single link).
+std::vector<std::vector<std::size_t>> local_cliques(
+    const InterferenceModel& model, std::span<const net::LinkId> path_links) {
+  const std::size_t n = path_links.size();
+  std::vector<phy::RateIndex> rate(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto r = model.max_rate_alone(path_links[i]);
+    MRWSN_REQUIRE(r.has_value(), "path uses a link with no usable rate");
+    rate[i] = *r;
+  }
+
+  std::vector<std::pair<std::size_t, std::size_t>> windows;
+  for (std::size_t a = 0; a < n; ++a) {
+    std::size_t b = a;
+    while (b + 1 < n) {
+      bool extends = true;
+      for (std::size_t j = a; j <= b; ++j) {
+        if (!model.interferes(path_links[j], rate[j], path_links[b + 1],
+                              rate[b + 1])) {
+          extends = false;
+          break;
+        }
+      }
+      if (!extends) break;
+      ++b;
+    }
+    windows.emplace_back(a, b);
+  }
+
+  // Drop windows contained in another window.
+  std::vector<std::vector<std::size_t>> cliques;
+  for (const auto& [a, b] : windows) {
+    const bool contained = std::any_of(
+        windows.begin(), windows.end(), [&](const std::pair<std::size_t, std::size_t>& w) {
+          return (w.first < a && w.second >= b) || (w.first <= a && w.second > b);
+        });
+    if (contained) continue;
+    std::vector<std::size_t> members(b - a + 1);
+    std::iota(members.begin(), members.end(), a);
+    cliques.push_back(std::move(members));
+  }
+  return cliques;
+}
+
+void validate(const PathEstimateInput& input) {
+  MRWSN_REQUIRE(!input.rate_mbps.empty(), "estimator input has no links");
+  MRWSN_REQUIRE(input.rate_mbps.size() == input.idle_ratio.size(),
+                "rate/idle vectors must be parallel");
+  MRWSN_REQUIRE(!input.cliques.empty(), "estimator input has no cliques");
+  for (double r : input.rate_mbps) MRWSN_REQUIRE(r > 0.0, "rates must be positive");
+  for (double l : input.idle_ratio)
+    MRWSN_REQUIRE(l >= 0.0 && l <= 1.0, "idle ratios must lie in [0, 1]");
+}
+
+}  // namespace
+
+PathEstimateInput make_path_estimate_input(const InterferenceModel& model,
+                                           std::span<const net::LinkId> path_links,
+                                           std::span<const double> link_rate_mbps,
+                                           std::span<const double> link_idle) {
+  MRWSN_REQUIRE(path_links.size() == link_rate_mbps.size() &&
+                    path_links.size() == link_idle.size(),
+                "per-link vectors must be parallel to the path");
+  PathEstimateInput input;
+  input.rate_mbps.assign(link_rate_mbps.begin(), link_rate_mbps.end());
+  input.idle_ratio.assign(link_idle.begin(), link_idle.end());
+  input.cliques = local_cliques(model, path_links);
+  validate(input);
+  return input;
+}
+
+PathEstimateInput make_path_estimate_input(const net::Network& network,
+                                           const InterferenceModel& model,
+                                           std::span<const net::LinkId> path_links,
+                                           std::span<const double> node_idle) {
+  MRWSN_REQUIRE(node_idle.size() == network.num_nodes(),
+                "node idle vector must cover every node");
+  std::vector<double> rates, idles;
+  rates.reserve(path_links.size());
+  idles.reserve(path_links.size());
+  for (net::LinkId id : path_links) {
+    const net::Link& link = network.link(id);
+    rates.push_back(link.best_mbps_alone);
+    idles.push_back(std::min(node_idle[link.tx], node_idle[link.rx]));
+  }
+  return make_path_estimate_input(model, path_links, rates, idles);
+}
+
+double estimate_bottleneck_node(const PathEstimateInput& input) {
+  validate(input);
+  double f = kInf;
+  for (std::size_t i = 0; i < input.rate_mbps.size(); ++i)
+    f = std::min(f, input.idle_ratio[i] * input.rate_mbps[i]);
+  return f;
+}
+
+double estimate_clique_constraint(const PathEstimateInput& input) {
+  validate(input);
+  double f = kInf;
+  for (const auto& clique : input.cliques) {
+    double unit_time = 0.0;
+    for (std::size_t i : clique) unit_time += 1.0 / input.rate_mbps[i];
+    f = std::min(f, 1.0 / unit_time);
+  }
+  return f;
+}
+
+double estimate_min_clique_bottleneck(const PathEstimateInput& input) {
+  validate(input);
+  double f = kInf;
+  for (const auto& clique : input.cliques) {
+    double unit_time = 0.0;
+    double bottleneck = kInf;
+    for (std::size_t i : clique) {
+      unit_time += 1.0 / input.rate_mbps[i];
+      bottleneck = std::min(bottleneck, input.idle_ratio[i] * input.rate_mbps[i]);
+    }
+    f = std::min(f, std::min(1.0 / unit_time, bottleneck));
+  }
+  return f;
+}
+
+double estimate_conservative_clique(const PathEstimateInput& input) {
+  validate(input);
+  double f = kInf;
+  for (const auto& clique : input.cliques) {
+    // Order the clique's (λ, r) couples by idle share ascending (Eq. 13).
+    std::vector<std::size_t> order(clique.begin(), clique.end());
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return input.idle_ratio[a] < input.idle_ratio[b];
+    });
+    double prefix_unit_time = 0.0;
+    for (std::size_t i : order) {
+      prefix_unit_time += 1.0 / input.rate_mbps[i];
+      f = std::min(f, input.idle_ratio[i] / prefix_unit_time);
+    }
+  }
+  return f;
+}
+
+double estimate_expected_clique_time(const PathEstimateInput& input) {
+  validate(input);
+  double worst = 0.0;
+  for (const auto& clique : input.cliques) {
+    double t = 0.0;
+    for (std::size_t i : clique) {
+      if (input.idle_ratio[i] <= kIdleFloor) return 0.0;
+      t += 1.0 / (input.idle_ratio[i] * input.rate_mbps[i]);
+    }
+    worst = std::max(worst, t);
+  }
+  return 1.0 / worst;
+}
+
+double average_e2e_delay(const PathEstimateInput& input) {
+  validate(input);
+  double total = 0.0;
+  for (std::size_t i = 0; i < input.rate_mbps.size(); ++i) {
+    if (input.idle_ratio[i] <= kIdleFloor) return kInf;
+    total += 1.0 / (input.idle_ratio[i] * input.rate_mbps[i]);
+  }
+  return total;
+}
+
+double e2e_transmission_delay(const PathEstimateInput& input) {
+  validate(input);
+  double total = 0.0;
+  for (double r : input.rate_mbps) total += 1.0 / r;
+  return total;
+}
+
+}  // namespace mrwsn::core

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/interference.hpp"
+#include "net/network.hpp"
+
+namespace mrwsn::core {
+
+/// Everything the Section-4 distributed estimators see about one path:
+/// per-link effective rates, per-link idle-time shares (Eq. 10's
+/// min-of-endpoints), and the *local interference cliques* — maximal runs
+/// of consecutive path links that pairwise interfere (found with the
+/// approach of reference [1], as the paper prescribes).
+///
+/// These estimators deliberately use only locally observable quantities;
+/// comparing them against the Eq. 6 LP truth is exactly the paper's Fig. 4
+/// experiment.
+struct PathEstimateInput {
+  std::vector<double> rate_mbps;   ///< r_i, per path link
+  std::vector<double> idle_ratio;  ///< λ_i, per path link
+  /// Local maximal cliques; each entry lists indices into the path links.
+  std::vector<std::vector<std::size_t>> cliques;
+};
+
+/// Build the estimator input from abstract per-link rates and idle ratios.
+/// Local cliques are derived from `model.interferes` at each link's
+/// maximum lone rate.
+PathEstimateInput make_path_estimate_input(const InterferenceModel& model,
+                                           std::span<const net::LinkId> path_links,
+                                           std::span<const double> link_rate_mbps,
+                                           std::span<const double> link_idle);
+
+/// Convenience overload for a concrete network: r_i is the link's maximum
+/// lone rate, λ_i = min(idle of transmitter, idle of receiver) per Eq. 10,
+/// with `node_idle` indexed by node id.
+PathEstimateInput make_path_estimate_input(const net::Network& network,
+                                           const InterferenceModel& model,
+                                           std::span<const net::LinkId> path_links,
+                                           std::span<const double> node_idle);
+
+/// Eq. 10 — "bottleneck node bandwidth": f <= min_i λ_i · r_i.
+double estimate_bottleneck_node(const PathEstimateInput& input);
+
+/// Eq. 11 — "clique constraint": f <= min_C 1 / Σ_{i∈C} 1/r_i.
+/// Ignores background traffic entirely.
+double estimate_clique_constraint(const PathEstimateInput& input);
+
+/// Eq. 12 — "min of the above two", evaluated per clique as the paper
+/// writes it: f <= min_C min{ 1/Σ 1/r_i , λ_i r_i (i ∈ C) }.
+double estimate_min_clique_bottleneck(const PathEstimateInput& input);
+
+/// Eq. 13 — "conservative clique constraint": within each clique order
+/// idle shares ascending (λ_(1) <= ... <= λ_(|C|)); then
+/// f <= min_i λ_(i) / Σ_{j<=i} 1/r_(j). The paper's best estimator.
+double estimate_conservative_clique(const PathEstimateInput& input);
+
+/// Eq. 15 — "expected clique transmission time":
+/// f <= 1 / max_C Σ_{i∈C} 1/(λ_i r_i). Returns 0 when some clique member
+/// has zero idle time.
+double estimate_expected_clique_time(const PathEstimateInput& input);
+
+/// Eq. 14's T*_e2e = Σ_i 1/(λ_i r_i) — the "average-e2eD" routing metric
+/// value of the whole path (infinite when some λ_i is zero).
+double average_e2e_delay(const PathEstimateInput& input);
+
+/// Σ_i 1/r_i — the "e2eTD" (end-to-end transmission delay) metric of [1].
+double e2e_transmission_delay(const PathEstimateInput& input);
+
+}  // namespace mrwsn::core

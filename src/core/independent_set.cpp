@@ -1,0 +1,43 @@
+#include "core/independent_set.hpp"
+
+#include <algorithm>
+
+namespace mrwsn::core {
+
+double IndependentSet::mbps_on(net::LinkId link) const {
+  const auto it = std::lower_bound(links.begin(), links.end(), link);
+  if (it == links.end() || *it != link) return 0.0;
+  return mbps[static_cast<std::size_t>(it - links.begin())];
+}
+
+bool IndependentSet::dominated_by(const IndependentSet& other) const {
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    if (other.mbps_on(links[i]) < mbps[i]) return false;
+  }
+  return true;
+}
+
+std::vector<IndependentSet> remove_dominated(std::vector<IndependentSet> sets) {
+  std::vector<char> dead(sets.size(), 0);
+  for (std::size_t a = 0; a < sets.size(); ++a) {
+    if (dead[a]) continue;
+    for (std::size_t b = 0; b < sets.size(); ++b) {
+      if (a == b || dead[b] || dead[a]) continue;
+      if (sets[a].dominated_by(sets[b])) {
+        // Exact mutual domination (identical columns): keep the earlier one.
+        if (sets[b].dominated_by(sets[a]) && b > a) {
+          dead[b] = 1;
+        } else {
+          dead[a] = 1;
+        }
+      }
+    }
+  }
+  std::vector<IndependentSet> kept;
+  kept.reserve(sets.size());
+  for (std::size_t i = 0; i < sets.size(); ++i)
+    if (!dead[i]) kept.push_back(std::move(sets[i]));
+  return kept;
+}
+
+}  // namespace mrwsn::core

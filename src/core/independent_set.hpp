@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/network.hpp"
+#include "phy/rate.hpp"
+
+namespace mrwsn::core {
+
+/// A rate-coupled independent set (Section 2.4 of the paper): a set of
+/// links together with one transmission rate per link such that every link
+/// can sustain its rate while all links in the set transmit concurrently.
+///
+/// In a multirate network an independent set is *not* just a set of links —
+/// the same links may be jointly feasible at one rate vector and infeasible
+/// at another. `links` and `rates`/`mbps` are parallel arrays; `links` is
+/// sorted ascending.
+struct IndependentSet {
+  std::vector<net::LinkId> links;
+  std::vector<phy::RateIndex> rates;
+  std::vector<double> mbps;
+
+  std::size_t size() const { return links.size(); }
+
+  /// Throughput this set delivers on `link` when scheduled (0 when the
+  /// link is not a member). This is one column of the paper's R*_i vector.
+  double mbps_on(net::LinkId link) const;
+
+  /// True when scheduling `other` instead of this set delivers at least as
+  /// much throughput on every link of this set ("other dominates this").
+  /// Dominated sets are redundant in the available-bandwidth LP.
+  bool dominated_by(const IndependentSet& other) const;
+};
+
+/// Remove every set dominated by another set in the collection (keeps the
+/// first of exact duplicates).
+std::vector<IndependentSet> remove_dominated(std::vector<IndependentSet> sets);
+
+}  // namespace mrwsn::core

@@ -1,0 +1,402 @@
+#include "core/interference.hpp"
+
+#include <algorithm>
+
+#include "graph/undirected.hpp"
+#include "util/error.hpp"
+
+namespace mrwsn::core {
+
+namespace {
+
+/// Sorted, de-duplicated copy of a link universe.
+std::vector<net::LinkId> canonical_universe(std::span<const net::LinkId> universe) {
+  std::vector<net::LinkId> links(universe.begin(), universe.end());
+  std::sort(links.begin(), links.end());
+  links.erase(std::unique(links.begin(), links.end()), links.end());
+  return links;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PhysicalInterferenceModel
+// ---------------------------------------------------------------------------
+
+PhysicalInterferenceModel::PhysicalInterferenceModel(const net::Network& network)
+    : network_(&network) {}
+
+const phy::RateTable& PhysicalInterferenceModel::rate_table() const {
+  return network_->phy().rates();
+}
+
+std::optional<phy::RateIndex> PhysicalInterferenceModel::max_rate_alone(
+    net::LinkId link) const {
+  return network_->link(link).best_rate_alone;
+}
+
+bool PhysicalInterferenceModel::usable_alone(net::LinkId link,
+                                             phy::RateIndex rate) const {
+  // Rates are ordered fastest first; every rate at or below the lone
+  // maximum is usable (lower rates have laxer sensitivity and SINR needs).
+  return rate < rate_table().size() && rate >= network_->link(link).best_rate_alone;
+}
+
+bool PhysicalInterferenceModel::shares_node(net::LinkId a, net::LinkId b) const {
+  const net::Link& la = network_->link(a);
+  const net::Link& lb = network_->link(b);
+  return la.tx == lb.tx || la.tx == lb.rx || la.rx == lb.tx || la.rx == lb.rx;
+}
+
+bool PhysicalInterferenceModel::interferes(net::LinkId a, phy::RateIndex ra,
+                                           net::LinkId b, phy::RateIndex rb) const {
+  MRWSN_REQUIRE(a != b, "the interferes relation is over distinct links");
+  if (shares_node(a, b)) return true;  // half-duplex radios
+
+  const net::Link& la = network_->link(a);
+  const net::Link& lb = network_->link(b);
+  const phy::PhyModel& phy = network_->phy();
+
+  const double signal_a = network_->received_power(la.tx, la.rx);
+  const double signal_b = network_->received_power(lb.tx, lb.rx);
+  const double interference_at_a = network_->received_power(lb.tx, la.rx);
+  const double interference_at_b = network_->received_power(la.tx, lb.rx);
+
+  const auto rate_a = phy.max_rate(signal_a, interference_at_a);
+  const auto rate_b = phy.max_rate(signal_b, interference_at_b);
+  // Higher rate = smaller index; link succeeds iff its max supported rate
+  // is at least as fast as the requested one.
+  const bool a_ok = rate_a.has_value() && *rate_a <= ra;
+  const bool b_ok = rate_b.has_value() && *rate_b <= rb;
+  return !(a_ok && b_ok);
+}
+
+bool PhysicalInterferenceModel::supports(
+    std::span<const net::LinkId> links,
+    std::span<const phy::RateIndex> rates) const {
+  MRWSN_REQUIRE(links.size() == rates.size(), "links/rates must be parallel");
+  const auto best = max_rate_vector(links);
+  if (!best) return false;
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    // Rate indices are fastest-first: requested rate must be no faster
+    // than the concurrent maximum.
+    if (rates[i] < (*best)[i]) return false;
+  }
+  return true;
+}
+
+std::optional<std::vector<phy::RateIndex>> PhysicalInterferenceModel::max_rate_vector(
+    std::span<const net::LinkId> links) const {
+  const phy::PhyModel& phy = network_->phy();
+  std::vector<phy::RateIndex> rates;
+  rates.reserve(links.size());
+  for (std::size_t j = 0; j < links.size(); ++j) {
+    const net::Link& lj = network_->link(links[j]);
+    double interference = 0.0;
+    for (std::size_t k = 0; k < links.size(); ++k) {
+      if (k == j) continue;
+      if (shares_node(links[j], links[k])) return std::nullopt;
+      interference += network_->received_power(network_->link(links[k]).tx, lj.rx);
+    }
+    const double signal = network_->received_power(lj.tx, lj.rx);
+    const auto rate = phy.max_rate(signal, interference);
+    if (!rate) return std::nullopt;
+    rates.push_back(*rate);
+  }
+  return rates;
+}
+
+namespace {
+
+/// Depth-first enumeration of every feasible concurrent transmission set
+/// over a link universe, emitting exactly the paper-maximal ones: sets
+/// where inserting any further link would lower or zero a member's rate
+/// (Section 2.4's definition of a maximal independent set).
+///
+/// Feasibility under cumulative SINR is hereditary (removing a link only
+/// reduces interference), so the subset lattice can be pruned as soon as a
+/// set becomes infeasible.
+class PhysicalMisEnumerator {
+ public:
+  PhysicalMisEnumerator(const net::Network& network,
+                        std::vector<net::LinkId> universe)
+      : network_(network), phy_(network.phy()), universe_(std::move(universe)) {
+    const std::size_t n = universe_.size();
+    signal_.resize(n);
+    cross_power_.assign(n, std::vector<double>(n, 0.0));
+    shares_.assign(n, std::vector<char>(n, 0));
+    for (std::size_t u = 0; u < n; ++u) {
+      const net::Link& lu = network_.link(universe_[u]);
+      signal_[u] = network_.received_power(lu.tx, lu.rx);
+      for (std::size_t k = 0; k < n; ++k) {
+        if (k == u) continue;
+        const net::Link& lk = network_.link(universe_[k]);
+        cross_power_[k][u] = network_.received_power(lk.tx, lu.rx);
+        shares_[k][u] = (lu.tx == lk.tx || lu.tx == lk.rx || lu.rx == lk.tx ||
+                         lu.rx == lk.rx)
+                            ? 1
+                            : 0;
+      }
+    }
+    interference_.assign(n, 0.0);
+    blocked_.assign(n, 0);
+    in_set_.assign(n, 0);
+  }
+
+  std::vector<IndependentSet> run() {
+    dfs(0);
+    return std::move(out_);
+  }
+
+ private:
+  /// Max supported rate of universe member `u` given current interference
+  /// plus `extra` watts; nullopt when no rate works. The running sum can
+  /// drift a hair below zero after push/pop pairs; clamp it.
+  std::optional<phy::RateIndex> rate_of(std::size_t u, double extra) const {
+    return phy_.max_rate(signal_[u], std::max(interference_[u], 0.0) + extra);
+  }
+
+  void dfs(std::size_t start) {
+    if (!members_.empty()) maybe_emit();
+    for (std::size_t v = start; v < universe_.size(); ++v) {
+      if (blocked_[v] != 0) continue;
+      if (!extension_feasible(v)) continue;
+      push(v);
+      dfs(v + 1);
+      pop(v);
+    }
+  }
+
+  /// Can `v` join the current set with every member (and `v`) keeping a
+  /// positive rate?
+  bool extension_feasible(std::size_t v) const {
+    if (!rate_of(v, 0.0)) return false;
+    for (std::size_t j : members_) {
+      if (shares_[v][j] != 0) return false;
+      if (!rate_of(j, cross_power_[v][j])) return false;
+    }
+    return true;
+  }
+
+  /// Emit the current set unless some link outside it could be inserted
+  /// without lowering any member's current max rate (then a dominating
+  /// superset exists and this set is not maximal in the paper's sense).
+  void maybe_emit() {
+    for (std::size_t v = 0; v < universe_.size(); ++v) {
+      if (in_set_[v] != 0 || blocked_[v] != 0) continue;
+      if (!rate_of(v, 0.0)) continue;
+      bool preserves_all = true;
+      for (std::size_t j : members_) {
+        if (shares_[v][j] != 0) {
+          preserves_all = false;
+          break;
+        }
+        const auto with_v = rate_of(j, cross_power_[v][j]);
+        // Rates are indices, smaller = faster; "preserved" means the rate
+        // stays exactly the member's current max.
+        if (!with_v || *with_v > current_rate_[j]) {
+          preserves_all = false;
+          break;
+        }
+      }
+      if (preserves_all) return;  // dominated; the superset will be emitted
+    }
+
+    IndependentSet set;
+    set.links.reserve(members_.size());
+    set.rates.reserve(members_.size());
+    set.mbps.reserve(members_.size());
+    for (std::size_t j : members_) {  // members_ is in ascending order
+      set.links.push_back(universe_[j]);
+      set.rates.push_back(current_rate_[j]);
+      set.mbps.push_back(phy_.rates()[current_rate_[j]].mbps);
+    }
+    MRWSN_ASSERT(out_.size() < kMaxSets,
+                 "independent-set enumeration exceeded the safety limit");
+    out_.push_back(std::move(set));
+  }
+
+  void push(std::size_t v) {
+    members_.push_back(v);
+    in_set_[v] = 1;
+    for (std::size_t u = 0; u < universe_.size(); ++u) {
+      if (u == v) continue;
+      interference_[u] += cross_power_[v][u];
+      blocked_[u] += shares_[v][u];
+    }
+    refresh_rates();
+  }
+
+  void pop(std::size_t v) {
+    members_.pop_back();
+    in_set_[v] = 0;
+    for (std::size_t u = 0; u < universe_.size(); ++u) {
+      if (u == v) continue;
+      interference_[u] -= cross_power_[v][u];
+      blocked_[u] -= shares_[v][u];
+    }
+    refresh_rates();
+  }
+
+  void refresh_rates() {
+    current_rate_.assign(universe_.size(), 0);
+    for (std::size_t j : members_) {
+      const auto rate = rate_of(j, 0.0);
+      MRWSN_ASSERT(rate.has_value(), "member of a feasible set lost its rate");
+      current_rate_[j] = *rate;
+    }
+  }
+
+  static constexpr std::size_t kMaxSets = 1u << 20;
+
+  const net::Network& network_;
+  const phy::PhyModel& phy_;
+  std::vector<net::LinkId> universe_;
+  std::vector<double> signal_;                    // by universe index
+  std::vector<std::vector<double>> cross_power_;  // [member][victim]
+  std::vector<std::vector<char>> shares_;         // node-sharing flags
+  std::vector<double> interference_;              // current, by universe index
+  std::vector<int> blocked_;                      // node-sharing member count
+  std::vector<char> in_set_;
+  std::vector<std::size_t> members_;              // ascending universe indices
+  std::vector<phy::RateIndex> current_rate_;      // valid for members
+  std::vector<IndependentSet> out_;
+};
+
+}  // namespace
+
+std::vector<IndependentSet> PhysicalInterferenceModel::maximal_independent_sets(
+    std::span<const net::LinkId> universe) const {
+  auto links = canonical_universe(universe);
+  for (net::LinkId link : links)
+    MRWSN_REQUIRE(link < network_->num_links(), "universe link id out of range");
+  PhysicalMisEnumerator enumerator(*network_, std::move(links));
+  return enumerator.run();
+}
+
+// ---------------------------------------------------------------------------
+// ProtocolInterferenceModel
+// ---------------------------------------------------------------------------
+
+ProtocolInterferenceModel::ProtocolInterferenceModel(std::size_t num_links,
+                                                     phy::RateTable rates)
+    : num_links_(num_links), rates_(std::move(rates)) {
+  MRWSN_REQUIRE(num_links > 0, "a protocol model needs at least one link");
+  const std::size_t dim = num_links_ * rates_.size();
+  conflict_.assign(dim * dim, 0);
+  usable_.assign(num_links_, std::vector<char>(rates_.size(), 1));
+}
+
+std::size_t ProtocolInterferenceModel::index(net::LinkId link,
+                                             phy::RateIndex rate) const {
+  MRWSN_REQUIRE(link < num_links_, "link id out of range");
+  MRWSN_REQUIRE(rate < rates_.size(), "rate index out of range");
+  return link * rates_.size() + rate;
+}
+
+void ProtocolInterferenceModel::add_conflict(net::LinkId a, phy::RateIndex ra,
+                                             net::LinkId b, phy::RateIndex rb) {
+  MRWSN_REQUIRE(a != b, "conflicts are between distinct links");
+  const std::size_t dim = num_links_ * rates_.size();
+  conflict_[index(a, ra) * dim + index(b, rb)] = 1;
+  conflict_[index(b, rb) * dim + index(a, ra)] = 1;
+}
+
+void ProtocolInterferenceModel::add_conflict_all_rates(net::LinkId a, net::LinkId b) {
+  for (phy::RateIndex ra = 0; ra < rates_.size(); ++ra)
+    for (phy::RateIndex rb = 0; rb < rates_.size(); ++rb)
+      add_conflict(a, ra, b, rb);
+}
+
+void ProtocolInterferenceModel::set_usable_rates(net::LinkId link,
+                                                 std::vector<char> usable) {
+  MRWSN_REQUIRE(link < num_links_, "link id out of range");
+  MRWSN_REQUIRE(usable.size() == rates_.size(),
+                "usable flags must cover every rate");
+  usable_[link] = std::move(usable);
+}
+
+std::optional<phy::RateIndex> ProtocolInterferenceModel::max_rate_alone(
+    net::LinkId link) const {
+  MRWSN_REQUIRE(link < num_links_, "link id out of range");
+  for (phy::RateIndex r = 0; r < rates_.size(); ++r)
+    if (usable_[link][r]) return r;
+  return std::nullopt;
+}
+
+bool ProtocolInterferenceModel::usable_alone(net::LinkId link,
+                                             phy::RateIndex rate) const {
+  MRWSN_REQUIRE(link < num_links_, "link id out of range");
+  return rate < rates_.size() && usable_[link][rate] != 0;
+}
+
+bool ProtocolInterferenceModel::interferes(net::LinkId a, phy::RateIndex ra,
+                                           net::LinkId b, phy::RateIndex rb) const {
+  MRWSN_REQUIRE(a != b, "the interferes relation is over distinct links");
+  const std::size_t dim = num_links_ * rates_.size();
+  return conflict_[index(a, ra) * dim + index(b, rb)] != 0;
+}
+
+bool ProtocolInterferenceModel::supports(
+    std::span<const net::LinkId> links,
+    std::span<const phy::RateIndex> rates) const {
+  MRWSN_REQUIRE(links.size() == rates.size(), "links/rates must be parallel");
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    if (!usable_alone(links[i], rates[i])) return false;
+    for (std::size_t j = i + 1; j < links.size(); ++j) {
+      MRWSN_REQUIRE(links[i] != links[j], "supports() needs distinct links");
+      if (interferes(links[i], rates[i], links[j], rates[j])) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<IndependentSet> ProtocolInterferenceModel::maximal_independent_sets(
+    std::span<const net::LinkId> universe) const {
+  const auto links = canonical_universe(universe);
+  for (net::LinkId link : links)
+    MRWSN_REQUIRE(link < num_links_, "universe link id out of range");
+
+  // Vertices: usable (link, rate) couples. Edges: compatible couples of
+  // distinct links. Maximal cliques of this graph are exactly the maximal
+  // rate-coupled independent sets (couples of the same link stay mutually
+  // exclusive because they share no edge).
+  struct Couple {
+    net::LinkId link;
+    phy::RateIndex rate;
+  };
+  std::vector<Couple> couples;
+  for (net::LinkId link : links)
+    for (phy::RateIndex r = 0; r < rates_.size(); ++r)
+      if (usable_[link][r]) couples.push_back({link, r});
+
+  graph::UndirectedGraph compat(couples.size());
+  for (std::size_t i = 0; i < couples.size(); ++i) {
+    for (std::size_t j = i + 1; j < couples.size(); ++j) {
+      if (couples[i].link == couples[j].link) continue;
+      if (!interferes(couples[i].link, couples[i].rate, couples[j].link,
+                      couples[j].rate))
+        compat.add_edge(i, j);
+    }
+  }
+
+  std::vector<IndependentSet> sets;
+  for (const auto& clique : graph::maximal_cliques(compat)) {
+    IndependentSet set;
+    std::vector<std::size_t> order(clique.begin(), clique.end());
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return couples[a].link < couples[b].link;
+    });
+    for (std::size_t v : order) {
+      set.links.push_back(couples[v].link);
+      set.rates.push_back(couples[v].rate);
+      set.mbps.push_back(rates_[couples[v].rate].mbps);
+    }
+    sets.push_back(std::move(set));
+  }
+  // Graph-maximal cliques can still pick a needlessly low rate for a link
+  // whose higher rate is equally compatible; those columns are dominated.
+  return remove_dominated(std::move(sets));
+}
+
+}  // namespace mrwsn::core

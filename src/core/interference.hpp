@@ -1,0 +1,141 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/independent_set.hpp"
+#include "net/network.hpp"
+#include "phy/rate.hpp"
+
+namespace mrwsn::core {
+
+/// Abstract interference semantics over a fixed set of links 0..num_links-1.
+///
+/// Everything the paper's machinery needs is expressed through this
+/// interface:
+///  - the pairwise "interferes" relation between (link, rate) couples used
+///    by the rate-coupled clique analysis of Section 3, and
+///  - enumeration of the *maximal independent sets with maximum supported
+///    rate vectors* (Propositions 1-3) that define the feasibility region
+///    of Eq. 4 and the LP of Eq. 6.
+///
+/// Two implementations exist:
+///  - PhysicalInterferenceModel: cumulative-SINR semantics (Eq. 1 + Eq. 3)
+///    over a net::Network; the max supported rate vector of a concurrent
+///    set is unique.
+///  - ProtocolInterferenceModel: an explicit pairwise conflict table over
+///    (link, rate) couples, matching the paper's hand-specified scenarios
+///    (Fig. 1); a concurrent set is feasible iff pairwise compatible.
+class InterferenceModel {
+ public:
+  virtual ~InterferenceModel() = default;
+
+  virtual std::size_t num_links() const = 0;
+  virtual const phy::RateTable& rate_table() const = 0;
+
+  /// Highest rate `link` supports when it transmits alone; nullopt when
+  /// the link cannot carry traffic at all.
+  virtual std::optional<phy::RateIndex> max_rate_alone(net::LinkId link) const = 0;
+
+  /// True when `link` may transmit at `rate` when alone. For the physical
+  /// model this is every rate no faster than max_rate_alone; the protocol
+  /// model allows arbitrary per-link rate sets.
+  virtual bool usable_alone(net::LinkId link, phy::RateIndex rate) const = 0;
+
+  /// The paper's "interferes" relation: true when not both transmissions
+  /// can succeed if link `a` sends at rate `ra` while link `b` sends at
+  /// rate `rb` (and nothing else transmits). Symmetric by construction.
+  virtual bool interferes(net::LinkId a, phy::RateIndex ra, net::LinkId b,
+                          phy::RateIndex rb) const = 0;
+
+  /// Can every link of `links` concurrently sustain its rate in `rates`?
+  /// (Cumulative SINR for the physical model; pairwise compatibility plus
+  /// usable-rate checks for the protocol model.) Links must be distinct.
+  virtual bool supports(std::span<const net::LinkId> links,
+                        std::span<const phy::RateIndex> rates) const = 0;
+
+  /// All maximal independent sets (paper Section 2.4 definition: each link
+  /// at its maximum supported rate, and no link can be inserted without
+  /// lowering or zeroing an existing member's rate) over the given link
+  /// universe. The returned collection is domination-free and sufficient
+  /// for the feasibility condition of Eq. 4.
+  virtual std::vector<IndependentSet> maximal_independent_sets(
+      std::span<const net::LinkId> universe) const = 0;
+};
+
+/// Cumulative-SINR interference over a concrete network (Eq. 1 + Eq. 3).
+/// Two links sharing a node can never transmit concurrently (single
+/// half-duplex radio per node).
+class PhysicalInterferenceModel final : public InterferenceModel {
+ public:
+  explicit PhysicalInterferenceModel(const net::Network& network);
+
+  std::size_t num_links() const override { return network_->num_links(); }
+  const phy::RateTable& rate_table() const override;
+  std::optional<phy::RateIndex> max_rate_alone(net::LinkId link) const override;
+  bool usable_alone(net::LinkId link, phy::RateIndex rate) const override;
+  bool interferes(net::LinkId a, phy::RateIndex ra, net::LinkId b,
+                  phy::RateIndex rb) const override;
+  bool supports(std::span<const net::LinkId> links,
+                std::span<const phy::RateIndex> rates) const override;
+  std::vector<IndependentSet> maximal_independent_sets(
+      std::span<const net::LinkId> universe) const override;
+
+  /// The unique maximum supported rate vector when exactly `links`
+  /// transmit concurrently (Propositions 1-2); nullopt when some member
+  /// cannot sustain even the lowest rate (the set is not a valid
+  /// concurrent transmission set after Proposition 2's pruning).
+  std::optional<std::vector<phy::RateIndex>> max_rate_vector(
+      std::span<const net::LinkId> links) const;
+
+  const net::Network& network() const { return *network_; }
+
+ private:
+  bool shares_node(net::LinkId a, net::LinkId b) const;
+
+  const net::Network* network_;  // non-owning; outlives the model
+};
+
+/// Table-driven pairwise interference for hand-built scenarios. A set with
+/// a rate vector is feasible iff every pair of its (link, rate) couples is
+/// compatible — the classic protocol model, rate-coupled as in Section 3.1.
+class ProtocolInterferenceModel final : public InterferenceModel {
+ public:
+  /// `num_links` abstract links sharing `rates`. Initially nothing
+  /// interferes; add conflicts with the mutators below.
+  ProtocolInterferenceModel(std::size_t num_links, phy::RateTable rates);
+
+  /// Declare that `a` at `ra` and `b` at `rb` cannot succeed concurrently.
+  void add_conflict(net::LinkId a, phy::RateIndex ra, net::LinkId b,
+                    phy::RateIndex rb);
+
+  /// Declare a conflict between `a` and `b` for every rate combination.
+  void add_conflict_all_rates(net::LinkId a, net::LinkId b);
+
+  /// Restrict which rates `link` may use when transmitting alone
+  /// (default: every rate in the table). `usable` is indexed by RateIndex.
+  void set_usable_rates(net::LinkId link, std::vector<char> usable);
+
+  std::size_t num_links() const override { return num_links_; }
+  const phy::RateTable& rate_table() const override { return rates_; }
+  std::optional<phy::RateIndex> max_rate_alone(net::LinkId link) const override;
+  bool usable_alone(net::LinkId link, phy::RateIndex rate) const override;
+  bool interferes(net::LinkId a, phy::RateIndex ra, net::LinkId b,
+                  phy::RateIndex rb) const override;
+  bool supports(std::span<const net::LinkId> links,
+                std::span<const phy::RateIndex> rates) const override;
+  std::vector<IndependentSet> maximal_independent_sets(
+      std::span<const net::LinkId> universe) const override;
+
+ private:
+  std::size_t index(net::LinkId link, phy::RateIndex rate) const;
+
+  std::size_t num_links_;
+  phy::RateTable rates_;
+  std::vector<char> conflict_;          // (L*R)^2 symmetric matrix
+  std::vector<std::vector<char>> usable_;  // [link][rate]
+};
+
+}  // namespace mrwsn::core

@@ -1,0 +1,53 @@
+#include "core/scenarios.hpp"
+
+#include "util/error.hpp"
+
+namespace mrwsn::core {
+
+phy::RateTable abstract_rate_table(const std::vector<double>& mbps) {
+  MRWSN_REQUIRE(!mbps.empty(), "need at least one rate");
+  std::vector<phy::Rate> rates;
+  rates.reserve(mbps.size());
+  // Placeholder thresholds, strictly decreasing alongside the rates so the
+  // RateTable invariants hold; protocol-model scenarios never consult them.
+  double threshold = static_cast<double>(mbps.size());
+  for (double rate : mbps) {
+    rates.push_back(phy::Rate{rate, threshold, threshold});
+    threshold -= 1.0;
+  }
+  return phy::RateTable(std::move(rates));
+}
+
+ScenarioOne make_scenario_one(double lambda, double rate_mbps) {
+  MRWSN_REQUIRE(lambda >= 0.0 && lambda <= 0.5,
+                "scenario I needs lambda in [0, 0.5]");
+  MRWSN_REQUIRE(rate_mbps > 0.0, "rate must be positive");
+
+  ProtocolInterferenceModel model(3, abstract_rate_table({rate_mbps}));
+  model.add_conflict_all_rates(0, 2);  // L1 <-> L3
+  model.add_conflict_all_rates(1, 2);  // L2 <-> L3
+  // L1 and L2 are mutually independent: no conflict registered.
+
+  ScenarioOne scenario{std::move(model), {}, {2}, rate_mbps, lambda};
+  scenario.background.push_back(LinkFlow{{0}, lambda * rate_mbps});
+  scenario.background.push_back(LinkFlow{{1}, lambda * rate_mbps});
+  return scenario;
+}
+
+ScenarioTwo make_scenario_two() {
+  ProtocolInterferenceModel model(4, abstract_rate_table({54.0, 36.0}));
+  // Any two of {L1, L2, L3} interfere at every rate combination.
+  model.add_conflict_all_rates(0, 1);
+  model.add_conflict_all_rates(0, 2);
+  model.add_conflict_all_rates(1, 2);
+  // Any two of {L2, L3, L4} interfere at every rate combination.
+  model.add_conflict_all_rates(1, 3);
+  model.add_conflict_all_rates(2, 3);
+  // L1 and L4 interfere only when L1 transmits at 54 Mbps.
+  for (phy::RateIndex r4 = 0; r4 < 2; ++r4)
+    model.add_conflict(0, ScenarioTwo::kRate54, 3, r4);
+
+  return ScenarioTwo{std::move(model), {0, 1, 2, 3}};
+}
+
+}  // namespace mrwsn::core

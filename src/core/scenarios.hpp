@@ -1,0 +1,63 @@
+#pragma once
+
+#include <vector>
+
+#include "core/available_bandwidth.hpp"
+#include "core/interference.hpp"
+
+namespace mrwsn::core {
+
+/// A rate table for abstract (protocol-model) scenarios where only the
+/// Mbps values matter: SINR thresholds and sensitivities are filled with
+/// consistent placeholder values. `mbps` must be strictly decreasing.
+phy::RateTable abstract_rate_table(const std::vector<double>& mbps);
+
+/// Fig. 1 Scenario I: three links; L1 and L2 do not interfere with (or
+/// hear) each other, L3 interferes with and hears both. Background traffic
+/// occupies a non-overlapping time share `lambda` on each of L1 and L2;
+/// the question is the available bandwidth of the one-hop path over L3.
+///
+/// With an optimal schedule L1 and L2 overlap completely, so L3 can get a
+/// 1-λ time share; a channel-idle-time estimate only sees 1-2λ idle.
+struct ScenarioOne {
+  ProtocolInterferenceModel model;
+  std::vector<LinkFlow> background;   ///< λ·r Mbps on each of L1, L2
+  std::vector<net::LinkId> new_path;  ///< the single link L3
+  double rate_mbps = 0.0;
+  double lambda = 0.0;
+
+  /// What the paper's Eq. 6 model yields: (1 - λ)·r.
+  double expected_optimal_mbps() const { return (1.0 - lambda) * rate_mbps; }
+  /// What the channel-idle-time mechanism admits: (1 - 2λ)·r.
+  double idle_time_estimate_mbps() const {
+    const double idle = 1.0 - 2.0 * lambda;
+    return (idle > 0.0 ? idle : 0.0) * rate_mbps;
+  }
+};
+
+/// Build Scenario I. Requires 0 <= lambda <= 0.5 (the two background
+/// shares must fit side by side for the idle-time story to make sense).
+ScenarioOne make_scenario_one(double lambda, double rate_mbps = 54.0);
+
+/// Fig. 1 Scenario II + Section 3.1/5.1: the four-link chain with rates
+/// {54, 36}. Any two of {L1, L2, L3} interfere at every rate, likewise
+/// any two of {L2, L3, L4}; L1 and L4 interfere iff L1 transmits at 54.
+///
+/// A multihop flow over L1..L4 requiring equal per-link throughput
+/// achieves f = 16.2 Mbps — more than any fixed-rate clique bound
+/// (13.5 for all-54, 108/7 ≈ 15.43 for (36,54,54,54)) — the paper's
+/// counterexample to the clique constraint.
+struct ScenarioTwo {
+  ProtocolInterferenceModel model;
+  std::vector<net::LinkId> chain;  ///< {0, 1, 2, 3}
+
+  /// Rate indices in the scenario's table.
+  static constexpr phy::RateIndex kRate54 = 0;
+  static constexpr phy::RateIndex kRate36 = 1;
+  /// The LP optimum the paper reports.
+  static constexpr double kOptimalMbps = 16.2;
+};
+
+ScenarioTwo make_scenario_two();
+
+}  // namespace mrwsn::core

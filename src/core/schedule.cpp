@@ -1,0 +1,86 @@
+#include "core/schedule.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace mrwsn::core {
+
+std::vector<double> delivered_throughput(std::size_t num_links,
+                                         std::span<const ScheduledSet> schedule) {
+  std::vector<double> delivered(num_links, 0.0);
+  for (const ScheduledSet& entry : schedule) {
+    for (std::size_t i = 0; i < entry.set.size(); ++i) {
+      MRWSN_REQUIRE(entry.set.links[i] < num_links,
+                    "schedule references a link beyond num_links");
+      delivered[entry.set.links[i]] += entry.time_share * entry.set.mbps[i];
+    }
+  }
+  return delivered;
+}
+
+double total_time_share(std::span<const ScheduledSet> schedule) {
+  double total = 0.0;
+  for (const ScheduledSet& entry : schedule) total += entry.time_share;
+  return total;
+}
+
+ScheduleCheck verify_schedule(const InterferenceModel& model,
+                              std::span<const ScheduledSet> schedule,
+                              std::span<const double> required_demand_mbps,
+                              double eps) {
+  ScheduleCheck check;
+  check.total_time = total_time_share(schedule);
+  check.delivered = delivered_throughput(model.num_links(), schedule);
+
+  std::ostringstream issue;
+  for (std::size_t e = 0; e < schedule.size(); ++e) {
+    const ScheduledSet& entry = schedule[e];
+    if (entry.time_share <= 0.0) {
+      issue << "entry " << e << " has non-positive time share";
+      check.issue = issue.str();
+      return check;
+    }
+    if (entry.set.links.size() != entry.set.rates.size() ||
+        entry.set.links.size() != entry.set.mbps.size()) {
+      issue << "entry " << e << " has mismatched links/rates/mbps arrays";
+      check.issue = issue.str();
+      return check;
+    }
+    if (!model.supports(entry.set.links, entry.set.rates)) {
+      issue << "entry " << e << " schedules a set the model cannot support";
+      check.issue = issue.str();
+      return check;
+    }
+    for (std::size_t i = 0; i < entry.set.size(); ++i) {
+      const double table_mbps = model.rate_table()[entry.set.rates[i]].mbps;
+      if (std::abs(table_mbps - entry.set.mbps[i]) > eps) {
+        issue << "entry " << e << " link " << entry.set.links[i]
+              << " mbps disagrees with its rate index";
+        check.issue = issue.str();
+        return check;
+      }
+    }
+  }
+  if (check.total_time > 1.0 + eps) {
+    issue << "total time share " << check.total_time << " exceeds 1";
+    check.issue = issue.str();
+    return check;
+  }
+  if (!required_demand_mbps.empty()) {
+    MRWSN_REQUIRE(required_demand_mbps.size() == model.num_links(),
+                  "demand vector must be indexed by link id over all links");
+    for (std::size_t link = 0; link < model.num_links(); ++link) {
+      if (check.delivered[link] + eps < required_demand_mbps[link]) {
+        issue << "link " << link << " delivers " << check.delivered[link]
+              << " < demand " << required_demand_mbps[link];
+        check.issue = issue.str();
+        return check;
+      }
+    }
+  }
+  check.valid = true;
+  return check;
+}
+
+}  // namespace mrwsn::core

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/available_bandwidth.hpp"
+
+namespace mrwsn::core {
+
+/// Result of auditing a link schedule against an interference model and
+/// (optionally) a demand vector.
+struct ScheduleCheck {
+  bool valid = false;          ///< all checks below passed
+  double total_time = 0.0;     ///< Σ time shares
+  std::vector<double> delivered;  ///< Mbps per link id
+  std::string issue;           ///< human-readable reason when !valid
+};
+
+/// Throughput a schedule delivers on every link (indexed by link id).
+std::vector<double> delivered_throughput(std::size_t num_links,
+                                         std::span<const ScheduledSet> schedule);
+
+/// Total Σλ of a schedule.
+double total_time_share(std::span<const ScheduledSet> schedule);
+
+/// Audit a schedule:
+///  - every entry has a positive time share,
+///  - every entry's (links, rates) set is concurrently supportable under
+///    `model` (Eq. 2's requirement on concurrent transmission sets),
+///  - Σλ <= 1 (+eps), and
+///  - if `required_demand_mbps` is non-empty (indexed by link id), the
+///    delivered throughput covers it on every link.
+/// This is the executable form of the paper's feasibility definition; the
+/// test-suite uses it to validate every LP schedule end to end.
+ScheduleCheck verify_schedule(const InterferenceModel& model,
+                              std::span<const ScheduledSet> schedule,
+                              std::span<const double> required_demand_mbps = {},
+                              double eps = 1e-9);
+
+}  // namespace mrwsn::core

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cmath>
+
+namespace mrwsn::geom {
+
+/// A 2-D position in metres. Nodes in the paper's evaluation live in a
+/// 400 m x 600 m rectangle; all geometry in this library is planar.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr bool operator==(const Point&, const Point&) = default;
+};
+
+constexpr Point operator+(Point a, Point b) { return {a.x + b.x, a.y + b.y}; }
+constexpr Point operator-(Point a, Point b) { return {a.x - b.x, a.y - b.y}; }
+constexpr Point operator*(double s, Point p) { return {s * p.x, s * p.y}; }
+
+/// Squared Euclidean distance (cheap; use for comparisons).
+constexpr double distance_sq(Point a, Point b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Euclidean distance in metres.
+inline double distance(Point a, Point b) { return std::sqrt(distance_sq(a, b)); }
+
+}  // namespace mrwsn::geom

@@ -1,0 +1,74 @@
+#include "geom/topology.hpp"
+
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace mrwsn::geom {
+
+std::vector<Point> random_rectangle(std::size_t count, double width, double height,
+                                    Rng& rng) {
+  MRWSN_REQUIRE(width > 0.0 && height > 0.0, "area dimensions must be positive");
+  std::vector<Point> points;
+  points.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    points.push_back({rng.uniform(0.0, width), rng.uniform(0.0, height)});
+  }
+  return points;
+}
+
+bool is_connected_at_range(const std::vector<Point>& points, double range) {
+  if (points.empty()) return true;
+  const double range_sq = range * range;
+  std::vector<char> seen(points.size(), 0);
+  std::queue<std::size_t> frontier;
+  frontier.push(0);
+  seen[0] = 1;
+  std::size_t reached = 1;
+  while (!frontier.empty()) {
+    const std::size_t u = frontier.front();
+    frontier.pop();
+    for (std::size_t v = 0; v < points.size(); ++v) {
+      if (!seen[v] && distance_sq(points[u], points[v]) <= range_sq) {
+        seen[v] = 1;
+        ++reached;
+        frontier.push(v);
+      }
+    }
+  }
+  return reached == points.size();
+}
+
+std::vector<Point> connected_random_rectangle(std::size_t count, double width,
+                                              double height, double range, Rng& rng,
+                                              int max_attempts) {
+  MRWSN_REQUIRE(range > 0.0, "connectivity range must be positive");
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    auto points = random_rectangle(count, width, height, rng);
+    if (is_connected_at_range(points, range)) return points;
+  }
+  throw PreconditionError(
+      "could not draw a connected placement; widen the range or shrink the area");
+}
+
+std::vector<Point> chain(std::size_t count, double spacing) {
+  MRWSN_REQUIRE(spacing > 0.0, "chain spacing must be positive");
+  std::vector<Point> points;
+  points.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    points.push_back({static_cast<double>(i) * spacing, 0.0});
+  return points;
+}
+
+std::vector<Point> grid(std::size_t rows, std::size_t cols, double spacing) {
+  MRWSN_REQUIRE(spacing > 0.0, "grid spacing must be positive");
+  std::vector<Point> points;
+  points.reserve(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c)
+      points.push_back({static_cast<double>(c) * spacing,
+                        static_cast<double>(r) * spacing});
+  return points;
+}
+
+}  // namespace mrwsn::geom

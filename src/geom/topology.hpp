@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/point.hpp"
+#include "util/rng.hpp"
+
+namespace mrwsn::geom {
+
+/// Node placements used by the evaluation. Every generator is fully
+/// deterministic given its inputs (the Rng carries the seed).
+
+/// `count` nodes placed uniformly at random in [0, width] x [0, height].
+/// This is the paper's Section 5.2 topology with width=400, height=600.
+std::vector<Point> random_rectangle(std::size_t count, double width, double height,
+                                    Rng& rng);
+
+/// Like random_rectangle, but re-draws placements until every node has at
+/// least one neighbour within `range` metres and the whole placement is
+/// connected at that range (up to `max_attempts` re-draws; throws
+/// PreconditionError if none succeeds). Guarantees routable topologies.
+std::vector<Point> connected_random_rectangle(std::size_t count, double width,
+                                              double height, double range, Rng& rng,
+                                              int max_attempts = 100);
+
+/// `count` nodes on a straight line, `spacing` metres apart, starting at
+/// the origin. Used for chain scenarios like Fig. 1.
+std::vector<Point> chain(std::size_t count, double spacing);
+
+/// rows x cols nodes on a regular grid with the given spacing.
+std::vector<Point> grid(std::size_t rows, std::size_t cols, double spacing);
+
+/// True when the placement is connected when nodes within `range` metres
+/// are considered adjacent.
+bool is_connected_at_range(const std::vector<Point>& points, double range);
+
+}  // namespace mrwsn::geom

@@ -1,0 +1,162 @@
+#include "graph/shortest_path.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace mrwsn::graph {
+
+Digraph::Digraph(std::size_t num_vertices) : out_(num_vertices) {}
+
+std::size_t Digraph::add_edge(std::size_t from, std::size_t to, double weight) {
+  MRWSN_REQUIRE(from < num_vertices() && to < num_vertices(), "vertex out of range");
+  MRWSN_REQUIRE(weight >= 0.0, "Dijkstra requires non-negative weights");
+  const std::size_t id = edges_.size();
+  edges_.push_back(Edge{id, from, to, weight});
+  out_[from].push_back(id);
+  return id;
+}
+
+const Digraph::Edge& Digraph::edge(std::size_t id) const {
+  MRWSN_REQUIRE(id < edges_.size(), "edge id out of range");
+  return edges_[id];
+}
+
+const std::vector<std::size_t>& Digraph::out_edges(std::size_t vertex) const {
+  MRWSN_REQUIRE(vertex < num_vertices(), "vertex out of range");
+  return out_[vertex];
+}
+
+PathResult dijkstra(const Digraph& g, std::size_t source, std::size_t target,
+                    const std::vector<char>* banned_edges,
+                    const std::vector<char>* banned_vertices) {
+  MRWSN_REQUIRE(source < g.num_vertices() && target < g.num_vertices(),
+                "vertex out of range");
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+
+  auto edge_banned = [&](std::size_t id) {
+    return banned_edges != nullptr && id < banned_edges->size() && (*banned_edges)[id];
+  };
+  auto vertex_banned = [&](std::size_t v) {
+    return banned_vertices != nullptr && v < banned_vertices->size() &&
+           (*banned_vertices)[v];
+  };
+
+  PathResult result;
+  if (vertex_banned(source) || vertex_banned(target)) return result;
+
+  std::vector<double> dist(g.num_vertices(), kInf);
+  std::vector<std::size_t> parent_edge(g.num_vertices(), kNone);
+  using Item = std::pair<double, std::size_t>;  // (dist, vertex)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[source] = 0.0;
+  heap.emplace(0.0, source);
+
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u]) continue;  // stale entry
+    if (u == target) break;
+    for (std::size_t edge_id : g.out_edges(u)) {
+      if (edge_banned(edge_id)) continue;
+      const auto& e = g.edge(edge_id);
+      if (vertex_banned(e.to)) continue;
+      const double candidate = d + e.weight;
+      if (candidate < dist[e.to]) {
+        dist[e.to] = candidate;
+        parent_edge[e.to] = edge_id;
+        heap.emplace(candidate, e.to);
+      }
+    }
+  }
+
+  if (dist[target] == kInf) return result;
+
+  result.reachable = true;
+  result.cost = dist[target];
+  for (std::size_t v = target; v != source;) {
+    const std::size_t edge_id = parent_edge[v];
+    MRWSN_ASSERT(edge_id != kNone, "broken parent chain in Dijkstra");
+    result.edges.push_back(edge_id);
+    v = g.edge(edge_id).from;
+  }
+  std::reverse(result.edges.begin(), result.edges.end());
+  result.vertices.push_back(source);
+  for (std::size_t edge_id : result.edges)
+    result.vertices.push_back(g.edge(edge_id).to);
+  return result;
+}
+
+std::vector<PathResult> k_shortest_paths(const Digraph& g, std::size_t source,
+                                         std::size_t target, std::size_t k) {
+  std::vector<PathResult> found;
+  if (k == 0) return found;
+
+  PathResult best = dijkstra(g, source, target);
+  if (!best.reachable) return found;
+  found.push_back(std::move(best));
+
+  // Candidate pool, cheapest first. Paths are compared by edge sequence for
+  // de-duplication.
+  auto path_less = [](const PathResult& a, const PathResult& b) {
+    return a.cost > b.cost;  // min-heap via greater-cost "less"
+  };
+  std::vector<PathResult> candidates;
+
+  while (found.size() < k) {
+    const PathResult& last = found.back();
+    // Spur from every prefix of the most recent path.
+    for (std::size_t i = 0; i + 1 < last.vertices.size(); ++i) {
+      const std::size_t spur_node = last.vertices[i];
+      std::vector<char> banned_edges(g.num_edges(), 0);
+      std::vector<char> banned_vertices(g.num_vertices(), 0);
+
+      // Ban edges that would recreate a previously found path sharing this
+      // root prefix.
+      for (const PathResult& p : found) {
+        if (p.vertices.size() > i &&
+            std::equal(last.vertices.begin(), last.vertices.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                       p.vertices.begin())) {
+          if (i < p.edges.size()) banned_edges[p.edges[i]] = 1;
+        }
+      }
+      // Ban the root-path vertices (except the spur node) to keep spur
+      // paths loop-free.
+      for (std::size_t j = 0; j < i; ++j) banned_vertices[last.vertices[j]] = 1;
+
+      PathResult spur = dijkstra(g, spur_node, target, &banned_edges, &banned_vertices);
+      if (!spur.reachable) continue;
+
+      // Stitch root + spur.
+      PathResult total;
+      total.reachable = true;
+      total.edges.assign(last.edges.begin(), last.edges.begin() + static_cast<std::ptrdiff_t>(i));
+      total.edges.insert(total.edges.end(), spur.edges.begin(), spur.edges.end());
+      total.cost = 0.0;
+      for (std::size_t edge_id : total.edges) total.cost += g.edge(edge_id).weight;
+      total.vertices.push_back(source);
+      for (std::size_t edge_id : total.edges)
+        total.vertices.push_back(g.edge(edge_id).to);
+
+      const bool duplicate =
+          std::any_of(candidates.begin(), candidates.end(),
+                      [&](const PathResult& c) { return c.edges == total.edges; }) ||
+          std::any_of(found.begin(), found.end(),
+                      [&](const PathResult& f) { return f.edges == total.edges; });
+      if (!duplicate) {
+        candidates.push_back(std::move(total));
+        std::push_heap(candidates.begin(), candidates.end(), path_less);
+      }
+    }
+
+    if (candidates.empty()) break;
+    std::pop_heap(candidates.begin(), candidates.end(), path_less);
+    found.push_back(std::move(candidates.back()));
+    candidates.pop_back();
+  }
+  return found;
+}
+
+}  // namespace mrwsn::graph

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace mrwsn::graph {
+
+/// A directed weighted multigraph used for routing. Edge ids are assigned
+/// densely in insertion order so callers can map them back to network links.
+class Digraph {
+ public:
+  struct Edge {
+    std::size_t id = 0;
+    std::size_t from = 0;
+    std::size_t to = 0;
+    double weight = 0.0;
+  };
+
+  explicit Digraph(std::size_t num_vertices);
+
+  /// Add a directed edge with a non-negative weight; returns its id.
+  std::size_t add_edge(std::size_t from, std::size_t to, double weight);
+
+  std::size_t num_vertices() const { return out_.size(); }
+  std::size_t num_edges() const { return edges_.size(); }
+  const Edge& edge(std::size_t id) const;
+  const std::vector<std::size_t>& out_edges(std::size_t vertex) const;
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<std::size_t>> out_;
+};
+
+/// Result of a point-to-point shortest-path query.
+struct PathResult {
+  bool reachable = false;
+  double cost = std::numeric_limits<double>::infinity();
+  std::vector<std::size_t> edges;     ///< edge ids, in order
+  std::vector<std::size_t> vertices;  ///< vertex ids, edges.size()+1 entries
+};
+
+/// Dijkstra from `source` to `target`. `banned_edges` / `banned_vertices`
+/// are optional masks (indexed by id) excluded from the search — these are
+/// what Yen's algorithm needs to generate spur paths.
+PathResult dijkstra(const Digraph& g, std::size_t source, std::size_t target,
+                    const std::vector<char>* banned_edges = nullptr,
+                    const std::vector<char>* banned_vertices = nullptr);
+
+/// Yen's algorithm: up to `k` loop-free shortest paths in increasing cost
+/// order. Returns fewer when the graph has fewer distinct paths.
+std::vector<PathResult> k_shortest_paths(const Digraph& g, std::size_t source,
+                                         std::size_t target, std::size_t k);
+
+}  // namespace mrwsn::graph

@@ -1,0 +1,123 @@
+#include "graph/undirected.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mrwsn::graph {
+
+UndirectedGraph::UndirectedGraph(std::size_t num_vertices)
+    : matrix_(num_vertices, std::vector<char>(num_vertices, 0)),
+      adjacency_(num_vertices) {}
+
+void UndirectedGraph::add_edge(Vertex u, Vertex v) {
+  MRWSN_REQUIRE(u < size() && v < size(), "vertex out of range");
+  MRWSN_REQUIRE(u != v, "self-loops are not allowed");
+  if (matrix_[u][v]) return;
+  matrix_[u][v] = matrix_[v][u] = 1;
+  adjacency_[u].push_back(v);
+  adjacency_[v].push_back(u);
+  ++num_edges_;
+}
+
+bool UndirectedGraph::has_edge(Vertex u, Vertex v) const {
+  MRWSN_REQUIRE(u < size() && v < size(), "vertex out of range");
+  return matrix_[u][v] != 0;
+}
+
+const std::vector<Vertex>& UndirectedGraph::neighbors(Vertex v) const {
+  MRWSN_REQUIRE(v < size(), "vertex out of range");
+  return adjacency_[v];
+}
+
+UndirectedGraph UndirectedGraph::complement() const {
+  UndirectedGraph g(size());
+  for (Vertex u = 0; u < size(); ++u)
+    for (Vertex v = u + 1; v < size(); ++v)
+      if (!matrix_[u][v]) g.add_edge(u, v);
+  return g;
+}
+
+namespace {
+
+/// Bron–Kerbosch with Tomita pivoting over vertex index vectors.
+class CliqueEnumerator {
+ public:
+  CliqueEnumerator(const UndirectedGraph& g, std::size_t limit)
+      : g_(g), limit_(limit) {}
+
+  std::vector<std::vector<Vertex>> run() {
+    std::vector<Vertex> r;
+    std::vector<Vertex> p(g_.size());
+    for (Vertex v = 0; v < g_.size(); ++v) p[v] = v;
+    expand(r, std::move(p), {});
+    return std::move(out_);
+  }
+
+ private:
+  void expand(std::vector<Vertex>& r, std::vector<Vertex> p, std::vector<Vertex> x) {
+    if (p.empty() && x.empty()) {
+      MRWSN_ASSERT(out_.size() < limit_, "maximal clique enumeration exceeded limit");
+      out_.push_back(r);
+      return;
+    }
+    // Tomita pivot: the vertex of P ∪ X with the most neighbours in P.
+    Vertex pivot = 0;
+    std::size_t best = 0;
+    bool found = false;
+    for (const auto& pool : {p, x}) {
+      for (Vertex u : pool) {
+        std::size_t count = 0;
+        for (Vertex v : p)
+          if (g_.has_edge(u, v)) ++count;
+        if (!found || count > best) {
+          pivot = u;
+          best = count;
+          found = true;
+        }
+      }
+    }
+
+    // Candidates: P minus the pivot's neighbourhood.
+    std::vector<Vertex> candidates;
+    for (Vertex v : p)
+      if (!g_.has_edge(pivot, v)) candidates.push_back(v);
+
+    for (Vertex v : candidates) {
+      std::vector<Vertex> p_next, x_next;
+      for (Vertex u : p)
+        if (g_.has_edge(v, u)) p_next.push_back(u);
+      for (Vertex u : x)
+        if (g_.has_edge(v, u)) x_next.push_back(u);
+
+      r.push_back(v);
+      expand(r, std::move(p_next), std::move(x_next));
+      r.pop_back();
+
+      p.erase(std::find(p.begin(), p.end(), v));
+      x.push_back(v);
+    }
+  }
+
+  const UndirectedGraph& g_;
+  std::size_t limit_;
+  std::vector<std::vector<Vertex>> out_;
+};
+
+}  // namespace
+
+std::vector<std::vector<Vertex>> maximal_cliques(const UndirectedGraph& g,
+                                                 std::size_t limit) {
+  if (g.size() == 0) return {};
+  CliqueEnumerator enumerator(g, limit);
+  auto cliques = enumerator.run();
+  for (auto& clique : cliques) std::sort(clique.begin(), clique.end());
+  return cliques;
+}
+
+std::vector<std::vector<Vertex>> maximal_independent_sets(const UndirectedGraph& g,
+                                                          std::size_t limit) {
+  return maximal_cliques(g.complement(), limit);
+}
+
+}  // namespace mrwsn::graph

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mrwsn::graph {
+
+using Vertex = std::size_t;
+
+/// A simple undirected graph over vertices 0..n-1, with both an adjacency
+/// matrix (O(1) edge queries, needed by Bron–Kerbosch) and adjacency lists.
+/// Used for conflict/compatibility graphs over (link, rate) couples.
+class UndirectedGraph {
+ public:
+  explicit UndirectedGraph(std::size_t num_vertices);
+
+  std::size_t size() const { return adjacency_.size(); }
+
+  /// Add the edge {u, v}; self-loops are rejected, duplicates ignored.
+  void add_edge(Vertex u, Vertex v);
+
+  bool has_edge(Vertex u, Vertex v) const;
+
+  const std::vector<Vertex>& neighbors(Vertex v) const;
+
+  std::size_t num_edges() const { return num_edges_; }
+
+  /// The complement graph (edges exactly where this graph has none).
+  /// Maximal independent sets of G are maximal cliques of complement(G).
+  UndirectedGraph complement() const;
+
+ private:
+  std::vector<std::vector<char>> matrix_;
+  std::vector<std::vector<Vertex>> adjacency_;
+  std::size_t num_edges_ = 0;
+};
+
+/// Enumerate all maximal cliques with Bron–Kerbosch (Tomita pivoting).
+/// Stops after `limit` cliques (throws InvariantError if exceeded, so an
+/// unexpectedly huge enumeration fails loudly instead of hanging).
+std::vector<std::vector<Vertex>> maximal_cliques(const UndirectedGraph& g,
+                                                 std::size_t limit = 1u << 22);
+
+/// Enumerate all maximal independent sets (maximal cliques of the
+/// complement graph).
+std::vector<std::vector<Vertex>> maximal_independent_sets(
+    const UndirectedGraph& g, std::size_t limit = 1u << 22);
+
+}  // namespace mrwsn::graph

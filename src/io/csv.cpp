@@ -1,0 +1,104 @@
+#include "io/csv.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace mrwsn::io {
+
+CsvWriter::CsvWriter(std::vector<std::string> header) : header_(std::move(header)) {
+  MRWSN_REQUIRE(!header_.empty(), "a CSV needs at least one column");
+}
+
+void CsvWriter::add_row(std::vector<std::string> row) {
+  MRWSN_REQUIRE(row.size() == header_.size(), "row width must match the header");
+  rows_.push_back(std::move(row));
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n\r") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write(std::ostream& os) const {
+  auto write_row = [&os](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      os << escape(row[i]);
+    }
+    os << '\n';
+  };
+  write_row(header_);
+  for (const auto& row : rows_) write_row(row);
+}
+
+std::string CsvWriter::to_string() const {
+  std::ostringstream os;
+  write(os);
+  return os.str();
+}
+
+std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string cell;
+  bool quoted = false;
+  bool cell_started = false;
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cell += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        MRWSN_REQUIRE(cell.empty() && !cell_started,
+                      "quote may only open at the start of a cell");
+        quoted = true;
+        cell_started = true;
+        break;
+      case ',':
+        row.push_back(std::move(cell));
+        cell.clear();
+        cell_started = false;
+        break;
+      case '\r':
+        break;  // tolerate CRLF
+      case '\n':
+        row.push_back(std::move(cell));
+        cell.clear();
+        cell_started = false;
+        rows.push_back(std::move(row));
+        row.clear();
+        break;
+      default:
+        cell += c;
+        cell_started = true;
+    }
+  }
+  MRWSN_REQUIRE(!quoted, "unterminated quoted cell");
+  if (cell_started || !cell.empty() || !row.empty()) {
+    row.push_back(std::move(cell));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace mrwsn::io

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mrwsn::io {
+
+/// Minimal RFC-4180-style CSV writer for benchmark/experiment output.
+/// Cells containing commas, quotes or newlines are quoted and inner
+/// quotes doubled.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  /// Append a data row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Serialize header + rows.
+  void write(std::ostream& os) const;
+  std::string to_string() const;
+
+  /// Escape one cell per RFC 4180.
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Parse a CSV document produced by CsvWriter (quotes handled); returns
+/// rows including the header. Throws PreconditionError on malformed input.
+std::vector<std::vector<std::string>> parse_csv(const std::string& text);
+
+}  // namespace mrwsn::io

@@ -1,0 +1,143 @@
+#include "io/scenario.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "phy/phy_model.hpp"
+#include "phy/shadowing.hpp"
+#include "util/error.hpp"
+
+namespace mrwsn::io {
+
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::istringstream is(line);
+  std::vector<std::string> tokens;
+  std::string token;
+  while (is >> token) tokens.push_back(token);
+  return tokens;
+}
+
+double parse_double(const std::string& token, const char* what) {
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(token, &used);
+    MRWSN_REQUIRE(used == token.size(), std::string("trailing junk in ") + what);
+    return value;
+  } catch (const std::logic_error&) {
+    throw PreconditionError(std::string("cannot parse ") + what + ": '" + token +
+                            "'");
+  }
+}
+
+std::uint64_t parse_u64(const std::string& token, const char* what) {
+  try {
+    std::size_t used = 0;
+    const unsigned long long value = std::stoull(token, &used);
+    MRWSN_REQUIRE(used == token.size(), std::string("trailing junk in ") + what);
+    return static_cast<std::uint64_t>(value);
+  } catch (const std::logic_error&) {
+    throw PreconditionError(std::string("cannot parse ") + what + ": '" + token +
+                            "'");
+  }
+}
+
+}  // namespace
+
+ScenarioFile parse_scenario(const std::string& text) {
+  ScenarioFile scenario;
+  std::istringstream is(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto tokens = tokenize(line);
+    if (tokens.empty() || tokens[0][0] == '#') continue;
+    const std::string& kind = tokens[0];
+    auto fail = [&](const std::string& why) -> void {
+      throw PreconditionError("scenario line " + std::to_string(line_no) + ": " +
+                              why);
+    };
+
+    if (kind == "node") {
+      if (tokens.size() != 4) fail("expected: node <id> <x> <y>");
+      const std::uint64_t id = parse_u64(tokens[1], "node id");
+      if (id != scenario.positions.size())
+        fail("node ids must be dense and in order");
+      scenario.positions.push_back(
+          {parse_double(tokens[2], "x"), parse_double(tokens[3], "y")});
+    } else if (kind == "shadowing") {
+      if (tokens.size() != 3) fail("expected: shadowing <sigma_db> <seed>");
+      scenario.shadowing_sigma_db = parse_double(tokens[1], "sigma");
+      scenario.shadowing_seed = parse_u64(tokens[2], "seed");
+    } else if (kind == "flow") {
+      if (tokens.size() < 4) fail("expected: flow <demand> <n0> <n1> ...");
+      ScenarioFile::FlowSpec flow;
+      flow.demand_mbps = parse_double(tokens[1], "flow demand");
+      for (std::size_t i = 2; i < tokens.size(); ++i)
+        flow.nodes.push_back(parse_u64(tokens[i], "flow node"));
+      scenario.flows.push_back(std::move(flow));
+    } else if (kind == "request") {
+      if (tokens.size() != 4) fail("expected: request <src> <dst> <demand>");
+      scenario.requests.push_back(
+          ScenarioFile::Request{parse_u64(tokens[1], "src"),
+                                parse_u64(tokens[2], "dst"),
+                                parse_double(tokens[3], "request demand")});
+    } else {
+      fail("unknown directive '" + kind + "'");
+    }
+  }
+  MRWSN_REQUIRE(!scenario.positions.empty(), "scenario declares no nodes");
+  return scenario;
+}
+
+std::string serialize_scenario(const ScenarioFile& scenario) {
+  std::ostringstream os;
+  os << "# mrwsn scenario\n";
+  for (std::size_t id = 0; id < scenario.positions.size(); ++id)
+    os << "node " << id << ' ' << scenario.positions[id].x << ' '
+       << scenario.positions[id].y << '\n';
+  if (scenario.shadowing_sigma_db > 0.0)
+    os << "shadowing " << scenario.shadowing_sigma_db << ' '
+       << scenario.shadowing_seed << '\n';
+  for (const auto& flow : scenario.flows) {
+    os << "flow " << flow.demand_mbps;
+    for (net::NodeId node : flow.nodes) os << ' ' << node;
+    os << '\n';
+  }
+  for (const auto& request : scenario.requests)
+    os << "request " << request.src << ' ' << request.dst << ' '
+       << request.demand_mbps << '\n';
+  return os.str();
+}
+
+ScenarioFile load_scenario(const std::string& path) {
+  std::ifstream file(path);
+  MRWSN_REQUIRE(file.good(), "cannot open scenario file: " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return parse_scenario(buffer.str());
+}
+
+net::Network build_network(const ScenarioFile& scenario) {
+  if (scenario.shadowing_sigma_db > 0.0) {
+    return net::Network(
+        scenario.positions, phy::PhyModel::paper_default(),
+        phy::Shadowing(scenario.shadowing_sigma_db, scenario.shadowing_seed));
+  }
+  return net::Network(scenario.positions, phy::PhyModel::paper_default());
+}
+
+std::vector<net::Flow> build_flows(const ScenarioFile& scenario,
+                                   const net::Network& network) {
+  std::vector<net::Flow> flows;
+  flows.reserve(scenario.flows.size());
+  for (const auto& spec : scenario.flows) {
+    flows.push_back(
+        net::Flow{net::Path::from_nodes(network, spec.nodes), spec.demand_mbps});
+  }
+  return flows;
+}
+
+}  // namespace mrwsn::io

@@ -1,0 +1,303 @@
+#include "lp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace mrwsn::lp {
+
+VarId Problem::add_variable(double objective_coeff, std::string name) {
+  objective_coeffs_.push_back(objective_coeff);
+  if (name.empty()) name = "x" + std::to_string(objective_coeffs_.size() - 1);
+  names_.push_back(std::move(name));
+  for (auto& row : rows_) row.coeffs.push_back(0.0);
+  return static_cast<VarId>(objective_coeffs_.size() - 1);
+}
+
+void Problem::add_constraint(const std::vector<std::pair<VarId, double>>& terms,
+                             Sense sense, double rhs) {
+  Row row;
+  row.coeffs.assign(num_variables(), 0.0);
+  for (const auto& [var, coeff] : terms) {
+    MRWSN_REQUIRE(var >= 0 && static_cast<std::size_t>(var) < num_variables(),
+                  "constraint references an unknown variable");
+    row.coeffs[static_cast<std::size_t>(var)] += coeff;
+  }
+  row.sense = sense;
+  row.rhs = rhs;
+  rows_.push_back(std::move(row));
+}
+
+namespace {
+
+/// Dense two-phase tableau simplex. Column layout:
+///   [0, n)            original variables
+///   [n, n+s)          slack/surplus variables (one per inequality row)
+///   [n+s, n+s+m)      artificial variables (one per row)
+/// The last tableau column is the right-hand side.
+class Tableau {
+ public:
+  Tableau(const Problem& p, double eps) : eps_(eps) {
+    const std::size_t n = p.num_variables();
+    const std::size_t m = p.num_constraints();
+
+    // Count slack/surplus columns, and which rows need an artificial: a
+    // row whose (sign-normalized) slack enters with +1 can start basic on
+    // its slack — only >=-like and equality rows need artificials. This
+    // keeps phase 1 tiny for the mostly-<= problems this library builds.
+    std::size_t num_slack = 0;
+    std::size_t num_art = 0;
+    std::vector<double> signs(m, 1.0);
+    std::vector<char> needs_art(m, 0);
+    for (std::size_t i = 0; i < m; ++i) {
+      const auto& row = p.rows()[i];
+      signs[i] = row.rhs < 0.0 ? -1.0 : 1.0;
+      if (row.sense != Sense::kEqual) ++num_slack;
+      const bool slack_is_basic =
+          (row.sense == Sense::kLessEqual && signs[i] > 0.0) ||
+          (row.sense == Sense::kGreaterEqual && signs[i] < 0.0);
+      needs_art[i] = slack_is_basic ? 0 : 1;
+      if (needs_art[i]) ++num_art;
+    }
+
+    n_ = n;
+    slack_begin_ = n;
+    art_begin_ = n + num_slack;
+    cols_ = n + num_slack + num_art;
+    rows_ = m;
+
+    a_.assign(rows_, std::vector<double>(cols_ + 1, 0.0));
+    basis_.assign(rows_, 0);
+    dual_col_.assign(rows_, 0);
+
+    std::size_t slack = slack_begin_;
+    std::size_t art = art_begin_;
+    for (std::size_t i = 0; i < m; ++i) {
+      const auto& row = p.rows()[i];
+      const double sign = signs[i];
+      for (std::size_t j = 0; j < n; ++j) a_[i][j] = sign * row.coeffs[j];
+      a_[i][cols_] = sign * row.rhs;
+      std::size_t slack_col = cols_;  // sentinel: no slack (equality row)
+      if (row.sense == Sense::kLessEqual) {
+        slack_col = slack++;
+        a_[i][slack_col] = sign * 1.0;
+      } else if (row.sense == Sense::kGreaterEqual) {
+        slack_col = slack++;
+        a_[i][slack_col] = sign * -1.0;
+      }
+      if (needs_art[i]) {
+        // Identity column for the row; doubles as the dual probe.
+        const std::size_t art_col = art++;
+        a_[i][art_col] = 1.0;
+        basis_[i] = art_col;
+        dual_col_[i] = art_col;
+      } else {
+        // Slack coefficient is +1 here, so it is both a valid starting
+        // basis column and an identity column for dual extraction.
+        basis_[i] = slack_col;
+        dual_col_[i] = slack_col;
+      }
+      row_sign_.push_back(sign);
+    }
+    in_basis_.assign(cols_, 0);
+    for (std::size_t b : basis_) in_basis_[b] = 1;
+
+    // Objective in "maximize" orientation.
+    obj_.assign(cols_, 0.0);
+    const double obj_sign = p.objective() == Objective::kMaximize ? 1.0 : -1.0;
+    for (std::size_t j = 0; j < n; ++j) obj_[j] = obj_sign * p.objective_coeffs()[j];
+    obj_sign_ = obj_sign;
+  }
+
+  Solution run() {
+    // --- Phase 1: minimize the sum of artificials (maximize its negation).
+    // Skipped entirely when no row needed one (the all-slack basis is
+    // already feasible).
+    if (art_begin_ < cols_) {
+      std::vector<double> phase1(cols_, 0.0);
+      for (std::size_t j = art_begin_; j < cols_; ++j) phase1[j] = -1.0;
+      const double phase1_value = optimize(phase1, /*allow_artificials=*/true);
+      if (phase1_value < -eps_) return Solution{};
+      drive_out_artificials();
+    }
+
+    // --- Phase 2: the real objective; artificials may no longer enter.
+    Solution solution;
+    if (!optimize_or_unbounded(obj_)) {
+      solution.status = Status::kUnbounded;
+      return solution;
+    }
+
+    solution.status = Status::kOptimal;
+    solution.values.assign(n_, 0.0);
+    for (std::size_t i = 0; i < rows_; ++i) {
+      if (basis_[i] < n_) solution.values[basis_[i]] = a_[i][cols_];
+    }
+    double obj_value = 0.0;
+    for (std::size_t j = 0; j < n_; ++j) obj_value += obj_[j] * solution.values[j];
+    solution.objective = obj_sign_ * obj_value;
+
+    // Duals from each row's identity-like column (its artificial if one
+    // was created, else its +1 slack): that column's phase-2 reduced cost
+    // is 0 - y_i. Undo the row sign normalization and the min/max flip.
+    solution.duals.assign(rows_, 0.0);
+    for (std::size_t i = 0; i < rows_; ++i)
+      solution.duals[i] = obj_sign_ * row_sign_[i] * -red_[dual_col_[i]];
+    return solution;
+  }
+
+ private:
+  /// Maximize c'x with Bland's rule; returns the achieved objective value.
+  /// Used for phase 1 where unboundedness is impossible.
+  double optimize(const std::vector<double>& c, bool allow_artificials) {
+    const bool unbounded = !pivot_loop(c, allow_artificials);
+    MRWSN_ASSERT(!unbounded, "phase-1 objective cannot be unbounded");
+    double value = 0.0;
+    for (std::size_t i = 0; i < rows_; ++i) {
+      if (basis_[i] < c.size()) value += c[basis_[i]] * a_[i][cols_];
+    }
+    return value;
+  }
+
+  /// Maximize c'x; returns false if the LP is unbounded.
+  bool optimize_or_unbounded(const std::vector<double>& c) {
+    return pivot_loop(c, /*allow_artificials=*/false);
+  }
+
+  /// Core simplex loop. Returns false on unboundedness.
+  bool pivot_loop(const std::vector<double>& c, bool allow_artificials) {
+    // Maintain the reduced-cost row incrementally (full-tableau simplex):
+    // red_[j] = c_j - c_B' * B^{-1} A_j, updated on every pivot.
+    red_.assign(cols_, 0.0);
+    for (std::size_t j = 0; j < cols_; ++j) {
+      double reduced = c[j];
+      for (std::size_t i = 0; i < rows_; ++i) {
+        const double cb = c[basis_[i]];
+        if (cb != 0.0) reduced -= cb * a_[i][j];
+      }
+      red_[j] = reduced;
+    }
+
+    for (std::size_t iter = 0; iter < kMaxIters; ++iter) {
+      // Dantzig's rule (steepest reduced cost) for speed; after a long
+      // stall switch permanently to Bland's rule, whose anti-cycling
+      // guarantee ensures termination on degenerate problems.
+      const bool bland = iter >= kDantzigIters;
+      std::size_t entering = cols_;
+      double best_reduced = eps_;
+      const std::size_t limit = allow_artificials ? cols_ : art_begin_;
+      for (std::size_t j = 0; j < limit; ++j) {
+        if (red_[j] > best_reduced && !is_basic(j)) {
+          entering = j;
+          if (bland) break;  // first (lowest-index) improving column
+          best_reduced = red_[j];
+        }
+      }
+      if (entering == cols_) return true;  // optimal
+
+      // Ratio test; Bland tie-break on the smallest basic variable index.
+      std::size_t leaving = rows_;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < rows_; ++i) {
+        if (a_[i][entering] > eps_) {
+          const double ratio = a_[i][cols_] / a_[i][entering];
+          if (ratio < best_ratio - eps_ ||
+              (ratio < best_ratio + eps_ &&
+               (leaving == rows_ || basis_[i] < basis_[leaving]))) {
+            best_ratio = ratio;
+            leaving = i;
+          }
+        }
+      }
+      if (leaving == rows_) return false;  // unbounded direction
+
+      pivot(leaving, entering);
+    }
+    throw InvariantError("simplex exceeded the iteration limit (cycling?)");
+  }
+
+  bool is_basic(std::size_t col) const { return in_basis_[col] != 0; }
+
+  void pivot(std::size_t row, std::size_t col) {
+    const double p = a_[row][col];
+    for (double& v : a_[row]) v /= p;
+    for (std::size_t i = 0; i < rows_; ++i) {
+      if (i == row) continue;
+      const double factor = a_[i][col];
+      if (factor == 0.0) continue;
+      for (std::size_t j = 0; j <= cols_; ++j) a_[i][j] -= factor * a_[row][j];
+    }
+    if (!red_.empty()) {
+      const double factor = red_[col];
+      if (factor != 0.0)
+        for (std::size_t j = 0; j < cols_; ++j) red_[j] -= factor * a_[row][j];
+    }
+    in_basis_[basis_[row]] = 0;
+    in_basis_[col] = 1;
+    basis_[row] = col;
+  }
+
+  /// After phase 1, pivot any artificial still basic (at level ~0) out of
+  /// the basis; if its row has no eligible pivot the row is redundant and
+  /// the artificial stays basic at zero (it is barred from re-entering).
+  void drive_out_artificials() {
+    for (std::size_t i = 0; i < rows_; ++i) {
+      if (basis_[i] < art_begin_) continue;
+      MRWSN_ASSERT(std::abs(a_[i][cols_]) <= 1e-6,
+                   "basic artificial with nonzero value after feasible phase 1");
+      for (std::size_t j = 0; j < art_begin_; ++j) {
+        if (std::abs(a_[i][j]) > eps_ && !is_basic(j)) {
+          pivot(i, j);
+          break;
+        }
+      }
+    }
+  }
+
+  static constexpr std::size_t kDantzigIters = 20000;
+  static constexpr std::size_t kMaxIters = 400000;
+
+  double eps_;
+  double obj_sign_ = 1.0;
+  std::size_t n_ = 0;           // original variables
+  std::size_t slack_begin_ = 0;
+  std::size_t art_begin_ = 0;
+  std::size_t cols_ = 0;        // total structural columns (excl. rhs)
+  std::size_t rows_ = 0;
+  std::vector<std::vector<double>> a_;  // rows_ x (cols_+1)
+  std::vector<std::size_t> basis_;
+  std::vector<char> in_basis_;  // membership flags mirroring basis_
+  std::vector<double> row_sign_;  // +1/-1 rhs normalization per row
+  std::vector<std::size_t> dual_col_;  // identity-like column per row
+  std::vector<double> obj_;  // maximize orientation over original columns
+  std::vector<double> red_;  // reduced-cost row maintained by pivot()
+};
+
+}  // namespace
+
+Solution solve(const Problem& problem, double eps) {
+  MRWSN_REQUIRE(eps > 0.0, "tolerance must be positive");
+  if (problem.num_variables() == 0) {
+    // Degenerate but well-defined: feasible iff every constraint already
+    // holds with an all-zero left-hand side.
+    Solution s;
+    s.status = Status::kOptimal;
+    s.duals.assign(problem.num_constraints(), 0.0);
+    for (const auto& row : problem.rows()) {
+      const bool ok = (row.sense == Sense::kLessEqual && 0.0 <= row.rhs + eps) ||
+                      (row.sense == Sense::kGreaterEqual && 0.0 >= row.rhs - eps) ||
+                      (row.sense == Sense::kEqual && std::abs(row.rhs) <= eps);
+      if (!ok) {
+        s.status = Status::kInfeasible;
+        break;
+      }
+    }
+    return s;
+  }
+  Tableau tableau(problem, eps);
+  return tableau.run();
+}
+
+}  // namespace mrwsn::lp

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+/// A small, self-contained dense linear-programming solver.
+///
+/// The paper's available-bandwidth model (Eq. 6) and its clique-based upper
+/// bound (Eq. 9) are linear programs over schedule time shares. The problem
+/// instances are small (tens of rows, up to a few thousand columns), so a
+/// dense two-phase primal simplex with Bland's anti-cycling rule is exact
+/// enough and fast enough; no external solver is used anywhere in the
+/// repository.
+namespace mrwsn::lp {
+
+enum class Objective { kMaximize, kMinimize };
+enum class Sense { kLessEqual, kGreaterEqual, kEqual };
+
+enum class Status {
+  kOptimal,     ///< an optimal basic feasible solution was found
+  kInfeasible,  ///< the constraint set admits no solution with x >= 0
+  kUnbounded,   ///< the objective is unbounded over the feasible region
+};
+
+/// Identifier of a decision variable within a Problem. Variables are
+/// implicitly constrained to be non-negative (x >= 0), which matches every
+/// use in this repository (time shares and throughputs).
+using VarId = int;
+
+/// Builder for an LP instance.
+class Problem {
+ public:
+  explicit Problem(Objective objective = Objective::kMaximize)
+      : objective_(objective) {}
+
+  /// Add a non-negative decision variable with the given objective
+  /// coefficient. Returns its id (dense, starting at 0).
+  VarId add_variable(double objective_coeff, std::string name = {});
+
+  /// Add a linear constraint  sum(coeff_i * x_i)  <sense>  rhs.
+  /// Terms may repeat a variable; coefficients are accumulated.
+  void add_constraint(const std::vector<std::pair<VarId, double>>& terms,
+                      Sense sense, double rhs);
+
+  std::size_t num_variables() const { return objective_coeffs_.size(); }
+  std::size_t num_constraints() const { return rows_.size(); }
+  Objective objective() const { return objective_; }
+  const std::string& variable_name(VarId id) const { return names_.at(static_cast<std::size_t>(id)); }
+
+  /// One stored constraint row (dense coefficients over all variables).
+  struct Row {
+    std::vector<double> coeffs;
+    Sense sense;
+    double rhs;
+  };
+
+  const std::vector<Row>& rows() const { return rows_; }
+  const std::vector<double>& objective_coeffs() const { return objective_coeffs_; }
+
+ private:
+  Objective objective_;
+  std::vector<double> objective_coeffs_;
+  std::vector<std::string> names_;
+  std::vector<Row> rows_;
+};
+
+/// Result of solving a Problem.
+struct Solution {
+  Status status = Status::kInfeasible;
+  double objective = 0.0;        ///< valid when status == kOptimal
+  std::vector<double> values;    ///< per-variable values; valid when kOptimal
+
+  /// Dual value (shadow price) per constraint, in the order constraints
+  /// were added: the derivative of the optimal objective with respect to
+  /// that constraint's right-hand side. For a maximization, binding <=
+  /// constraints have non-negative duals and binding >= constraints
+  /// non-positive ones. Valid when kOptimal.
+  std::vector<double> duals;
+
+  bool optimal() const { return status == Status::kOptimal; }
+  double value(VarId id) const { return values.at(static_cast<std::size_t>(id)); }
+  double dual(std::size_t constraint) const { return duals.at(constraint); }
+};
+
+/// Solve with a two-phase dense simplex.
+///
+/// `eps` is the feasibility/optimality tolerance. The default is suited to
+/// the well-scaled problems this library produces (coefficients within a
+/// few orders of magnitude of 1).
+Solution solve(const Problem& problem, double eps = 1e-9);
+
+}  // namespace mrwsn::lp

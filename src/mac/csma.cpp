@@ -1,0 +1,594 @@
+#include "mac/csma.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <optional>
+
+#include "mac/event_queue.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace mrwsn::mac {
+
+namespace {
+constexpr EventId kNoEvent = std::numeric_limits<EventId>::max();
+}
+
+struct CsmaSimulator::Impl {
+  // -------------------------------------------------------------- types
+  struct Packet {
+    std::size_t flow = 0;
+    std::size_t hop = 0;      ///< index into the flow's link path
+    double created_at = 0.0;  ///< generation time at the flow source
+  };
+
+  struct FlowState {
+    std::vector<net::LinkId> links;
+    double demand_mbps = 0.0;
+    double arrival_interval_s = 0.0;
+    std::uint64_t generated = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped = 0;
+    std::vector<double> latencies_s;  ///< per delivered packet
+  };
+
+  /// ARF state per link: the current rate plus success/failure streaks.
+  struct ArfState {
+    phy::RateIndex rate = 0;
+    unsigned successes = 0;
+    unsigned failures = 0;
+  };
+
+  enum class Kind { kData, kRts, kCts, kAck };
+
+  struct Transmission {
+    net::NodeId tx = 0;
+    double end_time = 0.0;
+    Kind kind = Kind::kAck;
+    // Reception bookkeeping for decoded frames (DATA/RTS/CTS; ACKs are
+    // assumed to always arrive).
+    net::NodeId rx = 0;
+
+    /// Frames whose reception is SINR-tracked.
+    bool tracked() const { return kind != Kind::kAck; }
+    net::LinkId link = 0;
+    phy::RateIndex rate = 0;  ///< the rate this DATA frame was sent at
+    Packet packet;
+    double signal_watt = 0.0;
+    double max_interference_watt = 0.0;
+    bool corrupted = false;  ///< receiver itself transmitted meanwhile
+  };
+
+  enum class MacState { kIdle, kContending, kTransmitting, kAwaitingAck };
+
+  struct NodeMac {
+    std::deque<Packet> queue;
+    MacState state = MacState::kIdle;
+    unsigned cw = 0;
+    unsigned retries = 0;
+    int backoff_slots = -1;  ///< -1: not drawn for the current frame
+    EventId timer = kNoEvent;
+    double countdown_started = 0.0;
+    bool sensed_busy = false;
+    double nav_until = 0.0;  ///< virtual carrier sense (RTS/CTS mode)
+    // busy-time accounting
+    double busy_accum = 0.0;
+    double busy_since = -1.0;  ///< <0 when currently idle
+  };
+
+  // ------------------------------------------------------------- state
+  const net::Network& network;
+  MacParams params;
+  Rng rng;
+  EventQueue queue;
+  std::vector<FlowState> flows;
+  std::vector<NodeMac> nodes;
+  std::vector<ArfState> arf;  ///< by link id
+  std::vector<Transmission> active;  // small; linear scans are fine
+  bool ran = false;
+  double measure_start = 0.0;
+  std::uint64_t data_transmissions = 0;
+  std::uint64_t failed_receptions = 0;
+  std::uint64_t control_failures = 0;
+
+  Impl(const net::Network& net, MacParams p, std::uint64_t seed)
+      : network(net), params(p), rng(seed) {
+    nodes.resize(network.num_nodes());
+    for (NodeMac& node : nodes) node.cw = params.cw_min;
+    arf.resize(network.num_links());
+    for (net::LinkId id = 0; id < network.num_links(); ++id)
+      arf[id].rate = network.link(id).best_rate_alone;
+  }
+
+  // ------------------------------------------------------ rate adaptation
+  phy::RateIndex current_rate(net::LinkId link) const {
+    return params.enable_arf ? arf[link].rate
+                             : network.link(link).best_rate_alone;
+  }
+
+  void arf_on_success(net::LinkId link) {
+    if (!params.enable_arf) return;
+    ArfState& state = arf[link];
+    state.failures = 0;
+    if (++state.successes >= params.arf_up_after) {
+      state.successes = 0;
+      // Probe one step faster, but never beyond what the link's received
+      // power supports when alone (the sensitivity bound).
+      if (state.rate > network.link(link).best_rate_alone) --state.rate;
+    }
+  }
+
+  void arf_on_failure(net::LinkId link) {
+    if (!params.enable_arf) return;
+    ArfState& state = arf[link];
+    state.successes = 0;
+    if (++state.failures >= params.arf_down_after) {
+      state.failures = 0;
+      if (state.rate + 1 < network.phy().rates().size()) ++state.rate;
+    }
+  }
+
+  // ------------------------------------------------------- channel view
+  /// Power node `n` senses from all active transmissions it is not part of.
+  double sensed_power(net::NodeId n) const {
+    double power = 0.0;
+    for (const Transmission& t : active) {
+      if (t.tx == n) continue;
+      power += network.received_power(t.tx, n);
+    }
+    return power;
+  }
+
+  /// True when `n` currently has any frame (DATA or ACK) on the air.
+  bool is_on_air(net::NodeId n) const {
+    return std::any_of(active.begin(), active.end(),
+                       [&](const Transmission& t) { return t.tx == n; });
+  }
+
+  bool channel_busy_for(net::NodeId n) const {
+    const NodeMac& node = nodes[n];
+    if (node.state == MacState::kTransmitting || is_on_air(n)) return true;
+    if (queue.now() < node.nav_until) return true;  // virtual carrier sense
+    return sensed_power(n) >= network.phy().cs_threshold_watt();
+  }
+
+  /// Extend node `n`'s NAV to `until` and refresh channel state now and at
+  /// NAV expiry.
+  void set_nav(net::NodeId n, double until) {
+    NodeMac& node = nodes[n];
+    if (until <= node.nav_until) return;
+    node.nav_until = until;
+    queue.schedule_at(until, [this] { refresh_channel(); });
+    refresh_channel();
+  }
+
+  /// Let third parties that decode a control frame from `tx` (skipping
+  /// `responder`) defer until `exchange_end`. Decoding is approximated by
+  /// the base rate's sensitivity on received power.
+  void propagate_nav(net::NodeId tx, net::NodeId responder, double exchange_end) {
+    const double base_sensitivity =
+        network.phy().rates().rates().back().rx_sensitivity_watt;
+    for (net::NodeId n = 0; n < nodes.size(); ++n) {
+      if (n == tx || n == responder) continue;
+      if (is_on_air(n)) continue;  // cannot decode while transmitting
+      if (network.received_power(tx, n) >= base_sensitivity)
+        set_nav(n, exchange_end);
+    }
+  }
+
+  /// Re-evaluate every node's sensed state after the set of active
+  /// transmissions changed.
+  void refresh_channel() {
+    for (net::NodeId n = 0; n < nodes.size(); ++n) {
+      const bool busy = channel_busy_for(n);
+      if (busy != nodes[n].sensed_busy) {
+        nodes[n].sensed_busy = busy;
+        account_busy_edge(n, busy);
+        on_channel_change(n, busy);
+      }
+    }
+  }
+
+  void account_busy_edge(net::NodeId n, bool now_busy) {
+    NodeMac& node = nodes[n];
+    if (now_busy) {
+      node.busy_since = queue.now();
+    } else if (node.busy_since >= 0.0) {
+      node.busy_accum += queue.now() - node.busy_since;
+      node.busy_since = -1.0;
+    }
+  }
+
+  // --------------------------------------------------------- MAC logic
+  void maybe_start_contention(net::NodeId n) {
+    NodeMac& node = nodes[n];
+    if (node.state != MacState::kIdle || node.queue.empty()) return;
+    node.state = MacState::kContending;
+    if (node.backoff_slots < 0)
+      node.backoff_slots = static_cast<int>(rng.uniform_int(0, node.cw));
+    if (!node.sensed_busy) start_countdown(n);
+  }
+
+  void start_countdown(net::NodeId n) {
+    NodeMac& node = nodes[n];
+    MRWSN_ASSERT(node.state == MacState::kContending, "countdown outside contention");
+    node.countdown_started = queue.now();
+    const double wait =
+        params.difs_s + static_cast<double>(node.backoff_slots) * params.slot_time_s;
+    node.timer = queue.schedule_in(wait, [this, n] { begin_data(n); });
+  }
+
+  void freeze_countdown(net::NodeId n) {
+    NodeMac& node = nodes[n];
+    if (node.timer == kNoEvent) return;
+    queue.cancel(node.timer);
+    node.timer = kNoEvent;
+    // Credit fully elapsed backoff slots (time beyond the DIFS phase).
+    const double elapsed = queue.now() - node.countdown_started - params.difs_s;
+    if (elapsed > 0.0) {
+      const int done = static_cast<int>(elapsed / params.slot_time_s);
+      node.backoff_slots = std::max(0, node.backoff_slots - done);
+    }
+  }
+
+  void on_channel_change(net::NodeId n, bool busy) {
+    NodeMac& node = nodes[n];
+    if (node.state != MacState::kContending) return;
+    if (busy) {
+      freeze_countdown(n);
+    } else if (node.timer == kNoEvent) {
+      start_countdown(n);
+    }
+  }
+
+  /// The head-of-queue link of node `n`.
+  const net::Link& head_link(net::NodeId n) const {
+    const Packet& packet = nodes[n].queue.front();
+    return network.link(flows[packet.flow].links[packet.hop]);
+  }
+
+  /// DATA airtime at the link's current rate.
+  double data_duration(const net::Link& link) const {
+    const double rate_mbps = network.phy().rates()[current_rate(link.id)].mbps;
+    return params.phy_overhead_s +
+           static_cast<double>(params.payload_bits) / (rate_mbps * 1e6);
+  }
+
+  /// Backoff completed: start the exchange (plain DATA, or RTS first).
+  void begin_data(net::NodeId n) {
+    NodeMac& node = nodes[n];
+    node.timer = kNoEvent;
+    MRWSN_ASSERT(node.state == MacState::kContending, "transmit outside contention");
+    MRWSN_ASSERT(!node.queue.empty(), "transmit with empty queue");
+    node.backoff_slots = -1;
+    if (params.enable_rts_cts) {
+      begin_rts(n);
+    } else {
+      transmit_data(n);
+    }
+  }
+
+  /// Build a tracked transmission of `kind` from `tx_node` to `rx_node`.
+  Transmission make_tracked(Kind kind, net::NodeId tx_node, net::NodeId rx_node,
+                            double duration, phy::RateIndex rate) {
+    Transmission t;
+    t.tx = tx_node;
+    t.end_time = queue.now() + duration;
+    t.kind = kind;
+    t.rx = rx_node;
+    t.rate = rate;
+    t.signal_watt = network.received_power(tx_node, rx_node);
+    t.max_interference_watt = reception_interference(t);
+    t.corrupted =
+        nodes[rx_node].state == MacState::kTransmitting || is_on_air(rx_node);
+    return t;
+  }
+
+  void transmit_data(net::NodeId n) {
+    NodeMac& node = nodes[n];
+    MRWSN_ASSERT(!node.queue.empty(), "transmit with empty queue");
+    const Packet packet = node.queue.front();
+    const net::Link& link = head_link(n);
+    MRWSN_ASSERT(link.tx == n, "packet queued at the wrong node");
+
+    const phy::RateIndex rate = current_rate(link.id);
+    const double duration = data_duration(link);
+
+    node.state = MacState::kTransmitting;
+    ++data_transmissions;
+
+    Transmission t = make_tracked(Kind::kData, n, link.rx, duration, rate);
+    t.link = link.id;
+    t.packet = packet;
+    begin_transmission(std::move(t));
+    queue.schedule_in(duration, [this, n] { end_data(n); });
+  }
+
+  // ------------------------------------------------------------ RTS/CTS
+  phy::RateIndex base_rate() const {
+    return network.phy().rates().size() - 1;  // control frames at base rate
+  }
+
+  void begin_rts(net::NodeId n) {
+    NodeMac& node = nodes[n];
+    const net::Link& link = head_link(n);
+    node.state = MacState::kTransmitting;
+    begin_transmission(
+        make_tracked(Kind::kRts, n, link.rx, params.rts_duration_s, base_rate()));
+    queue.schedule_in(params.rts_duration_s, [this, n] { end_rts(n); });
+  }
+
+  void end_rts(net::NodeId n) {
+    const Transmission finished = take_transmission(n, Kind::kRts);
+    NodeMac& node = nodes[n];
+    node.state = MacState::kAwaitingAck;  // waiting for the CTS
+    if (!reception_succeeded(finished)) {
+      ++control_failures;
+      const double timeout =
+          params.sifs_s + params.cts_duration_s + params.slot_time_s;
+      queue.schedule_in(timeout, [this, n] { handle_ack_timeout(n); });
+      return;
+    }
+    // NAV for everyone who heard the RTS: the rest of the exchange.
+    const double data_s = data_duration(head_link(n));
+    const double exchange_end = queue.now() + 3 * params.sifs_s +
+                                params.cts_duration_s + data_s +
+                                params.ack_duration_s;
+    propagate_nav(n, finished.rx, exchange_end);
+    queue.schedule_in(params.sifs_s, [this, n, rx = finished.rx] {
+      begin_cts(n, rx);
+    });
+  }
+
+  void begin_cts(net::NodeId initiator, net::NodeId responder) {
+    begin_transmission(make_tracked(Kind::kCts, responder, initiator,
+                                    params.cts_duration_s, base_rate()));
+    queue.schedule_in(params.cts_duration_s, [this, initiator, responder] {
+      end_cts(initiator, responder);
+    });
+  }
+
+  void end_cts(net::NodeId initiator, net::NodeId responder) {
+    const Transmission finished = take_transmission(responder, Kind::kCts);
+    if (!reception_succeeded(finished)) {
+      ++control_failures;
+      queue.schedule_in(params.slot_time_s,
+                        [this, initiator] { handle_ack_timeout(initiator); });
+      return;
+    }
+    // NAV for the responder's neighbourhood: DATA + ACK remain.
+    const double data_s = data_duration(head_link(initiator));
+    const double exchange_end =
+        queue.now() + 2 * params.sifs_s + data_s + params.ack_duration_s;
+    propagate_nav(responder, initiator, exchange_end);
+    queue.schedule_in(params.sifs_s,
+                      [this, initiator] { transmit_data(initiator); });
+  }
+
+  /// Instantaneous interference at a DATA reception's receiver from every
+  /// other active transmission.
+  double reception_interference(const Transmission& t) const {
+    double interference = 0.0;
+    for (const Transmission& other : active) {
+      if (&other == &t || other.tx == t.tx) continue;
+      interference += network.received_power(other.tx, t.rx);
+    }
+    return interference;
+  }
+
+  void begin_transmission(Transmission t) {
+    active.push_back(std::move(t));
+    const Transmission& added = active.back();
+    // A node that starts transmitting corrupts anything it was receiving,
+    // and raises interference at every ongoing reception.
+    for (Transmission& other : active) {
+      if (!other.tracked() || &other == &added) continue;
+      if (other.rx == added.tx) other.corrupted = true;
+      other.max_interference_watt =
+          std::max(other.max_interference_watt, reception_interference(other));
+    }
+    refresh_channel();
+  }
+
+  /// Remove and return the active transmission of `kind` from `tx_node`.
+  Transmission take_transmission(net::NodeId tx_node, Kind kind) {
+    const auto it = std::find_if(active.begin(), active.end(),
+                                 [&](const Transmission& t) {
+                                   return t.tx == tx_node && t.kind == kind;
+                                 });
+    MRWSN_ASSERT(it != active.end(), "ending a transmission that is not active");
+    const Transmission finished = *it;
+    active.erase(it);
+    refresh_channel();
+    return finished;
+  }
+
+  void end_data(net::NodeId n) {
+    NodeMac& node = nodes[n];
+    const Transmission finished = take_transmission(n, Kind::kData);
+
+    const bool success = reception_succeeded(finished);
+    if (!success) ++failed_receptions;
+    node.state = MacState::kAwaitingAck;
+
+    if (success) {
+      // Receiver sends an ACK after SIFS; the ACK occupies the channel.
+      queue.schedule_in(params.sifs_s, [this, finished] {
+        Transmission ack;
+        ack.tx = finished.rx;
+        ack.end_time = queue.now() + params.ack_duration_s;
+        ack.kind = Kind::kAck;
+        begin_transmission(std::move(ack));
+        queue.schedule_in(params.ack_duration_s, [this, finished] {
+          (void)take_transmission(finished.rx, Kind::kAck);
+          complete_success(finished);
+        });
+      });
+    } else {
+      // No ACK will come; time out and retry.
+      const double timeout =
+          params.sifs_s + params.ack_duration_s + params.slot_time_s;
+      queue.schedule_in(timeout, [this, n] { handle_ack_timeout(n); });
+    }
+  }
+
+  bool reception_succeeded(const Transmission& t) const {
+    if (t.corrupted) return false;
+    const phy::PhyModel& phy = network.phy();
+    const phy::Rate& rate = phy.rates()[t.rate];
+    if (t.signal_watt < rate.rx_sensitivity_watt) return false;
+    return phy.sinr(t.signal_watt, t.max_interference_watt) >= rate.sinr_min_linear;
+  }
+
+  void complete_success(const Transmission& t) {
+    NodeMac& node = nodes[t.tx];
+    MRWSN_ASSERT(node.state == MacState::kAwaitingAck, "stray ACK completion");
+    MRWSN_ASSERT(!node.queue.empty(), "ACKed a frame that left the queue");
+    node.queue.pop_front();
+    node.state = MacState::kIdle;
+    node.retries = 0;
+    node.cw = params.cw_min;
+
+    arf_on_success(t.link);
+    FlowState& flow = flows[t.packet.flow];
+    if (t.packet.hop + 1 == flow.links.size()) {
+      if (queue.now() >= measure_start) {
+        ++flow.delivered;
+        flow.latencies_s.push_back(queue.now() - t.packet.created_at);
+      }
+    } else {
+      enqueue_packet(t.rx,
+                     Packet{t.packet.flow, t.packet.hop + 1, t.packet.created_at});
+    }
+    maybe_start_contention(t.tx);
+  }
+
+  void handle_ack_timeout(net::NodeId n) {
+    NodeMac& node = nodes[n];
+    MRWSN_ASSERT(node.state == MacState::kAwaitingAck, "stray ACK timeout");
+    node.state = MacState::kIdle;
+    {
+      MRWSN_ASSERT(!node.queue.empty(), "timeout with an empty queue");
+      const Packet& head = node.queue.front();
+      arf_on_failure(flows[head.flow].links[head.hop]);
+    }
+    ++node.retries;
+    if (node.retries > params.retry_limit) {
+      MRWSN_ASSERT(!node.queue.empty(), "dropping from an empty queue");
+      const Packet packet = node.queue.front();
+      node.queue.pop_front();
+      if (queue.now() >= measure_start) ++flows[packet.flow].dropped;
+      node.retries = 0;
+      node.cw = params.cw_min;
+    } else {
+      node.cw = std::min(2 * (node.cw + 1) - 1, params.cw_max);
+    }
+    maybe_start_contention(n);
+  }
+
+  // ------------------------------------------------------------ traffic
+  void enqueue_packet(net::NodeId n, Packet packet) {
+    NodeMac& node = nodes[n];
+    if (node.queue.size() >= params.queue_limit) {
+      if (queue.now() >= measure_start) ++flows[packet.flow].dropped;
+      return;
+    }
+    node.queue.push_back(packet);
+    maybe_start_contention(n);
+  }
+
+  void schedule_arrival(std::size_t flow_idx, double when) {
+    queue.schedule_at(when, [this, flow_idx] {
+      FlowState& flow = flows[flow_idx];
+      if (queue.now() >= measure_start) ++flow.generated;
+      const net::NodeId source = network.link(flow.links.front()).tx;
+      enqueue_packet(source, Packet{flow_idx, 0, queue.now()});
+      schedule_arrival(flow_idx, queue.now() + flow.arrival_interval_s);
+    });
+  }
+
+  // -------------------------------------------------------------- runs
+  SimReport run(double duration_s, double warmup_s) {
+    MRWSN_REQUIRE(!ran, "a CsmaSimulator can only run once");
+    MRWSN_REQUIRE(duration_s > 0.0 && warmup_s >= 0.0, "invalid durations");
+    ran = true;
+    measure_start = warmup_s;
+
+    for (std::size_t f = 0; f < flows.size(); ++f)
+      schedule_arrival(f, rng.uniform(0.0, flows[f].arrival_interval_s));
+
+    // Warmup, then reset busy accounting at the measurement boundary.
+    queue.run_until(warmup_s);
+    for (net::NodeId n = 0; n < nodes.size(); ++n) {
+      nodes[n].busy_accum = 0.0;
+      if (nodes[n].busy_since >= 0.0) nodes[n].busy_since = warmup_s;
+    }
+
+    const double end = warmup_s + duration_s;
+    queue.run_until(end);
+
+    SimReport report;
+    report.measured_s = duration_s;
+    report.data_transmissions = data_transmissions;
+    report.failed_receptions = failed_receptions;
+    report.control_failures = control_failures;
+    report.node_idle.reserve(nodes.size());
+    for (NodeMac& node : nodes) {
+      double busy = node.busy_accum;
+      if (node.busy_since >= 0.0) busy += end - node.busy_since;
+      report.node_idle.push_back(
+          std::clamp(1.0 - busy / duration_s, 0.0, 1.0));
+    }
+    for (FlowState& flow : flows) {
+      FlowStats stats;
+      stats.offered_mbps = flow.demand_mbps;
+      stats.delivered_mbps = static_cast<double>(flow.delivered) *
+                             static_cast<double>(params.payload_bits) /
+                             (duration_s * 1e6);
+      stats.generated_packets = flow.generated;
+      stats.delivered_packets = flow.delivered;
+      stats.dropped_packets = flow.dropped;
+      if (!flow.latencies_s.empty()) {
+        std::sort(flow.latencies_s.begin(), flow.latencies_s.end());
+        double sum = 0.0;
+        for (double l : flow.latencies_s) sum += l;
+        stats.mean_latency_s = sum / static_cast<double>(flow.latencies_s.size());
+        stats.p95_latency_s =
+            flow.latencies_s[(flow.latencies_s.size() - 1) * 95 / 100];
+        stats.max_latency_s = flow.latencies_s.back();
+      }
+      report.flows.push_back(stats);
+    }
+    return report;
+  }
+};
+
+CsmaSimulator::CsmaSimulator(const net::Network& network, MacParams params,
+                             std::uint64_t seed)
+    : impl_(std::make_unique<Impl>(network, params, seed)) {}
+
+CsmaSimulator::~CsmaSimulator() = default;
+
+void CsmaSimulator::add_flow(std::vector<net::LinkId> path_links,
+                             double demand_mbps) {
+  MRWSN_REQUIRE(!path_links.empty(), "a flow needs at least one link");
+  MRWSN_REQUIRE(demand_mbps > 0.0, "flow demand must be positive");
+  for (std::size_t i = 0; i + 1 < path_links.size(); ++i) {
+    MRWSN_REQUIRE(impl_->network.link(path_links[i]).rx ==
+                      impl_->network.link(path_links[i + 1]).tx,
+                  "flow links must form a contiguous path");
+  }
+  Impl::FlowState flow;
+  flow.links = std::move(path_links);
+  flow.demand_mbps = demand_mbps;
+  flow.arrival_interval_s = static_cast<double>(impl_->params.payload_bits) /
+                            (demand_mbps * 1e6);
+  impl_->flows.push_back(std::move(flow));
+}
+
+SimReport CsmaSimulator::run(double duration_s, double warmup_s) {
+  return impl_->run(duration_s, warmup_s);
+}
+
+}  // namespace mrwsn::mac

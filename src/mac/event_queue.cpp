@@ -1,0 +1,39 @@
+#include "mac/event_queue.hpp"
+
+#include "util/error.hpp"
+
+namespace mrwsn::mac {
+
+EventId EventQueue::schedule_at(double when, Callback fn) {
+  MRWSN_REQUIRE(when >= now_, "cannot schedule an event in the past");
+  MRWSN_REQUIRE(fn != nullptr, "event callback must be callable");
+  const EventId id = next_id_++;
+  events_.emplace(Key{when, id}, std::move(fn));
+  times_.emplace(id, when);
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  const auto it = times_.find(id);
+  if (it == times_.end()) return false;
+  events_.erase(Key{it->second, id});
+  times_.erase(it);
+  return true;
+}
+
+void EventQueue::run_until(double until) {
+  MRWSN_REQUIRE(until >= now_, "cannot run backwards in time");
+  while (!events_.empty()) {
+    const auto it = events_.begin();
+    const double when = it->first.first;
+    if (when > until) break;
+    Callback fn = std::move(it->second);
+    times_.erase(it->first.second);
+    events_.erase(it);
+    now_ = when;
+    fn();
+  }
+  now_ = until;
+}
+
+}  // namespace mrwsn::mac

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+
+namespace mrwsn::mac {
+
+/// Identifier of a scheduled event; valid until the event fires or is
+/// cancelled.
+using EventId = std::uint64_t;
+
+/// A minimal discrete-event simulation kernel: a time-ordered queue of
+/// callbacks with O(log n) schedule/cancel. Events scheduled for the same
+/// instant fire in schedule order (FIFO), which keeps runs deterministic.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulation time in seconds.
+  double now() const { return now_; }
+
+  /// Schedule `fn` to run at absolute time `when` (>= now). Returns an id
+  /// usable with cancel().
+  EventId schedule_at(double when, Callback fn);
+
+  /// Schedule `fn` to run `delay` seconds from now (delay >= 0).
+  EventId schedule_in(double delay, Callback fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Cancel a pending event. Returns false when the event already fired,
+  /// was already cancelled, or never existed.
+  bool cancel(EventId id);
+
+  /// Run events until the queue empties or simulation time would exceed
+  /// `until`. The clock ends at `until` (or earlier if the queue empties).
+  void run_until(double until);
+
+  /// True when no events are pending.
+  bool empty() const { return events_.empty(); }
+
+  std::size_t pending() const { return events_.size(); }
+
+ private:
+  using Key = std::pair<double, EventId>;  // (time, sequence)
+
+  double now_ = 0.0;
+  EventId next_id_ = 0;
+  std::map<Key, Callback> events_;
+  std::map<EventId, double> times_;  // id -> scheduled time, for cancel()
+};
+
+}  // namespace mrwsn::mac

@@ -1,0 +1,273 @@
+#include "mac/tdma.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "mac/event_queue.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace mrwsn::mac {
+
+struct TdmaSimulator::Impl {
+  struct Packet {
+    std::size_t flow = 0;
+    std::size_t hop = 0;
+    double created_at = 0.0;
+  };
+
+  struct FlowState {
+    std::vector<net::LinkId> links;
+    double demand_mbps = 0.0;
+    double arrival_interval_s = 0.0;
+    std::uint64_t generated = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped = 0;
+    std::vector<double> latencies_s;
+  };
+
+  /// One transmit opportunity for a link within the frame.
+  struct Window {
+    double offset_s = 0.0;  ///< start within the frame
+    double length_s = 0.0;
+    double rate_mbps = 0.0;
+  };
+
+  /// Per-link TDMA state: the queue and every window of the frame in
+  /// which the link may transmit (a link can appear in several slots of
+  /// an LP schedule, e.g. at 18 Mbps in a spatial-reuse slot and at 36
+  /// alone).
+  struct LinkState {
+    std::deque<Packet> queue;
+    std::vector<Window> windows;
+    bool transmitting = false;
+  };
+
+  const net::Network& network;
+  const core::InterferenceModel& model;
+  std::vector<core::ScheduledSet> schedule;
+  TdmaParams params;
+  Rng rng;
+  EventQueue queue;
+  std::vector<FlowState> flows;
+  std::vector<LinkState> links;
+  std::vector<double> node_busy_fraction;  // static, from schedule geometry
+  bool ran = false;
+  double measure_start = 0.0;
+  std::uint64_t data_transmissions = 0;
+
+  Impl(const net::Network& net, const core::InterferenceModel& m,
+       std::vector<core::ScheduledSet> sched, TdmaParams p, std::uint64_t seed)
+      : network(net), model(m), schedule(std::move(sched)), params(p), rng(seed) {
+    MRWSN_REQUIRE(params.frame_s > 0.0, "frame length must be positive");
+    const core::ScheduleCheck check = core::verify_schedule(model, schedule);
+    MRWSN_REQUIRE(check.valid, "refusing to execute an invalid schedule: " +
+                                   check.issue);
+
+    // Stretch the frame if needed so every scheduled link's slot fits at
+    // least one whole packet — otherwise a thin slot would starve its link
+    // (real TDMA would fragment frames instead).
+    for (const core::ScheduledSet& entry : schedule) {
+      for (std::size_t i = 0; i < entry.set.size(); ++i) {
+        const double needed =
+            1.05 * packet_airtime(entry.set.mbps[i]) / entry.time_share;
+        params.frame_s = std::max(params.frame_s, needed);
+      }
+    }
+
+    // Lay the slots out back to back inside the frame; links not covered
+    // by any slot stay silent; a link scheduled in several slots gets one
+    // window per slot.
+    links.resize(network.num_links());
+    double offset = 0.0;
+    for (const core::ScheduledSet& entry : schedule) {
+      const double length = entry.time_share * params.frame_s;
+      for (std::size_t i = 0; i < entry.set.size(); ++i) {
+        links[entry.set.links[i]].windows.push_back(
+            Window{offset, length, entry.set.mbps[i]});
+      }
+      offset += length;
+    }
+
+    // Node busy fractions from the schedule geometry (same criterion as
+    // the idle-time oracle).
+    node_busy_fraction.assign(network.num_nodes(), 0.0);
+    for (const core::ScheduledSet& entry : schedule) {
+      for (net::NodeId n = 0; n < network.num_nodes(); ++n) {
+        bool busy = false;
+        double sensed = 0.0;
+        for (net::LinkId id : entry.set.links) {
+          const net::Link& link = network.link(id);
+          if (link.tx == n || link.rx == n) {
+            busy = true;
+            break;
+          }
+          sensed += network.received_power(link.tx, n);
+        }
+        if (busy || sensed >= network.phy().cs_threshold_watt())
+          node_busy_fraction[n] += entry.time_share;
+      }
+    }
+  }
+
+  double packet_airtime(double rate_mbps) const {
+    return params.phy_overhead_s +
+           static_cast<double>(params.payload_bits) / (rate_mbps * 1e6);
+  }
+
+  /// The window in which a whole packet can start at `now`, if any.
+  const Window* usable_window(const LinkState& state, double now) const {
+    const double frame_start = std::floor(now / params.frame_s) * params.frame_s;
+    for (const Window& w : state.windows) {
+      const double start = frame_start + w.offset_s;
+      const double end = start + w.length_s;
+      if (now >= start - 1e-12 &&
+          now + packet_airtime(w.rate_mbps) <= end + 1e-12)
+        return &w;
+    }
+    return nullptr;
+  }
+
+  /// Earliest window start strictly useful after `now`.
+  double next_window_start(const LinkState& state, double now) const {
+    const double frame_start = std::floor(now / params.frame_s) * params.frame_s;
+    double best = std::numeric_limits<double>::infinity();
+    for (const Window& w : state.windows) {
+      double start = frame_start + w.offset_s;
+      if (start <= now + 1e-12) start += params.frame_s;
+      best = std::min(best, start);
+    }
+    return best;
+  }
+
+  void pump_link(net::LinkId id) {
+    LinkState& state = links[id];
+    if (state.transmitting || state.queue.empty() || state.windows.empty())
+      return;
+    const double now = queue.now();
+    if (const Window* window = usable_window(state, now)) {
+      state.transmitting = true;
+      ++data_transmissions;
+      queue.schedule_in(packet_airtime(window->rate_mbps),
+                        [this, id] { finish_packet(id); });
+    } else {
+      // Wake at the next window start and re-check (the packet may not
+      // fit at the tail of the current window). Duplicate wake-ups are
+      // harmless: pump_link is idempotent on its state checks.
+      const double wake = std::max(next_window_start(state, now), now + 1e-9);
+      queue.schedule_at(wake, [this, id] { pump_link(id); });
+    }
+  }
+
+  void finish_packet(net::LinkId id) {
+    LinkState& state = links[id];
+    MRWSN_ASSERT(state.transmitting && !state.queue.empty(),
+                 "TDMA finished a packet that never started");
+    state.transmitting = false;
+    const Packet packet = state.queue.front();
+    state.queue.pop_front();
+
+    FlowState& flow = flows[packet.flow];
+    if (packet.hop + 1 == flow.links.size()) {
+      if (queue.now() >= measure_start) {
+        ++flow.delivered;
+        flow.latencies_s.push_back(queue.now() - packet.created_at);
+      }
+    } else {
+      deliver_to_link(flow.links[packet.hop + 1],
+                      Packet{packet.flow, packet.hop + 1, packet.created_at});
+    }
+    pump_link(id);
+  }
+
+  void deliver_to_link(net::LinkId id, Packet packet) {
+    LinkState& state = links[id];
+    if (state.queue.size() >= params.queue_limit) {
+      if (queue.now() >= measure_start) ++flows[packet.flow].dropped;
+      return;
+    }
+    state.queue.push_back(packet);
+    pump_link(id);
+  }
+
+  void schedule_arrival(std::size_t flow_idx, double when) {
+    queue.schedule_at(when, [this, flow_idx] {
+      FlowState& flow = flows[flow_idx];
+      if (queue.now() >= measure_start) ++flow.generated;
+      deliver_to_link(flow.links.front(), Packet{flow_idx, 0, queue.now()});
+      schedule_arrival(flow_idx, queue.now() + flow.arrival_interval_s);
+    });
+  }
+
+  SimReport run(double duration_s, double warmup_s) {
+    MRWSN_REQUIRE(!ran, "a TdmaSimulator can only run once");
+    MRWSN_REQUIRE(duration_s > 0.0 && warmup_s >= 0.0, "invalid durations");
+    ran = true;
+    measure_start = warmup_s;
+    for (std::size_t f = 0; f < flows.size(); ++f)
+      schedule_arrival(f, rng.uniform(0.0, flows[f].arrival_interval_s));
+    queue.run_until(warmup_s + duration_s);
+
+    SimReport report;
+    report.measured_s = duration_s;
+    report.data_transmissions = data_transmissions;
+    report.failed_receptions = 0;  // certified slots never fail
+    for (net::NodeId n = 0; n < network.num_nodes(); ++n)
+      report.node_idle.push_back(
+          std::clamp(1.0 - node_busy_fraction[n], 0.0, 1.0));
+    for (FlowState& flow : flows) {
+      FlowStats stats;
+      stats.offered_mbps = flow.demand_mbps;
+      stats.delivered_mbps = static_cast<double>(flow.delivered) *
+                             static_cast<double>(params.payload_bits) /
+                             (duration_s * 1e6);
+      stats.generated_packets = flow.generated;
+      stats.delivered_packets = flow.delivered;
+      stats.dropped_packets = flow.dropped;
+      if (!flow.latencies_s.empty()) {
+        std::sort(flow.latencies_s.begin(), flow.latencies_s.end());
+        double sum = 0.0;
+        for (double l : flow.latencies_s) sum += l;
+        stats.mean_latency_s = sum / static_cast<double>(flow.latencies_s.size());
+        stats.p95_latency_s =
+            flow.latencies_s[(flow.latencies_s.size() - 1) * 95 / 100];
+        stats.max_latency_s = flow.latencies_s.back();
+      }
+      report.flows.push_back(stats);
+    }
+    return report;
+  }
+};
+
+TdmaSimulator::TdmaSimulator(const net::Network& network,
+                             const core::InterferenceModel& model,
+                             std::vector<core::ScheduledSet> schedule,
+                             TdmaParams params, std::uint64_t seed)
+    : impl_(std::make_unique<Impl>(network, model, std::move(schedule), params,
+                                   seed)) {}
+
+TdmaSimulator::~TdmaSimulator() = default;
+
+void TdmaSimulator::add_flow(std::vector<net::LinkId> path_links,
+                             double demand_mbps) {
+  MRWSN_REQUIRE(!path_links.empty(), "a flow needs at least one link");
+  MRWSN_REQUIRE(demand_mbps > 0.0, "flow demand must be positive");
+  for (std::size_t i = 0; i + 1 < path_links.size(); ++i) {
+    MRWSN_REQUIRE(impl_->network.link(path_links[i]).rx ==
+                      impl_->network.link(path_links[i + 1]).tx,
+                  "flow links must form a contiguous path");
+  }
+  Impl::FlowState flow;
+  flow.links = std::move(path_links);
+  flow.demand_mbps = demand_mbps;
+  flow.arrival_interval_s = static_cast<double>(impl_->params.payload_bits) /
+                            (demand_mbps * 1e6);
+  impl_->flows.push_back(std::move(flow));
+}
+
+SimReport TdmaSimulator::run(double duration_s, double warmup_s) {
+  return impl_->run(duration_s, warmup_s);
+}
+
+}  // namespace mrwsn::mac

@@ -1,0 +1,75 @@
+#include "net/network.hpp"
+
+#include "util/error.hpp"
+
+namespace mrwsn::net {
+
+Network::Network(std::vector<geom::Point> positions, phy::PhyModel phy)
+    : Network(std::move(positions), std::move(phy), phy::Shadowing(0.0, 0)) {}
+
+Network::Network(std::vector<geom::Point> positions, phy::PhyModel phy,
+                 phy::Shadowing shadowing)
+    : phy_(std::move(phy)) {
+  if (shadowing.sigma_db() > 0.0) shadowing_ = shadowing;
+  MRWSN_REQUIRE(!positions.empty(), "a network needs at least one node");
+  nodes_.reserve(positions.size());
+  for (NodeId id = 0; id < positions.size(); ++id)
+    nodes_.push_back(Node{id, positions[id]});
+
+  const std::size_t n = nodes_.size();
+  links_from_.assign(n, {});
+  by_pair_.assign(n, std::vector<std::optional<LinkId>>(n));
+
+  for (NodeId tx = 0; tx < n; ++tx) {
+    for (NodeId rx = 0; rx < n; ++rx) {
+      if (tx == rx) continue;
+      // Link existence and its lone rate follow the (possibly shadowed)
+      // received power: Eq. 1 with zero interference.
+      const double pr = received_power(tx, rx);
+      const auto rate = phy_.rates().max_supported(pr, phy_.sinr(pr, 0.0));
+      if (!rate) continue;
+      Link link;
+      link.id = links_.size();
+      link.tx = tx;
+      link.rx = rx;
+      link.length_m = geom::distance(nodes_[tx].position, nodes_[rx].position);
+      link.best_rate_alone = *rate;
+      link.best_mbps_alone = phy_.rates()[*rate].mbps;
+      by_pair_[tx][rx] = link.id;
+      links_from_[tx].push_back(link.id);
+      links_.push_back(link);
+    }
+  }
+}
+
+const Node& Network::node(NodeId id) const {
+  MRWSN_REQUIRE(id < nodes_.size(), "node id out of range");
+  return nodes_[id];
+}
+
+const Link& Network::link(LinkId id) const {
+  MRWSN_REQUIRE(id < links_.size(), "link id out of range");
+  return links_[id];
+}
+
+std::optional<LinkId> Network::find_link(NodeId tx, NodeId rx) const {
+  MRWSN_REQUIRE(tx < nodes_.size() && rx < nodes_.size(), "node id out of range");
+  return by_pair_[tx][rx];
+}
+
+const std::vector<LinkId>& Network::links_from(NodeId node) const {
+  MRWSN_REQUIRE(node < nodes_.size(), "node id out of range");
+  return links_from_[node];
+}
+
+double Network::distance(NodeId a, NodeId b) const {
+  MRWSN_REQUIRE(a < nodes_.size() && b < nodes_.size(), "node id out of range");
+  return geom::distance(nodes_[a].position, nodes_[b].position);
+}
+
+double Network::received_power(NodeId from, NodeId at) const {
+  const double gain = shadowing_ ? shadowing_->gain(from, at) : 1.0;
+  return gain * phy_.received_power(distance(from, at));
+}
+
+}  // namespace mrwsn::net

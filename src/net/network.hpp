@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "geom/point.hpp"
+#include "phy/phy_model.hpp"
+#include "phy/shadowing.hpp"
+
+namespace mrwsn::net {
+
+using NodeId = std::size_t;
+using LinkId = std::size_t;
+
+/// A radio node at a fixed position.
+struct Node {
+  NodeId id = 0;
+  geom::Point position;
+};
+
+/// A directed wireless link. A link exists iff its receiver can decode at
+/// least the lowest rate when the transmitter sends alone (Eq. 1 with zero
+/// interference).
+struct Link {
+  LinkId id = 0;
+  NodeId tx = 0;
+  NodeId rx = 0;
+  double length_m = 0.0;
+  phy::RateIndex best_rate_alone = 0;  ///< index of the fastest lone rate
+  double best_mbps_alone = 0.0;        ///< its Mbps value
+};
+
+/// An immutable network: node placement + physical layer + every directed
+/// link the PHY admits. This is the substrate every higher layer works on.
+class Network {
+ public:
+  Network(std::vector<geom::Point> positions, phy::PhyModel phy);
+
+  /// With log-normal shadowing: every received power (signal, interference
+  /// and carrier sensing alike) is scaled by the pair's shadowing gain, and
+  /// link existence/rates are derived from the shadowed power.
+  Network(std::vector<geom::Point> positions, phy::PhyModel phy,
+          phy::Shadowing shadowing);
+
+  const phy::PhyModel& phy() const { return phy_; }
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  std::size_t num_links() const { return links_.size(); }
+
+  const Node& node(NodeId id) const;
+  const Link& link(LinkId id) const;
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const std::vector<Link>& links() const { return links_; }
+
+  /// The link from `tx` to `rx`, if the PHY admits one.
+  std::optional<LinkId> find_link(NodeId tx, NodeId rx) const;
+
+  /// Links whose transmitter is `node`.
+  const std::vector<LinkId>& links_from(NodeId node) const;
+
+  /// Euclidean distance between two nodes in metres.
+  double distance(NodeId a, NodeId b) const;
+
+  /// Received power at node `at` from a transmission by node `from`.
+  double received_power(NodeId from, NodeId at) const;
+
+ private:
+  std::vector<Node> nodes_;
+  phy::PhyModel phy_;
+  std::optional<phy::Shadowing> shadowing_;
+  std::vector<Link> links_;
+  std::vector<std::vector<LinkId>> links_from_;        // by tx node
+  std::vector<std::vector<std::optional<LinkId>>> by_pair_;  // [tx][rx]
+};
+
+}  // namespace mrwsn::net

@@ -1,0 +1,49 @@
+#include "net/path.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mrwsn::net {
+
+Path::Path(const Network& network, std::vector<LinkId> links)
+    : links_(std::move(links)) {
+  MRWSN_REQUIRE(!links_.empty(), "a path needs at least one link");
+  nodes_.reserve(links_.size() + 1);
+  nodes_.push_back(network.link(links_.front()).tx);
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    const Link& link = network.link(links_[i]);
+    MRWSN_REQUIRE(link.tx == nodes_.back(),
+                  "path links must be contiguous (link tx != previous rx)");
+    nodes_.push_back(link.rx);
+  }
+  // Loop-freedom: no node may appear twice.
+  std::vector<NodeId> sorted = nodes_;
+  std::sort(sorted.begin(), sorted.end());
+  MRWSN_REQUIRE(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
+                "path revisits a node");
+  source_ = nodes_.front();
+  destination_ = nodes_.back();
+}
+
+Path Path::from_nodes(const Network& network, const std::vector<NodeId>& nodes) {
+  MRWSN_REQUIRE(nodes.size() >= 2, "a path needs at least two nodes");
+  std::vector<LinkId> links;
+  links.reserve(nodes.size() - 1);
+  for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+    const auto link = network.find_link(nodes[i], nodes[i + 1]);
+    MRWSN_REQUIRE(link.has_value(), "consecutive path nodes are not connected");
+    links.push_back(*link);
+  }
+  return Path(network, std::move(links));
+}
+
+bool Path::contains_link(LinkId link) const {
+  return std::find(links_.begin(), links_.end(), link) != links_.end();
+}
+
+bool Path::contains_node(NodeId node) const {
+  return std::find(nodes_.begin(), nodes_.end(), node) != nodes_.end();
+}
+
+}  // namespace mrwsn::net

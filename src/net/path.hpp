@@ -1,0 +1,47 @@
+#pragma once
+
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace mrwsn::net {
+
+/// A loop-free multihop path: a contiguous sequence of links where each
+/// link's receiver is the next link's transmitter and no node repeats.
+class Path {
+ public:
+  /// Build from an ordered list of link ids; validates contiguity and
+  /// loop-freedom against `network`.
+  Path(const Network& network, std::vector<LinkId> links);
+
+  /// Build from an ordered list of node ids; every consecutive pair must
+  /// be joined by a link in `network`.
+  static Path from_nodes(const Network& network, const std::vector<NodeId>& nodes);
+
+  NodeId source() const { return source_; }
+  NodeId destination() const { return destination_; }
+  std::size_t hop_count() const { return links_.size(); }
+  const std::vector<LinkId>& links() const { return links_; }
+  const std::vector<NodeId>& nodes() const { return nodes_; }
+
+  bool contains_link(LinkId link) const;
+  bool contains_node(NodeId node) const;
+
+  friend bool operator==(const Path& a, const Path& b) { return a.links_ == b.links_; }
+
+ private:
+  std::vector<LinkId> links_;
+  std::vector<NodeId> nodes_;  // hop_count()+1 entries
+  NodeId source_ = 0;
+  NodeId destination_ = 0;
+};
+
+/// A unidirectional traffic flow: a path plus an end-to-end demand in Mbps.
+/// Background traffic in the paper's model is a set of flows whose demands
+/// must keep being delivered while a new flow is admitted.
+struct Flow {
+  Path path;
+  double demand_mbps = 0.0;
+};
+
+}  // namespace mrwsn::net

@@ -1,0 +1,92 @@
+#include "phy/phy_model.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace mrwsn::phy {
+
+PhyModel::PhyModel(PathLoss loss, RateTable rates, double tx_power_watt,
+                   double noise_watt, double cs_threshold_watt)
+    : loss_(loss),
+      rates_(std::move(rates)),
+      tx_power_watt_(tx_power_watt),
+      noise_watt_(noise_watt),
+      cs_threshold_watt_(cs_threshold_watt) {
+  MRWSN_REQUIRE(tx_power_watt > 0.0, "transmit power must be positive");
+  MRWSN_REQUIRE(noise_watt > 0.0, "noise power must be positive");
+  MRWSN_REQUIRE(cs_threshold_watt > 0.0, "carrier-sense threshold must be positive");
+}
+
+PhyModel PhyModel::calibrated(const std::vector<RateSpec>& specs, double exponent,
+                              double tx_power_watt, double cs_range_factor) {
+  MRWSN_REQUIRE(!specs.empty(), "need at least one rate spec");
+  MRWSN_REQUIRE(cs_range_factor >= 1.0, "carrier-sense range cannot be shorter than tx range");
+  PathLoss loss(exponent);
+
+  std::vector<Rate> rates;
+  rates.reserve(specs.size());
+  double noise = std::numeric_limits<double>::infinity();
+  double longest_range = 0.0;
+  for (const RateSpec& spec : specs) {
+    MRWSN_REQUIRE(spec.range_m > 0.0, "rate range must be positive");
+    Rate r;
+    r.mbps = spec.mbps;
+    r.sinr_min_linear = units::db_to_ratio(spec.snr_min_db);
+    r.rx_sensitivity_watt = loss.received_power(tx_power_watt, spec.range_m);
+    rates.push_back(r);
+    // SNR must hold at the edge of the rate's range: Pr(range)/noise >= SINR.
+    noise = std::min(noise, r.rx_sensitivity_watt / r.sinr_min_linear);
+    longest_range = std::max(longest_range, spec.range_m);
+  }
+
+  const double cs_threshold =
+      loss.received_power(tx_power_watt, cs_range_factor * longest_range);
+  return PhyModel(loss, RateTable(std::move(rates)), tx_power_watt, noise,
+                  cs_threshold);
+}
+
+PhyModel PhyModel::paper_default() {
+  // Section 5.2: 802.11a subset, path-loss exponent 4.
+  return calibrated({{54.0, 59.0, 24.56},
+                     {36.0, 79.0, 18.80},
+                     {18.0, 119.0, 10.79},
+                     {6.0, 158.0, 6.02}},
+                    /*exponent=*/4.0);
+}
+
+double PhyModel::received_power(double distance_m) const {
+  return loss_.received_power(tx_power_watt_, distance_m);
+}
+
+double PhyModel::sinr(double signal_watt, double interference_watt) const {
+  MRWSN_REQUIRE(interference_watt >= 0.0, "interference power cannot be negative");
+  return signal_watt / (interference_watt + noise_watt_);
+}
+
+std::optional<RateIndex> PhyModel::max_rate_alone(double distance_m) const {
+  const double pr = received_power(distance_m);
+  return rates_.max_supported(pr, sinr(pr, 0.0));
+}
+
+std::optional<RateIndex> PhyModel::max_rate(double signal_watt,
+                                            double interference_watt) const {
+  return rates_.max_supported(signal_watt, sinr(signal_watt, interference_watt));
+}
+
+double PhyModel::carrier_sense_range() const {
+  return loss_.range_for_power(tx_power_watt_, cs_threshold_watt_);
+}
+
+bool PhyModel::senses_busy_at(double distance_m) const {
+  return received_power(distance_m) >= cs_threshold_watt_;
+}
+
+double PhyModel::max_tx_range() const {
+  return loss_.range_for_power(tx_power_watt_,
+                               rates_.rates().back().rx_sensitivity_watt);
+}
+
+}  // namespace mrwsn::phy

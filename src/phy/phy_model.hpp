@@ -1,0 +1,85 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "phy/propagation.hpp"
+#include "phy/rate.hpp"
+
+namespace mrwsn::phy {
+
+/// A rate described the way the paper describes it (Section 5.2): by its
+/// Mbps value, its maximum lone-transmission distance, and its minimum SNR.
+struct RateSpec {
+  double mbps;
+  double range_m;
+  double snr_min_db;
+};
+
+/// The complete physical layer: propagation + radio powers + rate table.
+/// All SINR-based feasibility questions (Eq. 1 and Eq. 3 of the paper) are
+/// answered here.
+class PhyModel {
+ public:
+  PhyModel(PathLoss loss, RateTable rates, double tx_power_watt,
+           double noise_watt, double cs_threshold_watt);
+
+  /// Build a PhyModel whose lone-transmission distances match `specs`
+  /// exactly: the sensitivity of each rate is set to the received power at
+  /// its specified range, and the noise floor is chosen as the largest
+  /// value for which the SNR requirement is also met at that range for
+  /// every rate (so the sensitivity is the binding condition when alone).
+  ///
+  /// `cs_range_factor` fixes the carrier-sense threshold at the power
+  /// received from `cs_range_factor x (longest rate range)` metres — the
+  /// usual "carrier-sense range exceeds transmission range" regime.
+  static PhyModel calibrated(const std::vector<RateSpec>& specs,
+                             double exponent = 4.0, double tx_power_watt = 0.1,
+                             double cs_range_factor = 1.78);
+
+  /// The paper's Section 5.2 physical layer: 802.11a rates
+  /// {54, 36, 18, 6} Mbps with ranges {59, 79, 119, 158} m, SNR
+  /// requirements {24.56, 18.80, 10.79, 6.02} dB and path-loss exponent 4.
+  static PhyModel paper_default();
+
+  /// Received power (watts) at `distance_m` from a node transmitting at
+  /// the radio's transmit power.
+  double received_power(double distance_m) const;
+
+  /// SINR given a received signal power and total interference power.
+  double sinr(double signal_watt, double interference_watt) const;
+
+  /// Highest rate supported over a link of the given length when no other
+  /// link transmits (Eq. 1 with zero interference).
+  std::optional<RateIndex> max_rate_alone(double distance_m) const;
+
+  /// Highest rate supported given the received signal power and the sum of
+  /// interference powers (Eq. 1 + Eq. 3).
+  std::optional<RateIndex> max_rate(double signal_watt,
+                                    double interference_watt) const;
+
+  /// Distance out to which a transmission is sensed as channel-busy.
+  double carrier_sense_range() const;
+
+  /// True when a single transmitter at `distance_m` raises the sensed
+  /// power above the carrier-sense threshold.
+  bool senses_busy_at(double distance_m) const;
+
+  /// Longest lone-transmission range (that of the lowest rate).
+  double max_tx_range() const;
+
+  const RateTable& rates() const { return rates_; }
+  const PathLoss& path_loss() const { return loss_; }
+  double tx_power_watt() const { return tx_power_watt_; }
+  double noise_watt() const { return noise_watt_; }
+  double cs_threshold_watt() const { return cs_threshold_watt_; }
+
+ private:
+  PathLoss loss_;
+  RateTable rates_;
+  double tx_power_watt_;
+  double noise_watt_;
+  double cs_threshold_watt_;
+};
+
+}  // namespace mrwsn::phy

@@ -1,0 +1,28 @@
+#include "phy/propagation.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mrwsn::phy {
+
+PathLoss::PathLoss(double exponent, double gain, double reference_distance)
+    : exponent_(exponent), gain_(gain), reference_distance_(reference_distance) {
+  MRWSN_REQUIRE(exponent > 0.0, "path-loss exponent must be positive");
+  MRWSN_REQUIRE(gain > 0.0, "path gain must be positive");
+  MRWSN_REQUIRE(reference_distance > 0.0, "reference distance must be positive");
+}
+
+double PathLoss::received_power(double tx_watt, double distance_m) const {
+  MRWSN_REQUIRE(tx_watt >= 0.0, "transmit power cannot be negative");
+  const double d = std::max(distance_m, reference_distance_);
+  return tx_watt * gain_ / std::pow(d, exponent_);
+}
+
+double PathLoss::range_for_power(double tx_watt, double rx_watt) const {
+  MRWSN_REQUIRE(tx_watt > 0.0 && rx_watt > 0.0,
+                "range_for_power needs positive powers");
+  return std::pow(tx_watt * gain_ / rx_watt, 1.0 / exponent_);
+}
+
+}  // namespace mrwsn::phy

@@ -1,0 +1,30 @@
+#pragma once
+
+namespace mrwsn::phy {
+
+/// Deterministic log-distance path loss:
+///   Pr(d) = Pt * gain / max(d, d_ref)^exponent
+/// with a 1 m reference distance. The paper's evaluation sets the exponent
+/// to 4 (Section 5.2); gain defaults to 1 so absolute power levels are
+/// fixed by the choice of noise floor (see PhyModel::calibrated).
+class PathLoss {
+ public:
+  explicit PathLoss(double exponent = 4.0, double gain = 1.0,
+                    double reference_distance = 1.0);
+
+  /// Received power in watts for a transmit power `tx_watt` at `distance_m`.
+  double received_power(double tx_watt, double distance_m) const;
+
+  /// Distance at which the received power drops to `rx_watt`
+  /// (inverse of received_power for distances beyond the reference).
+  double range_for_power(double tx_watt, double rx_watt) const;
+
+  double exponent() const { return exponent_; }
+
+ private:
+  double exponent_;
+  double gain_;
+  double reference_distance_;
+};
+
+}  // namespace mrwsn::phy

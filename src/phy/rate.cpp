@@ -1,0 +1,34 @@
+#include "phy/rate.hpp"
+
+#include "util/error.hpp"
+
+namespace mrwsn::phy {
+
+RateTable::RateTable(std::vector<Rate> rates) : rates_(std::move(rates)) {
+  MRWSN_REQUIRE(!rates_.empty(), "a rate table needs at least one rate");
+  for (std::size_t i = 0; i < rates_.size(); ++i) {
+    MRWSN_REQUIRE(rates_[i].mbps > 0.0, "rates must be positive");
+    MRWSN_REQUIRE(rates_[i].sinr_min_linear > 0.0, "SINR thresholds must be positive");
+    MRWSN_REQUIRE(rates_[i].rx_sensitivity_watt > 0.0, "sensitivities must be positive");
+    if (i > 0) {
+      MRWSN_REQUIRE(rates_[i].mbps < rates_[i - 1].mbps,
+                    "rates must be strictly decreasing");
+      MRWSN_REQUIRE(rates_[i].sinr_min_linear <= rates_[i - 1].sinr_min_linear,
+                    "lower rates cannot require more SINR");
+      MRWSN_REQUIRE(rates_[i].rx_sensitivity_watt <= rates_[i - 1].rx_sensitivity_watt,
+                    "lower rates cannot require more received power");
+    }
+  }
+}
+
+std::optional<RateIndex> RateTable::max_supported(double received_power_watt,
+                                                  double sinr_linear) const {
+  for (RateIndex i = 0; i < rates_.size(); ++i) {
+    const Rate& r = rates_[i];
+    if (received_power_watt >= r.rx_sensitivity_watt && sinr_linear >= r.sinr_min_linear)
+      return i;
+  }
+  return std::nullopt;
+}
+
+}  // namespace mrwsn::phy

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace mrwsn::phy {
+
+/// One modulation/coding choice of a multirate radio (Eq. 1 of the paper):
+/// a transmission at this rate succeeds iff the received power is at least
+/// `rx_sensitivity_watt` AND the SINR is at least `sinr_min_linear`.
+struct Rate {
+  double mbps = 0.0;                ///< data rate in Mbps
+  double sinr_min_linear = 0.0;     ///< minimum SINR (linear power ratio)
+  double rx_sensitivity_watt = 0.0; ///< minimum received power (watts)
+};
+
+/// Index into a RateTable; smaller index = higher rate by convention.
+using RateIndex = std::size_t;
+
+/// An ordered set of rates, highest rate first. The paper's evaluation uses
+/// the 802.11a subset {54, 36, 18, 6} Mbps; the table is also constructible
+/// from arbitrary custom rates for the analytical scenarios.
+class RateTable {
+ public:
+  /// Rates must be strictly decreasing in mbps, with non-increasing
+  /// sensitivity and SINR requirements as the rate drops.
+  explicit RateTable(std::vector<Rate> rates);
+
+  std::size_t size() const { return rates_.size(); }
+  const Rate& operator[](RateIndex i) const { return rates_[i]; }
+  const std::vector<Rate>& rates() const { return rates_; }
+
+  /// Highest rate whose sensitivity and SINR requirements are both met;
+  /// nullopt when even the lowest rate fails (the transmission cannot
+  /// succeed at all).
+  std::optional<RateIndex> max_supported(double received_power_watt,
+                                         double sinr_linear) const;
+
+  /// Highest rate in Mbps (rates_[0]).
+  double max_mbps() const { return rates_.front().mbps; }
+  /// Lowest rate in Mbps (rates_.back()).
+  double min_mbps() const { return rates_.back().mbps; }
+
+ private:
+  std::vector<Rate> rates_;
+};
+
+}  // namespace mrwsn::phy

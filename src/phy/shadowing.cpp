@@ -1,0 +1,33 @@
+#include "phy/shadowing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace mrwsn::phy {
+
+Shadowing::Shadowing(double sigma_db, std::uint64_t seed)
+    : sigma_db_(sigma_db), seed_(seed) {
+  MRWSN_REQUIRE(sigma_db >= 0.0, "shadowing sigma cannot be negative");
+}
+
+double Shadowing::gain(std::size_t a, std::size_t b) const {
+  if (sigma_db_ == 0.0) return 1.0;
+  const std::uint64_t lo = std::min(a, b);
+  const std::uint64_t hi = std::max(a, b);
+  // Hash (pair, seed) into two independent uniforms, then Box-Muller.
+  SplitMix64 hash(seed_ ^ (lo * 0x9e3779b97f4a7c15ULL) ^
+                  (hi * 0xc2b2ae3d27d4eb4fULL));
+  const double u1 =
+      (static_cast<double>(hash.next() >> 11) + 0.5) * 0x1.0p-53;  // (0,1)
+  const double u2 = static_cast<double>(hash.next() >> 11) * 0x1.0p-53;
+  const double z =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+  return units::db_to_ratio(sigma_db_ * z);
+}
+
+}  // namespace mrwsn::phy

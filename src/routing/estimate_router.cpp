@@ -1,0 +1,108 @@
+#include "routing/estimate_router.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "core/idle_time.hpp"
+#include "util/error.hpp"
+
+namespace mrwsn::routing {
+
+std::string estimator_metric_name(EstimatorMetric metric) {
+  switch (metric) {
+    case EstimatorMetric::kCliqueConstraint:
+      return "clique constraint (Eq. 11)";
+    case EstimatorMetric::kMinCliqueBottleneck:
+      return "min clique/bottleneck (Eq. 12)";
+    case EstimatorMetric::kConservativeClique:
+      return "conservative clique (Eq. 13)";
+  }
+  throw PreconditionError("unknown estimator metric");
+}
+
+EstimateRouter::EstimateRouter(const net::Network& network,
+                               const core::InterferenceModel& model,
+                               EstimatorMetric metric)
+    : network_(&network), model_(&model), metric_(metric) {}
+
+double EstimateRouter::estimate(std::span<const net::LinkId> path_links,
+                                std::span<const double> node_idle) const {
+  const core::PathEstimateInput input = core::make_path_estimate_input(
+      *network_, *model_, path_links, node_idle);
+  switch (metric_) {
+    case EstimatorMetric::kCliqueConstraint:
+      return core::estimate_clique_constraint(input);
+    case EstimatorMetric::kMinCliqueBottleneck:
+      return core::estimate_min_clique_bottleneck(input);
+    case EstimatorMetric::kConservativeClique:
+      return core::estimate_conservative_clique(input);
+  }
+  throw PreconditionError("unknown estimator metric");
+}
+
+std::optional<net::Path> EstimateRouter::find_path(
+    net::NodeId src, net::NodeId dst, std::span<const double> node_idle) const {
+  MRWSN_REQUIRE(src < network_->num_nodes() && dst < network_->num_nodes(),
+                "node id out of range");
+  MRWSN_REQUIRE(src != dst, "source and destination must differ");
+  MRWSN_REQUIRE(node_idle.size() == network_->num_nodes(),
+                "node idle vector must cover every node");
+
+  // Widest-path label setting: labels carry the whole prefix because the
+  // estimate is evaluated on prefixes, not edges. Ties favour fewer hops.
+  struct Label {
+    double width;
+    std::vector<net::LinkId> links;
+    net::NodeId at;
+  };
+  auto worse = [](const Label& a, const Label& b) {
+    if (a.width != b.width) return a.width < b.width;
+    return a.links.size() > b.links.size();
+  };
+  std::priority_queue<Label, std::vector<Label>, decltype(worse)> heap(worse);
+  std::vector<double> best(network_->num_nodes(), -1.0);
+
+  for (net::LinkId id : network_->links_from(src)) {
+    const std::vector<net::LinkId> prefix{id};
+    heap.push(Label{estimate(prefix, node_idle), prefix, network_->link(id).rx});
+  }
+
+  while (!heap.empty()) {
+    Label label = heap.top();
+    heap.pop();
+    if (label.width <= 0.0) break;  // nothing usable remains
+    if (label.width <= best[label.at]) continue;  // dominated
+    best[label.at] = label.width;
+    if (label.at == dst) return net::Path(*network_, std::move(label.links));
+
+    for (net::LinkId id : network_->links_from(label.at)) {
+      const net::Link& link = network_->link(id);
+      // Loop-freedom: the receiver must be new to the prefix.
+      bool revisits = link.rx == src;
+      for (net::LinkId used : label.links) {
+        if (network_->link(used).tx == link.rx ||
+            network_->link(used).rx == link.rx) {
+          revisits = true;
+          break;
+        }
+      }
+      if (revisits) continue;
+      std::vector<net::LinkId> extended = label.links;
+      extended.push_back(id);
+      const double width = estimate(extended, node_idle);
+      if (width <= best[link.rx]) continue;
+      heap.push(Label{width, std::move(extended), link.rx});
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<net::Path> EstimateRouter::find_path(
+    net::NodeId src, net::NodeId dst,
+    std::span<const core::LinkFlow> background) const {
+  const core::IdleResult idle =
+      core::schedule_idle_ratios(*network_, *model_, background);
+  return find_path(src, dst, idle.node_idle);
+}
+
+}  // namespace mrwsn::routing

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+
+#include "core/available_bandwidth.hpp"
+#include "core/estimation.hpp"
+#include "net/path.hpp"
+
+namespace mrwsn::routing {
+
+/// Which Section-4 estimator the EstimateRouter maximizes.
+enum class EstimatorMetric {
+  kCliqueConstraint,     ///< Eq. 11
+  kMinCliqueBottleneck,  ///< Eq. 12
+  kConservativeClique,   ///< Eq. 13
+};
+
+std::string estimator_metric_name(EstimatorMetric metric);
+
+/// The paper's Section-4 proposal taken literally: "use the minimum value
+/// of estimated available bandwidth ... for all (local) maximal cliques as
+/// routing metrics". Each intermediate node scores the bandwidth estimate
+/// of the path prefix from the source to itself (local cliques + idle
+/// ratios, all locally observable) and the route maximizes the estimate —
+/// a widest-path label-setting search.
+///
+/// Because the estimate is evaluated on whole prefixes (it is not an
+/// additive edge weight), label domination by best-estimate-per-node is a
+/// heuristic, exactly as in the paper's distributed setting.
+class EstimateRouter {
+ public:
+  EstimateRouter(const net::Network& network, const core::InterferenceModel& model,
+                 EstimatorMetric metric = EstimatorMetric::kConservativeClique);
+
+  /// Best-estimate path given per-node idle ratios; nullopt when `dst` is
+  /// unreachable or every route estimates to zero bandwidth.
+  std::optional<net::Path> find_path(net::NodeId src, net::NodeId dst,
+                                     std::span<const double> node_idle) const;
+
+  /// Convenience: idle ratios from the optimal schedule of `background`.
+  std::optional<net::Path> find_path(net::NodeId src, net::NodeId dst,
+                                     std::span<const core::LinkFlow> background) const;
+
+  /// The estimate value of an explicit path under this router's metric.
+  double estimate(std::span<const net::LinkId> path_links,
+                  std::span<const double> node_idle) const;
+
+ private:
+  const net::Network* network_;
+  const core::InterferenceModel* model_;
+  EstimatorMetric metric_;
+};
+
+}  // namespace mrwsn::routing

@@ -1,0 +1,39 @@
+#include "routing/metrics.hpp"
+
+#include "util/error.hpp"
+
+namespace mrwsn::routing {
+
+namespace {
+constexpr double kIdleFloor = 1e-9;
+}
+
+std::string metric_name(Metric metric) {
+  switch (metric) {
+    case Metric::kHopCount:
+      return "hop count";
+    case Metric::kE2eTxDelay:
+      return "e2eTD";
+    case Metric::kAverageE2eDelay:
+      return "average-e2eD";
+  }
+  throw PreconditionError("unknown routing metric");
+}
+
+std::optional<double> link_weight(Metric metric, const net::Link& link,
+                                  double idle_ratio) {
+  MRWSN_REQUIRE(idle_ratio >= 0.0 && idle_ratio <= 1.0,
+                "idle ratio must lie in [0, 1]");
+  switch (metric) {
+    case Metric::kHopCount:
+      return 1.0;
+    case Metric::kE2eTxDelay:
+      return 1.0 / link.best_mbps_alone;
+    case Metric::kAverageE2eDelay:
+      if (idle_ratio <= kIdleFloor) return std::nullopt;
+      return 1.0 / (idle_ratio * link.best_mbps_alone);
+  }
+  throw PreconditionError("unknown routing metric");
+}
+
+}  // namespace mrwsn::routing

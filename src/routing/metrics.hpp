@@ -1,0 +1,26 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "net/network.hpp"
+
+namespace mrwsn::routing {
+
+/// The three QoS routing metrics compared in the paper's Section 5.2.
+enum class Metric {
+  kHopCount,        ///< classic shortest path
+  kE2eTxDelay,      ///< e2eTD of [1]: Σ 1/r_i, ignores background traffic
+  kAverageE2eDelay, ///< average-e2eD (Eq. 14): Σ 1/(λ_i r_i)
+};
+
+std::string metric_name(Metric metric);
+
+/// Additive link weight of `link` under `metric`, where `idle_ratio` is
+/// the link's λ_i (min of its endpoints' channel idle ratios). Returns
+/// nullopt when the link cannot be used (λ_i ~ 0 under average-e2eD: the
+/// expected per-unit delay is unbounded).
+std::optional<double> link_weight(Metric metric, const net::Link& link,
+                                  double idle_ratio);
+
+}  // namespace mrwsn::routing

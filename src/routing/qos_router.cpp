@@ -1,0 +1,58 @@
+#include "routing/qos_router.hpp"
+
+#include <algorithm>
+
+#include "core/idle_time.hpp"
+#include "graph/shortest_path.hpp"
+#include "util/error.hpp"
+
+namespace mrwsn::routing {
+
+QosRouter::QosRouter(const net::Network& network,
+                     const core::InterferenceModel& model)
+    : network_(&network), model_(&model) {}
+
+std::optional<net::Path> QosRouter::find_path(
+    net::NodeId src, net::NodeId dst, Metric metric,
+    std::span<const double> node_idle) const {
+  MRWSN_REQUIRE(src < network_->num_nodes() && dst < network_->num_nodes(),
+                "node id out of range");
+  MRWSN_REQUIRE(src != dst, "source and destination must differ");
+  MRWSN_REQUIRE(node_idle.size() == network_->num_nodes(),
+                "node idle vector must cover every node");
+
+  graph::Digraph digraph(network_->num_nodes());
+  // Digraph edge ids are assigned densely in insertion order; remember
+  // which network link each edge came from.
+  std::vector<net::LinkId> edge_to_link;
+  for (const net::Link& link : network_->links()) {
+    const double idle = std::min(node_idle[link.tx], node_idle[link.rx]);
+    const auto weight = link_weight(metric, link, idle);
+    if (!weight) continue;
+    digraph.add_edge(link.tx, link.rx, *weight);
+    edge_to_link.push_back(link.id);
+  }
+
+  const graph::PathResult result = graph::dijkstra(digraph, src, dst);
+  if (!result.reachable) return std::nullopt;
+
+  std::vector<net::LinkId> links;
+  links.reserve(result.edges.size());
+  for (std::size_t edge_id : result.edges) links.push_back(edge_to_link[edge_id]);
+  return net::Path(*network_, std::move(links));
+}
+
+std::optional<net::Path> QosRouter::find_path(
+    net::NodeId src, net::NodeId dst, Metric metric,
+    std::span<const core::LinkFlow> background) const {
+  const core::IdleResult idle =
+      core::schedule_idle_ratios(*network_, *model_, background);
+  return find_path(src, dst, metric, idle.node_idle);
+}
+
+core::LinkFlow to_link_flow(const net::Path& path, double demand_mbps) {
+  MRWSN_REQUIRE(demand_mbps >= 0.0, "demand cannot be negative");
+  return core::LinkFlow{path.links(), demand_mbps};
+}
+
+}  // namespace mrwsn::routing

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/available_bandwidth.hpp"
+#include "core/interference.hpp"
+#include "net/path.hpp"
+#include "routing/metrics.hpp"
+
+namespace mrwsn::routing {
+
+/// Distributed-style QoS routing (Section 4): each metric is an additive
+/// per-link weight derived from locally observable quantities (rates and
+/// channel idle ratios); the route is the weight-minimal path.
+class QosRouter {
+ public:
+  QosRouter(const net::Network& network, const core::InterferenceModel& model);
+
+  /// Find the best path from `src` to `dst` under `metric`, with per-node
+  /// idle ratios already known (e.g. from core::schedule_idle_ratios or a
+  /// mac:: measurement). Returns nullopt when no usable path exists.
+  std::optional<net::Path> find_path(net::NodeId src, net::NodeId dst,
+                                     Metric metric,
+                                     std::span<const double> node_idle) const;
+
+  /// Convenience: derive idle ratios from an optimal schedule of the
+  /// background flows, then route.
+  std::optional<net::Path> find_path(net::NodeId src, net::NodeId dst,
+                                     Metric metric,
+                                     std::span<const core::LinkFlow> background) const;
+
+ private:
+  const net::Network* network_;
+  const core::InterferenceModel* model_;
+};
+
+/// Adapt a routed path + demand to the core model's flow type.
+core::LinkFlow to_link_flow(const net::Path& path, double demand_mbps);
+
+}  // namespace mrwsn::routing

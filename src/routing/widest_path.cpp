@@ -1,0 +1,51 @@
+#include "routing/widest_path.hpp"
+
+#include "graph/shortest_path.hpp"
+#include "util/error.hpp"
+
+namespace mrwsn::routing {
+
+WidestPathRouter::WidestPathRouter(const net::Network& network,
+                                   const core::InterferenceModel& model,
+                                   std::size_t k)
+    : network_(&network), model_(&model), k_(k) {
+  MRWSN_REQUIRE(k > 0, "need at least one candidate path");
+}
+
+WidestPathResult WidestPathRouter::find_path(
+    net::NodeId src, net::NodeId dst,
+    std::span<const core::LinkFlow> background) const {
+  MRWSN_REQUIRE(src < network_->num_nodes() && dst < network_->num_nodes(),
+                "node id out of range");
+  MRWSN_REQUIRE(src != dst, "source and destination must differ");
+
+  // Candidate generation: k shortest loop-free paths by transmission
+  // delay (Σ 1/r), the fixed-weight metric that best tracks capacity.
+  graph::Digraph digraph(network_->num_nodes());
+  std::vector<net::LinkId> edge_to_link;
+  for (const net::Link& link : network_->links()) {
+    digraph.add_edge(link.tx, link.rx, 1.0 / link.best_mbps_alone);
+    edge_to_link.push_back(link.id);
+  }
+
+  WidestPathResult best;
+  for (const graph::PathResult& candidate :
+       graph::k_shortest_paths(digraph, src, dst, k_)) {
+    std::vector<net::LinkId> links;
+    links.reserve(candidate.edges.size());
+    for (std::size_t edge_id : candidate.edges)
+      links.push_back(edge_to_link[edge_id]);
+
+    const core::AvailableBandwidthResult lp =
+        core::max_path_bandwidth(*model_, background, links);
+    ++best.candidates_evaluated;
+    if (!lp.background_feasible) continue;
+    if (!best.path || lp.available_mbps > best.available_mbps) {
+      best.path = net::Path(*network_, std::move(links));
+      best.available_mbps = lp.available_mbps;
+    }
+  }
+  return best;
+}
+
+}  // namespace mrwsn::routing

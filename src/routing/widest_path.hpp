@@ -1,0 +1,42 @@
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "core/available_bandwidth.hpp"
+#include "net/path.hpp"
+
+namespace mrwsn::routing {
+
+/// Result of a widest-path query.
+struct WidestPathResult {
+  std::optional<net::Path> path;  ///< nullopt when the pair is disconnected
+  double available_mbps = 0.0;    ///< Eq. 6 value of `path`
+  std::size_t candidates_evaluated = 0;
+};
+
+/// A heuristic for Section 4's joint QoS-routing / link-scheduling problem
+/// (which the paper notes is NP-hard): enumerate up to `k` loop-free
+/// candidate paths in increasing e2eTD order (Yen's algorithm) and return
+/// the candidate with the largest Eq. 6 available bandwidth given the
+/// background traffic.
+///
+/// Unlike the additive metrics of Section 4 this is a centralized
+/// heuristic — it needs the global background state the LP needs anyway —
+/// but it probes several path shapes instead of one, so it lower-bounds
+/// the joint optimum at least as well as e2eTD routing does.
+class WidestPathRouter {
+ public:
+  WidestPathRouter(const net::Network& network,
+                   const core::InterferenceModel& model, std::size_t k = 5);
+
+  WidestPathResult find_path(net::NodeId src, net::NodeId dst,
+                             std::span<const core::LinkFlow> background) const;
+
+ private:
+  const net::Network* network_;
+  const core::InterferenceModel* model_;
+  std::size_t k_;
+};
+
+}  // namespace mrwsn::routing

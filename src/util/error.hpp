@@ -1,0 +1,39 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mrwsn {
+
+/// Thrown when a caller violates a documented precondition of a public API.
+class PreconditionError : public std::logic_error {
+ public:
+  explicit PreconditionError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when an internal invariant is broken (a bug in this library).
+class InvariantError : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_precondition(const char* expr, const char* file, int line,
+                                     const std::string& msg);
+[[noreturn]] void throw_invariant(const char* expr, const char* file, int line,
+                                  const std::string& msg);
+}  // namespace detail
+
+}  // namespace mrwsn
+
+/// Check a caller-facing precondition; throws mrwsn::PreconditionError on failure.
+#define MRWSN_REQUIRE(expr, msg)                                                 \
+  do {                                                                           \
+    if (!(expr)) ::mrwsn::detail::throw_precondition(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+/// Check an internal invariant; throws mrwsn::InvariantError on failure.
+#define MRWSN_ASSERT(expr, msg)                                                  \
+  do {                                                                           \
+    if (!(expr)) ::mrwsn::detail::throw_invariant(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

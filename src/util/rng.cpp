@@ -1,0 +1,66 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mrwsn {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm.next();
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  MRWSN_REQUIRE(lo <= hi, "uniform(lo, hi) requires lo <= hi");
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_int(std::uint64_t lo, std::uint64_t hi) {
+  MRWSN_REQUIRE(lo <= hi, "uniform_int(lo, hi) requires lo <= hi");
+  const std::uint64_t range = hi - lo;
+  if (range == max()) return next_u64();
+  const std::uint64_t bound = range + 1;
+  // Rejection sampling over the largest multiple of `bound` that fits.
+  const std::uint64_t limit = max() - max() % bound;
+  std::uint64_t draw = next_u64();
+  while (draw >= limit) draw = next_u64();
+  return lo + draw % bound;
+}
+
+double Rng::exponential(double mean) {
+  MRWSN_REQUIRE(mean > 0.0, "exponential mean must be positive");
+  double u = uniform();
+  // uniform() can return exactly 0; log(0) is -inf, so nudge into (0, 1).
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+Rng Rng::split() {
+  return Rng(next_u64());
+}
+
+}  // namespace mrwsn

@@ -1,0 +1,48 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mrwsn::stats {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double stdev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+double rms_error(std::span<const double> a, std::span<const double> b) {
+  MRWSN_REQUIRE(a.size() == b.size(), "rms_error needs equal-length ranges");
+  if (a.empty()) return 0.0;
+  double ss = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) ss += (a[i] - b[i]) * (a[i] - b[i]);
+  return std::sqrt(ss / static_cast<double>(a.size()));
+}
+
+double mean_bias(std::span<const double> a, std::span<const double> b) {
+  MRWSN_REQUIRE(a.size() == b.size(), "mean_bias needs equal-length ranges");
+  if (a.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] - b[i];
+  return sum / static_cast<double>(a.size());
+}
+
+double max_abs_error(std::span<const double> a, std::span<const double> b) {
+  MRWSN_REQUIRE(a.size() == b.size(), "max_abs_error needs equal-length ranges");
+  double best = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    best = std::max(best, std::abs(a[i] - b[i]));
+  return best;
+}
+
+}  // namespace mrwsn::stats

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <span>
+
+namespace mrwsn::stats {
+
+/// Arithmetic mean; returns 0 for an empty range.
+double mean(std::span<const double> xs);
+
+/// Sample standard deviation (n-1 denominator); returns 0 for n < 2.
+double stdev(std::span<const double> xs);
+
+/// Root-mean-square of (a[i] - b[i]); the ranges must have equal length.
+double rms_error(std::span<const double> a, std::span<const double> b);
+
+/// Mean of (a[i] - b[i]); positive means `a` over-estimates `b`.
+double mean_bias(std::span<const double> a, std::span<const double> b);
+
+/// Largest |a[i] - b[i]|; 0 for empty ranges.
+double max_abs_error(std::span<const double> a, std::span<const double> b);
+
+}  // namespace mrwsn::stats

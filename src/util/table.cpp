@@ -1,0 +1,57 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace mrwsn {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  MRWSN_REQUIRE(!header_.empty(), "a table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  MRWSN_REQUIRE(row.size() == header_.size(),
+                "row width must match the header width");
+  rows_.push_back(std::move(row));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ") << std::left << std::setw(static_cast<int>(width[c]))
+         << row[c];
+    }
+    os << " |\n";
+  };
+
+  print_row(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << '|' << std::string(width[c] + 2, '-');
+  }
+  os << "|\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Table::num(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  std::string s = os.str();
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  if (s == "-0") s = "0";
+  return s;
+}
+
+}  // namespace mrwsn

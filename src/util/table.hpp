@@ -1,0 +1,37 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mrwsn {
+
+/// Minimal ASCII table writer used by the benchmark binaries to print the
+/// rows/series corresponding to the paper's tables and figures.
+///
+/// Usage:
+///   Table t({"flow", "hop count", "e2eTD", "average-e2eD"});
+///   t.add_row({"1", "4.1", "5.0", "6.2"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row. The row must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Number of data rows added so far.
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Render with column alignment and a separator under the header.
+  void print(std::ostream& os) const;
+
+  /// Format a double with the given precision, trimming trailing zeros.
+  static std::string num(double value, int precision = 3);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mrwsn

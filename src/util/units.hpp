@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cmath>
+
+/// Unit conventions used throughout the library:
+///  - power: watts (linear) unless a name says dBm/dB
+///  - rate: Mbps (the paper's unit)
+///  - distance: metres
+///  - time: seconds; schedule time shares are dimensionless in [0, 1]
+namespace mrwsn::units {
+
+/// Convert a linear power ratio to decibels.
+inline double ratio_to_db(double ratio) { return 10.0 * std::log10(ratio); }
+
+/// Convert decibels to a linear power ratio.
+inline double db_to_ratio(double db) { return std::pow(10.0, db / 10.0); }
+
+/// Convert watts to dBm.
+inline double watt_to_dbm(double watt) { return 10.0 * std::log10(watt * 1e3); }
+
+/// Convert dBm to watts.
+inline double dbm_to_watt(double dbm) { return std::pow(10.0, dbm / 10.0) * 1e-3; }
+
+}  // namespace mrwsn::units

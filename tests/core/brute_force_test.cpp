@@ -1,0 +1,279 @@
+// Cross-validation of the paper's machinery against exhaustive
+// computation on randomly generated small instances:
+//  - the Eq. 6 optimum computed from the enumerated maximal independent
+//    sets must equal the optimum over ALL feasible concurrent
+//    configurations (Propositions 1-3 say the maximal sets suffice);
+//  - every enumerated set must be feasible and maximal in the paper's
+//    sense, with no duplicates.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "core/available_bandwidth.hpp"
+#include "core/bounds.hpp"
+#include "core/scenarios.hpp"
+#include "geom/topology.hpp"
+#include "lp/simplex.hpp"
+#include "util/rng.hpp"
+
+namespace mrwsn::core {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+/// Solve Eq. 6 directly over an explicit column collection.
+double lp_over_columns(const std::vector<IndependentSet>& columns,
+                       std::span<const LinkFlow> background,
+                       std::span<const net::LinkId> new_path,
+                       std::size_t num_links) {
+  std::vector<double> bg_demand(num_links, 0.0);
+  for (const LinkFlow& flow : background)
+    for (net::LinkId link : flow.links) bg_demand[link] += flow.demand_mbps;
+
+  std::vector<net::LinkId> universe(new_path.begin(), new_path.end());
+  for (const LinkFlow& flow : background)
+    universe.insert(universe.end(), flow.links.begin(), flow.links.end());
+  std::sort(universe.begin(), universe.end());
+  universe.erase(std::unique(universe.begin(), universe.end()), universe.end());
+
+  lp::Problem problem(lp::Objective::kMaximize);
+  std::vector<lp::VarId> lambda;
+  for (std::size_t i = 0; i < columns.size(); ++i)
+    lambda.push_back(problem.add_variable(0.0));
+  const lp::VarId f = problem.add_variable(1.0);
+  {
+    std::vector<std::pair<lp::VarId, double>> row;
+    for (lp::VarId id : lambda) row.emplace_back(id, 1.0);
+    problem.add_constraint(row, lp::Sense::kLessEqual, 1.0);
+  }
+  for (net::LinkId link : universe) {
+    std::vector<std::pair<lp::VarId, double>> row;
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+      const double mbps = columns[i].mbps_on(link);
+      if (mbps > 0.0) row.emplace_back(lambda[i], mbps);
+    }
+    if (std::find(new_path.begin(), new_path.end(), link) != new_path.end())
+      row.emplace_back(f, -1.0);
+    problem.add_constraint(row, lp::Sense::kGreaterEqual, bg_demand[link]);
+  }
+  const lp::Solution solution = lp::solve(problem);
+  if (solution.status != lp::Status::kOptimal) return -1.0;  // infeasible
+  return solution.objective;
+}
+
+/// Every feasible (subset, rate-vector) configuration of `model` over
+/// `universe`, found by exhaustive search through the subset lattice and
+/// all rate assignments.
+std::vector<IndependentSet> brute_force_columns(
+    const InterferenceModel& model, const std::vector<net::LinkId>& universe) {
+  std::vector<IndependentSet> columns;
+  const std::size_t num_rates = model.rate_table().size();
+  for (std::size_t mask = 1; mask < (1u << universe.size()); ++mask) {
+    std::vector<net::LinkId> links;
+    for (std::size_t b = 0; b < universe.size(); ++b)
+      if (mask & (1u << b)) links.push_back(universe[b]);
+
+    // Odometer over all rate assignments for this subset.
+    std::vector<phy::RateIndex> rates(links.size(), 0);
+    for (;;) {
+      if (model.supports(links, rates)) {
+        IndependentSet set;
+        set.links = links;
+        set.rates = rates;
+        for (phy::RateIndex r : rates)
+          set.mbps.push_back(model.rate_table()[r].mbps);
+        columns.push_back(std::move(set));
+      }
+      std::size_t pos = 0;
+      while (pos < rates.size() && ++rates[pos] == num_rates) {
+        rates[pos] = 0;
+        ++pos;
+      }
+      if (pos == rates.size()) break;
+    }
+  }
+  return columns;
+}
+
+/// A random protocol model over `num_links` links and two rates with an
+/// arbitrary (not necessarily rate-monotone) symmetric conflict structure.
+ProtocolInterferenceModel random_protocol_model(Rng& rng, std::size_t num_links) {
+  ProtocolInterferenceModel model(num_links, abstract_rate_table({54.0, 36.0}));
+  for (net::LinkId a = 0; a < num_links; ++a) {
+    for (net::LinkId b = a + 1; b < num_links; ++b) {
+      for (phy::RateIndex ra = 0; ra < 2; ++ra)
+        for (phy::RateIndex rb = 0; rb < 2; ++rb)
+          if (rng.uniform() < 0.45) model.add_conflict(a, ra, b, rb);
+    }
+  }
+  return model;
+}
+
+class ProtocolBruteForceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProtocolBruteForceTest, MisLpMatchesExhaustiveLp) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7907 + 13);
+  const std::size_t num_links = 2 + rng.uniform_int(0, 2);  // 2..4
+  const ProtocolInterferenceModel model = random_protocol_model(rng, num_links);
+
+  std::vector<net::LinkId> universe(num_links);
+  for (std::size_t i = 0; i < num_links; ++i) universe[i] = i;
+
+  // Random background on single links plus a random new "path" (at the
+  // core level a path is just a set of links).
+  std::vector<LinkFlow> background;
+  for (net::LinkId link = 0; link + 1 < num_links; ++link) {
+    if (rng.uniform() < 0.5)
+      background.push_back(LinkFlow{{link}, rng.uniform(1.0, 12.0)});
+  }
+  const std::vector<net::LinkId> new_path{num_links - 1};
+
+  const auto exhaustive = brute_force_columns(model, universe);
+  ASSERT_FALSE(exhaustive.empty());
+  const double truth =
+      lp_over_columns(exhaustive, background, new_path, num_links);
+
+  const auto result = max_path_bandwidth(model, background, new_path);
+  if (truth < 0.0) {
+    EXPECT_FALSE(result.background_feasible);
+  } else {
+    ASSERT_TRUE(result.background_feasible);
+    EXPECT_NEAR(result.available_mbps, truth, kTol);
+  }
+}
+
+TEST_P(ProtocolBruteForceTest, EnumeratedSetsAreFeasibleMaximalAndUnique) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 7);
+  const std::size_t num_links = 2 + rng.uniform_int(0, 2);
+  const ProtocolInterferenceModel model = random_protocol_model(rng, num_links);
+  std::vector<net::LinkId> universe(num_links);
+  for (std::size_t i = 0; i < num_links; ++i) universe[i] = i;
+
+  const auto sets = model.maximal_independent_sets(universe);
+  const auto exhaustive = brute_force_columns(model, universe);
+
+  std::map<std::vector<net::LinkId>, std::vector<std::vector<phy::RateIndex>>> seen;
+  for (const IndependentSet& set : sets) {
+    // Feasible.
+    EXPECT_TRUE(model.supports(set.links, set.rates));
+    // Unique.
+    auto& variants = seen[set.links];
+    EXPECT_EQ(std::find(variants.begin(), variants.end(), set.rates),
+              variants.end());
+    variants.push_back(set.rates);
+    // Not dominated by any feasible configuration.
+    for (const IndependentSet& other : exhaustive) {
+      if (&other != &set && set.dominated_by(other) && !other.dominated_by(set)) {
+        ADD_FAILURE() << "enumerated set is strictly dominated";
+      }
+    }
+  }
+
+  // Completeness for the LP: every exhaustive column must be dominated by
+  // (or equal to) some enumerated set.
+  for (const IndependentSet& column : exhaustive) {
+    const bool covered =
+        std::any_of(sets.begin(), sets.end(), [&](const IndependentSet& set) {
+          return column.dominated_by(set);
+        });
+    EXPECT_TRUE(covered) << "feasible configuration not covered by any "
+                            "enumerated maximal set";
+  }
+}
+
+TEST_P(ProtocolBruteForceTest, JointLpWithOnePathMatchesEqSix) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 2713 + 19);
+  const std::size_t num_links = 2 + rng.uniform_int(0, 2);
+  const ProtocolInterferenceModel model = random_protocol_model(rng, num_links);
+  std::vector<LinkFlow> background;
+  if (num_links > 1 && rng.uniform() < 0.7)
+    background.push_back(LinkFlow{{0}, rng.uniform(1.0, 10.0)});
+  const std::vector<net::LinkId> path{num_links - 1};
+
+  const auto single = max_path_bandwidth(model, background, path);
+  const std::vector<std::vector<net::LinkId>> paths{path};
+  for (JointObjective objective :
+       {JointObjective::kMaxSum, JointObjective::kMaxMin}) {
+    const auto joint = max_joint_bandwidth(model, background, paths, objective);
+    ASSERT_EQ(joint.background_feasible, single.background_feasible);
+    if (single.background_feasible) {
+      EXPECT_NEAR(joint.per_path_mbps[0], single.available_mbps, kTol);
+    }
+  }
+}
+
+TEST_P(ProtocolBruteForceTest, UpperAndLowerBoundsSandwichTheOptimum) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 50021 + 1);
+  const std::size_t num_links = 2 + rng.uniform_int(0, 1);  // keep Eq. 9 small
+  const ProtocolInterferenceModel model = random_protocol_model(rng, num_links);
+  const std::vector<net::LinkId> path{num_links - 1};
+  std::vector<LinkFlow> background;
+  if (rng.uniform() < 0.5) background.push_back(LinkFlow{{0}, rng.uniform(0.5, 8.0)});
+
+  const auto exact = max_path_bandwidth(model, background, path);
+  if (!exact.background_feasible) return;
+
+  const auto upper = clique_upper_bound(model, background, path, 1u << 10);
+  ASSERT_TRUE(upper.background_feasible);
+  EXPECT_GE(upper.upper_bound_mbps + kTol, exact.available_mbps);
+
+  for (std::size_t k : {1u, 2u, 100u}) {
+    const auto lower = independent_set_lower_bound(model, background, path, k);
+    if (lower.feasible) {
+      EXPECT_LE(lower.lower_bound_mbps, exact.available_mbps + kTol);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolBruteForceTest, ::testing::Range(0, 30));
+
+class PhysicalBruteForceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PhysicalBruteForceTest, MisLpMatchesExhaustiveLpOnRandomTopologies) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 6151 + 3);
+  // Small random placement; re-draw until we get 3..6 links.
+  std::vector<geom::Point> positions;
+  std::size_t num_links = 0;
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    positions = geom::random_rectangle(5, 250.0, 250.0, rng);
+    const net::Network probe(positions, phy::PhyModel::paper_default());
+    num_links = probe.num_links();
+    if (num_links >= 3 && num_links <= 6) break;
+  }
+  if (num_links < 3 || num_links > 6) GTEST_SKIP() << "no suitable placement";
+
+  const net::Network network(positions, phy::PhyModel::paper_default());
+  const PhysicalInterferenceModel model(network);
+  std::vector<net::LinkId> universe(network.num_links());
+  for (std::size_t i = 0; i < universe.size(); ++i) universe[i] = i;
+
+  std::vector<LinkFlow> background;
+  background.push_back(LinkFlow{{universe[0]}, rng.uniform(0.5, 4.0)});
+  const std::vector<net::LinkId> new_path{universe.back()};
+
+  const auto exhaustive = brute_force_columns(model, universe);
+  const double truth =
+      lp_over_columns(exhaustive, background, new_path, network.num_links());
+  const auto result = max_path_bandwidth(model, background, new_path);
+  if (truth < 0.0) {
+    EXPECT_FALSE(result.background_feasible);
+  } else {
+    ASSERT_TRUE(result.background_feasible);
+    EXPECT_NEAR(result.available_mbps, truth, kTol);
+  }
+
+  // And the enumerated sets must cover every exhaustive column.
+  const auto sets = model.maximal_independent_sets(universe);
+  for (const IndependentSet& column : exhaustive) {
+    EXPECT_TRUE(std::any_of(sets.begin(), sets.end(),
+                            [&](const IndependentSet& set) {
+                              return column.dominated_by(set);
+                            }));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PhysicalBruteForceTest, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace mrwsn::core

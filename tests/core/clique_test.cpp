@@ -1,0 +1,137 @@
+#include "core/clique.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/scenarios.hpp"
+#include "geom/topology.hpp"
+#include "util/error.hpp"
+
+namespace mrwsn::core {
+namespace {
+
+bool contains_clique(const std::vector<Clique>& cliques,
+                     const std::vector<net::LinkId>& links,
+                     const std::vector<double>& mbps) {
+  return std::any_of(cliques.begin(), cliques.end(), [&](const Clique& c) {
+    return c.links == links && c.mbps == mbps;
+  });
+}
+
+TEST(Cliques, ScenarioTwoHasExactlyTwelveMaximalCliques) {
+  // Hand count: cliques containing all four links need L1@54 (else no
+  // L1-L4 conflict): 2^3 = 8 rate choices for L2..L4. Cliques with L1@36
+  // cannot contain L4 and cannot be extended by it: {L1@36, L2, L3} with
+  // 2^2 rate choices = 4. Triples {L2,L3,L4} are extendable by (L1,54)
+  // and therefore not maximal. Total: 12.
+  const ScenarioTwo scenario = make_scenario_two();
+  const auto cliques = maximal_cliques(scenario.model, scenario.chain);
+  EXPECT_EQ(cliques.size(), 12u);
+
+  int with_all_four = 0, with_l1_slow = 0;
+  for (const Clique& c : cliques) {
+    if (c.size() == 4) {
+      EXPECT_DOUBLE_EQ(c.mbps[0], 54.0);  // L1 must be fast
+      ++with_all_four;
+    } else {
+      ASSERT_EQ(c.size(), 3u);
+      EXPECT_EQ(c.links, (std::vector<net::LinkId>{0, 1, 2}));
+      EXPECT_DOUBLE_EQ(c.mbps[0], 36.0);  // L1 must be slow
+      ++with_l1_slow;
+    }
+  }
+  EXPECT_EQ(with_all_four, 8);
+  EXPECT_EQ(with_l1_slow, 4);
+}
+
+TEST(Cliques, PaperSection31MaximalityExamples) {
+  const ScenarioTwo scenario = make_scenario_two();
+  const auto cliques = maximal_cliques(scenario.model, scenario.chain);
+  // "{(L1,36),(L2,36),(L3,36)} is a maximal clique" — present.
+  EXPECT_TRUE(contains_clique(cliques, {0, 1, 2}, {36.0, 36.0, 36.0}));
+  // "{(L1,54),(L2,54),(L3,54)} is a clique but not a maximal clique" —
+  // absent from the maximal list (extendable by (L4,54)).
+  EXPECT_FALSE(contains_clique(cliques, {0, 1, 2}, {54.0, 54.0, 54.0}));
+  // Both paper examples of maximal cliques with maximum rates are present.
+  EXPECT_TRUE(
+      contains_clique(cliques, {0, 1, 2, 3}, {54.0, 54.0, 54.0, 54.0}));
+  EXPECT_TRUE(contains_clique(cliques, {0, 1, 2}, {36.0, 54.0, 54.0}));
+}
+
+TEST(Cliques, IsCliqueRejectsParallelArrayMismatch) {
+  const ScenarioTwo scenario = make_scenario_two();
+  EXPECT_THROW(is_clique(scenario.model, std::vector<net::LinkId>{0, 1},
+                         std::vector<phy::RateIndex>{0}),
+               PreconditionError);
+}
+
+TEST(Cliques, SingletonsAreMaximalWhenNothingConflicts) {
+  ProtocolInterferenceModel model(3, abstract_rate_table({54.0}));
+  const auto cliques =
+      maximal_cliques(model, std::vector<net::LinkId>{0, 1, 2});
+  ASSERT_EQ(cliques.size(), 3u);
+  for (const Clique& c : cliques) EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(Cliques, PhysicalChainMaximalCliqueCoversAdjacentLinks) {
+  // 3-link chain at 70 m: all links pairwise conflict at every usable
+  // rate, so maximal cliques are full-link-set rate combinations.
+  const net::Network net(geom::chain(4, 70.0), phy::PhyModel::paper_default());
+  PhysicalInterferenceModel model(net);
+  std::vector<net::LinkId> path;
+  for (std::size_t i = 0; i < 3; ++i) path.push_back(*net.find_link(i, i + 1));
+  const auto cliques = maximal_cliques(model, path);
+  for (const Clique& c : cliques) EXPECT_EQ(c.size(), 3u);
+  // 3 usable rates per 70 m link -> 27 rate combinations, all cliques.
+  EXPECT_EQ(cliques.size(), 27u);
+}
+
+TEST(Cliques, TimeShareComputation) {
+  Clique clique;
+  clique.links = {0, 2};
+  clique.rates = {0, 0};
+  clique.mbps = {54.0, 36.0};
+  const std::vector<double> demand{27.0, 0.0, 18.0};
+  EXPECT_DOUBLE_EQ(clique_time_share(clique, demand), 27.0 / 54.0 + 18.0 / 36.0);
+  EXPECT_TRUE(clique.contains_link(0));
+  EXPECT_FALSE(clique.contains_link(1));
+}
+
+TEST(Cliques, TimeShareRejectsShortDemandVector) {
+  Clique clique;
+  clique.links = {5};
+  clique.rates = {0};
+  clique.mbps = {54.0};
+  const std::vector<double> demand{1.0};  // does not cover link 5
+  EXPECT_THROW(clique_time_share(clique, demand), PreconditionError);
+}
+
+TEST(Cliques, MaxTimeShareOverCollection) {
+  Clique a, b;
+  a.links = {0};
+  a.rates = {0};
+  a.mbps = {54.0};
+  b.links = {1};
+  b.rates = {0};
+  b.mbps = {6.0};
+  const std::vector<Clique> cliques{a, b};
+  const std::vector<double> demand{27.0, 3.0};
+  EXPECT_DOUBLE_EQ(max_clique_time_share(cliques, demand), 0.5);
+}
+
+TEST(Cliques, MaxRatesFilterOnScenarioOne) {
+  // Scenario I (single rate): max-rates filtering is a no-op; the maximal
+  // cliques are {L1,L3} and {L2,L3} (L1 and L2 do not conflict).
+  const ScenarioOne scenario = make_scenario_one(0.1);
+  const auto cliques = maximal_cliques_with_max_rates(
+      scenario.model, std::vector<net::LinkId>{0, 1, 2});
+  ASSERT_EQ(cliques.size(), 2u);
+  for (const Clique& c : cliques) {
+    EXPECT_EQ(c.size(), 2u);
+    EXPECT_TRUE(c.contains_link(2));  // L3 conflicts with both
+  }
+}
+
+}  // namespace
+}  // namespace mrwsn::core

@@ -1,0 +1,164 @@
+#include "core/estimation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/scenarios.hpp"
+#include "geom/topology.hpp"
+#include "util/error.hpp"
+
+namespace mrwsn::core {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+/// Three abstract links at 54 Mbps, all mutually interfering (one clique).
+ProtocolInterferenceModel full_conflict_model() {
+  ProtocolInterferenceModel model(3, abstract_rate_table({54.0}));
+  model.add_conflict_all_rates(0, 1);
+  model.add_conflict_all_rates(0, 2);
+  model.add_conflict_all_rates(1, 2);
+  return model;
+}
+
+PathEstimateInput triple_input(std::vector<double> idles) {
+  const ProtocolInterferenceModel model = full_conflict_model();
+  const std::vector<net::LinkId> links{0, 1, 2};
+  const std::vector<double> rates{54.0, 54.0, 54.0};
+  return make_path_estimate_input(model, links, rates, idles);
+}
+
+TEST(LocalCliques, FullConflictPathIsOneClique) {
+  const auto input = triple_input({1.0, 1.0, 1.0});
+  ASSERT_EQ(input.cliques.size(), 1u);
+  EXPECT_EQ(input.cliques[0], (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(LocalCliques, DistantLinksSplitIntoWindows) {
+  // Only consecutive links interfere: 0-1 and 1-2, not 0-2.
+  ProtocolInterferenceModel model(3, abstract_rate_table({54.0}));
+  model.add_conflict_all_rates(0, 1);
+  model.add_conflict_all_rates(1, 2);
+  const std::vector<net::LinkId> links{0, 1, 2};
+  const std::vector<double> ones{1.0, 1.0, 1.0};
+  const std::vector<double> rates{54.0, 54.0, 54.0};
+  const auto input = make_path_estimate_input(model, links, rates, ones);
+  ASSERT_EQ(input.cliques.size(), 2u);
+  EXPECT_EQ(input.cliques[0], (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(input.cliques[1], (std::vector<std::size_t>{1, 2}));
+}
+
+TEST(LocalCliques, IndependentLinksAreSingletonCliques) {
+  ProtocolInterferenceModel model(2, abstract_rate_table({54.0}));
+  const std::vector<net::LinkId> links{0, 1};
+  const std::vector<double> ones{1.0, 1.0};
+  const std::vector<double> rates{54.0, 54.0};
+  const auto input = make_path_estimate_input(model, links, rates, ones);
+  ASSERT_EQ(input.cliques.size(), 2u);
+  EXPECT_EQ(input.cliques[0], (std::vector<std::size_t>{0}));
+  EXPECT_EQ(input.cliques[1], (std::vector<std::size_t>{1}));
+}
+
+TEST(Estimators, HandComputedValuesOnThreeLinkClique) {
+  // r = (54, 54, 54), λ = (0.5, 0.3, 0.8), one clique {0,1,2}.
+  const auto input = triple_input({0.5, 0.3, 0.8});
+  // Eq. 10: min λ_i r_i = 0.3 * 54.
+  EXPECT_NEAR(estimate_bottleneck_node(input), 16.2, kTol);
+  // Eq. 11: 1 / (3/54) = 18.
+  EXPECT_NEAR(estimate_clique_constraint(input), 18.0, kTol);
+  // Eq. 12: min(18, 16.2).
+  EXPECT_NEAR(estimate_min_clique_bottleneck(input), 16.2, kTol);
+  // Eq. 13: sort λ: 0.3, 0.5, 0.8; prefix mins: 0.3*54=16.2, 0.5*27=13.5,
+  // 0.8*18=14.4 -> 13.5.
+  EXPECT_NEAR(estimate_conservative_clique(input), 13.5, kTol);
+  // Eq. 15: 1 / (1/27 + 1/16.2 + 1/43.2).
+  EXPECT_NEAR(estimate_expected_clique_time(input),
+              1.0 / (1.0 / 27.0 + 1.0 / 16.2 + 1.0 / 43.2), kTol);
+}
+
+TEST(Estimators, AllIdleReducesToPureCliqueConstraint) {
+  const auto input = triple_input({1.0, 1.0, 1.0});
+  EXPECT_NEAR(estimate_bottleneck_node(input), 54.0, kTol);
+  EXPECT_NEAR(estimate_clique_constraint(input), 18.0, kTol);
+  EXPECT_NEAR(estimate_min_clique_bottleneck(input), 18.0, kTol);
+  // With equal λ = 1 the conservative bound's worst prefix is the full
+  // clique: 1 / (3/54) = 18.
+  EXPECT_NEAR(estimate_conservative_clique(input), 18.0, kTol);
+  EXPECT_NEAR(estimate_expected_clique_time(input), 18.0, kTol);
+}
+
+TEST(Estimators, ZeroIdleLinkZeroesIdleAwareEstimates) {
+  const auto input = triple_input({1.0, 0.0, 1.0});
+  EXPECT_NEAR(estimate_bottleneck_node(input), 0.0, kTol);
+  EXPECT_NEAR(estimate_conservative_clique(input), 0.0, kTol);
+  EXPECT_NEAR(estimate_expected_clique_time(input), 0.0, kTol);
+  // The idle-blind clique constraint is unaffected.
+  EXPECT_NEAR(estimate_clique_constraint(input), 18.0, kTol);
+  EXPECT_EQ(average_e2e_delay(input), std::numeric_limits<double>::infinity());
+}
+
+TEST(Estimators, OrderingAmongEstimatorsHolds) {
+  // Conservative (Eq. 13) is never above Eq. 12, which is never above
+  // either of Eq. 10 / Eq. 11; Eq. 15 is never above Eq. 13 on a single
+  // clique... (the last relation is checked numerically here).
+  for (double l1 : {0.2, 0.5, 0.9}) {
+    for (double l2 : {0.3, 0.7}) {
+      const auto input = triple_input({l1, l2, 0.6});
+      const double e10 = estimate_bottleneck_node(input);
+      const double e11 = estimate_clique_constraint(input);
+      const double e12 = estimate_min_clique_bottleneck(input);
+      const double e13 = estimate_conservative_clique(input);
+      const double e15 = estimate_expected_clique_time(input);
+      EXPECT_NEAR(e12, std::min(e10, e11), kTol);
+      EXPECT_LE(e13, e12 + kTol);
+      EXPECT_LE(e15, e13 + kTol);
+    }
+  }
+}
+
+TEST(Estimators, RoutingMetricFormulas) {
+  const auto input = triple_input({0.5, 0.25, 1.0});
+  EXPECT_NEAR(e2e_transmission_delay(input), 3.0 / 54.0, kTol);
+  EXPECT_NEAR(average_e2e_delay(input),
+              1.0 / 27.0 + 1.0 / 13.5 + 1.0 / 54.0, kTol);
+}
+
+TEST(Estimators, MultiRatePathUsesPerLinkRates) {
+  // Two conflicting links at 54 and 18 Mbps with λ = (1, 1):
+  // clique constraint = 1/(1/54 + 1/18) = 13.5.
+  ProtocolInterferenceModel model(2, abstract_rate_table({54.0, 18.0}));
+  model.add_conflict_all_rates(0, 1);
+  model.set_usable_rates(1, {0, 1});  // link 1 only supports 18
+  const std::vector<net::LinkId> links{0, 1};
+  const std::vector<double> rates{54.0, 18.0};
+  const std::vector<double> idles{1.0, 1.0};
+  const auto input = make_path_estimate_input(model, links, rates, idles);
+  EXPECT_NEAR(estimate_clique_constraint(input), 13.5, kTol);
+}
+
+TEST(Estimators, NetworkOverloadDerivesRatesAndIdles) {
+  // 3-node chain at 70 m; node idles (1.0, 0.5, 0.25): the two links get
+  // λ = min of endpoints = (0.5, 0.25) and r = 36 each.
+  const net::Network net(geom::chain(3, 70.0), phy::PhyModel::paper_default());
+  PhysicalInterferenceModel model(net);
+  const std::vector<net::LinkId> path{*net.find_link(0, 1), *net.find_link(1, 2)};
+  const std::vector<double> node_idle{1.0, 0.5, 0.25};
+  const auto input = make_path_estimate_input(net, model, path, node_idle);
+  ASSERT_EQ(input.rate_mbps, (std::vector<double>{36.0, 36.0}));
+  ASSERT_EQ(input.idle_ratio, (std::vector<double>{0.5, 0.25}));
+  ASSERT_EQ(input.cliques.size(), 1u);  // adjacent links interfere
+  EXPECT_NEAR(estimate_bottleneck_node(input), 9.0, kTol);
+}
+
+TEST(Estimators, InputValidation) {
+  PathEstimateInput bad;
+  EXPECT_THROW(estimate_bottleneck_node(bad), PreconditionError);
+  bad.rate_mbps = {54.0};
+  bad.idle_ratio = {0.5, 0.5};  // length mismatch
+  bad.cliques = {{0}};
+  EXPECT_THROW(estimate_clique_constraint(bad), PreconditionError);
+  bad.idle_ratio = {1.5};  // out of range
+  EXPECT_THROW(estimate_conservative_clique(bad), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mrwsn::core

@@ -1,0 +1,76 @@
+#include "core/independent_set.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mrwsn::core {
+namespace {
+
+IndependentSet make_set(std::vector<net::LinkId> links, std::vector<double> mbps) {
+  IndependentSet s;
+  s.links = std::move(links);
+  s.mbps = std::move(mbps);
+  s.rates.assign(s.links.size(), 0);
+  return s;
+}
+
+TEST(IndependentSet, MbpsOnMemberAndNonMember) {
+  const IndependentSet s = make_set({2, 5}, {36.0, 54.0});
+  EXPECT_DOUBLE_EQ(s.mbps_on(2), 36.0);
+  EXPECT_DOUBLE_EQ(s.mbps_on(5), 54.0);
+  EXPECT_DOUBLE_EQ(s.mbps_on(3), 0.0);
+  EXPECT_DOUBLE_EQ(s.mbps_on(99), 0.0);
+}
+
+TEST(IndependentSet, DominationBySuperset) {
+  const IndependentSet small = make_set({1}, {36.0});
+  const IndependentSet big = make_set({1, 4}, {36.0, 54.0});
+  EXPECT_TRUE(small.dominated_by(big));
+  EXPECT_FALSE(big.dominated_by(small));
+}
+
+TEST(IndependentSet, HigherRateDominatesSameLinks) {
+  const IndependentSet slow = make_set({1}, {36.0});
+  const IndependentSet fast = make_set({1}, {54.0});
+  EXPECT_TRUE(slow.dominated_by(fast));
+  EXPECT_FALSE(fast.dominated_by(slow));
+}
+
+TEST(IndependentSet, IncomparableSetsDoNotDominate) {
+  // The paper's key multirate phenomenon: {L1@54} vs {(L1@36),(L4@54)} —
+  // neither dominates the other.
+  const IndependentSet solo = make_set({1}, {54.0});
+  const IndependentSet pair = make_set({1, 4}, {36.0, 54.0});
+  EXPECT_FALSE(solo.dominated_by(pair));
+  EXPECT_FALSE(pair.dominated_by(solo));
+}
+
+TEST(IndependentSet, SelfDomination) {
+  const IndependentSet s = make_set({1, 2}, {36.0, 54.0});
+  EXPECT_TRUE(s.dominated_by(s));
+}
+
+TEST(RemoveDominated, KeepsIncomparableDropsDominated) {
+  std::vector<IndependentSet> sets;
+  sets.push_back(make_set({1}, {54.0}));        // kept
+  sets.push_back(make_set({1}, {36.0}));        // dominated by first
+  sets.push_back(make_set({1, 4}, {36.0, 54.0}));  // kept (incomparable)
+  const auto kept = remove_dominated(std::move(sets));
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_DOUBLE_EQ(kept[0].mbps_on(1), 54.0);
+  EXPECT_DOUBLE_EQ(kept[1].mbps_on(4), 54.0);
+}
+
+TEST(RemoveDominated, ExactDuplicatesCollapseToOne) {
+  std::vector<IndependentSet> sets;
+  sets.push_back(make_set({3}, {18.0}));
+  sets.push_back(make_set({3}, {18.0}));
+  sets.push_back(make_set({3}, {18.0}));
+  EXPECT_EQ(remove_dominated(std::move(sets)).size(), 1u);
+}
+
+TEST(RemoveDominated, EmptyInput) {
+  EXPECT_TRUE(remove_dominated({}).empty());
+}
+
+}  // namespace
+}  // namespace mrwsn::core

@@ -1,0 +1,126 @@
+#include "core/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/scenarios.hpp"
+#include "geom/topology.hpp"
+#include "util/error.hpp"
+
+namespace mrwsn::core {
+namespace {
+
+TEST(VerifySchedule, AcceptsScenarioTwoOptimum) {
+  ScenarioTwo scenario = make_scenario_two();
+  const auto result = max_path_bandwidth(scenario.model, {}, scenario.chain);
+  const std::vector<double> demand(4, ScenarioTwo::kOptimalMbps - 1e-7);
+  const ScheduleCheck check =
+      verify_schedule(scenario.model, result.schedule, demand);
+  EXPECT_TRUE(check.valid) << check.issue;
+  EXPECT_NEAR(check.total_time, 1.0, 1e-7);
+  for (net::LinkId link = 0; link < 4; ++link)
+    EXPECT_NEAR(check.delivered[link], ScenarioTwo::kOptimalMbps, 1e-7);
+}
+
+TEST(VerifySchedule, AcceptsPhysicalChainOptimum) {
+  const net::Network net(geom::chain(5, 70.0), phy::PhyModel::paper_default());
+  PhysicalInterferenceModel model(net);
+  std::vector<net::LinkId> path;
+  for (std::size_t i = 0; i < 4; ++i) path.push_back(*net.find_link(i, i + 1));
+  const auto result = max_path_bandwidth(model, {}, path);
+  std::vector<double> demand(net.num_links(), 0.0);
+  for (net::LinkId link : path) demand[link] = result.available_mbps - 1e-7;
+  const ScheduleCheck check = verify_schedule(model, result.schedule, demand);
+  EXPECT_TRUE(check.valid) << check.issue;
+}
+
+TEST(VerifySchedule, RejectsUnsupportableSet) {
+  // Schedule two fully conflicting links together.
+  ProtocolInterferenceModel model(2, abstract_rate_table({54.0}));
+  model.add_conflict_all_rates(0, 1);
+  IndependentSet bad;
+  bad.links = {0, 1};
+  bad.rates = {0, 0};
+  bad.mbps = {54.0, 54.0};
+  const std::vector<ScheduledSet> schedule{{bad, 0.5}};
+  const ScheduleCheck check = verify_schedule(model, schedule);
+  EXPECT_FALSE(check.valid);
+  EXPECT_NE(check.issue.find("cannot support"), std::string::npos);
+}
+
+TEST(VerifySchedule, RejectsOverfullTime) {
+  ProtocolInterferenceModel model(1, abstract_rate_table({54.0}));
+  IndependentSet solo;
+  solo.links = {0};
+  solo.rates = {0};
+  solo.mbps = {54.0};
+  const std::vector<ScheduledSet> schedule{{solo, 0.7}, {solo, 0.7}};
+  const ScheduleCheck check = verify_schedule(model, schedule);
+  EXPECT_FALSE(check.valid);
+  EXPECT_NE(check.issue.find("exceeds 1"), std::string::npos);
+}
+
+TEST(VerifySchedule, RejectsUnmetDemand) {
+  ProtocolInterferenceModel model(1, abstract_rate_table({54.0}));
+  IndependentSet solo;
+  solo.links = {0};
+  solo.rates = {0};
+  solo.mbps = {54.0};
+  const std::vector<ScheduledSet> schedule{{solo, 0.1}};  // delivers 5.4
+  const std::vector<double> demand{10.0};
+  const ScheduleCheck check = verify_schedule(model, schedule, demand);
+  EXPECT_FALSE(check.valid);
+  EXPECT_NE(check.issue.find("demand"), std::string::npos);
+}
+
+TEST(VerifySchedule, RejectsMbpsRateMismatch) {
+  ProtocolInterferenceModel model(1, abstract_rate_table({54.0, 36.0}));
+  IndependentSet lying;
+  lying.links = {0};
+  lying.rates = {1};      // 36 Mbps index
+  lying.mbps = {54.0};    // claims 54
+  const std::vector<ScheduledSet> schedule{{lying, 0.5}};
+  const ScheduleCheck check = verify_schedule(model, schedule);
+  EXPECT_FALSE(check.valid);
+  EXPECT_NE(check.issue.find("disagrees"), std::string::npos);
+}
+
+TEST(VerifySchedule, RejectsNonPositiveShare) {
+  ProtocolInterferenceModel model(1, abstract_rate_table({54.0}));
+  IndependentSet solo;
+  solo.links = {0};
+  solo.rates = {0};
+  solo.mbps = {54.0};
+  const std::vector<ScheduledSet> schedule{{solo, 0.0}};
+  EXPECT_FALSE(verify_schedule(model, schedule).valid);
+}
+
+TEST(DeliveredThroughput, SumsPerLink) {
+  IndependentSet a;
+  a.links = {0, 2};
+  a.rates = {0, 0};
+  a.mbps = {54.0, 36.0};
+  IndependentSet b;
+  b.links = {0};
+  b.rates = {0};
+  b.mbps = {54.0};
+  const std::vector<ScheduledSet> schedule{{a, 0.5}, {b, 0.25}};
+  const auto delivered = delivered_throughput(3, schedule);
+  EXPECT_DOUBLE_EQ(delivered[0], 0.5 * 54.0 + 0.25 * 54.0);
+  EXPECT_DOUBLE_EQ(delivered[1], 0.0);
+  EXPECT_DOUBLE_EQ(delivered[2], 0.5 * 36.0);
+  EXPECT_DOUBLE_EQ(total_time_share(schedule), 0.75);
+}
+
+TEST(Supports, PhysicalRateCoupledPair) {
+  const net::Network net(geom::chain(5, 70.0), phy::PhyModel::paper_default());
+  PhysicalInterferenceModel model(net);
+  const std::vector<net::LinkId> pair{*net.find_link(0, 1), *net.find_link(3, 4)};
+  // (18, 36) is supportable; (36, 36) is not (rate indices: 1=36, 2=18).
+  EXPECT_TRUE(model.supports(pair, std::vector<phy::RateIndex>{2, 1}));
+  EXPECT_FALSE(model.supports(pair, std::vector<phy::RateIndex>{1, 1}));
+  // Slower than necessary is always fine.
+  EXPECT_TRUE(model.supports(pair, std::vector<phy::RateIndex>{3, 3}));
+}
+
+}  // namespace
+}  // namespace mrwsn::core

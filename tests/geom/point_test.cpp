@@ -1,0 +1,30 @@
+#include "geom/point.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mrwsn::geom {
+namespace {
+
+TEST(Point, DistanceOfCoincidentPointsIsZero) {
+  EXPECT_DOUBLE_EQ(distance({1.0, 2.0}, {1.0, 2.0}), 0.0);
+}
+
+TEST(Point, PythagoreanTriple) {
+  EXPECT_DOUBLE_EQ(distance({0.0, 0.0}, {3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(distance_sq({0.0, 0.0}, {3.0, 4.0}), 25.0);
+}
+
+TEST(Point, DistanceIsSymmetric) {
+  const Point a{-1.0, 7.0}, b{4.0, -2.0};
+  EXPECT_DOUBLE_EQ(distance(a, b), distance(b, a));
+}
+
+TEST(Point, ArithmeticOperators) {
+  const Point a{1.0, 2.0}, b{3.0, 5.0};
+  EXPECT_EQ(a + b, (Point{4.0, 7.0}));
+  EXPECT_EQ(b - a, (Point{2.0, 3.0}));
+  EXPECT_EQ(2.0 * a, (Point{2.0, 4.0}));
+}
+
+}  // namespace
+}  // namespace mrwsn::geom

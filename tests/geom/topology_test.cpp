@@ -1,0 +1,78 @@
+#include "geom/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace mrwsn::geom {
+namespace {
+
+TEST(Topology, RandomRectangleStaysInBounds) {
+  Rng rng(1);
+  const auto points = random_rectangle(100, 400.0, 600.0, rng);
+  ASSERT_EQ(points.size(), 100u);
+  for (const Point& p : points) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 400.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 600.0);
+  }
+}
+
+TEST(Topology, RandomRectangleIsSeedDeterministic) {
+  Rng a(9), b(9);
+  EXPECT_EQ(random_rectangle(20, 100.0, 100.0, a),
+            random_rectangle(20, 100.0, 100.0, b));
+}
+
+TEST(Topology, RandomRectangleRejectsBadDimensions) {
+  Rng rng(1);
+  EXPECT_THROW(random_rectangle(5, 0.0, 10.0, rng), PreconditionError);
+  EXPECT_THROW(random_rectangle(5, 10.0, -1.0, rng), PreconditionError);
+}
+
+TEST(Topology, ChainHasUniformSpacing) {
+  const auto points = chain(5, 40.0);
+  ASSERT_EQ(points.size(), 5u);
+  for (std::size_t i = 0; i + 1 < points.size(); ++i)
+    EXPECT_DOUBLE_EQ(distance(points[i], points[i + 1]), 40.0);
+}
+
+TEST(Topology, GridShape) {
+  const auto points = grid(2, 3, 10.0);
+  ASSERT_EQ(points.size(), 6u);
+  EXPECT_EQ(points[0], (Point{0.0, 0.0}));
+  EXPECT_EQ(points[5], (Point{20.0, 10.0}));
+}
+
+TEST(Topology, ConnectivityDetectsDisconnectedPair) {
+  const std::vector<Point> points{{0.0, 0.0}, {1000.0, 0.0}};
+  EXPECT_FALSE(is_connected_at_range(points, 10.0));
+  EXPECT_TRUE(is_connected_at_range(points, 2000.0));
+}
+
+TEST(Topology, ConnectivityOfChainAtExactRange) {
+  const auto points = chain(4, 50.0);
+  EXPECT_TRUE(is_connected_at_range(points, 50.0));
+  EXPECT_FALSE(is_connected_at_range(points, 49.0));
+}
+
+TEST(Topology, EmptyPlacementIsConnected) {
+  EXPECT_TRUE(is_connected_at_range({}, 1.0));
+}
+
+TEST(Topology, ConnectedRandomRectangleIsConnected) {
+  Rng rng(5);
+  const auto points = connected_random_rectangle(30, 400.0, 600.0, 158.0, rng);
+  EXPECT_TRUE(is_connected_at_range(points, 158.0));
+}
+
+TEST(Topology, ConnectedRandomRectangleGivesUpEventually) {
+  Rng rng(5);
+  // 2 nodes in a huge area with a tiny range: virtually never connected.
+  EXPECT_THROW(connected_random_rectangle(2, 1e6, 1e6, 1.0, rng, 3),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace mrwsn::geom

@@ -1,0 +1,123 @@
+#include "graph/shortest_path.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace mrwsn::graph {
+namespace {
+
+/// 0 -> 1 -> 3 (cost 2), 0 -> 2 -> 3 (cost 4), 0 -> 3 direct (cost 5).
+Digraph diamond() {
+  Digraph g(4);
+  g.add_edge(0, 1, 1.0);  // e0
+  g.add_edge(1, 3, 1.0);  // e1
+  g.add_edge(0, 2, 2.0);  // e2
+  g.add_edge(2, 3, 2.0);  // e3
+  g.add_edge(0, 3, 5.0);  // e4
+  return g;
+}
+
+TEST(Dijkstra, FindsShortestOfSeveralRoutes) {
+  const Digraph g = diamond();
+  const PathResult r = dijkstra(g, 0, 3);
+  ASSERT_TRUE(r.reachable);
+  EXPECT_DOUBLE_EQ(r.cost, 2.0);
+  EXPECT_EQ(r.vertices, (std::vector<std::size_t>{0, 1, 3}));
+  EXPECT_EQ(r.edges, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(Dijkstra, UnreachableTarget) {
+  Digraph g(3);
+  g.add_edge(0, 1, 1.0);
+  const PathResult r = dijkstra(g, 0, 2);
+  EXPECT_FALSE(r.reachable);
+}
+
+TEST(Dijkstra, RespectsBannedEdges) {
+  const Digraph g = diamond();
+  std::vector<char> banned(g.num_edges(), 0);
+  banned[1] = 1;  // cut 1 -> 3
+  const PathResult r = dijkstra(g, 0, 3, &banned);
+  ASSERT_TRUE(r.reachable);
+  EXPECT_DOUBLE_EQ(r.cost, 4.0);
+  EXPECT_EQ(r.vertices, (std::vector<std::size_t>{0, 2, 3}));
+}
+
+TEST(Dijkstra, RespectsBannedVertices) {
+  const Digraph g = diamond();
+  std::vector<char> banned(g.num_vertices(), 0);
+  banned[1] = 1;
+  banned[2] = 1;
+  const PathResult r = dijkstra(g, 0, 3, nullptr, &banned);
+  ASSERT_TRUE(r.reachable);
+  EXPECT_DOUBLE_EQ(r.cost, 5.0);  // forced onto the direct edge
+}
+
+TEST(Dijkstra, BannedSourceOrTargetMeansUnreachable) {
+  const Digraph g = diamond();
+  std::vector<char> banned(g.num_vertices(), 0);
+  banned[0] = 1;
+  EXPECT_FALSE(dijkstra(g, 0, 3, nullptr, &banned).reachable);
+}
+
+TEST(Dijkstra, ZeroWeightEdgesAreFine) {
+  Digraph g(3);
+  g.add_edge(0, 1, 0.0);
+  g.add_edge(1, 2, 0.0);
+  const PathResult r = dijkstra(g, 0, 2);
+  ASSERT_TRUE(r.reachable);
+  EXPECT_DOUBLE_EQ(r.cost, 0.0);
+}
+
+TEST(Digraph, RejectsNegativeWeightsAndBadVertices) {
+  Digraph g(2);
+  EXPECT_THROW(g.add_edge(0, 1, -1.0), PreconditionError);
+  EXPECT_THROW(g.add_edge(0, 7, 1.0), PreconditionError);
+}
+
+TEST(KShortest, EnumeratesDiamondPathsInOrder) {
+  const Digraph g = diamond();
+  const auto paths = k_shortest_paths(g, 0, 3, 5);
+  ASSERT_EQ(paths.size(), 3u);
+  EXPECT_DOUBLE_EQ(paths[0].cost, 2.0);
+  EXPECT_DOUBLE_EQ(paths[1].cost, 4.0);
+  EXPECT_DOUBLE_EQ(paths[2].cost, 5.0);
+}
+
+TEST(KShortest, KOneMatchesDijkstra) {
+  const Digraph g = diamond();
+  const auto paths = k_shortest_paths(g, 0, 3, 1);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].edges, dijkstra(g, 0, 3).edges);
+}
+
+TEST(KShortest, UnreachableGivesEmpty) {
+  Digraph g(2);
+  EXPECT_TRUE(k_shortest_paths(g, 0, 1, 3).empty());
+}
+
+TEST(KShortest, PathsAreLoopFreeAndDistinct) {
+  Rng rng(99);
+  Digraph g(8);
+  for (std::size_t u = 0; u < 8; ++u)
+    for (std::size_t v = 0; v < 8; ++v)
+      if (u != v && rng.uniform() < 0.4) g.add_edge(u, v, rng.uniform(0.5, 3.0));
+
+  const auto paths = k_shortest_paths(g, 0, 7, 10);
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    // Loop-free.
+    auto vs = paths[i].vertices;
+    std::sort(vs.begin(), vs.end());
+    EXPECT_EQ(std::adjacent_find(vs.begin(), vs.end()), vs.end());
+    // Sorted by cost and pairwise distinct.
+    if (i > 0) {
+      EXPECT_GE(paths[i].cost, paths[i - 1].cost - 1e-12);
+      EXPECT_NE(paths[i].edges, paths[i - 1].edges);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mrwsn::graph

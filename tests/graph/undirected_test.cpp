@@ -1,0 +1,151 @@
+#include "graph/undirected.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace mrwsn::graph {
+namespace {
+
+std::set<std::vector<Vertex>> as_set(std::vector<std::vector<Vertex>> cliques) {
+  return {cliques.begin(), cliques.end()};
+}
+
+TEST(UndirectedGraph, EdgeBookkeeping) {
+  UndirectedGraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 1);  // duplicate ignored
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.neighbors(1).size(), 2u);
+}
+
+TEST(UndirectedGraph, RejectsSelfLoopsAndBadVertices) {
+  UndirectedGraph g(2);
+  EXPECT_THROW(g.add_edge(0, 0), PreconditionError);
+  EXPECT_THROW(g.add_edge(0, 5), PreconditionError);
+  EXPECT_THROW((void)g.has_edge(3, 0), PreconditionError);
+}
+
+TEST(UndirectedGraph, ComplementSwapsEdges) {
+  UndirectedGraph g(3);
+  g.add_edge(0, 1);
+  const UndirectedGraph c = g.complement();
+  EXPECT_FALSE(c.has_edge(0, 1));
+  EXPECT_TRUE(c.has_edge(0, 2));
+  EXPECT_TRUE(c.has_edge(1, 2));
+  EXPECT_EQ(c.num_edges(), 2u);
+}
+
+TEST(MaximalCliques, TriangleIsOneClique) {
+  UndirectedGraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  EXPECT_EQ(as_set(maximal_cliques(g)),
+            as_set({{0, 1, 2}}));
+}
+
+TEST(MaximalCliques, PathGraphHasEdgeCliques) {
+  UndirectedGraph g(4);  // 0-1-2-3
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  EXPECT_EQ(as_set(maximal_cliques(g)), as_set({{0, 1}, {1, 2}, {2, 3}}));
+}
+
+TEST(MaximalCliques, EmptyGraphYieldsSingletons) {
+  UndirectedGraph g(3);
+  EXPECT_EQ(as_set(maximal_cliques(g)), as_set({{0}, {1}, {2}}));
+}
+
+TEST(MaximalCliques, ZeroVertices) {
+  UndirectedGraph g(0);
+  EXPECT_TRUE(maximal_cliques(g).empty());
+}
+
+TEST(MaximalCliques, TwoTrianglesSharingAVertex) {
+  UndirectedGraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  g.add_edge(2, 4);
+  EXPECT_EQ(as_set(maximal_cliques(g)), as_set({{0, 1, 2}, {2, 3, 4}}));
+}
+
+TEST(MaximalCliques, CompleteGraphIsSingleClique) {
+  UndirectedGraph g(6);
+  for (Vertex u = 0; u < 6; ++u)
+    for (Vertex v = u + 1; v < 6; ++v) g.add_edge(u, v);
+  const auto cliques = maximal_cliques(g);
+  ASSERT_EQ(cliques.size(), 1u);
+  EXPECT_EQ(cliques[0].size(), 6u);
+}
+
+TEST(MaximalIndependentSets, PathGraph) {
+  UndirectedGraph g(3);  // 0-1-2: MIS are {0,2} and {1}
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_EQ(as_set(maximal_independent_sets(g)), as_set({{0, 2}, {1}}));
+}
+
+TEST(MaximalCliques, LimitIsEnforced) {
+  // The Moon–Moser graph K_{3x3x3} has 3^3 = 27 maximal cliques.
+  UndirectedGraph g(9);
+  for (Vertex u = 0; u < 9; ++u)
+    for (Vertex v = u + 1; v < 9; ++v)
+      if (u / 3 != v / 3) g.add_edge(u, v);
+  EXPECT_EQ(maximal_cliques(g).size(), 27u);
+  EXPECT_THROW(maximal_cliques(g, 10), InvariantError);
+}
+
+/// Property sweep: on random graphs every reported clique must be a clique,
+/// maximal, and the collection must cover every vertex and every edge.
+class CliquePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CliquePropertyTest, CliquesAreMaximalAndCoverGraph) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 3);
+  const std::size_t n = 4 + rng.uniform_int(0, 8);
+  UndirectedGraph g(n);
+  for (Vertex u = 0; u < n; ++u)
+    for (Vertex v = u + 1; v < n; ++v)
+      if (rng.uniform() < 0.45) g.add_edge(u, v);
+
+  const auto cliques = maximal_cliques(g);
+  std::vector<char> vertex_covered(n, 0);
+
+  for (const auto& clique : cliques) {
+    for (std::size_t i = 0; i < clique.size(); ++i) {
+      vertex_covered[clique[i]] = 1;
+      for (std::size_t j = i + 1; j < clique.size(); ++j)
+        ASSERT_TRUE(g.has_edge(clique[i], clique[j]));
+    }
+    // Maximality: no outside vertex is adjacent to every member.
+    for (Vertex v = 0; v < n; ++v) {
+      if (std::find(clique.begin(), clique.end(), v) != clique.end()) continue;
+      const bool adjacent_to_all =
+          std::all_of(clique.begin(), clique.end(),
+                      [&](Vertex u) { return g.has_edge(u, v); });
+      ASSERT_FALSE(adjacent_to_all);
+    }
+  }
+  for (Vertex v = 0; v < n; ++v) EXPECT_TRUE(vertex_covered[v]);
+
+  // No duplicate cliques.
+  auto sorted = cliques;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CliquePropertyTest, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace mrwsn::graph

@@ -1,0 +1,57 @@
+#include "io/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace mrwsn::io {
+namespace {
+
+TEST(Csv, WritesHeaderAndRows) {
+  CsvWriter csv({"flow", "mbps"});
+  csv.add_row({"1", "2.5"});
+  EXPECT_EQ(csv.to_string(), "flow,mbps\n1,2.5\n");
+  EXPECT_EQ(csv.row_count(), 1u);
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(Csv, RejectsBadShapes) {
+  EXPECT_THROW(CsvWriter({}), PreconditionError);
+  CsvWriter csv({"a", "b"});
+  EXPECT_THROW(csv.add_row({"only"}), PreconditionError);
+}
+
+TEST(Csv, RoundTripsThroughParser) {
+  CsvWriter csv({"name", "value"});
+  csv.add_row({"comma,cell", "1"});
+  csv.add_row({"quote\"cell", "2"});
+  csv.add_row({"multi\nline", "3"});
+  const auto rows = parse_csv(csv.to_string());
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"name", "value"}));
+  EXPECT_EQ(rows[1][0], "comma,cell");
+  EXPECT_EQ(rows[2][0], "quote\"cell");
+  EXPECT_EQ(rows[3][0], "multi\nline");
+}
+
+TEST(Csv, ParserHandlesCrlfAndMissingFinalNewline) {
+  const auto rows = parse_csv("a,b\r\n1,2");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(Csv, ParserRejectsMalformedQuotes) {
+  EXPECT_THROW(parse_csv("a,\"unterminated\n"), PreconditionError);
+  EXPECT_THROW(parse_csv("a,b\"mid\",c\n"), PreconditionError);
+}
+
+TEST(Csv, EmptyDocument) { EXPECT_TRUE(parse_csv("").empty()); }
+
+}  // namespace
+}  // namespace mrwsn::io

@@ -1,0 +1,279 @@
+#include "lp/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace mrwsn::lp {
+namespace {
+
+constexpr double kTol = 1e-7;
+
+TEST(Simplex, SolvesTextbookMaximization) {
+  // max 3x + 5y  s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  ->  x=2, y=6, z=36.
+  Problem p(Objective::kMaximize);
+  const VarId x = p.add_variable(3.0, "x");
+  const VarId y = p.add_variable(5.0, "y");
+  p.add_constraint({{x, 1.0}}, Sense::kLessEqual, 4.0);
+  p.add_constraint({{y, 2.0}}, Sense::kLessEqual, 12.0);
+  p.add_constraint({{x, 3.0}, {y, 2.0}}, Sense::kLessEqual, 18.0);
+
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 36.0, kTol);
+  EXPECT_NEAR(s.value(x), 2.0, kTol);
+  EXPECT_NEAR(s.value(y), 6.0, kTol);
+}
+
+TEST(Simplex, TextbookDualsMatchHandComputation) {
+  // Same LP as above; the optimal duals are (0, 3/2, 1):
+  // complementary slackness kills y1 (x < 4), then 3 = 3*y3, 5 = 2*y2 + 2*y3.
+  Problem p(Objective::kMaximize);
+  const VarId x = p.add_variable(3.0);
+  const VarId y = p.add_variable(5.0);
+  p.add_constraint({{x, 1.0}}, Sense::kLessEqual, 4.0);
+  p.add_constraint({{y, 2.0}}, Sense::kLessEqual, 12.0);
+  p.add_constraint({{x, 3.0}, {y, 2.0}}, Sense::kLessEqual, 18.0);
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  ASSERT_EQ(s.duals.size(), 3u);
+  EXPECT_NEAR(s.dual(0), 0.0, kTol);
+  EXPECT_NEAR(s.dual(1), 1.5, kTol);
+  EXPECT_NEAR(s.dual(2), 1.0, kTol);
+  // Strong duality: y'b equals the optimum.
+  EXPECT_NEAR(0.0 * 4 + 1.5 * 12 + 1.0 * 18, s.objective, kTol);
+}
+
+TEST(Simplex, MinimizationDualsAreRhsDerivatives) {
+  // min 2x + 3y s.t. x + y >= 10, x >= 2: optimum 20 at (10, 0).
+  // Raising the first rhs by 1 raises the cost by 2 -> dual = 2; the
+  // second constraint is slack -> dual = 0.
+  Problem p(Objective::kMinimize);
+  const VarId x = p.add_variable(2.0);
+  const VarId y = p.add_variable(3.0);
+  p.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kGreaterEqual, 10.0);
+  p.add_constraint({{x, 1.0}}, Sense::kGreaterEqual, 2.0);
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.dual(0), 2.0, kTol);
+  EXPECT_NEAR(s.dual(1), 0.0, kTol);
+}
+
+TEST(Simplex, EqualityConstraintDual) {
+  // max x + y s.t. x + y = 5, x <= 3: raising the equality rhs by 1
+  // raises the optimum by 1.
+  Problem p(Objective::kMaximize);
+  const VarId x = p.add_variable(1.0);
+  const VarId y = p.add_variable(1.0);
+  p.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kEqual, 5.0);
+  p.add_constraint({{x, 1.0}}, Sense::kLessEqual, 3.0);
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.dual(0), 1.0, kTol);
+  EXPECT_NEAR(s.dual(1), 0.0, kTol);
+}
+
+TEST(Simplex, DualOfNegatedRowMatchesFiniteDifference) {
+  // max x s.t. -x <= -3 (x >= 3), x <= 7: only the second row binds.
+  Problem p(Objective::kMaximize);
+  const VarId x = p.add_variable(1.0);
+  p.add_constraint({{x, -1.0}}, Sense::kLessEqual, -3.0);
+  p.add_constraint({{x, 1.0}}, Sense::kLessEqual, 7.0);
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.dual(0), 0.0, kTol);
+  EXPECT_NEAR(s.dual(1), 1.0, kTol);
+}
+
+TEST(Simplex, SolvesMinimizationWithGreaterEqual) {
+  // min 2x + 3y  s.t. x + y >= 10, x >= 2  ->  x=10 is not forced; optimum
+  // at y=0, x=10 -> 20? cost(2)=2 per x < 3 per y, so all x: x=10, z=20.
+  Problem p(Objective::kMinimize);
+  const VarId x = p.add_variable(2.0);
+  const VarId y = p.add_variable(3.0);
+  p.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kGreaterEqual, 10.0);
+  p.add_constraint({{x, 1.0}}, Sense::kGreaterEqual, 2.0);
+
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 20.0, kTol);
+  EXPECT_NEAR(s.value(x), 10.0, kTol);
+  EXPECT_NEAR(s.value(y), 0.0, kTol);
+}
+
+TEST(Simplex, HandlesEqualityConstraints) {
+  // max x + y  s.t. x + y = 5, x <= 3  ->  z = 5.
+  Problem p(Objective::kMaximize);
+  const VarId x = p.add_variable(1.0);
+  const VarId y = p.add_variable(1.0);
+  p.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kEqual, 5.0);
+  p.add_constraint({{x, 1.0}}, Sense::kLessEqual, 3.0);
+
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 5.0, kTol);
+  EXPECT_NEAR(s.value(x) + s.value(y), 5.0, kTol);
+}
+
+TEST(Simplex, DetectsInfeasibility) {
+  Problem p(Objective::kMaximize);
+  const VarId x = p.add_variable(1.0);
+  p.add_constraint({{x, 1.0}}, Sense::kLessEqual, 1.0);
+  p.add_constraint({{x, 1.0}}, Sense::kGreaterEqual, 2.0);
+  EXPECT_EQ(solve(p).status, Status::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnboundedness) {
+  Problem p(Objective::kMaximize);
+  const VarId x = p.add_variable(1.0);
+  const VarId y = p.add_variable(0.0);
+  p.add_constraint({{x, 1.0}, {y, -1.0}}, Sense::kLessEqual, 1.0);
+  EXPECT_EQ(solve(p).status, Status::kUnbounded);
+}
+
+TEST(Simplex, HandlesNegativeRhs) {
+  // max x  s.t. -x <= -3 (i.e. x >= 3), x <= 7.
+  Problem p(Objective::kMaximize);
+  const VarId x = p.add_variable(1.0);
+  p.add_constraint({{x, -1.0}}, Sense::kLessEqual, -3.0);
+  p.add_constraint({{x, 1.0}}, Sense::kLessEqual, 7.0);
+
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 7.0, kTol);
+}
+
+TEST(Simplex, AccumulatesRepeatedTerms) {
+  // x + x <= 4 means 2x <= 4.
+  Problem p(Objective::kMaximize);
+  const VarId x = p.add_variable(1.0);
+  p.add_constraint({{x, 1.0}, {x, 1.0}}, Sense::kLessEqual, 4.0);
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 2.0, kTol);
+}
+
+TEST(Simplex, DegenerateProblemStillTerminates) {
+  // Classic degeneracy: multiple constraints active at the optimum.
+  Problem p(Objective::kMaximize);
+  const VarId x = p.add_variable(1.0);
+  const VarId y = p.add_variable(1.0);
+  p.add_constraint({{x, 1.0}}, Sense::kLessEqual, 1.0);
+  p.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kLessEqual, 1.0);
+  p.add_constraint({{x, 1.0}, {y, 2.0}}, Sense::kLessEqual, 1.0);
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 1.0, kTol);
+}
+
+TEST(Simplex, RedundantEqualityRowsAreAccepted) {
+  Problem p(Objective::kMaximize);
+  const VarId x = p.add_variable(1.0);
+  p.add_constraint({{x, 1.0}}, Sense::kEqual, 2.0);
+  p.add_constraint({{x, 2.0}}, Sense::kEqual, 4.0);  // same hyperplane
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 2.0, kTol);
+}
+
+TEST(Simplex, EmptyProblemIsTriviallyOptimal) {
+  Problem p(Objective::kMaximize);
+  const Solution s = solve(p);
+  EXPECT_TRUE(s.optimal());
+  EXPECT_EQ(s.objective, 0.0);
+}
+
+TEST(Simplex, ZeroVariableInfeasibleConstraint) {
+  Problem p(Objective::kMaximize);
+  p.add_constraint({}, Sense::kGreaterEqual, 1.0);  // 0 >= 1
+  EXPECT_EQ(solve(p).status, Status::kInfeasible);
+}
+
+TEST(Simplex, RejectsUnknownVariable) {
+  Problem p(Objective::kMaximize);
+  (void)p.add_variable(1.0);
+  EXPECT_THROW(p.add_constraint({{7, 1.0}}, Sense::kLessEqual, 1.0),
+               PreconditionError);
+}
+
+TEST(Simplex, VariableNamesAreStored) {
+  Problem p;
+  const VarId a = p.add_variable(0.0, "alpha");
+  const VarId b = p.add_variable(0.0);
+  EXPECT_EQ(p.variable_name(a), "alpha");
+  EXPECT_EQ(p.variable_name(b), "x1");
+}
+
+TEST(Simplex, SchedulingShapedProblem) {
+  // Shape of Eq. 6 in miniature: two "independent set" columns serving two
+  // links; maximize new-flow throughput with a background demand.
+  // Columns: A delivers 54 on link0; B delivers 12 on link0 and 18 on link1.
+  // Background: 6 Mbps on link0. New path: both links (f on each).
+  Problem p(Objective::kMaximize);
+  const VarId la = p.add_variable(0.0, "lambdaA");
+  const VarId lb = p.add_variable(0.0, "lambdaB");
+  const VarId f = p.add_variable(1.0, "f");
+  p.add_constraint({{la, 1.0}, {lb, 1.0}}, Sense::kLessEqual, 1.0);
+  p.add_constraint({{la, 54.0}, {lb, 12.0}, {f, -1.0}}, Sense::kGreaterEqual, 6.0);
+  p.add_constraint({{lb, 18.0}, {f, -1.0}}, Sense::kGreaterEqual, 0.0);
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  // f = 18*lb and 54(1-lb) + 12lb - f >= 6 -> 54 - 42lb - 18lb >= 6 ->
+  // lb <= 0.8 -> f = 14.4.
+  EXPECT_NEAR(s.objective, 14.4, kTol);
+}
+
+/// Property sweep: random feasible-by-construction LPs must come back
+/// optimal, respect every constraint, and never beat an obvious bound.
+class SimplexRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexRandomTest, RandomBoxProblemsAreSolvedWithinBounds) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const int n = static_cast<int>(rng.uniform_int(1, 6));
+  const int m = static_cast<int>(rng.uniform_int(1, 6));
+
+  Problem p(Objective::kMaximize);
+  std::vector<VarId> vars;
+  std::vector<double> costs;
+  for (int j = 0; j < n; ++j) {
+    costs.push_back(rng.uniform(0.0, 5.0));
+    vars.push_back(p.add_variable(costs.back()));
+  }
+  // Random non-negative rows with positive rhs: x=0 is always feasible and
+  // each variable is capped, so the LP is feasible and bounded.
+  std::vector<double> caps(n, 1e30);
+  for (int i = 0; i < m; ++i) {
+    std::vector<std::pair<VarId, double>> row;
+    const double rhs = rng.uniform(1.0, 10.0);
+    for (int j = 0; j < n; ++j) {
+      const double coeff = rng.uniform(0.1, 3.0);
+      row.emplace_back(vars[j], coeff);
+      caps[j] = std::min(caps[j], rhs / coeff);
+    }
+    p.add_constraint(row, Sense::kLessEqual, rhs);
+  }
+
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  double bound = 0.0;
+  for (int j = 0; j < n; ++j) bound += costs[j] * caps[j];
+  EXPECT_LE(s.objective, bound + kTol);
+  EXPECT_GE(s.objective, -kTol);
+  for (int j = 0; j < n; ++j) EXPECT_GE(s.value(vars[j]), -kTol);
+
+  // Strong duality on every instance: y'b == optimum, and for a
+  // maximization with <= rows every dual is non-negative.
+  ASSERT_EQ(s.duals.size(), p.num_constraints());
+  double dual_value = 0.0;
+  for (std::size_t i = 0; i < p.rows().size(); ++i) {
+    EXPECT_GE(s.dual(i), -kTol);
+    dual_value += s.dual(i) * p.rows()[i].rhs;
+  }
+  EXPECT_NEAR(dual_value, s.objective, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandomTest, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace mrwsn::lp

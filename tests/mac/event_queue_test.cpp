@@ -1,0 +1,95 @@
+#include "mac/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace mrwsn::mac {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(3.0, [&] { order.push_back(3); });
+  q.schedule_at(1.0, [&] { order.push_back(1); });
+  q.schedule_at(2.0, [&] { order.push_back(2); });
+  q.run_until(10.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 10.0);
+}
+
+TEST(EventQueue, SameTimeIsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) q.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  q.run_until(2.0);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, RunUntilStopsBeforeLaterEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(1.0, [&] { ++fired; });
+  q.schedule_at(5.0, [&] { ++fired; });
+  q.run_until(3.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+  EXPECT_EQ(q.pending(), 1u);
+  q.run_until(6.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue q;
+  int fired = 0;
+  const EventId id = q.schedule_at(1.0, [&] { ++fired; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));  // second cancel is a no-op
+  q.run_until(2.0);
+  EXPECT_EQ(fired, 0);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents) {
+  EventQueue q;
+  std::vector<double> times;
+  std::function<void()> tick = [&] {
+    times.push_back(q.now());
+    if (times.size() < 4) q.schedule_in(0.5, tick);
+  };
+  q.schedule_at(0.0, tick);
+  q.run_until(10.0);
+  EXPECT_EQ(times, (std::vector<double>{0.0, 0.5, 1.0, 1.5}));
+}
+
+TEST(EventQueue, EventsCanCancelOtherEvents) {
+  EventQueue q;
+  int fired = 0;
+  const EventId victim = q.schedule_at(2.0, [&] { ++fired; });
+  q.schedule_at(1.0, [&] { q.cancel(victim); });
+  q.run_until(3.0);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueue, RejectsPastSchedulingAndBackwardRuns) {
+  EventQueue q;
+  q.run_until(5.0);
+  EXPECT_THROW(q.schedule_at(4.0, [] {}), PreconditionError);
+  EXPECT_THROW(q.run_until(1.0), PreconditionError);
+  EXPECT_THROW(q.schedule_in(5.0, nullptr), PreconditionError);
+}
+
+TEST(EventQueue, ScheduleInUsesCurrentTime) {
+  EventQueue q;
+  double fired_at = -1.0;
+  q.schedule_at(2.0, [&] {
+    q.schedule_in(1.5, [&] { fired_at = q.now(); });
+  });
+  q.run_until(10.0);
+  EXPECT_DOUBLE_EQ(fired_at, 3.5);
+}
+
+}  // namespace
+}  // namespace mrwsn::mac

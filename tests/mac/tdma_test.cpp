@@ -1,0 +1,146 @@
+#include "mac/tdma.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/available_bandwidth.hpp"
+#include "core/interference.hpp"
+#include "geom/topology.hpp"
+#include "util/error.hpp"
+
+namespace mrwsn::mac {
+namespace {
+
+struct ChainFixture {
+  net::Network net{geom::chain(5, 70.0), phy::PhyModel::paper_default()};
+  core::PhysicalInterferenceModel model{net};
+
+  std::vector<net::LinkId> chain_path(std::size_t hops) const {
+    std::vector<net::LinkId> links;
+    for (std::size_t i = 0; i < hops; ++i) links.push_back(*net.find_link(i, i + 1));
+    return links;
+  }
+};
+
+TEST(Tdma, DeliversTheLpPromisedThroughput) {
+  // Path capacity is 72/7 ≈ 10.29 Mbps; offering 90% of it through the
+  // LP's own schedule must deliver the demand (modulo PHY overhead).
+  ChainFixture f;
+  const auto path = f.chain_path(4);
+  const auto lp = core::max_path_bandwidth(f.model, {}, path);
+  ASSERT_TRUE(lp.background_feasible);
+
+  const double demand = 0.9 * lp.available_mbps;
+  TdmaSimulator sim(f.net, f.model, lp.schedule, TdmaParams{}, 1);
+  sim.add_flow(path, demand);
+  const SimReport report = sim.run(4.0);
+  EXPECT_NEAR(report.flows[0].delivered_mbps, demand, 0.08 * demand);
+  EXPECT_EQ(report.flows[0].dropped_packets, 0u);
+  EXPECT_EQ(report.failed_receptions, 0u);
+}
+
+TEST(Tdma, ServesBackgroundAndNewFlowTogether) {
+  ChainFixture f;
+  const auto l0 = *f.net.find_link(0, 1);
+  const auto l3 = *f.net.find_link(3, 4);
+  const std::vector<core::LinkFlow> background{core::LinkFlow{{l0}, 12.0}};
+  const auto lp =
+      core::max_path_bandwidth(f.model, background, std::vector<net::LinkId>{l3});
+  ASSERT_TRUE(lp.background_feasible);
+
+  TdmaSimulator sim(f.net, f.model, lp.schedule, TdmaParams{}, 2);
+  sim.add_flow({l0}, 12.0);
+  sim.add_flow({l3}, 0.9 * lp.available_mbps);
+  const SimReport report = sim.run(4.0);
+  EXPECT_NEAR(report.flows[0].delivered_mbps, 12.0, 1.0);
+  EXPECT_NEAR(report.flows[1].delivered_mbps, 0.9 * lp.available_mbps,
+              0.1 * lp.available_mbps);
+}
+
+TEST(Tdma, OverloadSaturatesAtScheduleCapacity) {
+  ChainFixture f;
+  const auto path = f.chain_path(2);  // capacity 18
+  const auto lp = core::max_path_bandwidth(f.model, {}, path);
+  TdmaSimulator sim(f.net, f.model, lp.schedule, TdmaParams{}, 3);
+  sim.add_flow(path, 40.0);  // far beyond capacity
+  const SimReport report = sim.run(3.0);
+  EXPECT_LT(report.flows[0].delivered_mbps, lp.available_mbps * 1.02);
+  EXPECT_GT(report.flows[0].delivered_mbps, lp.available_mbps * 0.8);
+  EXPECT_GT(report.flows[0].dropped_packets, 0u);
+}
+
+TEST(Tdma, NodeIdleMatchesScheduleGeometry) {
+  ChainFixture f;
+  const auto path = f.chain_path(1);
+  std::vector<double> demand_vec(f.net.num_links(), 0.0);
+  const auto lp = core::max_path_bandwidth(f.model, {}, path);
+  // The single-link schedule occupies the whole unit of time at 36 Mbps.
+  TdmaSimulator sim(f.net, f.model, lp.schedule, TdmaParams{}, 4);
+  sim.add_flow(path, 5.0);
+  const SimReport report = sim.run(1.0);
+  // All chain nodes are within carrier-sense range of node 0.
+  for (double idle : report.node_idle) EXPECT_NEAR(idle, 0.0, 1e-9);
+}
+
+TEST(Tdma, LatencyBoundedByAFewFrames) {
+  ChainFixture f;
+  const auto path = f.chain_path(3);
+  const auto lp = core::max_path_bandwidth(f.model, {}, path);
+  TdmaParams params;
+  params.frame_s = 0.01;
+  TdmaSimulator sim(f.net, f.model, lp.schedule, params, 5);
+  sim.add_flow(path, 0.5 * lp.available_mbps);
+  const SimReport report = sim.run(3.0);
+  ASSERT_GT(report.flows[0].delivered_packets, 0u);
+  // Each hop waits at most ~one frame; three hops => a few frames.
+  EXPECT_LT(report.flows[0].mean_latency_s, 6.0 * params.frame_s);
+}
+
+/// Conservation sweep across loads: delivered never exceeds offered, and
+/// packets are not duplicated.
+class TdmaConservationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TdmaConservationTest, PacketsAreConserved) {
+  ChainFixture f;
+  const auto path = f.chain_path(3);
+  const auto lp = core::max_path_bandwidth(f.model, {}, path);
+  const double demand = 1.0 + static_cast<double>(GetParam());
+  TdmaSimulator sim(f.net, f.model, lp.schedule, TdmaParams{},
+                    static_cast<std::uint64_t>(GetParam()));
+  sim.add_flow(path, demand);
+  const SimReport report = sim.run(2.0);
+  const FlowStats& stats = report.flows[0];
+  EXPECT_LE(stats.delivered_packets + stats.dropped_packets,
+            stats.generated_packets + 1600u /* warmup backlog + queued */);
+  EXPECT_LE(stats.delivered_mbps, demand + 0.5);
+  EXPECT_LE(stats.delivered_mbps, lp.available_mbps + 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, TdmaConservationTest, ::testing::Range(1, 12));
+
+TEST(Tdma, RefusesInvalidSchedule) {
+  ChainFixture f;
+  core::IndependentSet bogus;
+  bogus.links = {*f.net.find_link(0, 1), *f.net.find_link(1, 2)};  // share node 1
+  bogus.rates = {1, 1};
+  bogus.mbps = {36.0, 36.0};
+  const std::vector<core::ScheduledSet> schedule{{bogus, 0.5}};
+  EXPECT_THROW(TdmaSimulator(f.net, f.model, schedule, TdmaParams{}, 1),
+               PreconditionError);
+}
+
+TEST(Tdma, ValidatesFlowsAndDurations) {
+  ChainFixture f;
+  const auto path = f.chain_path(1);
+  const auto lp = core::max_path_bandwidth(f.model, {}, path);
+  TdmaSimulator sim(f.net, f.model, lp.schedule, TdmaParams{}, 1);
+  EXPECT_THROW(sim.add_flow({}, 1.0), PreconditionError);
+  EXPECT_THROW(sim.add_flow(path, -1.0), PreconditionError);
+  EXPECT_THROW(
+      sim.add_flow({*f.net.find_link(0, 1), *f.net.find_link(2, 3)}, 1.0),
+      PreconditionError);
+  (void)sim.run(0.2);
+  EXPECT_THROW((void)sim.run(0.2), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mrwsn::mac

@@ -1,0 +1,135 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geom/topology.hpp"
+#include "net/path.hpp"
+#include "util/error.hpp"
+
+namespace mrwsn::net {
+namespace {
+
+Network make_chain(std::size_t nodes, double spacing) {
+  return Network(geom::chain(nodes, spacing), phy::PhyModel::paper_default());
+}
+
+TEST(Network, ChainAt70mGets36MbpsLinks) {
+  // 70 m is beyond 54's 59 m range but within 36's 79 m.
+  const Network net = make_chain(3, 70.0);
+  ASSERT_EQ(net.num_nodes(), 3u);
+  const auto link = net.find_link(0, 1);
+  ASSERT_TRUE(link.has_value());
+  EXPECT_DOUBLE_EQ(net.link(*link).best_mbps_alone, 36.0);
+}
+
+TEST(Network, LinksAreDirectedAndSymmetricInGeometry) {
+  const Network net = make_chain(2, 50.0);
+  const auto forward = net.find_link(0, 1);
+  const auto backward = net.find_link(1, 0);
+  ASSERT_TRUE(forward.has_value());
+  ASSERT_TRUE(backward.has_value());
+  EXPECT_NE(*forward, *backward);
+  EXPECT_DOUBLE_EQ(net.link(*forward).length_m, net.link(*backward).length_m);
+}
+
+TEST(Network, NoLinkBeyondMaxRange) {
+  const Network net = make_chain(3, 100.0);
+  // 100 m: 18 Mbps link exists; 200 m (two hops apart): nothing.
+  EXPECT_TRUE(net.find_link(0, 1).has_value());
+  EXPECT_FALSE(net.find_link(0, 2).has_value());
+}
+
+TEST(Network, TwoHopNeighborReachableAtCloseSpacing) {
+  const Network net = make_chain(3, 60.0);
+  const auto skip = net.find_link(0, 2);  // 120 m -> 6 Mbps only
+  ASSERT_TRUE(skip.has_value());
+  EXPECT_DOUBLE_EQ(net.link(*skip).best_mbps_alone, 6.0);
+}
+
+TEST(Network, LinksFromListsOutgoingLinks) {
+  const Network net = make_chain(3, 60.0);
+  // Node 1 reaches nodes 0 and 2 (60 m) but not itself.
+  const auto& out = net.links_from(1);
+  EXPECT_EQ(out.size(), 2u);
+  for (LinkId id : out) EXPECT_EQ(net.link(id).tx, 1u);
+}
+
+TEST(Network, DistanceAndReceivedPowerAgreeWithPhy) {
+  const Network net = make_chain(2, 79.0);
+  EXPECT_DOUBLE_EQ(net.distance(0, 1), 79.0);
+  EXPECT_DOUBLE_EQ(net.received_power(0, 1), net.phy().received_power(79.0));
+}
+
+TEST(Network, RejectsOutOfRangeIds) {
+  const Network net = make_chain(2, 50.0);
+  EXPECT_THROW(net.node(5), PreconditionError);
+  EXPECT_THROW(net.link(999), PreconditionError);
+  EXPECT_THROW(net.distance(0, 9), PreconditionError);
+  EXPECT_THROW((void)net.find_link(9, 0), PreconditionError);
+}
+
+TEST(Network, RejectsEmptyPlacement) {
+  EXPECT_THROW(Network({}, phy::PhyModel::paper_default()), PreconditionError);
+}
+
+TEST(Network, IsolatedNodeHasNoLinks) {
+  Network net({{0.0, 0.0}, {50.0, 0.0}, {5000.0, 0.0}},
+              phy::PhyModel::paper_default());
+  EXPECT_TRUE(net.links_from(2).empty());
+  EXPECT_EQ(net.num_links(), 2u);
+}
+
+TEST(Path, FromNodesBuildsContiguousPath) {
+  const Network net = make_chain(4, 60.0);
+  const Path path = Path::from_nodes(net, {0, 1, 2, 3});
+  EXPECT_EQ(path.hop_count(), 3u);
+  EXPECT_EQ(path.source(), 0u);
+  EXPECT_EQ(path.destination(), 3u);
+  EXPECT_TRUE(path.contains_node(2));
+  EXPECT_FALSE(path.contains_node(4));
+}
+
+TEST(Path, RejectsDisconnectedNodes) {
+  const Network net = make_chain(4, 100.0);
+  EXPECT_THROW(Path::from_nodes(net, {0, 2}), PreconditionError);
+}
+
+TEST(Path, RejectsNonContiguousLinks) {
+  const Network net = make_chain(4, 60.0);
+  const auto l01 = net.find_link(0, 1);
+  const auto l23 = net.find_link(2, 3);
+  ASSERT_TRUE(l01 && l23);
+  EXPECT_THROW(Path(net, {*l01, *l23}), PreconditionError);
+}
+
+TEST(Path, RejectsLoops) {
+  const Network net = make_chain(3, 60.0);
+  const auto l01 = net.find_link(0, 1);
+  const auto l10 = net.find_link(1, 0);
+  ASSERT_TRUE(l01 && l10);
+  EXPECT_THROW(Path(net, {*l01, *l10}), PreconditionError);
+}
+
+TEST(Path, RejectsEmpty) {
+  const Network net = make_chain(2, 60.0);
+  EXPECT_THROW(Path(net, {}), PreconditionError);
+  EXPECT_THROW(Path::from_nodes(net, {0}), PreconditionError);
+}
+
+TEST(Path, ContainsLink) {
+  const Network net = make_chain(3, 60.0);
+  const Path path = Path::from_nodes(net, {0, 1, 2});
+  for (LinkId id : path.links()) EXPECT_TRUE(path.contains_link(id));
+  const auto reverse = net.find_link(1, 0);
+  ASSERT_TRUE(reverse.has_value());
+  EXPECT_FALSE(path.contains_link(*reverse));
+}
+
+TEST(Path, EqualityComparesLinkSequences) {
+  const Network net = make_chain(3, 60.0);
+  EXPECT_EQ(Path::from_nodes(net, {0, 1, 2}), Path::from_nodes(net, {0, 1, 2}));
+  EXPECT_FALSE(Path::from_nodes(net, {0, 1}) == Path::from_nodes(net, {1, 2}));
+}
+
+}  // namespace
+}  // namespace mrwsn::net

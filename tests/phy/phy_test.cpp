@@ -1,0 +1,153 @@
+#include "phy/phy_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "phy/propagation.hpp"
+#include "phy/rate.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace mrwsn::phy {
+namespace {
+
+TEST(PathLoss, FollowsPowerLaw) {
+  PathLoss loss(4.0);
+  const double p10 = loss.received_power(1.0, 10.0);
+  const double p20 = loss.received_power(1.0, 20.0);
+  EXPECT_NEAR(p10 / p20, 16.0, 1e-9);  // doubling distance: 2^4
+}
+
+TEST(PathLoss, ClampsBelowReferenceDistance) {
+  PathLoss loss(4.0, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(loss.received_power(1.0, 0.1), loss.received_power(1.0, 1.0));
+}
+
+TEST(PathLoss, RangeForPowerInvertsReceivedPower) {
+  PathLoss loss(4.0);
+  const double pr = loss.received_power(0.1, 79.0);
+  EXPECT_NEAR(loss.range_for_power(0.1, pr), 79.0, 1e-9);
+}
+
+TEST(PathLoss, RejectsBadParameters) {
+  EXPECT_THROW(PathLoss(0.0), mrwsn::PreconditionError);
+  EXPECT_THROW(PathLoss(4.0, -1.0), mrwsn::PreconditionError);
+}
+
+TEST(RateTable, RejectsNonDecreasingRates) {
+  EXPECT_THROW(RateTable({{36.0, 2.0, 2.0}, {54.0, 1.0, 1.0}}),
+               mrwsn::PreconditionError);
+}
+
+TEST(RateTable, RejectsInvertedThresholds) {
+  // Lower rate must not require more SINR.
+  EXPECT_THROW(RateTable({{54.0, 1.0, 1.0}, {36.0, 2.0, 1.0}}),
+               mrwsn::PreconditionError);
+}
+
+TEST(RateTable, MaxSupportedPicksFastestSatisfiedRate) {
+  RateTable table({{54.0, 100.0, 1e-6}, {6.0, 4.0, 1e-8}});
+  // Strong signal, high SINR: fastest.
+  EXPECT_EQ(table.max_supported(1e-5, 200.0), RateIndex{0});
+  // Strong signal, low SINR: falls back.
+  EXPECT_EQ(table.max_supported(1e-5, 10.0), RateIndex{1});
+  // Hopeless SINR: nothing.
+  EXPECT_EQ(table.max_supported(1e-5, 1.0), std::nullopt);
+  // Signal below even the lowest sensitivity: nothing.
+  EXPECT_EQ(table.max_supported(1e-9, 200.0), std::nullopt);
+}
+
+class PaperPhyTest : public ::testing::Test {
+ protected:
+  PhyModel phy_ = PhyModel::paper_default();
+};
+
+TEST_F(PaperPhyTest, LoneRangesMatchPaperExactly) {
+  // Section 5.2: 54/36/18/6 Mbps reach 59/79/119/158 m.
+  const struct {
+    double range;
+    double mbps;
+  } kExpected[] = {{59.0, 54.0}, {79.0, 36.0}, {119.0, 18.0}, {158.0, 6.0}};
+  for (const auto& e : kExpected) {
+    const auto at_edge = phy_.max_rate_alone(e.range);
+    ASSERT_TRUE(at_edge.has_value()) << e.mbps;
+    EXPECT_DOUBLE_EQ(phy_.rates()[*at_edge].mbps, e.mbps);
+    // One metre past the edge the rate must drop (or disappear for 6 Mbps).
+    const auto beyond = phy_.max_rate_alone(e.range + 1.0);
+    if (beyond.has_value()) {
+      EXPECT_LT(phy_.rates()[*beyond].mbps, e.mbps);
+    } else {
+      EXPECT_DOUBLE_EQ(e.mbps, 6.0);
+    }
+  }
+}
+
+TEST_F(PaperPhyTest, NothingDecodesBeyondLongestRange) {
+  EXPECT_EQ(phy_.max_rate_alone(159.0), std::nullopt);
+  EXPECT_EQ(phy_.max_rate_alone(1000.0), std::nullopt);
+}
+
+TEST_F(PaperPhyTest, ShortLinksGetTheTopRate) {
+  const auto rate = phy_.max_rate_alone(10.0);
+  ASSERT_TRUE(rate.has_value());
+  EXPECT_DOUBLE_EQ(phy_.rates()[*rate].mbps, 54.0);
+}
+
+TEST_F(PaperPhyTest, SnrAtRangeEdgesMeetsPaperThresholds) {
+  // At each rate's maximum distance the SNR must meet the paper's
+  // requirement (the calibration chooses the noise floor accordingly).
+  const struct {
+    double range;
+    double snr_db;
+  } kExpected[] = {{59.0, 24.56}, {79.0, 18.80}, {119.0, 10.79}, {158.0, 6.02}};
+  for (const auto& e : kExpected) {
+    const double snr = phy_.sinr(phy_.received_power(e.range), 0.0);
+    EXPECT_GE(units::ratio_to_db(snr) + 1e-9, e.snr_db);
+  }
+}
+
+TEST_F(PaperPhyTest, InterferenceDegradesRate) {
+  const double signal = phy_.received_power(50.0);  // comfortably 54 Mbps
+  ASSERT_EQ(phy_.rates()[*phy_.max_rate(signal, 0.0)].mbps, 54.0);
+  // Interference strong enough to push SINR below 24.56 dB but not 6.02 dB.
+  const double interference = signal / 100.0;
+  const auto degraded = phy_.max_rate(signal, interference);
+  ASSERT_TRUE(degraded.has_value());
+  EXPECT_LT(phy_.rates()[*degraded].mbps, 54.0);
+  // Overwhelming interference kills the link entirely.
+  EXPECT_EQ(phy_.max_rate(signal, signal), std::nullopt);
+}
+
+TEST_F(PaperPhyTest, CarrierSenseRangeExceedsTxRange) {
+  EXPECT_GT(phy_.carrier_sense_range(), phy_.max_tx_range());
+  EXPECT_NEAR(phy_.max_tx_range(), 158.0, 1e-6);
+  EXPECT_NEAR(phy_.carrier_sense_range(), 1.78 * 158.0, 1e-6);
+}
+
+TEST_F(PaperPhyTest, SensesBusyInsideCsRangeOnly) {
+  EXPECT_TRUE(phy_.senses_busy_at(200.0));
+  EXPECT_FALSE(phy_.senses_busy_at(300.0));
+}
+
+TEST_F(PaperPhyTest, RateMonotoneInDistance) {
+  double previous_mbps = 1e9;
+  for (double d = 10.0; d <= 158.0; d += 1.0) {
+    const auto rate = phy_.max_rate_alone(d);
+    ASSERT_TRUE(rate.has_value()) << d;
+    const double mbps = phy_.rates()[*rate].mbps;
+    EXPECT_LE(mbps, previous_mbps) << d;
+    previous_mbps = mbps;
+  }
+}
+
+TEST(PhyModel, CalibratedRejectsShortCsFactor) {
+  EXPECT_THROW(PhyModel::calibrated({{54.0, 59.0, 24.56}}, 4.0, 0.1, 0.5),
+               mrwsn::PreconditionError);
+}
+
+TEST(PhyModel, SinrRejectsNegativeInterference) {
+  const PhyModel phy = PhyModel::paper_default();
+  EXPECT_THROW(phy.sinr(1e-6, -1.0), mrwsn::PreconditionError);
+}
+
+}  // namespace
+}  // namespace mrwsn::phy

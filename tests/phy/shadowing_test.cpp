@@ -1,0 +1,103 @@
+#include "phy/shadowing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "geom/topology.hpp"
+#include "net/network.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace mrwsn::phy {
+namespace {
+
+TEST(Shadowing, ZeroSigmaIsUnityGain) {
+  const Shadowing s(0.0, 42);
+  EXPECT_DOUBLE_EQ(s.gain(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(s.gain(7, 3), 1.0);
+}
+
+TEST(Shadowing, GainIsSymmetricAndDeterministic) {
+  const Shadowing s(4.0, 42);
+  for (std::size_t a = 0; a < 10; ++a) {
+    for (std::size_t b = a + 1; b < 10; ++b) {
+      EXPECT_DOUBLE_EQ(s.gain(a, b), s.gain(b, a));
+      EXPECT_DOUBLE_EQ(s.gain(a, b), Shadowing(4.0, 42).gain(a, b));
+    }
+  }
+}
+
+TEST(Shadowing, DifferentSeedsDecorrelate) {
+  const Shadowing a(4.0, 1);
+  const Shadowing b(4.0, 2);
+  int equal = 0;
+  for (std::size_t i = 0; i < 50; ++i)
+    if (a.gain(i, i + 1) == b.gain(i, i + 1)) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Shadowing, EmpiricalSigmaMatches) {
+  const double sigma = 6.0;
+  const Shadowing s(sigma, 9);
+  std::vector<double> dbs;
+  for (std::size_t a = 0; a < 100; ++a)
+    for (std::size_t b = a + 1; b < 100; ++b)
+      dbs.push_back(units::ratio_to_db(s.gain(a, b)));
+  double sum = 0.0, ss = 0.0;
+  for (double db : dbs) sum += db;
+  const double mean = sum / static_cast<double>(dbs.size());
+  for (double db : dbs) ss += (db - mean) * (db - mean);
+  const double stdev = std::sqrt(ss / static_cast<double>(dbs.size() - 1));
+  EXPECT_NEAR(mean, 0.0, 0.2);
+  EXPECT_NEAR(stdev, sigma, 0.2);
+}
+
+TEST(Shadowing, RejectsNegativeSigma) {
+  EXPECT_THROW(Shadowing(-1.0, 0), mrwsn::PreconditionError);
+}
+
+TEST(ShadowedNetwork, ZeroSigmaMatchesUnshadowed) {
+  const auto points = geom::chain(4, 70.0);
+  const net::Network plain(points, PhyModel::paper_default());
+  const net::Network shadowed(points, PhyModel::paper_default(),
+                              Shadowing(0.0, 7));
+  ASSERT_EQ(plain.num_links(), shadowed.num_links());
+  for (net::LinkId id = 0; id < plain.num_links(); ++id) {
+    EXPECT_EQ(plain.link(id).best_rate_alone, shadowed.link(id).best_rate_alone);
+  }
+}
+
+TEST(ShadowedNetwork, ShadowingChangesLinkSet) {
+  // At 75 m the unshadowed rate is 36; with sigma = 6 dB some pairs gain
+  // or lose a rate step. Check that at least one link differs from the
+  // deterministic network across a modest placement.
+  const auto points = geom::grid(3, 3, 75.0);
+  const net::Network plain(points, PhyModel::paper_default());
+  const net::Network shadowed(points, PhyModel::paper_default(),
+                              Shadowing(6.0, 11));
+  bool any_difference = plain.num_links() != shadowed.num_links();
+  if (!any_difference) {
+    for (net::LinkId id = 0; id < plain.num_links(); ++id) {
+      if (plain.link(id).tx != shadowed.link(id).tx ||
+          plain.link(id).best_rate_alone != shadowed.link(id).best_rate_alone) {
+        any_difference = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(ShadowedNetwork, ReceivedPowerUsesGain) {
+  const auto points = geom::chain(2, 100.0);
+  const Shadowing s(6.0, 3);
+  const net::Network plain(points, PhyModel::paper_default());
+  const net::Network shadowed(points, PhyModel::paper_default(), s);
+  EXPECT_DOUBLE_EQ(shadowed.received_power(0, 1),
+                   s.gain(0, 1) * plain.received_power(0, 1));
+}
+
+}  // namespace
+}  // namespace mrwsn::phy

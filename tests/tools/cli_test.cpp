@@ -1,0 +1,144 @@
+#include "tools/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace mrwsn::cli {
+namespace {
+
+/// A scenario file on disk, deleted at scope exit.
+class TempScenario {
+ public:
+  explicit TempScenario(const std::string& contents) {
+    path_ = std::string(::testing::TempDir()) + "cli_test_scenario_" +
+            std::to_string(counter_++) + ".txt";
+    std::ofstream(path_) << contents;
+  }
+  ~TempScenario() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  static inline int counter_ = 0;
+  std::string path_;
+};
+
+constexpr const char* kChain = R"(node 0 0 0
+node 1 70 0
+node 2 140 0
+node 3 210 0
+flow 3.0 0 1
+request 2 3 2.0
+request 3 0 2.0
+)";
+
+struct CliResult {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CliResult run(const std::vector<std::string>& args) {
+  std::ostringstream out, err;
+  const int code = run_cli(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+TEST(Cli, NoArgumentsPrintsUsage) {
+  const CliResult r = run({});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandFails) {
+  const CliResult r = run({"frobnicate", "x"});
+  EXPECT_NE(r.code, 0);
+}
+
+TEST(Cli, GenerateProducesParsableScenario) {
+  const CliResult r = run({"generate", "--nodes", "12", "--seed", "3",
+                           "--flows", "2"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("node 0 "), std::string::npos);
+  EXPECT_NE(r.out.find("request "), std::string::npos);
+  // Feed it back through `info`.
+  TempScenario file(r.out);
+  const CliResult info = run({"info", file.path()});
+  ASSERT_EQ(info.code, 0) << info.err;
+  EXPECT_NE(info.out.find("nodes: 12"), std::string::npos);
+}
+
+TEST(Cli, InfoSummarizesTopology) {
+  TempScenario file(kChain);
+  const CliResult r = run({"info", file.path()});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("nodes: 4"), std::string::npos);
+  EXPECT_NE(r.out.find("requests: 2"), std::string::npos);
+}
+
+TEST(Cli, CapacityReportsPathAndValue) {
+  TempScenario file(kChain);
+  const CliResult r = run({"capacity", file.path(), "0", "3"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("0->1->2->3"), std::string::npos);
+  EXPECT_NE(r.out.find("12"), std::string::npos);  // 36/3
+}
+
+TEST(Cli, CapacityUnreachableFails) {
+  TempScenario file("node 0 0 0\nnode 1 5000 0\n");
+  const CliResult r = run({"capacity", file.path(), "0", "1"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("no path"), std::string::npos);
+}
+
+TEST(Cli, AvailableListsEveryEstimator) {
+  TempScenario file(kChain);
+  const CliResult r = run({"available", file.path(), "2", "3"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  for (const char* needle :
+       {"Eq. 6", "Eq. 10", "Eq. 11", "Eq. 12", "Eq. 13", "Eq. 15"}) {
+    EXPECT_NE(r.out.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(Cli, AdmitProcessesRequestsWithPreloadedBackground) {
+  TempScenario file(kChain);
+  const CliResult r = run({"admit", file.path(), "--policy", "eq13"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("2->3"), std::string::npos);
+  EXPECT_NE(r.out.find("admitted"), std::string::npos);
+  EXPECT_NE(r.out.find("over-admissions"), std::string::npos);
+}
+
+TEST(Cli, AdmitRejectsBadPolicy) {
+  TempScenario file(kChain);
+  const CliResult r = run({"admit", file.path(), "--policy", "bogus"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("unknown policy"), std::string::npos);
+}
+
+TEST(Cli, SimulateReportsFlows) {
+  TempScenario file(kChain);
+  const CliResult r =
+      run({"simulate", file.path(), "--seconds", "0.5", "--seed", "4"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("delivered"), std::string::npos);
+  EXPECT_NE(r.out.find("mean node idle ratio"), std::string::npos);
+}
+
+TEST(Cli, SimulateWithoutFlowsFails) {
+  TempScenario file("node 0 0 0\nnode 1 70 0\n");
+  const CliResult r = run({"simulate", file.path()});
+  EXPECT_EQ(r.code, 1);
+}
+
+TEST(Cli, MissingScenarioFileIsAnError) {
+  const CliResult r = run({"info", "/nonexistent/file.txt"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mrwsn::cli

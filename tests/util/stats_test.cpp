@@ -1,0 +1,69 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace mrwsn::stats {
+namespace {
+
+TEST(Stats, MeanOfEmptyIsZero) { EXPECT_EQ(mean({}), 0.0); }
+
+TEST(Stats, MeanOfConstants) {
+  const std::vector<double> xs{4.0, 4.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 4.0);
+}
+
+TEST(Stats, MeanOfMixedValues) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Stats, StdevOfSingleElementIsZero) {
+  const std::vector<double> xs{42.0};
+  EXPECT_EQ(stdev(xs), 0.0);
+}
+
+TEST(Stats, StdevMatchesHandComputation) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  // Sample variance with n-1 = 32/7.
+  EXPECT_NEAR(stdev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Stats, RmsErrorOfIdenticalRangesIsZero) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(rms_error(a, a), 0.0);
+}
+
+TEST(Stats, RmsErrorMatchesHandComputation) {
+  const std::vector<double> a{1.0, 2.0};
+  const std::vector<double> b{4.0, 6.0};
+  EXPECT_DOUBLE_EQ(rms_error(a, b), std::sqrt((9.0 + 16.0) / 2.0));
+}
+
+TEST(Stats, RmsErrorRejectsLengthMismatch) {
+  const std::vector<double> a{1.0};
+  const std::vector<double> b{1.0, 2.0};
+  EXPECT_THROW(rms_error(a, b), PreconditionError);
+}
+
+TEST(Stats, MeanBiasSignsReflectOverEstimation) {
+  const std::vector<double> estimate{3.0, 5.0};
+  const std::vector<double> truth{2.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean_bias(estimate, truth), 1.0);
+  EXPECT_DOUBLE_EQ(mean_bias(truth, estimate), -1.0);
+}
+
+TEST(Stats, MaxAbsError) {
+  const std::vector<double> a{1.0, 10.0, 3.0};
+  const std::vector<double> b{2.0, 4.0, 3.5};
+  EXPECT_DOUBLE_EQ(max_abs_error(a, b), 6.0);
+}
+
+TEST(Stats, MaxAbsErrorOfEmptyIsZero) { EXPECT_EQ(max_abs_error({}, {}), 0.0); }
+
+}  // namespace
+}  // namespace mrwsn::stats

@@ -1,0 +1,58 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace mrwsn {
+namespace {
+
+TEST(Table, PrintsHeaderAndRows) {
+  Table t({"flow", "bw"});
+  t.add_row({"1", "2.5"});
+  t.add_row({"2", "13"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("flow"), std::string::npos);
+  EXPECT_NE(out.find("2.5"), std::string::npos);
+  EXPECT_NE(out.find("13"), std::string::npos);
+  // Header + separator + 2 rows = 4 lines.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Table, RejectsMismatchedRowWidth) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), PreconditionError);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), PreconditionError);
+}
+
+TEST(Table, CountsRows) {
+  Table t({"x"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TableNum, TrimsTrailingZeros) {
+  EXPECT_EQ(Table::num(16.2, 3), "16.2");
+  EXPECT_EQ(Table::num(13.5, 2), "13.5");
+  EXPECT_EQ(Table::num(2.0, 3), "2");
+}
+
+TEST(TableNum, KeepsRequestedPrecision) {
+  EXPECT_EQ(Table::num(15.428571, 3), "15.429");
+}
+
+TEST(TableNum, NormalizesNegativeZero) {
+  EXPECT_EQ(Table::num(-0.0000001, 3), "0");
+}
+
+}  // namespace
+}  // namespace mrwsn

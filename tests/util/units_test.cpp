@@ -1,0 +1,39 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mrwsn::units {
+namespace {
+
+TEST(Units, DbRatioRoundTrip) {
+  for (double db : {-30.0, -3.0, 0.0, 6.02, 24.56}) {
+    EXPECT_NEAR(ratio_to_db(db_to_ratio(db)), db, 1e-12);
+  }
+}
+
+TEST(Units, KnownDbValues) {
+  EXPECT_NEAR(db_to_ratio(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(db_to_ratio(10.0), 10.0, 1e-12);
+  EXPECT_NEAR(db_to_ratio(3.0), 1.9952623, 1e-6);
+}
+
+TEST(Units, PaperSnrThresholds) {
+  // Section 5.2's requirements in linear form.
+  EXPECT_NEAR(db_to_ratio(24.56), 285.76, 0.01);
+  EXPECT_NEAR(db_to_ratio(6.02), 4.0, 0.002);
+}
+
+TEST(Units, DbmWattRoundTrip) {
+  for (double dbm : {-90.0, -30.0, 0.0, 20.0}) {
+    EXPECT_NEAR(watt_to_dbm(dbm_to_watt(dbm)), dbm, 1e-12);
+  }
+}
+
+TEST(Units, KnownDbmValues) {
+  EXPECT_NEAR(dbm_to_watt(0.0), 1e-3, 1e-15);
+  EXPECT_NEAR(dbm_to_watt(20.0), 0.1, 1e-12);   // 100 mW
+  EXPECT_NEAR(watt_to_dbm(1.0), 30.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace mrwsn::units

@@ -1,0 +1,306 @@
+#include "tools/cli.hpp"
+
+#include <map>
+#include <optional>
+#include <ostream>
+#include <sstream>
+
+#include "core/estimation.hpp"
+#include "core/idle_time.hpp"
+#include "core/interference.hpp"
+#include "geom/topology.hpp"
+#include "io/scenario.hpp"
+#include "mac/csma.hpp"
+#include "routing/admission.hpp"
+#include "routing/qos_router.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace mrwsn::cli {
+
+namespace {
+
+/// Tiny option parser: `--key value` pairs after the positional args.
+class Options {
+ public:
+  Options(const std::vector<std::string>& args, std::size_t first) {
+    for (std::size_t i = first; i < args.size();) {
+      MRWSN_REQUIRE(args[i].rfind("--", 0) == 0, "expected --option, got " + args[i]);
+      if (args[i] == "--arf") {  // the only flag without a value
+        values_[args[i]] = "1";
+        ++i;
+        continue;
+      }
+      MRWSN_REQUIRE(i + 1 < args.size(), "missing value for " + args[i]);
+      values_[args[i]] = args[i + 1];
+      i += 2;
+    }
+  }
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  double get_double(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+  std::uint64_t get_u64(const std::string& key, std::uint64_t fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stoull(it->second);
+  }
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+routing::Metric parse_metric(const std::string& name) {
+  if (name == "hop") return routing::Metric::kHopCount;
+  if (name == "td") return routing::Metric::kE2eTxDelay;
+  if (name == "avg") return routing::Metric::kAverageE2eDelay;
+  throw PreconditionError("unknown metric '" + name + "' (hop|td|avg)");
+}
+
+routing::AdmissionPolicy parse_policy(const std::string& name) {
+  if (name == "lp") return routing::AdmissionPolicy::kLpOracle;
+  if (name == "eq10") return routing::AdmissionPolicy::kBottleneckNode;
+  if (name == "eq11") return routing::AdmissionPolicy::kCliqueConstraint;
+  if (name == "eq12") return routing::AdmissionPolicy::kMinCliqueBottleneck;
+  if (name == "eq13") return routing::AdmissionPolicy::kConservativeClique;
+  if (name == "eq15") return routing::AdmissionPolicy::kExpectedCliqueTime;
+  throw PreconditionError("unknown policy '" + name +
+                          "' (lp|eq10|eq11|eq12|eq13|eq15)");
+}
+
+std::vector<core::LinkFlow> background_of(const io::ScenarioFile& scenario,
+                                          const net::Network& network) {
+  std::vector<core::LinkFlow> background;
+  for (const net::Flow& flow : io::build_flows(scenario, network))
+    background.push_back(core::LinkFlow{flow.path.links(), flow.demand_mbps});
+  return background;
+}
+
+std::string path_text(const net::Path& path) {
+  std::string text;
+  for (net::NodeId node : path.nodes()) {
+    if (!text.empty()) text += "->";
+    text += std::to_string(node);
+  }
+  return text;
+}
+
+int cmd_generate(const Options& options, std::ostream& out) {
+  const std::size_t nodes = options.get_u64("--nodes", 30);
+  const double width = options.get_double("--width", 400.0);
+  const double height = options.get_double("--height", 600.0);
+  const std::uint64_t seed = options.get_u64("--seed", 1);
+  const std::size_t num_flows = options.get_u64("--flows", 0);
+  const double demand = options.get_double("--demand", 2.0);
+
+  Rng rng(seed);
+  phy::PhyModel phy = phy::PhyModel::paper_default();
+  io::ScenarioFile scenario;
+  scenario.positions = geom::connected_random_rectangle(nodes, width, height,
+                                                        phy.max_tx_range(), rng);
+  for (std::size_t i = 0; i < num_flows; ++i) {
+    io::ScenarioFile::Request request;
+    do {
+      request.src = rng.uniform_int(0, nodes - 1);
+      request.dst = rng.uniform_int(0, nodes - 1);
+    } while (request.src == request.dst);
+    request.demand_mbps = demand;
+    scenario.requests.push_back(request);
+  }
+  out << io::serialize_scenario(scenario);
+  return 0;
+}
+
+int cmd_info(const io::ScenarioFile& scenario, std::ostream& out) {
+  const net::Network network = io::build_network(scenario);
+  out << "nodes: " << network.num_nodes() << "\nlinks: " << network.num_links()
+      << '\n';
+  std::map<double, int> rate_histogram;
+  for (const net::Link& link : network.links()) ++rate_histogram[link.best_mbps_alone];
+  Table table({"lone rate [Mbps]", "links"});
+  for (const auto& [rate, count] : rate_histogram)
+    table.add_row({Table::num(rate, 0), std::to_string(count)});
+  table.print(out);
+  out << "background flows: " << scenario.flows.size()
+      << "\nrequests: " << scenario.requests.size() << '\n';
+  return 0;
+}
+
+int cmd_capacity(const io::ScenarioFile& scenario, net::NodeId src,
+                 net::NodeId dst, std::ostream& out, std::ostream& err) {
+  const net::Network network = io::build_network(scenario);
+  core::PhysicalInterferenceModel model(network);
+  routing::QosRouter router(network, model);
+  const std::vector<double> idle(network.num_nodes(), 1.0);
+  const auto path = router.find_path(src, dst, routing::Metric::kE2eTxDelay, idle);
+  if (!path) {
+    err << "no path from " << src << " to " << dst << '\n';
+    return 1;
+  }
+  out << "path: " << path_text(*path) << '\n'
+      << "capacity (Eq. 6, empty network): "
+      << core::path_capacity(model, path->links()) << " Mbps\n";
+  return 0;
+}
+
+int cmd_available(const io::ScenarioFile& scenario, net::NodeId src,
+                  net::NodeId dst, const Options& options, std::ostream& out,
+                  std::ostream& err) {
+  const net::Network network = io::build_network(scenario);
+  core::PhysicalInterferenceModel model(network);
+  const auto background = background_of(scenario, network);
+  routing::QosRouter router(network, model);
+  const core::IdleResult idle =
+      core::schedule_idle_ratios(network, model, background);
+  if (!idle.feasible) {
+    err << "the scenario's background flows are not jointly schedulable\n";
+    return 1;
+  }
+  const auto metric = parse_metric(options.get("--metric", "avg"));
+  const auto path = router.find_path(src, dst, metric, idle.node_idle);
+  if (!path) {
+    err << "no usable path from " << src << " to " << dst << '\n';
+    return 1;
+  }
+  const auto lp = core::max_path_bandwidth(model, background, path->links());
+  const auto input = core::make_path_estimate_input(network, model,
+                                                    path->links(), idle.node_idle);
+  out << "path (" << routing::metric_name(metric) << "): " << path_text(*path)
+      << '\n';
+  Table table({"method", "Mbps"});
+  table.add_row({"Eq. 6 LP (truth)",
+                 Table::num(lp.background_feasible ? lp.available_mbps : 0.0, 3)});
+  table.add_row({"Eq. 10 bottleneck node",
+                 Table::num(core::estimate_bottleneck_node(input), 3)});
+  table.add_row({"Eq. 11 clique constraint",
+                 Table::num(core::estimate_clique_constraint(input), 3)});
+  table.add_row({"Eq. 12 min of both",
+                 Table::num(core::estimate_min_clique_bottleneck(input), 3)});
+  table.add_row({"Eq. 13 conservative clique",
+                 Table::num(core::estimate_conservative_clique(input), 3)});
+  table.add_row({"Eq. 15 expected clique time",
+                 Table::num(core::estimate_expected_clique_time(input), 3)});
+  table.print(out);
+  return 0;
+}
+
+int cmd_admit(const io::ScenarioFile& scenario, const Options& options,
+              std::ostream& out, std::ostream& err) {
+  if (scenario.requests.empty()) {
+    err << "the scenario has no request lines\n";
+    return 1;
+  }
+  const net::Network network = io::build_network(scenario);
+  core::PhysicalInterferenceModel model(network);
+  routing::AdmissionController controller(
+      network, model, parse_metric(options.get("--metric", "avg")));
+  controller.set_policy(parse_policy(options.get("--policy", "lp")));
+  // The scenario's `flow` lines are traffic that is already in the network.
+  controller.preload_background(background_of(scenario, network));
+
+  std::vector<routing::FlowRequest> requests;
+  for (const auto& r : scenario.requests)
+    requests.push_back(routing::FlowRequest{r.src, r.dst, r.demand_mbps});
+  const auto outcome = controller.run(requests, /*stop_at_first_failure=*/false);
+
+  Table table({"request", "path", "decision value", "LP truth", "admitted"});
+  for (std::size_t i = 0; i < outcome.records.size(); ++i) {
+    const auto& record = outcome.records[i];
+    table.add_row({std::to_string(record.request.src) + "->" +
+                       std::to_string(record.request.dst),
+                   record.path ? path_text(*record.path) : "(none)",
+                   Table::num(record.available_mbps, 2),
+                   Table::num(record.true_available_mbps, 2),
+                   record.admitted ? (record.over_admitted ? "OVER" : "yes")
+                                   : "no"});
+  }
+  table.print(out);
+  out << "admitted " << outcome.admitted_count << " of "
+      << outcome.records.size() << " (" << outcome.over_admissions
+      << " over-admissions)\n";
+  return 0;
+}
+
+int cmd_simulate(const io::ScenarioFile& scenario, const Options& options,
+                 std::ostream& out, std::ostream& err) {
+  if (scenario.flows.empty()) {
+    err << "the scenario has no flow lines to simulate\n";
+    return 1;
+  }
+  const net::Network network = io::build_network(scenario);
+  mac::MacParams params;
+  params.enable_arf = options.has("--arf");
+  mac::CsmaSimulator sim(network, params, options.get_u64("--seed", 1));
+  for (const net::Flow& flow : io::build_flows(scenario, network))
+    sim.add_flow(flow.path.links(), flow.demand_mbps);
+  const mac::SimReport report =
+      sim.run(options.get_double("--seconds", 2.0));
+
+  Table table({"flow", "offered [Mbps]", "delivered [Mbps]", "mean lat [ms]",
+               "drops"});
+  for (std::size_t i = 0; i < report.flows.size(); ++i) {
+    const auto& stats = report.flows[i];
+    table.add_row({std::to_string(i), Table::num(stats.offered_mbps, 2),
+                   Table::num(stats.delivered_mbps, 2),
+                   Table::num(stats.mean_latency_s * 1e3, 2),
+                   std::to_string(stats.dropped_packets)});
+  }
+  table.print(out);
+  double idle_sum = 0.0;
+  for (double idle : report.node_idle) idle_sum += idle;
+  out << "mean node idle ratio: "
+      << Table::num(idle_sum / static_cast<double>(report.node_idle.size()), 3)
+      << '\n';
+  return 0;
+}
+
+void usage(std::ostream& err) {
+  err << "usage: mrwsn <generate|info|capacity|available|admit|simulate> ...\n"
+         "  mrwsn generate --nodes 30 --seed 1 --flows 8\n"
+         "  mrwsn info scenario.txt\n"
+         "  mrwsn capacity scenario.txt <src> <dst>\n"
+         "  mrwsn available scenario.txt <src> <dst> [--metric hop|td|avg]\n"
+         "  mrwsn admit scenario.txt [--metric avg] [--policy lp|eq13|...]\n"
+         "  mrwsn simulate scenario.txt [--seconds 2] [--arf] [--seed 1]\n";
+}
+
+}  // namespace
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  try {
+    if (args.empty()) {
+      usage(err);
+      return 2;
+    }
+    const std::string& command = args[0];
+    if (command == "generate") return cmd_generate(Options(args, 1), out);
+
+    MRWSN_REQUIRE(args.size() >= 2, command + " needs a scenario file");
+    const io::ScenarioFile scenario = io::load_scenario(args[1]);
+    if (command == "info") return cmd_info(scenario, out);
+    if (command == "capacity" || command == "available") {
+      MRWSN_REQUIRE(args.size() >= 4, command + " needs <src> <dst>");
+      const auto src = static_cast<net::NodeId>(std::stoull(args[2]));
+      const auto dst = static_cast<net::NodeId>(std::stoull(args[3]));
+      if (command == "capacity") return cmd_capacity(scenario, src, dst, out, err);
+      return cmd_available(scenario, src, dst, Options(args, 4), out, err);
+    }
+    if (command == "admit") return cmd_admit(scenario, Options(args, 2), out, err);
+    if (command == "simulate")
+      return cmd_simulate(scenario, Options(args, 2), out, err);
+    usage(err);
+    return 2;
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
+
+}  // namespace mrwsn::cli

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mrwsn::cli {
+
+/// Entry point of the `mrwsn` command-line tool, separated from main()
+/// so the test-suite can drive it in-process.
+///
+/// Subcommands (args[0]):
+///   generate  --nodes N [--width W] [--height H] [--seed S]
+///             [--flows K] [--demand D]        -> scenario text on stdout
+///   info      <scenario>                      -> topology summary
+///   capacity  <scenario> <src> <dst>          -> path + Eq. 6 capacity
+///   available <scenario> <src> <dst> [--metric hop|td|avg]
+///             -> path, LP available bandwidth and all Section-4 estimates
+///             (the scenario's `flow` lines are the background traffic)
+///   admit     <scenario> [--metric hop|td|avg] [--policy lp|eq10|eq11|eq12|eq13|eq15]
+///             -> sequential admission of the scenario's `request` lines
+///   simulate  <scenario> [--seconds T] [--arf] [--seed S]
+///             -> CSMA/CA run of the scenario's flows
+///
+/// Returns a process exit code (0 on success); diagnostics go to `err`.
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err);
+
+}  // namespace mrwsn::cli

@@ -1,0 +1,13 @@
+// The `mrwsn` command-line tool: scenario generation, topology inspection,
+// capacity / available-bandwidth queries, admission control and CSMA/CA
+// simulation over scenario files. See tools/cli.hpp for the grammar.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return mrwsn::cli::run_cli(args, std::cout, std::cerr);
+}
