@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/available_bandwidth.hpp"
+#include "core/bounds.hpp"
 #include "mac/tdma.hpp"
 #include "core/interference.hpp"
 #include "core/scenarios.hpp"
@@ -35,6 +36,25 @@ void BM_SimplexRandom(benchmark::State& state) {
 }
 BENCHMARK(BM_SimplexRandom)->Arg(8)->Arg(24)->Arg(64);
 
+// "Before" counter: the vector-of-rows reference tableau on the same
+// problems, for direct comparison against BM_SimplexRandom.
+void BM_SimplexReference(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(7);
+  lp::Problem problem(lp::Objective::kMaximize);
+  std::vector<lp::VarId> vars;
+  for (int j = 0; j < n; ++j) vars.push_back(problem.add_variable(rng.uniform(0.0, 2.0)));
+  for (int i = 0; i < n; ++i) {
+    std::vector<std::pair<lp::VarId, double>> row;
+    for (int j = 0; j < n; ++j) row.emplace_back(vars[j], rng.uniform(0.1, 2.0));
+    problem.add_constraint(row, lp::Sense::kLessEqual, rng.uniform(2.0, 8.0));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lp::solve_reference(problem));
+  }
+}
+BENCHMARK(BM_SimplexReference)->Arg(8)->Arg(24)->Arg(64);
+
 void BM_BronKerbosch(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   Rng rng(11);
@@ -48,6 +68,20 @@ void BM_BronKerbosch(benchmark::State& state) {
 }
 BENCHMARK(BM_BronKerbosch)->Arg(12)->Arg(20)->Arg(28);
 
+// "Before" counter: the vector-based Bron–Kerbosch on the same graphs.
+void BM_BronKerboschReference(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(11);
+  graph::UndirectedGraph g(n);
+  for (graph::Vertex u = 0; u < n; ++u)
+    for (graph::Vertex v = u + 1; v < n; ++v)
+      if (rng.uniform() < 0.4) g.add_edge(u, v);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::maximal_cliques_reference(g));
+  }
+}
+BENCHMARK(BM_BronKerboschReference)->Arg(12)->Arg(20)->Arg(28);
+
 void BM_PhysicalMis(benchmark::State& state) {
   const std::size_t nodes = static_cast<std::size_t>(state.range(0));
   const net::Network network(geom::chain(nodes, 70.0), phy::PhyModel::paper_default());
@@ -60,6 +94,71 @@ void BM_PhysicalMis(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PhysicalMis)->Arg(5)->Arg(8)->Arg(12);
+
+// The uncached path of the same enumeration: a fresh model per iteration,
+// so every call pays the full DFS (BM_PhysicalMis above hits the per-model
+// memo after the first iteration, which is the production access pattern).
+void BM_PhysicalMisCold(benchmark::State& state) {
+  const std::size_t nodes = static_cast<std::size_t>(state.range(0));
+  const net::Network network(geom::chain(nodes, 70.0), phy::PhyModel::paper_default());
+  std::vector<net::LinkId> universe;
+  for (std::size_t i = 0; i + 1 < nodes; ++i)
+    universe.push_back(*network.find_link(i, i + 1));
+  for (auto _ : state) {
+    core::PhysicalInterferenceModel model(network);
+    benchmark::DoNotOptimize(model.maximal_independent_sets(universe));
+  }
+}
+BENCHMARK(BM_PhysicalMisCold)->Arg(5)->Arg(8)->Arg(12);
+
+// Cost of materializing the bitset conflict matrix over a chain universe
+// (one interferes() SINR evaluation per couple pair on a fresh model).
+void BM_ConflictMatrixBuild(benchmark::State& state) {
+  const std::size_t nodes = static_cast<std::size_t>(state.range(0));
+  const net::Network network(geom::chain(nodes, 70.0), phy::PhyModel::paper_default());
+  std::vector<net::LinkId> universe;
+  for (std::size_t i = 0; i + 1 < nodes; ++i)
+    universe.push_back(*network.find_link(i, i + 1));
+  for (auto _ : state) {
+    core::PhysicalInterferenceModel model(network);
+    benchmark::DoNotOptimize(model.conflict_matrix(universe));
+  }
+}
+BENCHMARK(BM_ConflictMatrixBuild)->Arg(8)->Arg(12);
+
+// Domination filtering over synthetic set collections (sorted link arrays,
+// discrete per-link rates) — the remove_dominated rewrite's counter.
+void BM_RemoveDominated(benchmark::State& state) {
+  const std::size_t count = static_cast<std::size_t>(state.range(0));
+  Rng rng(23);
+  const double mbps_table[] = {54.0, 36.0, 18.0, 6.0};
+  std::vector<core::IndependentSet> sets(count);
+  for (auto& set : sets) {
+    for (net::LinkId link = 0; link < 12; ++link) {
+      if (rng.uniform() >= 0.4) continue;
+      const auto r = static_cast<phy::RateIndex>(rng.uniform(0.0, 4.0));
+      set.links.push_back(link);
+      set.rates.push_back(r);
+      set.mbps.push_back(mbps_table[r]);
+    }
+  }
+  for (auto _ : state) {
+    auto copy = sets;
+    benchmark::DoNotOptimize(core::remove_dominated(std::move(copy)));
+  }
+}
+BENCHMARK(BM_RemoveDominated)->Arg(64)->Arg(256);
+
+// Eq. 9 upper bound end-to-end, including the MRWSN_THREADS fan-out over
+// fixed-rate assignments (serial on 1-core hosts or MRWSN_THREADS=1).
+void BM_CliqueUpperBound(benchmark::State& state) {
+  core::ScenarioTwo scenario = core::make_scenario_two();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::clique_upper_bound(scenario.model, {}, scenario.chain));
+  }
+}
+BENCHMARK(BM_CliqueUpperBound);
 
 void BM_ScenarioTwoPipeline(benchmark::State& state) {
   for (auto _ : state) {

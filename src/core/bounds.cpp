@@ -1,29 +1,76 @@
 #include "core/bounds.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
 #include <limits>
+#include <mutex>
+#include <thread>
 
 #include "graph/undirected.hpp"
 #include "lp/simplex.hpp"
+#include "util/bitset.hpp"
 #include "util/error.hpp"
 
 namespace mrwsn::core {
 
 namespace {
 
-std::vector<net::LinkId> sorted_unique(std::span<const net::LinkId> universe) {
-  std::vector<net::LinkId> links(universe.begin(), universe.end());
-  std::sort(links.begin(), links.end());
-  links.erase(std::unique(links.begin(), links.end()), links.end());
-  return links;
-}
-
 std::vector<net::LinkId> union_of_links(std::span<const LinkFlow> background,
                                         std::span<const net::LinkId> new_path) {
-  std::vector<net::LinkId> universe(new_path.begin(), new_path.end());
+  std::vector<net::LinkId> universe;
+  universe.reserve(new_path.size() + background.size());
+  universe.assign(new_path.begin(), new_path.end());
   for (const LinkFlow& flow : background)
     universe.insert(universe.end(), flow.links.begin(), flow.links.end());
-  return sorted_unique(universe);
+  return canonical_universe(universe);
+}
+
+/// Worker count for the per-rate-assignment fan-out: MRWSN_THREADS when
+/// set (>= 1; 1 = deterministic serial execution), else the hardware
+/// concurrency.
+std::size_t configured_threads() {
+  if (const char* env = std::getenv("MRWSN_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+/// Run fn(i) for every i in [0, count) across configured_threads() workers
+/// pulling from a shared atomic counter. The first exception thrown by any
+/// worker is rethrown on the calling thread after all workers join.
+template <typename Fn>
+void parallel_for(std::size_t count, Fn&& fn) {
+  const std::size_t threads = std::min(configured_threads(), count);
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mu;
+  std::exception_ptr error;
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= count) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!error) error = std::current_exception();
+        return;
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::thread& th : pool) th.join();
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace
@@ -31,11 +78,12 @@ std::vector<net::LinkId> union_of_links(std::span<const LinkFlow> background,
 std::vector<RateAssignment> enumerate_rate_assignments(
     const InterferenceModel& model, std::span<const net::LinkId> universe,
     std::size_t max_assignments) {
-  const std::vector<net::LinkId> links = sorted_unique(universe);
+  const std::vector<net::LinkId> links = canonical_universe(universe);
 
   std::vector<std::vector<phy::RateIndex>> usable(links.size());
   std::size_t count = 1;
   for (std::size_t i = 0; i < links.size(); ++i) {
+    usable[i].reserve(model.rate_table().size());
     for (phy::RateIndex r = 0; r < model.rate_table().size(); ++r)
       if (model.usable_alone(links[i], r)) usable[i].push_back(r);
     MRWSN_REQUIRE(!usable[i].empty(), "a universe link has no usable rate");
@@ -65,22 +113,39 @@ std::vector<RateAssignment> enumerate_rate_assignments(
 std::vector<std::vector<std::size_t>> fixed_rate_maximal_cliques(
     const InterferenceModel& model, std::span<const net::LinkId> universe,
     const RateAssignment& rates) {
-  const std::vector<net::LinkId> links = sorted_unique(universe);
+  const std::vector<net::LinkId> links = canonical_universe(universe);
   MRWSN_REQUIRE(rates.size() == links.size(),
                 "rate assignment must cover the sorted universe");
 
-  graph::UndirectedGraph conflict(links.size());
+  // The pairwise relation comes from the memoized conflict matrix: each
+  // (link, rate) pair resolves to a couple index once, then every edge is
+  // a bit test. Rates outside the usable-alone set (possible for direct
+  // callers; never for enumerate_rate_assignments) fall back to the model.
+  const auto matrix = model.conflict_matrix(links);
+  std::vector<std::optional<std::size_t>> couple(links.size());
   for (std::size_t i = 0; i < links.size(); ++i)
-    for (std::size_t j = i + 1; j < links.size(); ++j)
-      if (model.interferes(links[i], rates[i], links[j], rates[j]))
-        conflict.add_edge(i, j);
-  return graph::maximal_cliques(conflict);
+    couple[i] = matrix->couple_index(links[i], rates[i]);
+
+  util::BitMatrix adj(links.size(), links.size());
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    for (std::size_t j = i + 1; j < links.size(); ++j) {
+      const bool edge =
+          (couple[i] && couple[j])
+              ? matrix->interferes(*couple[i], *couple[j])
+              : model.interferes(links[i], rates[i], links[j], rates[j]);
+      if (edge) {
+        adj.set(i, j);
+        adj.set(j, i);
+      }
+    }
+  }
+  return graph::maximal_cliques(adj);
 }
 
 double fixed_rate_equal_throughput_bound(const InterferenceModel& model,
                                          std::span<const net::LinkId> path_links,
                                          const RateAssignment& rates) {
-  const std::vector<net::LinkId> links = sorted_unique(path_links);
+  const std::vector<net::LinkId> links = canonical_universe(path_links);
   const auto cliques = fixed_rate_maximal_cliques(model, links, rates);
   double max_unit_time = 0.0;  // T-hat for one unit of traffic on every link
   for (const auto& clique : cliques) {
@@ -97,10 +162,15 @@ double hypothesis_min_max_clique_time(const InterferenceModel& model,
                                       std::span<const net::LinkId> universe,
                                       std::span<const double> demand_mbps,
                                       std::size_t max_assignments) {
-  const std::vector<net::LinkId> links = sorted_unique(universe);
-  double best = std::numeric_limits<double>::infinity();
-  for (const RateAssignment& rates :
-       enumerate_rate_assignments(model, links, max_assignments)) {
+  const std::vector<net::LinkId> links = canonical_universe(universe);
+  const auto assignments =
+      enumerate_rate_assignments(model, links, max_assignments);
+  // Prebuild the shared conflict matrix so the fan-out only reads caches.
+  model.conflict_matrix(links);
+
+  std::vector<double> worst(assignments.size(), 0.0);
+  parallel_for(assignments.size(), [&](std::size_t a) {
+    const RateAssignment& rates = assignments[a];
     double worst_clique = 0.0;
     for (const auto& clique : fixed_rate_maximal_cliques(model, links, rates)) {
       double t = 0.0;
@@ -111,8 +181,13 @@ double hypothesis_min_max_clique_time(const InterferenceModel& model,
       }
       worst_clique = std::max(worst_clique, t);
     }
-    best = std::min(best, worst_clique);
-  }
+    worst[a] = worst_clique;
+  });
+
+  // The min-reduction is order-independent, so the result matches the
+  // serial execution regardless of worker interleaving.
+  double best = std::numeric_limits<double>::infinity();
+  for (double w : worst) best = std::min(best, w);
   return best;
 }
 
@@ -128,6 +203,36 @@ UpperBoundResult upper_bound_impl(const InterferenceModel& model,
   const std::vector<net::LinkId> links = union_of_links(background, new_path);
   const std::vector<double> bg_demand = accumulate_link_demands(model, background);
   const auto assignments = enumerate_rate_assignments(model, links, max_assignments);
+
+  // Per-assignment clique lists are independent: compute them in the
+  // thread fan-out (indexed slots, no shared mutable state beyond the
+  // model's internal caches), then assemble the LP serially so constraint
+  // order — and hence the solve — is deterministic.
+  model.conflict_matrix(links);
+  std::vector<std::vector<std::vector<std::size_t>>> cliques_by_assignment(
+      assignments.size());
+  parallel_for(assignments.size(), [&](std::size_t i) {
+    const RateAssignment& rates = assignments[i];
+    auto cliques = fixed_rate_maximal_cliques(model, links, rates);
+    if (cliques.size() > max_cliques_per_vector) {
+      // Keep the cliques with the largest unit transmission time — the
+      // tightest constraints; dropping the rest only loosens the bound.
+      auto unit_time = [&](const std::vector<std::size_t>& clique) {
+        double t = 0.0;
+        for (std::size_t member : clique)
+          t += 1.0 / model.rate_table()[rates[member]].mbps;
+        return t;
+      };
+      std::partial_sort(cliques.begin(),
+                        cliques.begin() + static_cast<std::ptrdiff_t>(max_cliques_per_vector),
+                        cliques.end(),
+                        [&](const auto& a, const auto& b) {
+                          return unit_time(a) > unit_time(b);
+                        });
+      cliques.resize(max_cliques_per_vector);
+    }
+    cliques_by_assignment[i] = std::move(cliques);
+  });
 
   // Eq. 9 linearized with h_ik = γ_i * g_ik:
   //   maximize f
@@ -149,26 +254,9 @@ UpperBoundResult upper_bound_impl(const InterferenceModel& model,
 
   for (std::size_t i = 0; i < assignments.size(); ++i) {
     const RateAssignment& rates = assignments[i];
-    auto cliques = fixed_rate_maximal_cliques(model, links, rates);
-    if (cliques.size() > max_cliques_per_vector) {
-      // Keep the cliques with the largest unit transmission time — the
-      // tightest constraints; dropping the rest only loosens the bound.
-      auto unit_time = [&](const std::vector<std::size_t>& clique) {
-        double t = 0.0;
-        for (std::size_t member : clique)
-          t += 1.0 / model.rate_table()[rates[member]].mbps;
-        return t;
-      };
-      std::partial_sort(cliques.begin(),
-                        cliques.begin() + static_cast<std::ptrdiff_t>(max_cliques_per_vector),
-                        cliques.end(),
-                        [&](const auto& a, const auto& b) {
-                          return unit_time(a) > unit_time(b);
-                        });
-      cliques.resize(max_cliques_per_vector);
-    }
-    for (const auto& clique : cliques) {
+    for (const auto& clique : cliques_by_assignment[i]) {
       std::vector<std::pair<lp::VarId, double>> row;
+      row.reserve(clique.size() + 1);
       for (std::size_t member : clique)
         row.emplace_back(h[i][member], 1.0 / model.rate_table()[rates[member]].mbps);
       row.emplace_back(gamma[i], -1.0);
@@ -183,12 +271,14 @@ UpperBoundResult upper_bound_impl(const InterferenceModel& model,
 
   {
     std::vector<std::pair<lp::VarId, double>> row;
+    row.reserve(gamma.size());
     for (lp::VarId g : gamma) row.emplace_back(g, 1.0);
     problem.add_constraint(row, lp::Sense::kLessEqual, 1.0);
   }
 
   for (std::size_t k = 0; k < links.size(); ++k) {
     std::vector<std::pair<lp::VarId, double>> row;
+    row.reserve(assignments.size() + 1);
     for (std::size_t i = 0; i < assignments.size(); ++i)
       row.emplace_back(h[i][k], 1.0);
     const bool on_new_path =
@@ -255,16 +345,19 @@ LowerBoundResult independent_set_lower_bound(const InterferenceModel& model,
 
   lp::Problem problem(lp::Objective::kMaximize);
   std::vector<lp::VarId> lambda;
+  lambda.reserve(sets.size());
   for (std::size_t i = 0; i < sets.size(); ++i)
     lambda.push_back(problem.add_variable(0.0));
   const lp::VarId f = problem.add_variable(1.0, "f");
   {
     std::vector<std::pair<lp::VarId, double>> row;
+    row.reserve(lambda.size());
     for (lp::VarId id : lambda) row.emplace_back(id, 1.0);
     problem.add_constraint(row, lp::Sense::kLessEqual, 1.0);
   }
   for (net::LinkId link : links) {
     std::vector<std::pair<lp::VarId, double>> row;
+    row.reserve(sets.size() + 1);
     for (std::size_t i = 0; i < sets.size(); ++i) {
       const double mbps = sets[i].mbps_on(link);
       if (mbps > 0.0) row.emplace_back(lambda[i], mbps);

@@ -3,63 +3,46 @@
 #include <algorithm>
 
 #include "graph/undirected.hpp"
+#include "util/bitset.hpp"
 #include "util/error.hpp"
 
 namespace mrwsn::core {
 
 namespace {
 
-struct Couple {
-  net::LinkId link;
-  phy::RateIndex rate;
-};
-
-/// All usable (link, rate) couples over a sorted de-duplicated universe.
-std::vector<Couple> usable_couples(const InterferenceModel& model,
-                                   std::span<const net::LinkId> universe) {
-  std::vector<net::LinkId> links(universe.begin(), universe.end());
-  std::sort(links.begin(), links.end());
-  links.erase(std::unique(links.begin(), links.end()), links.end());
-
-  std::vector<Couple> couples;
-  for (net::LinkId link : links) {
-    MRWSN_REQUIRE(link < model.num_links(), "universe link id out of range");
-    for (phy::RateIndex r = 0; r < model.rate_table().size(); ++r)
-      if (model.usable_alone(link, r)) couples.push_back({link, r});
-  }
-  return couples;
-}
-
-Clique to_clique(const InterferenceModel& model, const std::vector<Couple>& couples,
+Clique to_clique(const InterferenceModel& model, const ConflictMatrix& matrix,
                  const std::vector<graph::Vertex>& members) {
-  std::vector<graph::Vertex> order(members.begin(), members.end());
-  std::sort(order.begin(), order.end(), [&](graph::Vertex a, graph::Vertex b) {
-    return couples[a].link < couples[b].link;
-  });
+  // Members arrive sorted by couple index, and couples are ordered by link
+  // ascending, so the clique's links come out sorted without a re-sort.
   Clique clique;
-  for (graph::Vertex v : order) {
-    clique.links.push_back(couples[v].link);
-    clique.rates.push_back(couples[v].rate);
-    clique.mbps.push_back(model.rate_table()[couples[v].rate].mbps);
+  clique.links.reserve(members.size());
+  clique.rates.reserve(members.size());
+  clique.mbps.reserve(members.size());
+  for (graph::Vertex v : members) {
+    const LinkRateCouple& c = matrix.couples()[v];
+    clique.links.push_back(c.link);
+    clique.rates.push_back(c.rate);
+    clique.mbps.push_back(model.rate_table()[c.rate].mbps);
   }
   return clique;
 }
 
-/// Is `clique` maximal: no usable couple of a link outside it interferes
-/// with every member?
-bool is_maximal_clique(const InterferenceModel& model,
-                       std::span<const net::LinkId> universe, const Clique& clique) {
-  for (const Couple& candidate : usable_couples(model, universe)) {
-    if (clique.contains_link(candidate.link)) continue;
-    bool conflicts_all = true;
-    for (std::size_t i = 0; i < clique.size(); ++i) {
-      if (!model.interferes(candidate.link, candidate.rate, clique.links[i],
-                            clique.rates[i])) {
-        conflicts_all = false;
-        break;
-      }
-    }
-    if (conflicts_all) return false;
+/// Is the clique given by couple indices `members` maximal: no usable
+/// couple of a link outside it interferes with every member? With the
+/// members as a bit mask this is one AND + popcount per candidate couple.
+bool is_maximal_members(const ConflictMatrix& matrix,
+                        std::span<const std::size_t> members,
+                        std::span<const net::LinkId> member_links,
+                        const util::BitWord* member_mask) {
+  const auto& couples = matrix.couples();
+  const std::size_t words = matrix.words();
+  for (std::size_t c = 0; c < couples.size(); ++c) {
+    if (std::binary_search(member_links.begin(), member_links.end(),
+                           couples[c].link))
+      continue;
+    if (util::bits_count_and(matrix.conflict_row(c), member_mask, words) ==
+        members.size())
+      return false;  // `c` conflicts with every member: a proper extension
   }
   return true;
 }
@@ -81,48 +64,63 @@ bool is_clique(const InterferenceModel& model, std::span<const net::LinkId> link
 
 std::vector<Clique> maximal_cliques(const InterferenceModel& model,
                                     std::span<const net::LinkId> universe) {
-  const std::vector<Couple> couples = usable_couples(model, universe);
-
   // Conflict graph over couples: edge = "interferes". Couples of the same
   // link are never adjacent, so each clique uses a link at most once —
   // matching the paper's definition of a clique as couples of distinct
   // links. Graph-maximal cliques are then exactly the paper's maximal
   // cliques: the only possible extensions are couples of new links.
-  graph::UndirectedGraph conflict(couples.size());
-  for (std::size_t i = 0; i < couples.size(); ++i)
-    for (std::size_t j = i + 1; j < couples.size(); ++j)
-      if (couples[i].link != couples[j].link &&
-          model.interferes(couples[i].link, couples[i].rate, couples[j].link,
-                           couples[j].rate))
-        conflict.add_edge(i, j);
-
+  const auto matrix = model.conflict_matrix(universe);
+  const auto raw = graph::maximal_cliques(matrix->conflict_bits());
   std::vector<Clique> cliques;
-  for (const auto& members : graph::maximal_cliques(conflict))
-    cliques.push_back(to_clique(model, couples, members));
+  cliques.reserve(raw.size());
+  for (const auto& members : raw)
+    cliques.push_back(to_clique(model, *matrix, members));
   return cliques;
 }
 
 std::vector<Clique> maximal_cliques_with_max_rates(
     const InterferenceModel& model, std::span<const net::LinkId> universe) {
+  const auto matrix = model.conflict_matrix(universe);
+  const auto raw = graph::maximal_cliques(matrix->conflict_bits());
+  const std::size_t words = matrix->words();
+
   std::vector<Clique> result;
-  for (const Clique& clique : maximal_cliques(model, universe)) {
+  std::vector<std::size_t> members;
+  std::vector<net::LinkId> member_links;
+  std::vector<util::BitWord> mask(words);
+  for (const auto& base : raw) {
+    member_links.clear();
+    for (std::size_t m : base) member_links.push_back(matrix->couples()[m].link);
+
     // "Maximum rates": replacing any member (L, r) with a faster usable
     // (L, r') must destroy either the clique property or its maximality.
     bool has_max_rates = true;
-    for (std::size_t i = 0; i < clique.size() && has_max_rates; ++i) {
-      for (phy::RateIndex faster = 0; faster < clique.rates[i]; ++faster) {
-        if (!model.usable_alone(clique.links[i], faster)) continue;
-        Clique candidate = clique;
-        candidate.rates[i] = faster;
-        candidate.mbps[i] = model.rate_table()[faster].mbps;
-        if (is_clique(model, candidate.links, candidate.rates) &&
-            is_maximal_clique(model, universe, candidate)) {
+    for (std::size_t i = 0; i < base.size() && has_max_rates; ++i) {
+      const LinkRateCouple ci = matrix->couples()[base[i]];
+      for (phy::RateIndex faster = 0; faster < ci.rate; ++faster) {
+        const auto idx = matrix->couple_index(ci.link, faster);
+        if (!idx) continue;  // rate not usable alone on this link
+
+        members.assign(base.begin(), base.end());
+        members[i] = *idx;
+        bool still_clique = true;
+        for (std::size_t j = 0; j < members.size(); ++j) {
+          if (j != i && !matrix->interferes(*idx, members[j])) {
+            still_clique = false;
+            break;
+          }
+        }
+        if (!still_clique) continue;
+
+        std::fill(mask.begin(), mask.end(), 0);
+        for (std::size_t m : members) util::bits_set(mask.data(), m);
+        if (is_maximal_members(*matrix, members, member_links, mask.data())) {
           has_max_rates = false;  // a faster variant is an equally good clique
           break;
         }
       }
     }
-    if (has_max_rates) result.push_back(clique);
+    if (has_max_rates) result.push_back(to_clique(model, *matrix, base));
   }
   return result;
 }

@@ -1,0 +1,198 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/independent_set.hpp"
+#include "net/network.hpp"
+#include "phy/rate.hpp"
+#include "util/bitset.hpp"
+
+namespace mrwsn::core {
+
+class InterferenceModel;
+
+/// A (link, rate) couple — one vertex of the rate-coupled conflict graph.
+struct LinkRateCouple {
+  net::LinkId link = 0;
+  phy::RateIndex rate = 0;
+};
+
+/// The fully materialized pairwise "interferes" relation over the usable
+/// (link, rate) couples of one link universe, stored as cache-friendly
+/// 64-bit bitset rows.
+///
+/// Every exponential kernel of the paper — maximal-clique enumeration
+/// (Section 3.1), protocol-model independent sets (Section 2.4), and the
+/// per-rate-vector conflict graphs of the Eq. 9 bound — queries the same
+/// pairwise relation over and over. Building it once per universe turns
+/// each of those kernels into bit tests and word-wise AND + popcount, with
+/// exactly one InterferenceModel::interferes evaluation per couple pair.
+class ConflictMatrix {
+ public:
+  /// `universe` must be sorted and de-duplicated (see
+  /// InterferenceModel::conflict_matrix, which canonicalizes and caches).
+  ConflictMatrix(const InterferenceModel& model,
+                 std::vector<net::LinkId> universe);
+
+  const std::vector<net::LinkId>& universe() const { return universe_; }
+
+  /// Usable couples, ordered by (link ascending, rate ascending). Couple
+  /// indices below refer to positions in this vector.
+  const std::vector<LinkRateCouple>& couples() const { return couples_; }
+  std::size_t num_couples() const { return couples_.size(); }
+
+  /// Words per bitset row (util::bits_* helpers operate on this many).
+  std::size_t words() const { return conflict_.words(); }
+
+  /// Do couples i and j interfere? (False for couples of the same link —
+  /// the relation is only defined across distinct links.)
+  bool interferes(std::size_t i, std::size_t j) const {
+    return conflict_.test(i, j);
+  }
+
+  /// Bit row of couples that interfere with couple i (distinct links only).
+  const util::BitWord* conflict_row(std::size_t i) const {
+    return conflict_.row(i);
+  }
+
+  /// Bit row of couples of *other* links that do NOT interfere with couple
+  /// i — the compatibility graph whose maximal cliques are the protocol
+  /// model's maximal independent sets.
+  const util::BitWord* compat_row(std::size_t i) const { return compat_.row(i); }
+
+  /// The full conflict relation as a square adjacency matrix — feed it to
+  /// graph::maximal_cliques directly.
+  const util::BitMatrix& conflict_bits() const { return conflict_; }
+
+  /// The compatibility graph (distinct-link, non-interfering couples) as a
+  /// square adjacency matrix; its maximal cliques are the protocol model's
+  /// maximal independent sets.
+  const util::BitMatrix& compat_bits() const { return compat_; }
+
+  /// Index of the couple (link, rate), or nullopt when the rate is not
+  /// usable-alone on that link or the link is outside the universe.
+  std::optional<std::size_t> couple_index(net::LinkId link,
+                                          phy::RateIndex rate) const;
+
+ private:
+  std::vector<net::LinkId> universe_;
+  std::vector<LinkRateCouple> couples_;
+  std::vector<std::size_t> couple_begin_;  // per universe position, + sentinel
+  util::BitMatrix conflict_;
+  util::BitMatrix compat_;
+};
+
+/// Memo of ConflictMatrix instances keyed by canonical universe. Lives
+/// inside each InterferenceModel; guarded by a mutex so the Eq. 9 thread
+/// fan-out can share one model. Universes per model are few, so lookup is
+/// a linear scan with vector compare.
+class ConflictCache {
+ public:
+  /// The cached matrix for `universe` (canonical), building it on miss.
+  std::shared_ptr<const ConflictMatrix> get(const InterferenceModel& model,
+                                            std::vector<net::LinkId> universe);
+
+  void clear();
+
+ private:
+  std::mutex mu_;
+  std::vector<std::shared_ptr<const ConflictMatrix>> entries_;
+};
+
+/// Memo of maximal_independent_sets results keyed by canonical universe.
+class MisCache {
+ public:
+  bool find(std::span<const net::LinkId> canonical,
+            std::vector<IndependentSet>* out);
+  void insert(std::vector<net::LinkId> canonical,
+              std::vector<IndependentSet> sets);
+  void clear();
+
+ private:
+  std::mutex mu_;
+  std::vector<std::pair<std::vector<net::LinkId>, std::vector<IndependentSet>>>
+      entries_;
+};
+
+/// The per-model cache bundle. Copying or moving a model hands the copy a
+/// fresh, empty bundle: caches are derived state and never shared, so a
+/// copied-then-mutated model (protocol table edits) cannot poison its
+/// sibling's results.
+struct ModelCaches {
+  ModelCaches() = default;
+  ModelCaches(const ModelCaches&) {}
+  ModelCaches(ModelCaches&&) noexcept {}
+  ModelCaches& operator=(const ModelCaches&) {
+    clear();
+    return *this;
+  }
+  ModelCaches& operator=(ModelCaches&&) noexcept {
+    clear();
+    return *this;
+  }
+
+  void clear() {
+    conflict.clear();
+    mis.clear();
+  }
+
+  ConflictCache conflict;
+  MisCache mis;
+};
+
+/// Lazily-filled per-link-pair interference summary for the physical model.
+/// For a link pair the cumulative-SINR "interferes" answer depends on the
+/// requested rates only through each side's maximum supported rate under
+/// the other's interference — two small integers. This cache stores them
+/// packed in one 32-bit slot per ordered pair, so the full SINR evaluation
+/// (four received powers + two rate scans) runs once per pair, ever.
+///
+/// Slots are written with relaxed atomics: recomputation is deterministic,
+/// so a racing duplicate write stores the identical value (benign by
+/// construction), which keeps the hot path lock-free for the bounds.cpp
+/// thread fan-out.
+class PairLimitCache {
+ public:
+  PairLimitCache() = default;
+  PairLimitCache(const PairLimitCache&) {}
+  PairLimitCache(PairLimitCache&&) noexcept {}
+  PairLimitCache& operator=(const PairLimitCache&) { return *this; }
+  PairLimitCache& operator=(PairLimitCache&&) noexcept { return *this; }
+
+  static constexpr std::uint32_t kUnset = 0;
+  static constexpr std::uint32_t kSharesNode = 1;
+  static constexpr std::uint32_t kComputed = 2;
+
+  /// Pack the two per-side limits (nullopt -> 0, rate k -> k + 1).
+  static std::uint32_t pack(std::optional<phy::RateIndex> limit_lo,
+                            std::optional<phy::RateIndex> limit_hi) {
+    const auto enc = [](std::optional<phy::RateIndex> l) -> std::uint32_t {
+      return l ? static_cast<std::uint32_t>(*l) + 1 : 0;
+    };
+    return kComputed | (enc(limit_lo) << 8) | (enc(limit_hi) << 16);
+  }
+
+  /// Allocate num_links^2 zeroed slots on first use (thread-safe).
+  void ensure(std::size_t num_links) const;
+
+  std::uint32_t load(std::size_t lo, std::size_t hi) const {
+    return slots_[lo * links_ + hi].load(std::memory_order_relaxed);
+  }
+  void store(std::size_t lo, std::size_t hi, std::uint32_t value) const {
+    slots_[lo * links_ + hi].store(value, std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::atomic<bool> ready_{false};
+  mutable std::size_t links_ = 0;
+  mutable std::vector<std::atomic<std::uint32_t>> slots_;
+};
+
+}  // namespace mrwsn::core

@@ -1,6 +1,7 @@
 #include "core/independent_set.hpp"
 
 #include <algorithm>
+#include <numeric>
 
 namespace mrwsn::core {
 
@@ -11,31 +12,66 @@ double IndependentSet::mbps_on(net::LinkId link) const {
 }
 
 bool IndependentSet::dominated_by(const IndependentSet& other) const {
+  // Both link arrays are sorted ascending: one merged scan replaces a
+  // binary search per member.
+  std::size_t j = 0;
   for (std::size_t i = 0; i < links.size(); ++i) {
-    if (other.mbps_on(links[i]) < mbps[i]) return false;
+    while (j < other.links.size() && other.links[j] < links[i]) ++j;
+    const double other_mbps =
+        (j < other.links.size() && other.links[j] == links[i]) ? other.mbps[j]
+                                                               : 0.0;
+    if (other_mbps < mbps[i]) return false;
   }
   return true;
 }
 
 std::vector<IndependentSet> remove_dominated(std::vector<IndependentSet> sets) {
-  std::vector<char> dead(sets.size(), 0);
-  for (std::size_t a = 0; a < sets.size(); ++a) {
-    if (dead[a]) continue;
-    for (std::size_t b = 0; b < sets.size(); ++b) {
-      if (a == b || dead[b] || dead[a]) continue;
-      if (sets[a].dominated_by(sets[b])) {
-        // Exact mutual domination (identical columns): keep the earlier one.
-        if (sets[b].dominated_by(sets[a]) && b > a) {
-          dead[b] = 1;
-        } else {
-          dead[a] = 1;
-        }
-      }
+  const std::size_t n = sets.size();
+  if (n <= 1) return sets;
+  std::vector<char> dead(n, 0);
+
+  // Pass 1: collapse exact duplicates (same links and mbps — i.e. the same
+  // throughput column) onto their first occurrence. Sorting by signature
+  // finds every duplicate run at once instead of probing mutual domination
+  // for all pairs.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (sets[a].links != sets[b].links) return sets[a].links < sets[b].links;
+    if (sets[a].mbps != sets[b].mbps) return sets[a].mbps < sets[b].mbps;
+    return a < b;  // ties by index: the run leader is the earliest
+  });
+  for (std::size_t s = 0; s < n;) {
+    std::size_t e = s + 1;
+    while (e < n && sets[order[e]].links == sets[order[s]].links &&
+           sets[order[e]].mbps == sets[order[s]].mbps)
+      ++e;
+    for (std::size_t k = s + 1; k < e; ++k) dead[order[k]] = 1;
+    s = e;
+  }
+
+  // Pass 2: drop every remaining set strictly dominated by another
+  // representative. Domination is transitive, so comparing against dead
+  // representatives is unnecessary: any chain of dominators ends at a
+  // surviving set that also dominates the start.
+  std::vector<std::size_t> alive;
+  alive.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    if (!dead[i]) alive.push_back(i);
+  for (std::size_t a : alive) {
+    for (std::size_t b : alive) {
+      if (a == b || !sets[a].dominated_by(sets[b])) continue;
+      // Equal columns were deduplicated above, but guard against mutual
+      // domination anyway: keep the earlier set, as the quadratic scan did.
+      if (sets[b].dominated_by(sets[a]) && a < b) continue;
+      dead[a] = 1;
+      break;
     }
   }
+
   std::vector<IndependentSet> kept;
-  kept.reserve(sets.size());
-  for (std::size_t i = 0; i < sets.size(); ++i)
+  kept.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
     if (!dead[i]) kept.push_back(std::move(sets[i]));
   return kept;
 }

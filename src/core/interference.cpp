@@ -9,22 +9,48 @@ namespace mrwsn::core {
 
 namespace {
 
-/// Sorted, de-duplicated copy of a link universe.
-std::vector<net::LinkId> canonical_universe(std::span<const net::LinkId> universe) {
-  std::vector<net::LinkId> links(universe.begin(), universe.end());
-  std::sort(links.begin(), links.end());
-  links.erase(std::unique(links.begin(), links.end()), links.end());
-  return links;
+bool strictly_ascending(std::span<const net::LinkId> universe) {
+  for (std::size_t i = 1; i < universe.size(); ++i)
+    if (universe[i - 1] >= universe[i]) return false;
+  return true;
 }
 
 }  // namespace
+
+std::vector<net::LinkId> canonical_universe(std::span<const net::LinkId> universe) {
+  std::vector<net::LinkId> links(universe.begin(), universe.end());
+  if (!strictly_ascending(universe)) {
+    std::sort(links.begin(), links.end());
+    links.erase(std::unique(links.begin(), links.end()), links.end());
+  }
+  return links;
+}
+
+std::shared_ptr<const ConflictMatrix> InterferenceModel::conflict_matrix(
+    std::span<const net::LinkId> universe) const {
+  return caches_.conflict.get(*this, canonical_universe(universe));
+}
 
 // ---------------------------------------------------------------------------
 // PhysicalInterferenceModel
 // ---------------------------------------------------------------------------
 
+namespace {
+
+// 8 MB of doubles; every paper scenario is far below this.
+constexpr std::size_t kMaxEagerPowerEntries = std::size_t{1} << 20;
+
+}  // namespace
+
 PhysicalInterferenceModel::PhysicalInterferenceModel(const net::Network& network)
-    : network_(&network) {}
+    : network_(&network), num_nodes_(network.num_nodes()) {
+  if (num_nodes_ * num_nodes_ <= kMaxEagerPowerEntries) {
+    rx_power_.resize(num_nodes_ * num_nodes_);
+    for (net::NodeId from = 0; from < num_nodes_; ++from)
+      for (net::NodeId at = 0; at < num_nodes_; ++at)
+        rx_power_[from * num_nodes_ + at] = network.received_power(from, at);
+  }
+}
 
 const phy::RateTable& PhysicalInterferenceModel::rate_table() const {
   return network_->phy().rates();
@@ -51,24 +77,43 @@ bool PhysicalInterferenceModel::shares_node(net::LinkId a, net::LinkId b) const 
 bool PhysicalInterferenceModel::interferes(net::LinkId a, phy::RateIndex ra,
                                            net::LinkId b, phy::RateIndex rb) const {
   MRWSN_REQUIRE(a != b, "the interferes relation is over distinct links");
-  if (shares_node(a, b)) return true;  // half-duplex radios
+  MRWSN_REQUIRE(a < num_links() && b < num_links(), "link id out of range");
 
-  const net::Link& la = network_->link(a);
-  const net::Link& lb = network_->link(b);
-  const phy::PhyModel& phy = network_->phy();
+  // The requested rates enter only through each side's pairwise maximum
+  // supported rate, which depends on the link pair alone — look those up
+  // in the pair-limit cache and run the SINR evaluation at most once per
+  // pair, ever.
+  const net::LinkId lo = std::min(a, b);
+  const net::LinkId hi = std::max(a, b);
+  pair_limits_.ensure(num_links());
+  std::uint32_t entry = pair_limits_.load(lo, hi);
+  if (entry == PairLimitCache::kUnset) {
+    if (shares_node(lo, hi)) {
+      entry = PairLimitCache::kSharesNode;  // half-duplex radios
+    } else {
+      const net::Link& llo = network_->link(lo);
+      const net::Link& lhi = network_->link(hi);
+      const phy::PhyModel& phy = network_->phy();
+      const double signal_lo = rx_power(llo.tx, llo.rx);
+      const double signal_hi = rx_power(lhi.tx, lhi.rx);
+      const double interference_at_lo = rx_power(lhi.tx, llo.rx);
+      const double interference_at_hi = rx_power(llo.tx, lhi.rx);
+      entry = PairLimitCache::pack(phy.max_rate(signal_lo, interference_at_lo),
+                                   phy.max_rate(signal_hi, interference_at_hi));
+    }
+    pair_limits_.store(lo, hi, entry);
+  }
+  if (entry == PairLimitCache::kSharesNode) return true;
 
-  const double signal_a = network_->received_power(la.tx, la.rx);
-  const double signal_b = network_->received_power(lb.tx, lb.rx);
-  const double interference_at_a = network_->received_power(lb.tx, la.rx);
-  const double interference_at_b = network_->received_power(la.tx, lb.rx);
-
-  const auto rate_a = phy.max_rate(signal_a, interference_at_a);
-  const auto rate_b = phy.max_rate(signal_b, interference_at_b);
-  // Higher rate = smaller index; link succeeds iff its max supported rate
-  // is at least as fast as the requested one.
-  const bool a_ok = rate_a.has_value() && *rate_a <= ra;
-  const bool b_ok = rate_b.has_value() && *rate_b <= rb;
-  return !(a_ok && b_ok);
+  const std::uint32_t enc_lo = (entry >> 8) & 0xFFu;
+  const std::uint32_t enc_hi = (entry >> 16) & 0xFFu;
+  const phy::RateIndex rate_lo = (a < b) ? ra : rb;
+  const phy::RateIndex rate_hi = (a < b) ? rb : ra;
+  // Higher rate = smaller index; a side succeeds iff its pairwise max
+  // supported rate is at least as fast as the requested one.
+  const bool lo_ok = enc_lo != 0 && static_cast<phy::RateIndex>(enc_lo - 1) <= rate_lo;
+  const bool hi_ok = enc_hi != 0 && static_cast<phy::RateIndex>(enc_hi - 1) <= rate_hi;
+  return !(lo_ok && hi_ok);
 }
 
 bool PhysicalInterferenceModel::supports(
@@ -96,9 +141,9 @@ std::optional<std::vector<phy::RateIndex>> PhysicalInterferenceModel::max_rate_v
     for (std::size_t k = 0; k < links.size(); ++k) {
       if (k == j) continue;
       if (shares_node(links[j], links[k])) return std::nullopt;
-      interference += network_->received_power(network_->link(links[k]).tx, lj.rx);
+      interference += rx_power(network_->link(links[k]).tx, lj.rx);
     }
-    const double signal = network_->received_power(lj.tx, lj.rx);
+    const double signal = rx_power(lj.tx, lj.rx);
     const auto rate = phy.max_rate(signal, interference);
     if (!rate) return std::nullopt;
     rates.push_back(*rate);
@@ -118,20 +163,21 @@ namespace {
 /// set becomes infeasible.
 class PhysicalMisEnumerator {
  public:
-  PhysicalMisEnumerator(const net::Network& network,
+  PhysicalMisEnumerator(const PhysicalInterferenceModel& model,
                         std::vector<net::LinkId> universe)
-      : network_(network), phy_(network.phy()), universe_(std::move(universe)) {
+      : phy_(model.network().phy()), universe_(std::move(universe)) {
+    const net::Network& network = model.network();
     const std::size_t n = universe_.size();
     signal_.resize(n);
     cross_power_.assign(n, std::vector<double>(n, 0.0));
     shares_.assign(n, std::vector<char>(n, 0));
     for (std::size_t u = 0; u < n; ++u) {
-      const net::Link& lu = network_.link(universe_[u]);
-      signal_[u] = network_.received_power(lu.tx, lu.rx);
+      const net::Link& lu = network.link(universe_[u]);
+      signal_[u] = model.rx_power(lu.tx, lu.rx);
       for (std::size_t k = 0; k < n; ++k) {
         if (k == u) continue;
-        const net::Link& lk = network_.link(universe_[k]);
-        cross_power_[k][u] = network_.received_power(lk.tx, lu.rx);
+        const net::Link& lk = network.link(universe_[k]);
+        cross_power_[k][u] = model.rx_power(lk.tx, lu.rx);
         shares_[k][u] = (lu.tx == lk.tx || lu.tx == lk.rx || lu.rx == lk.tx ||
                          lu.rx == lk.rx)
                             ? 1
@@ -249,7 +295,6 @@ class PhysicalMisEnumerator {
 
   static constexpr std::size_t kMaxSets = 1u << 20;
 
-  const net::Network& network_;
   const phy::PhyModel& phy_;
   std::vector<net::LinkId> universe_;
   std::vector<double> signal_;                    // by universe index
@@ -267,11 +312,21 @@ class PhysicalMisEnumerator {
 
 std::vector<IndependentSet> PhysicalInterferenceModel::maximal_independent_sets(
     std::span<const net::LinkId> universe) const {
+  // Memo hit for an already-canonical universe needs no copy of it at all
+  // (a cached key implies the ids were range-checked when it was inserted).
+  std::vector<IndependentSet> sets;
+  if (strictly_ascending(universe) && mis_cache().find(universe, &sets))
+    return sets;
+
   auto links = canonical_universe(universe);
   for (net::LinkId link : links)
     MRWSN_REQUIRE(link < network_->num_links(), "universe link id out of range");
-  PhysicalMisEnumerator enumerator(*network_, std::move(links));
-  return enumerator.run();
+
+  if (mis_cache().find(links, &sets)) return sets;
+  PhysicalMisEnumerator enumerator(*this, links);
+  sets = enumerator.run();
+  mis_cache().insert(std::move(links), sets);
+  return sets;
 }
 
 // ---------------------------------------------------------------------------
@@ -300,6 +355,7 @@ void ProtocolInterferenceModel::add_conflict(net::LinkId a, phy::RateIndex ra,
   const std::size_t dim = num_links_ * rates_.size();
   conflict_[index(a, ra) * dim + index(b, rb)] = 1;
   conflict_[index(b, rb) * dim + index(a, ra)] = 1;
+  invalidate_caches();
 }
 
 void ProtocolInterferenceModel::add_conflict_all_rates(net::LinkId a, net::LinkId b) {
@@ -314,6 +370,7 @@ void ProtocolInterferenceModel::set_usable_rates(net::LinkId link,
   MRWSN_REQUIRE(usable.size() == rates_.size(),
                 "usable flags must cover every rate");
   usable_[link] = std::move(usable);
+  invalidate_caches();
 }
 
 std::optional<phy::RateIndex> ProtocolInterferenceModel::max_rate_alone(
@@ -353,41 +410,30 @@ bool ProtocolInterferenceModel::supports(
 
 std::vector<IndependentSet> ProtocolInterferenceModel::maximal_independent_sets(
     std::span<const net::LinkId> universe) const {
-  const auto links = canonical_universe(universe);
+  std::vector<IndependentSet> sets;
+  if (strictly_ascending(universe) && mis_cache().find(universe, &sets))
+    return sets;
+
+  auto links = canonical_universe(universe);
   for (net::LinkId link : links)
     MRWSN_REQUIRE(link < num_links_, "universe link id out of range");
 
-  // Vertices: usable (link, rate) couples. Edges: compatible couples of
-  // distinct links. Maximal cliques of this graph are exactly the maximal
-  // rate-coupled independent sets (couples of the same link stay mutually
-  // exclusive because they share no edge).
-  struct Couple {
-    net::LinkId link;
-    phy::RateIndex rate;
-  };
-  std::vector<Couple> couples;
-  for (net::LinkId link : links)
-    for (phy::RateIndex r = 0; r < rates_.size(); ++r)
-      if (usable_[link][r]) couples.push_back({link, r});
+  if (mis_cache().find(links, &sets)) return sets;
 
-  graph::UndirectedGraph compat(couples.size());
-  for (std::size_t i = 0; i < couples.size(); ++i) {
-    for (std::size_t j = i + 1; j < couples.size(); ++j) {
-      if (couples[i].link == couples[j].link) continue;
-      if (!interferes(couples[i].link, couples[i].rate, couples[j].link,
-                      couples[j].rate))
-        compat.add_edge(i, j);
-    }
-  }
-
-  std::vector<IndependentSet> sets;
-  for (const auto& clique : graph::maximal_cliques(compat)) {
+  // Vertices: usable (link, rate) couples of the memoized conflict matrix.
+  // Its compat rows connect exactly the compatible couples of distinct
+  // links, so maximal cliques of that graph are the maximal rate-coupled
+  // independent sets (couples of the same link stay mutually exclusive
+  // because they share no edge). Couples are ordered (link asc, rate asc)
+  // and cliques come back sorted by couple index, i.e. already by link.
+  const auto matrix = conflict_matrix(links);
+  const auto& couples = matrix->couples();
+  for (const auto& clique : graph::maximal_cliques(matrix->compat_bits())) {
     IndependentSet set;
-    std::vector<std::size_t> order(clique.begin(), clique.end());
-    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-      return couples[a].link < couples[b].link;
-    });
-    for (std::size_t v : order) {
+    set.links.reserve(clique.size());
+    set.rates.reserve(clique.size());
+    set.mbps.reserve(clique.size());
+    for (std::size_t v : clique) {
       set.links.push_back(couples[v].link);
       set.rates.push_back(couples[v].rate);
       set.mbps.push_back(rates_[couples[v].rate].mbps);
@@ -396,7 +442,9 @@ std::vector<IndependentSet> ProtocolInterferenceModel::maximal_independent_sets(
   }
   // Graph-maximal cliques can still pick a needlessly low rate for a link
   // whose higher rate is equally compatible; those columns are dominated.
-  return remove_dominated(std::move(sets));
+  sets = remove_dominated(std::move(sets));
+  mis_cache().insert(std::move(links), sets);
+  return sets;
 }
 
 }  // namespace mrwsn::core

@@ -5,11 +5,17 @@
 #include <span>
 #include <vector>
 
+#include "core/conflict_matrix.hpp"
 #include "core/independent_set.hpp"
 #include "net/network.hpp"
 #include "phy/rate.hpp"
 
 namespace mrwsn::core {
+
+/// Sorted, de-duplicated copy of a link universe. Already-canonical inputs
+/// (the common case on hot paths — canonical universes get passed around)
+/// skip the sort entirely.
+std::vector<net::LinkId> canonical_universe(std::span<const net::LinkId> universe);
 
 /// Abstract interference semantics over a fixed set of links 0..num_links-1.
 ///
@@ -28,6 +34,13 @@ namespace mrwsn::core {
 ///  - ProtocolInterferenceModel: an explicit pairwise conflict table over
 ///    (link, rate) couples, matching the paper's hand-specified scenarios
 ///    (Fig. 1); a concurrent set is feasible iff pairwise compatible.
+///
+/// Every model also owns a cache bundle (ModelCaches): conflict matrices
+/// and independent-set results are memoized per canonical universe, so
+/// repeated queries over the same universe — the normal shape of the bound
+/// and scheduling computations — cost one build each, ever. Caches are
+/// derived state: copying a model hands the copy fresh empty caches, and
+/// protocol-model mutators invalidate them.
 class InterferenceModel {
  public:
   virtual ~InterferenceModel() = default;
@@ -60,9 +73,29 @@ class InterferenceModel {
   /// at its maximum supported rate, and no link can be inserted without
   /// lowering or zeroing an existing member's rate) over the given link
   /// universe. The returned collection is domination-free and sufficient
-  /// for the feasibility condition of Eq. 4.
+  /// for the feasibility condition of Eq. 4. Memoized per canonical
+  /// universe.
   virtual std::vector<IndependentSet> maximal_independent_sets(
       std::span<const net::LinkId> universe) const = 0;
+
+  /// The memoized bitset conflict matrix over the canonical form of
+  /// `universe`: the full pairwise "interferes" relation over its usable
+  /// (link, rate) couples, built once per (model, universe) and shared by
+  /// clique enumeration, the Eq. 9 bounds, and the protocol-model
+  /// independent-set path. Thread-safe.
+  std::shared_ptr<const ConflictMatrix> conflict_matrix(
+      std::span<const net::LinkId> universe) const;
+
+ protected:
+  /// Drop every memoized result. Mutators of derived models must call this
+  /// (the physical model never mutates — its network reference is const).
+  void invalidate_caches() const { caches_.clear(); }
+
+  /// Per-universe memo of maximal_independent_sets results.
+  MisCache& mis_cache() const { return caches_.mis; }
+
+ private:
+  mutable ModelCaches caches_;
 };
 
 /// Cumulative-SINR interference over a concrete network (Eq. 1 + Eq. 3).
@@ -92,10 +125,21 @@ class PhysicalInterferenceModel final : public InterferenceModel {
 
   const net::Network& network() const { return *network_; }
 
+  /// Received power at node `at` from node `from`, served from the eager
+  /// per-node-pair cache built at construction (falls back to the network
+  /// for pathologically large node counts).
+  double rx_power(net::NodeId from, net::NodeId at) const {
+    return rx_power_.empty() ? network_->received_power(from, at)
+                             : rx_power_[from * num_nodes_ + at];
+  }
+
  private:
   bool shares_node(net::LinkId a, net::LinkId b) const;
 
   const net::Network* network_;  // non-owning; outlives the model
+  std::size_t num_nodes_ = 0;
+  std::vector<double> rx_power_;  // num_nodes^2, row-major by `from`
+  PairLimitCache pair_limits_;    // per link pair interferes() summary
 };
 
 /// Table-driven pairwise interference for hand-built scenarios. A set with

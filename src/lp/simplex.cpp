@@ -37,6 +37,11 @@ namespace {
 ///   [n, n+s)          slack/surplus variables (one per inequality row)
 ///   [n+s, n+s+m)      artificial variables (one per row)
 /// The last tableau column is the right-hand side.
+///
+/// The tableau lives in ONE contiguous row-major buffer (stride cols_+1):
+/// every pivot walks the pivot row and each updated row sequentially, so
+/// the hundreds of LP solves behind Eq. 6 / Eq. 9 stream through cache
+/// lines instead of chasing per-row heap allocations.
 class Tableau {
  public:
   Tableau(const Problem& p, double eps) : eps_(eps) {
@@ -67,30 +72,33 @@ class Tableau {
     art_begin_ = n + num_slack;
     cols_ = n + num_slack + num_art;
     rows_ = m;
+    stride_ = cols_ + 1;
 
-    a_.assign(rows_, std::vector<double>(cols_ + 1, 0.0));
+    a_.assign(rows_ * stride_, 0.0);
     basis_.assign(rows_, 0);
     dual_col_.assign(rows_, 0);
+    row_sign_.reserve(rows_);
 
     std::size_t slack = slack_begin_;
     std::size_t art = art_begin_;
     for (std::size_t i = 0; i < m; ++i) {
-      const auto& row = p.rows()[i];
+      const auto& prow = p.rows()[i];
       const double sign = signs[i];
-      for (std::size_t j = 0; j < n; ++j) a_[i][j] = sign * row.coeffs[j];
-      a_[i][cols_] = sign * row.rhs;
+      double* arow = row(i);
+      for (std::size_t j = 0; j < n; ++j) arow[j] = sign * prow.coeffs[j];
+      arow[cols_] = sign * prow.rhs;
       std::size_t slack_col = cols_;  // sentinel: no slack (equality row)
-      if (row.sense == Sense::kLessEqual) {
+      if (prow.sense == Sense::kLessEqual) {
         slack_col = slack++;
-        a_[i][slack_col] = sign * 1.0;
-      } else if (row.sense == Sense::kGreaterEqual) {
+        arow[slack_col] = sign * 1.0;
+      } else if (prow.sense == Sense::kGreaterEqual) {
         slack_col = slack++;
-        a_[i][slack_col] = sign * -1.0;
+        arow[slack_col] = sign * -1.0;
       }
       if (needs_art[i]) {
         // Identity column for the row; doubles as the dual probe.
         const std::size_t art_col = art++;
-        a_[i][art_col] = 1.0;
+        arow[art_col] = 1.0;
         basis_[i] = art_col;
         dual_col_[i] = art_col;
       } else {
@@ -133,7 +141,7 @@ class Tableau {
     solution.status = Status::kOptimal;
     solution.values.assign(n_, 0.0);
     for (std::size_t i = 0; i < rows_; ++i) {
-      if (basis_[i] < n_) solution.values[basis_[i]] = a_[i][cols_];
+      if (basis_[i] < n_) solution.values[basis_[i]] = row(i)[cols_];
     }
     double obj_value = 0.0;
     for (std::size_t j = 0; j < n_; ++j) obj_value += obj_[j] * solution.values[j];
@@ -149,6 +157,9 @@ class Tableau {
   }
 
  private:
+  double* row(std::size_t i) { return a_.data() + i * stride_; }
+  const double* row(std::size_t i) const { return a_.data() + i * stride_; }
+
   /// Maximize c'x with Bland's rule; returns the achieved objective value.
   /// Used for phase 1 where unboundedness is impossible.
   double optimize(const std::vector<double>& c, bool allow_artificials) {
@@ -156,7 +167,7 @@ class Tableau {
     MRWSN_ASSERT(!unbounded, "phase-1 objective cannot be unbounded");
     double value = 0.0;
     for (std::size_t i = 0; i < rows_; ++i) {
-      if (basis_[i] < c.size()) value += c[basis_[i]] * a_[i][cols_];
+      if (basis_[i] < c.size()) value += c[basis_[i]] * row(i)[cols_];
     }
     return value;
   }
@@ -169,15 +180,14 @@ class Tableau {
   /// Core simplex loop. Returns false on unboundedness.
   bool pivot_loop(const std::vector<double>& c, bool allow_artificials) {
     // Maintain the reduced-cost row incrementally (full-tableau simplex):
-    // red_[j] = c_j - c_B' * B^{-1} A_j, updated on every pivot.
-    red_.assign(cols_, 0.0);
-    for (std::size_t j = 0; j < cols_; ++j) {
-      double reduced = c[j];
-      for (std::size_t i = 0; i < rows_; ++i) {
-        const double cb = c[basis_[i]];
-        if (cb != 0.0) reduced -= cb * a_[i][j];
-      }
-      red_[j] = reduced;
+    // red_[j] = c_j - c_B' * B^{-1} A_j, updated on every pivot. Built
+    // row-by-row so the initialization streams over the contiguous buffer.
+    red_.assign(c.begin(), c.begin() + static_cast<std::ptrdiff_t>(cols_));
+    for (std::size_t i = 0; i < rows_; ++i) {
+      const double cb = c[basis_[i]];
+      if (cb == 0.0) continue;
+      const double* arow = row(i);
+      for (std::size_t j = 0; j < cols_; ++j) red_[j] -= cb * arow[j];
     }
 
     for (std::size_t iter = 0; iter < kMaxIters; ++iter) {
@@ -198,6 +208,228 @@ class Tableau {
       if (entering == cols_) return true;  // optimal
 
       // Ratio test; Bland tie-break on the smallest basic variable index.
+      // One strided pass over the pivot column.
+      std::size_t leaving = rows_;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      const double* col = a_.data() + entering;
+      for (std::size_t i = 0; i < rows_; ++i, col += stride_) {
+        if (*col > eps_) {
+          const double ratio = row(i)[cols_] / *col;
+          if (ratio < best_ratio - eps_ ||
+              (ratio < best_ratio + eps_ &&
+               (leaving == rows_ || basis_[i] < basis_[leaving]))) {
+            best_ratio = ratio;
+            leaving = i;
+          }
+        }
+      }
+      if (leaving == rows_) return false;  // unbounded direction
+
+      pivot(leaving, entering);
+    }
+    throw InvariantError("simplex exceeded the iteration limit (cycling?)");
+  }
+
+  bool is_basic(std::size_t col) const { return in_basis_[col] != 0; }
+
+  void pivot(std::size_t prow_idx, std::size_t col) {
+    // The pivot row is normalized in place, then every other row gets one
+    // branch-free fused update pass; __restrict lets the compiler
+    // vectorize the row updates (prow never aliases the updated row).
+    double* const __restrict prow = row(prow_idx);
+    const double p = prow[col];
+    for (std::size_t j = 0; j <= cols_; ++j) prow[j] /= p;
+    double* arow = a_.data();
+    for (std::size_t i = 0; i < rows_; ++i, arow += stride_) {
+      if (i == prow_idx) continue;
+      const double factor = arow[col];
+      if (factor == 0.0) continue;
+      double* const __restrict dst = arow;
+      for (std::size_t j = 0; j <= cols_; ++j) dst[j] -= factor * prow[j];
+    }
+    if (!red_.empty()) {
+      const double factor = red_[col];
+      if (factor != 0.0) {
+        double* const __restrict red = red_.data();
+        for (std::size_t j = 0; j < cols_; ++j) red[j] -= factor * prow[j];
+      }
+    }
+    in_basis_[basis_[prow_idx]] = 0;
+    in_basis_[col] = 1;
+    basis_[prow_idx] = col;
+  }
+
+  /// After phase 1, pivot any artificial still basic (at level ~0) out of
+  /// the basis; if its row has no eligible pivot the row is redundant and
+  /// the artificial stays basic at zero (it is barred from re-entering).
+  void drive_out_artificials() {
+    for (std::size_t i = 0; i < rows_; ++i) {
+      if (basis_[i] < art_begin_) continue;
+      MRWSN_ASSERT(std::abs(row(i)[cols_]) <= 1e-6,
+                   "basic artificial with nonzero value after feasible phase 1");
+      for (std::size_t j = 0; j < art_begin_; ++j) {
+        if (std::abs(row(i)[j]) > eps_ && !is_basic(j)) {
+          pivot(i, j);
+          break;
+        }
+      }
+    }
+  }
+
+  static constexpr std::size_t kDantzigIters = 20000;
+  static constexpr std::size_t kMaxIters = 400000;
+
+  double eps_;
+  double obj_sign_ = 1.0;
+  std::size_t n_ = 0;           // original variables
+  std::size_t slack_begin_ = 0;
+  std::size_t art_begin_ = 0;
+  std::size_t cols_ = 0;        // total structural columns (excl. rhs)
+  std::size_t rows_ = 0;
+  std::size_t stride_ = 0;      // cols_ + 1 (rhs lives in the last column)
+  std::vector<double> a_;       // contiguous rows_ x stride_ tableau
+  std::vector<std::size_t> basis_;
+  std::vector<char> in_basis_;  // membership flags mirroring basis_
+  std::vector<double> row_sign_;  // +1/-1 rhs normalization per row
+  std::vector<std::size_t> dual_col_;  // identity-like column per row
+  std::vector<double> obj_;  // maximize orientation over original columns
+  std::vector<double> red_;  // reduced-cost row maintained by pivot()
+};
+
+/// The pre-flattening vector<vector<double>> tableau, retained verbatim as
+/// the reference implementation for the parity suite and the before/after
+/// microbenchmarks (see solve_reference).
+class ReferenceTableau {
+ public:
+  ReferenceTableau(const Problem& p, double eps) : eps_(eps) {
+    const std::size_t n = p.num_variables();
+    const std::size_t m = p.num_constraints();
+
+    std::size_t num_slack = 0;
+    std::size_t num_art = 0;
+    std::vector<double> signs(m, 1.0);
+    std::vector<char> needs_art(m, 0);
+    for (std::size_t i = 0; i < m; ++i) {
+      const auto& row = p.rows()[i];
+      signs[i] = row.rhs < 0.0 ? -1.0 : 1.0;
+      if (row.sense != Sense::kEqual) ++num_slack;
+      const bool slack_is_basic =
+          (row.sense == Sense::kLessEqual && signs[i] > 0.0) ||
+          (row.sense == Sense::kGreaterEqual && signs[i] < 0.0);
+      needs_art[i] = slack_is_basic ? 0 : 1;
+      if (needs_art[i]) ++num_art;
+    }
+
+    n_ = n;
+    art_begin_ = n + num_slack;
+    cols_ = n + num_slack + num_art;
+    rows_ = m;
+
+    a_.assign(rows_, std::vector<double>(cols_ + 1, 0.0));
+    basis_.assign(rows_, 0);
+    dual_col_.assign(rows_, 0);
+
+    std::size_t slack = n;
+    std::size_t art = art_begin_;
+    for (std::size_t i = 0; i < m; ++i) {
+      const auto& row = p.rows()[i];
+      const double sign = signs[i];
+      for (std::size_t j = 0; j < n; ++j) a_[i][j] = sign * row.coeffs[j];
+      a_[i][cols_] = sign * row.rhs;
+      std::size_t slack_col = cols_;
+      if (row.sense == Sense::kLessEqual) {
+        slack_col = slack++;
+        a_[i][slack_col] = sign * 1.0;
+      } else if (row.sense == Sense::kGreaterEqual) {
+        slack_col = slack++;
+        a_[i][slack_col] = sign * -1.0;
+      }
+      if (needs_art[i]) {
+        const std::size_t art_col = art++;
+        a_[i][art_col] = 1.0;
+        basis_[i] = art_col;
+        dual_col_[i] = art_col;
+      } else {
+        basis_[i] = slack_col;
+        dual_col_[i] = slack_col;
+      }
+      row_sign_.push_back(sign);
+    }
+    in_basis_.assign(cols_, 0);
+    for (std::size_t b : basis_) in_basis_[b] = 1;
+
+    obj_.assign(cols_, 0.0);
+    const double obj_sign = p.objective() == Objective::kMaximize ? 1.0 : -1.0;
+    for (std::size_t j = 0; j < n; ++j) obj_[j] = obj_sign * p.objective_coeffs()[j];
+    obj_sign_ = obj_sign;
+  }
+
+  Solution run() {
+    if (art_begin_ < cols_) {
+      std::vector<double> phase1(cols_, 0.0);
+      for (std::size_t j = art_begin_; j < cols_; ++j) phase1[j] = -1.0;
+      const double phase1_value = optimize(phase1, /*allow_artificials=*/true);
+      if (phase1_value < -eps_) return Solution{};
+      drive_out_artificials();
+    }
+
+    Solution solution;
+    if (!pivot_loop(obj_, /*allow_artificials=*/false)) {
+      solution.status = Status::kUnbounded;
+      return solution;
+    }
+
+    solution.status = Status::kOptimal;
+    solution.values.assign(n_, 0.0);
+    for (std::size_t i = 0; i < rows_; ++i) {
+      if (basis_[i] < n_) solution.values[basis_[i]] = a_[i][cols_];
+    }
+    double obj_value = 0.0;
+    for (std::size_t j = 0; j < n_; ++j) obj_value += obj_[j] * solution.values[j];
+    solution.objective = obj_sign_ * obj_value;
+
+    solution.duals.assign(rows_, 0.0);
+    for (std::size_t i = 0; i < rows_; ++i)
+      solution.duals[i] = obj_sign_ * row_sign_[i] * -red_[dual_col_[i]];
+    return solution;
+  }
+
+ private:
+  double optimize(const std::vector<double>& c, bool allow_artificials) {
+    const bool unbounded = !pivot_loop(c, allow_artificials);
+    MRWSN_ASSERT(!unbounded, "phase-1 objective cannot be unbounded");
+    double value = 0.0;
+    for (std::size_t i = 0; i < rows_; ++i) {
+      if (basis_[i] < c.size()) value += c[basis_[i]] * a_[i][cols_];
+    }
+    return value;
+  }
+
+  bool pivot_loop(const std::vector<double>& c, bool allow_artificials) {
+    red_.assign(cols_, 0.0);
+    for (std::size_t j = 0; j < cols_; ++j) {
+      double reduced = c[j];
+      for (std::size_t i = 0; i < rows_; ++i) {
+        const double cb = c[basis_[i]];
+        if (cb != 0.0) reduced -= cb * a_[i][j];
+      }
+      red_[j] = reduced;
+    }
+
+    for (std::size_t iter = 0; iter < kMaxIters; ++iter) {
+      const bool bland = iter >= kDantzigIters;
+      std::size_t entering = cols_;
+      double best_reduced = eps_;
+      const std::size_t limit = allow_artificials ? cols_ : art_begin_;
+      for (std::size_t j = 0; j < limit; ++j) {
+        if (red_[j] > best_reduced && !is_basic(j)) {
+          entering = j;
+          if (bland) break;
+          best_reduced = red_[j];
+        }
+      }
+      if (entering == cols_) return true;
+
       std::size_t leaving = rows_;
       double best_ratio = std::numeric_limits<double>::infinity();
       for (std::size_t i = 0; i < rows_; ++i) {
@@ -211,7 +443,7 @@ class Tableau {
           }
         }
       }
-      if (leaving == rows_) return false;  // unbounded direction
+      if (leaving == rows_) return false;
 
       pivot(leaving, entering);
     }
@@ -239,9 +471,6 @@ class Tableau {
     basis_[row] = col;
   }
 
-  /// After phase 1, pivot any artificial still basic (at level ~0) out of
-  /// the basis; if its row has no eligible pivot the row is redundant and
-  /// the artificial stays basic at zero (it is barred from re-entering).
   void drive_out_artificials() {
     for (std::size_t i = 0; i < rows_; ++i) {
       if (basis_[i] < art_begin_) continue;
@@ -261,42 +490,50 @@ class Tableau {
 
   double eps_;
   double obj_sign_ = 1.0;
-  std::size_t n_ = 0;           // original variables
-  std::size_t slack_begin_ = 0;
+  std::size_t n_ = 0;
   std::size_t art_begin_ = 0;
-  std::size_t cols_ = 0;        // total structural columns (excl. rhs)
+  std::size_t cols_ = 0;
   std::size_t rows_ = 0;
-  std::vector<std::vector<double>> a_;  // rows_ x (cols_+1)
+  std::vector<std::vector<double>> a_;
   std::vector<std::size_t> basis_;
-  std::vector<char> in_basis_;  // membership flags mirroring basis_
-  std::vector<double> row_sign_;  // +1/-1 rhs normalization per row
-  std::vector<std::size_t> dual_col_;  // identity-like column per row
-  std::vector<double> obj_;  // maximize orientation over original columns
-  std::vector<double> red_;  // reduced-cost row maintained by pivot()
+  std::vector<char> in_basis_;
+  std::vector<double> row_sign_;
+  std::vector<std::size_t> dual_col_;
+  std::vector<double> obj_;
+  std::vector<double> red_;
 };
+
+Solution solve_trivial(const Problem& problem, double eps) {
+  // Degenerate but well-defined: feasible iff every constraint already
+  // holds with an all-zero left-hand side.
+  Solution s;
+  s.status = Status::kOptimal;
+  s.duals.assign(problem.num_constraints(), 0.0);
+  for (const auto& row : problem.rows()) {
+    const bool ok = (row.sense == Sense::kLessEqual && 0.0 <= row.rhs + eps) ||
+                    (row.sense == Sense::kGreaterEqual && 0.0 >= row.rhs - eps) ||
+                    (row.sense == Sense::kEqual && std::abs(row.rhs) <= eps);
+    if (!ok) {
+      s.status = Status::kInfeasible;
+      break;
+    }
+  }
+  return s;
+}
 
 }  // namespace
 
 Solution solve(const Problem& problem, double eps) {
   MRWSN_REQUIRE(eps > 0.0, "tolerance must be positive");
-  if (problem.num_variables() == 0) {
-    // Degenerate but well-defined: feasible iff every constraint already
-    // holds with an all-zero left-hand side.
-    Solution s;
-    s.status = Status::kOptimal;
-    s.duals.assign(problem.num_constraints(), 0.0);
-    for (const auto& row : problem.rows()) {
-      const bool ok = (row.sense == Sense::kLessEqual && 0.0 <= row.rhs + eps) ||
-                      (row.sense == Sense::kGreaterEqual && 0.0 >= row.rhs - eps) ||
-                      (row.sense == Sense::kEqual && std::abs(row.rhs) <= eps);
-      if (!ok) {
-        s.status = Status::kInfeasible;
-        break;
-      }
-    }
-    return s;
-  }
+  if (problem.num_variables() == 0) return solve_trivial(problem, eps);
   Tableau tableau(problem, eps);
+  return tableau.run();
+}
+
+Solution solve_reference(const Problem& problem, double eps) {
+  MRWSN_REQUIRE(eps > 0.0, "tolerance must be positive");
+  if (problem.num_variables() == 0) return solve_trivial(problem, eps);
+  ReferenceTableau tableau(problem, eps);
   return tableau.run();
 }
 

@@ -91,4 +91,10 @@ struct Solution {
 /// few orders of magnitude of 1).
 Solution solve(const Problem& problem, double eps = 1e-9);
 
+/// Solve with the pre-flattening vector-of-rows tableau, retained as the
+/// reference implementation for the parity test-suite and the before/after
+/// microbenchmarks. Same algorithm and pivot rules as solve(); only the
+/// tableau storage differs.
+Solution solve_reference(const Problem& problem, double eps = 1e-9);
+
 }  // namespace mrwsn::lp

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+/// Word-level bitset primitives shared by the conflict-graph kernels.
+///
+/// The hot enumeration loops (Bron–Kerbosch, independent-set DFS, fixed-rate
+/// clique extraction) all reduce to "intersect a candidate set with a
+/// neighbourhood row and count/iterate the survivors". Storing every row as
+/// packed 64-bit words turns those inner loops into word-wise AND + popcount
+/// over a few cache lines instead of pointer-chasing vector<char> matrices.
+namespace mrwsn::util {
+
+using BitWord = std::uint64_t;
+
+inline constexpr std::size_t kBitsPerWord = 64;
+
+/// Number of 64-bit words needed for `bits` bits.
+inline constexpr std::size_t words_for_bits(std::size_t bits) {
+  return (bits + kBitsPerWord - 1) / kBitsPerWord;
+}
+
+inline void bits_set(BitWord* row, std::size_t i) {
+  row[i / kBitsPerWord] |= BitWord{1} << (i % kBitsPerWord);
+}
+
+inline void bits_reset(BitWord* row, std::size_t i) {
+  row[i / kBitsPerWord] &= ~(BitWord{1} << (i % kBitsPerWord));
+}
+
+inline bool bits_test(const BitWord* row, std::size_t i) {
+  return (row[i / kBitsPerWord] >> (i % kBitsPerWord)) & 1u;
+}
+
+/// dst = a & b over `words` words.
+inline void bits_and(BitWord* dst, const BitWord* a, const BitWord* b,
+                     std::size_t words) {
+  for (std::size_t w = 0; w < words; ++w) dst[w] = a[w] & b[w];
+}
+
+/// dst = a & ~b over `words` words.
+inline void bits_and_not(BitWord* dst, const BitWord* a, const BitWord* b,
+                         std::size_t words) {
+  for (std::size_t w = 0; w < words; ++w) dst[w] = a[w] & ~b[w];
+}
+
+inline bool bits_none(const BitWord* row, std::size_t words) {
+  BitWord acc = 0;
+  for (std::size_t w = 0; w < words; ++w) acc |= row[w];
+  return acc == 0;
+}
+
+inline std::size_t bits_count(const BitWord* row, std::size_t words) {
+  std::size_t count = 0;
+  for (std::size_t w = 0; w < words; ++w)
+    count += static_cast<std::size_t>(std::popcount(row[w]));
+  return count;
+}
+
+/// popcount(a & b) without materializing the intersection.
+inline std::size_t bits_count_and(const BitWord* a, const BitWord* b,
+                                  std::size_t words) {
+  std::size_t count = 0;
+  for (std::size_t w = 0; w < words; ++w)
+    count += static_cast<std::size_t>(std::popcount(a[w] & b[w]));
+  return count;
+}
+
+/// Invoke fn(index) for every set bit, in ascending index order.
+template <typename Fn>
+inline void bits_for_each(const BitWord* row, std::size_t words, Fn&& fn) {
+  for (std::size_t w = 0; w < words; ++w) {
+    BitWord word = row[w];
+    while (word != 0) {
+      const auto bit = static_cast<std::size_t>(std::countr_zero(word));
+      fn(w * kBitsPerWord + bit);
+      word &= word - 1;
+    }
+  }
+}
+
+/// A dense rows × cols bit matrix with contiguous 64-bit-word rows. Row
+/// pointers are stable for the lifetime of the matrix, so enumeration loops
+/// can hold raw `const BitWord*` neighbourhood rows.
+class BitMatrix {
+ public:
+  BitMatrix() = default;
+  BitMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), words_(words_for_bits(cols)),
+        bits_(rows * words_, 0) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  /// Words per row (the stride between consecutive rows).
+  std::size_t words() const { return words_; }
+
+  BitWord* row(std::size_t r) { return bits_.data() + r * words_; }
+  const BitWord* row(std::size_t r) const { return bits_.data() + r * words_; }
+
+  void set(std::size_t r, std::size_t c) { bits_set(row(r), c); }
+  bool test(std::size_t r, std::size_t c) const { return bits_test(row(r), c); }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t words_ = 0;
+  std::vector<BitWord> bits_;
+};
+
+}  // namespace mrwsn::util

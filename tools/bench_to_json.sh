@@ -1,0 +1,19 @@
+#!/bin/sh
+# Run the perf_micro google-benchmark suite and write its JSON report,
+# keeping the human-readable console table on stdout.
+#
+# Usage: bench_to_json.sh <perf_micro-binary> [output.json] [filter-regex]
+#
+# Normally invoked via the `bench_json` CMake target, which points the
+# output at <repo>/BENCH_results.json.
+set -eu
+BIN=${1:?usage: bench_to_json.sh <perf_micro-binary> [output.json] [filter-regex]}
+OUT=${2:-BENCH_results.json}
+FILTER=${3:-.}
+# Aggregates (mean/median/stddev/cv) over repetitions rather than one
+# sample per benchmark: the perf trajectory should not jitter with
+# transient host load.
+"$BIN" --benchmark_filter="$FILTER" \
+  --benchmark_repetitions=5 --benchmark_report_aggregates_only=true \
+  --benchmark_out="$OUT" --benchmark_out_format=json
+echo "wrote $OUT"
