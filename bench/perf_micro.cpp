@@ -111,6 +111,44 @@ void BM_PhysicalMisCold(benchmark::State& state) {
 }
 BENCHMARK(BM_PhysicalMisCold)->Arg(5)->Arg(8)->Arg(12);
 
+// Eq. 6 solved end to end on a physical chain of `hops` links, full-MIS
+// enumeration vs column generation (a fresh model per iteration, so
+// neither solver hides behind the per-model memo). The chain's
+// maximal-set count grows exponentially with length: ~1.1k sets at 20
+// links, ~4.7k at 24, and past ~26 links the enumeration LP blows
+// through the pivot budget entirely, so enumeration only runs at sizes
+// it can finish while column generation also runs at 28 links, beyond
+// enumeration's reach.
+void BM_FullEnumeration(benchmark::State& state) {
+  const std::size_t hops = static_cast<std::size_t>(state.range(0));
+  const net::Network network(geom::chain(hops + 1, 70.0), phy::PhyModel::paper_default());
+  std::vector<net::LinkId> path;
+  for (std::size_t i = 0; i < hops; ++i)
+    path.push_back(*network.find_link(i, i + 1));
+  const std::vector<core::LinkFlow> background = {{{path[0]}, 1.0}};
+  for (auto _ : state) {
+    core::PhysicalInterferenceModel model(network);
+    benchmark::DoNotOptimize(core::max_path_bandwidth(
+        model, background, path, core::SolveMethod::kFullEnumeration));
+  }
+}
+BENCHMARK(BM_FullEnumeration)->Arg(12)->Arg(20)->Arg(24);
+
+void BM_ColumnGen(benchmark::State& state) {
+  const std::size_t hops = static_cast<std::size_t>(state.range(0));
+  const net::Network network(geom::chain(hops + 1, 70.0), phy::PhyModel::paper_default());
+  std::vector<net::LinkId> path;
+  for (std::size_t i = 0; i < hops; ++i)
+    path.push_back(*network.find_link(i, i + 1));
+  const std::vector<core::LinkFlow> background = {{{path[0]}, 1.0}};
+  for (auto _ : state) {
+    core::PhysicalInterferenceModel model(network);
+    benchmark::DoNotOptimize(core::max_path_bandwidth(
+        model, background, path, core::SolveMethod::kColumnGeneration));
+  }
+}
+BENCHMARK(BM_ColumnGen)->Arg(12)->Arg(20)->Arg(24)->Arg(28);
+
 // Cost of materializing the bitset conflict matrix over a chain universe
 // (one interferes() SINR evaluation per couple pair on a fresh model).
 void BM_ConflictMatrixBuild(benchmark::State& state) {

@@ -1,6 +1,10 @@
 #include "core/available_bandwidth.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <utility>
 
 #include "lp/simplex.hpp"
 #include "util/error.hpp"
@@ -10,6 +14,15 @@ namespace mrwsn::core {
 namespace {
 
 constexpr double kTimeShareFloor = 1e-9;
+
+/// kAuto switches to column generation above this many universe links:
+/// below it the handful of maximal sets is cheaper to materialize than to
+/// price, and the seed scenarios stay on the (reference) enumeration path.
+constexpr std::size_t kAutoColumnGenThreshold = 16;
+
+/// Phase A optimum below this is "the background is deliverable" (the
+/// artificial slacks are zero up to simplex round-off, in Mbps).
+constexpr double kPhaseATol = 1e-7;
 
 std::vector<net::LinkId> union_of_links(std::span<const LinkFlow> background,
                                         std::span<const net::LinkId> new_path) {
@@ -32,6 +45,371 @@ std::vector<ScheduledSet> extract_schedule(const std::vector<IndependentSet>& se
   return schedule;
 }
 
+// ---------------------------------------------------------------------------
+// Column generation
+// ---------------------------------------------------------------------------
+
+/// The growing set of λ columns of a restricted master, with a signature
+/// guard so numerically stalled pricing (regenerating an existing column
+/// off dual round-off) is detected instead of looping.
+struct ColumnPool {
+  std::vector<IndependentSet> sets;
+  std::set<std::vector<std::uint64_t>> signatures;
+
+  /// Append `set` unless an identical (links, rates) column exists.
+  bool add(IndependentSet set) {
+    std::vector<std::uint64_t> key;
+    key.reserve(set.links.size());
+    for (std::size_t i = 0; i < set.links.size(); ++i)
+      key.push_back((static_cast<std::uint64_t>(set.links[i]) << 16) |
+                    static_cast<std::uint64_t>(set.rates[i]));
+    if (!signatures.insert(std::move(key)).second) return false;
+    sets.push_back(std::move(set));
+    return true;
+  }
+};
+
+/// Seed the pool with one singleton column per universe link that can carry
+/// traffic at all — a cheap cover that makes every later master feasible
+/// (and phase A's artificials the only slack that is ever needed).
+void seed_singleton_columns(const InterferenceModel& model,
+                            std::span<const net::LinkId> universe,
+                            ColumnPool* pool) {
+  for (net::LinkId link : universe) {
+    const auto rate = model.max_rate_alone(link);
+    if (!rate) continue;
+    IndependentSet set;
+    set.links = {link};
+    set.rates = {*rate};
+    set.mbps = {model.rate_table()[*rate].mbps};
+    pool->add(std::move(set));
+  }
+}
+
+struct ColGenLoopResult {
+  lp::Solution solution;   ///< last optimal master solution
+  bool solved = false;     ///< at least one master solve reached kOptimal
+  bool converged = false;  ///< pricing proved the master optimal overall
+};
+
+/// One restricted-master / pricing loop. `build` must construct the master
+/// over the current pool with its fixed variables first and λ columns last
+/// (in pool order), so variable ids — and therefore the exported basis —
+/// stay valid across re-solves as columns are appended. `row0_index` /
+/// `link_rows_begin` locate the Σλ <= 1 row and the per-universe-link rows
+/// inside the master; `stop` (optional) ends pricing early once the
+/// objective is good enough (phase A stops at zero artificials).
+ColGenLoopResult column_generation_loop(
+    const InterferenceModel& model, std::span<const net::LinkId> universe,
+    const ColumnGenOptions& options, ColumnPool* pool, ColumnGenStats* stats,
+    std::size_t row0_index, std::size_t link_rows_begin,
+    const std::function<lp::Problem(const ColumnPool&)>& build,
+    const std::function<bool(const lp::Solution&)>& stop = nullptr) {
+  ColGenLoopResult out;
+  lp::Basis basis;
+  std::vector<double> weights(universe.size());
+  for (;;) {
+    const lp::Problem problem = build(*pool);
+    lp::SolveOptions solve_options;
+    solve_options.warm_start = basis.empty() ? nullptr : &basis;
+    if (solve_options.warm_start != nullptr) ++stats->warm_starts;
+    lp::Solution solution = lp::solve(problem, solve_options);
+    if (solution.status != lp::Status::kOptimal) {
+      // Every master here is feasible and bounded by construction, so only
+      // a pivot-budget blowout lands here; keep the previous round's
+      // solution and report non-convergence.
+      break;
+    }
+    basis = solution.basis;
+    out.solution = std::move(solution);
+    out.solved = true;
+
+    if (stop && stop(out.solution)) {
+      out.converged = true;
+      break;
+    }
+    if (stats->rounds >= options.max_rounds ||
+        pool->sets.size() >= options.max_columns)
+      break;
+    ++stats->rounds;
+
+    // Reduced cost of a candidate column α (objective coefficient 0):
+    //   rc = -(dual(row0) + Σ_e dual(row_e) · R_α[e]).
+    // An improving column (rc < 0 when minimizing, > 0 when maximizing)
+    // therefore scores Σ_e w_e R_α[e] above the floor, with the signs
+    // below. The duals' sign constraints make both clamps no-ops up to
+    // round-off.
+    const double sign =
+        problem.objective() == lp::Objective::kMinimize ? 1.0 : -1.0;
+    for (std::size_t k = 0; k < universe.size(); ++k)
+      weights[k] = std::max(0.0, sign * out.solution.dual(link_rows_begin + k));
+    const double floor =
+        std::max(0.0, -sign * out.solution.dual(row0_index)) +
+        options.reduced_cost_tol;
+    MaxWeightSetResult priced =
+        model.max_weight_independent_set(universe, weights, floor);
+    if (!priced.found() || !pool->add(std::move(priced.set))) {
+      // No improving column — or the "improving" column already exists,
+      // which only happens from dual round-off noise within tolerance.
+      out.converged = true;
+      break;
+    }
+  }
+  stats->columns = pool->sets.size();
+  return out;
+}
+
+struct PhaseAResult {
+  bool feasible = false;   ///< the pool now delivers the background demands
+  bool converged = false;  ///< settled (either way) before the effort caps
+};
+
+/// Phase A of a two-phase column generation: can the background demands
+/// alone be delivered? Minimizes the sum of per-demanded-link artificial
+/// slacks; a zero optimum means the pool now contains columns delivering
+/// the background, while a converged positive optimum proves the demands
+/// undeliverable. `feasible == false` (proven or caps hit) means the caller
+/// must not proceed to phase B.
+PhaseAResult background_phase_feasible(const InterferenceModel& model,
+                                       std::span<const net::LinkId> universe,
+                                       std::span<const double> bg_demand,
+                                       const ColumnGenOptions& options,
+                                       ColumnPool* pool,
+                                       ColumnGenStats* stats) {
+  std::vector<net::LinkId> demanded;
+  for (net::LinkId link : universe)
+    if (bg_demand[link] > 0.0) demanded.push_back(link);
+  if (demanded.empty()) return {true, true};
+
+  const auto build = [&](const ColumnPool& columns) {
+    lp::Problem problem(lp::Objective::kMinimize);
+    // One artificial slack per demanded link, ahead of the λ columns so
+    // their ids survive pool growth.
+    for (std::size_t d = 0; d < demanded.size(); ++d)
+      problem.add_variable(1.0, "s" + std::to_string(d));
+    std::vector<lp::VarId> lambda;
+    lambda.reserve(columns.sets.size());
+    for (std::size_t i = 0; i < columns.sets.size(); ++i)
+      lambda.push_back(problem.add_variable(0.0));
+
+    std::vector<std::pair<lp::VarId, double>> row;
+    for (lp::VarId id : lambda) row.emplace_back(id, 1.0);
+    problem.add_constraint(row, lp::Sense::kLessEqual, 1.0);
+    std::size_t next_demanded = 0;
+    for (net::LinkId link : universe) {
+      row.clear();
+      for (std::size_t i = 0; i < columns.sets.size(); ++i) {
+        const double mbps = columns.sets[i].mbps_on(link);
+        if (mbps > 0.0) row.emplace_back(lambda[i], mbps);
+      }
+      if (bg_demand[link] > 0.0)
+        row.emplace_back(static_cast<lp::VarId>(next_demanded++), 1.0);
+      problem.add_constraint(row, lp::Sense::kGreaterEqual, bg_demand[link]);
+    }
+    return problem;
+  };
+  const auto result = column_generation_loop(
+      model, universe, options, pool, stats, /*row0_index=*/0,
+      /*link_rows_begin=*/1, build,
+      [](const lp::Solution& s) { return s.objective <= kPhaseATol; });
+  PhaseAResult phase_a;
+  phase_a.converged = result.converged;
+  phase_a.feasible = result.solved && result.converged &&
+                     result.solution.objective <= kPhaseATol;
+  return phase_a;
+}
+
+/// Column-generation solve of Eq. 6 for one new path. Same contract and
+/// result layout as the enumeration path of max_path_bandwidth.
+AvailableBandwidthResult max_path_bandwidth_colgen(
+    const InterferenceModel& model, std::span<const net::LinkId> new_path,
+    const std::vector<net::LinkId>& universe,
+    const std::vector<double>& bg_demand, const ColumnGenOptions& options) {
+  AvailableBandwidthResult result;
+  result.colgen.used = true;
+
+  ColumnPool pool;
+  seed_singleton_columns(model, universe, &pool);
+
+  const PhaseAResult phase_a = background_phase_feasible(
+      model, universe, bg_demand, options, &pool, &result.colgen);
+  if (!phase_a.feasible) {
+    result.colgen.converged = phase_a.converged;
+    result.num_independent_sets = pool.sets.size();
+    return result;
+  }
+
+  // Phase B: maximize f over the same rows, warm-chained masters. The
+  // master is always feasible (phase A left the pool delivering the
+  // background with f = 0) and bounded (Σλ <= 1 caps f through the new
+  // path's rows), so the loop either converges or hits the effort caps.
+  const auto build = [&](const ColumnPool& columns) {
+    lp::Problem problem(lp::Objective::kMaximize);
+    const lp::VarId f = problem.add_variable(1.0, "f");
+    std::vector<lp::VarId> lambda;
+    lambda.reserve(columns.sets.size());
+    for (std::size_t i = 0; i < columns.sets.size(); ++i)
+      lambda.push_back(problem.add_variable(0.0));
+
+    std::vector<std::pair<lp::VarId, double>> row;
+    for (lp::VarId id : lambda) row.emplace_back(id, 1.0);
+    problem.add_constraint(row, lp::Sense::kLessEqual, 1.0);
+    for (net::LinkId link : universe) {
+      row.clear();
+      for (std::size_t i = 0; i < columns.sets.size(); ++i) {
+        const double mbps = columns.sets[i].mbps_on(link);
+        if (mbps > 0.0) row.emplace_back(lambda[i], mbps);
+      }
+      if (std::find(new_path.begin(), new_path.end(), link) != new_path.end())
+        row.emplace_back(f, -1.0);
+      problem.add_constraint(row, lp::Sense::kGreaterEqual, bg_demand[link]);
+    }
+    return problem;
+  };
+  const auto phase_b =
+      column_generation_loop(model, universe, options, &pool, &result.colgen,
+                             /*row0_index=*/0, /*link_rows_begin=*/1, build);
+  MRWSN_ASSERT(phase_b.solved, "phase B master cannot be infeasible");
+  result.colgen.converged = phase_a.converged && phase_b.converged;
+  result.num_independent_sets = pool.sets.size();
+
+  result.background_feasible = true;
+  result.available_mbps = phase_b.solution.objective;
+  std::vector<lp::VarId> lambda(pool.sets.size());
+  for (std::size_t i = 0; i < pool.sets.size(); ++i)
+    lambda[i] = static_cast<lp::VarId>(1 + i);  // f is variable 0
+  result.schedule = extract_schedule(pool.sets, phase_b.solution, lambda);
+  result.airtime_shadow_price = phase_b.solution.dual(0);
+  for (std::size_t k = 0; k < universe.size(); ++k) {
+    const double price = -phase_b.solution.dual(1 + k);
+    result.link_shadow_prices.emplace_back(
+        universe[k], price > kTimeShareFloor ? price : 0.0);
+  }
+  return result;
+}
+
+/// Column-generation solve of the joint (multi-new-flow) variant. Mirrors
+/// the enumeration path's pass structure — kMaxMin runs the lexicographic
+/// floor pass then the sum pass with the floor pinned — with one shared
+/// column pool across passes and a warm chain per pass (the passes' row
+/// structures differ, so a basis never crosses passes).
+JointBandwidthResult max_joint_bandwidth_colgen(
+    const InterferenceModel& model,
+    std::span<const std::vector<net::LinkId>> new_paths,
+    JointObjective objective, const std::vector<net::LinkId>& universe,
+    const std::vector<double>& bg_demand, const ColumnGenOptions& options) {
+  JointBandwidthResult result;
+  result.colgen.used = true;
+
+  ColumnPool pool;
+  seed_singleton_columns(model, universe, &pool);
+
+  const PhaseAResult phase_a = background_phase_feasible(
+      model, universe, bg_demand, options, &pool, &result.colgen);
+  if (!phase_a.feasible) {
+    result.colgen.converged = phase_a.converged;
+    result.num_independent_sets = pool.sets.size();
+    return result;
+  }
+
+  const std::size_t num_paths = new_paths.size();
+  bool all_converged = phase_a.converged;
+  double floor = 0.0;
+  for (int pass = 0; pass < 2; ++pass) {
+    const bool floor_pass = objective == JointObjective::kMaxMin && pass == 0;
+    if (pass == 1 && objective == JointObjective::kMaxSum) break;
+
+    // Fixed variables: f_0..f_{J-1}, then t on the floor pass; λ columns
+    // follow. kMaxMin passes carry J extra leading rows (f_j - t >= 0 on
+    // the floor pass, the pinned floor afterwards), shifting the Σλ row
+    // and the link rows by J.
+    const std::size_t fixed_vars = num_paths + (floor_pass ? 1 : 0);
+    const std::size_t extra_rows =
+        objective == JointObjective::kMaxMin ? num_paths : 0;
+    const auto build = [&](const ColumnPool& columns) {
+      lp::Problem problem(lp::Objective::kMaximize);
+      std::vector<lp::VarId> f;
+      f.reserve(num_paths);
+      for (std::size_t j = 0; j < num_paths; ++j)
+        f.push_back(problem.add_variable(floor_pass ? 0.0 : 1.0,
+                                         "f" + std::to_string(j)));
+      lp::VarId t = -1;
+      if (floor_pass) t = problem.add_variable(1.0, "t");
+      std::vector<lp::VarId> lambda;
+      lambda.reserve(columns.sets.size());
+      for (std::size_t i = 0; i < columns.sets.size(); ++i)
+        lambda.push_back(problem.add_variable(0.0));
+
+      if (floor_pass) {
+        for (lp::VarId fj : f)
+          problem.add_constraint({{fj, 1.0}, {t, -1.0}},
+                                 lp::Sense::kGreaterEqual, 0.0);
+      } else if (objective == JointObjective::kMaxMin) {
+        for (lp::VarId fj : f)
+          problem.add_constraint({{fj, 1.0}}, lp::Sense::kGreaterEqual,
+                                 floor - 1e-9);
+      }
+      std::vector<std::pair<lp::VarId, double>> row;
+      for (lp::VarId id : lambda) row.emplace_back(id, 1.0);
+      problem.add_constraint(row, lp::Sense::kLessEqual, 1.0);
+      for (net::LinkId link : universe) {
+        row.clear();
+        for (std::size_t i = 0; i < columns.sets.size(); ++i) {
+          const double mbps = columns.sets[i].mbps_on(link);
+          if (mbps > 0.0) row.emplace_back(lambda[i], mbps);
+        }
+        for (std::size_t j = 0; j < num_paths; ++j) {
+          const auto count =
+              std::count(new_paths[j].begin(), new_paths[j].end(), link);
+          if (count > 0) row.emplace_back(f[j], -static_cast<double>(count));
+        }
+        problem.add_constraint(row, lp::Sense::kGreaterEqual, bg_demand[link]);
+      }
+      return problem;
+    };
+    const auto pass_result = column_generation_loop(
+        model, universe, options, &pool, &result.colgen,
+        /*row0_index=*/extra_rows, /*link_rows_begin=*/extra_rows + 1, build);
+    MRWSN_ASSERT(pass_result.solved, "joint master solve cannot fail");
+    all_converged = all_converged && pass_result.converged;
+    if (floor_pass) {
+      // t is the variable right after the f_j block.
+      floor = pass_result.solution.value(static_cast<lp::VarId>(num_paths));
+      continue;
+    }
+    result.background_feasible = true;
+    result.per_path_mbps.clear();
+    result.total_mbps = 0.0;
+    for (std::size_t j = 0; j < num_paths; ++j) {
+      const double mbps =
+          pass_result.solution.value(static_cast<lp::VarId>(j));
+      result.per_path_mbps.push_back(mbps);
+      result.total_mbps += mbps;
+    }
+    std::vector<lp::VarId> lambda(pool.sets.size());
+    for (std::size_t i = 0; i < pool.sets.size(); ++i)
+      lambda[i] = static_cast<lp::VarId>(fixed_vars + i);
+    result.schedule = extract_schedule(pool.sets, pass_result.solution, lambda);
+  }
+  result.colgen.converged = all_converged;
+  result.num_independent_sets = pool.sets.size();
+  return result;
+}
+
+/// Resolve kAuto: enumeration for small universes, column generation once
+/// materializing every maximal set would dominate the solve.
+bool use_column_generation(SolveMethod method, std::size_t universe_size) {
+  switch (method) {
+    case SolveMethod::kFullEnumeration:
+      return false;
+    case SolveMethod::kColumnGeneration:
+      return true;
+    case SolveMethod::kAuto:
+      return universe_size > kAutoColumnGenThreshold;
+  }
+  return false;
+}
+
 }  // namespace
 
 std::vector<double> accumulate_link_demands(const InterferenceModel& model,
@@ -49,11 +427,16 @@ std::vector<double> accumulate_link_demands(const InterferenceModel& model,
 
 AvailableBandwidthResult max_path_bandwidth(const InterferenceModel& model,
                                             std::span<const LinkFlow> background,
-                                            std::span<const net::LinkId> new_path) {
+                                            std::span<const net::LinkId> new_path,
+                                            SolveMethod method,
+                                            const ColumnGenOptions& options) {
   MRWSN_REQUIRE(!new_path.empty(), "the new path needs at least one link");
   const std::vector<net::LinkId> universe = union_of_links(background, new_path);
-  const std::vector<IndependentSet> sets = model.maximal_independent_sets(universe);
   const std::vector<double> bg_demand = accumulate_link_demands(model, background);
+  if (use_column_generation(method, universe.size()))
+    return max_path_bandwidth_colgen(model, new_path, universe, bg_demand,
+                                     options);
+  const std::vector<IndependentSet> sets = model.maximal_independent_sets(universe);
 
   AvailableBandwidthResult result;
   result.num_independent_sets = sets.size();
@@ -89,6 +472,9 @@ AvailableBandwidthResult max_path_bandwidth(const InterferenceModel& model,
 
   const lp::Solution solution = lp::solve(problem);
   if (solution.status != lp::Status::kOptimal) {
+    MRWSN_REQUIRE(solution.status != lp::Status::kIterationLimit,
+                  "enumeration LP exceeded the pivot budget; solve universes "
+                  "this large with SolveMethod::kColumnGeneration");
     // With f free to be 0 the LP is infeasible only when the background
     // demands alone are unschedulable; it can never be unbounded
     // (Σλ <= 1 caps f through the new path's constraints).
@@ -116,7 +502,8 @@ AvailableBandwidthResult max_path_bandwidth(const InterferenceModel& model,
 JointBandwidthResult max_joint_bandwidth(
     const InterferenceModel& model, std::span<const LinkFlow> background,
     std::span<const std::vector<net::LinkId>> new_paths,
-    JointObjective objective) {
+    JointObjective objective, SolveMethod method,
+    const ColumnGenOptions& options) {
   MRWSN_REQUIRE(!new_paths.empty(), "need at least one new path");
   for (const auto& path : new_paths)
     MRWSN_REQUIRE(!path.empty(), "every new path needs at least one link");
@@ -128,9 +515,12 @@ JointBandwidthResult max_joint_bandwidth(
     universe.insert(universe.end(), flow.links.begin(), flow.links.end());
   std::sort(universe.begin(), universe.end());
   universe.erase(std::unique(universe.begin(), universe.end()), universe.end());
+  const std::vector<double> bg_demand = accumulate_link_demands(model, background);
+  if (use_column_generation(method, universe.size()))
+    return max_joint_bandwidth_colgen(model, new_paths, objective, universe,
+                                      bg_demand, options);
 
   const std::vector<IndependentSet> sets = model.maximal_independent_sets(universe);
-  const std::vector<double> bg_demand = accumulate_link_demands(model, background);
 
   JointBandwidthResult result;
   result.num_independent_sets = sets.size();
@@ -183,6 +573,9 @@ JointBandwidthResult max_joint_bandwidth(
 
     const lp::Solution solution = lp::solve(problem);
     if (solution.status != lp::Status::kOptimal) {
+      MRWSN_REQUIRE(solution.status != lp::Status::kIterationLimit,
+                    "enumeration LP exceeded the pivot budget; solve "
+                    "universes this large with SolveMethod::kColumnGeneration");
       MRWSN_ASSERT(solution.status == lp::Status::kInfeasible,
                    "joint LP cannot be unbounded");
       return result;

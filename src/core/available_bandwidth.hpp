@@ -22,6 +22,41 @@ struct ScheduledSet {
   double time_share = 0.0;
 };
 
+/// How the Eq. 6 LP is solved.
+///
+/// Full enumeration materializes every maximal independent set of the link
+/// universe up front — exact, but exponential in the universe size. Column
+/// generation solves a restricted master over a small column pool and asks
+/// the max-weight independent-set pricing oracle (the model's
+/// max_weight_independent_set) for an improving column each round,
+/// terminating when none exists; it reaches the same optimum (the LP over
+/// all feasible sets equals the LP over the maximal ones, and the oracle is
+/// exact over all feasible sets) while touching only the columns the optimum
+/// needs.
+enum class SolveMethod {
+  kAuto,              ///< column generation above a universe-size threshold
+  kFullEnumeration,   ///< materialize every maximal independent set
+  kColumnGeneration,  ///< restricted master + pricing oracle
+};
+
+/// Knobs of the column-generation solver. The defaults are far above what
+/// any converging instance needs; they exist so degenerate inputs terminate
+/// with `converged == false` instead of looping.
+struct ColumnGenOptions {
+  std::size_t max_rounds = 512;    ///< total pricing rounds per solve
+  std::size_t max_columns = 4096;  ///< column-pool size cap
+  double reduced_cost_tol = 1e-7;  ///< entering-column reduced-cost cutoff
+};
+
+/// Diagnostics of one column-generation solve.
+struct ColumnGenStats {
+  bool used = false;       ///< false when full enumeration solved the LP
+  bool converged = false;  ///< pricing proved optimality (no improving column)
+  std::size_t rounds = 0;       ///< pricing-oracle invocations
+  std::size_t columns = 0;      ///< final column-pool size
+  std::size_t warm_starts = 0;  ///< master re-solves started from a basis
+};
+
 /// Result of the available-path-bandwidth LP (Eq. 6 of the paper).
 struct AvailableBandwidthResult {
   /// False when the background demands alone are not schedulable — the
@@ -36,8 +71,12 @@ struct AvailableBandwidthResult {
   /// time share > 1e-9 only). Σ time_share <= 1.
   std::vector<ScheduledSet> schedule;
 
-  /// Number of maximal independent sets the LP was built from (|M-hat|).
+  /// Number of columns the LP was built from: |M-hat| under full
+  /// enumeration, the generated-column count under column generation.
   std::size_t num_independent_sets = 0;
+
+  /// Column-generation diagnostics (`used == false` under enumeration).
+  ColumnGenStats colgen;
 
   /// Bottleneck analysis from the LP duals: for each link of the problem's
   /// universe, the Mbps of available bandwidth lost per extra Mbps of
@@ -54,9 +93,15 @@ struct AvailableBandwidthResult {
 /// scheduling over the maximal rate-coupled independent sets of
 /// P = union of all involved paths, maximize the new path's throughput
 /// subject to delivering every background demand.
-AvailableBandwidthResult max_path_bandwidth(const InterferenceModel& model,
-                                            std::span<const LinkFlow> background,
-                                            std::span<const net::LinkId> new_path);
+/// `method` picks the solver: kAuto uses column generation once the link
+/// universe outgrows a small threshold (full MIS enumeration is exponential
+/// in it) and enumeration below, where materializing the few sets is
+/// cheaper than iterating. Both solvers reach the same optimum.
+AvailableBandwidthResult max_path_bandwidth(
+    const InterferenceModel& model, std::span<const LinkFlow> background,
+    std::span<const net::LinkId> new_path,
+    SolveMethod method = SolveMethod::kAuto,
+    const ColumnGenOptions& options = {});
 
 /// Path capacity with no background traffic — the model of the authors'
 /// prior work [1] as a special case of Eq. 6 with K = 0.
@@ -78,7 +123,10 @@ struct JointBandwidthResult {
   /// Σ of per_path_mbps.
   double total_mbps = 0.0;
   std::vector<ScheduledSet> schedule;
+  /// Column count, as in AvailableBandwidthResult::num_independent_sets.
   std::size_t num_independent_sets = 0;
+  /// Column-generation diagnostics (`used == false` under enumeration).
+  ColumnGenStats colgen;
 };
 
 /// Eq. 6 with more than one new flow joining at once: maximize the chosen
@@ -89,7 +137,9 @@ struct JointBandwidthResult {
 JointBandwidthResult max_joint_bandwidth(
     const InterferenceModel& model, std::span<const LinkFlow> background,
     std::span<const std::vector<net::LinkId>> new_paths,
-    JointObjective objective = JointObjective::kMaxMin);
+    JointObjective objective = JointObjective::kMaxMin,
+    SolveMethod method = SolveMethod::kAuto,
+    const ColumnGenOptions& options = {});
 
 /// A schedule delivering fixed per-link demands with minimum total airtime.
 struct AirtimeSchedule {

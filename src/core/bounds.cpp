@@ -1,17 +1,13 @@
 #include "core/bounds.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <cstdlib>
-#include <exception>
 #include <limits>
-#include <mutex>
-#include <thread>
 
 #include "graph/undirected.hpp"
 #include "lp/simplex.hpp"
 #include "util/bitset.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 
 namespace mrwsn::core {
 
@@ -25,52 +21,6 @@ std::vector<net::LinkId> union_of_links(std::span<const LinkFlow> background,
   for (const LinkFlow& flow : background)
     universe.insert(universe.end(), flow.links.begin(), flow.links.end());
   return canonical_universe(universe);
-}
-
-/// Worker count for the per-rate-assignment fan-out: MRWSN_THREADS when
-/// set (>= 1; 1 = deterministic serial execution), else the hardware
-/// concurrency.
-std::size_t configured_threads() {
-  if (const char* env = std::getenv("MRWSN_THREADS")) {
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && v >= 1) return static_cast<std::size_t>(v);
-  }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : hw;
-}
-
-/// Run fn(i) for every i in [0, count) across configured_threads() workers
-/// pulling from a shared atomic counter. The first exception thrown by any
-/// worker is rethrown on the calling thread after all workers join.
-template <typename Fn>
-void parallel_for(std::size_t count, Fn&& fn) {
-  const std::size_t threads = std::min(configured_threads(), count);
-  if (threads <= 1) {
-    for (std::size_t i = 0; i < count; ++i) fn(i);
-    return;
-  }
-  std::atomic<std::size_t> next{0};
-  std::mutex error_mu;
-  std::exception_ptr error;
-  auto worker = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= count) return;
-      try {
-        fn(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mu);
-        if (!error) error = std::current_exception();
-        return;
-      }
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
-  for (std::thread& th : pool) th.join();
-  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace
@@ -169,7 +119,7 @@ double hypothesis_min_max_clique_time(const InterferenceModel& model,
   model.conflict_matrix(links);
 
   std::vector<double> worst(assignments.size(), 0.0);
-  parallel_for(assignments.size(), [&](std::size_t a) {
+  util::parallel_for(assignments.size(), [&](std::size_t a) {
     const RateAssignment& rates = assignments[a];
     double worst_clique = 0.0;
     for (const auto& clique : fixed_rate_maximal_cliques(model, links, rates)) {
@@ -211,7 +161,7 @@ UpperBoundResult upper_bound_impl(const InterferenceModel& model,
   model.conflict_matrix(links);
   std::vector<std::vector<std::vector<std::size_t>>> cliques_by_assignment(
       assignments.size());
-  parallel_for(assignments.size(), [&](std::size_t i) {
+  util::parallel_for(assignments.size(), [&](std::size_t i) {
     const RateAssignment& rates = assignments[i];
     auto cliques = fixed_rate_maximal_cliques(model, links, rates);
     if (cliques.size() > max_cliques_per_vector) {

@@ -13,9 +13,14 @@
 #include "phy/rate.hpp"
 #include "util/bitset.hpp"
 
+namespace mrwsn::phy {
+class PhyModel;
+}  // namespace mrwsn::phy
+
 namespace mrwsn::core {
 
 class InterferenceModel;
+class PhysicalInterferenceModel;
 
 /// A (link, rate) couple — one vertex of the rate-coupled conflict graph.
 struct LinkRateCouple {
@@ -120,6 +125,46 @@ class MisCache {
       entries_;
 };
 
+/// Precomputed per-universe arrays for the physical-model pricing oracle
+/// (column generation's max-weight independent-set search). The same
+/// received-power and node-sharing lookups that PhysicalMisEnumerator
+/// derives per enumeration are hoisted here once per (model, universe) so
+/// repeated pricing rounds over one universe — the normal shape of column
+/// generation — pay for them exactly once.
+///
+/// All per-link arrays are indexed by universe position; the pair tables
+/// are flattened row-major as [k * n + u] ("power at u's receiver from k's
+/// transmitter" / "links k and u share a node").
+struct PricingContext {
+  std::vector<net::LinkId> universe;  ///< canonical (sorted, de-duplicated)
+  const phy::PhyModel* phy = nullptr;
+
+  std::vector<double> signal;        ///< rx power of each link's own signal
+  std::vector<double> cross_power;   ///< [k*n + u] interference k -> u
+  std::vector<char> shares;          ///< [k*n + u] half-duplex node sharing
+  std::vector<char> alone_usable;    ///< link carries traffic when alone
+  std::vector<phy::RateIndex> alone_rate;  ///< valid when alone_usable
+  std::vector<double> alone_mbps;    ///< throughput alone; 0 when unusable
+
+  std::size_t size() const { return universe.size(); }
+};
+
+/// Memo of PricingContext instances keyed by canonical universe, mirroring
+/// ConflictCache (mutex + linear scan; universes per model are few).
+class PricingCache {
+ public:
+  /// The cached context for `universe` (canonical), building it on miss.
+  std::shared_ptr<const PricingContext> get(
+      const PhysicalInterferenceModel& model,
+      std::vector<net::LinkId> universe);
+
+  void clear();
+
+ private:
+  std::mutex mu_;
+  std::vector<std::shared_ptr<const PricingContext>> entries_;
+};
+
 /// The per-model cache bundle. Copying or moving a model hands the copy a
 /// fresh, empty bundle: caches are derived state and never shared, so a
 /// copied-then-mutated model (protocol table edits) cannot poison its
@@ -140,10 +185,12 @@ struct ModelCaches {
   void clear() {
     conflict.clear();
     mis.clear();
+    pricing.clear();
   }
 
   ConflictCache conflict;
   MisCache mis;
+  PricingCache pricing;
 };
 
 /// Lazily-filled per-link-pair interference summary for the physical model.

@@ -2,6 +2,13 @@
 
 #include <algorithm>
 #include <numeric>
+#include <optional>
+
+#include "core/conflict_matrix.hpp"
+#include "phy/phy_model.hpp"
+#include "util/bitset.hpp"
+#include "util/error.hpp"
+#include "util/parallel.hpp"
 
 namespace mrwsn::core {
 
@@ -74,6 +81,377 @@ std::vector<IndependentSet> remove_dominated(std::vector<IndependentSet> sets) {
   for (std::size_t i = 0; i < n; ++i)
     if (!dead[i]) kept.push_back(std::move(sets[i]));
   return kept;
+}
+
+// ---------------------------------------------------------------------------
+// Max-weight pricing oracles
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Root-split threshold: below this many roots the thread fan-out costs
+/// more than the search.
+constexpr std::size_t kParallelRootThreshold = 16;
+
+/// Clear bits 0..v of `row` (keep strictly-greater indices only) — the
+/// ordered-enumeration mask that makes every couple combination appear on
+/// exactly one DFS path.
+void bits_keep_above(util::BitWord* row, std::size_t v) {
+  const std::size_t word = v / util::kBitsPerWord;
+  const std::size_t bit = v % util::kBitsPerWord;
+  for (std::size_t w = 0; w < word; ++w) row[w] = 0;
+  row[word] &= (bit + 1 == util::kBitsPerWord)
+                   ? util::BitWord{0}
+                   : ~((util::BitWord{1} << (bit + 1)) - 1);
+}
+
+/// Read-only inputs shared by every root of one protocol pricing run.
+struct ProtocolPricerData {
+  const ConflictMatrix* matrix = nullptr;
+  std::size_t words = 0;
+  std::vector<double> weight;        ///< per couple: link weight * rate mbps
+  std::vector<util::BitWord> pool;   ///< couples with positive weight
+  std::vector<std::size_t> roots;    ///< the pool's couples, ascending
+};
+
+/// Branch-and-bound search for the maximum-weight clique of the
+/// compatibility graph, i.e. the max-weight rate-coupled independent set
+/// under the protocol model. One instance serves one root (or, on the
+/// sequential path, all roots in ascending order with a carried best —
+/// both yield the identical final answer because the first leaf achieving
+/// the optimum is visited regardless of the starting floor).
+class ProtocolRootSearch {
+ public:
+  ProtocolRootSearch(const ProtocolPricerData& data, double floor)
+      : data_(data), best_(floor) {
+    // A clique holds at most one couple per universe link.
+    buffers_.assign(data_.matrix->universe().size() + 1,
+                    std::vector<util::BitWord>(data_.words, 0));
+  }
+
+  /// Explore every clique whose lowest couple is data_.roots[root].
+  void run(std::size_t root) {
+    const std::size_t v0 = data_.roots[root];
+    members_.assign(1, v0);
+    const double w = data_.weight[v0];
+    if (w > best_) record(w);
+    auto& p = buffers_[0];
+    util::bits_and(p.data(), data_.pool.data(), data_.matrix->compat_row(v0),
+                   data_.words);
+    bits_keep_above(p.data(), v0);
+    if (!util::bits_none(p.data(), data_.words)) dfs(1, w);
+  }
+
+  double best_weight() const { return best_; }
+  const std::vector<std::size_t>& best_members() const { return best_members_; }
+
+ private:
+  /// Optimistic completion weight of candidate set `p`: couples are ordered
+  /// by link, so one ascending scan picks the best couple of each link run
+  /// (a clique can use at most one).
+  double bound(const util::BitWord* p) const {
+    const auto& couples = data_.matrix->couples();
+    double total = 0.0;
+    double run_max = 0.0;
+    net::LinkId run_link = 0;
+    bool in_run = false;
+    util::bits_for_each(p, data_.words, [&](std::size_t v) {
+      const net::LinkId link = couples[v].link;
+      if (!in_run || link != run_link) {
+        total += run_max;
+        run_max = 0.0;
+        run_link = link;
+        in_run = true;
+      }
+      run_max = std::max(run_max, data_.weight[v]);
+    });
+    return total + run_max;
+  }
+
+  void dfs(std::size_t depth, double current) {
+    const util::BitWord* p = buffers_[depth - 1].data();
+    if (current + bound(p) <= best_) return;
+    util::bits_for_each(p, data_.words, [&](std::size_t v) {
+      const double w = current + data_.weight[v];
+      members_.push_back(v);
+      if (w > best_) record(w);
+      auto& next = buffers_[depth];
+      util::bits_and(next.data(), p, data_.matrix->compat_row(v), data_.words);
+      bits_keep_above(next.data(), v);
+      if (!util::bits_none(next.data(), data_.words)) dfs(depth + 1, w);
+      members_.pop_back();
+    });
+  }
+
+  void record(double w) {
+    best_ = w;
+    best_members_ = members_;
+  }
+
+  const ProtocolPricerData& data_;
+  double best_;
+  std::vector<std::size_t> members_;       ///< couple indices, ascending
+  std::vector<std::size_t> best_members_;
+  std::vector<std::vector<util::BitWord>> buffers_;  ///< candidate set per depth
+};
+
+/// Read-only inputs shared by every root of one physical pricing run.
+struct PhysicalPricerData {
+  const PricingContext* ctx = nullptr;
+  std::span<const double> link_weight;  ///< by universe position
+  std::vector<double> w_alone;          ///< link weight * alone mbps
+  std::vector<std::size_t> order;       ///< candidates, descending w_alone
+};
+
+/// Branch-and-bound max-weight independent set under cumulative SINR.
+/// Tracks incremental interference exactly like PhysicalMisEnumerator so
+/// each member's rate is its true concurrent maximum; the optimistic bound
+/// is the current members' weight (rates only degrade in supersets) plus
+/// each unblocked future candidate's alone weight.
+class PhysicalRootSearch {
+ public:
+  PhysicalRootSearch(const PhysicalPricerData& data, double floor)
+      : data_(data), best_(floor) {
+    const std::size_t n = data_.ctx->size();
+    interference_.assign(n, 0.0);
+    blocked_.assign(n, 0);
+  }
+
+  /// Explore every set whose first member (in candidate order) is
+  /// order[root].
+  void run(std::size_t root) {
+    members_.clear();
+    push(data_.order[root]);
+    const double w = member_weight();
+    if (w > best_) record(w);
+    dfs(root + 1, w);
+    pop(data_.order[root]);
+  }
+
+  double best_weight() const { return best_; }
+  const std::vector<std::size_t>& best_members() const { return best_members_; }
+  const std::vector<phy::RateIndex>& best_rates() const { return best_rates_; }
+
+ private:
+  double cross(std::size_t k, std::size_t u) const {
+    return data_.ctx->cross_power[k * data_.ctx->size() + u];
+  }
+  bool shares(std::size_t k, std::size_t u) const {
+    return data_.ctx->shares[k * data_.ctx->size() + u] != 0;
+  }
+
+  /// Max supported rate of universe member `u` under the current members'
+  /// interference plus `extra` watts. The running sum can drift a hair
+  /// below zero after push/pop pairs; clamp it.
+  std::optional<phy::RateIndex> rate_of(std::size_t u, double extra) const {
+    return data_.ctx->phy->max_rate(
+        data_.ctx->signal[u], std::max(interference_[u], 0.0) + extra);
+  }
+
+  bool extension_feasible(std::size_t v) const {
+    if (!rate_of(v, 0.0)) return false;
+    for (std::size_t j : members_)
+      if (!rate_of(j, cross(v, j))) return false;
+    return true;
+  }
+
+  void push(std::size_t v) {
+    members_.push_back(v);
+    const std::size_t n = data_.ctx->size();
+    for (std::size_t u = 0; u < n; ++u) {
+      if (u == v) continue;
+      interference_[u] += cross(v, u);
+      blocked_[u] += shares(v, u);
+    }
+  }
+
+  void pop(std::size_t v) {
+    members_.pop_back();
+    const std::size_t n = data_.ctx->size();
+    for (std::size_t u = 0; u < n; ++u) {
+      if (u == v) continue;
+      interference_[u] -= cross(v, u);
+      blocked_[u] -= shares(v, u);
+    }
+  }
+
+  /// Total weight of the members at their current concurrent max rates;
+  /// fills rates_scratch_ in members_ order as a side effect.
+  double member_weight() {
+    const phy::RateTable& rates = data_.ctx->phy->rates();
+    rates_scratch_.clear();
+    double total = 0.0;
+    for (std::size_t j : members_) {
+      const auto rate = rate_of(j, 0.0);
+      MRWSN_ASSERT(rate.has_value(), "member of a feasible set lost its rate");
+      rates_scratch_.push_back(*rate);
+      total += data_.link_weight[j] * rates[*rate].mbps;
+    }
+    return total;
+  }
+
+  void dfs(std::size_t start, double current) {
+    double optimistic = current;
+    for (std::size_t i = start; i < data_.order.size(); ++i) {
+      const std::size_t v = data_.order[i];
+      if (blocked_[v] == 0) optimistic += data_.w_alone[v];
+    }
+    if (optimistic <= best_) return;
+    for (std::size_t i = start; i < data_.order.size(); ++i) {
+      const std::size_t v = data_.order[i];
+      if (blocked_[v] != 0) continue;
+      if (!extension_feasible(v)) continue;
+      push(v);
+      const double w = member_weight();
+      if (w > best_) record(w);
+      dfs(i + 1, w);
+      pop(v);
+    }
+  }
+
+  void record(double w) {
+    best_ = w;
+    best_members_ = members_;
+    best_rates_ = rates_scratch_;
+  }
+
+  const PhysicalPricerData& data_;
+  double best_;
+  std::vector<double> interference_;   ///< by universe position
+  std::vector<int> blocked_;           ///< node-sharing member count
+  std::vector<std::size_t> members_;   ///< universe positions, order order
+  std::vector<phy::RateIndex> rates_scratch_;
+  std::vector<std::size_t> best_members_;
+  std::vector<phy::RateIndex> best_rates_;
+};
+
+/// Run `roots` independent root searches and reduce deterministically:
+/// maximum weight, ties to the lowest root index. Sequential below the
+/// thread-fan-out threshold (with a carried best for extra pruning —
+/// provably the same answer), per-root otherwise so the result cannot
+/// depend on MRWSN_THREADS.
+template <typename Search, typename Data>
+std::optional<Search> run_roots(const Data& data, std::size_t num_roots,
+                                double floor) {
+  if (num_roots == 0) return std::nullopt;
+  if (num_roots < kParallelRootThreshold) {
+    Search search(data, floor);
+    for (std::size_t r = 0; r < num_roots; ++r) search.run(r);
+    if (search.best_weight() <= floor) return std::nullopt;
+    return search;
+  }
+  std::vector<std::optional<Search>> results(num_roots);
+  util::parallel_for(num_roots, [&](std::size_t r) {
+    Search search(data, floor);
+    search.run(r);
+    if (search.best_weight() > floor) results[r].emplace(std::move(search));
+  });
+  std::size_t winner = num_roots;
+  for (std::size_t r = 0; r < num_roots; ++r) {
+    if (!results[r]) continue;
+    if (winner == num_roots ||
+        results[r]->best_weight() > results[winner]->best_weight())
+      winner = r;
+  }
+  if (winner == num_roots) return std::nullopt;
+  return std::move(results[winner]);
+}
+
+}  // namespace
+
+MaxWeightSetResult max_weight_independent_set_protocol(
+    const ConflictMatrix& matrix, const phy::RateTable& rates,
+    std::span<const double> link_weight, double floor) {
+  const auto& universe = matrix.universe();
+  MRWSN_REQUIRE(link_weight.size() == universe.size(),
+                "one weight per universe link required");
+
+  ProtocolPricerData data;
+  data.matrix = &matrix;
+  data.words = matrix.words();
+  const auto& couples = matrix.couples();
+  data.weight.resize(couples.size());
+  data.pool.assign(data.words, 0);
+  std::size_t pos = 0;  // couples are grouped in universe order
+  for (std::size_t i = 0; i < couples.size(); ++i) {
+    while (universe[pos] != couples[i].link) ++pos;
+    MRWSN_REQUIRE(link_weight[pos] >= 0.0, "link weights must be non-negative");
+    // Zero-weight couples never improve a clique's score; pruning them up
+    // front shrinks the search without touching the optimum.
+    data.weight[i] = link_weight[pos] * rates[couples[i].rate].mbps;
+    if (data.weight[i] > 0.0) {
+      util::bits_set(data.pool.data(), i);
+      data.roots.push_back(i);
+    }
+  }
+
+  const auto best =
+      run_roots<ProtocolRootSearch>(data, data.roots.size(), floor);
+
+  MaxWeightSetResult result;
+  if (!best) return result;
+  result.weight = best->best_weight();
+  const auto& members = best->best_members();  // ascending couple indices
+  result.set.links.reserve(members.size());
+  result.set.rates.reserve(members.size());
+  result.set.mbps.reserve(members.size());
+  for (std::size_t v : members) {
+    result.set.links.push_back(couples[v].link);
+    result.set.rates.push_back(couples[v].rate);
+    result.set.mbps.push_back(rates[couples[v].rate].mbps);
+  }
+  return result;
+}
+
+MaxWeightSetResult max_weight_independent_set_physical(
+    const PricingContext& context, std::span<const double> link_weight,
+    double floor) {
+  const std::size_t n = context.size();
+  MRWSN_REQUIRE(link_weight.size() == n,
+                "one weight per universe link required");
+
+  PhysicalPricerData data;
+  data.ctx = &context;
+  data.link_weight = link_weight;
+  data.w_alone.assign(n, 0.0);
+  for (std::size_t u = 0; u < n; ++u) {
+    MRWSN_REQUIRE(link_weight[u] >= 0.0, "link weights must be non-negative");
+    if (context.alone_usable[u] != 0)
+      data.w_alone[u] = link_weight[u] * context.alone_mbps[u];
+    // Zero-weight links never help: they add nothing to the objective and
+    // their interference can only lower other members' rates.
+    if (data.w_alone[u] > 0.0) data.order.push_back(u);
+  }
+  std::stable_sort(data.order.begin(), data.order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return data.w_alone[a] > data.w_alone[b];
+                   });
+
+  const auto best =
+      run_roots<PhysicalRootSearch>(data, data.order.size(), floor);
+
+  MaxWeightSetResult result;
+  if (!best) return result;
+  result.weight = best->best_weight();
+  const auto& members = best->best_members();
+  const auto& member_rates = best->best_rates();
+  // Members follow the descending-alone-weight candidate order; an
+  // IndependentSet wants them sorted by link id.
+  std::vector<std::size_t> by_link(members.size());
+  std::iota(by_link.begin(), by_link.end(), std::size_t{0});
+  std::sort(by_link.begin(), by_link.end(), [&](std::size_t a, std::size_t b) {
+    return members[a] < members[b];
+  });
+  const phy::RateTable& rates = context.phy->rates();
+  result.set.links.reserve(members.size());
+  result.set.rates.reserve(members.size());
+  result.set.mbps.reserve(members.size());
+  for (std::size_t k : by_link) {
+    result.set.links.push_back(context.universe[members[k]]);
+    result.set.rates.push_back(member_rates[k]);
+    result.set.mbps.push_back(rates[member_rates[k]].mbps);
+  }
+  return result;
 }
 
 }  // namespace mrwsn::core

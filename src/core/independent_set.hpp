@@ -1,12 +1,16 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "net/network.hpp"
 #include "phy/rate.hpp"
 
 namespace mrwsn::core {
+
+class ConflictMatrix;
+struct PricingContext;
 
 /// A rate-coupled independent set (Section 2.4 of the paper): a set of
 /// links together with one transmission rate per link such that every link
@@ -36,5 +40,40 @@ struct IndependentSet {
 /// Remove every set dominated by another set in the collection (keeps the
 /// first of exact duplicates).
 std::vector<IndependentSet> remove_dominated(std::vector<IndependentSet> sets);
+
+/// Result of a max-weight independent-set search (the pricing oracle of
+/// column generation). `set` is empty when no feasible set scores strictly
+/// above the floor the caller supplied; otherwise `weight` is the achieved
+/// score  sum_i link_weight[i] * mbps_i  over the set's members.
+struct MaxWeightSetResult {
+  IndependentSet set;
+  double weight = 0.0;
+
+  bool found() const { return !set.links.empty(); }
+};
+
+/// Exact max-weight rate-coupled independent set under the protocol model:
+/// a branch-and-bound search for the maximum-weight clique of the
+/// compatibility graph in `matrix` (whose vertices are usable (link, rate)
+/// couples), scoring couple (e, r) as
+/// `link_weight[universe position of e] * rates[r].mbps`.
+///
+/// `link_weight` is parallel to matrix.universe() and must be
+/// non-negative. Only sets scoring strictly above `floor` are reported.
+/// The result is deterministic and independent of MRWSN_THREADS.
+MaxWeightSetResult max_weight_independent_set_protocol(
+    const ConflictMatrix& matrix, const phy::RateTable& rates,
+    std::span<const double> link_weight, double floor = 0.0);
+
+/// Exact max-weight independent set under the physical (cumulative-SINR)
+/// model: a branch-and-bound over the links of `context.universe`, tracking
+/// incremental interference so each member's rate is its true concurrent
+/// maximum (pairwise compatibility is necessary but not sufficient under
+/// cumulative SINR). Scoring, `link_weight` convention (parallel to
+/// context.universe, non-negative), `floor`, and determinism match the
+/// protocol variant.
+MaxWeightSetResult max_weight_independent_set_physical(
+    const PricingContext& context, std::span<const double> link_weight,
+    double floor = 0.0);
 
 }  // namespace mrwsn::core

@@ -310,6 +310,64 @@ class PhysicalMisEnumerator {
 
 }  // namespace
 
+std::shared_ptr<const PricingContext> PricingCache::get(
+    const PhysicalInterferenceModel& model, std::vector<net::LinkId> universe) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& entry : entries_)
+    if (entry->universe == universe) return entry;
+
+  // Same per-universe precomputation as PhysicalMisEnumerator, hoisted so
+  // every pricing round over this universe reuses it.
+  auto ctx = std::make_shared<PricingContext>();
+  ctx->universe = std::move(universe);
+  const net::Network& network = model.network();
+  ctx->phy = &network.phy();
+  const std::size_t n = ctx->universe.size();
+  ctx->signal.resize(n);
+  ctx->cross_power.assign(n * n, 0.0);
+  ctx->shares.assign(n * n, 0);
+  ctx->alone_usable.assign(n, 0);
+  ctx->alone_rate.assign(n, 0);
+  ctx->alone_mbps.assign(n, 0.0);
+  for (std::size_t u = 0; u < n; ++u) {
+    const net::Link& lu = network.link(ctx->universe[u]);
+    ctx->signal[u] = model.rx_power(lu.tx, lu.rx);
+    if (const auto rate = model.max_rate_alone(ctx->universe[u])) {
+      ctx->alone_usable[u] = 1;
+      ctx->alone_rate[u] = *rate;
+      ctx->alone_mbps[u] = ctx->phy->rates()[*rate].mbps;
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+      if (k == u) continue;
+      const net::Link& lk = network.link(ctx->universe[k]);
+      ctx->cross_power[k * n + u] = model.rx_power(lk.tx, lu.rx);
+      ctx->shares[k * n + u] = (lu.tx == lk.tx || lu.tx == lk.rx ||
+                                lu.rx == lk.tx || lu.rx == lk.rx)
+                                   ? 1
+                                   : 0;
+    }
+  }
+  entries_.push_back(std::move(ctx));
+  return entries_.back();
+}
+
+void PricingCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+MaxWeightSetResult PhysicalInterferenceModel::max_weight_independent_set(
+    std::span<const net::LinkId> universe, std::span<const double> link_weight,
+    double floor) const {
+  MRWSN_REQUIRE(strictly_ascending(universe),
+                "pricing universe must be canonical (weights are positional)");
+  std::vector<net::LinkId> links(universe.begin(), universe.end());
+  for (net::LinkId link : links)
+    MRWSN_REQUIRE(link < network_->num_links(), "universe link id out of range");
+  const auto context = pricing_cache().get(*this, std::move(links));
+  return max_weight_independent_set_physical(*context, link_weight, floor);
+}
+
 std::vector<IndependentSet> PhysicalInterferenceModel::maximal_independent_sets(
     std::span<const net::LinkId> universe) const {
   // Memo hit for an already-canonical universe needs no copy of it at all
@@ -445,6 +503,17 @@ std::vector<IndependentSet> ProtocolInterferenceModel::maximal_independent_sets(
   sets = remove_dominated(std::move(sets));
   mis_cache().insert(std::move(links), sets);
   return sets;
+}
+
+MaxWeightSetResult ProtocolInterferenceModel::max_weight_independent_set(
+    std::span<const net::LinkId> universe, std::span<const double> link_weight,
+    double floor) const {
+  MRWSN_REQUIRE(strictly_ascending(universe),
+                "pricing universe must be canonical (weights are positional)");
+  // conflict_matrix() memoizes per universe and range-checks the link ids.
+  const auto matrix = conflict_matrix(universe);
+  return max_weight_independent_set_protocol(*matrix, rates_, link_weight,
+                                             floor);
 }
 
 }  // namespace mrwsn::core

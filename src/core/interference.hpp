@@ -78,6 +78,17 @@ class InterferenceModel {
   virtual std::vector<IndependentSet> maximal_independent_sets(
       std::span<const net::LinkId> universe) const = 0;
 
+  /// Column generation's pricing oracle: the feasible rate-coupled
+  /// independent set over `universe` maximizing
+  /// `sum_i link_weight[i] * mbps_i`, or an empty result when no set
+  /// scores strictly above `floor`. `link_weight` is parallel to
+  /// `universe` (which must be canonical — strictly ascending) and
+  /// non-negative. Exact, deterministic, and independent of MRWSN_THREADS;
+  /// per-universe precomputation is memoized like the other kernels.
+  virtual MaxWeightSetResult max_weight_independent_set(
+      std::span<const net::LinkId> universe,
+      std::span<const double> link_weight, double floor = 0.0) const = 0;
+
   /// The memoized bitset conflict matrix over the canonical form of
   /// `universe`: the full pairwise "interferes" relation over its usable
   /// (link, rate) couples, built once per (model, universe) and shared by
@@ -93,6 +104,9 @@ class InterferenceModel {
 
   /// Per-universe memo of maximal_independent_sets results.
   MisCache& mis_cache() const { return caches_.mis; }
+
+  /// Per-universe memo of physical-model pricing contexts.
+  PricingCache& pricing_cache() const { return caches_.pricing; }
 
  private:
   mutable ModelCaches caches_;
@@ -115,6 +129,9 @@ class PhysicalInterferenceModel final : public InterferenceModel {
                 std::span<const phy::RateIndex> rates) const override;
   std::vector<IndependentSet> maximal_independent_sets(
       std::span<const net::LinkId> universe) const override;
+  MaxWeightSetResult max_weight_independent_set(
+      std::span<const net::LinkId> universe,
+      std::span<const double> link_weight, double floor = 0.0) const override;
 
   /// The unique maximum supported rate vector when exactly `links`
   /// transmit concurrently (Propositions 1-2); nullopt when some member
@@ -172,6 +189,9 @@ class ProtocolInterferenceModel final : public InterferenceModel {
                 std::span<const phy::RateIndex> rates) const override;
   std::vector<IndependentSet> maximal_independent_sets(
       std::span<const net::LinkId> universe) const override;
+  MaxWeightSetResult max_weight_independent_set(
+      std::span<const net::LinkId> universe,
+      std::span<const double> link_weight, double floor = 0.0) const override;
 
  private:
   std::size_t index(net::LinkId link, phy::RateIndex rate) const;

@@ -78,6 +78,8 @@ class Tableau {
     basis_.assign(rows_, 0);
     dual_col_.assign(rows_, 0);
     row_sign_.reserve(rows_);
+    row_slack_col_.reserve(rows_);
+    slack_row_.assign(num_slack, 0);
 
     std::size_t slack = slack_begin_;
     std::size_t art = art_begin_;
@@ -95,6 +97,8 @@ class Tableau {
         slack_col = slack++;
         arow[slack_col] = sign * -1.0;
       }
+      row_slack_col_.push_back(slack_col);
+      if (slack_col != cols_) slack_row_[slack_col - slack_begin_] = i;
       if (needs_art[i]) {
         // Identity column for the row; doubles as the dual probe.
         const std::size_t art_col = art++;
@@ -119,21 +123,106 @@ class Tableau {
     obj_sign_ = obj_sign;
   }
 
-  Solution run() {
+  Solution run(std::size_t max_pivots) {
+    budget_ = max_pivots;
     // --- Phase 1: minimize the sum of artificials (maximize its negation).
     // Skipped entirely when no row needed one (the all-slack basis is
     // already feasible).
     if (art_begin_ < cols_) {
       std::vector<double> phase1(cols_, 0.0);
       for (std::size_t j = art_begin_; j < cols_; ++j) phase1[j] = -1.0;
-      const double phase1_value = optimize(phase1, /*allow_artificials=*/true);
+      const LoopResult r = pivot_loop(phase1, /*allow_artificials=*/true);
+      if (r == LoopResult::kLimit) return limit_solution();
+      MRWSN_ASSERT(r == LoopResult::kOptimal,
+                   "phase-1 objective cannot be unbounded");
+      double phase1_value = 0.0;
+      for (std::size_t i = 0; i < rows_; ++i)
+        if (basis_[i] >= art_begin_) phase1_value -= row(i)[cols_];
       if (phase1_value < -eps_) return Solution{};
       drive_out_artificials();
     }
+    return phase2();
+  }
 
-    // --- Phase 2: the real objective; artificials may no longer enter.
+  /// Pivot into `warm` and run phase 2 from it, skipping phase 1. Returns
+  /// false when the basis does not apply to this problem — wrong size,
+  /// unknown entries, singular basis matrix, or a primal-infeasible
+  /// starting point. The tableau is garbage afterwards; the caller must
+  /// rebuild and run cold.
+  bool run_warm(const Basis& warm, std::size_t max_pivots, Solution* out) {
+    budget_ = max_pivots;
+    if (warm.size() != rows_) return false;
+    std::vector<std::size_t> target(rows_, cols_);
+    std::vector<char> used(cols_, 0);
+    for (std::size_t k = 0; k < rows_; ++k) {
+      const BasisEntry& entry = warm[k];
+      std::size_t c = cols_;
+      if (entry.kind == BasisEntry::Kind::kStructural) {
+        if (entry.index < 0 || static_cast<std::size_t>(entry.index) >= n_)
+          return false;
+        c = static_cast<std::size_t>(entry.index);
+      } else {
+        if (entry.index < 0 || static_cast<std::size_t>(entry.index) >= rows_)
+          return false;
+        c = row_slack_col_[static_cast<std::size_t>(entry.index)];
+        if (c == cols_) return false;  // equality row: no slack to be basic
+      }
+      if (used[c]) return false;
+      used[c] = 1;
+      target[k] = c;
+    }
+
+    // Gaussian pivot-in: per target column, the largest-magnitude pivot
+    // among rows not yet claimed. A near-zero best pivot means the basis
+    // matrix is singular for this problem. These <= m deterministic pivots
+    // do not count against the budget.
+    std::vector<char> row_done(rows_, 0);
+    for (std::size_t k = 0; k < rows_; ++k) {
+      const std::size_t c = target[k];
+      std::size_t best_row = rows_;
+      double best_abs = 1e-7;
+      const double* col = a_.data() + c;
+      for (std::size_t i = 0; i < rows_; ++i, col += stride_) {
+        if (!row_done[i] && std::abs(*col) > best_abs) {
+          best_abs = std::abs(*col);
+          best_row = i;
+        }
+      }
+      if (best_row == rows_) return false;
+      pivot(best_row, c);
+      row_done[best_row] = 1;
+    }
+
+    // The warm basis must be primal feasible here (it always is when the
+    // problem only gained columns since the basis was optimal). Tiny
+    // negative rhs from re-pivoting round-off is clamped; anything larger
+    // means a genuinely different problem.
+    for (std::size_t i = 0; i < rows_; ++i)
+      if (row(i)[cols_] < -1e-7) return false;
+    for (std::size_t i = 0; i < rows_; ++i)
+      if (row(i)[cols_] < 0.0) row(i)[cols_] = 0.0;
+    *out = phase2();
+    return true;
+  }
+
+ private:
+  enum class LoopResult { kOptimal, kUnbounded, kLimit };
+
+  double* row(std::size_t i) { return a_.data() + i * stride_; }
+  const double* row(std::size_t i) const { return a_.data() + i * stride_; }
+
+  static Solution limit_solution() {
     Solution solution;
-    if (!optimize_or_unbounded(obj_)) {
+    solution.status = Status::kIterationLimit;
+    return solution;
+  }
+
+  /// Phase 2: the real objective; artificials may no longer enter.
+  Solution phase2() {
+    Solution solution;
+    const LoopResult r = pivot_loop(obj_, /*allow_artificials=*/false);
+    if (r == LoopResult::kLimit) return limit_solution();
+    if (r == LoopResult::kUnbounded) {
       solution.status = Status::kUnbounded;
       return solution;
     }
@@ -153,32 +242,30 @@ class Tableau {
     solution.duals.assign(rows_, 0.0);
     for (std::size_t i = 0; i < rows_; ++i)
       solution.duals[i] = obj_sign_ * row_sign_[i] * -red_[dual_col_[i]];
+
+    // Export the basis in the problem-level representation for warm
+    // starts. A basic artificial (redundant row) has no such form; the
+    // basis is then reported empty (not reusable).
+    solution.basis.reserve(rows_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+      const std::size_t b = basis_[i];
+      if (b < n_) {
+        solution.basis.push_back(
+            {BasisEntry::Kind::kStructural, static_cast<int>(b)});
+      } else if (b < art_begin_) {
+        solution.basis.push_back(
+            {BasisEntry::Kind::kSlack,
+             static_cast<int>(slack_row_[b - slack_begin_])});
+      } else {
+        solution.basis.clear();
+        break;
+      }
+    }
     return solution;
   }
 
- private:
-  double* row(std::size_t i) { return a_.data() + i * stride_; }
-  const double* row(std::size_t i) const { return a_.data() + i * stride_; }
-
-  /// Maximize c'x with Bland's rule; returns the achieved objective value.
-  /// Used for phase 1 where unboundedness is impossible.
-  double optimize(const std::vector<double>& c, bool allow_artificials) {
-    const bool unbounded = !pivot_loop(c, allow_artificials);
-    MRWSN_ASSERT(!unbounded, "phase-1 objective cannot be unbounded");
-    double value = 0.0;
-    for (std::size_t i = 0; i < rows_; ++i) {
-      if (basis_[i] < c.size()) value += c[basis_[i]] * row(i)[cols_];
-    }
-    return value;
-  }
-
-  /// Maximize c'x; returns false if the LP is unbounded.
-  bool optimize_or_unbounded(const std::vector<double>& c) {
-    return pivot_loop(c, /*allow_artificials=*/false);
-  }
-
-  /// Core simplex loop. Returns false on unboundedness.
-  bool pivot_loop(const std::vector<double>& c, bool allow_artificials) {
+  /// Core simplex loop.
+  LoopResult pivot_loop(const std::vector<double>& c, bool allow_artificials) {
     // Maintain the reduced-cost row incrementally (full-tableau simplex):
     // red_[j] = c_j - c_B' * B^{-1} A_j, updated on every pivot. Built
     // row-by-row so the initialization streams over the contiguous buffer.
@@ -190,7 +277,7 @@ class Tableau {
       for (std::size_t j = 0; j < cols_; ++j) red_[j] -= cb * arow[j];
     }
 
-    for (std::size_t iter = 0; iter < kMaxIters; ++iter) {
+    for (std::size_t iter = 0;; ++iter) {
       // Dantzig's rule (steepest reduced cost) for speed; after a long
       // stall switch permanently to Bland's rule, whose anti-cycling
       // guarantee ensures termination on degenerate problems.
@@ -205,7 +292,7 @@ class Tableau {
           best_reduced = red_[j];
         }
       }
-      if (entering == cols_) return true;  // optimal
+      if (entering == cols_) return LoopResult::kOptimal;
 
       // Ratio test; Bland tie-break on the smallest basic variable index.
       // One strided pass over the pivot column.
@@ -223,11 +310,12 @@ class Tableau {
           }
         }
       }
-      if (leaving == rows_) return false;  // unbounded direction
+      if (leaving == rows_) return LoopResult::kUnbounded;
 
+      if (budget_ == 0) return LoopResult::kLimit;
+      --budget_;
       pivot(leaving, entering);
     }
-    throw InvariantError("simplex exceeded the iteration limit (cycling?)");
   }
 
   bool is_basic(std::size_t col) const { return in_basis_[col] != 0; }
@@ -277,7 +365,6 @@ class Tableau {
   }
 
   static constexpr std::size_t kDantzigIters = 20000;
-  static constexpr std::size_t kMaxIters = 400000;
 
   double eps_;
   double obj_sign_ = 1.0;
@@ -287,11 +374,14 @@ class Tableau {
   std::size_t cols_ = 0;        // total structural columns (excl. rhs)
   std::size_t rows_ = 0;
   std::size_t stride_ = 0;      // cols_ + 1 (rhs lives in the last column)
+  std::size_t budget_ = 0;      // remaining pivots before kIterationLimit
   std::vector<double> a_;       // contiguous rows_ x stride_ tableau
   std::vector<std::size_t> basis_;
   std::vector<char> in_basis_;  // membership flags mirroring basis_
   std::vector<double> row_sign_;  // +1/-1 rhs normalization per row
   std::vector<std::size_t> dual_col_;  // identity-like column per row
+  std::vector<std::size_t> row_slack_col_;  // per row: slack column or cols_
+  std::vector<std::size_t> slack_row_;      // per slack column: its row
   std::vector<double> obj_;  // maximize orientation over original columns
   std::vector<double> red_;  // reduced-cost row maintained by pivot()
 };
@@ -524,10 +614,25 @@ Solution solve_trivial(const Problem& problem, double eps) {
 }  // namespace
 
 Solution solve(const Problem& problem, double eps) {
-  MRWSN_REQUIRE(eps > 0.0, "tolerance must be positive");
-  if (problem.num_variables() == 0) return solve_trivial(problem, eps);
-  Tableau tableau(problem, eps);
-  return tableau.run();
+  SolveOptions options;
+  options.eps = eps;
+  return solve(problem, options);
+}
+
+Solution solve(const Problem& problem, const SolveOptions& options) {
+  MRWSN_REQUIRE(options.eps > 0.0, "tolerance must be positive");
+  if (problem.num_variables() == 0) return solve_trivial(problem, options.eps);
+  if (options.warm_start != nullptr && !options.warm_start->empty()) {
+    // Warm path: pivot straight into the previous basis and run phase 2.
+    // Any failure to apply it falls through to a fresh cold tableau (the
+    // warm attempt mutates its tableau, so it cannot be reused).
+    Tableau tableau(problem, options.eps);
+    Solution solution;
+    if (tableau.run_warm(*options.warm_start, options.max_pivots, &solution))
+      return solution;
+  }
+  Tableau tableau(problem, options.eps);
+  return tableau.run(options.max_pivots);
 }
 
 Solution solve_reference(const Problem& problem, double eps) {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -22,6 +23,7 @@ enum class Status {
   kOptimal,     ///< an optimal basic feasible solution was found
   kInfeasible,  ///< the constraint set admits no solution with x >= 0
   kUnbounded,   ///< the objective is unbounded over the feasible region
+  kIterationLimit,  ///< the pivot budget of SolveOptions ran out first
 };
 
 /// Identifier of a decision variable within a Problem. Variables are
@@ -66,11 +68,52 @@ class Problem {
   std::vector<Row> rows_;
 };
 
+/// One basis slot: which variable is basic in one constraint row. The
+/// entry is expressed against the Problem — a structural VarId or "the
+/// slack of constraint i" — rather than internal tableau columns, so a
+/// basis stays meaningful after further variables are appended to the
+/// problem. That is the contract column generation relies on: the optimal
+/// basis of the previous restricted master warm-starts the next one after
+/// new columns arrive.
+struct BasisEntry {
+  enum class Kind : std::uint8_t { kStructural, kSlack };
+  Kind kind = Kind::kSlack;
+  int index = 0;  ///< VarId for kStructural; constraint index for kSlack
+
+  friend bool operator==(const BasisEntry&, const BasisEntry&) = default;
+};
+
+/// One entry per constraint, in the order constraints were added. Empty
+/// when no reusable basis exists (e.g. a redundant row kept an artificial
+/// basic).
+using Basis = std::vector<BasisEntry>;
+
+/// Knobs for solve(). The defaults reproduce the classic solve() behavior
+/// apart from the iteration limit, which now reports kIterationLimit
+/// instead of throwing.
+struct SolveOptions {
+  /// Feasibility/optimality tolerance.
+  double eps = 1e-9;
+  /// Total pivot budget across both phases; exhausted => kIterationLimit.
+  std::size_t max_pivots = 400000;
+  /// Optional starting basis, typically Solution::basis from a previous
+  /// solve of a problem with the same constraints and a subset of the
+  /// variables. When it applies (non-singular and primal feasible) phase 1
+  /// is skipped entirely; otherwise the solver silently falls back to the
+  /// cold two-phase path.
+  const Basis* warm_start = nullptr;
+};
+
 /// Result of solving a Problem.
 struct Solution {
   Status status = Status::kInfeasible;
   double objective = 0.0;        ///< valid when status == kOptimal
   std::vector<double> values;    ///< per-variable values; valid when kOptimal
+
+  /// The optimal basis (one entry per constraint), for warm-starting a
+  /// re-solve after columns are appended. Empty when not reusable. Valid
+  /// when kOptimal.
+  Basis basis;
 
   /// Dual value (shadow price) per constraint, in the order constraints
   /// were added: the derivative of the optimal objective with respect to
@@ -90,6 +133,9 @@ struct Solution {
 /// the well-scaled problems this library produces (coefficients within a
 /// few orders of magnitude of 1).
 Solution solve(const Problem& problem, double eps = 1e-9);
+
+/// Solve with explicit options (tolerance, pivot budget, warm-start basis).
+Solution solve(const Problem& problem, const SolveOptions& options);
 
 /// Solve with the pre-flattening vector-of-rows tableau, retained as the
 /// reference implementation for the parity test-suite and the before/after

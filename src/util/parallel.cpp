@@ -1,0 +1,17 @@
+#include "util/parallel.hpp"
+
+#include <cstdlib>
+
+namespace mrwsn::util {
+
+std::size_t configured_threads() {
+  if (const char* env = std::getenv("MRWSN_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace mrwsn::util

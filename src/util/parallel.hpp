@@ -1,0 +1,53 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// MRWSN_THREADS-aware fan-out shared by the Eq. 9 rate-vector sweep
+/// (core/bounds.cpp) and the column-generation pricing oracles
+/// (core/independent_set.cpp). Callers write results into indexed slots and
+/// reduce serially, so any thread count produces identical results.
+namespace mrwsn::util {
+
+/// Worker count for indexed fan-outs: MRWSN_THREADS when set (>= 1;
+/// 1 = deterministic serial execution), else the hardware concurrency.
+std::size_t configured_threads();
+
+/// Run fn(i) for every i in [0, count) across configured_threads() workers
+/// pulling from a shared atomic counter. The first exception thrown by any
+/// worker is rethrown on the calling thread after all workers join.
+template <typename Fn>
+void parallel_for(std::size_t count, Fn&& fn) {
+  const std::size_t threads = std::min(configured_threads(), count);
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mu;
+  std::exception_ptr error;
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= count) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!error) error = std::current_exception();
+        return;
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::thread& th : pool) th.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace mrwsn::util

@@ -1,0 +1,360 @@
+#include "core/available_bandwidth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "core/scenarios.hpp"
+#include "core/schedule.hpp"
+#include "geom/topology.hpp"
+#include "net/network.hpp"
+#include "util/rng.hpp"
+
+/// Column generation vs. full enumeration: both solve the same LP (the
+/// optimum over all feasible independent sets equals the optimum over the
+/// maximal ones, and the pricing oracle is exact), so on every scenario
+/// small enough to enumerate the two methods must agree to tight tolerance.
+/// The large-topology tests then exercise universes where enumeration is
+/// not an option and validate the column-generation schedule end to end
+/// with verify_schedule.
+namespace mrwsn::core {
+namespace {
+
+constexpr double kParityTol = 1e-6;
+
+class ThreadEnvGuard {
+ public:
+  explicit ThreadEnvGuard(const char* value) {
+    ::setenv("MRWSN_THREADS", value, 1);
+  }
+  ~ThreadEnvGuard() { ::unsetenv("MRWSN_THREADS"); }
+};
+
+void expect_path_parity(const InterferenceModel& model,
+                        std::span<const LinkFlow> background,
+                        std::span<const net::LinkId> new_path) {
+  const auto enumerated = max_path_bandwidth(model, background, new_path,
+                                             SolveMethod::kFullEnumeration);
+  const auto colgen = max_path_bandwidth(model, background, new_path,
+                                         SolveMethod::kColumnGeneration);
+  EXPECT_FALSE(enumerated.colgen.used);
+  EXPECT_TRUE(colgen.colgen.used);
+  EXPECT_TRUE(colgen.colgen.converged);
+  ASSERT_EQ(colgen.background_feasible, enumerated.background_feasible);
+  if (!enumerated.background_feasible) return;
+  EXPECT_NEAR(colgen.available_mbps, enumerated.available_mbps, kParityTol);
+  const ScheduleCheck check = verify_schedule(model, colgen.schedule);
+  EXPECT_TRUE(check.valid) << check.issue;
+  EXPECT_LE(check.total_time, 1.0 + 1e-9);
+}
+
+void expect_joint_parity(const InterferenceModel& model,
+                         std::span<const LinkFlow> background,
+                         std::span<const std::vector<net::LinkId>> paths,
+                         JointObjective objective) {
+  const auto enumerated = max_joint_bandwidth(
+      model, background, paths, objective, SolveMethod::kFullEnumeration);
+  const auto colgen = max_joint_bandwidth(model, background, paths, objective,
+                                          SolveMethod::kColumnGeneration);
+  EXPECT_TRUE(colgen.colgen.used);
+  EXPECT_TRUE(colgen.colgen.converged);
+  ASSERT_EQ(colgen.background_feasible, enumerated.background_feasible);
+  if (!enumerated.background_feasible) return;
+  // Per-path splits may differ between optimal solutions; the objective
+  // values may not.
+  EXPECT_NEAR(colgen.total_mbps, enumerated.total_mbps, kParityTol);
+  if (objective == JointObjective::kMaxMin) {
+    const auto floor_of = [](const std::vector<double>& mbps) {
+      double floor = mbps.front();
+      for (double f : mbps) floor = std::min(floor, f);
+      return floor;
+    };
+    EXPECT_NEAR(floor_of(colgen.per_path_mbps),
+                floor_of(enumerated.per_path_mbps), kParityTol);
+  }
+  const ScheduleCheck check = verify_schedule(model, colgen.schedule);
+  EXPECT_TRUE(check.valid) << check.issue;
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 1 protocol scenarios
+// ---------------------------------------------------------------------------
+
+TEST(ColumnGenerationParity, ScenarioOneAcrossLoads) {
+  for (double lambda : {0.1, 0.25, 0.4}) {
+    ScenarioOne scenario = make_scenario_one(lambda);
+    expect_path_parity(scenario.model, scenario.background, scenario.new_path);
+    const auto colgen =
+        max_path_bandwidth(scenario.model, scenario.background,
+                           scenario.new_path, SolveMethod::kColumnGeneration);
+    EXPECT_NEAR(colgen.available_mbps, scenario.expected_optimal_mbps(),
+                kParityTol);
+  }
+}
+
+TEST(ColumnGenerationParity, ScenarioTwoChain) {
+  ScenarioTwo scenario = make_scenario_two();
+  expect_path_parity(scenario.model, {}, scenario.chain);
+  const auto colgen = max_path_bandwidth(scenario.model, {}, scenario.chain,
+                                         SolveMethod::kColumnGeneration);
+  EXPECT_NEAR(colgen.available_mbps, ScenarioTwo::kOptimalMbps, kParityTol);
+}
+
+TEST(ColumnGenerationParity, ScenarioTwoWithBackground) {
+  ScenarioTwo scenario = make_scenario_two();
+  const std::vector<LinkFlow> background = {{{0, 1}, 2.0}};
+  const std::vector<net::LinkId> new_path = {2, 3};
+  expect_path_parity(scenario.model, background, new_path);
+}
+
+TEST(ColumnGenerationParity, ScenarioTwoInfeasibleBackgroundAgrees) {
+  // 54 Mbps on every chain link is far beyond any schedule; both solvers
+  // must report the background as undeliverable.
+  ScenarioTwo scenario = make_scenario_two();
+  const std::vector<LinkFlow> background = {{{0, 1, 2, 3}, 54.0}};
+  const std::vector<net::LinkId> new_path = {0};
+  expect_path_parity(scenario.model, background, new_path);
+  const auto colgen = max_path_bandwidth(scenario.model, background, new_path,
+                                         SolveMethod::kColumnGeneration);
+  EXPECT_FALSE(colgen.background_feasible);
+  EXPECT_TRUE(colgen.colgen.converged);
+}
+
+// Ablation-style input: multirate protocol model with rate-dependent
+// conflicts and per-link usable-rate restrictions.
+TEST(ColumnGenerationParity, MultirateProtocolModel) {
+  ProtocolInterferenceModel model(6, abstract_rate_table({54.0, 36.0, 18.0}));
+  for (net::LinkId a = 0; a + 1 < 6; ++a) model.add_conflict_all_rates(a, a + 1);
+  // Far pairs conflict only at the fastest rate (hidden-terminal style).
+  model.add_conflict(0, 0, 3, 0);
+  model.add_conflict(2, 0, 5, 0);
+  model.set_usable_rates(2, {0, 1, 1});  // link 2 cannot use 54 Mbps
+  const std::vector<LinkFlow> background = {{{1}, 4.0}, {{3, 5}, 2.0}};
+  const std::vector<net::LinkId> new_path = {0, 2, 4};
+  expect_path_parity(model, background, new_path);
+}
+
+// ---------------------------------------------------------------------------
+// Physical-model scenarios
+// ---------------------------------------------------------------------------
+
+std::vector<net::LinkId> chain_links(const net::Network& net, std::size_t hops) {
+  std::vector<net::LinkId> links;
+  for (std::size_t i = 0; i < hops; ++i) {
+    const auto id = net.find_link(i, i + 1);
+    EXPECT_TRUE(id.has_value());
+    links.push_back(*id);
+  }
+  return links;
+}
+
+TEST(ColumnGenerationParity, PhysicalChainWithBackground) {
+  const net::Network net(geom::chain(6, 70.0), phy::PhyModel::paper_default());
+  PhysicalInterferenceModel model(net);
+  const std::vector<net::LinkId> path = chain_links(net, 5);
+  const std::vector<LinkFlow> background = {{{path[0], path[1]}, 3.0}};
+  const std::vector<net::LinkId> new_path(path.begin() + 2, path.end());
+  expect_path_parity(model, background, new_path);
+}
+
+TEST(ColumnGenerationParity, Fig2StyleRandomTopology) {
+  // The paper's Section 5.2 shape: 30 nodes in a 400 m x 600 m rectangle
+  // with the 802.11a PHY. Links are chosen by id; parity holds regardless
+  // of whether they form connected routes.
+  Rng rng(7);
+  phy::PhyModel phy = phy::PhyModel::paper_default();
+  auto positions =
+      geom::connected_random_rectangle(30, 400.0, 600.0, phy.max_tx_range(), rng);
+  const net::Network net(std::move(positions), std::move(phy));
+  PhysicalInterferenceModel model(net);
+  ASSERT_GE(net.num_links(), 16u);
+  const std::vector<net::LinkId> new_path = {0, 5, 9};
+  const std::vector<LinkFlow> background = {{{2, 7}, 1.5}, {{11, 13}, 1.0}};
+  expect_path_parity(model, background, new_path);
+}
+
+TEST(ColumnGenerationParity, JointObjectivesProtocolAndPhysical) {
+  ScenarioTwo scenario = make_scenario_two();
+  const std::vector<std::vector<net::LinkId>> chain_paths = {{0, 1}, {2, 3}};
+  const std::vector<LinkFlow> chain_bg = {{{1}, 1.0}};
+  expect_joint_parity(scenario.model, chain_bg, chain_paths,
+                      JointObjective::kMaxMin);
+  expect_joint_parity(scenario.model, chain_bg, chain_paths,
+                      JointObjective::kMaxSum);
+
+  const net::Network net(geom::chain(6, 70.0), phy::PhyModel::paper_default());
+  PhysicalInterferenceModel model(net);
+  const std::vector<net::LinkId> path = chain_links(net, 5);
+  const std::vector<std::vector<net::LinkId>> paths = {
+      {path[0], path[1], path[2]}, {path[3], path[4]}};
+  const std::vector<LinkFlow> background = {{{path[4]}, 2.0}};
+  expect_joint_parity(model, background, paths, JointObjective::kMaxMin);
+  expect_joint_parity(model, background, paths, JointObjective::kMaxSum);
+}
+
+// ---------------------------------------------------------------------------
+// Beyond enumeration reach
+// ---------------------------------------------------------------------------
+
+struct GridScenario {
+  net::Network net;
+  std::vector<net::LinkId> snake;
+  std::vector<LinkFlow> background;
+};
+
+/// A 5x5 grid (70 m spacing) with a 24-link serpentine "new path" through
+/// every node and background flows on column-2 vertical links the snake
+/// does not use: a 28-link universe with two-dimensional interference.
+GridScenario make_grid_scenario() {
+  constexpr std::size_t kRows = 5, kCols = 5;
+  net::Network net(geom::grid(kRows, kCols, 70.0),
+                   phy::PhyModel::paper_default());
+  const auto node = [](std::size_t r, std::size_t c) { return r * kCols + c; };
+  std::vector<net::LinkId> snake;
+  for (std::size_t r = 0; r < kRows; ++r) {
+    for (std::size_t c = 0; c + 1 < kCols; ++c) {
+      const std::size_t lo = (r % 2 == 0) ? c : kCols - 2 - c;
+      const auto id = net.find_link(node(r, lo), node(r, lo + 1));
+      EXPECT_TRUE(id.has_value());
+      snake.push_back(*id);
+    }
+    if (r + 1 < kRows) {
+      const std::size_t c = (r % 2 == 0) ? kCols - 1 : 0;
+      const auto id = net.find_link(node(r, c), node(r + 1, c));
+      EXPECT_TRUE(id.has_value());
+      snake.push_back(*id);
+    }
+  }
+  std::vector<LinkFlow> background;
+  std::vector<net::LinkId> upper, lower;
+  for (std::size_t r = 0; r + 1 < kRows; ++r) {
+    const auto id = net.find_link(node(r, 2), node(r + 1, 2));
+    EXPECT_TRUE(id.has_value());
+    (r < 2 ? upper : lower).push_back(*id);
+  }
+  background.push_back({upper, 1.0});
+  background.push_back({lower, 1.0});
+  return {std::move(net), std::move(snake), std::move(background)};
+}
+
+TEST(ColumnGenerationLargeTopology, ChainBeyondEnumerationReach) {
+  // 26 chain links: the maximal-set count grows exponentially with chain
+  // length (~1.1k sets at 20 links, ~4.7k at 24) and past ~26 links the
+  // enumeration LP blows through its pivot budget — full enumeration can
+  // no longer solve this instance at all. Column generation needs only a
+  // couple hundred columns, and the optimum is known analytically: the
+  // interior links bind at the chain's 1-in-5 spatial reuse of the
+  // 36 Mbps rate, so f = 36/5 (the edge links have slack, which is why
+  // 1 Mbps of background on the first link does not lower the optimum).
+  const net::Network net(geom::chain(27, 70.0), phy::PhyModel::paper_default());
+  PhysicalInterferenceModel model(net);
+  const std::vector<net::LinkId> path = chain_links(net, 26);
+  ASSERT_GE(path.size(), 25u);
+  const std::vector<LinkFlow> background = {{{path[0]}, 1.0}};
+  const auto result = max_path_bandwidth(model, background, path,
+                                         SolveMethod::kColumnGeneration);
+  EXPECT_TRUE(result.colgen.used);
+  EXPECT_TRUE(result.colgen.converged);
+  ASSERT_TRUE(result.background_feasible);
+  EXPECT_NEAR(result.available_mbps, 36.0 / 5.0, 1e-3);
+  std::vector<double> required = accumulate_link_demands(model, background);
+  for (net::LinkId link : path) required[link] += result.available_mbps;
+  const ScheduleCheck check =
+      verify_schedule(model, result.schedule, required, 1e-6);
+  EXPECT_TRUE(check.valid) << check.issue;
+}
+
+TEST(ColumnGenerationLargeTopology, GridUniverseEndToEndAudit) {
+  GridScenario scenario = make_grid_scenario();
+  PhysicalInterferenceModel model(scenario.net);
+  ASSERT_GE(scenario.snake.size() + 4, 25u);
+
+  const auto result =
+      max_path_bandwidth(model, scenario.background, scenario.snake,
+                         SolveMethod::kColumnGeneration);
+  EXPECT_TRUE(result.colgen.used);
+  EXPECT_TRUE(result.colgen.converged);
+  ASSERT_TRUE(result.background_feasible);
+  EXPECT_GT(result.available_mbps, 0.0);
+  // The column pool stays a small fraction of the universe's maximal sets.
+  EXPECT_LE(result.num_independent_sets, 512u);
+
+  // End-to-end audit: the schedule must deliver every background demand
+  // plus the reported bandwidth on every snake link, within one time unit.
+  std::vector<double> required =
+      accumulate_link_demands(model, scenario.background);
+  for (net::LinkId link : scenario.snake)
+    required[link] += result.available_mbps;
+  const ScheduleCheck check =
+      verify_schedule(model, result.schedule, required, 1e-6);
+  EXPECT_TRUE(check.valid) << check.issue;
+}
+
+TEST(ColumnGenerationLargeTopology, AutoPicksColumnGeneration) {
+  GridScenario scenario = make_grid_scenario();
+  PhysicalInterferenceModel model(scenario.net);
+  const auto result = max_path_bandwidth(model, scenario.background,
+                                         scenario.snake, SolveMethod::kAuto);
+  EXPECT_TRUE(result.colgen.used);
+  // And the seed scenarios stay on the enumeration path under kAuto.
+  ScenarioOne small = make_scenario_one(0.25);
+  const auto seed_result =
+      max_path_bandwidth(small.model, small.background, small.new_path);
+  EXPECT_FALSE(seed_result.colgen.used);
+}
+
+TEST(ColumnGenerationLargeTopology, WarmStartsAreExercised) {
+  GridScenario scenario = make_grid_scenario();
+  PhysicalInterferenceModel model(scenario.net);
+  const auto result =
+      max_path_bandwidth(model, scenario.background, scenario.snake,
+                         SolveMethod::kColumnGeneration);
+  EXPECT_GT(result.colgen.rounds, 0u);
+  EXPECT_GT(result.colgen.warm_starts, 0u);
+  EXPECT_EQ(result.num_independent_sets, result.colgen.columns);
+}
+
+TEST(ColumnGenerationLargeTopology, IdenticalAcrossThreadCounts) {
+  GridScenario scenario = make_grid_scenario();
+  AvailableBandwidthResult single, threaded;
+  {
+    ThreadEnvGuard env("1");
+    PhysicalInterferenceModel model(scenario.net);
+    single = max_path_bandwidth(model, scenario.background, scenario.snake,
+                                SolveMethod::kColumnGeneration);
+  }
+  {
+    ThreadEnvGuard env("4");
+    PhysicalInterferenceModel model(scenario.net);
+    threaded = max_path_bandwidth(model, scenario.background, scenario.snake,
+                                  SolveMethod::kColumnGeneration);
+  }
+  EXPECT_DOUBLE_EQ(single.available_mbps, threaded.available_mbps);
+  EXPECT_EQ(single.num_independent_sets, threaded.num_independent_sets);
+  EXPECT_EQ(single.colgen.rounds, threaded.colgen.rounds);
+  ASSERT_EQ(single.schedule.size(), threaded.schedule.size());
+  for (std::size_t i = 0; i < single.schedule.size(); ++i) {
+    EXPECT_EQ(single.schedule[i].set.links, threaded.schedule[i].set.links);
+    EXPECT_EQ(single.schedule[i].set.rates, threaded.schedule[i].set.rates);
+    EXPECT_DOUBLE_EQ(single.schedule[i].time_share,
+                     threaded.schedule[i].time_share);
+  }
+}
+
+TEST(ColumnGenerationOptions, EffortCapsReportNonConvergence) {
+  GridScenario scenario = make_grid_scenario();
+  PhysicalInterferenceModel model(scenario.net);
+  ColumnGenOptions options;
+  options.max_rounds = 1;
+  const auto result =
+      max_path_bandwidth(model, scenario.background, scenario.snake,
+                         SolveMethod::kColumnGeneration, options);
+  EXPECT_TRUE(result.colgen.used);
+  EXPECT_FALSE(result.colgen.converged);
+  EXPECT_LE(result.colgen.rounds, 1u);
+}
+
+}  // namespace
+}  // namespace mrwsn::core

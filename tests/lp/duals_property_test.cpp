@@ -1,0 +1,183 @@
+#include "lp/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/rng.hpp"
+
+/// Property tests for the dual values and the warm-start/iteration-limit
+/// machinery that column generation builds on.
+///
+/// Solution::duals documents each dual as the derivative of the optimal
+/// objective with respect to that constraint's right-hand side. The
+/// property test checks exactly that, numerically: perturb one rhs by
+/// +/- epsilon, re-solve, and compare the central finite difference with
+/// the reported dual. At a degenerate optimum the one-sided derivatives
+/// genuinely differ (the dual is then only a subgradient), so constraints
+/// whose one-sided differences disagree are skipped rather than asserted.
+namespace mrwsn::lp {
+namespace {
+
+/// A random feasible bounded LP: maximize a positive objective subject to
+/// a global budget row (keeps it bounded), random <= rows with
+/// non-negative coefficients, and one modest >= row (feasible alongside
+/// the budget) so both dual signs appear.
+Problem random_problem(Rng& rng, std::size_t num_vars, std::size_t num_rows) {
+  Problem problem(Objective::kMaximize);
+  std::vector<VarId> vars;
+  for (std::size_t v = 0; v < num_vars; ++v)
+    vars.push_back(problem.add_variable(rng.uniform(0.5, 2.0)));
+
+  std::vector<std::pair<VarId, double>> budget;
+  for (VarId v : vars) budget.emplace_back(v, 1.0);
+  problem.add_constraint(budget, Sense::kLessEqual, rng.uniform(4.0, 10.0));
+
+  for (std::size_t r = 0; r < num_rows; ++r) {
+    std::vector<std::pair<VarId, double>> terms;
+    for (VarId v : vars)
+      if (rng.uniform() < 0.7) terms.emplace_back(v, rng.uniform(0.1, 2.0));
+    if (terms.empty()) terms.emplace_back(vars[0], 1.0);
+    problem.add_constraint(terms, Sense::kLessEqual, rng.uniform(1.0, 5.0));
+  }
+
+  // x_0 + x_1 >= small: feasible against the budget row, and binding often
+  // enough to exercise negative duals of >= rows under maximization.
+  problem.add_constraint({{vars[0], 1.0}, {vars[1], 1.0}}, Sense::kGreaterEqual,
+                         rng.uniform(0.1, 0.8));
+  return problem;
+}
+
+Problem with_rhs(const Problem& base, std::size_t row, double rhs) {
+  Problem copy(base.objective());
+  for (std::size_t v = 0; v < base.num_variables(); ++v)
+    copy.add_variable(base.objective_coeffs()[v]);
+  for (std::size_t r = 0; r < base.num_constraints(); ++r) {
+    const Problem::Row& src = base.rows()[r];
+    std::vector<std::pair<VarId, double>> terms;
+    for (std::size_t v = 0; v < src.coeffs.size(); ++v)
+      if (src.coeffs[v] != 0.0)
+        terms.emplace_back(static_cast<VarId>(v), src.coeffs[v]);
+    copy.add_constraint(terms, src.sense, r == row ? rhs : src.rhs);
+  }
+  return copy;
+}
+
+TEST(DualsProperty, MatchFiniteDifferencesOnRandomProblems) {
+  constexpr double kEps = 1e-5;
+  constexpr double kDerivTol = 1e-4;
+  std::size_t checked = 0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    const std::size_t num_vars = 2 + seed % 5;
+    const Problem problem = random_problem(rng, num_vars, 1 + seed % 4);
+    const Solution base = solve(problem);
+    ASSERT_TRUE(base.optimal()) << "seed " << seed;
+    ASSERT_EQ(base.duals.size(), problem.num_constraints());
+
+    for (std::size_t r = 0; r < problem.num_constraints(); ++r) {
+      const double rhs = problem.rows()[r].rhs;
+      const Solution plus = solve(with_rhs(problem, r, rhs + kEps));
+      const Solution minus = solve(with_rhs(problem, r, rhs - kEps));
+      if (!plus.optimal() || !minus.optimal()) continue;
+      const double d_plus = (plus.objective - base.objective) / kEps;
+      const double d_minus = (base.objective - minus.objective) / kEps;
+      // One-sided derivatives that disagree flag a degenerate optimum
+      // where the dual is not unique; the property only holds where the
+      // objective is differentiable in this rhs.
+      if (std::abs(d_plus - d_minus) > kDerivTol) continue;
+      EXPECT_NEAR(base.dual(r), 0.5 * (d_plus + d_minus), kDerivTol)
+          << "seed " << seed << " constraint " << r;
+      ++checked;
+    }
+  }
+  // The skip rules must not hollow the property out.
+  EXPECT_GE(checked, 40u);
+}
+
+TEST(DualsProperty, SignsMatchSenseUnderMaximization) {
+  for (std::uint64_t seed = 100; seed < 110; ++seed) {
+    Rng rng(seed);
+    const Problem problem = random_problem(rng, 4, 3);
+    const Solution solution = solve(problem);
+    ASSERT_TRUE(solution.optimal());
+    for (std::size_t r = 0; r < problem.num_constraints(); ++r) {
+      if (problem.rows()[r].sense == Sense::kLessEqual) {
+        EXPECT_GE(solution.dual(r), -1e-9);
+      } else if (problem.rows()[r].sense == Sense::kGreaterEqual) {
+        EXPECT_LE(solution.dual(r), 1e-9);
+      }
+    }
+  }
+}
+
+TEST(WarmStart, ReachesColdOptimumAfterAppendingColumns) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    const Problem narrow = random_problem(rng, 3, 2);
+    const Solution first = solve(narrow);
+    ASSERT_TRUE(first.optimal());
+    ASSERT_FALSE(first.basis.empty());
+
+    // Rebuild with two extra variables appended after the original ids —
+    // the restricted-master pattern: old VarIds and constraint order are
+    // reproduced, so the old basis still names valid slots.
+    Problem wide(narrow.objective());
+    for (std::size_t v = 0; v < narrow.num_variables(); ++v)
+      wide.add_variable(narrow.objective_coeffs()[v]);
+    std::vector<VarId> extra;
+    for (int e = 0; e < 2; ++e)
+      extra.push_back(wide.add_variable(rng.uniform(0.5, 3.0)));
+    for (const Problem::Row& src : narrow.rows()) {
+      std::vector<std::pair<VarId, double>> terms;
+      for (std::size_t v = 0; v < src.coeffs.size(); ++v)
+        if (src.coeffs[v] != 0.0)
+          terms.emplace_back(static_cast<VarId>(v), src.coeffs[v]);
+      for (VarId e : extra) terms.emplace_back(e, rng.uniform(0.2, 1.5));
+      wide.add_constraint(terms, src.sense, src.rhs);
+    }
+
+    const Solution cold = solve(wide);
+    SolveOptions options;
+    options.warm_start = &first.basis;
+    const Solution warm = solve(wide, options);
+    ASSERT_TRUE(cold.optimal());
+    ASSERT_TRUE(warm.optimal());
+    EXPECT_NEAR(warm.objective, cold.objective, 1e-7) << "seed " << seed;
+  }
+}
+
+TEST(WarmStart, OptimalBasisResolvesWithinOnePivot) {
+  Rng rng(42);
+  const Problem problem = random_problem(rng, 4, 3);
+  const Solution first = solve(problem);
+  ASSERT_TRUE(first.optimal());
+  SolveOptions options;
+  options.warm_start = &first.basis;
+  options.max_pivots = 1;  // resuming from the optimum needs no pivots
+  const Solution warm = solve(problem, options);
+  ASSERT_TRUE(warm.optimal());
+  EXPECT_NEAR(warm.objective, first.objective, 1e-9);
+}
+
+TEST(IterationLimit, ExhaustedBudgetIsReportedNotThrown) {
+  Problem problem(Objective::kMaximize);
+  const VarId x = problem.add_variable(1.0);
+  const VarId y = problem.add_variable(1.0);
+  problem.add_constraint({{x, 1.0}}, Sense::kLessEqual, 1.0);
+  problem.add_constraint({{y, 1.0}}, Sense::kLessEqual, 1.0);
+
+  SolveOptions starved;
+  starved.max_pivots = 0;
+  EXPECT_EQ(solve(problem, starved).status, Status::kIterationLimit);
+
+  const Solution full = solve(problem);
+  ASSERT_TRUE(full.optimal());
+  EXPECT_NEAR(full.objective, 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace mrwsn::lp

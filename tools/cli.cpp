@@ -168,11 +168,26 @@ int cmd_available(const io::ScenarioFile& scenario, net::NodeId src,
     err << "no usable path from " << src << " to " << dst << '\n';
     return 1;
   }
-  const auto lp = core::max_path_bandwidth(model, background, path->links());
+  const std::string method_name = options.get("--method", "auto");
+  core::SolveMethod method = core::SolveMethod::kAuto;
+  if (method_name == "enum") {
+    method = core::SolveMethod::kFullEnumeration;
+  } else if (method_name == "colgen") {
+    method = core::SolveMethod::kColumnGeneration;
+  } else if (method_name != "auto") {
+    err << "unknown --method '" << method_name << "' (auto|enum|colgen)\n";
+    return 1;
+  }
+  const auto lp = core::max_path_bandwidth(model, background, path->links(),
+                                           method);
   const auto input = core::make_path_estimate_input(network, model,
                                                     path->links(), idle.node_idle);
   out << "path (" << routing::metric_name(metric) << "): " << path_text(*path)
-      << '\n';
+      << '\n'
+      << "solver: "
+      << (lp.colgen.used ? "column generation" : "full enumeration") << ", "
+      << lp.num_independent_sets
+      << (lp.colgen.used ? " columns" : " independent sets") << '\n';
   Table table({"method", "Mbps"});
   table.add_row({"Eq. 6 LP (truth)",
                  Table::num(lp.background_feasible ? lp.available_mbps : 0.0, 3)});
@@ -266,6 +281,7 @@ void usage(std::ostream& err) {
          "  mrwsn info scenario.txt\n"
          "  mrwsn capacity scenario.txt <src> <dst>\n"
          "  mrwsn available scenario.txt <src> <dst> [--metric hop|td|avg]\n"
+         "                 [--method auto|enum|colgen]\n"
          "  mrwsn admit scenario.txt [--metric avg] [--policy lp|eq13|...]\n"
          "  mrwsn simulate scenario.txt [--seconds 2] [--arf] [--seed 1]\n";
 }

@@ -1,0 +1,20 @@
+#!/bin/sh
+# Configure a sanitizer-instrumented build tree and run the full test
+# suite under it. This is the memory-safety gate for the solver kernels
+# (bitset enumeration, pricing branch-and-bound, simplex warm starts):
+# ASan catches out-of-bounds/use-after-free, UBSan catches overflow and
+# invalid casts, and -fno-sanitize-recover turns every finding into a
+# test failure.
+#
+# Usage: run_sanitized.sh [build-dir] [sanitizers]
+#   build-dir   defaults to build-asan (sibling of build/)
+#   sanitizers  defaults to address,undefined (MRWSN_SANITIZE syntax)
+set -eu
+REPO=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+BUILD=${1:-"$REPO/build-asan"}
+SANITIZERS=${2:-address,undefined}
+cmake -B "$BUILD" -S "$REPO" -DMRWSN_SANITIZE="$SANITIZERS" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD" -j "$(nproc 2>/dev/null || echo 4)"
+ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc 2>/dev/null || echo 4)"
+echo "sanitized test run ($SANITIZERS) passed"
