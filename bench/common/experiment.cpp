@@ -81,4 +81,13 @@ std::uint64_t seed_from_args(int argc, char** argv, std::uint64_t fallback) {
   return fallback;
 }
 
+std::size_t nodes_from_args(int argc, char** argv, std::size_t fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--nodes") == 0) {
+      return static_cast<std::size_t>(std::stoull(argv[i + 1]));
+    }
+  }
+  return fallback;
+}
+
 }  // namespace mrwsn::benchx

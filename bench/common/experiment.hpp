@@ -39,4 +39,8 @@ std::string describe_path(const net::Network& network, const net::Path& path);
 /// Parse a single optional "--seed N" style argument (defaults otherwise).
 std::uint64_t seed_from_args(int argc, char** argv, std::uint64_t fallback);
 
+/// Parse an optional "--nodes N" argument (defaults otherwise), so the
+/// Fig. 2/3 reproductions also run on denser topologies (e.g. 50 nodes).
+std::size_t nodes_from_args(int argc, char** argv, std::size_t fallback);
+
 }  // namespace mrwsn::benchx

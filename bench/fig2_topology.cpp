@@ -12,7 +12,8 @@
 int main(int argc, char** argv) {
   using namespace mrwsn;
   const std::uint64_t seed = benchx::seed_from_args(argc, argv, 4);
-  benchx::Section52Setup setup = benchx::make_section52_setup(seed);
+  const std::size_t num_nodes = benchx::nodes_from_args(argc, argv, 30);
+  benchx::Section52Setup setup = benchx::make_section52_setup(seed, num_nodes);
   const net::Network& network = setup.network;
 
   std::cout << "Fig. 2 — random topology (seed " << seed << "): " << network.num_nodes()

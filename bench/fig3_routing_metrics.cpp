@@ -39,12 +39,14 @@ routing::AdmissionOutcome run_widest(const benchx::Section52Setup& setup,
 
 int main(int argc, char** argv) {
   const std::uint64_t seed = benchx::seed_from_args(argc, argv, 4);
-  benchx::Section52Setup setup = benchx::make_section52_setup(seed);
+  const std::size_t num_nodes = benchx::nodes_from_args(argc, argv, 30);
+  benchx::Section52Setup setup = benchx::make_section52_setup(seed, num_nodes);
   core::PhysicalInterferenceModel model(setup.network);
 
   std::cout << "Fig. 3 — available bandwidth of each flow's path per routing "
                "metric (seed "
-            << seed << ", demand 2 Mbps, flows join one by one, stop at first "
+            << seed << ", " << num_nodes
+            << " nodes, demand 2 Mbps, flows join one by one, stop at first "
                "unsatisfied flow)\n\n";
 
   std::vector<routing::AdmissionOutcome> outcomes;
@@ -85,7 +87,7 @@ int main(int argc, char** argv) {
   Table sweep({"seed", "hop count", "e2eTD", "average-e2eD", "LP-widest k=5"});
   double sums[4] = {0, 0, 0, 0};
   for (std::uint64_t s = 1; s <= 10; ++s) {
-    benchx::Section52Setup sweep_setup = benchx::make_section52_setup(s);
+    benchx::Section52Setup sweep_setup = benchx::make_section52_setup(s, num_nodes);
     core::PhysicalInterferenceModel sweep_model(sweep_setup.network);
     std::vector<std::string> row{std::to_string(s)};
     for (std::size_t m = 0; m < 3; ++m) {

@@ -149,6 +149,138 @@ void BM_ColumnGen(benchmark::State& state) {
 }
 BENCHMARK(BM_ColumnGen)->Arg(12)->Arg(20)->Arg(24)->Arg(28);
 
+// ---------------------------------------------------------------------------
+// Revised vs dense simplex on the column-generation master (the sparse
+// revised simplex tentpole). Two views:
+//
+//   BM_MasterResolve{Dense,Revised}: the master isolated from the pricing
+//   oracle — replay the colgen re-solve pattern (append columns, re-solve
+//   warm from the previous basis) over a 40+-link chain-shaped Eq. 6
+//   master with a synthetic column pool. The revised engine additionally
+//   chains its RevisedContext, so a warm re-solve reuses the previous
+//   factorization outright.
+//
+//   BM_ColumnGen{Dense,Revised}: the full end-to-end solve on a chain of
+//   that size, where the pricing oracle and interference model share the
+//   bill with the master.
+// ---------------------------------------------------------------------------
+
+/// Deterministic Eq. 6-shaped column pool over a chain-like universe:
+/// singleton coverage first, then 1-in-5 spatial-reuse columns with
+/// multirate speeds — the column structure the pricing oracle emits on
+/// long chains.
+std::vector<std::vector<double>> make_master_pool(std::size_t links,
+                                                  std::size_t total) {
+  const double rates[] = {54.0, 36.0, 18.0, 6.0};
+  Rng rng(23);
+  std::vector<std::vector<double>> sets(total, std::vector<double>(links, 0.0));
+  for (std::size_t s = 0; s < total; ++s) {
+    for (std::size_t e = 0; e < links; ++e) {
+      const bool on = s < links
+                          ? e == s
+                          : ((e % 5) == (s % 5) && rng.uniform() < 0.8) ||
+                                rng.uniform() < 0.05;
+      if (on) sets[s][e] = rates[rng.uniform_int(0, 3)];
+    }
+  }
+  return sets;
+}
+
+lp::Problem build_master(const std::vector<std::vector<double>>& sets,
+                         std::size_t use, std::size_t links) {
+  lp::Problem problem(lp::Objective::kMaximize);
+  const lp::VarId f = problem.add_variable(1.0, "f");
+  std::vector<lp::VarId> lambda;
+  for (std::size_t s = 0; s < use; ++s) lambda.push_back(problem.add_variable(0.0));
+  std::vector<std::pair<lp::VarId, double>> share;
+  for (lp::VarId id : lambda) share.emplace_back(id, 1.0);
+  problem.add_constraint(share, lp::Sense::kLessEqual, 1.0);
+  for (std::size_t e = 0; e < links; ++e) {
+    std::vector<std::pair<lp::VarId, double>> row;
+    for (std::size_t s = 0; s < use; ++s)
+      if (sets[s][e] > 0.0) row.emplace_back(lambda[s], sets[s][e]);
+    row.emplace_back(f, -1.0);
+    // Link 0 carries the probe flow's unit demand; every other link sees a
+    // small background demand (busy airtime from cross traffic), which also
+    // keeps the master non-degenerate the way real scenarios are.
+    problem.add_constraint(row, lp::Sense::kGreaterEqual,
+                           e == 0 ? 1.0 : 0.01 + 0.002 * double(e % 7));
+  }
+  return problem;
+}
+
+void master_resolve_replay(benchmark::State& state, lp::Engine engine) {
+  const std::size_t links = static_cast<std::size_t>(state.range(0));
+  // Second arg: pool depth in columns-per-link. Long colgen runs grow the
+  // master pool well past 10 columns per link, which is where the revised
+  // engine pulls away — the dense tableau re-pivots O(rows x pool) per
+  // warm re-solve while the revised engine re-uses the factorization and
+  // prices a rotating window.
+  const std::size_t total = static_cast<std::size_t>(state.range(1)) * links;
+  const auto sets = make_master_pool(links, total);
+  // Pre-build the whole master sequence: the timed loop measures the LP
+  // engine alone, not the (engine-independent) Problem construction the
+  // pricing loop performs per round.
+  std::vector<lp::Problem> masters;
+  for (std::size_t use = links; use <= total; use += 4)
+    masters.push_back(build_master(sets, use, links));
+  for (auto _ : state) {
+    lp::RevisedContext context;
+    lp::Basis basis;
+    double objective = 0.0;
+    for (const lp::Problem& problem : masters) {
+      lp::SolveOptions options;
+      options.engine = engine;
+      options.warm_start = basis.empty() ? nullptr : &basis;
+      options.context = &context;
+      const lp::Solution solution = lp::solve(problem, options);
+      basis = solution.basis;
+      objective = solution.objective;
+    }
+    benchmark::DoNotOptimize(objective);
+  }
+}
+void BM_MasterResolveDense(benchmark::State& state) {
+  master_resolve_replay(state, lp::Engine::kDense);
+}
+void BM_MasterResolveRevised(benchmark::State& state) {
+  master_resolve_replay(state, lp::Engine::kRevised);
+}
+BENCHMARK(BM_MasterResolveDense)
+    ->Args({40, 10})
+    ->Args({40, 30})
+    ->Args({60, 10});
+BENCHMARK(BM_MasterResolveRevised)
+    ->Args({40, 10})
+    ->Args({40, 30})
+    ->Args({60, 10});
+
+void colgen_engine(benchmark::State& state, lp::Engine engine) {
+  const std::size_t hops = static_cast<std::size_t>(state.range(0));
+  const net::Network network(geom::chain(hops + 1, 70.0),
+                             phy::PhyModel::paper_default());
+  std::vector<net::LinkId> path;
+  for (std::size_t i = 0; i < hops; ++i)
+    path.push_back(*network.find_link(i, i + 1));
+  const std::vector<core::LinkFlow> background = {{{path[0]}, 1.0}};
+  core::ColumnGenOptions options;
+  options.engine = engine;
+  for (auto _ : state) {
+    core::PhysicalInterferenceModel model(network);
+    benchmark::DoNotOptimize(core::max_path_bandwidth(
+        model, background, path, core::SolveMethod::kColumnGeneration,
+        options));
+  }
+}
+void BM_ColumnGenDense(benchmark::State& state) {
+  colgen_engine(state, lp::Engine::kDense);
+}
+void BM_ColumnGenRevised(benchmark::State& state) {
+  colgen_engine(state, lp::Engine::kRevised);
+}
+BENCHMARK(BM_ColumnGenDense)->Arg(40);
+BENCHMARK(BM_ColumnGenRevised)->Arg(40);
+
 // Cost of materializing the bitset conflict matrix over a chain universe
 // (one interferes() SINR evaluation per couple pair on a fresh model).
 void BM_ConflictMatrixBuild(benchmark::State& state) {

@@ -107,11 +107,32 @@ ColGenLoopResult column_generation_loop(
     const std::function<bool(const lp::Solution&)>& stop = nullptr) {
   ColGenLoopResult out;
   lp::Basis basis;
+  lp::RevisedContext context;
   std::vector<double> weights(universe.size());
+  // Wentges (in-out) stability center: the smoothed dual vector
+  // [row0 ; link rows...] of the last successful pricing round.
+  std::vector<double> center;
+  // Price one candidate column against the dual vector `duals`
+  // ([row0 ; link rows...]) and append it to the pool. Returns true when a
+  // new column was added; false means no column scored above the floor or
+  // the priced column already exists in the pool.
+  const auto price_and_add = [&](const std::vector<double>& duals,
+                                 double sign) {
+    ++stats->rounds;
+    for (std::size_t k = 0; k < universe.size(); ++k)
+      weights[k] = std::max(0.0, sign * duals[1 + k]);
+    const double floor =
+        std::max(0.0, -sign * duals[0]) + options.reduced_cost_tol;
+    MaxWeightSetResult priced =
+        model.max_weight_independent_set(universe, weights, floor);
+    return priced.found() && pool->add(std::move(priced.set));
+  };
   for (;;) {
     const lp::Problem problem = build(*pool);
     lp::SolveOptions solve_options;
+    solve_options.engine = options.engine;
     solve_options.warm_start = basis.empty() ? nullptr : &basis;
+    solve_options.context = &context;
     if (solve_options.warm_start != nullptr) ++stats->warm_starts;
     lp::Solution solution = lp::solve(problem, solve_options);
     if (solution.status != lp::Status::kOptimal) {
@@ -131,28 +152,49 @@ ColGenLoopResult column_generation_loop(
     if (stats->rounds >= options.max_rounds ||
         pool->sets.size() >= options.max_columns)
       break;
-    ++stats->rounds;
 
     // Reduced cost of a candidate column α (objective coefficient 0):
     //   rc = -(dual(row0) + Σ_e dual(row_e) · R_α[e]).
     // An improving column (rc < 0 when minimizing, > 0 when maximizing)
     // therefore scores Σ_e w_e R_α[e] above the floor, with the signs
-    // below. The duals' sign constraints make both clamps no-ops up to
-    // round-off.
+    // inside price_and_add. The duals' sign constraints make both clamps
+    // no-ops up to round-off.
     const double sign =
         problem.objective() == lp::Objective::kMinimize ? 1.0 : -1.0;
+    std::vector<double> incumbent(universe.size() + 1);
+    incumbent[0] = out.solution.dual(row0_index);
     for (std::size_t k = 0; k < universe.size(); ++k)
-      weights[k] = std::max(0.0, sign * out.solution.dual(link_rows_begin + k));
-    const double floor =
-        std::max(0.0, -sign * out.solution.dual(row0_index)) +
-        options.reduced_cost_tol;
-    MaxWeightSetResult priced =
-        model.max_weight_independent_set(universe, weights, floor);
-    if (!priced.found() || !pool->add(std::move(priced.set))) {
-      // No improving column — or the "improving" column already exists,
-      // which only happens from dual round-off noise within tolerance.
-      out.converged = true;
-      break;
+      incumbent[1 + k] = out.solution.dual(link_rows_begin + k);
+
+    // Stabilized rounds price against a convex combination of the
+    // stability center and the incumbent duals. A mispricing — the
+    // smoothed duals yield no column, or one the pool already has — falls
+    // back to the exact incumbent duals within the same round, so
+    // convergence is only ever declared from exact pricing.
+    bool added = false;
+    if (options.stabilize && !center.empty() &&
+        stats->rounds >= options.smoothing_warmup) {
+      const double alpha =
+          std::clamp(options.smoothing_alpha, 0.0, 1.0 - 1e-3);
+      std::vector<double> smoothed(universe.size() + 1);
+      for (std::size_t i = 0; i < smoothed.size(); ++i)
+        smoothed[i] = alpha * center[i] + (1.0 - alpha) * incumbent[i];
+      if (price_and_add(smoothed, sign)) {
+        added = true;
+        center = std::move(smoothed);
+      } else {
+        ++stats->mispricings;
+      }
+    }
+    if (!added) {
+      const bool fresh_column = price_and_add(incumbent, sign);
+      center = std::move(incumbent);
+      if (!fresh_column) {
+        // No improving column — or the "improving" column already exists,
+        // which only happens from dual round-off noise within tolerance.
+        out.converged = true;
+        break;
+      }
     }
   }
   stats->columns = pool->sets.size();

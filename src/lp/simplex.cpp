@@ -3,28 +3,52 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <numeric>
 
 #include "util/error.hpp"
 
 namespace mrwsn::lp {
 
 VarId Problem::add_variable(double objective_coeff, std::string name) {
+  MRWSN_REQUIRE(std::isfinite(objective_coeff),
+                "objective coefficient must be finite (got NaN or infinity)");
   objective_coeffs_.push_back(objective_coeff);
   if (name.empty()) name = "x" + std::to_string(objective_coeffs_.size() - 1);
   names_.push_back(std::move(name));
-  for (auto& row : rows_) row.coeffs.push_back(0.0);
+  // Rows are sparse: a variable absent from a row has coefficient zero, so
+  // appending a column (the column-generation hot path) is O(1).
   return static_cast<VarId>(objective_coeffs_.size() - 1);
 }
 
 void Problem::add_constraint(const std::vector<std::pair<VarId, double>>& terms,
                              Sense sense, double rhs) {
   Row row;
-  row.coeffs.assign(num_variables(), 0.0);
+  row.terms.reserve(terms.size());
   for (const auto& [var, coeff] : terms) {
     MRWSN_REQUIRE(var >= 0 && static_cast<std::size_t>(var) < num_variables(),
                   "constraint references an unknown variable");
-    row.coeffs[static_cast<std::size_t>(var)] += coeff;
+    MRWSN_REQUIRE(std::isfinite(coeff),
+                  "constraint coefficient for variable '" +
+                      variable_name(var) +
+                      "' must be finite (got NaN or infinity)");
+    row.terms.emplace_back(var, coeff);
   }
+  MRWSN_REQUIRE(std::isfinite(rhs),
+                "constraint right-hand side must be finite (got NaN or "
+                "infinity)");
+  // Canonical sparse form: sorted by variable, duplicates accumulated,
+  // exact zeros dropped.
+  std::sort(row.terms.begin(), row.terms.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < row.terms.size();) {
+    const VarId var = row.terms[i].first;
+    double acc = 0.0;
+    for (; i < row.terms.size() && row.terms[i].first == var; ++i)
+      acc += row.terms[i].second;
+    if (acc != 0.0) row.terms[out++] = {var, acc};
+  }
+  row.terms.resize(out);
   row.sense = sense;
   row.rhs = rhs;
   rows_.push_back(std::move(row));
@@ -87,7 +111,8 @@ class Tableau {
       const auto& prow = p.rows()[i];
       const double sign = signs[i];
       double* arow = row(i);
-      for (std::size_t j = 0; j < n; ++j) arow[j] = sign * prow.coeffs[j];
+      for (const auto& [var, coeff] : prow.terms)
+        arow[static_cast<std::size_t>(var)] = sign * coeff;
       arow[cols_] = sign * prow.rhs;
       std::size_t slack_col = cols_;  // sentinel: no slack (equality row)
       if (prow.sense == Sense::kLessEqual) {
@@ -133,8 +158,11 @@ class Tableau {
       for (std::size_t j = art_begin_; j < cols_; ++j) phase1[j] = -1.0;
       const LoopResult r = pivot_loop(phase1, /*allow_artificials=*/true);
       if (r == LoopResult::kLimit) return limit_solution();
-      MRWSN_ASSERT(r == LoopResult::kOptimal,
-                   "phase-1 objective cannot be unbounded");
+      // Phase 1 is bounded below by zero, so an "unbounded" verdict can
+      // only mean accumulated round-off broke the ratio test. Report
+      // non-convergence instead of asserting: this engine is the fallback
+      // of last resort and must not abort the process.
+      if (r != LoopResult::kOptimal) return limit_solution();
       double phase1_value = 0.0;
       for (std::size_t i = 0; i < rows_; ++i)
         if (basis_[i] >= art_begin_) phase1_value -= row(i)[cols_];
@@ -424,7 +452,8 @@ class ReferenceTableau {
     for (std::size_t i = 0; i < m; ++i) {
       const auto& row = p.rows()[i];
       const double sign = signs[i];
-      for (std::size_t j = 0; j < n; ++j) a_[i][j] = sign * row.coeffs[j];
+      for (const auto& [var, coeff] : row.terms)
+        a_[i][static_cast<std::size_t>(var)] = sign * coeff;
       a_[i][cols_] = sign * row.rhs;
       std::size_t slack_col = cols_;
       if (row.sense == Sense::kLessEqual) {
@@ -613,6 +642,621 @@ Solution solve_trivial(const Problem& problem, double eps) {
 
 }  // namespace
 
+/// One product-form (eta) update of the basis factorization: after the
+/// pivot at basis position `pos` with FTRAN'd entering column `w`,
+/// B_new = B_old * E where E is the identity with column `pos` replaced by
+/// `w`. FTRAN applies E^{-1} left-to-right after the LU solve; BTRAN
+/// applies the transposed inverses right-to-left before it.
+struct RevisedEta {
+  std::size_t pos = 0;
+  std::vector<double> w;
+};
+
+struct RevisedContext::State {
+  std::size_t rows = 0;
+  Basis basis;                    ///< the basis the factorization belongs to
+  std::vector<double> lu;         ///< rows x rows packed L\U of B0
+  std::vector<std::size_t> perm;  ///< LU row permutation
+  std::vector<RevisedEta> etas;   ///< updates accumulated on top of lu
+};
+
+RevisedContext::RevisedContext() = default;
+RevisedContext::~RevisedContext() = default;
+RevisedContext::RevisedContext(RevisedContext&&) noexcept = default;
+RevisedContext& RevisedContext::operator=(RevisedContext&&) noexcept = default;
+
+void RevisedContext::reset() { state_.reset(); }
+
+/// Sparse revised two-phase primal simplex. Shares the dense Tableau's
+/// column layout (structural, slack, artificial columns; rows
+/// sign-normalized to rhs >= 0) and pivot rules (Dantzig with a permanent
+/// switch to Bland's anti-cycling rule after a stall, Bland tie-break in
+/// the ratio test), so the two engines agree on status and optimum — the
+/// differential fuzz harness holds them to that.
+///
+/// Instead of updating an m x cols tableau on every pivot, it keeps an LU
+/// factorization (partial pivoting) of the m x m basis matrix plus an eta
+/// file of product-form updates, FTRAN/BTRANs vectors through them, and
+/// prices candidate columns through their sparse entries: per-pivot cost
+/// O(m^2 + nnz(A)) instead of O(m * cols), which is what lets the
+/// column-generation master scale to thousands of pooled columns. The
+/// basis is refactorized every `refactor_interval` eta updates (and on
+/// warm starts, unless a RevisedContext supplies the factorization of the
+/// previous optimum, in which case pivoting-in is skipped entirely).
+class RevisedSimplex {
+ public:
+  RevisedSimplex(const Problem& p, double eps, std::size_t refactor_interval)
+      : eps_(eps), refactor_interval_(std::max<std::size_t>(1, refactor_interval)) {
+    const std::size_t n = p.num_variables();
+    const std::size_t m = p.num_constraints();
+
+    std::size_t num_slack = 0;
+    std::size_t num_art = 0;
+    std::vector<double> signs(m, 1.0);
+    std::vector<char> needs_art(m, 0);
+    for (std::size_t i = 0; i < m; ++i) {
+      const auto& row = p.rows()[i];
+      signs[i] = row.rhs < 0.0 ? -1.0 : 1.0;
+      if (row.sense != Sense::kEqual) ++num_slack;
+      const bool slack_is_basic =
+          (row.sense == Sense::kLessEqual && signs[i] > 0.0) ||
+          (row.sense == Sense::kGreaterEqual && signs[i] < 0.0);
+      needs_art[i] = slack_is_basic ? 0 : 1;
+      if (needs_art[i]) ++num_art;
+    }
+
+    n_ = n;
+    slack_begin_ = n;
+    art_begin_ = n + num_slack;
+    cols_ = n + num_slack + num_art;
+    rows_ = m;
+
+    row_sign_ = std::move(signs);
+    row_slack_col_.assign(m, cols_);
+    slack_row_.assign(num_slack, 0);
+    b_.assign(m, 0.0);
+    initial_head_.assign(m, 0);
+
+    // Sparse columns (CSC): count, then fill. Structural columns carry the
+    // sign-normalized row coefficients; slack and artificial columns are
+    // singletons.
+    col_start_.assign(cols_ + 1, 0);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (const auto& term : p.rows()[i].terms)
+        ++col_start_[static_cast<std::size_t>(term.first) + 1];
+    }
+    std::size_t slack = slack_begin_;
+    std::size_t art = art_begin_;
+    for (std::size_t i = 0; i < m; ++i) {
+      const auto& prow = p.rows()[i];
+      if (prow.sense != Sense::kEqual) {
+        row_slack_col_[i] = slack;
+        slack_row_[slack - slack_begin_] = i;
+        ++col_start_[slack + 1];
+        ++slack;
+      }
+      if (needs_art[i]) {
+        initial_head_[i] = art;
+        ++col_start_[art + 1];
+        ++art;
+      } else {
+        initial_head_[i] = row_slack_col_[i];
+      }
+    }
+    for (std::size_t j = 0; j < cols_; ++j) col_start_[j + 1] += col_start_[j];
+    entry_row_.assign(col_start_[cols_], 0);
+    entry_val_.assign(col_start_[cols_], 0.0);
+    std::vector<std::size_t> fill(col_start_.begin(), col_start_.end() - 1);
+    art = art_begin_;
+    for (std::size_t i = 0; i < m; ++i) {
+      const auto& prow = p.rows()[i];
+      const double sign = row_sign_[i];
+      for (const auto& [var, coeff] : prow.terms) {
+        const std::size_t j = static_cast<std::size_t>(var);
+        entry_row_[fill[j]] = i;
+        entry_val_[fill[j]] = sign * coeff;
+        ++fill[j];
+      }
+      const std::size_t slack_col = row_slack_col_[i];
+      if (slack_col != cols_) {
+        entry_row_[fill[slack_col]] = i;
+        entry_val_[fill[slack_col]] =
+            sign * (prow.sense == Sense::kLessEqual ? 1.0 : -1.0);
+        ++fill[slack_col];
+      }
+      if (needs_art[i]) {
+        entry_row_[fill[art]] = i;
+        entry_val_[fill[art]] = 1.0;
+        ++art;
+      }
+      b_[i] = sign * prow.rhs;
+    }
+
+    obj_.assign(cols_, 0.0);
+    const double obj_sign = p.objective() == Objective::kMaximize ? 1.0 : -1.0;
+    for (std::size_t j = 0; j < n; ++j) obj_[j] = obj_sign * p.objective_coeffs()[j];
+    obj_sign_ = obj_sign;
+  }
+
+  /// Cold two-phase solve, mirroring Tableau::run.
+  Solution run(std::size_t max_pivots) {
+    budget_ = max_pivots;
+    head_ = initial_head_;
+    in_basis_.assign(cols_, 0);
+    for (std::size_t c : head_) in_basis_[c] = 1;
+    if (!refactorize()) {
+      // The initial basis is the identity; this cannot fail.
+      numerical_failure_ = true;
+      return Solution{};
+    }
+    x_ = b_;
+
+    if (art_begin_ < cols_) {
+      std::vector<double> phase1(cols_, 0.0);
+      for (std::size_t j = art_begin_; j < cols_; ++j) phase1[j] = -1.0;
+      const LoopResult r = pivot_loop(phase1, /*allow_artificials=*/true);
+      if (r == LoopResult::kNumericalFailure) return Solution{};
+      if (r == LoopResult::kLimit) return limit_solution();
+      // Phase 1 is bounded below by zero; "unbounded" here means the eta
+      // file drifted. Flag a numerical failure so solve() falls back to
+      // the dense engine for this instance.
+      if (r != LoopResult::kOptimal) {
+        numerical_failure_ = true;
+        return Solution{};
+      }
+      double phase1_value = 0.0;
+      for (std::size_t k = 0; k < rows_; ++k)
+        if (head_[k] >= art_begin_) phase1_value -= x_[k];
+      if (phase1_value < -eps_) return Solution{};
+      drive_out_artificials();
+      if (numerical_failure_) return Solution{};
+    }
+    return phase2();
+  }
+
+  /// Install `warm` and run phase 2 from it, skipping phase 1. When
+  /// `context` holds the factorization of exactly this basis (the
+  /// column-generation re-solve pattern), it is reused and no
+  /// refactorization happens at all. Returns false when the basis does not
+  /// apply (wrong size, unknown entries, singular, primal infeasible); the
+  /// caller must rerun cold.
+  bool run_warm(const Basis& warm, std::size_t max_pivots, Solution* out,
+                RevisedContext* context) {
+    budget_ = max_pivots;
+    if (warm.size() != rows_) return false;
+    head_.assign(rows_, cols_);
+    in_basis_.assign(cols_, 0);
+    for (std::size_t k = 0; k < rows_; ++k) {
+      const BasisEntry& entry = warm[k];
+      std::size_t c = cols_;
+      if (entry.kind == BasisEntry::Kind::kStructural) {
+        if (entry.index < 0 || static_cast<std::size_t>(entry.index) >= n_)
+          return false;
+        c = static_cast<std::size_t>(entry.index);
+      } else {
+        if (entry.index < 0 || static_cast<std::size_t>(entry.index) >= rows_)
+          return false;
+        c = row_slack_col_[static_cast<std::size_t>(entry.index)];
+        if (c == cols_) return false;  // equality row: no slack to be basic
+      }
+      if (in_basis_[c]) return false;
+      in_basis_[c] = 1;
+      head_[k] = c;
+    }
+
+    // Context fast path: the previous optimum's factorization applies
+    // verbatim when the basis entries match — appending columns changes
+    // neither the rows nor any pre-existing column, so B is unchanged.
+    bool reused = false;
+    if (context != nullptr && context->state_ != nullptr) {
+      const RevisedContext::State& state = *context->state_;
+      if (state.rows == rows_ && state.basis == warm) {
+        lu_ = state.lu;
+        perm_ = state.perm;
+        etas_ = state.etas;
+        transpose_lu();
+        reused = true;
+      }
+    }
+    if (!reused && !refactorize()) return false;
+
+    // The warm basis must be primal feasible here (it always is when the
+    // problem only gained columns since the basis was optimal). Tiny
+    // negative values from factorization round-off are clamped; anything
+    // larger means a genuinely different problem.
+    x_ = b_;
+    ftran(&x_);
+    for (std::size_t k = 0; k < rows_; ++k)
+      if (x_[k] < -1e-7) return false;
+    for (std::size_t k = 0; k < rows_; ++k)
+      if (x_[k] < 0.0) x_[k] = 0.0;
+    *out = phase2();
+    return true;
+  }
+
+  /// Store the factorization of this solve's final basis in `context` for
+  /// the next warm-started re-solve. Clears the context when the basis is
+  /// not reusable.
+  void save_context(RevisedContext* context, const Solution& solution) const {
+    if (context == nullptr) return;
+    if (solution.status != Status::kOptimal || solution.basis.size() != rows_) {
+      context->reset();
+      return;
+    }
+    auto state = std::make_unique<RevisedContext::State>();
+    state->rows = rows_;
+    state->basis = solution.basis;
+    state->lu = lu_;
+    state->perm = perm_;
+    state->etas = etas_;
+    context->state_ = std::move(state);
+  }
+
+  bool numerical_failure() const { return numerical_failure_; }
+
+ private:
+  enum class LoopResult { kOptimal, kUnbounded, kLimit, kNumericalFailure };
+
+  static Solution limit_solution() {
+    Solution solution;
+    solution.status = Status::kIterationLimit;
+    return solution;
+  }
+
+  /// Rebuild the LU factorization (partial pivoting) of the current basis
+  /// and clear the eta file. Returns false on a (numerically) singular
+  /// basis matrix.
+  bool refactorize() {
+    const std::size_t m = rows_;
+    lu_.assign(m * m, 0.0);
+    for (std::size_t k = 0; k < m; ++k) {
+      const std::size_t c = head_[k];
+      for (std::size_t e = col_start_[c]; e < col_start_[c + 1]; ++e)
+        lu_[entry_row_[e] * m + k] = entry_val_[e];
+    }
+    perm_.resize(m);
+    std::iota(perm_.begin(), perm_.end(), std::size_t{0});
+    for (std::size_t k = 0; k < m; ++k) {
+      std::size_t piv = k;
+      double best = std::abs(lu_[k * m + k]);
+      for (std::size_t i = k + 1; i < m; ++i) {
+        const double a = std::abs(lu_[i * m + k]);
+        if (a > best) {
+          best = a;
+          piv = i;
+        }
+      }
+      if (best < kSingularTol) return false;
+      if (piv != k) {
+        for (std::size_t j = 0; j < m; ++j)
+          std::swap(lu_[k * m + j], lu_[piv * m + j]);
+        std::swap(perm_[k], perm_[piv]);
+      }
+      const double d = lu_[k * m + k];
+      for (std::size_t i = k + 1; i < m; ++i) {
+        const double f = lu_[i * m + k] / d;
+        lu_[i * m + k] = f;
+        if (f == 0.0) continue;
+        for (std::size_t j = k + 1; j < m; ++j)
+          lu_[i * m + j] -= f * lu_[k * m + j];
+      }
+    }
+    transpose_lu();
+    etas_.clear();
+    return true;
+  }
+
+  /// FTRAN/BTRAN walk columns of L/U; keep a column-major copy so those
+  /// inner loops are contiguous instead of stride-m (the stride-m walks
+  /// were the dominant cost of warm re-solves — a cache miss per element).
+  void transpose_lu() {
+    const std::size_t m = rows_;
+    lut_.resize(m * m);
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t j = 0; j < m; ++j) lut_[j * m + i] = lu_[i * m + j];
+  }
+
+  /// v := B^{-1} v. Input indexed by constraint row, output by basis
+  /// position.
+  void ftran(std::vector<double>* v) const {
+    const std::size_t m = rows_;
+    std::vector<double>& x = work_;
+    x.resize(m);
+    for (std::size_t i = 0; i < m; ++i) x[i] = (*v)[perm_[i]];
+    for (std::size_t k = 0; k < m; ++k) {
+      const double t = x[k];
+      if (t == 0.0) continue;
+      const double* col = &lut_[k * m];
+      for (std::size_t i = k + 1; i < m; ++i) x[i] -= col[i] * t;
+    }
+    for (std::size_t k = m; k-- > 0;) {
+      const double* col = &lut_[k * m];
+      const double t = x[k] / col[k];
+      x[k] = t;
+      if (t == 0.0) continue;
+      for (std::size_t i = 0; i < k; ++i) x[i] -= col[i] * t;
+    }
+    v->assign(x.begin(), x.end());
+    for (const RevisedEta& eta : etas_) {
+      const double t = (*v)[eta.pos] / eta.w[eta.pos];
+      if (t != 0.0) {
+        for (std::size_t i = 0; i < m; ++i) (*v)[i] -= eta.w[i] * t;
+      }
+      (*v)[eta.pos] = t;
+    }
+  }
+
+  /// v := B^{-T} v (row-vector sense: solves y^T B = v^T). Input indexed
+  /// by basis position, output by constraint row.
+  void btran(std::vector<double>* v) const {
+    const std::size_t m = rows_;
+    for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
+      const RevisedEta& eta = *it;
+      double t = 0.0;
+      for (std::size_t i = 0; i < m; ++i) t += (*v)[i] * eta.w[i];
+      t -= (*v)[eta.pos] * eta.w[eta.pos];
+      (*v)[eta.pos] = ((*v)[eta.pos] - t) / eta.w[eta.pos];
+    }
+    // B0^T y = v with B0 = P^T L U:  U^T z = v (forward), L^T u = z
+    // (backward), y[perm[i]] = u[i].
+    std::vector<double>& z = work_;
+    z.resize(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      const double* col = &lut_[i * m];
+      double acc = (*v)[i];
+      for (std::size_t k = 0; k < i; ++k) acc -= col[k] * z[k];
+      z[i] = acc / col[i];
+    }
+    for (std::size_t i = m; i-- > 0;) {
+      const double* col = &lut_[i * m];
+      double acc = z[i];
+      for (std::size_t k = i + 1; k < m; ++k) acc -= col[k] * z[k];
+      z[i] = acc;
+    }
+    for (std::size_t i = 0; i < m; ++i) (*v)[perm_[i]] = z[i];
+  }
+
+  double column_dot(std::size_t col, const std::vector<double>& y) const {
+    double acc = 0.0;
+    for (std::size_t e = col_start_[col]; e < col_start_[col + 1]; ++e)
+      acc += entry_val_[e] * y[entry_row_[e]];
+    return acc;
+  }
+
+  void scatter_column(std::size_t col, std::vector<double>* v) const {
+    v->assign(rows_, 0.0);
+    for (std::size_t e = col_start_[col]; e < col_start_[col + 1]; ++e)
+      (*v)[entry_row_[e]] = entry_val_[e];
+  }
+
+  /// Recompute the basic values from scratch (after a refactorization).
+  void recompute_values() {
+    x_ = b_;
+    ftran(&x_);
+    for (double& v : x_)
+      if (v < 0.0 && v > -1e-7) v = 0.0;
+  }
+
+  /// Core revised simplex loop: same entering/leaving rules as the dense
+  /// tableau (Dantzig, permanent Bland switch after a stall, Bland
+  /// tie-break in the ratio test), reduced costs priced fresh from the
+  /// duals every iteration.
+  LoopResult pivot_loop(const std::vector<double>& c, bool allow_artificials) {
+    const std::size_t limit = allow_artificials ? cols_ : art_begin_;
+    std::vector<double> y(rows_);
+    for (std::size_t iter = 0;; ++iter) {
+      const bool bland = iter >= kDantzigIters;
+
+      // Duals of the current basis: y^T = c_B^T B^{-1}.
+      y.resize(rows_);
+      for (std::size_t k = 0; k < rows_; ++k) y[k] = c[head_[k]];
+      btran(&y);
+
+      std::size_t entering = cols_;
+      double best_reduced = eps_;
+      if (bland) {
+        for (std::size_t j = 0; j < limit; ++j) {
+          if (in_basis_[j]) continue;
+          if (c[j] - column_dot(j, y) > best_reduced) {
+            entering = j;  // first (lowest-index) improving column
+            break;
+          }
+        }
+      } else {
+        // Partial (rotating-window) pricing: price kPriceWindow candidates
+        // starting where the last pivot left off and enter the best of the
+        // first window that contains an improving column. Optimality is
+        // only declared after a full wrap prices every column — same
+        // certificate as a full Dantzig scan at a fraction of the cost,
+        // since warm re-solves need a handful of pivots but each full scan
+        // touches every nonzero of the matrix.
+        std::size_t j = price_start_ < limit ? price_start_ : 0;
+        for (std::size_t scanned = 0; scanned < limit;) {
+          const std::size_t window_end =
+              std::min(scanned + kPriceWindow, limit);
+          for (; scanned < window_end; ++scanned) {
+            if (!in_basis_[j]) {
+              const double reduced = c[j] - column_dot(j, y);
+              if (reduced > best_reduced) {
+                entering = j;
+                best_reduced = reduced;
+              }
+            }
+            j = j + 1 == limit ? 0 : j + 1;
+          }
+          if (entering != cols_) break;
+        }
+        price_start_ = j;
+      }
+      if (entering == cols_) return LoopResult::kOptimal;
+
+      std::vector<double> w;
+      scatter_column(entering, &w);
+      ftran(&w);
+
+      // Ratio test; Bland tie-break on the smallest basic variable index.
+      std::size_t leaving = rows_;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (std::size_t k = 0; k < rows_; ++k) {
+        if (w[k] > eps_) {
+          const double ratio = x_[k] / w[k];
+          if (ratio < best_ratio - eps_ ||
+              (ratio < best_ratio + eps_ &&
+               (leaving == rows_ || head_[k] < head_[leaving]))) {
+            best_ratio = ratio;
+            leaving = k;
+          }
+        }
+      }
+      if (leaving == rows_) return LoopResult::kUnbounded;
+
+      if (budget_ == 0) return LoopResult::kLimit;
+      --budget_;
+
+      const double theta = x_[leaving] / w[leaving];
+      for (std::size_t k = 0; k < rows_; ++k) x_[k] -= theta * w[k];
+      x_[leaving] = theta;
+      in_basis_[head_[leaving]] = 0;
+      head_[leaving] = entering;
+      in_basis_[entering] = 1;
+      etas_.push_back({leaving, std::move(w)});
+      if (etas_.size() >= refactor_interval_) {
+        if (!refactorize()) {
+          numerical_failure_ = true;
+          return LoopResult::kNumericalFailure;
+        }
+        recompute_values();
+      }
+    }
+  }
+
+  /// Phase 2 on the real objective plus solution extraction; artificials
+  /// may no longer enter (they can linger basic at zero on redundant rows,
+  /// exactly as in the dense path).
+  Solution phase2() {
+    Solution solution;
+    const LoopResult r = pivot_loop(obj_, /*allow_artificials=*/false);
+    if (r == LoopResult::kNumericalFailure) return solution;
+    if (r == LoopResult::kLimit) return limit_solution();
+    if (r == LoopResult::kUnbounded) {
+      solution.status = Status::kUnbounded;
+      return solution;
+    }
+
+    solution.status = Status::kOptimal;
+    solution.values.assign(n_, 0.0);
+    for (std::size_t k = 0; k < rows_; ++k)
+      if (head_[k] < n_) solution.values[head_[k]] = x_[k];
+    double obj_value = 0.0;
+    for (std::size_t j = 0; j < n_; ++j) obj_value += obj_[j] * solution.values[j];
+    solution.objective = obj_sign_ * obj_value;
+
+    // Duals straight from BTRAN of the basic costs; undo the row sign
+    // normalization and the min/max flip.
+    std::vector<double> y(rows_);
+    for (std::size_t k = 0; k < rows_; ++k) y[k] = obj_[head_[k]];
+    btran(&y);
+    solution.duals.assign(rows_, 0.0);
+    for (std::size_t i = 0; i < rows_; ++i)
+      solution.duals[i] = obj_sign_ * row_sign_[i] * y[i];
+
+    // Export the basis in the problem-level representation for warm
+    // starts; a basic artificial (redundant row) has no such form and
+    // makes the basis non-reusable, as in the dense path.
+    solution.basis.reserve(rows_);
+    for (std::size_t k = 0; k < rows_; ++k) {
+      const std::size_t c = head_[k];
+      if (c < n_) {
+        solution.basis.push_back(
+            {BasisEntry::Kind::kStructural, static_cast<int>(c)});
+      } else if (c < art_begin_) {
+        solution.basis.push_back(
+            {BasisEntry::Kind::kSlack,
+             static_cast<int>(slack_row_[c - slack_begin_])});
+      } else {
+        solution.basis.clear();
+        break;
+      }
+    }
+    return solution;
+  }
+
+  /// After phase 1, pivot any artificial still basic (at level ~0) out of
+  /// the basis; if its row of B^{-1}A has no eligible entry the row is
+  /// redundant and the artificial stays basic at zero (barred from
+  /// re-entering).
+  void drive_out_artificials() {
+    std::vector<double> rho, w;
+    for (std::size_t k = 0; k < rows_; ++k) {
+      if (head_[k] < art_begin_) continue;
+      MRWSN_ASSERT(std::abs(x_[k]) <= 1e-6,
+                   "basic artificial with nonzero value after feasible phase 1");
+      rho.assign(rows_, 0.0);
+      rho[k] = 1.0;
+      btran(&rho);  // row k of B^{-1}
+      for (std::size_t j = 0; j < art_begin_; ++j) {
+        if (in_basis_[j]) continue;
+        if (std::abs(column_dot(j, rho)) <= eps_) continue;
+        scatter_column(j, &w);
+        ftran(&w);
+        if (std::abs(w[k]) <= eps_) continue;  // eta round-off disagreed
+        const double theta = x_[k] / w[k];
+        for (std::size_t i = 0; i < rows_; ++i) x_[i] -= theta * w[i];
+        x_[k] = theta;
+        in_basis_[head_[k]] = 0;
+        head_[k] = j;
+        in_basis_[j] = 1;
+        etas_.push_back({k, w});
+        if (etas_.size() >= refactor_interval_) {
+          if (!refactorize()) {
+            numerical_failure_ = true;
+            return;
+          }
+          recompute_values();
+        }
+        break;
+      }
+    }
+  }
+
+  static constexpr std::size_t kDantzigIters = 20000;
+  static constexpr std::size_t kPriceWindow = 64;
+  static constexpr double kSingularTol = 1e-9;
+
+  double eps_;
+  double obj_sign_ = 1.0;
+  std::size_t n_ = 0;           // original variables
+  std::size_t slack_begin_ = 0;
+  std::size_t art_begin_ = 0;
+  std::size_t cols_ = 0;        // total structural columns
+  std::size_t rows_ = 0;
+  std::size_t refactor_interval_;
+  std::size_t budget_ = 0;       // remaining pivots before kIterationLimit
+  std::size_t price_start_ = 0;  // rotating partial-pricing cursor
+  bool numerical_failure_ = false;
+
+  std::vector<double> row_sign_;            // +1/-1 rhs normalization per row
+  std::vector<std::size_t> row_slack_col_;  // per row: slack column or cols_
+  std::vector<std::size_t> slack_row_;      // per slack column: its row
+  std::vector<double> b_;                   // normalized rhs
+  std::vector<double> obj_;                 // maximize-orientation costs
+  std::vector<std::size_t> initial_head_;   // all-slack/artificial basis
+
+  std::vector<std::size_t> col_start_;  // CSC offsets (cols_ + 1)
+  std::vector<std::size_t> entry_row_;
+  std::vector<double> entry_val_;
+
+  std::vector<std::size_t> head_;  // basic column per basis position
+  std::vector<char> in_basis_;
+  std::vector<double> x_;          // basic values by position
+
+  std::vector<double> lu_;            // rows_ x rows_ packed L\U of B0
+  std::vector<double> lut_;           // column-major copy for FTRAN/BTRAN
+  std::vector<std::size_t> perm_;     // LU row permutation
+  std::vector<RevisedEta> etas_;      // product-form updates on top of lu_
+  mutable std::vector<double> work_;  // FTRAN/BTRAN scratch
+};
+
 Solution solve(const Problem& problem, double eps) {
   SolveOptions options;
   options.eps = eps;
@@ -622,17 +1266,51 @@ Solution solve(const Problem& problem, double eps) {
 Solution solve(const Problem& problem, const SolveOptions& options) {
   MRWSN_REQUIRE(options.eps > 0.0, "tolerance must be positive");
   if (problem.num_variables() == 0) return solve_trivial(problem, options.eps);
-  if (options.warm_start != nullptr && !options.warm_start->empty()) {
-    // Warm path: pivot straight into the previous basis and run phase 2.
-    // Any failure to apply it falls through to a fresh cold tableau (the
-    // warm attempt mutates its tableau, so it cannot be reused).
+
+  if (options.engine == Engine::kDense) {
+    if (options.warm_start != nullptr && !options.warm_start->empty()) {
+      // Warm path: pivot straight into the previous basis and run phase 2.
+      // Any failure to apply it falls through to a fresh cold tableau (the
+      // warm attempt mutates its tableau, so it cannot be reused).
+      Tableau tableau(problem, options.eps);
+      Solution solution;
+      if (tableau.run_warm(*options.warm_start, options.max_pivots, &solution))
+        return solution;
+    }
     Tableau tableau(problem, options.eps);
-    Solution solution;
-    if (tableau.run_warm(*options.warm_start, options.max_pivots, &solution))
-      return solution;
+    return tableau.run(options.max_pivots);
   }
-  Tableau tableau(problem, options.eps);
-  return tableau.run(options.max_pivots);
+
+  // Revised engine. A numerically singular refactorization mid-solve is
+  // the one failure mode the eta-update scheme adds over the dense
+  // tableau; it falls back to the dense engine rather than surfacing a
+  // numerical artifact to the caller.
+  if (options.warm_start != nullptr && !options.warm_start->empty()) {
+    RevisedSimplex simplex(problem, options.eps, options.refactor_interval);
+    Solution solution;
+    if (simplex.run_warm(*options.warm_start, options.max_pivots, &solution,
+                         options.context)) {
+      if (!simplex.numerical_failure()) {
+        simplex.save_context(options.context, solution);
+        return solution;
+      }
+    } else if (simplex.numerical_failure()) {
+      SolveOptions dense = options;
+      dense.engine = Engine::kDense;
+      return solve(problem, dense);
+    }
+  }
+  RevisedSimplex simplex(problem, options.eps, options.refactor_interval);
+  Solution solution = simplex.run(options.max_pivots);
+  if (simplex.numerical_failure()) {
+    if (options.context != nullptr) options.context->reset();
+    SolveOptions dense = options;
+    dense.engine = Engine::kDense;
+    dense.warm_start = nullptr;
+    return solve(problem, dense);
+  }
+  simplex.save_context(options.context, solution);
+  return solution;
 }
 
 Solution solve_reference(const Problem& problem, double eps) {

@@ -1,19 +1,26 @@
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
-/// A small, self-contained dense linear-programming solver.
+/// A small, self-contained linear-programming solver.
 ///
 /// The paper's available-bandwidth model (Eq. 6) and its clique-based upper
-/// bound (Eq. 9) are linear programs over schedule time shares. The problem
-/// instances are small (tens of rows, up to a few thousand columns), so a
-/// dense two-phase primal simplex with Bland's anti-cycling rule is exact
-/// enough and fast enough; no external solver is used anywhere in the
-/// repository.
+/// bound (Eq. 9) are linear programs over schedule time shares: few rows
+/// (one per universe link plus the airtime budget) but column pools that
+/// grow into the thousands under column generation. The production engine
+/// is a sparse revised two-phase primal simplex — columns stored sparse, an
+/// LU factorization of the basis with product-form (eta-file) updates
+/// between pivots, periodic refactorization — whose per-iteration cost
+/// scales with the problem's nonzeros instead of the full tableau. The
+/// dense full-tableau simplex is retained as Engine::kDense, the
+/// differential reference the fuzz harness checks the revised method
+/// against. No external solver is used anywhere in the repository.
 namespace mrwsn::lp {
 
 enum class Objective { kMaximize, kMinimize };
@@ -51,11 +58,24 @@ class Problem {
   Objective objective() const { return objective_; }
   const std::string& variable_name(VarId id) const { return names_.at(static_cast<std::size_t>(id)); }
 
-  /// One stored constraint row (dense coefficients over all variables).
+  /// One stored constraint row. Coefficients are kept sparse — sorted by
+  /// variable id, duplicates merged, exact zeros dropped — so building a
+  /// solver matrix costs O(nnz) rather than O(num_variables) per row, and
+  /// appending columns to a column-generation master never touches
+  /// existing rows.
   struct Row {
-    std::vector<double> coeffs;
+    std::vector<std::pair<VarId, double>> terms;
     Sense sense;
     double rhs;
+
+    /// Coefficient of `var` in this row (0 when absent). Binary search;
+    /// meant for tests and spot checks, not solver inner loops.
+    double coeff(VarId var) const {
+      const auto it = std::lower_bound(
+          terms.begin(), terms.end(), var,
+          [](const std::pair<VarId, double>& t, VarId v) { return t.first < v; });
+      return it != terms.end() && it->first == var ? it->second : 0.0;
+    }
   };
 
   const std::vector<Row>& rows() const { return rows_; }
@@ -88,6 +108,38 @@ struct BasisEntry {
 /// basic).
 using Basis = std::vector<BasisEntry>;
 
+/// Which simplex implementation solve() runs.
+enum class Engine {
+  kRevised,  ///< sparse revised simplex (LU basis + eta-file updates)
+  kDense,    ///< dense full-tableau simplex (the differential reference)
+};
+
+/// Opaque cross-solve state of the revised engine: the LU factorization
+/// (plus eta file) of the last optimal basis and the basis it belongs to.
+/// Pass the same context to a chain of warm-started re-solves of a growing
+/// problem (the column-generation master pattern: identical rows, columns
+/// only appended) and the solver reuses the factorization instead of
+/// refactorizing the warm basis from scratch. A context never changes
+/// results — it is bypassed whenever it does not exactly match the
+/// requested warm basis and row count.
+class RevisedContext {
+ public:
+  RevisedContext();
+  ~RevisedContext();
+  RevisedContext(RevisedContext&&) noexcept;
+  RevisedContext& operator=(RevisedContext&&) noexcept;
+  RevisedContext(const RevisedContext&) = delete;
+  RevisedContext& operator=(const RevisedContext&) = delete;
+
+  /// Drop the cached factorization (e.g. when the constraint rows change).
+  void reset();
+
+ private:
+  friend class RevisedSimplex;
+  struct State;
+  std::unique_ptr<State> state_;
+};
+
 /// Knobs for solve(). The defaults reproduce the classic solve() behavior
 /// apart from the iteration limit, which now reports kIterationLimit
 /// instead of throwing.
@@ -102,6 +154,16 @@ struct SolveOptions {
   /// is skipped entirely; otherwise the solver silently falls back to the
   /// cold two-phase path.
   const Basis* warm_start = nullptr;
+  /// Simplex implementation. kRevised is the production engine; kDense is
+  /// the retained full-tableau reference (the revised engine also falls
+  /// back to it on the rare numerically singular refactorization).
+  Engine engine = Engine::kRevised;
+  /// Revised engine: refactorize the basis after this many eta updates.
+  /// Smaller values trade pivot speed for numerical hygiene.
+  std::size_t refactor_interval = 64;
+  /// Revised engine: optional cross-solve factorization cache (see
+  /// RevisedContext). Ignored by the dense engine.
+  RevisedContext* context = nullptr;
 };
 
 /// Result of solving a Problem.
@@ -127,7 +189,7 @@ struct Solution {
   double dual(std::size_t constraint) const { return duals.at(constraint); }
 };
 
-/// Solve with a two-phase dense simplex.
+/// Solve with a two-phase primal simplex (the revised engine by default).
 ///
 /// `eps` is the feasibility/optimality tolerance. The default is suited to
 /// the well-scaled problems this library produces (coefficients within a

@@ -110,7 +110,12 @@ TEST(SimplexParity, ContiguousTableauMatchesReference) {
   for (std::uint64_t seed : {3u, 14u, 15u, 92u}) {
     for (const auto& [vars, rows] : shapes) {
       const lp::Problem problem = random_problem(vars, rows, seed);
-      const lp::Solution fast = lp::solve(problem);
+      // Pin the dense engine: this test is about tableau *storage* parity
+      // (contiguous buffer vs vector-of-rows); revised-vs-dense parity is
+      // the fuzz harness's job (tests/lp/revised_simplex_fuzz_test.cpp).
+      lp::SolveOptions dense;
+      dense.engine = lp::Engine::kDense;
+      const lp::Solution fast = lp::solve(problem, dense);
       const lp::Solution ref = lp::solve_reference(problem);
       ASSERT_EQ(fast.status, ref.status) << "vars=" << vars << " seed=" << seed;
       if (fast.status != lp::Status::kOptimal) continue;
@@ -146,12 +151,17 @@ TEST(SimplexParity, Eq6ShapedProblemMatchesReference) {
     row.emplace_back(f, -1.0);
     problem.add_constraint(row, lp::Sense::kGreaterEqual, 0.0);
   }
-  const lp::Solution fast = lp::solve(problem);
+  lp::SolveOptions dense;
+  dense.engine = lp::Engine::kDense;
+  const lp::Solution fast = lp::solve(problem, dense);
   const lp::Solution ref = lp::solve_reference(problem);
+  const lp::Solution revised = lp::solve(problem);
   ASSERT_TRUE(fast.optimal());
   ASSERT_TRUE(ref.optimal());
+  ASSERT_TRUE(revised.optimal());
   EXPECT_NEAR(fast.objective, ScenarioTwo::kOptimalMbps, 1e-9);
   EXPECT_NEAR(fast.objective, ref.objective, 1e-9);
+  EXPECT_NEAR(revised.objective, ref.objective, 1e-9);
 }
 
 /// The pre-cache physical "interferes" evaluation, straight from the paper:

@@ -57,11 +57,7 @@ Problem with_rhs(const Problem& base, std::size_t row, double rhs) {
     copy.add_variable(base.objective_coeffs()[v]);
   for (std::size_t r = 0; r < base.num_constraints(); ++r) {
     const Problem::Row& src = base.rows()[r];
-    std::vector<std::pair<VarId, double>> terms;
-    for (std::size_t v = 0; v < src.coeffs.size(); ++v)
-      if (src.coeffs[v] != 0.0)
-        terms.emplace_back(static_cast<VarId>(v), src.coeffs[v]);
-    copy.add_constraint(terms, src.sense, r == row ? rhs : src.rhs);
+    copy.add_constraint(src.terms, src.sense, r == row ? rhs : src.rhs);
   }
   return copy;
 }
@@ -132,10 +128,7 @@ TEST(WarmStart, ReachesColdOptimumAfterAppendingColumns) {
     for (int e = 0; e < 2; ++e)
       extra.push_back(wide.add_variable(rng.uniform(0.5, 3.0)));
     for (const Problem::Row& src : narrow.rows()) {
-      std::vector<std::pair<VarId, double>> terms;
-      for (std::size_t v = 0; v < src.coeffs.size(); ++v)
-        if (src.coeffs[v] != 0.0)
-          terms.emplace_back(static_cast<VarId>(v), src.coeffs[v]);
+      std::vector<std::pair<VarId, double>> terms = src.terms;
       for (VarId e : extra) terms.emplace_back(e, rng.uniform(0.2, 1.5));
       wide.add_constraint(terms, src.sense, src.rhs);
     }

@@ -1,0 +1,484 @@
+// Differential fuzz harness for the sparse revised simplex (the production
+// engine) against the retained dense tableau (the reference engine).
+//
+// A seeded generator draws LP instances from five families — feasible
+// bounded, provably infeasible, provably unbounded, degenerate (duplicate
+// rows, zero-RHS rows, redundant equalities), and Eq. 6-shaped
+// column-generation masters (synthetic and extracted from a real scenario)
+// — and every instance is solved by BOTH engines. The harness asserts:
+//
+//   * identical status (optimal / infeasible / unbounded),
+//   * objectives matching to 1e-6,
+//   * primal feasibility of each engine's solution against the Problem,
+//   * dual feasibility and complementary slackness of each engine's duals
+//     (the KKT certificate, which is what column generation prices from),
+//   * the warm-start path reaching the cold optimum on both engines after
+//     columns are appended (the column-generation re-solve pattern), with
+//     the revised engine additionally chained through its RevisedContext.
+//
+// Seed count: kSeedsPerFamily per family by default (>= 500 instances
+// total); override with MRWSN_FUZZ_SEEDS=<n> (n seeds per family) for
+// longer runs, e.g. via tools/run_fuzz.sh.
+#include "lp/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/interference.hpp"
+#include "core/scenarios.hpp"
+#include "util/rng.hpp"
+
+namespace mrwsn::lp {
+namespace {
+
+constexpr double kObjectiveTol = 1e-6;
+constexpr double kFeasTol = 1e-6;
+
+std::size_t seeds_per_family() {
+  constexpr std::size_t kSeedsPerFamily = 110;  // 5 families -> 550 instances
+  if (const char* env = std::getenv("MRWSN_FUZZ_SEEDS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return kSeedsPerFamily;
+}
+
+// ---------------------------------------------------------------------------
+// Solution certificates
+// ---------------------------------------------------------------------------
+
+double row_activity(const Problem::Row& row, const std::vector<double>& x) {
+  double acc = 0.0;
+  for (const auto& [var, coeff] : row.terms)
+    acc += coeff * x[static_cast<std::size_t>(var)];
+  return acc;
+}
+
+/// Primal feasibility of `solution.values` against the original Problem.
+void check_primal_feasible(const Problem& problem, const Solution& solution,
+                           const std::string& tag) {
+  ASSERT_EQ(solution.values.size(), problem.num_variables()) << tag;
+  for (std::size_t j = 0; j < solution.values.size(); ++j)
+    EXPECT_GE(solution.values[j], -kFeasTol) << tag << " var " << j;
+  for (std::size_t i = 0; i < problem.num_constraints(); ++i) {
+    const Problem::Row& row = problem.rows()[i];
+    const double lhs = row_activity(row, solution.values);
+    // Scale-aware slack tolerance: coefficients can be a few units large.
+    const double tol = kFeasTol * (1.0 + std::abs(row.rhs));
+    switch (row.sense) {
+      case Sense::kLessEqual:
+        EXPECT_LE(lhs, row.rhs + tol) << tag << " row " << i;
+        break;
+      case Sense::kGreaterEqual:
+        EXPECT_GE(lhs, row.rhs - tol) << tag << " row " << i;
+        break;
+      case Sense::kEqual:
+        EXPECT_NEAR(lhs, row.rhs, tol) << tag << " row " << i;
+        break;
+    }
+  }
+}
+
+/// Dual feasibility + complementary slackness of `solution.duals` — the
+/// KKT certificate of optimality. For a maximization: duals of <= rows are
+/// >= 0, of >= rows <= 0; every variable's reduced cost c_j - y^T A_j is
+/// <= 0; and each inequality (primal slack) x (dual) as well as each
+/// (reduced cost) x (primal value) product vanishes. Minimization is the
+/// mirror image, handled by flipping the sign convention once.
+void check_kkt(const Problem& problem, const Solution& solution,
+               const std::string& tag) {
+  ASSERT_EQ(solution.duals.size(), problem.num_constraints()) << tag;
+  const double sign = problem.objective() == Objective::kMaximize ? 1.0 : -1.0;
+  for (std::size_t i = 0; i < problem.num_constraints(); ++i) {
+    const Problem::Row& row = problem.rows()[i];
+    const double y = sign * solution.duals[i];
+    const double slack = row.rhs - row_activity(row, solution.values);
+    switch (row.sense) {
+      case Sense::kLessEqual:
+        EXPECT_GE(y, -kFeasTol) << tag << " dual sign, row " << i;
+        break;
+      case Sense::kGreaterEqual:
+        EXPECT_LE(y, kFeasTol) << tag << " dual sign, row " << i;
+        break;
+      case Sense::kEqual:
+        break;  // equality duals are free
+    }
+    if (row.sense != Sense::kEqual) {
+      EXPECT_NEAR(y * slack, 0.0, 1e-5 * (1.0 + std::abs(y)))
+          << tag << " complementary slackness, row " << i;
+    }
+  }
+  for (std::size_t j = 0; j < problem.num_variables(); ++j) {
+    double priced = 0.0;
+    for (std::size_t i = 0; i < problem.num_constraints(); ++i)
+      priced +=
+          solution.duals[i] * problem.rows()[i].coeff(static_cast<VarId>(j));
+    const double reduced = sign * (problem.objective_coeffs()[j] - priced);
+    EXPECT_LE(reduced, 1e-5) << tag << " dual feasibility, var " << j;
+    EXPECT_NEAR(reduced * solution.values[j], 0.0,
+                1e-5 * (1.0 + std::abs(solution.values[j])))
+        << tag << " complementary slackness, var " << j;
+  }
+}
+
+/// The core differential check: both engines, same status; on optimal,
+/// 1e-6 objectives and a full KKT certificate from each engine.
+void check_differential(const Problem& problem, const std::string& tag) {
+  SolveOptions dense_options;
+  dense_options.engine = Engine::kDense;
+  const Solution dense = solve(problem, dense_options);
+  const Solution revised = solve(problem);  // revised is the default engine
+
+  ASSERT_EQ(dense.status, revised.status) << tag;
+  // Bland's rule termination: a pivot-budget blowout on these small
+  // instances would mean the eta-update path cycles where the dense
+  // tableau does not.
+  ASSERT_NE(revised.status, Status::kIterationLimit) << tag;
+  if (dense.status != Status::kOptimal) return;
+
+  EXPECT_NEAR(dense.objective, revised.objective, kObjectiveTol) << tag;
+  check_primal_feasible(problem, dense, tag + " [dense]");
+  check_primal_feasible(problem, revised, tag + " [revised]");
+  check_kkt(problem, dense, tag + " [dense]");
+  check_kkt(problem, revised, tag + " [revised]");
+}
+
+// ---------------------------------------------------------------------------
+// Instance families
+// ---------------------------------------------------------------------------
+
+/// Feasible bounded family: constraints built around a known non-negative
+/// point (so the instance is never vacuously infeasible) plus a box row
+/// that keeps the maximization bounded.
+Problem feasible_bounded(Rng& rng) {
+  const int vars = static_cast<int>(rng.uniform_int(2, 24));
+  const int rows = static_cast<int>(rng.uniform_int(1, 20));
+  Problem problem(rng.uniform() < 0.5 ? Objective::kMaximize
+                                      : Objective::kMinimize);
+  std::vector<VarId> x;
+  std::vector<double> feasible;
+  for (int j = 0; j < vars; ++j) {
+    x.push_back(problem.add_variable(rng.uniform(-1.5, 2.0)));
+    feasible.push_back(rng.uniform(0.0, 3.0));
+  }
+  for (int i = 0; i < rows; ++i) {
+    std::vector<std::pair<VarId, double>> row;
+    double lhs = 0.0;
+    for (int j = 0; j < vars; ++j) {
+      if (rng.uniform() < 0.3) continue;  // sparse rows
+      const double c = rng.uniform(-1.0, 2.0);
+      row.emplace_back(x[static_cast<std::size_t>(j)], c);
+      lhs += c * feasible[static_cast<std::size_t>(j)];
+    }
+    switch (rng.uniform_int(0, 2)) {
+      case 0:
+        problem.add_constraint(row, Sense::kLessEqual,
+                               lhs + rng.uniform(0.0, 2.0));
+        break;
+      case 1:
+        problem.add_constraint(row, Sense::kGreaterEqual,
+                               lhs - rng.uniform(0.0, 2.0));
+        break;
+      default:
+        problem.add_constraint(row, Sense::kEqual, lhs);
+        break;
+    }
+  }
+  std::vector<std::pair<VarId, double>> box;
+  for (VarId id : x) box.emplace_back(id, 1.0);
+  problem.add_constraint(box, Sense::kLessEqual, 4.0 * vars);
+  return problem;
+}
+
+/// Infeasible family: a feasible core plus a pair of rows over the same
+/// non-negative combination demanding sum <= a and sum >= a + margin with
+/// margin >= 0.5, so infeasibility is robust to tolerances.
+Problem infeasible(Rng& rng) {
+  Problem problem = feasible_bounded(rng);
+  const std::size_t vars = problem.num_variables();
+  std::vector<std::pair<VarId, double>> row;
+  for (std::size_t j = 0; j < vars; ++j) {
+    const double c = rng.uniform(0.5, 2.0);
+    if (rng.uniform() < 0.7) row.emplace_back(static_cast<VarId>(j), c);
+  }
+  if (row.empty()) row.emplace_back(0, 1.0);
+  const double a = rng.uniform(0.0, 5.0);
+  problem.add_constraint(row, Sense::kLessEqual, a);
+  problem.add_constraint(row, Sense::kGreaterEqual,
+                         a + 0.5 + rng.uniform(0.0, 2.0));
+  return problem;
+}
+
+/// Unbounded family: a feasible core plus a fresh variable that improves
+/// the objective but appears in no constraint — an improving ray no pivot
+/// rule can miss, robust to tolerances.
+Problem unbounded(Rng& rng) {
+  Problem problem = feasible_bounded(rng);
+  const double improving =
+      problem.objective() == Objective::kMaximize ? 1.0 : -1.0;
+  problem.add_variable(improving * rng.uniform(0.5, 2.0), "ray");
+  return problem;
+}
+
+/// Degenerate family: duplicated rows, zero-RHS rows that pin a subset of
+/// variables to zero, and redundant equalities — the inputs that force
+/// degenerate pivots (ratio 0) and keep artificials basic at zero on
+/// redundant rows. This is the family that exercises Bland's anti-cycling
+/// rule under the eta-update path.
+Problem degenerate(Rng& rng) {
+  const int vars = static_cast<int>(rng.uniform_int(2, 16));
+  Problem problem(rng.uniform() < 0.5 ? Objective::kMaximize
+                                      : Objective::kMinimize);
+  std::vector<VarId> x;
+  for (int j = 0; j < vars; ++j)
+    x.push_back(problem.add_variable(rng.uniform(-1.0, 1.5)));
+
+  // Zero-RHS rows: a non-negative combination <= 0 pins its support to 0.
+  const int pinned_rows = static_cast<int>(rng.uniform_int(1, 3));
+  for (int i = 0; i < pinned_rows; ++i) {
+    std::vector<std::pair<VarId, double>> row;
+    for (VarId id : x)
+      if (rng.uniform() < 0.4) row.emplace_back(id, rng.uniform(0.5, 2.0));
+    if (row.empty()) row.emplace_back(x[0], 1.0);
+    problem.add_constraint(row, Sense::kLessEqual, 0.0);
+  }
+  // A small feasible block (the origin is feasible throughout).
+  const int core_rows = static_cast<int>(rng.uniform_int(1, 6));
+  std::vector<Problem::Row> dup_candidates;
+  for (int i = 0; i < core_rows; ++i) {
+    std::vector<std::pair<VarId, double>> row;
+    for (VarId id : x)
+      if (rng.uniform() < 0.5) row.emplace_back(id, rng.uniform(-1.0, 2.0));
+    if (row.empty()) row.emplace_back(x[0], 1.0);
+    const double rhs = rng.uniform(0.0, 3.0);
+    problem.add_constraint(row, Sense::kLessEqual, rhs);
+    // Duplicate some rows verbatim (a redundant basis candidate)...
+    if (rng.uniform() < 0.5) problem.add_constraint(row, Sense::kLessEqual, rhs);
+    // ... and pin some as a redundant equality pair at the origin level.
+    if (rng.uniform() < 0.3) {
+      problem.add_constraint(row, Sense::kGreaterEqual, 0.0);
+      if (rng.uniform() < 0.5)
+        problem.add_constraint(row, Sense::kGreaterEqual, 0.0);
+    }
+  }
+  // Redundant equality: 0 == 0 over a random support, twice.
+  std::vector<std::pair<VarId, double>> zero;
+  for (VarId id : x)
+    if (rng.uniform() < 0.4) zero.emplace_back(id, rng.uniform(0.5, 1.5));
+  if (zero.empty()) zero.emplace_back(x[0], 1.0);
+  problem.add_constraint(zero, Sense::kEqual, 0.0);
+  if (rng.uniform() < 0.5) problem.add_constraint(zero, Sense::kEqual, 0.0);
+  // Keep the maximization bounded.
+  std::vector<std::pair<VarId, double>> box;
+  for (VarId id : x) box.emplace_back(id, 1.0);
+  problem.add_constraint(box, Sense::kLessEqual, 2.0 * vars);
+  return problem;
+}
+
+/// Synthetic Eq. 6-shaped master: lambda columns over random "independent
+/// sets" with multirate link speeds, the airtime row, and per-link rows
+/// coupling the new-path throughput f — the exact shape every
+/// column-generation master in src/core has.
+Problem eq6_master(Rng& rng) {
+  const std::size_t links = rng.uniform_int(4, 14);
+  const std::size_t sets = rng.uniform_int(links, links + 20);
+  const double rates[] = {54.0, 36.0, 18.0, 6.0};
+
+  Problem problem(Objective::kMaximize);
+  const VarId f = problem.add_variable(1.0, "f");
+  std::vector<VarId> lambda;
+  std::vector<std::vector<double>> mbps(sets, std::vector<double>(links, 0.0));
+  for (std::size_t s = 0; s < sets; ++s) {
+    lambda.push_back(problem.add_variable(0.0));
+    // Ensure each column carries at least one link.
+    const std::size_t forced = rng.uniform_int(0, links - 1);
+    for (std::size_t e = 0; e < links; ++e)
+      if (e == forced || rng.uniform() < 0.3)
+        mbps[s][e] = rates[rng.uniform_int(0, 3)];
+  }
+  std::vector<std::pair<VarId, double>> share;
+  for (VarId id : lambda) share.emplace_back(id, 1.0);
+  problem.add_constraint(share, Sense::kLessEqual, 1.0);
+  for (std::size_t e = 0; e < links; ++e) {
+    std::vector<std::pair<VarId, double>> row;
+    for (std::size_t s = 0; s < sets; ++s)
+      if (mbps[s][e] > 0.0) row.emplace_back(lambda[s], mbps[s][e]);
+    row.emplace_back(f, -1.0);
+    // Background demand low enough that singleton coverage keeps the
+    // master feasible for most draws; infeasible draws are valid
+    // differential cases too.
+    problem.add_constraint(row, Sense::kGreaterEqual, rng.uniform(0.0, 2.0));
+  }
+  return problem;
+}
+
+Problem instance_for(std::size_t family, Rng& rng) {
+  switch (family) {
+    case 0: return feasible_bounded(rng);
+    case 1: return infeasible(rng);
+    case 2: return unbounded(rng);
+    case 3: return degenerate(rng);
+    default: return eq6_master(rng);
+  }
+}
+
+const char* family_name(std::size_t family) {
+  switch (family) {
+    case 0: return "feasible";
+    case 1: return "infeasible";
+    case 2: return "unbounded";
+    case 3: return "degenerate";
+    default: return "eq6";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The harness
+// ---------------------------------------------------------------------------
+
+TEST(RevisedSimplexFuzz, DifferentialParityAcrossFamilies) {
+  const std::size_t seeds = seeds_per_family();
+  for (std::size_t family = 0; family < 5; ++family) {
+    for (std::size_t seed = 1; seed <= seeds; ++seed) {
+      Rng rng(0x5eedULL * 2654435761ULL + family * 1000003ULL + seed);
+      const Problem problem = instance_for(family, rng);
+      const std::string tag = std::string(family_name(family)) + " seed=" +
+                              std::to_string(seed);
+      check_differential(problem, tag);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+/// Eq. 6-shaped master over the first `use_sets` of `sets` columns: f is
+/// variable 0, λ columns follow in pool order, row 0 is Σλ <= 1, link rows
+/// follow — ids stay stable as the pool grows, exactly like the builders in
+/// src/core/available_bandwidth.cpp.
+Problem build_master(const std::vector<std::vector<double>>& sets,
+                     std::size_t use_sets, std::size_t links,
+                     const std::vector<double>& demand) {
+  Problem problem(Objective::kMaximize);
+  const VarId f = problem.add_variable(1.0, "f");
+  std::vector<VarId> lambda;
+  for (std::size_t s = 0; s < use_sets; ++s)
+    lambda.push_back(problem.add_variable(0.0));
+  std::vector<std::pair<VarId, double>> share;
+  for (VarId id : lambda) share.emplace_back(id, 1.0);
+  problem.add_constraint(share, Sense::kLessEqual, 1.0);
+  for (std::size_t e = 0; e < links; ++e) {
+    std::vector<std::pair<VarId, double>> row;
+    for (std::size_t s = 0; s < use_sets; ++s)
+      if (sets[s][e] > 0.0) row.emplace_back(lambda[s], sets[s][e]);
+    row.emplace_back(f, -1.0);
+    problem.add_constraint(row, Sense::kGreaterEqual, demand[e]);
+  }
+  return problem;
+}
+
+/// The column-generation re-solve pattern, differentially: solve a
+/// restricted master, grow the column pool, warm-start both engines from
+/// the exported basis (the revised engine chained through its
+/// RevisedContext), and compare each round against a cold dense solve of
+/// the grown master.
+TEST(RevisedSimplexFuzz, WarmStartParityAfterAppendingColumns) {
+  const std::size_t seeds = std::max<std::size_t>(seeds_per_family() / 2, 25);
+  const double rates[] = {54.0, 36.0, 18.0, 6.0};
+  for (std::size_t seed = 1; seed <= seeds; ++seed) {
+    Rng rng(0xa11ceULL ^ (seed * 0x9e3779b97f4a7c15ULL));
+    const std::size_t links = rng.uniform_int(4, 10);
+    const std::size_t total_sets = links + 12;
+    std::vector<std::vector<double>> sets(total_sets,
+                                          std::vector<double>(links, 0.0));
+    for (std::size_t s = 0; s < total_sets; ++s) {
+      const std::size_t forced = s % links;  // singleton coverage first
+      for (std::size_t e = 0; e < links; ++e)
+        if (e == forced || (s >= links && rng.uniform() < 0.35))
+          sets[s][e] = rates[rng.uniform_int(0, 3)];
+    }
+    std::vector<double> demand(links);
+    for (double& d : demand) d = rng.uniform(0.0, 1.5);
+
+    RevisedContext context;
+    Basis revised_basis, dense_basis;
+    for (std::size_t use = links + 2; use <= total_sets; use += 2) {
+      const Problem problem = build_master(sets, use, links, demand);
+      SolveOptions revised_options;
+      revised_options.context = &context;
+      revised_options.warm_start =
+          revised_basis.empty() ? nullptr : &revised_basis;
+      const Solution revised = solve(problem, revised_options);
+
+      SolveOptions dense_options;
+      dense_options.engine = Engine::kDense;
+      dense_options.warm_start = dense_basis.empty() ? nullptr : &dense_basis;
+      const Solution dense = solve(problem, dense_options);
+
+      SolveOptions cold_options;
+      cold_options.engine = Engine::kDense;
+      const Solution cold = solve(problem, cold_options);
+
+      const std::string tag =
+          "seed=" + std::to_string(seed) + " use=" + std::to_string(use);
+      ASSERT_EQ(cold.status, revised.status) << tag;
+      ASSERT_EQ(cold.status, dense.status) << tag;
+      if (cold.status != Status::kOptimal) break;
+      EXPECT_NEAR(cold.objective, revised.objective, kObjectiveTol) << tag;
+      EXPECT_NEAR(cold.objective, dense.objective, kObjectiveTol) << tag;
+      check_primal_feasible(problem, revised, tag + " [revised warm]");
+      check_kkt(problem, revised, tag + " [revised warm]");
+      revised_basis = revised.basis;
+      dense_basis = dense.basis;
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+/// Beale's classic cycling LP (1955): Dantzig's most-improving rule cycles
+/// forever on this instance under exact arithmetic. The engines' permanent
+/// switch to Bland's rule must terminate it at the known optimum — on the
+/// revised engine this exercises anti-cycling under the eta-update path.
+TEST(RevisedSimplexFuzz, BealeCyclingInstanceTerminatesAtOptimum) {
+  Problem problem(Objective::kMinimize);
+  const VarId x1 = problem.add_variable(-0.75);
+  const VarId x2 = problem.add_variable(150.0);
+  const VarId x3 = problem.add_variable(-0.02);
+  const VarId x4 = problem.add_variable(6.0);
+  problem.add_constraint(
+      {{x1, 0.25}, {x2, -60.0}, {x3, -1.0 / 25.0}, {x4, 9.0}},
+      Sense::kLessEqual, 0.0);
+  problem.add_constraint(
+      {{x1, 0.5}, {x2, -90.0}, {x3, -1.0 / 50.0}, {x4, 3.0}},
+      Sense::kLessEqual, 0.0);
+  problem.add_constraint({{x3, 1.0}}, Sense::kLessEqual, 1.0);
+  check_differential(problem, "beale");
+  const Solution revised = solve(problem);
+  ASSERT_TRUE(revised.optimal());
+  EXPECT_NEAR(revised.objective, -0.05, 1e-9);
+}
+
+/// Eq. 6 master extracted from a real scenario (the Scenario II chain of
+/// the paper), solved by both engines: the one non-synthetic instance the
+/// ISSUE calls out by name, pinned to the analytically known optimum.
+TEST(RevisedSimplexFuzz, ScenarioTwoMasterParity) {
+  const core::ScenarioTwo scenario = core::make_scenario_two();
+  const auto sets = scenario.model.maximal_independent_sets(scenario.chain);
+  std::vector<std::vector<double>> mbps(sets.size());
+  for (std::size_t s = 0; s < sets.size(); ++s)
+    for (net::LinkId link : scenario.chain)
+      mbps[s].push_back(sets[s].mbps_on(link));
+  const std::vector<double> demand(scenario.chain.size(), 0.0);
+  const Problem problem =
+      build_master(mbps, sets.size(), scenario.chain.size(), demand);
+  check_differential(problem, "scenario-two master");
+  const Solution revised = solve(problem);
+  ASSERT_TRUE(revised.optimal());
+  EXPECT_NEAR(revised.objective, core::ScenarioTwo::kOptimalMbps, 1e-9);
+}
+
+}  // namespace
+}  // namespace mrwsn::lp

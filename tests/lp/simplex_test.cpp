@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <string>
+
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -195,6 +198,37 @@ TEST(Simplex, RejectsUnknownVariable) {
   (void)p.add_variable(1.0);
   EXPECT_THROW(p.add_constraint({{7, 1.0}}, Sense::kLessEqual, 1.0),
                PreconditionError);
+}
+
+TEST(Simplex, RejectsNonFiniteCoefficients) {
+  // NaN/inf coefficients used to flow silently into the pivots and poison
+  // every comparison downstream; they must be rejected at build time.
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  Problem p(Objective::kMaximize);
+  const VarId x = p.add_variable(1.0, "x");
+  EXPECT_THROW((void)p.add_variable(kNan), PreconditionError);
+  EXPECT_THROW((void)p.add_variable(-kInf), PreconditionError);
+  EXPECT_THROW(p.add_constraint({{x, kNan}}, Sense::kLessEqual, 1.0),
+               PreconditionError);
+  EXPECT_THROW(p.add_constraint({{x, kInf}}, Sense::kGreaterEqual, 0.0),
+               PreconditionError);
+  EXPECT_THROW(p.add_constraint({{x, 1.0}}, Sense::kLessEqual, kNan),
+               PreconditionError);
+  EXPECT_THROW(p.add_constraint({{x, 1.0}}, Sense::kEqual, -kInf),
+               PreconditionError);
+  // The error message names the offending variable.
+  try {
+    p.add_constraint({{x, kNan}}, Sense::kLessEqual, 1.0);
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("'x'"), std::string::npos);
+  }
+  // The problem is still usable after the rejected rows.
+  p.add_constraint({{x, 1.0}}, Sense::kLessEqual, 2.0);
+  const Solution solution = solve(p);
+  ASSERT_TRUE(solution.optimal());
+  EXPECT_NEAR(solution.objective, 2.0, 1e-9);
 }
 
 TEST(Simplex, VariableNamesAreStored) {

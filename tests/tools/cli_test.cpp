@@ -103,6 +103,28 @@ TEST(Cli, AvailableListsEveryEstimator) {
   }
 }
 
+TEST(Cli, AvailableAcceptsEngineAndStabilizeFlags) {
+  TempScenario file(kChain);
+  const CliResult revised = run({"available", file.path(), "2", "3",
+                                 "--method", "colgen", "--engine", "revised"});
+  ASSERT_EQ(revised.code, 0) << revised.err;
+  const CliResult dense =
+      run({"available", file.path(), "2", "3", "--method", "colgen",
+           "--engine", "dense", "--stabilize", "off"});
+  ASSERT_EQ(dense.code, 0) << dense.err;
+  // Both engines solve the same LP: the report lines must agree.
+  EXPECT_EQ(revised.out, dense.out);
+
+  const CliResult bad_engine =
+      run({"available", file.path(), "2", "3", "--engine", "sparse"});
+  EXPECT_EQ(bad_engine.code, 1);
+  EXPECT_NE(bad_engine.err.find("unknown --engine"), std::string::npos);
+  const CliResult bad_stabilize =
+      run({"available", file.path(), "2", "3", "--stabilize", "maybe"});
+  EXPECT_EQ(bad_stabilize.code, 1);
+  EXPECT_NE(bad_stabilize.err.find("unknown --stabilize"), std::string::npos);
+}
+
 TEST(Cli, AdmitProcessesRequestsWithPreloadedBackground) {
   TempScenario file(kChain);
   const CliResult r = run({"admit", file.path(), "--policy", "eq13"});

@@ -178,8 +178,23 @@ int cmd_available(const io::ScenarioFile& scenario, net::NodeId src,
     err << "unknown --method '" << method_name << "' (auto|enum|colgen)\n";
     return 1;
   }
+  core::ColumnGenOptions colgen_options;
+  const std::string engine_name = options.get("--engine", "revised");
+  if (engine_name == "dense") {
+    colgen_options.engine = lp::Engine::kDense;
+  } else if (engine_name != "revised") {
+    err << "unknown --engine '" << engine_name << "' (revised|dense)\n";
+    return 1;
+  }
+  const std::string stabilize_name = options.get("--stabilize", "on");
+  if (stabilize_name == "off") {
+    colgen_options.stabilize = false;
+  } else if (stabilize_name != "on") {
+    err << "unknown --stabilize '" << stabilize_name << "' (on|off)\n";
+    return 1;
+  }
   const auto lp = core::max_path_bandwidth(model, background, path->links(),
-                                           method);
+                                           method, colgen_options);
   const auto input = core::make_path_estimate_input(network, model,
                                                     path->links(), idle.node_idle);
   out << "path (" << routing::metric_name(metric) << "): " << path_text(*path)
@@ -281,7 +296,8 @@ void usage(std::ostream& err) {
          "  mrwsn info scenario.txt\n"
          "  mrwsn capacity scenario.txt <src> <dst>\n"
          "  mrwsn available scenario.txt <src> <dst> [--metric hop|td|avg]\n"
-         "                 [--method auto|enum|colgen]\n"
+         "                 [--method auto|enum|colgen] [--engine revised|dense]\n"
+         "                 [--stabilize on|off]\n"
          "  mrwsn admit scenario.txt [--metric avg] [--policy lp|eq13|...]\n"
          "  mrwsn simulate scenario.txt [--seconds 2] [--arf] [--seed 1]\n";
 }

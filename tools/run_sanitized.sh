@@ -17,4 +17,8 @@ cmake -B "$BUILD" -S "$REPO" -DMRWSN_SANITIZE="$SANITIZERS" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD" -j "$(nproc 2>/dev/null || echo 4)"
 ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc 2>/dev/null || echo 4)"
+# Re-run the differential LP fuzz harness under the sanitizers with a
+# deeper seed count: the revised simplex's LU/eta kernels are exactly the
+# kind of index-heavy code ASan/UBSan earn their keep on.
+"$REPO/tools/run_fuzz.sh" "$BUILD" "${MRWSN_FUZZ_SEEDS:-500}"
 echo "sanitized test run ($SANITIZERS) passed"
