@@ -1,0 +1,516 @@
+#include "core/admission_engine.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+
+namespace mrwsn::core {
+
+namespace {
+
+/// Demand slack when deciding admitted: matches the admission
+/// controller's historical tolerance against LP round-off.
+constexpr double kDemandSlack = 1e-6;
+/// Background feasibility threshold on total airtime; matches
+/// flows_feasible().
+constexpr double kAirtimeTol = 1e-9;
+
+}  // namespace
+
+AdmissionEngine::AdmissionEngine(const InterferenceModel& model,
+                                 ColumnGenOptions options)
+    : model_(&model),
+      options_(options),
+      all_links_(model.num_links()),
+      bg_demand_(model.num_links(), 0.0),
+      bg_row_of_(model.num_links(), -1) {
+  std::iota(all_links_.begin(), all_links_.end(), net::LinkId{0});
+}
+
+std::pair<std::size_t, bool> AdmissionEngine::pool_add(IndependentSet set) {
+  Signature key;
+  key.reserve(set.links.size());
+  for (std::size_t i = 0; i < set.links.size(); ++i)
+    key.push_back((static_cast<std::uint64_t>(set.links[i]) << 16) |
+                  static_cast<std::uint64_t>(set.rates[i]));
+  const auto [it, fresh] = pool_index_.try_emplace(std::move(key), pool_.size());
+  if (fresh) {
+    pool_.push_back(std::move(set));
+    pool_in_bg_master_.push_back(0);
+  }
+  return {it->second, fresh};
+}
+
+void AdmissionEngine::seed_singleton(net::LinkId link) {
+  const auto rate = model_->max_rate_alone(link);
+  if (!rate) return;
+  IndependentSet set;
+  set.links = {link};
+  set.rates = {*rate};
+  set.mbps = {model_->rate_table()[*rate].mbps};
+  const auto [idx, fresh] = pool_add(std::move(set));
+  if (!fresh && pool_in_bg_master_[idx]) return;
+  pool_in_bg_master_[idx] = 1;
+  bg_master_cols_.push_back(idx);
+}
+
+void AdmissionEngine::add_background(LinkFlow flow) {
+  for (const net::LinkId link : flow.links) {
+    MRWSN_REQUIRE(link < bg_demand_.size(),
+                  "background flow references an unknown link");
+    if (bg_row_of_[link] < 0) {
+      bg_row_of_[link] = static_cast<int>(bg_links_.size());
+      bg_links_.push_back(link);
+      // The singleton column of a brand-new row enters the background
+      // master immediately: it guarantees the master stays feasible, and
+      // its only nonzero sits on the new row whose extended dual is zero,
+      // so it cannot break the dual feasibility the row re-solve needs.
+      seed_singleton(link);
+    }
+    bg_demand_[link] += flow.demand_mbps;
+    if (bg_demand_[link] > 0.0 && !model_->max_rate_alone(link))
+      bg_impossible_ = true;
+  }
+  background_.push_back(std::move(flow));
+  bg_dirty_ = true;
+  ++stats_.commits;
+}
+
+void AdmissionEngine::clear() {
+  background_.clear();
+  std::fill(bg_demand_.begin(), bg_demand_.end(), 0.0);
+  bg_links_.clear();
+  std::fill(bg_row_of_.begin(), bg_row_of_.end(), -1);
+  bg_master_cols_.clear();
+  std::fill(pool_in_bg_master_.begin(), pool_in_bg_master_.end(), 0);
+  bg_master_ = lp::Problem(lp::Objective::kMinimize);
+  bg_synced_cols_ = 0;
+  bg_synced_rows_ = 0;
+  bg_basis_.clear();
+  bg_context_.reset();
+  bg_airtime_ = 0.0;
+  bg_feasible_ = true;
+  bg_dirty_ = false;
+  bg_impossible_ = false;
+}
+
+bool AdmissionEngine::extend_background_master() {
+  bool added = false;
+  for (std::size_t idx = 0; idx < pool_.size(); ++idx) {
+    if (pool_in_bg_master_[idx]) continue;
+    const IndependentSet& set = pool_[idx];
+    const bool usable =
+        std::all_of(set.links.begin(), set.links.end(),
+                    [this](net::LinkId e) { return bg_row_of_[e] >= 0; });
+    if (!usable) continue;
+    pool_in_bg_master_[idx] = 1;
+    bg_master_cols_.push_back(idx);
+    added = true;
+  }
+  return added;
+}
+
+void AdmissionEngine::sync_background_master() {
+  // Minimize total airtime subject to delivering every background demand.
+  // Rows are the background links in first-seen order and columns follow
+  // bg_master_cols_ order — both append-only, which is what keeps a saved
+  // basis (and its factorization) meaningful across commits, and what lets
+  // the master grow in place instead of being rebuilt every round.
+  //
+  // A column only enters the master once every one of its links has a row,
+  // so a pre-sync column can never touch a post-sync row: new columns
+  // extend old rows via append_term and contribute the initial terms of
+  // the new rows, never the other way around.
+  std::vector<std::vector<std::pair<lp::VarId, double>>> new_rows(
+      bg_links_.size() - bg_synced_rows_);
+  for (std::size_t i = bg_synced_cols_; i < bg_master_cols_.size(); ++i) {
+    const IndependentSet& set = pool_[bg_master_cols_[i]];
+    const lp::VarId id = bg_master_.add_variable(1.0);
+    for (std::size_t k = 0; k < set.links.size(); ++k) {
+      const std::size_t r = static_cast<std::size_t>(bg_row_of_[set.links[k]]);
+      if (r < bg_synced_rows_)
+        bg_master_.append_term(r, id, set.mbps[k]);
+      else
+        new_rows[r - bg_synced_rows_].emplace_back(id, set.mbps[k]);
+    }
+  }
+  bg_synced_cols_ = bg_master_cols_.size();
+  for (const auto& terms : new_rows)
+    bg_master_.add_constraint(terms, lp::Sense::kGreaterEqual, 0.0);
+  bg_synced_rows_ = bg_links_.size();
+  for (std::size_t r = 0; r < bg_links_.size(); ++r)
+    bg_master_.set_rhs(r, bg_demand_[bg_links_[r]]);
+}
+
+void AdmissionEngine::refresh_background() {
+  if (!bg_dirty_) return;
+  bg_dirty_ = false;
+  ++stats_.background_solves;
+  if (bg_impossible_) {
+    bg_feasible_ = false;
+    bg_airtime_ = std::numeric_limits<double>::infinity();
+    bg_basis_.clear();
+    bg_context_.reset();
+    return;
+  }
+  if (bg_links_.empty()) {
+    bg_feasible_ = true;
+    bg_airtime_ = 0.0;
+    bg_basis_.clear();
+    bg_context_.reset();
+    return;
+  }
+
+  // Pricing runs over the full link set with zero weight off the
+  // background rows. Both oracles drop zero-weight candidates before
+  // searching, so the result (and its rate vector) is identical to
+  // pricing over the restricted universe — but the model's pricing
+  // context is built for `all_links_` once and reused forever instead of
+  // being rebuilt for every distinct background link set.
+  std::vector<double> weights(all_links_.size(), 0.0);
+
+  bool first = true;
+  bool converged = false;
+  lp::Solution sol;
+  for (std::size_t round = 0; round <= options_.max_rounds; ++round) {
+    sync_background_master();
+    const lp::Problem& master = bg_master_;
+    lp::SolveOptions solve_options;
+    solve_options.engine = options_.engine;
+    solve_options.context = &bg_context_;
+    lp::SolveStats lp_stats;
+    solve_options.stats = &lp_stats;
+    if (!bg_basis_.empty()) {
+      solve_options.warm_start = &bg_basis_;
+      // Only the first master after a commit has changed rows/rhs; later
+      // rounds append columns and chain primal warm starts as usual.
+      solve_options.dual_resolve = first;
+    }
+    sol = lp::solve(master, solve_options);
+    stats_.lp_pivots += lp_stats.pivots;
+    if (first && !bg_basis_.empty()) {
+      if (lp_stats.dual_phase &&
+          lp_stats.fallback_reason == lp::Fallback::kNone) {
+        ++stats_.dual_resolves;
+      } else {
+        ++stats_.dual_fallbacks;
+        stats_.last_fallback = lp_stats.fallback_reason;
+      }
+    }
+    if (!sol.optimal()) break;  // master infeasible cannot happen: every
+                                // demanded row holds its singleton column
+    bg_basis_ = sol.basis;
+    if (first) {
+      first = false;
+      // Queries since the last refresh may have priced columns that fit
+      // the background universe; fold them in after the dual phase (a
+      // column append is exactly what the primal warm start supports).
+      if (extend_background_master()) continue;
+    }
+
+    std::fill(weights.begin(), weights.end(), 0.0);
+    for (std::size_t r = 0; r < bg_links_.size(); ++r)
+      weights[bg_links_[r]] = std::max(0.0, sol.dual(r));
+    const MaxWeightSetResult priced = model_->max_weight_independent_set(
+        all_links_, weights, 1.0 + options_.reduced_cost_tol);
+    ++stats_.pricing_rounds;
+    if (!priced.found()) {
+      converged = true;
+      break;
+    }
+    const auto [idx, fresh] = pool_add(priced.set);
+    if (!fresh) ++stats_.pool_hits;
+    if (pool_in_bg_master_[idx]) {
+      // The oracle re-priced a master column: its reduced cost sits at the
+      // tolerance boundary. The master is optimal for all purposes.
+      converged = true;
+      break;
+    }
+    pool_in_bg_master_[idx] = 1;
+    bg_master_cols_.push_back(idx);
+    // The oracle's runner-up extras are feasible sets over the same rows
+    // (zero weight outside the row set keeps their links inside it);
+    // folding them in now saves later solve/price rounds.
+    for (const IndependentSet& extra : priced.extras) {
+      const auto [extra_idx, extra_fresh] = pool_add(extra);
+      (void)extra_fresh;
+      if (pool_in_bg_master_[extra_idx]) continue;
+      pool_in_bg_master_[extra_idx] = 1;
+      bg_master_cols_.push_back(extra_idx);
+    }
+    if (bg_master_cols_.size() > options_.max_columns) break;
+  }
+  stats_.pool_columns = pool_.size();
+  bg_airtime_ = sol.optimal() ? sol.objective
+                              : std::numeric_limits<double>::infinity();
+  bg_feasible_ = converged && bg_airtime_ <= 1.0 + kAirtimeTol;
+}
+
+double AdmissionEngine::background_airtime() {
+  refresh_background();
+  return bg_airtime_;
+}
+
+bool AdmissionEngine::background_feasible() {
+  refresh_background();
+  return bg_feasible_;
+}
+
+AdmissionAnswer AdmissionEngine::solve_query(
+    std::span<const net::LinkId> path, double demand_mbps,
+    std::span<const IndependentSet> pool,
+    std::vector<IndependentSet>* fresh_columns,
+    std::size_t* pool_hits) const {
+  MRWSN_REQUIRE(!path.empty(), "admission query needs a non-empty path");
+  AdmissionAnswer answer;
+  if (!bg_feasible_) return answer;  // Eq. 6 infeasible: nothing available
+  answer.background_feasible = true;
+
+  // Canonical universe: background links plus the query path.
+  std::vector<net::LinkId> universe = bg_links_;
+  universe.insert(universe.end(), path.begin(), path.end());
+  std::sort(universe.begin(), universe.end());
+  universe.erase(std::unique(universe.begin(), universe.end()),
+                 universe.end());
+  std::vector<int> position(bg_demand_.size(), -1);
+  for (std::size_t p = 0; p < universe.size(); ++p) {
+    MRWSN_REQUIRE(universe[p] < bg_demand_.size(),
+                  "admission query references an unknown link");
+    position[universe[p]] = static_cast<int>(p);
+  }
+  std::vector<char> on_path(bg_demand_.size(), 0);
+  for (const net::LinkId link : path) on_path[link] = 1;
+
+  // The query's column set: every pool column that fits the universe, plus
+  // singletons for universe links the pool subset leaves uncovered, plus
+  // whatever pricing generates. Pointers stay valid because `generated`
+  // never reallocates (reserved to its worst case up front).
+  std::vector<const IndependentSet*> columns;
+  std::vector<IndependentSet> generated;
+  // Worst case: one singleton per universe link, plus per pricing round
+  // the best set and up to three runner-up extras.
+  generated.reserve(universe.size() + 4 * (options_.max_rounds + 1));
+  std::vector<char> covered(universe.size(), 0);
+  std::vector<int> column_of_pool(pool.size(), -1);
+  for (std::size_t idx = 0; idx < pool.size(); ++idx) {
+    const IndependentSet& set = pool[idx];
+    const bool usable =
+        std::all_of(set.links.begin(), set.links.end(),
+                    [&](net::LinkId e) { return position[e] >= 0; });
+    if (!usable) continue;
+    column_of_pool[idx] = static_cast<int>(columns.size());
+    columns.push_back(&set);
+    if (set.size() == 1)
+      covered[static_cast<std::size_t>(position[set.links[0]])] = 1;
+  }
+  for (std::size_t p = 0; p < universe.size(); ++p) {
+    if (covered[p]) continue;
+    const auto rate = model_->max_rate_alone(universe[p]);
+    if (!rate) continue;
+    IndependentSet set;
+    set.links = {universe[p]};
+    set.rates = {*rate};
+    set.mbps = {model_->rate_table()[*rate].mbps};
+    generated.push_back(std::move(set));
+    columns.push_back(&generated.back());
+  }
+
+  // Seed the first solve with a primal-feasible basis derived from the
+  // background master's optimum: the background's basic columns stay
+  // basic in their (remapped) rows, every other row starts on its own
+  // slack, and f is nonbasic at zero. That point delivers the background
+  // demands within unit airtime by construction, so the solver skips
+  // phase 1 outright and phase 2 only has to drive f up — the bulk of a
+  // cold two-phase solve disappears from every query.
+  lp::Basis basis;
+  if (bg_basis_.size() == bg_links_.size() && !bg_basis_.empty()) {
+    basis.assign(1 + universe.size(), lp::BasisEntry{});
+    basis[0] = {lp::BasisEntry::Kind::kSlack, 0};
+    for (std::size_t p = 0; p < universe.size(); ++p)
+      basis[1 + p] = {lp::BasisEntry::Kind::kSlack, static_cast<int>(1 + p)};
+    for (std::size_t r = 0; r < bg_links_.size(); ++r) {
+      const int q = 1 + position[bg_links_[r]];
+      const lp::BasisEntry& entry = bg_basis_[r];
+      if (entry.kind == lp::BasisEntry::Kind::kSlack) {
+        basis[static_cast<std::size_t>(q)] = {lp::BasisEntry::Kind::kSlack, q};
+        continue;
+      }
+      const int column = column_of_pool[bg_master_cols_[
+          static_cast<std::size_t>(entry.index)]];
+      if (column < 0) {  // snapshot misses a background-basic column
+        basis.clear();
+        break;
+      }
+      basis[static_cast<std::size_t>(q)] = {lp::BasisEntry::Kind::kStructural,
+                                            1 + column};
+    }
+  }
+  lp::RevisedContext context;
+  lp::Solution sol;
+  // Full-universe pricing weights (see refresh_background): zero outside
+  // the query universe, so priced sets only ever contain universe links.
+  std::vector<double> weights(all_links_.size(), 0.0);
+
+  // Build the restricted master once; pricing rounds append their column
+  // in place (the rows' sorted-sparse invariant holds because every new
+  // λ's id exceeds everything already in its rows).
+  lp::Problem master(lp::Objective::kMaximize);
+  const lp::VarId f = master.add_variable(1.0, "f");
+  std::vector<lp::VarId> lambda;
+  lambda.reserve(columns.size());
+  for (std::size_t i = 0; i < columns.size(); ++i)
+    lambda.push_back(master.add_variable(0.0));
+  {
+    std::vector<std::pair<lp::VarId, double>> share;
+    share.reserve(columns.size());
+    for (const lp::VarId id : lambda) share.emplace_back(id, 1.0);
+    master.add_constraint(share, lp::Sense::kLessEqual, 1.0);
+    // f is VarId 0 and the λ ids ascend, so seeding f first keeps every
+    // row pre-sorted — add_constraint's linear canonicalization path.
+    std::vector<std::vector<std::pair<lp::VarId, double>>> rows(
+        universe.size());
+    for (std::size_t p = 0; p < universe.size(); ++p)
+      if (on_path[universe[p]]) rows[p].emplace_back(f, -1.0);
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+      const IndependentSet& set = *columns[i];
+      for (std::size_t k = 0; k < set.links.size(); ++k)
+        rows[static_cast<std::size_t>(position[set.links[k]])].emplace_back(
+            lambda[i], set.mbps[k]);
+    }
+    for (std::size_t p = 0; p < universe.size(); ++p)
+      master.add_constraint(rows[p], lp::Sense::kGreaterEqual,
+                            bg_demand_[universe[p]]);
+  }
+
+  for (std::size_t round = 0; round <= options_.max_rounds; ++round) {
+    lp::SolveOptions solve_options;
+    solve_options.engine = options_.engine;
+    solve_options.context = &context;
+    if (!basis.empty()) solve_options.warm_start = &basis;
+    lp::SolveStats lp_stats;
+    solve_options.stats = &lp_stats;
+    sol = lp::solve(master, solve_options);
+    answer.lp_pivots += lp_stats.pivots;
+    if (!sol.optimal()) break;
+    basis = sol.basis;
+
+    // Phase-B pricing: weights from the link-row duals (maximize => the
+    // improving direction is -dual), floor from the airtime row's dual.
+    std::fill(weights.begin(), weights.end(), 0.0);
+    for (std::size_t p = 0; p < universe.size(); ++p)
+      weights[universe[p]] = std::max(0.0, -sol.dual(1 + p));
+    const double floor =
+        std::max(0.0, sol.dual(0)) + options_.reduced_cost_tol;
+    const MaxWeightSetResult priced =
+        model_->max_weight_independent_set(all_links_, weights, floor);
+    ++answer.pricing_rounds;
+    if (!priced.found()) {
+      answer.converged = true;
+      break;
+    }
+    // Dedup against this query's columns: re-pricing one means the master
+    // already sits at the tolerance boundary.
+    bool duplicate = false;
+    for (const IndependentSet* existing : columns) {
+      if (existing->links == priced.set.links &&
+          existing->rates == priced.set.rates) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) {
+      ++*pool_hits;
+      answer.converged = true;
+      break;
+    }
+    const auto add_column = [&](const IndependentSet& set) {
+      for (const IndependentSet* existing : columns)
+        if (existing->links == set.links && existing->rates == set.rates)
+          return;
+      generated.push_back(set);
+      columns.push_back(&generated.back());
+      const IndependentSet& added = generated.back();
+      const lp::VarId id = master.add_variable(0.0);
+      master.append_term(0, id, 1.0);
+      for (std::size_t k = 0; k < added.links.size(); ++k)
+        master.append_term(
+            1 + static_cast<std::size_t>(position[added.links[k]]), id,
+            added.mbps[k]);
+    };
+    add_column(priced.set);
+    // Runner-up extras from the same search: more columns per oracle call
+    // means fewer solve/price rounds to converge, at no search cost.
+    for (const IndependentSet& extra : priced.extras) add_column(extra);
+    if (columns.size() > options_.max_columns) break;
+  }
+
+  answer.master_columns = columns.size();
+  if (sol.optimal()) answer.available_mbps = std::max(0.0, sol.objective);
+  if (!sol.optimal()) answer.converged = false;
+  answer.admitted = answer.background_feasible &&
+                    answer.available_mbps + kDemandSlack >= demand_mbps;
+  *fresh_columns = std::move(generated);
+  return answer;
+}
+
+AdmissionAnswer AdmissionEngine::query(std::span<const net::LinkId> path,
+                                       double demand_mbps) {
+  refresh_background();
+  std::vector<IndependentSet> fresh;
+  std::size_t hits = 0;
+  AdmissionAnswer answer = solve_query(path, demand_mbps, pool_, &fresh, &hits);
+  for (IndependentSet& set : fresh) {
+    const auto [idx, inserted] = pool_add(std::move(set));
+    (void)idx;
+    if (!inserted) ++hits;
+  }
+  ++stats_.queries;
+  stats_.pricing_rounds += answer.pricing_rounds;
+  stats_.lp_pivots += answer.lp_pivots;
+  stats_.pool_hits += hits;
+  stats_.pool_columns = pool_.size();
+  return answer;
+}
+
+AdmissionAnswer AdmissionEngine::admit(std::span<const net::LinkId> path,
+                                       double demand_mbps) {
+  AdmissionAnswer answer = query(path, demand_mbps);
+  if (answer.admitted)
+    add_background(LinkFlow{{path.begin(), path.end()}, demand_mbps});
+  return answer;
+}
+
+std::vector<AdmissionAnswer> AdmissionEngine::query_batch(
+    std::span<const AdmissionQuery> queries) {
+  refresh_background();
+  // Workers read a fixed pool snapshot and collect new columns locally;
+  // the merge happens after the join. Answers are therefore deterministic
+  // and independent of the thread count.
+  const std::span<const IndependentSet> snapshot(pool_.data(), pool_.size());
+  std::vector<AdmissionAnswer> answers(queries.size());
+  std::vector<std::vector<IndependentSet>> fresh(queries.size());
+  std::vector<std::size_t> hits(queries.size(), 0);
+  util::parallel_for(queries.size(), [&](std::size_t i) {
+    answers[i] = solve_query(queries[i].path, queries[i].demand_mbps,
+                             snapshot, &fresh[i], &hits[i]);
+  });
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    for (IndependentSet& set : fresh[i]) {
+      const auto [idx, inserted] = pool_add(std::move(set));
+      (void)idx;
+      if (!inserted) ++hits[i];
+    }
+    stats_.pricing_rounds += answers[i].pricing_rounds;
+    stats_.lp_pivots += answers[i].lp_pivots;
+    stats_.pool_hits += hits[i];
+  }
+  stats_.queries += queries.size();
+  stats_.pool_columns = pool_.size();
+  return answers;
+}
+
+}  // namespace mrwsn::core

@@ -1,0 +1,187 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "core/available_bandwidth.hpp"
+#include "lp/simplex.hpp"
+
+namespace mrwsn::core {
+
+/// One admission query against the engine's current background state.
+struct AdmissionQuery {
+  std::vector<net::LinkId> path;  ///< ordered links of the candidate path
+  double demand_mbps = 0.0;
+};
+
+/// Answer to one admission query. `available_mbps` is the Eq. 6 optimum
+/// for the path against the background at query time — identical (to LP
+/// tolerance) to what a cold max_path_bandwidth() solve returns.
+struct AdmissionAnswer {
+  bool background_feasible = false;
+  double available_mbps = 0.0;
+  bool admitted = false;  ///< available_mbps covers the demand (1e-6 slack)
+  bool converged = true;  ///< pricing proved optimality for this query
+  std::size_t pricing_rounds = 0;  ///< oracle invocations this query cost
+  std::size_t master_columns = 0;  ///< columns in the query's final master
+  std::size_t lp_pivots = 0;       ///< simplex pivots across this query's
+                                   ///< master solves
+};
+
+/// Aggregate telemetry over the engine's lifetime.
+struct AdmissionEngineStats {
+  std::size_t queries = 0;  ///< query()/admit() calls and batch items
+  std::size_t commits = 0;  ///< background flows accepted into the row set
+  std::size_t background_solves = 0;  ///< background-master refreshes
+  std::size_t pricing_rounds = 0;     ///< oracle calls across all masters
+  std::size_t pool_hits = 0;    ///< priced columns the pool already held
+  std::size_t pool_columns = 0;  ///< current persistent pool size
+  std::size_t dual_resolves = 0;   ///< background re-solves kept warm by
+                                   ///< the dual simplex phase
+  std::size_t dual_fallbacks = 0;  ///< background re-solves that went cold
+  std::size_t lp_pivots = 0;       ///< simplex pivots across all solves
+  lp::Fallback last_fallback = lp::Fallback::kNone;  ///< reason of the
+                                                     ///< latest cold fall
+};
+
+/// Long-lived batch admission engine: amortizes the expensive substrate of
+/// the Eq. 6 LP across thousands of admission queries on one topology.
+///
+/// What is shared and owned where:
+///  - The InterferenceModel (borrowed, must outlive the engine) owns the
+///    per-universe memos — ConflictMatrix, pricing contexts, rx-power
+///    tables. They are keyed by canonical universe and thread-safe, so
+///    every query over a recurring universe pays the build cost once.
+///  - The engine owns a persistent cross-query column pool: every column
+///    the pricing oracle ever generated, deduplicated by (links, rates)
+///    signature. A new query seeds its restricted master from the pool
+///    columns that fit its universe instead of starting from singletons,
+///    which is what collapses per-query pricing to a handful of rounds.
+///  - Per-query state reduces to the background-flow row set: a background
+///    "min total airtime subject to delivering every background demand"
+///    master whose rows are the background links in first-seen order.
+///    Committing a flow appends rows / bumps right-hand sides, and the
+///    next refresh re-solves it with a dual simplex phase from the stored
+///    basis and factorization (lp::SolveOptions::dual_resolve) instead of
+///    cold — the rows-appended/rhs-bumped pattern keeps the old basis dual
+///    feasible by construction.
+///
+/// Parity guarantee: query answers equal cold max_path_bandwidth() solves
+/// to LP tolerance. The per-query master is a restricted master of the
+/// exact Eq. 6 LP (pool columns never add infeasible sets) and pricing is
+/// the same exact oracle, so a converged query is the exact optimum
+/// regardless of what the pool happened to contain; the dual re-solve path
+/// audits dual feasibility on entry and falls back cold otherwise, so it
+/// never changes the background answer either.
+///
+/// Thread safety: query_batch() shards its queries over
+/// util::parallel_for. Worker queries read the engine state and the model
+/// caches (thread-safe) and collect newly priced columns locally; the pool
+/// merge happens after the join, so answers are deterministic and
+/// independent of MRWSN_THREADS. The engine itself is not safe for
+/// concurrent external mutation.
+///
+/// ColumnGenOptions knobs honored: engine, max_rounds, max_columns,
+/// reduced_cost_tol. Dual smoothing (stabilize) is not used — engine
+/// masters start from a warm pool, which removes the tailing-off the
+/// smoothing exists for.
+class AdmissionEngine {
+ public:
+  explicit AdmissionEngine(const InterferenceModel& model,
+                           ColumnGenOptions options = {});
+
+  /// Evaluate one path against the current background; commits nothing.
+  AdmissionAnswer query(std::span<const net::LinkId> path,
+                        double demand_mbps);
+
+  /// Evaluate and, when the demand fits, commit the flow to the
+  /// background row set.
+  AdmissionAnswer admit(std::span<const net::LinkId> path,
+                        double demand_mbps);
+
+  /// Evaluate independent queries against the same background snapshot,
+  /// sharded over util::parallel_for. Commits nothing.
+  std::vector<AdmissionAnswer> query_batch(
+      std::span<const AdmissionQuery> queries);
+
+  /// Commit a flow unconditionally (preloading a scenario's background).
+  void add_background(LinkFlow flow);
+
+  std::span<const LinkFlow> background() const { return background_; }
+
+  /// Drop the background state. The column pool and the model's caches
+  /// survive — they depend only on the topology, and keeping them warm
+  /// across scenario resets is the engine's reason to exist.
+  void clear();
+
+  /// Minimum total airtime that delivers the background demands (refreshed
+  /// lazily). The background is feasible iff this is <= 1.
+  double background_airtime();
+  bool background_feasible();
+
+  const AdmissionEngineStats& stats() const { return stats_; }
+
+ private:
+  using Signature = std::vector<std::uint64_t>;
+
+  /// Pool append with signature dedup; returns (pool index, was fresh).
+  std::pair<std::size_t, bool> pool_add(IndependentSet set);
+  /// Ensure the singleton column of `link` exists in pool and background
+  /// master (no-op when the link carries no rate).
+  void seed_singleton(net::LinkId link);
+  /// Append every pool column that fits the background universe but is
+  /// absent from the background master. Returns true when any was added.
+  bool extend_background_master();
+  /// Bring bg_master_ (the long-lived min-airtime Problem) up to date with
+  /// bg_master_cols_ / bg_links_ / bg_demand_: new columns and rows are
+  /// appended in place, demands refreshed via set_rhs. Never rebuilds.
+  void sync_background_master();
+  /// Re-solve the background master if commits happened since, chaining
+  /// the dual-simplex row re-solve into the pricing loop.
+  void refresh_background();
+  AdmissionAnswer solve_query(std::span<const net::LinkId> path,
+                              double demand_mbps,
+                              std::span<const IndependentSet> pool,
+                              std::vector<IndependentSet>* fresh_columns,
+                              std::size_t* pool_hits) const;
+
+  const InterferenceModel* model_;
+  ColumnGenOptions options_;
+
+  // Every link id in ascending order. Pricing always runs over this one
+  // canonical universe (with zero weight outside the active row set), so
+  // the model's per-universe caches warm up exactly once for the whole
+  // engine lifetime instead of once per distinct background ∪ path set.
+  std::vector<net::LinkId> all_links_;
+
+  std::vector<LinkFlow> background_;
+  std::vector<double> bg_demand_;      // by link id, model_->num_links()
+  std::vector<net::LinkId> bg_links_;  // background rows, first-seen order
+  std::vector<int> bg_row_of_;         // by link id; -1 = no row
+
+  std::vector<IndependentSet> pool_;   // persistent cross-query columns
+  std::map<Signature, std::size_t> pool_index_;
+
+  std::vector<std::size_t> bg_master_cols_;  // pool indices, append-only
+  std::vector<char> pool_in_bg_master_;      // parallel to pool_
+
+  // The background master LP lives as long as the background state and
+  // only ever grows in place (columns via append_term, rows via
+  // add_constraint, demands via set_rhs); bg_synced_* mark how much of
+  // bg_master_cols_ / bg_links_ has been materialized into it.
+  lp::Problem bg_master_{lp::Objective::kMinimize};
+  std::size_t bg_synced_cols_ = 0;
+  std::size_t bg_synced_rows_ = 0;
+  lp::Basis bg_basis_;
+  lp::RevisedContext bg_context_;
+  double bg_airtime_ = 0.0;
+  bool bg_feasible_ = true;
+  bool bg_dirty_ = false;
+  bool bg_impossible_ = false;  // a demanded link carries no usable rate
+
+  AdmissionEngineStats stats_;
+};
+
+}  // namespace mrwsn::core

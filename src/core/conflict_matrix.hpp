@@ -158,6 +158,12 @@ class PricingCache {
       const PhysicalInterferenceModel& model,
       std::vector<net::LinkId> universe);
 
+  /// Hit-only lookup that never copies the universe; nullptr on miss.
+  /// The pricing hot path calls this first so a warm cache costs one scan
+  /// instead of a heap allocation per round.
+  std::shared_ptr<const PricingContext> find(
+      std::span<const net::LinkId> universe);
+
   void clear();
 
  private:

@@ -93,6 +93,11 @@ namespace {
 /// more than the search.
 constexpr std::size_t kParallelRootThreshold = 16;
 
+/// How many beaten-best runner-up sets a search keeps (the most recent
+/// ones — they score closest to the optimum and make the best extra
+/// columns).
+constexpr std::size_t kMaxExtras = 3;
+
 /// Clear bits 0..v of `row` (keep strictly-greater indices only) — the
 /// ordered-enumeration mask that makes every couple combination appear on
 /// exactly one DFS path.
@@ -144,6 +149,11 @@ class ProtocolRootSearch {
 
   double best_weight() const { return best_; }
   const std::vector<std::size_t>& best_members() const { return best_members_; }
+  /// Beaten former bests (couple-index lists), oldest first, capped at
+  /// kMaxExtras.
+  const std::vector<std::vector<std::size_t>>& extras() const {
+    return extras_;
+  }
 
  private:
   /// Optimistic completion weight of candidate set `p`: couples are ordered
@@ -184,6 +194,12 @@ class ProtocolRootSearch {
   }
 
   void record(double w) {
+    // The beaten best is itself a feasible set above the floor — keep the
+    // most recent few as runner-up extras.
+    if (!best_members_.empty()) {
+      if (extras_.size() == kMaxExtras) extras_.erase(extras_.begin());
+      extras_.push_back(best_members_);
+    }
     best_ = w;
     best_members_ = members_;
   }
@@ -192,6 +208,7 @@ class ProtocolRootSearch {
   double best_;
   std::vector<std::size_t> members_;       ///< couple indices, ascending
   std::vector<std::size_t> best_members_;
+  std::vector<std::vector<std::size_t>> extras_;
   std::vector<std::vector<util::BitWord>> buffers_;  ///< candidate set per depth
 };
 
@@ -231,6 +248,13 @@ class PhysicalRootSearch {
   double best_weight() const { return best_; }
   const std::vector<std::size_t>& best_members() const { return best_members_; }
   const std::vector<phy::RateIndex>& best_rates() const { return best_rates_; }
+  /// Beaten former bests (members + their rates), oldest first, capped at
+  /// kMaxExtras.
+  const std::vector<std::pair<std::vector<std::size_t>,
+                              std::vector<phy::RateIndex>>>&
+  extras() const {
+    return extras_;
+  }
 
  private:
   double cross(std::size_t k, std::size_t u) const {
@@ -255,10 +279,14 @@ class PhysicalRootSearch {
     return true;
   }
 
+  // Interference and blocked counts are only ever read at candidate
+  // positions (members and extension targets all come from data_.order),
+  // so push/pop maintain just those entries. With sparse weights over a
+  // large universe this is the difference between O(|universe|) and
+  // O(|candidates|) per search node.
   void push(std::size_t v) {
     members_.push_back(v);
-    const std::size_t n = data_.ctx->size();
-    for (std::size_t u = 0; u < n; ++u) {
+    for (const std::size_t u : data_.order) {
       if (u == v) continue;
       interference_[u] += cross(v, u);
       blocked_[u] += shares(v, u);
@@ -267,8 +295,7 @@ class PhysicalRootSearch {
 
   void pop(std::size_t v) {
     members_.pop_back();
-    const std::size_t n = data_.ctx->size();
-    for (std::size_t u = 0; u < n; ++u) {
+    for (const std::size_t u : data_.order) {
       if (u == v) continue;
       interference_[u] -= cross(v, u);
       blocked_[u] -= shares(v, u);
@@ -310,6 +337,12 @@ class PhysicalRootSearch {
   }
 
   void record(double w) {
+    // The beaten best is itself a feasible set above the floor — keep the
+    // most recent few as runner-up extras.
+    if (!best_members_.empty()) {
+      if (extras_.size() == kMaxExtras) extras_.erase(extras_.begin());
+      extras_.emplace_back(best_members_, best_rates_);
+    }
     best_ = w;
     best_members_ = members_;
     best_rates_ = rates_scratch_;
@@ -323,6 +356,8 @@ class PhysicalRootSearch {
   std::vector<phy::RateIndex> rates_scratch_;
   std::vector<std::size_t> best_members_;
   std::vector<phy::RateIndex> best_rates_;
+  std::vector<std::pair<std::vector<std::size_t>, std::vector<phy::RateIndex>>>
+      extras_;
 };
 
 /// Run `roots` independent root searches and reduce deterministically:
@@ -391,15 +426,23 @@ MaxWeightSetResult max_weight_independent_set_protocol(
   MaxWeightSetResult result;
   if (!best) return result;
   result.weight = best->best_weight();
-  const auto& members = best->best_members();  // ascending couple indices
-  result.set.links.reserve(members.size());
-  result.set.rates.reserve(members.size());
-  result.set.mbps.reserve(members.size());
-  for (std::size_t v : members) {
-    result.set.links.push_back(couples[v].link);
-    result.set.rates.push_back(couples[v].rate);
-    result.set.mbps.push_back(rates[couples[v].rate].mbps);
-  }
+  // Couple-index lists (ascending) translate directly to sorted sets.
+  const auto to_set = [&](const std::vector<std::size_t>& members) {
+    IndependentSet set;
+    set.links.reserve(members.size());
+    set.rates.reserve(members.size());
+    set.mbps.reserve(members.size());
+    for (std::size_t v : members) {
+      set.links.push_back(couples[v].link);
+      set.rates.push_back(couples[v].rate);
+      set.mbps.push_back(rates[couples[v].rate].mbps);
+    }
+    return set;
+  };
+  result.set = to_set(best->best_members());
+  result.extras.reserve(best->extras().size());
+  for (const auto& members : best->extras())
+    result.extras.push_back(to_set(members));
   return result;
 }
 
@@ -433,24 +476,32 @@ MaxWeightSetResult max_weight_independent_set_physical(
   MaxWeightSetResult result;
   if (!best) return result;
   result.weight = best->best_weight();
-  const auto& members = best->best_members();
-  const auto& member_rates = best->best_rates();
+  const phy::RateTable& rates = context.phy->rates();
   // Members follow the descending-alone-weight candidate order; an
   // IndependentSet wants them sorted by link id.
-  std::vector<std::size_t> by_link(members.size());
-  std::iota(by_link.begin(), by_link.end(), std::size_t{0});
-  std::sort(by_link.begin(), by_link.end(), [&](std::size_t a, std::size_t b) {
-    return members[a] < members[b];
-  });
-  const phy::RateTable& rates = context.phy->rates();
-  result.set.links.reserve(members.size());
-  result.set.rates.reserve(members.size());
-  result.set.mbps.reserve(members.size());
-  for (std::size_t k : by_link) {
-    result.set.links.push_back(context.universe[members[k]]);
-    result.set.rates.push_back(member_rates[k]);
-    result.set.mbps.push_back(rates[member_rates[k]].mbps);
-  }
+  const auto to_set = [&](const std::vector<std::size_t>& members,
+                          const std::vector<phy::RateIndex>& member_rates) {
+    std::vector<std::size_t> by_link(members.size());
+    std::iota(by_link.begin(), by_link.end(), std::size_t{0});
+    std::sort(by_link.begin(), by_link.end(),
+              [&](std::size_t a, std::size_t b) {
+                return members[a] < members[b];
+              });
+    IndependentSet set;
+    set.links.reserve(members.size());
+    set.rates.reserve(members.size());
+    set.mbps.reserve(members.size());
+    for (std::size_t k : by_link) {
+      set.links.push_back(context.universe[members[k]]);
+      set.rates.push_back(member_rates[k]);
+      set.mbps.push_back(rates[member_rates[k]].mbps);
+    }
+    return set;
+  };
+  result.set = to_set(best->best_members(), best->best_rates());
+  result.extras.reserve(best->extras().size());
+  for (const auto& [members, member_rates] : best->extras())
+    result.extras.push_back(to_set(members, member_rates));
   return result;
 }
 

@@ -49,6 +49,15 @@ struct MaxWeightSetResult {
   IndependentSet set;
   double weight = 0.0;
 
+  /// Runner-up feasible sets that scored above the floor but were later
+  /// beaten while proving `set` optimal — free byproducts of the
+  /// branch-and-bound's improving chain (most recent last, all strictly
+  /// below `weight`). Column-generation callers can add them as extra
+  /// master columns per pricing round, which cuts the number of
+  /// solve/price rounds without affecting exactness. Deterministic and
+  /// independent of MRWSN_THREADS, like `set` itself.
+  std::vector<IndependentSet> extras;
+
   bool found() const { return !set.links.empty(); }
 };
 

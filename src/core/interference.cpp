@@ -310,6 +310,16 @@ class PhysicalMisEnumerator {
 
 }  // namespace
 
+std::shared_ptr<const PricingContext> PricingCache::find(
+    std::span<const net::LinkId> universe) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& entry : entries_)
+    if (entry->universe.size() == universe.size() &&
+        std::equal(universe.begin(), universe.end(), entry->universe.begin()))
+      return entry;
+  return nullptr;
+}
+
 std::shared_ptr<const PricingContext> PricingCache::get(
     const PhysicalInterferenceModel& model, std::vector<net::LinkId> universe) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -329,20 +339,27 @@ std::shared_ptr<const PricingContext> PricingCache::get(
   ctx->alone_usable.assign(n, 0);
   ctx->alone_rate.assign(n, 0);
   ctx->alone_mbps.assign(n, 0.0);
+  // Hoist the link endpoints once so the O(n^2) fill below is pure table
+  // lookups — for an engine-wide universe this loop is the whole cost of
+  // warming the context.
+  std::vector<net::NodeId> tx(n), rx(n);
   for (std::size_t u = 0; u < n; ++u) {
     const net::Link& lu = network.link(ctx->universe[u]);
+    tx[u] = lu.tx;
+    rx[u] = lu.rx;
     ctx->signal[u] = model.rx_power(lu.tx, lu.rx);
     if (const auto rate = model.max_rate_alone(ctx->universe[u])) {
       ctx->alone_usable[u] = 1;
       ctx->alone_rate[u] = *rate;
       ctx->alone_mbps[u] = ctx->phy->rates()[*rate].mbps;
     }
-    for (std::size_t k = 0; k < n; ++k) {
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t u = 0; u < n; ++u) {
       if (k == u) continue;
-      const net::Link& lk = network.link(ctx->universe[k]);
-      ctx->cross_power[k * n + u] = model.rx_power(lk.tx, lu.rx);
-      ctx->shares[k * n + u] = (lu.tx == lk.tx || lu.tx == lk.rx ||
-                                lu.rx == lk.tx || lu.rx == lk.rx)
+      ctx->cross_power[k * n + u] = model.rx_power(tx[k], rx[u]);
+      ctx->shares[k * n + u] = (rx[u] == tx[k] || rx[u] == rx[k] ||
+                                tx[u] == tx[k] || tx[u] == rx[k])
                                    ? 1
                                    : 0;
     }
@@ -361,10 +378,16 @@ MaxWeightSetResult PhysicalInterferenceModel::max_weight_independent_set(
     double floor) const {
   MRWSN_REQUIRE(strictly_ascending(universe),
                 "pricing universe must be canonical (weights are positional)");
-  std::vector<net::LinkId> links(universe.begin(), universe.end());
-  for (net::LinkId link : links)
-    MRWSN_REQUIRE(link < network_->num_links(), "universe link id out of range");
-  const auto context = pricing_cache().get(*this, std::move(links));
+  // A cached key was range-checked when it was inserted, so a hit skips
+  // both the id checks and the universe copy.
+  auto context = pricing_cache().find(universe);
+  if (!context) {
+    std::vector<net::LinkId> links(universe.begin(), universe.end());
+    for (net::LinkId link : links)
+      MRWSN_REQUIRE(link < network_->num_links(),
+                    "universe link id out of range");
+    context = pricing_cache().get(*this, std::move(links));
+  }
   return max_weight_independent_set_physical(*context, link_weight, floor);
 }
 

@@ -13,7 +13,9 @@ VarId Problem::add_variable(double objective_coeff, std::string name) {
   MRWSN_REQUIRE(std::isfinite(objective_coeff),
                 "objective coefficient must be finite (got NaN or infinity)");
   objective_coeffs_.push_back(objective_coeff);
-  if (name.empty()) name = "x" + std::to_string(objective_coeffs_.size() - 1);
+  // Unnamed variables get their "x<id>" name synthesized on demand in
+  // variable_name(); not materializing it here keeps the column-generation
+  // hot path (thousands of anonymous λ columns) free of string traffic.
   names_.push_back(std::move(name));
   // Rows are sparse: a variable absent from a row has coefficient zero, so
   // appending a column (the column-generation hot path) is O(1).
@@ -37,9 +39,14 @@ void Problem::add_constraint(const std::vector<std::pair<VarId, double>>& terms,
                 "constraint right-hand side must be finite (got NaN or "
                 "infinity)");
   // Canonical sparse form: sorted by variable, duplicates accumulated,
-  // exact zeros dropped.
-  std::sort(row.terms.begin(), row.terms.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
+  // exact zeros dropped. Column-generation masters build their rows in
+  // ascending variable order already; one linear scan detects that and
+  // skips the sort.
+  if (!std::is_sorted(
+          row.terms.begin(), row.terms.end(),
+          [](const auto& a, const auto& b) { return a.first < b.first; }))
+    std::sort(row.terms.begin(), row.terms.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
   std::size_t out = 0;
   for (std::size_t i = 0; i < row.terms.size();) {
     const VarId var = row.terms[i].first;
@@ -52,6 +59,27 @@ void Problem::add_constraint(const std::vector<std::pair<VarId, double>>& terms,
   row.sense = sense;
   row.rhs = rhs;
   rows_.push_back(std::move(row));
+}
+
+void Problem::append_term(std::size_t row, VarId var, double coeff) {
+  MRWSN_REQUIRE(row < rows_.size(), "append_term references an unknown row");
+  MRWSN_REQUIRE(var >= 0 && static_cast<std::size_t>(var) < num_variables(),
+                "append_term references an unknown variable");
+  MRWSN_REQUIRE(std::isfinite(coeff),
+                "constraint coefficient for variable '" + variable_name(var) +
+                    "' must be finite (got NaN or infinity)");
+  std::vector<std::pair<VarId, double>>& terms = rows_[row].terms;
+  MRWSN_REQUIRE(terms.empty() || terms.back().first < var,
+                "append_term must extend the row with a newer variable");
+  if (coeff != 0.0) terms.emplace_back(var, coeff);
+}
+
+void Problem::set_rhs(std::size_t row, double rhs) {
+  MRWSN_REQUIRE(row < rows_.size(), "set_rhs references an unknown row");
+  MRWSN_REQUIRE(std::isfinite(rhs),
+                "constraint right-hand side must be finite (got NaN or "
+                "infinity)");
+  rows_[row].rhs = rhs;
 }
 
 namespace {
@@ -655,6 +683,10 @@ struct RevisedEta {
 struct RevisedContext::State {
   std::size_t rows = 0;
   Basis basis;                    ///< the basis the factorization belongs to
+  std::vector<double> row_sign;   ///< rhs sign normalization at save time:
+                                  ///< B's entries depend on it, so a sign
+                                  ///< flip (rhs crossing zero) voids the
+                                  ///< factorization even for the same basis
   std::vector<double> lu;         ///< rows x rows packed L\U of B0
   std::vector<std::size_t> perm;  ///< LU row permutation
   std::vector<RevisedEta> etas;   ///< updates accumulated on top of lu
@@ -666,6 +698,12 @@ RevisedContext::RevisedContext(RevisedContext&&) noexcept = default;
 RevisedContext& RevisedContext::operator=(RevisedContext&&) noexcept = default;
 
 void RevisedContext::reset() { state_.reset(); }
+
+bool RevisedContext::empty() const { return state_ == nullptr; }
+
+std::size_t RevisedContext::rows() const {
+  return state_ != nullptr ? state_->rows : 0;
+}
 
 /// Sparse revised two-phase primal simplex. Shares the dense Tableau's
 /// column layout (structural, slack, artificial columns; rows
@@ -850,7 +888,8 @@ class RevisedSimplex {
     bool reused = false;
     if (context != nullptr && context->state_ != nullptr) {
       const RevisedContext::State& state = *context->state_;
-      if (state.rows == rows_ && state.basis == warm) {
+      if (state.rows == rows_ && state.basis == warm &&
+          state.row_sign == row_sign_) {
         lu_ = state.lu;
         perm_ = state.perm;
         etas_ = state.etas;
@@ -874,6 +913,117 @@ class RevisedSimplex {
     return true;
   }
 
+  /// Dual-simplex row re-solve: install `warm` — the optimal basis of this
+  /// problem before it gained trailing rows and/or changed right-hand
+  /// sides — complete it with the slacks of the trailing rows, audit dual
+  /// feasibility, and run a dual simplex phase down to primal feasibility
+  /// followed by primal phase 2 for cleanup and extraction. Completing
+  /// with trailing slacks preserves dual feasibility by construction: the
+  /// extended basis matrix is block triangular, so the old duals extend
+  /// with zeros and every reduced cost is unchanged, and duals do not
+  /// depend on b at all (rhs-only changes reuse the context factorization
+  /// verbatim). Returns false when the basis does not apply — wrong size,
+  /// unknown entries, a trailing equality row (no slack to complete with),
+  /// singular, or not dual feasible — and the caller must rerun cold.
+  /// Like run()/run_warm(), a mid-loop numerical failure returns true with
+  /// numerical_failure() set.
+  bool run_dual(const Basis& warm, std::size_t max_pivots, Solution* out,
+                RevisedContext* context, SolveStats* stats) {
+    budget_ = max_pivots;
+    if (warm.empty() || warm.size() > rows_) {
+      if (stats) stats->fallback_reason = Fallback::kDualRejected;
+      return false;
+    }
+    head_.assign(rows_, cols_);
+    in_basis_.assign(cols_, 0);
+    for (std::size_t k = 0; k < warm.size(); ++k) {
+      const BasisEntry& entry = warm[k];
+      std::size_t c = cols_;
+      if (entry.kind == BasisEntry::Kind::kStructural) {
+        if (entry.index >= 0 && static_cast<std::size_t>(entry.index) < n_)
+          c = static_cast<std::size_t>(entry.index);
+      } else if (entry.index >= 0 &&
+                 static_cast<std::size_t>(entry.index) < rows_) {
+        c = row_slack_col_[static_cast<std::size_t>(entry.index)];
+      }
+      if (c == cols_ || in_basis_[c]) {
+        if (stats) stats->fallback_reason = Fallback::kDualRejected;
+        return false;
+      }
+      in_basis_[c] = 1;
+      head_[k] = c;
+    }
+    for (std::size_t k = warm.size(); k < rows_; ++k) {
+      const std::size_t c = row_slack_col_[k];
+      if (c == cols_ || in_basis_[c]) {
+        if (stats) stats->fallback_reason = Fallback::kDualRejected;
+        return false;
+      }
+      in_basis_[c] = 1;
+      head_[k] = c;
+    }
+
+    // Context fast path: a rhs-only change leaves the basis matrix
+    // untouched, so the stored factorization applies verbatim. Appended
+    // rows change B (the trailing slack block) and force one
+    // refactorization — still far cheaper than a cold two-phase solve.
+    bool reused = false;
+    if (context != nullptr && context->state_ != nullptr) {
+      const RevisedContext::State& state = *context->state_;
+      if (state.rows == rows_ && warm.size() == rows_ &&
+          state.basis == warm && state.row_sign == row_sign_) {
+        lu_ = state.lu;
+        perm_ = state.perm;
+        etas_ = state.etas;
+        transpose_lu();
+        reused = true;
+      }
+    }
+    if (!reused && !refactorize()) {
+      if (stats) stats->fallback_reason = Fallback::kDualRejected;
+      return false;
+    }
+    if (stats) stats->context_reused = reused;
+
+    // Dual-feasibility audit: one BTRAN plus one pass over the nonzeros.
+    // A basis carried across anything other than the append-rows /
+    // change-rhs patterns (columns appended, objective changed) shows up
+    // here as a positive reduced cost and is rejected to the cold path, so
+    // a dual re-solve can never change results.
+    std::vector<double> y(rows_);
+    for (std::size_t k = 0; k < rows_; ++k) y[k] = obj_[head_[k]];
+    btran(&y);
+    for (std::size_t j = 0; j < art_begin_; ++j) {
+      if (in_basis_[j]) continue;
+      if (obj_[j] - column_dot(j, y) > kDualAuditTol) {
+        if (stats) stats->fallback_reason = Fallback::kNotDualFeasible;
+        return false;
+      }
+    }
+
+    x_ = b_;
+    ftran(&x_);
+    if (stats) stats->dual_phase = true;
+    const LoopResult r = dual_loop();
+    if (r == LoopResult::kNumericalFailure) return true;  // flag already set
+    if (r == LoopResult::kLimit) {
+      *out = limit_solution();
+      return true;
+    }
+    if (r == LoopResult::kInfeasible) {
+      *out = Solution{};  // default status kInfeasible
+      return true;
+    }
+    *out = phase2();
+    return true;
+  }
+
+  std::size_t dual_pivots() const { return dual_pivots_; }
+  /// Pivots consumed so far, given the budget the run started with.
+  std::size_t pivots_spent(std::size_t max_pivots) const {
+    return max_pivots - budget_;
+  }
+
   /// Store the factorization of this solve's final basis in `context` for
   /// the next warm-started re-solve. Clears the context when the basis is
   /// not reusable.
@@ -886,6 +1036,7 @@ class RevisedSimplex {
     auto state = std::make_unique<RevisedContext::State>();
     state->rows = rows_;
     state->basis = solution.basis;
+    state->row_sign = row_sign_;
     state->lu = lu_;
     state->perm = perm_;
     state->etas = etas_;
@@ -895,7 +1046,13 @@ class RevisedSimplex {
   bool numerical_failure() const { return numerical_failure_; }
 
  private:
-  enum class LoopResult { kOptimal, kUnbounded, kLimit, kNumericalFailure };
+  enum class LoopResult {
+    kOptimal,
+    kUnbounded,
+    kInfeasible,  // dual loop only: a row became a Farkas certificate
+    kLimit,
+    kNumericalFailure,
+  };
 
   static Solution limit_solution() {
     Solution solution;
@@ -1130,6 +1287,115 @@ class RevisedSimplex {
     }
   }
 
+  /// Dual simplex loop for run_dual: the basis is dual feasible (no
+  /// improving reduced cost on the real objective) but possibly primal
+  /// infeasible — negative basic values from rows appended or rhs
+  /// tightened since the basis was optimal. Each iteration drops the
+  /// most-negative basic value out of the basis and enters the column
+  /// minimizing |reduced cost| / |alpha| over columns with alpha < 0 in
+  /// the leaving row, which keeps every reduced cost sign-correct. Ties
+  /// prefer the larger pivot magnitude for stability; after a long stall
+  /// both choices switch permanently to Bland's smallest-index rule for
+  /// termination. No infeasible row left => primal feasible (done); no
+  /// eligible entering column => the leaving row of B^{-1}[A|b] reads
+  /// x_B = bbar_r - sum(alpha_rj x_j) <= bbar_r < 0 for every x >= 0, a
+  /// Farkas certificate of primal infeasibility.
+  LoopResult dual_loop() {
+    std::vector<double> y(rows_), rho(rows_), w;
+    std::size_t stalled_retries = 0;
+    for (std::size_t iter = 0;; ++iter) {
+      const bool bland = iter >= kDantzigIters;
+
+      std::size_t leaving = rows_;
+      if (bland) {
+        for (std::size_t k = 0; k < rows_; ++k) {
+          if (x_[k] < -kDualPrimalTol &&
+              (leaving == rows_ || head_[k] < head_[leaving]))
+            leaving = k;
+        }
+      } else {
+        double most = -kDualPrimalTol;
+        for (std::size_t k = 0; k < rows_; ++k) {
+          if (x_[k] < most) {
+            most = x_[k];
+            leaving = k;
+          }
+        }
+      }
+      if (leaving == rows_) {
+        // Primal feasible up to the same tolerance run_warm accepts.
+        for (double& v : x_)
+          if (v < 0.0) v = 0.0;
+        return LoopResult::kOptimal;
+      }
+
+      // rho = row `leaving` of B^{-1}; alpha_j = rho . A_j. Reduced costs
+      // need the duals of the current basis as well.
+      rho.assign(rows_, 0.0);
+      rho[leaving] = 1.0;
+      btran(&rho);
+      for (std::size_t k = 0; k < rows_; ++k) y[k] = obj_[head_[k]];
+      btran(&y);
+
+      std::size_t entering = cols_;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      double best_alpha = 0.0;
+      for (std::size_t j = 0; j < art_begin_; ++j) {
+        if (in_basis_[j]) continue;
+        const double alpha = column_dot(j, rho);
+        if (alpha >= -eps_) continue;
+        double reduced = obj_[j] - column_dot(j, y);
+        if (reduced > 0.0) reduced = 0.0;  // dual feasible up to round-off
+        const double ratio = reduced / alpha;  // >= 0
+        const bool better =
+            ratio < best_ratio - eps_ ||
+            (ratio < best_ratio + eps_ &&
+             (entering == cols_ ||
+              (bland ? j < entering : -alpha > best_alpha)));
+        if (better) {
+          best_ratio = ratio;
+          best_alpha = -alpha;
+          entering = j;
+        }
+      }
+      if (entering == cols_) return LoopResult::kInfeasible;
+
+      scatter_column(entering, &w);
+      ftran(&w);
+      if (w[leaving] >= -eps_) {
+        // The eta file and rho disagree on the pivot element's sign:
+        // refactorize once and retry the iteration; a repeat is a genuine
+        // numerical failure.
+        if (++stalled_retries > 1 || !refactorize()) {
+          numerical_failure_ = true;
+          return LoopResult::kNumericalFailure;
+        }
+        recompute_values();
+        continue;
+      }
+      stalled_retries = 0;
+
+      if (budget_ == 0) return LoopResult::kLimit;
+      --budget_;
+      ++dual_pivots_;
+
+      const double theta = x_[leaving] / w[leaving];  // >= 0: both negative
+      for (std::size_t k = 0; k < rows_; ++k) x_[k] -= theta * w[k];
+      x_[leaving] = theta;
+      in_basis_[head_[leaving]] = 0;
+      head_[leaving] = entering;
+      in_basis_[entering] = 1;
+      etas_.push_back({leaving, std::move(w)});
+      if (etas_.size() >= refactor_interval_) {
+        if (!refactorize()) {
+          numerical_failure_ = true;
+          return LoopResult::kNumericalFailure;
+        }
+        recompute_values();
+      }
+    }
+  }
+
   /// Phase 2 on the real objective plus solution extraction; artificials
   /// may no longer enter (they can linger basic at zero on redundant rows,
   /// exactly as in the dense path).
@@ -1222,6 +1488,14 @@ class RevisedSimplex {
   static constexpr std::size_t kDantzigIters = 20000;
   static constexpr std::size_t kPriceWindow = 64;
   static constexpr double kSingularTol = 1e-9;
+  // Primal values above -kDualPrimalTol count as feasible in the dual
+  // loop — the same threshold run_warm and recompute_values clamp at, so
+  // the two paths agree on what "feasible" means.
+  static constexpr double kDualPrimalTol = 1e-7;
+  // Entry audit for run_dual: reduced costs at a genuine previous optimum
+  // are within solver tolerance of zero; anything clearly positive means
+  // the basis was carried across an unsupported change.
+  static constexpr double kDualAuditTol = 1e-6;
 
   double eps_;
   double obj_sign_ = 1.0;
@@ -1233,6 +1507,7 @@ class RevisedSimplex {
   std::size_t refactor_interval_;
   std::size_t budget_ = 0;       // remaining pivots before kIterationLimit
   std::size_t price_start_ = 0;  // rotating partial-pricing cursor
+  std::size_t dual_pivots_ = 0;  // pivots spent in dual_loop
   bool numerical_failure_ = false;
 
   std::vector<double> row_sign_;            // +1/-1 rhs normalization per row
@@ -1265,10 +1540,33 @@ Solution solve(const Problem& problem, double eps) {
 
 Solution solve(const Problem& problem, const SolveOptions& options) {
   MRWSN_REQUIRE(options.eps > 0.0, "tolerance must be positive");
-  if (problem.num_variables() == 0) return solve_trivial(problem, options.eps);
+  SolveStats* const stats = options.stats;
+  if (stats != nullptr) *stats = SolveStats{};
+  // First cause wins: a later, coarser fallback never masks the reason the
+  // fast path was abandoned in the first place.
+  const auto note = [stats](Fallback reason) {
+    if (stats != nullptr && stats->fallback_reason == Fallback::kNone)
+      stats->fallback_reason = reason;
+  };
+  if (problem.num_variables() == 0) {
+    if (stats != nullptr) stats->cold = true;
+    return solve_trivial(problem, options.eps);
+  }
+
+  // A factorization cached for a different row count can never be reused;
+  // unless the caller asked for a dual re-solve (the one path that still
+  // exploits its basis), the context is stale — drop it eagerly instead of
+  // letting it silently linger across row changes.
+  if (!options.dual_resolve && options.context != nullptr &&
+      !options.context->empty() &&
+      options.context->rows() != problem.num_constraints()) {
+    options.context->reset();
+    note(Fallback::kStaleContextRows);
+  }
 
   if (options.engine == Engine::kDense) {
-    if (options.warm_start != nullptr && !options.warm_start->empty()) {
+    if (options.warm_start != nullptr && !options.warm_start->empty() &&
+        !options.dual_resolve) {
       // Warm path: pivot straight into the previous basis and run phase 2.
       // Any failure to apply it falls through to a fresh cold tableau (the
       // warm attempt mutates its tableau, so it cannot be reused).
@@ -1276,8 +1574,12 @@ Solution solve(const Problem& problem, const SolveOptions& options) {
       Solution solution;
       if (tableau.run_warm(*options.warm_start, options.max_pivots, &solution))
         return solution;
+      note(Fallback::kWarmRejected);
     }
+    // The dense engine has no dual phase; a dual_resolve request lands
+    // here only as the cold fallback of last resort.
     Tableau tableau(problem, options.eps);
+    if (stats != nullptr) stats->cold = true;
     return tableau.run(options.max_pivots);
   }
 
@@ -1288,25 +1590,47 @@ Solution solve(const Problem& problem, const SolveOptions& options) {
   if (options.warm_start != nullptr && !options.warm_start->empty()) {
     RevisedSimplex simplex(problem, options.eps, options.refactor_interval);
     Solution solution;
-    if (simplex.run_warm(*options.warm_start, options.max_pivots, &solution,
-                         options.context)) {
+    const bool claimed =
+        options.dual_resolve
+            ? simplex.run_dual(*options.warm_start, options.max_pivots,
+                               &solution, options.context, stats)
+            : simplex.run_warm(*options.warm_start, options.max_pivots,
+                               &solution, options.context);
+    if (claimed) {
       if (!simplex.numerical_failure()) {
+        if (stats != nullptr) {
+          stats->dual_pivots = simplex.dual_pivots();
+          stats->pivots = simplex.pivots_spent(options.max_pivots);
+        }
         simplex.save_context(options.context, solution);
         return solution;
       }
+      note(Fallback::kNumerical);
     } else if (simplex.numerical_failure()) {
+      note(Fallback::kNumerical);
       SolveOptions dense = options;
       dense.engine = Engine::kDense;
+      dense.stats = nullptr;  // keep the reason recorded above
+      if (stats != nullptr) stats->cold = true;
       return solve(problem, dense);
+    } else {
+      note(options.dual_resolve ? Fallback::kDualRejected
+                                : Fallback::kWarmRejected);
     }
   }
   RevisedSimplex simplex(problem, options.eps, options.refactor_interval);
   Solution solution = simplex.run(options.max_pivots);
+  if (stats != nullptr) {
+    stats->cold = true;
+    stats->pivots = simplex.pivots_spent(options.max_pivots);
+  }
   if (simplex.numerical_failure()) {
+    note(Fallback::kNumerical);
     if (options.context != nullptr) options.context->reset();
     SolveOptions dense = options;
     dense.engine = Engine::kDense;
     dense.warm_start = nullptr;
+    dense.stats = nullptr;
     return solve(problem, dense);
   }
   simplex.save_context(options.context, solution);

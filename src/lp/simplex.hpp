@@ -53,10 +53,24 @@ class Problem {
   void add_constraint(const std::vector<std::pair<VarId, double>>& terms,
                       Sense sense, double rhs);
 
+  /// Append one term to an existing row. `var` must be newer than every
+  /// variable already in the row, which keeps the sorted-sparse invariant
+  /// without a re-sort — exactly the column-generation pattern of growing
+  /// a restricted master by one column in place instead of rebuilding it.
+  void append_term(std::size_t row, VarId var, double coeff);
+
+  /// Replace the right-hand side of an existing row (a master whose
+  /// demands moved keeps its structure — and therefore any saved basis).
+  void set_rhs(std::size_t row, double rhs);
+
   std::size_t num_variables() const { return objective_coeffs_.size(); }
   std::size_t num_constraints() const { return rows_.size(); }
   Objective objective() const { return objective_; }
-  const std::string& variable_name(VarId id) const { return names_.at(static_cast<std::size_t>(id)); }
+  /// The variable's name; anonymous variables read back as "x<id>".
+  std::string variable_name(VarId id) const {
+    const std::string& name = names_.at(static_cast<std::size_t>(id));
+    return name.empty() ? "x" + std::to_string(id) : name;
+  }
 
   /// One stored constraint row. Coefficients are kept sparse — sorted by
   /// variable id, duplicates merged, exact zeros dropped — so building a
@@ -121,7 +135,10 @@ enum class Engine {
 /// only appended) and the solver reuses the factorization instead of
 /// refactorizing the warm basis from scratch. A context never changes
 /// results — it is bypassed whenever it does not exactly match the
-/// requested warm basis and row count.
+/// requested warm basis and row count. When the problem's row count has
+/// changed since the factorization was stored, solve() drops the context
+/// eagerly unless the caller requested a dual re-solve
+/// (SolveOptions::dual_resolve), the one path that can still exploit it.
 class RevisedContext {
  public:
   RevisedContext();
@@ -134,10 +151,53 @@ class RevisedContext {
   /// Drop the cached factorization (e.g. when the constraint rows change).
   void reset();
 
+  /// True when no factorization is cached.
+  bool empty() const;
+
+  /// Row count of the problem the cached factorization belongs to
+  /// (0 when empty).
+  std::size_t rows() const;
+
  private:
   friend class RevisedSimplex;
   struct State;
   std::unique_ptr<State> state_;
+};
+
+/// Why solve() abandoned the requested warm/dual fast path (first cause
+/// wins when several apply). kNone means the fast path — or a plain cold
+/// solve, when none was requested — ran to completion.
+enum class Fallback : std::uint8_t {
+  kNone = 0,
+  /// The context's factorization belonged to a different row count and no
+  /// dual re-solve was requested: the context was invalidated and the
+  /// solve proceeded without it.
+  kStaleContextRows,
+  /// The primal warm basis did not apply (wrong size, unknown entries,
+  /// singular, or primal infeasible) and the solve went cold.
+  kWarmRejected,
+  /// The dual re-solve basis did not apply structurally (wrong size,
+  /// unknown entries, trailing equality row with no slack, or singular).
+  kDualRejected,
+  /// The dual re-solve basis failed the dual-feasibility audit — it is not
+  /// the optimal basis of a rows-appended/rhs-changed variant of this
+  /// problem (e.g. columns or the objective changed too).
+  kNotDualFeasible,
+  /// The revised engine failed numerically and the dense engine re-solved
+  /// the instance cold.
+  kNumerical,
+};
+
+/// Optional per-solve telemetry, filled in when SolveOptions::stats is
+/// set. Callers batching thousands of re-solves aggregate these to see
+/// how often the warm paths actually held.
+struct SolveStats {
+  Fallback fallback_reason = Fallback::kNone;
+  bool dual_phase = false;      ///< a dual simplex phase ran
+  bool context_reused = false;  ///< factorization taken from RevisedContext
+  bool cold = false;            ///< a cold two-phase solve ran
+  std::size_t dual_pivots = 0;  ///< pivots spent in the dual phase
+  std::size_t pivots = 0;       ///< total pivots spent (all phases)
 };
 
 /// Knobs for solve(). The defaults reproduce the classic solve() behavior
@@ -164,6 +224,22 @@ struct SolveOptions {
   /// Revised engine: optional cross-solve factorization cache (see
   /// RevisedContext). Ignored by the dense engine.
   RevisedContext* context = nullptr;
+  /// Dual-simplex row re-solve (revised engine only). Treat `warm_start`
+  /// as the optimal basis of this problem *before* it gained trailing rows
+  /// and/or changed right-hand sides: the basis is completed with the
+  /// slacks of the trailing rows (which keeps it dual feasible — the
+  /// extended basis matrix is block triangular, so the old duals extend
+  /// with zeros and no reduced cost moves; duals never depend on the rhs)
+  /// and a dual simplex phase restores primal feasibility from the
+  /// retained factorization instead of re-solving cold. The basis is
+  /// audited for dual feasibility on entry and anything else is rejected
+  /// to the cold path, so results never change. With only x >= 0 bounds in
+  /// this library (no finite uppers), the bound-flipping dual ratio test
+  /// degenerates to the standard one. The dense engine has no dual phase;
+  /// on numerical failure the instance falls back to a cold dense solve.
+  bool dual_resolve = false;
+  /// Optional per-solve telemetry sink; reset at entry on every solve().
+  SolveStats* stats = nullptr;
 };
 
 /// Result of solving a Problem.

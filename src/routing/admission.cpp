@@ -52,8 +52,25 @@ AdmissionController::AdmissionController(const net::Network& network,
 AdmissionController::AdmissionController(const net::Network& network,
                                          const core::InterferenceModel& model,
                                          RouteStrategy strategy)
-    : network_(&network), model_(&model), strategy_(std::move(strategy)) {
+    : network_(&network),
+      model_(&model),
+      strategy_(std::move(strategy)),
+      engine_(model) {
   MRWSN_REQUIRE(strategy_ != nullptr, "route strategy must be callable");
+}
+
+void AdmissionController::commit(core::LinkFlow flow) {
+  engine_.add_background(flow);
+  admitted_.push_back(std::move(flow));
+}
+
+void AdmissionController::preload_background(std::vector<core::LinkFlow> flows) {
+  for (core::LinkFlow& flow : flows) commit(std::move(flow));
+}
+
+void AdmissionController::clear() {
+  admitted_.clear();
+  engine_.clear();
 }
 
 double AdmissionController::estimate_for_policy(const net::Path& path) const {
@@ -87,10 +104,13 @@ AdmissionOutcome AdmissionController::run(std::span<const FlowRequest> requests,
     record.request = request;
     record.path = strategy_(request, admitted_);
     if (record.path) {
-      const core::AvailableBandwidthResult result = core::max_path_bandwidth(
-          *model_, admitted_, record.path->links());
+      // LP truth comes from the batched engine: same Eq. 6 optimum as a
+      // cold max_path_bandwidth() solve, but the conflict matrices, the
+      // column pool, and the background basis persist across requests.
+      const core::AdmissionAnswer truth =
+          engine_.query(record.path->links(), request.demand_mbps);
       record.true_available_mbps =
-          result.background_feasible ? result.available_mbps : 0.0;
+          truth.background_feasible ? truth.available_mbps : 0.0;
       record.available_mbps = policy_ == AdmissionPolicy::kLpOracle
                                   ? record.true_available_mbps
                                   : estimate_for_policy(*record.path);
@@ -100,7 +120,7 @@ AdmissionOutcome AdmissionController::run(std::span<const FlowRequest> requests,
           record.true_available_mbps + kDemandSlack < request.demand_mbps;
     }
     if (record.admitted)
-      admitted_.push_back(to_link_flow(*record.path, request.demand_mbps));
+      commit(to_link_flow(*record.path, request.demand_mbps));
 
     const bool failed = !record.admitted;
     if (record.over_admitted) ++outcome.over_admissions;

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "core/admission_engine.hpp"
 #include "routing/qos_router.hpp"
 #include "routing/widest_path.hpp"
 
@@ -98,21 +99,30 @@ class AdmissionController {
 
   /// Treat `flows` as traffic that is already in the network before any
   /// request is processed (counts as background, not as admissions).
-  void preload_background(std::vector<core::LinkFlow> flows) {
-    for (core::LinkFlow& flow : flows) admitted_.push_back(std::move(flow));
-  }
+  void preload_background(std::vector<core::LinkFlow> flows);
 
-  /// Reset the admitted-flow state.
-  void clear() { admitted_.clear(); }
+  /// Reset the admitted-flow state (the engine keeps its column pool).
+  void clear();
+
+  /// Telemetry of the batched LP-truth engine (dual re-solves, pool size).
+  const core::AdmissionEngineStats& engine_stats() const {
+    return engine_.stats();
+  }
 
  private:
   double estimate_for_policy(const net::Path& path) const;
+  void commit(core::LinkFlow flow);
 
   const net::Network* network_;
   const core::InterferenceModel* model_;
   RouteStrategy strategy_;
   AdmissionPolicy policy_ = AdmissionPolicy::kLpOracle;
   std::vector<core::LinkFlow> admitted_;
+  /// Long-lived Eq. 6 truth oracle: shares the model's caches and its own
+  /// column pool across the whole request sequence, and re-solves the
+  /// background master with the dual simplex after every commit instead of
+  /// starting each request from scratch. Kept in lockstep with admitted_.
+  core::AdmissionEngine engine_;
 };
 
 }  // namespace mrwsn::routing

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "core/scenarios.hpp"
 #include "geom/topology.hpp"
 #include "util/error.hpp"
@@ -147,6 +149,71 @@ TEST(Estimators, NetworkOverloadDerivesRatesAndIdles) {
   ASSERT_EQ(input.idle_ratio, (std::vector<double>{0.5, 0.25}));
   ASSERT_EQ(input.cliques.size(), 1u);  // adjacent links interfere
   EXPECT_NEAR(estimate_bottleneck_node(input), 9.0, kTol);
+}
+
+TEST(Estimators, ZeroIdleOnBottleneckLink) {
+  // One clique member never sees the channel idle (λ = 0). Eq. 13 sorts
+  // idle shares ascending, so the zero lands in the first prefix and
+  // pins the conservative estimate to exactly zero — as do the other
+  // idle-aware estimators — while Eq. 11 (idle-blind) still reports the
+  // clique's transmission-time bound.
+  const auto input = triple_input({0.0, 1.0, 1.0});
+  EXPECT_EQ(estimate_conservative_clique(input), 0.0);
+  EXPECT_EQ(estimate_bottleneck_node(input), 0.0);
+  EXPECT_EQ(estimate_min_clique_bottleneck(input), 0.0);
+  EXPECT_EQ(estimate_expected_clique_time(input), 0.0);
+  EXPECT_EQ(average_e2e_delay(input),
+            std::numeric_limits<double>::infinity());
+  EXPECT_NEAR(estimate_clique_constraint(input), 18.0, kTol);
+}
+
+TEST(Estimators, SingleLinkPathAgreesAcrossEstimators) {
+  // A one-hop path is the degenerate case where Eqs. 10-13 and 15 all
+  // collapse to λ·r: the only clique is the link itself.
+  ProtocolInterferenceModel model(1, abstract_rate_table({54.0}));
+  const std::vector<net::LinkId> links{0};
+  const std::vector<double> rates{54.0};
+  const std::vector<double> idles{0.5};
+  const auto input = make_path_estimate_input(model, links, rates, idles);
+  ASSERT_EQ(input.cliques, (std::vector<std::vector<std::size_t>>{{0}}));
+  EXPECT_NEAR(estimate_bottleneck_node(input), 27.0, kTol);
+  EXPECT_NEAR(estimate_clique_constraint(input), 54.0, kTol);
+  EXPECT_NEAR(estimate_min_clique_bottleneck(input), 27.0, kTol);
+  EXPECT_NEAR(estimate_conservative_clique(input), 27.0, kTol);
+  EXPECT_NEAR(estimate_expected_clique_time(input), 27.0, kTol);
+  EXPECT_NEAR(average_e2e_delay(input), 1.0 / 27.0, kTol);
+  EXPECT_NEAR(e2e_transmission_delay(input), 1.0 / 54.0, kTol);
+}
+
+TEST(Estimators, AllEqualIdleSharesReduceEq13ToScaledCliqueBound) {
+  // With every λ_i equal, Eq. 13's prefix minimum is attained at the full
+  // clique, so the conservative bound is exactly λ times the Eq. 11
+  // clique constraint — and coincides with Eq. 15's expected-time bound.
+  const auto input = triple_input({0.4, 0.4, 0.4});
+  const double clique = estimate_clique_constraint(input);
+  EXPECT_NEAR(clique, 18.0, kTol);
+  EXPECT_NEAR(estimate_conservative_clique(input), 0.4 * clique, kTol);
+  EXPECT_NEAR(estimate_expected_clique_time(input), 0.4 * clique, kTol);
+  EXPECT_NEAR(estimate_min_clique_bottleneck(input), clique, kTol);
+}
+
+TEST(Estimators, TiedIdleSharesGiveOrderIndependentEq13) {
+  // Two links tie on the smallest idle share but carry different rates:
+  // whichever way the sort breaks the tie, the prefix chain passes
+  // through the same full two-element prefix, so Eq. 13 is well-defined.
+  // λ = (0.5, 0.5, 1.0), r = (54, 27, 54), one clique:
+  // min{0.5·54, 0.5/(1/54+1/27), 1/(1/54+1/27+1/54)} = 9.
+  const ProtocolInterferenceModel model = full_conflict_model();
+  const std::vector<net::LinkId> links{0, 1, 2};
+  const std::vector<double> idles{0.5, 0.5, 1.0};
+  const std::vector<double> forward_rates{54.0, 27.0, 54.0};
+  const auto forward =
+      make_path_estimate_input(model, links, forward_rates, idles);
+  EXPECT_NEAR(estimate_conservative_clique(forward), 9.0, kTol);
+  const std::vector<double> swapped_rates{27.0, 54.0, 54.0};
+  const auto swapped =
+      make_path_estimate_input(model, links, swapped_rates, idles);
+  EXPECT_NEAR(estimate_conservative_clique(swapped), 9.0, kTol);
 }
 
 TEST(Estimators, InputValidation) {

@@ -438,6 +438,112 @@ TEST(RevisedSimplexFuzz, WarmStartParityAfterAppendingColumns) {
   }
 }
 
+/// Rebuild `base` with a new rhs per row — Problem is append-only, so a
+/// right-hand-side change means a fresh build over identical rows (the
+/// variable ids and row order carry over, which is what keeps the old
+/// basis meaningful).
+Problem with_rhs(const Problem& base, const std::vector<double>& rhs) {
+  Problem out(base.objective());
+  for (std::size_t j = 0; j < base.num_variables(); ++j)
+    out.add_variable(base.objective_coeffs()[j]);
+  for (std::size_t i = 0; i < base.rows().size(); ++i)
+    out.add_constraint(base.rows()[i].terms, base.rows()[i].sense, rhs[i]);
+  return out;
+}
+
+/// Row-append family: the dual re-solve pattern, differentially. Solve a
+/// feasible instance, then tighten right-hand sides and append rows that
+/// mostly cut the old optimum — changes under which the stored basis stays
+/// dual feasible — and hold the dual-simplex re-solve to a cold dense
+/// solve of the grown problem: same status, 1e-6 objective parity, primal
+/// feasibility, and KKT on every instance. Instances that go infeasible
+/// after the cut are part of the family (the dual loop's Farkas exit).
+TEST(RevisedSimplexFuzz, DualResolveParityAfterAppendingRows) {
+  const std::size_t seeds = std::max<std::size_t>(seeds_per_family() / 2, 25);
+  std::size_t engaged = 0;
+  std::size_t attempted = 0;
+  for (std::size_t seed = 1; seed <= seeds; ++seed) {
+    Rng rng(0xd0a1ULL ^ (seed * 0x9e3779b97f4a7c15ULL));
+    const Problem base = feasible_bounded(rng);
+    RevisedContext context;
+    SolveOptions base_options;
+    base_options.context = &context;
+    const Solution first = solve(base, base_options);
+    if (first.status != Status::kOptimal || first.basis.empty()) continue;
+    ++attempted;
+
+    std::vector<double> rhs;
+    rhs.reserve(base.rows().size());
+    for (const auto& row : base.rows()) rhs.push_back(row.rhs);
+    const std::size_t tweaks = rng.uniform_int(0, 3);
+    for (std::size_t t = 0; t < tweaks; ++t) {
+      const std::size_t i = rng.uniform_int(0, base.rows().size() - 1);
+      const double delta = rng.uniform(0.0, 1.0);
+      switch (base.rows()[i].sense) {
+        case Sense::kLessEqual: rhs[i] -= delta; break;     // tighten
+        case Sense::kGreaterEqual: rhs[i] += delta; break;  // tighten
+        case Sense::kEqual: break;
+      }
+    }
+
+    Problem grown = with_rhs(base, rhs);
+    const std::size_t appended = rng.uniform_int(1, 3);
+    for (std::size_t r = 0; r < appended; ++r) {
+      std::vector<std::pair<VarId, double>> row;
+      double at_optimum = 0.0;
+      for (std::size_t j = 0; j < grown.num_variables(); ++j) {
+        if (rng.uniform() < 0.4) continue;
+        const double c = rng.uniform(-1.0, 2.0);
+        row.emplace_back(static_cast<VarId>(j), c);
+        at_optimum += c * first.values[j];
+      }
+      if (row.empty()) {
+        row.emplace_back(0, 1.0);
+        at_optimum = first.values[0];
+      }
+      const bool cutting = rng.uniform() < 0.8;
+      if (rng.uniform() < 0.5) {
+        grown.add_constraint(
+            row, Sense::kLessEqual,
+            at_optimum + (cutting ? -rng.uniform(0.1, 1.5)
+                                  : rng.uniform(0.0, 1.0)));
+      } else {
+        grown.add_constraint(
+            row, Sense::kGreaterEqual,
+            at_optimum + (cutting ? rng.uniform(0.1, 1.5)
+                                  : -rng.uniform(0.0, 1.0)));
+      }
+    }
+
+    SolveOptions dual_options;
+    dual_options.warm_start = &first.basis;
+    dual_options.context = &context;
+    dual_options.dual_resolve = true;
+    SolveStats stats;
+    dual_options.stats = &stats;
+    const Solution warm = solve(grown, dual_options);
+
+    SolveOptions cold_options;
+    cold_options.engine = Engine::kDense;
+    const Solution cold = solve(grown, cold_options);
+
+    const std::string tag = "dual-resolve seed=" + std::to_string(seed);
+    ASSERT_NE(warm.status, Status::kIterationLimit) << tag;
+    ASSERT_EQ(cold.status, warm.status) << tag;
+    if (stats.dual_phase && stats.fallback_reason == Fallback::kNone)
+      ++engaged;
+    if (cold.status != Status::kOptimal) continue;
+    EXPECT_NEAR(cold.objective, warm.objective, kObjectiveTol) << tag;
+    check_primal_feasible(grown, warm, tag + " [dual warm]");
+    check_kkt(grown, warm, tag + " [dual warm]");
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  // The family must actually exercise the dual phase on a healthy share of
+  // its instances, not quietly fall back cold.
+  EXPECT_GT(4 * engaged, attempted)
+      << "dual path engaged on " << engaged << "/" << attempted;
+}
+
 /// Beale's classic cycling LP (1955): Dantzig's most-improving rule cycles
 /// forever on this instance under exact arithmetic. The engines' permanent
 /// switch to Bland's rule must terminate it at the known optimum — on the

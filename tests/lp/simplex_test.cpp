@@ -309,5 +309,172 @@ TEST_P(SimplexRandomTest, RandomBoxProblemsAreSolvedWithinBounds) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandomTest, ::testing::Range(0, 25));
 
+// The textbook LP all dual-resolve tests below start from:
+// max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 -> optimum 36 at (2, 6).
+Problem dual_base(VarId* x, VarId* y) {
+  Problem p(Objective::kMaximize);
+  *x = p.add_variable(3.0, "x");
+  *y = p.add_variable(5.0, "y");
+  p.add_constraint({{*x, 1.0}}, Sense::kLessEqual, 4.0);
+  p.add_constraint({{*y, 2.0}}, Sense::kLessEqual, 12.0);
+  p.add_constraint({{*x, 3.0}, {*y, 2.0}}, Sense::kLessEqual, 18.0);
+  return p;
+}
+
+TEST(SimplexDualResolve, AppendedRowReSolvesWarm) {
+  VarId x = 0, y = 0;
+  Problem p = dual_base(&x, &y);
+  RevisedContext context;
+  SolveOptions first;
+  first.context = &context;
+  const Solution base = solve(p, first);
+  ASSERT_TRUE(base.optimal());
+  ASSERT_FALSE(base.basis.empty());
+
+  // A new row cutting the old optimum (x + y <= 6) makes the stored basis
+  // primal infeasible but dual feasible; the dual phase must land on the
+  // cold optimum x=0, y=6 -> 30.
+  p.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kLessEqual, 6.0);
+  SolveOptions re;
+  re.warm_start = &base.basis;
+  re.context = &context;
+  re.dual_resolve = true;
+  SolveStats stats;
+  re.stats = &stats;
+  const Solution warm = solve(p, re);
+  const Solution cold = solve(p);
+  ASSERT_TRUE(warm.optimal());
+  ASSERT_TRUE(cold.optimal());
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-9);
+  EXPECT_NEAR(warm.objective, 30.0, 1e-9);
+  EXPECT_TRUE(stats.dual_phase);
+  EXPECT_FALSE(stats.cold);
+  EXPECT_GE(stats.dual_pivots, 1u);
+  EXPECT_EQ(stats.fallback_reason, Fallback::kNone);
+}
+
+TEST(SimplexDualResolve, RhsOnlyChangeReusesContextFactorization) {
+  VarId x = 0, y = 0;
+  Problem p = dual_base(&x, &y);
+  RevisedContext context;
+  SolveOptions first;
+  first.context = &context;
+  const Solution base = solve(p, first);
+  ASSERT_TRUE(base.optimal());
+
+  // Tighten the binding third row: same basis matrix, so the cached
+  // factorization applies verbatim and only the dual phase runs.
+  Problem tightened(Objective::kMaximize);
+  VarId tx = tightened.add_variable(3.0, "x");
+  VarId ty = tightened.add_variable(5.0, "y");
+  tightened.add_constraint({{tx, 1.0}}, Sense::kLessEqual, 4.0);
+  tightened.add_constraint({{ty, 2.0}}, Sense::kLessEqual, 12.0);
+  tightened.add_constraint({{tx, 3.0}, {ty, 2.0}}, Sense::kLessEqual, 14.0);
+  SolveOptions re;
+  re.warm_start = &base.basis;
+  re.context = &context;
+  re.dual_resolve = true;
+  SolveStats stats;
+  re.stats = &stats;
+  const Solution warm = solve(tightened, re);
+  const Solution cold = solve(tightened);
+  ASSERT_TRUE(warm.optimal());
+  ASSERT_TRUE(cold.optimal());
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-9);
+  EXPECT_TRUE(stats.context_reused);
+  EXPECT_TRUE(stats.dual_phase);
+  EXPECT_EQ(stats.fallback_reason, Fallback::kNone);
+}
+
+TEST(SimplexDualResolve, InfeasibleAfterRowAppendIsDetected) {
+  VarId x = 0, y = 0;
+  Problem p = dual_base(&x, &y);
+  const Solution base = solve(p);
+  ASSERT_TRUE(base.optimal());
+
+  p.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kGreaterEqual, 100.0);
+  SolveOptions re;
+  re.warm_start = &base.basis;
+  re.dual_resolve = true;
+  const Solution warm = solve(p, re);
+  EXPECT_EQ(warm.status, solve(p).status);
+  EXPECT_EQ(warm.status, Status::kInfeasible);
+}
+
+TEST(SimplexDualResolve, ObjectiveChangeFailsDualAuditAndFallsBackCold) {
+  VarId x = 0, y = 0;
+  Problem p = dual_base(&x, &y);
+  const Solution base = solve(p);
+  ASSERT_TRUE(base.optimal());
+
+  // Same rows, different objective: the stored basis is not dual feasible
+  // for this problem, so the audit must reject it and the cold path must
+  // still produce the right optimum.
+  Problem flipped(Objective::kMaximize);
+  VarId fx = flipped.add_variable(5.0, "x");
+  VarId fy = flipped.add_variable(1.0, "y");
+  flipped.add_constraint({{fx, 1.0}}, Sense::kLessEqual, 4.0);
+  flipped.add_constraint({{fy, 2.0}}, Sense::kLessEqual, 12.0);
+  flipped.add_constraint({{fx, 3.0}, {fy, 2.0}}, Sense::kLessEqual, 18.0);
+  SolveOptions re;
+  re.warm_start = &base.basis;
+  re.dual_resolve = true;
+  SolveStats stats;
+  re.stats = &stats;
+  const Solution warm = solve(flipped, re);
+  const Solution cold = solve(flipped);
+  ASSERT_TRUE(warm.optimal());
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-9);
+  EXPECT_EQ(stats.fallback_reason, Fallback::kNotDualFeasible);
+  EXPECT_TRUE(stats.cold);
+}
+
+TEST(SimplexDualResolve, StaleContextIsInvalidatedWithoutDualPath) {
+  VarId x = 0, y = 0;
+  Problem p = dual_base(&x, &y);
+  RevisedContext context;
+  SolveOptions first;
+  first.context = &context;
+  const Solution base = solve(p, first);
+  ASSERT_TRUE(base.optimal());
+  EXPECT_FALSE(context.empty());
+  EXPECT_EQ(context.rows(), 3u);
+
+  // Row count changed and no dual re-solve requested: the context must be
+  // dropped (not silently bypassed) and the fallback reason surfaced.
+  p.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kLessEqual, 6.0);
+  SolveOptions stale;
+  stale.context = &context;
+  SolveStats stats;
+  stale.stats = &stats;
+  const Solution re = solve(p, stale);
+  ASSERT_TRUE(re.optimal());
+  EXPECT_NEAR(re.objective, 30.0, 1e-9);
+  EXPECT_EQ(stats.fallback_reason, Fallback::kStaleContextRows);
+  // The context now belongs to the four-row problem again.
+  EXPECT_EQ(context.rows(), 4u);
+}
+
+TEST(SimplexDualResolve, TrailingEqualityRowIsRejectedToColdPath) {
+  VarId x = 0, y = 0;
+  Problem p = dual_base(&x, &y);
+  const Solution base = solve(p);
+  ASSERT_TRUE(base.optimal());
+
+  // An appended equality row has no slack to complete the basis with; the
+  // dual path must bow out and the cold solve must still be returned.
+  p.add_constraint({{x, 1.0}}, Sense::kEqual, 1.0);
+  SolveOptions re;
+  re.warm_start = &base.basis;
+  re.dual_resolve = true;
+  SolveStats stats;
+  re.stats = &stats;
+  const Solution warm = solve(p, re);
+  const Solution cold = solve(p);
+  ASSERT_TRUE(warm.optimal());
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-9);
+  EXPECT_EQ(stats.fallback_reason, Fallback::kDualRejected);
+}
+
 }  // namespace
 }  // namespace mrwsn::lp

@@ -46,6 +46,22 @@ CliResult run(const std::vector<std::string>& args) {
   return {code, out.str(), err.str()};
 }
 
+CliResult run_with_input(const std::vector<std::string>& args,
+                         const std::string& input) {
+  std::istringstream in(input);
+  std::ostringstream out, err;
+  const int code = run_cli(args, in, out, err);
+  return {code, out.str(), err.str()};
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) lines.push_back(line);
+  return lines;
+}
+
 TEST(Cli, NoArgumentsPrintsUsage) {
   const CliResult r = run({});
   EXPECT_EQ(r.code, 2);
@@ -139,6 +155,80 @@ TEST(Cli, AdmitRejectsBadPolicy) {
   const CliResult r = run({"admit", file.path(), "--policy", "bogus"});
   EXPECT_EQ(r.code, 1);
   EXPECT_NE(r.err.find("unknown policy"), std::string::npos);
+}
+
+TEST(Cli, BatchEmitsOneCsvRowPerQueryInOrder) {
+  TempScenario scenario(kChain);
+  TempScenario queries(
+      "# probe, commit, probe again, unroutable\n"
+      "2,3,2.0\n"
+      "2,3,2.0,commit\n"
+      "2,3,2.0\n"
+      "0,3,1.0\n");
+  const CliResult r = run({"admit", scenario.path(), "--batch", queries.path()});
+  ASSERT_EQ(r.code, 0) << r.err;
+  const auto lines = lines_of(r.out);
+  ASSERT_EQ(lines.size(), 5u);
+  EXPECT_EQ(lines[0], "id,src,dst,demand_mbps,decision,available_mbps,path");
+  for (std::size_t i = 1; i < lines.size(); ++i)
+    EXPECT_EQ(lines[i].rfind(std::to_string(i - 1) + ",2", 0) == 0 ||
+                  lines[i].rfind(std::to_string(i - 1) + ",0", 0) == 0,
+              true)
+        << lines[i];
+  EXPECT_NE(lines[2].find(",admit,"), std::string::npos);
+  EXPECT_NE(r.err.find("dual re-solves"), std::string::npos);
+}
+
+TEST(Cli, BatchAnswersMatchColdAvailableQueries) {
+  // The committed flow must lower the follow-up probe exactly like a
+  // fresh sequential `admit` of the same state: 2->3 alone on this chain
+  // yields 12 with the background flow, and once 2 Mbps is committed on
+  // it, the identical probe sees strictly less than before.
+  TempScenario scenario(kChain);
+  TempScenario queries("2,3,2.0\n2,3,2.0,commit\n2,3,2.0\n");
+  const CliResult r = run({"admit", scenario.path(), "--batch", queries.path()});
+  ASSERT_EQ(r.code, 0) << r.err;
+  const auto lines = lines_of(r.out);
+  ASSERT_EQ(lines.size(), 4u);
+  const auto available_of = [](const std::string& line) {
+    const auto fields = [&] {
+      std::vector<std::string> parts;
+      std::istringstream stream(line);
+      std::string part;
+      while (std::getline(stream, part, ',')) parts.push_back(part);
+      return parts;
+    }();
+    return std::stod(fields.at(5));
+  };
+  const double before = available_of(lines[1]);
+  const double at_commit = available_of(lines[2]);
+  const double after = available_of(lines[3]);
+  EXPECT_DOUBLE_EQ(before, at_commit);  // same background snapshot
+  EXPECT_LT(after, before - 1.0);       // commit consumed real capacity
+  EXPECT_GT(after, 0.0);
+}
+
+TEST(Cli, BatchRejectsMalformedLines) {
+  TempScenario scenario(kChain);
+  TempScenario queries("2,3\n");
+  const CliResult r = run({"admit", scenario.path(), "--batch", queries.path()});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("src,dst,demand"), std::string::npos);
+}
+
+TEST(Cli, ServeAnswersQueriesAndTracksState) {
+  TempScenario scenario(kChain);
+  const CliResult r = run_with_input(
+      {"admit", scenario.path(), "--serve"},
+      "query 2 3 2.0\nadmit 2 3 2.0\nstats\nreset\nbogus\nquit\n");
+  ASSERT_EQ(r.code, 0) << r.err;
+  const auto lines = lines_of(r.out);
+  ASSERT_EQ(lines.size(), 5u);
+  EXPECT_EQ(lines[0].rfind("ok decision=admit available=", 0), 0u);
+  EXPECT_EQ(lines[0], lines[1]);  // query then admit of the same state
+  EXPECT_NE(lines[2].find("commits=2"), std::string::npos);  // preload + admit
+  EXPECT_EQ(lines[3], "ok reset");
+  EXPECT_EQ(lines[4].rfind("err unknown command", 0), 0u);
 }
 
 TEST(Cli, SimulateReportsFlows) {

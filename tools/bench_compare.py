@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_results.json files (google-benchmark JSON reports).
+
+Usage: bench_compare.py BASELINE.json CANDIDATE.json [--threshold PCT]
+
+For every benchmark present in both reports the script compares the
+median real time (the aggregate the `bench_json` target emits; plain
+per-iteration entries are averaged when a report has no aggregates) and
+prints a table of ratios. It exits non-zero when any benchmark regressed
+by more than the threshold (default 15%), which makes it usable as a CI
+tripwire:
+
+    tools/bench_compare.py old/BENCH_results.json BENCH_results.json
+
+Benchmarks that exist in only one report are listed but never fail the
+comparison — adding or retiring a benchmark is not a regression.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_medians(path):
+    """Map run_name -> (median real time, time unit) for one report."""
+    with open(path) as fh:
+        report = json.load(fh)
+    medians = {}
+    fallback = {}  # run_name -> list of per-iteration samples
+    for entry in report.get("benchmarks", []):
+        name = entry.get("run_name", entry.get("name", ""))
+        unit = entry.get("time_unit", "ns")
+        if entry.get("run_type") == "aggregate":
+            if entry.get("aggregate_name") == "median":
+                medians[name] = (float(entry["real_time"]), unit)
+        else:
+            fallback.setdefault(name, []).append(
+                (float(entry["real_time"]), unit))
+    for name, samples in fallback.items():
+        if name in medians:
+            continue
+        times = sorted(t for t, _ in samples)
+        medians[name] = (times[len(times) // 2], samples[0][1])
+    return medians
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Diff two google-benchmark JSON reports.")
+    parser.add_argument("baseline", help="baseline BENCH_results.json")
+    parser.add_argument("candidate", help="candidate BENCH_results.json")
+    parser.add_argument(
+        "--threshold", type=float, default=15.0,
+        help="fail when any benchmark slows down by more than this many "
+             "percent (default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    base = load_medians(args.baseline)
+    cand = load_medians(args.candidate)
+
+    shared = sorted(set(base) & set(cand))
+    if not shared:
+        print("error: the two reports share no benchmarks", file=sys.stderr)
+        return 2
+
+    width = max(len(name) for name in shared)
+    regressions = []
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'candidate':>12}  "
+          f"{'ratio':>7}")
+    for name in shared:
+        base_time, base_unit = base[name]
+        cand_time, cand_unit = cand[name]
+        if base_unit != cand_unit:
+            print(f"error: {name} changed time unit "
+                  f"({base_unit} -> {cand_unit})", file=sys.stderr)
+            return 2
+        ratio = cand_time / base_time if base_time > 0 else float("inf")
+        flag = ""
+        if ratio > 1.0 + args.threshold / 100.0:
+            flag = "  REGRESSED"
+            regressions.append((name, ratio))
+        print(f"{name:<{width}}  {base_time:>10.1f}{base_unit:<2}  "
+              f"{cand_time:>10.1f}{cand_unit:<2}  {ratio:>6.2f}x{flag}")
+
+    for name in sorted(set(base) - set(cand)):
+        print(f"{name:<{width}}  only in baseline")
+    for name in sorted(set(cand) - set(base)):
+        print(f"{name:<{width}}  only in candidate")
+
+    if regressions:
+        print(f"\n{len(regressions)} benchmark(s) regressed beyond "
+              f"{args.threshold:.0f}%:", file=sys.stderr)
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.2f}x", file=sys.stderr)
+        return 1
+    print(f"\nno regression beyond {args.threshold:.0f}% "
+          f"({len(shared)} benchmarks compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,41 @@
+#!/bin/sh
+# The repository's one-command gate: everything a change must survive
+# before it merges, in the order that fails fastest.
+#
+#   1. tier-1: configure + build + full ctest suite (unit and example
+#      labels) in the standard build tree,
+#   2. fuzz: the differential LP fuzz suites (ctest label "fuzz") at a
+#      deeper seed count than the smoke run the suite includes,
+#   3. sanitized: a separate ASan+UBSan build tree running the full
+#      suite plus the fuzz harness again (skippable for quick local
+#      iterations — see below).
+#
+# Usage: ci.sh [build-dir]
+#   build-dir  defaults to build/ (created if missing)
+#
+# Environment:
+#   MRWSN_CI_SKIP_SANITIZED=1  skip stage 3 (e.g. resource-starved hosts)
+#   MRWSN_FUZZ_SEEDS=N         seeds per fuzz family in stage 2
+#                              (default 2000; the sanitized stage keeps
+#                              run_sanitized.sh's own default)
+set -eu
+REPO=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+BUILD=${1:-"$REPO/build"}
+JOBS=$(nproc 2>/dev/null || echo 4)
+
+echo "== ci stage 1: tier-1 build + tests =="
+cmake -B "$BUILD" -S "$REPO"
+cmake --build "$BUILD" -j "$JOBS"
+ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"
+
+echo "== ci stage 2: differential LP fuzz =="
+"$REPO/tools/run_fuzz.sh" "$BUILD" "${MRWSN_FUZZ_SEEDS:-2000}"
+
+if [ "${MRWSN_CI_SKIP_SANITIZED:-0}" = "1" ]; then
+  echo "== ci stage 3: sanitized run skipped (MRWSN_CI_SKIP_SANITIZED) =="
+else
+  echo "== ci stage 3: ASan+UBSan build + tests =="
+  "$REPO/tools/run_sanitized.sh"
+fi
+
+echo "ci gate passed"

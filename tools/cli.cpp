@@ -1,10 +1,14 @@
 #include "tools/cli.hpp"
 
+#include <fstream>
+#include <iostream>
+#include <istream>
 #include <map>
 #include <optional>
 #include <ostream>
 #include <sstream>
 
+#include "core/admission_engine.hpp"
 #include "core/estimation.hpp"
 #include "core/idle_time.hpp"
 #include "core/interference.hpp"
@@ -27,7 +31,7 @@ class Options {
   Options(const std::vector<std::string>& args, std::size_t first) {
     for (std::size_t i = first; i < args.size();) {
       MRWSN_REQUIRE(args[i].rfind("--", 0) == 0, "expected --option, got " + args[i]);
-      if (args[i] == "--arf") {  // the only flag without a value
+      if (args[i] == "--arf" || args[i] == "--serve") {  // value-less flags
         values_[args[i]] = "1";
         ++i;
         continue;
@@ -257,6 +261,194 @@ int cmd_admit(const io::ScenarioFile& scenario, const Options& options,
   return 0;
 }
 
+/// Shared setup of the batch/serve admission service: network, model,
+/// hop-count routing over a fully idle channel (deterministic, path choice
+/// does not depend on the admission order), and one long-lived engine
+/// preloaded with the scenario's `flow` lines.
+struct AdmissionService {
+  explicit AdmissionService(const io::ScenarioFile& scenario,
+                            const Options& options)
+      : network(io::build_network(scenario)),
+        model(network),
+        router(network, model),
+        metric(parse_metric(options.get("--metric", "hop"))),
+        engine(model) {
+    for (const core::LinkFlow& flow : background_of(scenario, network))
+      engine.add_background(flow);
+  }
+
+  std::optional<net::Path> route(net::NodeId src, net::NodeId dst) const {
+    const std::vector<double> idle(network.num_nodes(), 1.0);
+    return router.find_path(src, dst, metric, idle);
+  }
+
+  net::Network network;
+  core::PhysicalInterferenceModel model;
+  routing::QosRouter router;
+  routing::Metric metric;
+  core::AdmissionEngine engine;
+};
+
+std::string decision_name(const core::AdmissionAnswer& answer) {
+  if (!answer.background_feasible) return "infeasible";
+  return answer.admitted ? "admit" : "reject";
+}
+
+/// One parsed line of a --batch query file.
+struct BatchQuery {
+  net::NodeId src = 0;
+  net::NodeId dst = 0;
+  double demand_mbps = 0.0;
+  bool commit = false;
+  std::optional<net::Path> path;
+};
+
+std::vector<BatchQuery> parse_batch_file(const std::string& file_name) {
+  std::ifstream file(file_name);
+  MRWSN_REQUIRE(file.good(), "cannot open batch file " + file_name);
+  std::vector<BatchQuery> queries;
+  std::string line;
+  while (std::getline(file, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string field;
+    std::vector<std::string> parts;
+    while (std::getline(fields, field, ',')) parts.push_back(field);
+    MRWSN_REQUIRE(parts.size() == 3 || parts.size() == 4,
+                  "batch line needs src,dst,demand[,commit]: " + line);
+    BatchQuery query;
+    query.src = static_cast<net::NodeId>(std::stoull(parts[0]));
+    query.dst = static_cast<net::NodeId>(std::stoull(parts[1]));
+    query.demand_mbps = std::stod(parts[2]);
+    if (parts.size() == 4) {
+      MRWSN_REQUIRE(parts[3] == "commit" || parts[3] == "query",
+                    "batch line flag must be commit|query: " + line);
+      query.commit = parts[3] == "commit";
+    }
+    queries.push_back(query);
+  }
+  return queries;
+}
+
+void print_batch_row(std::ostream& out, std::size_t id, const BatchQuery& query,
+                     const core::AdmissionAnswer& answer) {
+  out << id << ',' << query.src << ',' << query.dst << ','
+      << Table::num(query.demand_mbps, 3) << ','
+      << (query.path ? decision_name(answer) : "no-route") << ','
+      << Table::num(answer.available_mbps, 6) << ','
+      << (query.path ? path_text(*query.path) : "") << '\n';
+}
+
+int cmd_batch(const io::ScenarioFile& scenario, const Options& options,
+              std::ostream& out, std::ostream& err) {
+  AdmissionService service(scenario, options);
+  std::vector<BatchQuery> queries = parse_batch_file(options.get("--batch", ""));
+  for (BatchQuery& query : queries) query.path = service.route(query.src, query.dst);
+
+  out << "id,src,dst,demand_mbps,decision,available_mbps,path\n";
+  // Runs of evaluate-only lines share one background snapshot, so they can
+  // go through query_batch (parallel workers, deterministic answers); a
+  // commit line is a sequence point that mutates the background.
+  std::size_t next = 0;
+  while (next < queries.size()) {
+    if (queries[next].commit) {
+      const BatchQuery& query = queries[next];
+      core::AdmissionAnswer answer;
+      if (query.path) answer = service.engine.admit(query.path->links(), query.demand_mbps);
+      print_batch_row(out, next, query, answer);
+      ++next;
+      continue;
+    }
+    std::size_t segment_end = next;
+    std::vector<core::AdmissionQuery> segment;
+    std::vector<std::size_t> segment_ids;
+    while (segment_end < queries.size() && !queries[segment_end].commit) {
+      const BatchQuery& query = queries[segment_end];
+      if (query.path) {
+        segment.push_back(core::AdmissionQuery{query.path->links(),
+                                               query.demand_mbps});
+        segment_ids.push_back(segment_end);
+      }
+      ++segment_end;
+    }
+    const std::vector<core::AdmissionAnswer> answers =
+        service.engine.query_batch(segment);
+    std::map<std::size_t, const core::AdmissionAnswer*> answer_of;
+    for (std::size_t i = 0; i < segment_ids.size(); ++i)
+      answer_of[segment_ids[i]] = &answers[i];
+    for (std::size_t id = next; id < segment_end; ++id) {
+      const auto it = answer_of.find(id);
+      print_batch_row(out, id, queries[id],
+                      it == answer_of.end() ? core::AdmissionAnswer{} : *it->second);
+    }
+    next = segment_end;
+  }
+
+  const core::AdmissionEngineStats& stats = service.engine.stats();
+  err << "batch: " << stats.queries << " queries, " << stats.commits
+      << " commits, " << stats.dual_resolves << " dual re-solves, "
+      << stats.dual_fallbacks << " cold fallbacks, pool "
+      << stats.pool_columns << " columns\n";
+  return 0;
+}
+
+int cmd_serve(const io::ScenarioFile& scenario, const Options& options,
+              std::istream& in, std::ostream& out, std::ostream& err) {
+  AdmissionService service(scenario, options);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream words(line);
+    std::string command;
+    if (!(words >> command)) continue;  // blank line
+    try {
+      if (command == "quit") break;
+      if (command == "stats") {
+        const core::AdmissionEngineStats& stats = service.engine.stats();
+        out << "ok queries=" << stats.queries << " commits=" << stats.commits
+            << " dual_resolves=" << stats.dual_resolves
+            << " dual_fallbacks=" << stats.dual_fallbacks
+            << " pool=" << stats.pool_columns << '\n';
+      } else if (command == "reset") {
+        service.engine.clear();
+        out << "ok reset\n";
+      } else if (command == "query" || command == "admit" ||
+                 command == "background") {
+        net::NodeId src = 0, dst = 0;
+        double demand = 0.0;
+        if (!(words >> src >> dst >> demand)) {
+          out << "err " << command << " needs <src> <dst> <demand>\n";
+          continue;
+        }
+        const auto path = service.route(src, dst);
+        if (!path) {
+          out << "err no route " << src << " -> " << dst << '\n';
+          continue;
+        }
+        if (command == "background") {
+          service.engine.add_background(
+              core::LinkFlow{path->links(), demand});
+          out << "ok committed airtime="
+              << Table::num(service.engine.background_airtime(), 6) << '\n';
+          continue;
+        }
+        const core::AdmissionAnswer answer =
+            command == "admit" ? service.engine.admit(path->links(), demand)
+                               : service.engine.query(path->links(), demand);
+        out << "ok decision=" << decision_name(answer)
+            << " available=" << Table::num(answer.available_mbps, 6)
+            << " path=" << path_text(*path) << '\n';
+      } else {
+        out << "err unknown command '" << command
+            << "' (query|admit|background|stats|reset|quit)\n";
+      }
+    } catch (const std::exception& e) {
+      out << "err " << e.what() << '\n';
+    }
+  }
+  (void)err;
+  return 0;
+}
+
 int cmd_simulate(const io::ScenarioFile& scenario, const Options& options,
                  std::ostream& out, std::ostream& err) {
   if (scenario.flows.empty()) {
@@ -299,6 +491,8 @@ void usage(std::ostream& err) {
          "                 [--method auto|enum|colgen] [--engine revised|dense]\n"
          "                 [--stabilize on|off]\n"
          "  mrwsn admit scenario.txt [--metric avg] [--policy lp|eq13|...]\n"
+         "  mrwsn admit scenario.txt --batch queries.csv [--metric hop]\n"
+         "  mrwsn admit scenario.txt --serve [--metric hop]\n"
          "  mrwsn simulate scenario.txt [--seconds 2] [--arf] [--seed 1]\n";
 }
 
@@ -306,6 +500,11 @@ void usage(std::ostream& err) {
 
 int run_cli(const std::vector<std::string>& args, std::ostream& out,
             std::ostream& err) {
+  return run_cli(args, std::cin, out, err);
+}
+
+int run_cli(const std::vector<std::string>& args, std::istream& in,
+            std::ostream& out, std::ostream& err) {
   try {
     if (args.empty()) {
       usage(err);
@@ -324,7 +523,12 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
       if (command == "capacity") return cmd_capacity(scenario, src, dst, out, err);
       return cmd_available(scenario, src, dst, Options(args, 4), out, err);
     }
-    if (command == "admit") return cmd_admit(scenario, Options(args, 2), out, err);
+    if (command == "admit") {
+      const Options options(args, 2);
+      if (options.has("--batch")) return cmd_batch(scenario, options, out, err);
+      if (options.has("--serve")) return cmd_serve(scenario, options, in, out, err);
+      return cmd_admit(scenario, options, out, err);
+    }
     if (command == "simulate")
       return cmd_simulate(scenario, Options(args, 2), out, err);
     usage(err);

@@ -19,10 +19,23 @@ namespace mrwsn::cli {
 ///             (the scenario's `flow` lines are the background traffic)
 ///   admit     <scenario> [--metric hop|td|avg] [--policy lp|eq10|eq11|eq12|eq13|eq15]
 ///             -> sequential admission of the scenario's `request` lines
+///   admit     <scenario> --batch <queries.csv> [--metric hop|td|avg]
+///             -> batched admission replay through one core::AdmissionEngine;
+///             input lines are `src,dst,demand[,commit]`, runs of non-commit
+///             lines are evaluated in parallel, output is CSV on stdout:
+///             id,src,dst,demand_mbps,decision,available_mbps,path
+///   admit     <scenario> --serve [--metric hop|td|avg]
+///             -> line-oriented REPL on stdin against the same engine:
+///             query|admit <src> <dst> <demand>, background <src> <dst>
+///             <demand>, stats, reset, quit
 ///   simulate  <scenario> [--seconds T] [--arf] [--seed S]
 ///             -> CSMA/CA run of the scenario's flows
 ///
 /// Returns a process exit code (0 on success); diagnostics go to `err`.
+/// The first overload reads interactive input (--serve) from `in`; the
+/// second is the production entry point and uses std::cin.
+int run_cli(const std::vector<std::string>& args, std::istream& in,
+            std::ostream& out, std::ostream& err);
 int run_cli(const std::vector<std::string>& args, std::ostream& out,
             std::ostream& err);
 
