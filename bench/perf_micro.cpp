@@ -142,11 +142,19 @@ void BM_ColumnGen(benchmark::State& state) {
   for (std::size_t i = 0; i < hops; ++i)
     path.push_back(*network.find_link(i, i + 1));
   const std::vector<core::LinkFlow> background = {{{path[0]}, 1.0}};
+  core::ColumnGenStats last;
   for (auto _ : state) {
     core::PhysicalInterferenceModel model(network);
-    benchmark::DoNotOptimize(core::max_path_bandwidth(
-        model, background, path, core::SolveMethod::kColumnGeneration));
+    const auto result = core::max_path_bandwidth(
+        model, background, path, core::SolveMethod::kColumnGeneration);
+    last = result.colgen;
+    benchmark::DoNotOptimize(result);
   }
+  state.counters["rounds"] = double(last.rounds);
+  state.counters["columns"] = double(last.columns);
+  state.counters["pool_cols"] = double(last.pool_hit_columns);
+  state.counters["heur_cols"] = double(last.heuristic_columns);
+  state.counters["exact_calls"] = double(last.exact_rounds);
 }
 BENCHMARK(BM_ColumnGen)->Arg(12)->Arg(20)->Arg(24)->Arg(28);
 
@@ -266,12 +274,20 @@ void colgen_engine(benchmark::State& state, lp::Engine engine) {
   const std::vector<core::LinkFlow> background = {{{path[0]}, 1.0}};
   core::ColumnGenOptions options;
   options.engine = engine;
+  core::ColumnGenStats last;
   for (auto _ : state) {
     core::PhysicalInterferenceModel model(network);
-    benchmark::DoNotOptimize(core::max_path_bandwidth(
+    const auto result = core::max_path_bandwidth(
         model, background, path, core::SolveMethod::kColumnGeneration,
-        options));
+        options);
+    last = result.colgen;
+    benchmark::DoNotOptimize(result);
   }
+  state.counters["rounds"] = double(last.rounds);
+  state.counters["columns"] = double(last.columns);
+  state.counters["pool_cols"] = double(last.pool_hit_columns);
+  state.counters["heur_cols"] = double(last.heuristic_columns);
+  state.counters["exact_calls"] = double(last.exact_rounds);
 }
 void BM_ColumnGenDense(benchmark::State& state) {
   colgen_engine(state, lp::Engine::kDense);
@@ -281,6 +297,56 @@ void BM_ColumnGenRevised(benchmark::State& state) {
 }
 BENCHMARK(BM_ColumnGenDense)->Arg(40);
 BENCHMARK(BM_ColumnGenRevised)->Arg(40);
+
+// ---------------------------------------------------------------------------
+// Pricing oracles head to head (the tiered-pricing tentpole): one pricing
+// call over a chain universe with colgen-shaped duals — the exact
+// branch-and-bound (Tier 2) vs the multi-start greedy + local-search
+// heuristic (Tier 1). Same universe, same weights; the gap between the two
+// is what each heuristic-served round saves the column-generation loop.
+// ---------------------------------------------------------------------------
+
+struct PricingFixture {
+  net::Network network;
+  core::PhysicalInterferenceModel model;
+  std::vector<net::LinkId> universe;
+  std::vector<double> weights;
+
+  explicit PricingFixture(std::size_t hops)
+      : network(geom::chain(hops + 1, 70.0), phy::PhyModel::paper_default()),
+        model(network) {
+    for (std::size_t i = 0; i < hops; ++i)
+      universe.push_back(*network.find_link(i, i + 1));
+    // Dual-shaped weights: positive everywhere with a short period, like
+    // the link shadow prices mid-solve on a loaded chain.
+    weights.resize(universe.size());
+    for (std::size_t k = 0; k < weights.size(); ++k)
+      weights[k] = 0.2 + 0.05 * double(k % 7);
+  }
+};
+
+void BM_PricingExact(benchmark::State& state) {
+  const PricingFixture fixture(static_cast<std::size_t>(state.range(0)));
+  // Warm the per-universe pricing context outside the timed loop, the way
+  // every round after the first sees it.
+  fixture.model.max_weight_independent_set(fixture.universe, fixture.weights);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture.model.max_weight_independent_set(
+        fixture.universe, fixture.weights));
+  }
+}
+BENCHMARK(BM_PricingExact)->Arg(24)->Arg(40);
+
+void BM_PricingHeuristic(benchmark::State& state) {
+  const PricingFixture fixture(static_cast<std::size_t>(state.range(0)));
+  fixture.model.heuristic_max_weight_independent_set(fixture.universe,
+                                                     fixture.weights);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture.model.heuristic_max_weight_independent_set(
+        fixture.universe, fixture.weights));
+  }
+}
+BENCHMARK(BM_PricingHeuristic)->Arg(24)->Arg(40);
 
 // ---------------------------------------------------------------------------
 // Batched admission engine (the shared-cache scenario service tentpole):

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <numeric>
+#include <set>
 #include <utility>
 
 #include "util/error.hpp"
@@ -19,6 +20,17 @@ constexpr double kDemandSlack = 1e-6;
 /// flows_feasible().
 constexpr double kAirtimeTol = 1e-9;
 
+/// Canonical (links, rates) key — the dedup signature shared by the
+/// persistent pool and the per-query column sets.
+std::vector<std::uint64_t> column_signature(const IndependentSet& set) {
+  std::vector<std::uint64_t> key;
+  key.reserve(set.links.size());
+  for (std::size_t i = 0; i < set.links.size(); ++i)
+    key.push_back((static_cast<std::uint64_t>(set.links[i]) << 16) |
+                  static_cast<std::uint64_t>(set.rates[i]));
+  return key;
+}
+
 }  // namespace
 
 AdmissionEngine::AdmissionEngine(const InterferenceModel& model,
@@ -32,12 +44,8 @@ AdmissionEngine::AdmissionEngine(const InterferenceModel& model,
 }
 
 std::pair<std::size_t, bool> AdmissionEngine::pool_add(IndependentSet set) {
-  Signature key;
-  key.reserve(set.links.size());
-  for (std::size_t i = 0; i < set.links.size(); ++i)
-    key.push_back((static_cast<std::uint64_t>(set.links[i]) << 16) |
-                  static_cast<std::uint64_t>(set.rates[i]));
-  const auto [it, fresh] = pool_index_.try_emplace(std::move(key), pool_.size());
+  const auto [it, fresh] =
+      pool_index_.try_emplace(column_signature(set), pool_.size());
   if (fresh) {
     pool_.push_back(std::move(set));
     pool_in_bg_master_.push_back(0);
@@ -98,8 +106,8 @@ void AdmissionEngine::clear() {
   bg_impossible_ = false;
 }
 
-bool AdmissionEngine::extend_background_master() {
-  bool added = false;
+std::size_t AdmissionEngine::extend_background_master() {
+  std::size_t added = 0;
   for (std::size_t idx = 0; idx < pool_.size(); ++idx) {
     if (pool_in_bg_master_[idx]) continue;
     const IndependentSet& set = pool_[idx];
@@ -109,7 +117,7 @@ bool AdmissionEngine::extend_background_master() {
     if (!usable) continue;
     pool_in_bg_master_[idx] = 1;
     bg_master_cols_.push_back(idx);
-    added = true;
+    ++added;
   }
   return added;
 }
@@ -209,15 +217,55 @@ void AdmissionEngine::refresh_background() {
       // Queries since the last refresh may have priced columns that fit
       // the background universe; fold them in after the dual phase (a
       // column append is exactly what the primal warm start supports).
-      if (extend_background_master()) continue;
+      // This is the background master's pool-first (Tier 0) pricing.
+      const std::size_t seeded = extend_background_master();
+      if (seeded > 0) {
+        stats_.tier0_columns += seeded;
+        continue;
+      }
     }
 
     std::fill(weights.begin(), weights.end(), 0.0);
     for (std::size_t r = 0; r < bg_links_.size(); ++r)
       weights[bg_links_[r]] = std::max(0.0, sol.dual(r));
-    const MaxWeightSetResult priced = model_->max_weight_independent_set(
-        all_links_, weights, 1.0 + options_.reduced_cost_tol);
+    const double floor = 1.0 + options_.reduced_cost_tol;
     ++stats_.pricing_rounds;
+
+    // Fold `set` into pool + background master; true when the master
+    // gained the column.
+    const auto fold_in = [&](const IndependentSet& set) {
+      const auto [idx, was_fresh] = pool_add(set);
+      (void)was_fresh;
+      if (pool_in_bg_master_[idx]) return false;
+      pool_in_bg_master_[idx] = 1;
+      bg_master_cols_.push_back(idx);
+      return true;
+    };
+
+    // Tier 1: heuristic pricing. Heuristic duplicates certify nothing —
+    // only a dry exact round may declare convergence.
+    if (options_.pricing == PricingMode::kTiered &&
+        options_.heuristic_starts > 0) {
+      HeuristicPricingParams params;
+      params.starts = options_.heuristic_starts;
+      const MaxWeightSetResult h = model_->heuristic_max_weight_independent_set(
+          all_links_, weights, floor, params);
+      if (h.found()) {
+        std::size_t added = fold_in(h.set) ? 1 : 0;
+        for (const IndependentSet& extra : h.extras)
+          if (fold_in(extra)) ++added;
+        if (added > 0) {
+          stats_.heuristic_columns += added;
+          if (bg_master_cols_.size() > options_.max_columns) break;
+          continue;
+        }
+      }
+    }
+
+    // Tier 2 / exact-only: the certificate tier.
+    ++stats_.exact_rounds;
+    const MaxWeightSetResult priced =
+        model_->max_weight_independent_set(all_links_, weights, floor);
     if (!priced.found()) {
       converged = true;
       break;
@@ -235,13 +283,7 @@ void AdmissionEngine::refresh_background() {
     // The oracle's runner-up extras are feasible sets over the same rows
     // (zero weight outside the row set keeps their links inside it);
     // folding them in now saves later solve/price rounds.
-    for (const IndependentSet& extra : priced.extras) {
-      const auto [extra_idx, extra_fresh] = pool_add(extra);
-      (void)extra_fresh;
-      if (pool_in_bg_master_[extra_idx]) continue;
-      pool_in_bg_master_[extra_idx] = 1;
-      bg_master_cols_.push_back(extra_idx);
-    }
+    for (const IndependentSet& extra : priced.extras) fold_in(extra);
     if (bg_master_cols_.size() > options_.max_columns) break;
   }
   stats_.pool_columns = pool_.size();
@@ -285,15 +327,19 @@ AdmissionAnswer AdmissionEngine::solve_query(
   std::vector<char> on_path(bg_demand_.size(), 0);
   for (const net::LinkId link : path) on_path[link] = 1;
 
-  // The query's column set: every pool column that fits the universe, plus
-  // singletons for universe links the pool subset leaves uncovered, plus
-  // whatever pricing generates. Pointers stay valid because `generated`
-  // never reallocates (reserved to its worst case up front).
+  // The query's column set: every pool column that fits the universe
+  // (pool-first / Tier 0 seeding), plus singletons for universe links the
+  // pool subset leaves uncovered, plus whatever pricing generates.
+  // Pointers stay valid because `generated` never reallocates (reserved to
+  // its worst case up front). `seen` holds every column's canonical
+  // signature so later oracle output dedups in one set lookup.
   std::vector<const IndependentSet*> columns;
+  std::set<Signature> seen;
   std::vector<IndependentSet> generated;
   // Worst case: one singleton per universe link, plus per pricing round
-  // the best set and up to three runner-up extras.
-  generated.reserve(universe.size() + 4 * (options_.max_rounds + 1));
+  // either the heuristic winner with up to four runner-up extras or the
+  // exact best set with up to three.
+  generated.reserve(universe.size() + 6 * (options_.max_rounds + 1));
   std::vector<char> covered(universe.size(), 0);
   std::vector<int> column_of_pool(pool.size(), -1);
   for (std::size_t idx = 0; idx < pool.size(); ++idx) {
@@ -304,9 +350,11 @@ AdmissionAnswer AdmissionEngine::solve_query(
     if (!usable) continue;
     column_of_pool[idx] = static_cast<int>(columns.size());
     columns.push_back(&set);
+    seen.insert(column_signature(set));
     if (set.size() == 1)
       covered[static_cast<std::size_t>(position[set.links[0]])] = 1;
   }
+  answer.tier0_columns = columns.size();
   for (std::size_t p = 0; p < universe.size(); ++p) {
     if (covered[p]) continue;
     const auto rate = model_->max_rate_alone(universe[p]);
@@ -315,6 +363,7 @@ AdmissionAnswer AdmissionEngine::solve_query(
     set.links = {universe[p]};
     set.rates = {*rate};
     set.mbps = {model_->rate_table()[*rate].mbps};
+    seen.insert(column_signature(set));
     generated.push_back(std::move(set));
     columns.push_back(&generated.back());
   }
@@ -405,32 +454,12 @@ AdmissionAnswer AdmissionEngine::solve_query(
       weights[universe[p]] = std::max(0.0, -sol.dual(1 + p));
     const double floor =
         std::max(0.0, sol.dual(0)) + options_.reduced_cost_tol;
-    const MaxWeightSetResult priced =
-        model_->max_weight_independent_set(all_links_, weights, floor);
     ++answer.pricing_rounds;
-    if (!priced.found()) {
-      answer.converged = true;
-      break;
-    }
-    // Dedup against this query's columns: re-pricing one means the master
-    // already sits at the tolerance boundary.
-    bool duplicate = false;
-    for (const IndependentSet* existing : columns) {
-      if (existing->links == priced.set.links &&
-          existing->rates == priced.set.rates) {
-        duplicate = true;
-        break;
-      }
-    }
-    if (duplicate) {
-      ++*pool_hits;
-      answer.converged = true;
-      break;
-    }
+
+    // Signature-set dedup against this query's columns; true when the
+    // master gained the column.
     const auto add_column = [&](const IndependentSet& set) {
-      for (const IndependentSet* existing : columns)
-        if (existing->links == set.links && existing->rates == set.rates)
-          return;
+      if (!seen.insert(column_signature(set)).second) return false;
       generated.push_back(set);
       columns.push_back(&generated.back());
       const IndependentSet& added = generated.back();
@@ -440,7 +469,45 @@ AdmissionAnswer AdmissionEngine::solve_query(
         master.append_term(
             1 + static_cast<std::size_t>(position[added.links[k]]), id,
             added.mbps[k]);
+      return true;
     };
+
+    // Tier 1: heuristic pricing. A heuristic round that only reproduces
+    // existing columns certifies nothing and falls through to the exact
+    // tier.
+    if (options_.pricing == PricingMode::kTiered &&
+        options_.heuristic_starts > 0) {
+      HeuristicPricingParams params;
+      params.starts = options_.heuristic_starts;
+      const MaxWeightSetResult h = model_->heuristic_max_weight_independent_set(
+          all_links_, weights, floor, params);
+      if (h.found()) {
+        std::size_t added = add_column(h.set) ? 1 : 0;
+        for (const IndependentSet& extra : h.extras)
+          if (add_column(extra)) ++added;
+        if (added > 0) {
+          answer.heuristic_columns += added;
+          if (columns.size() > options_.max_columns) break;
+          continue;
+        }
+      }
+    }
+
+    // Tier 2 / exact-only: the certificate tier.
+    ++answer.exact_rounds;
+    const MaxWeightSetResult priced =
+        model_->max_weight_independent_set(all_links_, weights, floor);
+    if (!priced.found()) {
+      answer.converged = true;
+      break;
+    }
+    // Re-pricing an existing column means the master already sits at the
+    // tolerance boundary.
+    if (seen.count(column_signature(priced.set)) != 0) {
+      ++*pool_hits;
+      answer.converged = true;
+      break;
+    }
     add_column(priced.set);
     // Runner-up extras from the same search: more columns per oracle call
     // means fewer solve/price rounds to converge, at no search cost.
@@ -472,6 +539,9 @@ AdmissionAnswer AdmissionEngine::query(std::span<const net::LinkId> path,
   stats_.pricing_rounds += answer.pricing_rounds;
   stats_.lp_pivots += answer.lp_pivots;
   stats_.pool_hits += hits;
+  stats_.tier0_columns += answer.tier0_columns;
+  stats_.heuristic_columns += answer.heuristic_columns;
+  stats_.exact_rounds += answer.exact_rounds;
   stats_.pool_columns = pool_.size();
   return answer;
 }
@@ -507,6 +577,9 @@ std::vector<AdmissionAnswer> AdmissionEngine::query_batch(
     stats_.pricing_rounds += answers[i].pricing_rounds;
     stats_.lp_pivots += answers[i].lp_pivots;
     stats_.pool_hits += hits[i];
+    stats_.tier0_columns += answers[i].tier0_columns;
+    stats_.heuristic_columns += answers[i].heuristic_columns;
+    stats_.exact_rounds += answers[i].exact_rounds;
   }
   stats_.queries += queries.size();
   stats_.pool_columns = pool_.size();

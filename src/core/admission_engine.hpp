@@ -24,10 +24,18 @@ struct AdmissionAnswer {
   double available_mbps = 0.0;
   bool admitted = false;  ///< available_mbps covers the demand (1e-6 slack)
   bool converged = true;  ///< pricing proved optimality for this query
-  std::size_t pricing_rounds = 0;  ///< oracle invocations this query cost
+  std::size_t pricing_rounds = 0;  ///< pricing rounds this query cost
   std::size_t master_columns = 0;  ///< columns in the query's final master
   std::size_t lp_pivots = 0;       ///< simplex pivots across this query's
                                    ///< master solves
+
+  /// Per-tier pricing telemetry (mirrors ColumnGenStats): columns seeded
+  /// from the persistent pool before any search, columns the heuristic
+  /// tier added, and exact B&B invocations. Convergence always comes from
+  /// an exact round, so `converged` implies `exact_rounds >= 1`.
+  std::size_t tier0_columns = 0;
+  std::size_t heuristic_columns = 0;
+  std::size_t exact_rounds = 0;
 };
 
 /// Aggregate telemetry over the engine's lifetime.
@@ -35,8 +43,11 @@ struct AdmissionEngineStats {
   std::size_t queries = 0;  ///< query()/admit() calls and batch items
   std::size_t commits = 0;  ///< background flows accepted into the row set
   std::size_t background_solves = 0;  ///< background-master refreshes
-  std::size_t pricing_rounds = 0;     ///< oracle calls across all masters
+  std::size_t pricing_rounds = 0;     ///< pricing rounds across all masters
   std::size_t pool_hits = 0;    ///< priced columns the pool already held
+  std::size_t tier0_columns = 0;      ///< pool columns seeded before search
+  std::size_t heuristic_columns = 0;  ///< columns from the heuristic tier
+  std::size_t exact_rounds = 0;       ///< exact B&B invocations
   std::size_t pool_columns = 0;  ///< current persistent pool size
   std::size_t dual_resolves = 0;   ///< background re-solves kept warm by
                                    ///< the dual simplex phase
@@ -84,9 +95,12 @@ struct AdmissionEngineStats {
 /// concurrent external mutation.
 ///
 /// ColumnGenOptions knobs honored: engine, max_rounds, max_columns,
-/// reduced_cost_tol. Dual smoothing (stabilize) is not used — engine
-/// masters start from a warm pool, which removes the tailing-off the
-/// smoothing exists for.
+/// reduced_cost_tol, pricing, heuristic_starts. Dual smoothing (stabilize)
+/// is not used — engine masters start from a warm pool, which removes the
+/// tailing-off the smoothing exists for. Under PricingMode::kTiered every
+/// master's rounds run the heuristic tier before the exact B&B; since the
+/// query master is seeded pool-first with every fitting persistent column,
+/// Tier 0 is structural here and `tier0_columns` counts that seeding.
 class AdmissionEngine {
  public:
   explicit AdmissionEngine(const InterferenceModel& model,
@@ -132,8 +146,8 @@ class AdmissionEngine {
   /// master (no-op when the link carries no rate).
   void seed_singleton(net::LinkId link);
   /// Append every pool column that fits the background universe but is
-  /// absent from the background master. Returns true when any was added.
-  bool extend_background_master();
+  /// absent from the background master. Returns how many were added.
+  std::size_t extend_background_master();
   /// Bring bg_master_ (the long-lived min-airtime Problem) up to date with
   /// bg_master_cols_ / bg_links_ / bg_demand_: new columns and rows are
   /// appended in place, demands refreshed via set_rhs. Never rebuilds.

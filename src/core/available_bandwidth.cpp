@@ -51,21 +51,63 @@ std::vector<ScheduledSet> extract_schedule(const std::vector<IndependentSet>& se
 
 /// The growing set of λ columns of a restricted master, with a signature
 /// guard so numerically stalled pricing (regenerating an existing column
-/// off dual round-off) is detected instead of looping.
+/// off dual round-off) is detected instead of looping. Tiered pricing also
+/// keeps a stash of priced-but-unpromoted candidates (the oracles'
+/// runner-up extras): Tier 0 re-scores them against each round's duals and
+/// promotes the winners without any search.
 struct ColumnPool {
   std::vector<IndependentSet> sets;
   std::set<std::vector<std::uint64_t>> signatures;
+  std::vector<IndependentSet> candidates;
+  std::set<std::vector<std::uint64_t>> candidate_signatures;
 
-  /// Append `set` unless an identical (links, rates) column exists.
-  bool add(IndependentSet set) {
+  /// Canonical (links, rates) key of a column — the dedup signature shared
+  /// by the master, the stash, and AdmissionEngine's cross-query pool.
+  static std::vector<std::uint64_t> signature_of(const IndependentSet& set) {
     std::vector<std::uint64_t> key;
     key.reserve(set.links.size());
     for (std::size_t i = 0; i < set.links.size(); ++i)
       key.push_back((static_cast<std::uint64_t>(set.links[i]) << 16) |
                     static_cast<std::uint64_t>(set.rates[i]));
-    if (!signatures.insert(std::move(key)).second) return false;
+    return key;
+  }
+
+  /// Append `set` unless an identical (links, rates) column exists.
+  bool add(IndependentSet set) {
+    if (!signatures.insert(signature_of(set)).second) return false;
     sets.push_back(std::move(set));
     return true;
+  }
+
+  /// Stash `set` as a Tier 0 candidate unless the master or the stash
+  /// already holds an identical column.
+  void stash(IndependentSet set) {
+    auto key = signature_of(set);
+    if (signatures.count(key) != 0) return;
+    if (!candidate_signatures.insert(std::move(key)).second) return;
+    candidates.push_back(std::move(set));
+  }
+
+  /// Move the candidates at `indices` (ascending) into the master; returns
+  /// how many were fresh master columns.
+  std::size_t promote(const std::vector<std::size_t>& indices) {
+    std::size_t fresh = 0;
+    for (std::size_t c : indices) {
+      candidate_signatures.erase(signature_of(candidates[c]));
+      if (add(std::move(candidates[c]))) ++fresh;
+    }
+    std::size_t out = 0;
+    std::size_t next = 0;
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      if (next < indices.size() && indices[next] == c) {
+        ++next;
+        continue;
+      }
+      if (out != c) candidates[out] = std::move(candidates[c]);
+      ++out;
+    }
+    candidates.resize(out);
+    return fresh;
   }
 };
 
@@ -109,22 +151,88 @@ ColGenLoopResult column_generation_loop(
   lp::Basis basis;
   lp::RevisedContext context;
   std::vector<double> weights(universe.size());
+  // Tier 0 scores candidates by link id; the positional universe weights
+  // scatter into this each round (only universe positions are ever written
+  // or read, so stale entries cannot leak between rounds).
+  std::vector<double> wlink(model.num_links(), 0.0);
   // Wentges (in-out) stability center: the smoothed dual vector
   // [row0 ; link rows...] of the last successful pricing round.
   std::vector<double> center;
-  // Price one candidate column against the dual vector `duals`
-  // ([row0 ; link rows...]) and append it to the pool. Returns true when a
-  // new column was added; false means no column scored above the floor or
-  // the priced column already exists in the pool.
-  const auto price_and_add = [&](const std::vector<double>& duals,
-                                 double sign) {
+  // One pricing round against the dual vector `duals`
+  // ([row0 ; link rows...]). Returns true when the master gained at least
+  // one new column; false means no improving column was found (or only
+  // columns the pool already has — dual round-off noise within tolerance).
+  // Under kTiered the cheap tiers run first and `exact_tier` gates the
+  // exact B&B: a round that reaches the exact oracle and comes back empty
+  // is the optimality certificate.
+  const auto price_and_add = [&](const std::vector<double>& duals, double sign,
+                                 bool exact_tier) {
     ++stats->rounds;
     for (std::size_t k = 0; k < universe.size(); ++k)
       weights[k] = std::max(0.0, sign * duals[1 + k]);
     const double floor =
         std::max(0.0, -sign * duals[0]) + options.reduced_cost_tol;
+
+    if (options.pricing == PricingMode::kTiered) {
+      for (std::size_t k = 0; k < universe.size(); ++k)
+        wlink[universe[k]] = weights[k];
+
+      // Tier 0: promote stashed candidates that price above the floor
+      // under the current duals — no search at all. Best scores first,
+      // capped so degenerate duals cannot flood the master.
+      if (!pool->candidates.empty() && options.max_tier0_columns > 0) {
+        std::vector<std::pair<double, std::size_t>> scored;
+        for (std::size_t c = 0; c < pool->candidates.size(); ++c) {
+          const IndependentSet& s = pool->candidates[c];
+          double score = 0.0;
+          for (std::size_t i = 0; i < s.links.size(); ++i)
+            score += wlink[s.links[i]] * s.mbps[i];
+          if (score > floor) scored.emplace_back(score, c);
+        }
+        if (!scored.empty()) {
+          std::stable_sort(scored.begin(), scored.end(),
+                           [](const auto& a, const auto& b) {
+                             return a.first > b.first;
+                           });
+          if (scored.size() > options.max_tier0_columns)
+            scored.resize(options.max_tier0_columns);
+          std::vector<std::size_t> indices;
+          indices.reserve(scored.size());
+          for (const auto& entry : scored) indices.push_back(entry.second);
+          std::sort(indices.begin(), indices.end());
+          const std::size_t fresh = pool->promote(indices);
+          stats->pool_hit_columns += fresh;
+          if (fresh > 0) return true;
+        }
+      }
+
+      // Tier 1: deterministic multi-start heuristics; the winner and every
+      // signature-distinct runner-up join the master at once.
+      if (options.heuristic_starts > 0) {
+        HeuristicPricingParams params;
+        params.starts = options.heuristic_starts;
+        MaxWeightSetResult h = model.heuristic_max_weight_independent_set(
+            universe, weights, floor, params);
+        if (h.found()) {
+          std::size_t fresh = pool->add(std::move(h.set)) ? 1 : 0;
+          for (IndependentSet& extra : h.extras)
+            if (pool->add(std::move(extra))) ++fresh;
+          stats->heuristic_columns += fresh;
+          if (fresh > 0) return true;
+        }
+      }
+
+      if (!exact_tier) return false;
+    }
+
+    // Tier 2 / exact-only: the exact branch-and-bound. Its runner-up
+    // extras go to the Tier 0 stash (tiered mode only) — they priced below
+    // the optimum now but often price positive under later duals.
+    ++stats->exact_rounds;
     MaxWeightSetResult priced =
         model.max_weight_independent_set(universe, weights, floor);
+    if (options.pricing == PricingMode::kTiered)
+      for (IndependentSet& extra : priced.extras) pool->stash(std::move(extra));
     return priced.found() && pool->add(std::move(priced.set));
   };
   for (;;) {
@@ -179,7 +287,10 @@ ColGenLoopResult column_generation_loop(
       std::vector<double> smoothed(universe.size() + 1);
       for (std::size_t i = 0; i < smoothed.size(); ++i)
         smoothed[i] = alpha * center[i] + (1.0 - alpha) * incumbent[i];
-      if (price_and_add(smoothed, sign)) {
+      // Smoothed tiered rounds stay cheap: they never escalate to the
+      // exact oracle (a dry round falls back to the incumbent duals below,
+      // where the certificate lives).
+      if (price_and_add(smoothed, sign, /*exact_tier=*/false)) {
         added = true;
         center = std::move(smoothed);
       } else {
@@ -187,12 +298,16 @@ ColGenLoopResult column_generation_loop(
       }
     }
     if (!added) {
-      const bool fresh_column = price_and_add(incumbent, sign);
+      const bool fresh_column = price_and_add(incumbent, sign,
+                                              /*exact_tier=*/true);
       center = std::move(incumbent);
       if (!fresh_column) {
         // No improving column — or the "improving" column already exists,
         // which only happens from dual round-off noise within tolerance.
+        // Reaching here means the exact oracle ran on the incumbent duals
+        // and found nothing: the optimality certificate.
         out.converged = true;
+        stats->certified = true;
         break;
       }
     }

@@ -1,14 +1,18 @@
 #include "core/independent_set.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <numeric>
 #include <optional>
+#include <set>
+#include <utility>
 
 #include "core/conflict_matrix.hpp"
 #include "phy/phy_model.hpp"
 #include "util/bitset.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
+#include "util/rng.hpp"
 
 namespace mrwsn::core {
 
@@ -360,6 +364,96 @@ class PhysicalRootSearch {
       extras_;
 };
 
+ProtocolPricerData build_protocol_data(const ConflictMatrix& matrix,
+                                       const phy::RateTable& rates,
+                                       std::span<const double> link_weight) {
+  const auto& universe = matrix.universe();
+  MRWSN_REQUIRE(link_weight.size() == universe.size(),
+                "one weight per universe link required");
+  ProtocolPricerData data;
+  data.matrix = &matrix;
+  data.words = matrix.words();
+  const auto& couples = matrix.couples();
+  data.weight.resize(couples.size());
+  data.pool.assign(data.words, 0);
+  std::size_t pos = 0;  // couples are grouped in universe order
+  for (std::size_t i = 0; i < couples.size(); ++i) {
+    while (universe[pos] != couples[i].link) ++pos;
+    MRWSN_REQUIRE(link_weight[pos] >= 0.0, "link weights must be non-negative");
+    // Zero-weight couples never improve a clique's score; pruning them up
+    // front shrinks the search without touching the optimum.
+    data.weight[i] = link_weight[pos] * rates[couples[i].rate].mbps;
+    if (data.weight[i] > 0.0) {
+      util::bits_set(data.pool.data(), i);
+      data.roots.push_back(i);
+    }
+  }
+  return data;
+}
+
+PhysicalPricerData build_physical_data(const PricingContext& context,
+                                       std::span<const double> link_weight) {
+  const std::size_t n = context.size();
+  MRWSN_REQUIRE(link_weight.size() == n,
+                "one weight per universe link required");
+  PhysicalPricerData data;
+  data.ctx = &context;
+  data.link_weight = link_weight;
+  data.w_alone.assign(n, 0.0);
+  for (std::size_t u = 0; u < n; ++u) {
+    MRWSN_REQUIRE(link_weight[u] >= 0.0, "link weights must be non-negative");
+    if (context.alone_usable[u] != 0)
+      data.w_alone[u] = link_weight[u] * context.alone_mbps[u];
+    // Zero-weight links never help: they add nothing to the objective and
+    // their interference can only lower other members' rates.
+    if (data.w_alone[u] > 0.0) data.order.push_back(u);
+  }
+  std::stable_sort(data.order.begin(), data.order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return data.w_alone[a] > data.w_alone[b];
+                   });
+  return data;
+}
+
+/// Couple-index list (ascending) -> sorted IndependentSet.
+IndependentSet protocol_members_to_set(const ConflictMatrix& matrix,
+                                       const phy::RateTable& rates,
+                                       const std::vector<std::size_t>& members) {
+  const auto& couples = matrix.couples();
+  IndependentSet set;
+  set.links.reserve(members.size());
+  set.rates.reserve(members.size());
+  set.mbps.reserve(members.size());
+  for (std::size_t v : members) {
+    set.links.push_back(couples[v].link);
+    set.rates.push_back(couples[v].rate);
+    set.mbps.push_back(rates[couples[v].rate].mbps);
+  }
+  return set;
+}
+
+/// Universe positions + parallel rates (any order) -> sorted IndependentSet.
+IndependentSet physical_members_to_set(
+    const PricingContext& context, const std::vector<std::size_t>& members,
+    const std::vector<phy::RateIndex>& member_rates) {
+  const phy::RateTable& rates = context.phy->rates();
+  std::vector<std::size_t> by_link(members.size());
+  std::iota(by_link.begin(), by_link.end(), std::size_t{0});
+  std::sort(by_link.begin(), by_link.end(), [&](std::size_t a, std::size_t b) {
+    return members[a] < members[b];
+  });
+  IndependentSet set;
+  set.links.reserve(members.size());
+  set.rates.reserve(members.size());
+  set.mbps.reserve(members.size());
+  for (std::size_t k : by_link) {
+    set.links.push_back(context.universe[members[k]]);
+    set.rates.push_back(member_rates[k]);
+    set.mbps.push_back(rates[member_rates[k]].mbps);
+  }
+  return set;
+}
+
 /// Run `roots` independent root searches and reduce deterministically:
 /// maximum weight, ties to the lowest root index. Sequential below the
 /// thread-fan-out threshold (with a carried best for extra pruning —
@@ -392,116 +486,406 @@ std::optional<Search> run_roots(const Data& data, std::size_t num_roots,
   return std::move(results[winner]);
 }
 
+// ---------------------------------------------------------------------------
+// Heuristic (Tier 1) pricing
+// ---------------------------------------------------------------------------
+
+/// How many signature-distinct runner-up starts a heuristic call reports as
+/// extra columns.
+constexpr std::size_t kMaxHeuristicExtras = 4;
+
+/// Deterministic per-start jitter factor in [0.75, 1.25). Start 0 keeps the
+/// exact keys (pure weight-greedy); later starts scale every candidate's
+/// key independently, so each start explores a different greedy ordering
+/// while the whole schedule stays a pure function of (start, candidate) —
+/// never of MRWSN_THREADS or scheduling order.
+double start_jitter(std::size_t start, std::size_t v) {
+  if (start == 0) return 1.0;
+  SplitMix64 mix((0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(start)) ^
+                 (static_cast<std::uint64_t>(v) + 0x6a09e667f3bcc909ULL));
+  const double u = static_cast<double>(mix.next() >> 11) * 0x1.0p-53;
+  return 0.75 + 0.5 * u;
+}
+
+/// Outcome of one heuristic start. `members` is empty only when the start
+/// had no candidates at all.
+struct ProtocolStartOutcome {
+  double weight = 0.0;
+  std::vector<std::size_t> members;  ///< couple indices, ascending
+};
+
+/// One greedy + (1,k)-swap start of the protocol heuristic: take candidate
+/// couples in (jittered-)weight order while they stay compatible, then try
+/// to swap in each outside couple whose weight strictly beats the members
+/// it conflicts with, greedily refilling the freed room.
+ProtocolStartOutcome protocol_heuristic_start(const ProtocolPricerData& data,
+                                              std::size_t start) {
+  // Stable sort: key ties break by couple index, identically on every run.
+  std::vector<std::size_t> order = data.roots;
+  std::vector<double> key(data.weight.size(), 0.0);
+  for (std::size_t v : order) key[v] = data.weight[v] * start_jitter(start, v);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return key[a] > key[b]; });
+
+  const std::size_t words = data.words;
+  std::vector<util::BitWord> avail(data.pool);
+  std::vector<std::size_t> members;
+  std::vector<char> in_set(data.weight.size(), 0);
+  double weight = 0.0;
+
+  const auto greedy_fill = [&] {
+    for (std::size_t v : order) {
+      if (!util::bits_test(avail.data(), v)) continue;
+      members.push_back(v);
+      in_set[v] = 1;
+      weight += data.weight[v];
+      // compat_row(v) excludes v and its same-link couples, so members never
+      // reappear in avail.
+      util::bits_and(avail.data(), avail.data(), data.matrix->compat_row(v),
+                     words);
+    }
+  };
+  const auto rebuild_avail = [&] {
+    std::copy(data.pool.begin(), data.pool.end(), avail.begin());
+    for (std::size_t m : members)
+      util::bits_and(avail.data(), avail.data(), data.matrix->compat_row(m),
+                     words);
+  };
+
+  greedy_fill();
+
+  std::vector<std::size_t> conflicts;
+  for (int pass = 0; pass < 4; ++pass) {
+    bool improved = false;
+    for (std::size_t v : order) {
+      if (in_set[v]) continue;
+      conflicts.clear();
+      double conflict_weight = 0.0;
+      const util::BitWord* row = data.matrix->compat_row(v);
+      for (std::size_t m : members) {
+        if (util::bits_test(row, m)) continue;  // compatible — keeps its seat
+        conflicts.push_back(m);
+        conflict_weight += data.weight[m];
+      }
+      if (data.weight[v] <= conflict_weight) continue;
+      for (std::size_t m : conflicts) {
+        members.erase(std::find(members.begin(), members.end(), m));
+        in_set[m] = 0;
+        weight -= data.weight[m];
+      }
+      members.push_back(v);
+      in_set[v] = 1;
+      weight += data.weight[v];
+      rebuild_avail();
+      greedy_fill();
+      improved = true;
+    }
+    if (!improved) break;
+  }
+
+  std::sort(members.begin(), members.end());
+  return {weight, std::move(members)};
+}
+
+/// Greedy + drop-one/refill counterpart of PhysicalRootSearch. Shares its
+/// incremental interference bookkeeping (only data.order entries are
+/// maintained) but accepts a candidate only when insertion strictly raises
+/// the total member weight — under cumulative SINR a newcomer can degrade
+/// existing members' rates by more than it contributes.
+class PhysicalHeuristicSearch {
+ public:
+  static constexpr std::size_t kNoSkip = static_cast<std::size_t>(-1);
+
+  explicit PhysicalHeuristicSearch(const PhysicalPricerData& data)
+      : data_(data) {
+    const std::size_t n = data_.ctx->size();
+    interference_.assign(n, 0.0);
+    blocked_.assign(n, 0);
+    in_set_.assign(n, 0);
+  }
+
+  /// One greedy pass over `order`; `skip` (a universe position or kNoSkip)
+  /// is never taken — the local search uses it to force diversification
+  /// away from a just-dropped member.
+  void greedy_fill(const std::vector<std::size_t>& order, std::size_t skip) {
+    for (std::size_t v : order) {
+      if (v == skip || in_set_[v] != 0 || blocked_[v] != 0) continue;
+      if (!extension_feasible(v)) continue;
+      push(v);
+      const double w = member_weight();
+      if (w > weight_)
+        weight_ = w;
+      else
+        remove(v);
+    }
+  }
+
+  /// Drop-one + greedy-refill local search: remove each member in turn,
+  /// refill without it, keep the move only on strict improvement.
+  void improve(const std::vector<std::size_t>& order) {
+    for (int pass = 0; pass < 3; ++pass) {
+      bool improved = false;
+      const std::vector<std::size_t> snapshot = members_;
+      for (std::size_t m : snapshot) {
+        if (in_set_[m] == 0) continue;  // already swapped out this pass
+        const std::vector<std::size_t> before = members_;
+        const double before_weight = weight_;
+        remove(m);
+        weight_ = member_weight();
+        greedy_fill(order, m);
+        if (weight_ > before_weight) {
+          improved = true;
+          continue;
+        }
+        rebuild(before);
+      }
+      if (!improved) break;
+    }
+  }
+
+  double weight() const { return weight_; }
+  const std::vector<std::size_t>& members() const { return members_; }
+  /// Rates parallel to members(); call once the search has settled.
+  std::vector<phy::RateIndex> rates() {
+    member_weight();
+    return rates_scratch_;
+  }
+
+ private:
+  double cross(std::size_t k, std::size_t u) const {
+    return data_.ctx->cross_power[k * data_.ctx->size() + u];
+  }
+  bool shares(std::size_t k, std::size_t u) const {
+    return data_.ctx->shares[k * data_.ctx->size() + u] != 0;
+  }
+  std::optional<phy::RateIndex> rate_of(std::size_t u, double extra) const {
+    return data_.ctx->phy->max_rate(
+        data_.ctx->signal[u], std::max(interference_[u], 0.0) + extra);
+  }
+  bool extension_feasible(std::size_t v) const {
+    if (!rate_of(v, 0.0)) return false;
+    for (std::size_t j : members_)
+      if (!rate_of(j, cross(v, j))) return false;
+    return true;
+  }
+
+  void push(std::size_t v) {
+    members_.push_back(v);
+    in_set_[v] = 1;
+    for (const std::size_t u : data_.order) {
+      if (u == v) continue;
+      interference_[u] += cross(v, u);
+      blocked_[u] += shares(v, u);
+    }
+  }
+
+  /// Unlike PhysicalRootSearch::pop this removes by value: the interference
+  /// updates are symmetric, so removal order does not matter.
+  void remove(std::size_t v) {
+    members_.erase(std::find(members_.begin(), members_.end(), v));
+    in_set_[v] = 0;
+    for (const std::size_t u : data_.order) {
+      if (u == v) continue;
+      interference_[u] -= cross(v, u);
+      blocked_[u] -= shares(v, u);
+    }
+  }
+
+  void rebuild(const std::vector<std::size_t>& members) {
+    while (!members_.empty()) remove(members_.back());
+    for (std::size_t v : members) push(v);
+    weight_ = member_weight();
+  }
+
+  /// Total weight of the members at their current concurrent max rates;
+  /// fills rates_scratch_ in members_ order as a side effect.
+  double member_weight() {
+    const phy::RateTable& rates = data_.ctx->phy->rates();
+    rates_scratch_.clear();
+    double total = 0.0;
+    for (std::size_t j : members_) {
+      const auto rate = rate_of(j, 0.0);
+      MRWSN_ASSERT(rate.has_value(), "member of a feasible set lost its rate");
+      rates_scratch_.push_back(*rate);
+      total += data_.link_weight[j] * rates[*rate].mbps;
+    }
+    return total;
+  }
+
+  const PhysicalPricerData& data_;
+  double weight_ = 0.0;
+  std::vector<double> interference_;  ///< by universe position
+  std::vector<int> blocked_;          ///< node-sharing member count
+  std::vector<char> in_set_;
+  std::vector<std::size_t> members_;  ///< universe positions, insertion order
+  std::vector<phy::RateIndex> rates_scratch_;
+};
+
+struct PhysicalStartOutcome {
+  double weight = 0.0;
+  std::vector<std::size_t> members;   ///< universe positions
+  std::vector<phy::RateIndex> rates;  ///< parallel to members
+};
+
+PhysicalStartOutcome physical_heuristic_start(const PhysicalPricerData& data,
+                                              std::size_t start) {
+  std::vector<std::size_t> order = data.order;
+  std::vector<double> key(data.ctx->size(), 0.0);
+  for (std::size_t v : order) key[v] = data.w_alone[v] * start_jitter(start, v);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return key[a] > key[b]; });
+
+  PhysicalHeuristicSearch search(data);
+  search.greedy_fill(order, PhysicalHeuristicSearch::kNoSkip);
+  search.improve(order);
+
+  PhysicalStartOutcome out;
+  out.weight = search.weight();
+  out.members = search.members();
+  out.rates = search.rates();
+  return out;
+}
+
+/// Canonical signature of a physical outcome: sorted (position, rate)
+/// couples. Protocol outcomes use their ascending couple-index lists
+/// directly.
+std::vector<std::uint64_t> physical_signature(const PhysicalStartOutcome& o) {
+  std::vector<std::uint64_t> sig(o.members.size());
+  for (std::size_t i = 0; i < o.members.size(); ++i)
+    sig[i] = (static_cast<std::uint64_t>(o.members[i]) << 16) |
+             static_cast<std::uint64_t>(o.rates[i]);
+  std::sort(sig.begin(), sig.end());
+  return sig;
+}
+
+/// Serial best-of reduction over per-start outcomes: maximum weight, ties
+/// to the lowest start index — identical at every MRWSN_THREADS.
+template <typename Outcome>
+std::size_t pick_winner(const std::vector<Outcome>& outcomes) {
+  std::size_t winner = outcomes.size();
+  for (std::size_t s = 0; s < outcomes.size(); ++s) {
+    if (outcomes[s].members.empty()) continue;
+    if (winner == outcomes.size() ||
+        outcomes[s].weight > outcomes[winner].weight)
+      winner = s;
+  }
+  return winner;
+}
+
+/// Runner-up starts above the floor, signature-distinct from the winner and
+/// each other, ordered weight descending then lowest start first.
+template <typename Outcome, typename SignatureFn>
+std::vector<std::size_t> pick_runners(const std::vector<Outcome>& outcomes,
+                                      std::size_t winner, double floor,
+                                      SignatureFn&& signature) {
+  std::set<decltype(signature(outcomes[winner]))> seen;
+  seen.insert(signature(outcomes[winner]));
+  std::vector<std::size_t> runners;
+  for (std::size_t s = 0; s < outcomes.size(); ++s) {
+    if (s == winner || outcomes[s].members.empty()) continue;
+    if (outcomes[s].weight <= floor) continue;
+    if (!seen.insert(signature(outcomes[s])).second) continue;
+    runners.push_back(s);
+  }
+  std::stable_sort(runners.begin(), runners.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return outcomes[a].weight > outcomes[b].weight;
+                   });
+  if (runners.size() > kMaxHeuristicExtras) runners.resize(kMaxHeuristicExtras);
+  return runners;
+}
+
 }  // namespace
 
 MaxWeightSetResult max_weight_independent_set_protocol(
     const ConflictMatrix& matrix, const phy::RateTable& rates,
     std::span<const double> link_weight, double floor) {
-  const auto& universe = matrix.universe();
-  MRWSN_REQUIRE(link_weight.size() == universe.size(),
-                "one weight per universe link required");
-
-  ProtocolPricerData data;
-  data.matrix = &matrix;
-  data.words = matrix.words();
-  const auto& couples = matrix.couples();
-  data.weight.resize(couples.size());
-  data.pool.assign(data.words, 0);
-  std::size_t pos = 0;  // couples are grouped in universe order
-  for (std::size_t i = 0; i < couples.size(); ++i) {
-    while (universe[pos] != couples[i].link) ++pos;
-    MRWSN_REQUIRE(link_weight[pos] >= 0.0, "link weights must be non-negative");
-    // Zero-weight couples never improve a clique's score; pruning them up
-    // front shrinks the search without touching the optimum.
-    data.weight[i] = link_weight[pos] * rates[couples[i].rate].mbps;
-    if (data.weight[i] > 0.0) {
-      util::bits_set(data.pool.data(), i);
-      data.roots.push_back(i);
-    }
-  }
-
+  const ProtocolPricerData data = build_protocol_data(matrix, rates, link_weight);
   const auto best =
       run_roots<ProtocolRootSearch>(data, data.roots.size(), floor);
 
   MaxWeightSetResult result;
   if (!best) return result;
   result.weight = best->best_weight();
-  // Couple-index lists (ascending) translate directly to sorted sets.
-  const auto to_set = [&](const std::vector<std::size_t>& members) {
-    IndependentSet set;
-    set.links.reserve(members.size());
-    set.rates.reserve(members.size());
-    set.mbps.reserve(members.size());
-    for (std::size_t v : members) {
-      set.links.push_back(couples[v].link);
-      set.rates.push_back(couples[v].rate);
-      set.mbps.push_back(rates[couples[v].rate].mbps);
-    }
-    return set;
-  };
-  result.set = to_set(best->best_members());
+  result.set = protocol_members_to_set(matrix, rates, best->best_members());
   result.extras.reserve(best->extras().size());
   for (const auto& members : best->extras())
-    result.extras.push_back(to_set(members));
+    result.extras.push_back(protocol_members_to_set(matrix, rates, members));
   return result;
 }
 
 MaxWeightSetResult max_weight_independent_set_physical(
     const PricingContext& context, std::span<const double> link_weight,
     double floor) {
-  const std::size_t n = context.size();
-  MRWSN_REQUIRE(link_weight.size() == n,
-                "one weight per universe link required");
-
-  PhysicalPricerData data;
-  data.ctx = &context;
-  data.link_weight = link_weight;
-  data.w_alone.assign(n, 0.0);
-  for (std::size_t u = 0; u < n; ++u) {
-    MRWSN_REQUIRE(link_weight[u] >= 0.0, "link weights must be non-negative");
-    if (context.alone_usable[u] != 0)
-      data.w_alone[u] = link_weight[u] * context.alone_mbps[u];
-    // Zero-weight links never help: they add nothing to the objective and
-    // their interference can only lower other members' rates.
-    if (data.w_alone[u] > 0.0) data.order.push_back(u);
-  }
-  std::stable_sort(data.order.begin(), data.order.end(),
-                   [&](std::size_t a, std::size_t b) {
-                     return data.w_alone[a] > data.w_alone[b];
-                   });
-
+  const PhysicalPricerData data = build_physical_data(context, link_weight);
   const auto best =
       run_roots<PhysicalRootSearch>(data, data.order.size(), floor);
 
   MaxWeightSetResult result;
   if (!best) return result;
   result.weight = best->best_weight();
-  const phy::RateTable& rates = context.phy->rates();
-  // Members follow the descending-alone-weight candidate order; an
-  // IndependentSet wants them sorted by link id.
-  const auto to_set = [&](const std::vector<std::size_t>& members,
-                          const std::vector<phy::RateIndex>& member_rates) {
-    std::vector<std::size_t> by_link(members.size());
-    std::iota(by_link.begin(), by_link.end(), std::size_t{0});
-    std::sort(by_link.begin(), by_link.end(),
-              [&](std::size_t a, std::size_t b) {
-                return members[a] < members[b];
-              });
-    IndependentSet set;
-    set.links.reserve(members.size());
-    set.rates.reserve(members.size());
-    set.mbps.reserve(members.size());
-    for (std::size_t k : by_link) {
-      set.links.push_back(context.universe[members[k]]);
-      set.rates.push_back(member_rates[k]);
-      set.mbps.push_back(rates[member_rates[k]].mbps);
-    }
-    return set;
-  };
-  result.set = to_set(best->best_members(), best->best_rates());
+  result.set =
+      physical_members_to_set(context, best->best_members(), best->best_rates());
   result.extras.reserve(best->extras().size());
   for (const auto& [members, member_rates] : best->extras())
-    result.extras.push_back(to_set(members, member_rates));
+    result.extras.push_back(
+        physical_members_to_set(context, members, member_rates));
+  return result;
+}
+
+MaxWeightSetResult heuristic_weight_independent_set_protocol(
+    const ConflictMatrix& matrix, const phy::RateTable& rates,
+    std::span<const double> link_weight, double floor,
+    const HeuristicPricingParams& params) {
+  const ProtocolPricerData data =
+      build_protocol_data(matrix, rates, link_weight);
+  MaxWeightSetResult result;
+  if (params.starts == 0 || data.roots.empty()) return result;
+
+  // Starts are independent; each writes its own slot, so the fan-out
+  // schedule cannot leak into the answer.
+  std::vector<ProtocolStartOutcome> outcomes(params.starts);
+  util::parallel_for(params.starts, [&](std::size_t s) {
+    outcomes[s] = protocol_heuristic_start(data, s);
+  });
+
+  const std::size_t winner = pick_winner(outcomes);
+  if (winner == outcomes.size() || outcomes[winner].weight <= floor)
+    return result;
+  result.weight = outcomes[winner].weight;
+  result.set = protocol_members_to_set(matrix, rates, outcomes[winner].members);
+  for (std::size_t s : pick_runners(
+           outcomes, winner, floor,
+           [](const ProtocolStartOutcome& o) { return o.members; }))
+    result.extras.push_back(
+        protocol_members_to_set(matrix, rates, outcomes[s].members));
+  return result;
+}
+
+MaxWeightSetResult heuristic_weight_independent_set_physical(
+    const PricingContext& context, std::span<const double> link_weight,
+    double floor, const HeuristicPricingParams& params) {
+  const PhysicalPricerData data = build_physical_data(context, link_weight);
+  MaxWeightSetResult result;
+  if (params.starts == 0 || data.order.empty()) return result;
+
+  std::vector<PhysicalStartOutcome> outcomes(params.starts);
+  util::parallel_for(params.starts, [&](std::size_t s) {
+    outcomes[s] = physical_heuristic_start(data, s);
+  });
+
+  const std::size_t winner = pick_winner(outcomes);
+  if (winner == outcomes.size() || outcomes[winner].weight <= floor)
+    return result;
+  result.weight = outcomes[winner].weight;
+  result.set = physical_members_to_set(context, outcomes[winner].members,
+                                       outcomes[winner].rates);
+  for (std::size_t s : pick_runners(outcomes, winner, floor,
+                                    [](const PhysicalStartOutcome& o) {
+                                      return physical_signature(o);
+                                    }))
+    result.extras.push_back(physical_members_to_set(
+        context, outcomes[s].members, outcomes[s].rates));
   return result;
 }
 

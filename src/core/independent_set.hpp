@@ -61,6 +61,15 @@ struct MaxWeightSetResult {
   bool found() const { return !set.links.empty(); }
 };
 
+/// Knobs of the heuristic (Tier 1) pricing oracles below.
+struct HeuristicPricingParams {
+  /// Independent greedy + local-search starts per call. Start 0 orders
+  /// candidates by exact weight; later starts use deterministically
+  /// jittered weight orderings, so more starts buy diversity without
+  /// giving up reproducibility. 0 disables the heuristic tier entirely.
+  std::size_t starts = 8;
+};
+
 /// Exact max-weight rate-coupled independent set under the protocol model:
 /// a branch-and-bound search for the maximum-weight clique of the
 /// compatibility graph in `matrix` (whose vertices are usable (link, rate)
@@ -84,5 +93,28 @@ MaxWeightSetResult max_weight_independent_set_protocol(
 MaxWeightSetResult max_weight_independent_set_physical(
     const PricingContext& context, std::span<const double> link_weight,
     double floor = 0.0);
+
+/// Heuristic (Tier 1) pricing under the protocol model: a weight-ordered
+/// greedy clique constructor over the compatibility bits plus a (1,k)-swap
+/// local search, run as a deterministic multi-start (see
+/// HeuristicPricingParams) with a best-of reduction independent of
+/// MRWSN_THREADS. Never reports a set at or below `floor`; an empty result
+/// means the heuristic dried up, NOT that no improving set exists — callers
+/// needing optimality must escalate to the exact oracle above. Runner-up
+/// starts that also beat the floor come back in `extras` (weight
+/// descending, signature-distinct).
+MaxWeightSetResult heuristic_weight_independent_set_protocol(
+    const ConflictMatrix& matrix, const phy::RateTable& rates,
+    std::span<const double> link_weight, double floor = 0.0,
+    const HeuristicPricingParams& params = {});
+
+/// Heuristic (Tier 1) pricing under the physical (cumulative-SINR) model:
+/// greedy insertion in jittered alone-weight order with exact incremental
+/// interference tracking (members keep their true concurrent max rates),
+/// improved by a drop-one + greedy-refill local search. Same multi-start,
+/// determinism, floor, and extras contract as the protocol variant.
+MaxWeightSetResult heuristic_weight_independent_set_physical(
+    const PricingContext& context, std::span<const double> link_weight,
+    double floor = 0.0, const HeuristicPricingParams& params = {});
 
 }  // namespace mrwsn::core

@@ -391,6 +391,25 @@ MaxWeightSetResult PhysicalInterferenceModel::max_weight_independent_set(
   return max_weight_independent_set_physical(*context, link_weight, floor);
 }
 
+MaxWeightSetResult PhysicalInterferenceModel::heuristic_max_weight_independent_set(
+    std::span<const net::LinkId> universe, std::span<const double> link_weight,
+    double floor, const HeuristicPricingParams& params) const {
+  MRWSN_REQUIRE(strictly_ascending(universe),
+                "pricing universe must be canonical (weights are positional)");
+  // Shares the exact oracle's memoized pricing context, so mixing tiers on
+  // one universe warms it exactly once.
+  auto context = pricing_cache().find(universe);
+  if (!context) {
+    std::vector<net::LinkId> links(universe.begin(), universe.end());
+    for (net::LinkId link : links)
+      MRWSN_REQUIRE(link < network_->num_links(),
+                    "universe link id out of range");
+    context = pricing_cache().get(*this, std::move(links));
+  }
+  return heuristic_weight_independent_set_physical(*context, link_weight, floor,
+                                                   params);
+}
+
 std::vector<IndependentSet> PhysicalInterferenceModel::maximal_independent_sets(
     std::span<const net::LinkId> universe) const {
   // Memo hit for an already-canonical universe needs no copy of it at all
@@ -537,6 +556,16 @@ MaxWeightSetResult ProtocolInterferenceModel::max_weight_independent_set(
   const auto matrix = conflict_matrix(universe);
   return max_weight_independent_set_protocol(*matrix, rates_, link_weight,
                                              floor);
+}
+
+MaxWeightSetResult ProtocolInterferenceModel::heuristic_max_weight_independent_set(
+    std::span<const net::LinkId> universe, std::span<const double> link_weight,
+    double floor, const HeuristicPricingParams& params) const {
+  MRWSN_REQUIRE(strictly_ascending(universe),
+                "pricing universe must be canonical (weights are positional)");
+  const auto matrix = conflict_matrix(universe);
+  return heuristic_weight_independent_set_protocol(*matrix, rates_, link_weight,
+                                                   floor, params);
 }
 
 }  // namespace mrwsn::core

@@ -89,6 +89,16 @@ class InterferenceModel {
       std::span<const net::LinkId> universe,
       std::span<const double> link_weight, double floor = 0.0) const = 0;
 
+  /// Heuristic (Tier 1) pricing oracle: same contract as
+  /// max_weight_independent_set for inputs, but an empty result only means
+  /// the heuristic dried up — callers needing an optimality certificate
+  /// must fall back to the exact oracle. Deterministic and independent of
+  /// MRWSN_THREADS; shares the exact oracle's per-universe memos.
+  virtual MaxWeightSetResult heuristic_max_weight_independent_set(
+      std::span<const net::LinkId> universe,
+      std::span<const double> link_weight, double floor = 0.0,
+      const HeuristicPricingParams& params = {}) const = 0;
+
   /// The memoized bitset conflict matrix over the canonical form of
   /// `universe`: the full pairwise "interferes" relation over its usable
   /// (link, rate) couples, built once per (model, universe) and shared by
@@ -132,6 +142,10 @@ class PhysicalInterferenceModel final : public InterferenceModel {
   MaxWeightSetResult max_weight_independent_set(
       std::span<const net::LinkId> universe,
       std::span<const double> link_weight, double floor = 0.0) const override;
+  MaxWeightSetResult heuristic_max_weight_independent_set(
+      std::span<const net::LinkId> universe,
+      std::span<const double> link_weight, double floor = 0.0,
+      const HeuristicPricingParams& params = {}) const override;
 
   /// The unique maximum supported rate vector when exactly `links`
   /// transmit concurrently (Propositions 1-2); nullopt when some member
@@ -192,6 +206,10 @@ class ProtocolInterferenceModel final : public InterferenceModel {
   MaxWeightSetResult max_weight_independent_set(
       std::span<const net::LinkId> universe,
       std::span<const double> link_weight, double floor = 0.0) const override;
+  MaxWeightSetResult heuristic_max_weight_independent_set(
+      std::span<const net::LinkId> universe,
+      std::span<const double> link_weight, double floor = 0.0,
+      const HeuristicPricingParams& params = {}) const override;
 
  private:
   std::size_t index(net::LinkId link, phy::RateIndex rate) const;

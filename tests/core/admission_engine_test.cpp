@@ -243,6 +243,39 @@ TEST(AdmissionEngine, ClearKeepsThePoolWarm) {
               kParityTol);
 }
 
+TEST(AdmissionEngine, TieredTelemetryAndExactOnlyParity) {
+  const net::Network net = chain_network(7, 70.0);
+  PhysicalInterferenceModel model(net);
+
+  AdmissionEngine tiered(model);  // default options: PricingMode::kTiered
+  ColumnGenOptions exact_options;
+  exact_options.pricing = PricingMode::kExactOnly;
+  AdmissionEngine exact(model, exact_options);
+
+  const struct {
+    std::size_t first, hops;
+    double demand;
+  } sequence[] = {{0, 1, 6.0}, {2, 2, 3.0}, {4, 2, 3.0}, {1, 3, 2.0}};
+  for (const auto& step : sequence) {
+    const auto path = chain_path(net, step.first, step.hops);
+    const AdmissionAnswer a = tiered.admit(path, step.demand);
+    const AdmissionAnswer b = exact.admit(path, step.demand);
+    ASSERT_TRUE(a.background_feasible);
+    EXPECT_NEAR(a.available_mbps, b.available_mbps, kParityTol);
+    EXPECT_EQ(a.admitted, b.admitted);
+    // Convergence always carries the exact certificate: the terminal
+    // pricing round is a Tier 2 round regardless of mode.
+    EXPECT_TRUE(a.converged);
+    EXPECT_GE(a.exact_rounds, 1u);
+    EXPECT_TRUE(b.converged);
+    EXPECT_GE(b.exact_rounds, 1u);
+    EXPECT_EQ(b.heuristic_columns, 0u);
+  }
+  // The pool-first seeding (structural Tier 0) fed the query masters.
+  EXPECT_GT(tiered.stats().tier0_columns, 0u);
+  EXPECT_EQ(exact.stats().heuristic_columns, 0u);
+}
+
 TEST(AdmissionEngine, ImpossibleLinkDemandIsInfeasible) {
   // A background demand on a link with no usable rate makes Eq. 6
   // infeasible outright — no amount of scheduling delivers it.

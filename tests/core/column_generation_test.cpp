@@ -351,7 +351,10 @@ ColumnGenStats colgen_stats(const InterferenceModel& model,
                             std::span<const LinkFlow> background,
                             std::span<const net::LinkId> new_path,
                             bool stabilize) {
+  // Pinned to exact-only pricing: these stabilization tests compare round
+  // counts of the reference pricing loop, which tiered pricing reshapes.
   ColumnGenOptions options;
+  options.pricing = PricingMode::kExactOnly;
   options.stabilize = stabilize;
   const auto result = max_path_bandwidth(
       model, background, new_path, SolveMethod::kColumnGeneration, options);
@@ -397,10 +400,14 @@ TEST(ColumnGenerationStabilization, TailingOffBoundedOnLongChain) {
   }
   const std::vector<LinkFlow> background = {{{path[0]}, 1.0}};
 
+  // Exact-only pricing: the measured 117-vs-144 round counts are a
+  // property of the reference loop (tiered pricing changes both).
   ColumnGenOptions stabilized;
+  stabilized.pricing = PricingMode::kExactOnly;
   const auto on = max_path_bandwidth(model, background, path,
                                      SolveMethod::kColumnGeneration, stabilized);
   ColumnGenOptions unstabilized;
+  unstabilized.pricing = PricingMode::kExactOnly;
   unstabilized.stabilize = false;
   const auto off = max_path_bandwidth(
       model, background, path, SolveMethod::kColumnGeneration, unstabilized);
@@ -415,22 +422,173 @@ TEST(ColumnGenerationStabilization, TailingOffBoundedOnLongChain) {
 }
 
 TEST(ColumnGenerationStabilization, DisabledMatchesLegacyRoundCounts) {
-  // stabilize=false runs the plain pricing loop: exact duals every round,
-  // no mispricing fallbacks, and a deterministic round/column count for
-  // this scenario (pinned so pricing-loop changes are a conscious edit;
-  // the counts moved from 44/71 when the revised engine gained rotating
-  // partial pricing, which picks different optimal bases among ties).
+  // stabilize=false + exact-only pricing runs the plain reference loop:
+  // exact duals every round, no mispricing fallbacks, and a deterministic
+  // round/column count for this scenario (pinned so pricing-loop changes
+  // are a conscious edit; the counts have flipped between 44/71 and 45/72
+  // before — this master is degenerate and code motion around the oracle
+  // can flip which of two equally optimal columns wins a tie).
   GridScenario scenario = make_grid_scenario();
   PhysicalInterferenceModel model(scenario.net);
   ColumnGenOptions off;
+  off.pricing = PricingMode::kExactOnly;
   off.stabilize = false;
   const auto result =
       max_path_bandwidth(model, scenario.background, scenario.snake,
                          SolveMethod::kColumnGeneration, off);
   EXPECT_TRUE(result.colgen.converged);
   EXPECT_EQ(result.colgen.mispricings, 0u);
-  EXPECT_EQ(result.colgen.rounds, 45u);
-  EXPECT_EQ(result.colgen.columns, 72u);
+  EXPECT_EQ(result.colgen.rounds, 44u);
+  EXPECT_EQ(result.colgen.columns, 71u);
+  // Exact-only rounds are all Tier 2 and the cheap tiers never fire.
+  EXPECT_EQ(result.colgen.exact_rounds, result.colgen.rounds);
+  EXPECT_EQ(result.colgen.pool_hit_columns, 0u);
+  EXPECT_EQ(result.colgen.heuristic_columns, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Tiered pricing (pool-first + heuristic multi-start + exact certificate)
+// ---------------------------------------------------------------------------
+
+/// Solve with the given pricing mode, assert convergence carried the exact
+/// certificate, and return the optimum (-1 for infeasible backgrounds so
+/// parity on the flag is still checked by the caller's EXPECT_NEAR).
+double optimum_with_pricing(const InterferenceModel& model,
+                            std::span<const LinkFlow> background,
+                            std::span<const net::LinkId> new_path,
+                            PricingMode pricing,
+                            ColumnGenStats* stats = nullptr) {
+  ColumnGenOptions options;
+  options.pricing = pricing;
+  const auto result = max_path_bandwidth(
+      model, background, new_path, SolveMethod::kColumnGeneration, options);
+  EXPECT_TRUE(result.colgen.converged);
+  // The optimality certificate: convergence was declared by an exact
+  // (Tier 2) pricing round over the incumbent duals.
+  EXPECT_TRUE(result.colgen.certified);
+  EXPECT_GE(result.colgen.exact_rounds, 1u);
+  if (stats != nullptr) *stats = result.colgen;
+  return result.background_feasible ? result.available_mbps : -1.0;
+}
+
+TEST(TieredPricing, MatchesExactOnlyOnSeedScenarios) {
+  for (double lambda : {0.1, 0.25, 0.4}) {
+    ScenarioOne scenario = make_scenario_one(lambda);
+    EXPECT_NEAR(optimum_with_pricing(scenario.model, scenario.background,
+                                     scenario.new_path, PricingMode::kTiered),
+                optimum_with_pricing(scenario.model, scenario.background,
+                                     scenario.new_path,
+                                     PricingMode::kExactOnly),
+                kParityTol);
+  }
+  ScenarioTwo chain = make_scenario_two();
+  EXPECT_NEAR(optimum_with_pricing(chain.model, {}, chain.chain,
+                                   PricingMode::kTiered),
+              ScenarioTwo::kOptimalMbps, kParityTol);
+  const std::vector<LinkFlow> chain_bg = {{{0, 1}, 2.0}};
+  const std::vector<net::LinkId> chain_path = {2, 3};
+  EXPECT_NEAR(optimum_with_pricing(chain.model, chain_bg, chain_path,
+                                   PricingMode::kTiered),
+              optimum_with_pricing(chain.model, chain_bg, chain_path,
+                                   PricingMode::kExactOnly),
+              kParityTol);
+
+  const net::Network net(geom::chain(6, 70.0), phy::PhyModel::paper_default());
+  PhysicalInterferenceModel model(net);
+  const std::vector<net::LinkId> path = chain_links(net, 5);
+  const std::vector<LinkFlow> background = {{{path[0], path[1]}, 3.0}};
+  const std::vector<net::LinkId> new_path(path.begin() + 2, path.end());
+  EXPECT_NEAR(optimum_with_pricing(model, background, new_path,
+                                   PricingMode::kTiered),
+              optimum_with_pricing(model, background, new_path,
+                                   PricingMode::kExactOnly),
+              kParityTol);
+}
+
+TEST(TieredPricing, MatchesExactOnlyBeyondEnumerationReach) {
+  {
+    GridScenario scenario = make_grid_scenario();
+    PhysicalInterferenceModel model(scenario.net);
+    ColumnGenStats tiered;
+    EXPECT_NEAR(optimum_with_pricing(model, scenario.background,
+                                     scenario.snake, PricingMode::kTiered,
+                                     &tiered),
+                optimum_with_pricing(model, scenario.background,
+                                     scenario.snake, PricingMode::kExactOnly),
+                kParityTol);
+    // The cheap tiers actually carry rounds on this universe: the exact
+    // oracle runs strictly fewer times than the round count.
+    EXPECT_GT(tiered.heuristic_columns, 0u);
+    EXPECT_LT(tiered.exact_rounds, tiered.rounds);
+  }
+  {
+    const net::Network net(geom::chain(27, 70.0),
+                           phy::PhyModel::paper_default());
+    PhysicalInterferenceModel model(net);
+    const std::vector<net::LinkId> path = chain_links(net, 26);
+    const std::vector<LinkFlow> background = {{{path[0]}, 1.0}};
+    ColumnGenStats tiered;
+    const double opt = optimum_with_pricing(
+        model, background, path, PricingMode::kTiered, &tiered);
+    EXPECT_NEAR(opt, 36.0 / 5.0, 1e-3);
+    EXPECT_LT(tiered.exact_rounds, tiered.rounds);
+  }
+}
+
+TEST(TieredPricing, DisabledHeuristicForcesExactTier) {
+  // heuristic_starts = 0 turns every searching round into a Tier 2 round
+  // (Tier 0 can still promote stashed runner-ups). The answer and the
+  // certificate must be unaffected.
+  GridScenario scenario = make_grid_scenario();
+  PhysicalInterferenceModel model(scenario.net);
+  ColumnGenOptions options;
+  options.pricing = PricingMode::kTiered;
+  options.heuristic_starts = 0;
+  const auto result =
+      max_path_bandwidth(model, scenario.background, scenario.snake,
+                         SolveMethod::kColumnGeneration, options);
+  ASSERT_TRUE(result.background_feasible);
+  EXPECT_TRUE(result.colgen.converged);
+  EXPECT_TRUE(result.colgen.certified);
+  EXPECT_EQ(result.colgen.heuristic_columns, 0u);
+  EXPECT_GE(result.colgen.exact_rounds, 1u);
+  const double reference = optimum_with_pricing(
+      model, scenario.background, scenario.snake, PricingMode::kExactOnly);
+  EXPECT_NEAR(result.available_mbps, reference, kParityTol);
+}
+
+TEST(TieredPricing, IdenticalAcrossThreadCounts) {
+  // The Tier 1 multi-start fans out over util::parallel_for; the whole
+  // tiered solve — optimum, schedule, and every per-tier counter — must be
+  // byte-identical at any MRWSN_THREADS.
+  GridScenario scenario = make_grid_scenario();
+  std::vector<AvailableBandwidthResult> results;
+  for (const char* threads : {"1", "4", "8"}) {
+    ThreadEnvGuard env(threads);
+    PhysicalInterferenceModel model(scenario.net);
+    results.push_back(max_path_bandwidth(model, scenario.background,
+                                         scenario.snake,
+                                         SolveMethod::kColumnGeneration));
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_DOUBLE_EQ(results[i].available_mbps, results[0].available_mbps);
+    EXPECT_EQ(results[i].colgen.rounds, results[0].colgen.rounds);
+    EXPECT_EQ(results[i].colgen.columns, results[0].colgen.columns);
+    EXPECT_EQ(results[i].colgen.pool_hit_columns,
+              results[0].colgen.pool_hit_columns);
+    EXPECT_EQ(results[i].colgen.heuristic_columns,
+              results[0].colgen.heuristic_columns);
+    EXPECT_EQ(results[i].colgen.exact_rounds, results[0].colgen.exact_rounds);
+    ASSERT_EQ(results[i].schedule.size(), results[0].schedule.size());
+    for (std::size_t s = 0; s < results[0].schedule.size(); ++s) {
+      EXPECT_EQ(results[i].schedule[s].set.links,
+                results[0].schedule[s].set.links);
+      EXPECT_EQ(results[i].schedule[s].set.rates,
+                results[0].schedule[s].set.rates);
+      EXPECT_DOUBLE_EQ(results[i].schedule[s].time_share,
+                       results[0].schedule[s].time_share);
+    }
+  }
 }
 
 TEST(ColumnGenerationOptions, EffortCapsReportNonConvergence) {

@@ -12,8 +12,12 @@ tripwire:
 
     tools/bench_compare.py old/BENCH_results.json BENCH_results.json
 
-Benchmarks that exist in only one report are listed but never fail the
-comparison — adding or retiring a benchmark is not a regression.
+Only the intersection of the two reports is compared. Benchmarks that
+exist in one report only (new BM_Pricing* entries, retired counters) are
+listed explicitly under "added in candidate" / "removed from candidate"
+but never fail the comparison — adding or retiring a benchmark is not a
+regression. A benchmark whose time unit changed between reports is
+warned about and skipped rather than failing the whole diff.
 """
 
 import argparse
@@ -59,21 +63,25 @@ def main(argv=None):
     cand = load_medians(args.candidate)
 
     shared = sorted(set(base) & set(cand))
+    added = sorted(set(cand) - set(base))
+    removed = sorted(set(base) - set(cand))
     if not shared:
         print("error: the two reports share no benchmarks", file=sys.stderr)
         return 2
 
     width = max(len(name) for name in shared)
     regressions = []
+    compared = 0
     print(f"{'benchmark':<{width}}  {'baseline':>12}  {'candidate':>12}  "
           f"{'ratio':>7}")
     for name in shared:
         base_time, base_unit = base[name]
         cand_time, cand_unit = cand[name]
         if base_unit != cand_unit:
-            print(f"error: {name} changed time unit "
-                  f"({base_unit} -> {cand_unit})", file=sys.stderr)
-            return 2
+            print(f"warning: {name} changed time unit "
+                  f"({base_unit} -> {cand_unit}), skipping", file=sys.stderr)
+            continue
+        compared += 1
         ratio = cand_time / base_time if base_time > 0 else float("inf")
         flag = ""
         if ratio > 1.0 + args.threshold / 100.0:
@@ -82,10 +90,14 @@ def main(argv=None):
         print(f"{name:<{width}}  {base_time:>10.1f}{base_unit:<2}  "
               f"{cand_time:>10.1f}{cand_unit:<2}  {ratio:>6.2f}x{flag}")
 
-    for name in sorted(set(base) - set(cand)):
-        print(f"{name:<{width}}  only in baseline")
-    for name in sorted(set(cand) - set(base)):
-        print(f"{name:<{width}}  only in candidate")
+    if added:
+        print(f"\nadded in candidate ({len(added)}):")
+        for name in added:
+            print(f"  {name}")
+    if removed:
+        print(f"\nremoved from candidate ({len(removed)}):")
+        for name in removed:
+            print(f"  {name}")
 
     if regressions:
         print(f"\n{len(regressions)} benchmark(s) regressed beyond "
@@ -94,7 +106,7 @@ def main(argv=None):
             print(f"  {name}: {ratio:.2f}x", file=sys.stderr)
         return 1
     print(f"\nno regression beyond {args.threshold:.0f}% "
-          f"({len(shared)} benchmarks compared)")
+          f"({compared} benchmarks compared)")
     return 0
 
 

@@ -8,7 +8,9 @@
 #      deeper seed count than the smoke run the suite includes,
 #   3. sanitized: a separate ASan+UBSan build tree running the full
 #      suite plus the fuzz harness again (skippable for quick local
-#      iterations — see below).
+#      iterations — see below). This includes the tiered-pricing parity
+#      tests, so the heuristic pricing oracles and the candidate-stash
+#      bookkeeping get sanitizer coverage on every gate run.
 #
 # Usage: ci.sh [build-dir]
 #   build-dir  defaults to build/ (created if missing)
@@ -34,7 +36,7 @@ echo "== ci stage 2: differential LP fuzz =="
 if [ "${MRWSN_CI_SKIP_SANITIZED:-0}" = "1" ]; then
   echo "== ci stage 3: sanitized run skipped (MRWSN_CI_SKIP_SANITIZED) =="
 else
-  echo "== ci stage 3: ASan+UBSan build + tests =="
+  echo "== ci stage 3: ASan+UBSan build + tests (incl. tiered-pricing parity) =="
   "$REPO/tools/run_sanitized.sh"
 fi
 

@@ -1,5 +1,6 @@
 #include "tools/cli.hpp"
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <istream>
@@ -197,6 +198,24 @@ int cmd_available(const io::ScenarioFile& scenario, net::NodeId src,
     err << "unknown --stabilize '" << stabilize_name << "' (on|off)\n";
     return 1;
   }
+  const std::string pricing_name = options.get("--pricing", "tiered");
+  if (pricing_name == "exact") {
+    colgen_options.pricing = core::PricingMode::kExactOnly;
+  } else if (pricing_name != "tiered") {
+    err << "unknown --pricing '" << pricing_name << "' (tiered|exact)\n";
+    return 1;
+  }
+  const std::string starts_name = options.get("--starts", "8");
+  {
+    char* end = nullptr;
+    const unsigned long starts = std::strtoul(starts_name.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') {
+      err << "--starts needs a non-negative integer, got '" << starts_name
+          << "'\n";
+      return 1;
+    }
+    colgen_options.heuristic_starts = static_cast<std::size_t>(starts);
+  }
   const auto lp = core::max_path_bandwidth(model, background, path->links(),
                                            method, colgen_options);
   const auto input = core::make_path_estimate_input(network, model,
@@ -207,6 +226,13 @@ int cmd_available(const io::ScenarioFile& scenario, net::NodeId src,
       << (lp.colgen.used ? "column generation" : "full enumeration") << ", "
       << lp.num_independent_sets
       << (lp.colgen.used ? " columns" : " independent sets") << '\n';
+  if (lp.colgen.used) {
+    out << "pricing: " << lp.colgen.rounds << " rounds (pool "
+        << lp.colgen.pool_hit_columns << ", heuristic "
+        << lp.colgen.heuristic_columns << " columns, exact "
+        << lp.colgen.exact_rounds << " calls)"
+        << (lp.colgen.certified ? ", certified optimal" : "") << '\n';
+  }
   Table table({"method", "Mbps"});
   table.add_row({"Eq. 6 LP (truth)",
                  Table::num(lp.background_feasible ? lp.available_mbps : 0.0, 3)});
@@ -489,7 +515,8 @@ void usage(std::ostream& err) {
          "  mrwsn capacity scenario.txt <src> <dst>\n"
          "  mrwsn available scenario.txt <src> <dst> [--metric hop|td|avg]\n"
          "                 [--method auto|enum|colgen] [--engine revised|dense]\n"
-         "                 [--stabilize on|off]\n"
+         "                 [--stabilize on|off] [--pricing tiered|exact]\n"
+         "                 [--starts N]\n"
          "  mrwsn admit scenario.txt [--metric avg] [--policy lp|eq13|...]\n"
          "  mrwsn admit scenario.txt --batch queries.csv [--metric hop]\n"
          "  mrwsn admit scenario.txt --serve [--metric hop]\n"
