@@ -19,11 +19,18 @@ Section52Setup make_section52_setup(std::uint64_t seed, std::size_t num_nodes,
   auto positions = geom::connected_random_rectangle(num_nodes, width, height,
                                                     phy.max_tx_range(), rng);
   net::Network network(std::move(positions), std::move(phy));
+  auto requests = draw_multihop_requests(network, rng, num_flows, demand_mbps);
+  return Section52Setup{std::move(network), std::move(requests), seed};
+}
 
+std::vector<routing::FlowRequest> draw_multihop_requests(
+    const net::Network& network, Rng& rng, std::size_t num_flows,
+    double demand_mbps) {
   // Draw multihop source/destination pairs: reachable and >= 2 hops apart.
   core::PhysicalInterferenceModel model(network);
   routing::QosRouter router(network, model);
   const std::vector<double> all_idle(network.num_nodes(), 1.0);
+  const std::size_t num_nodes = network.num_nodes();
 
   std::vector<routing::FlowRequest> requests;
   int attempts = 0;
@@ -38,7 +45,7 @@ Section52Setup make_section52_setup(std::uint64_t seed, std::size_t num_nodes,
   }
   MRWSN_REQUIRE(requests.size() == num_flows,
                 "could not draw enough multihop flow requests");
-  return Section52Setup{std::move(network), std::move(requests), seed};
+  return requests;
 }
 
 std::string render_topology(const net::Network& network, double width,

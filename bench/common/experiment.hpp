@@ -7,6 +7,7 @@
 #include "core/interference.hpp"
 #include "net/network.hpp"
 #include "routing/admission.hpp"
+#include "util/rng.hpp"
 
 /// Shared setup for the paper's Section 5.2/5.3 experiments: a random
 /// 30-node topology in a 400 m x 600 m rectangle with the 802.11a PHY
@@ -27,6 +28,13 @@ struct Section52Setup {
 Section52Setup make_section52_setup(std::uint64_t seed, std::size_t num_nodes = 30,
                                     std::size_t num_flows = 8,
                                     double demand_mbps = 2.0);
+
+/// Draw `num_flows` multihop flow requests on `network`: source and
+/// destination uniform among connected pairs at least two hops apart.
+/// Throws PreconditionError when the topology cannot supply enough pairs.
+std::vector<routing::FlowRequest> draw_multihop_requests(
+    const net::Network& network, Rng& rng, std::size_t num_flows,
+    double demand_mbps);
 
 /// ASCII rendering of the topology (nodes labelled a..z, A..Z by id) for
 /// the Fig. 2 reproduction.

@@ -4,9 +4,15 @@
 // traffic grows as flows join, so later rows show the heavy-background
 // regime. Ends with error statistics per estimator; the paper's claim is
 // that the conservative clique constraint (Eq. 13) performs best.
+//
+// With `--nodes N` (e.g. 500 or 1000) the binary instead runs the scaled
+// variant: a constant-density N-node topology whose idle ratios are
+// *measured* by the sharded parallel CSMA simulator, with RTS/CTS off and
+// on (see common/scaled_fig4.*).
 #include <iostream>
 
 #include "common/experiment.hpp"
+#include "common/scaled_fig4.hpp"
 #include "core/estimation.hpp"
 #include "core/idle_time.hpp"
 #include "core/interference.hpp"
@@ -59,6 +65,13 @@ EstimationSeries run_estimation(const benchx::Section52Setup& setup) {
 
 int main(int argc, char** argv) {
   const std::uint64_t seed = benchx::seed_from_args(argc, argv, 4);
+  const std::size_t scaled_nodes = benchx::nodes_from_args(argc, argv, 0);
+  if (scaled_nodes > 0) {
+    benchx::ScaledFig4Options options;
+    options.num_nodes = scaled_nodes;
+    options.seed = seed;
+    return benchx::run_scaled_fig4(options, std::cout);
+  }
   benchx::Section52Setup setup = benchx::make_section52_setup(seed);
   const net::Network& network = setup.network;
   core::PhysicalInterferenceModel model(network);

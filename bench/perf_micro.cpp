@@ -4,6 +4,10 @@
 // event throughput.
 #include <benchmark/benchmark.h>
 
+#include <functional>
+#include <map>
+
+#include "common/scaled_fig4.hpp"
 #include "core/admission_engine.hpp"
 #include "core/available_bandwidth.hpp"
 #include "core/bounds.hpp"
@@ -14,6 +18,9 @@
 #include "graph/undirected.hpp"
 #include "lp/simplex.hpp"
 #include "mac/csma.hpp"
+#include "mac/event_queue.hpp"
+#include "mac/parallel_sim.hpp"
+#include "routing/qos_router.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -550,6 +557,127 @@ void BM_TdmaSimulatedQuarterSecond(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TdmaSimulatedQuarterSecond);
+
+// "Before" counter for the event-queue rewrite: the std::map-of-
+// std::function kernel the simulator used previously, under the cancel-
+// heavy schedule churn that backoff freezing produces. The indexed-heap
+// EventQueue (BM_EventQueueChurn) replaces the O(log n) erase per cancel
+// with an O(1) tombstone and the per-event std::function allocation with
+// inline small-buffer storage.
+/// The workload both churn benchmarks run, shaped like the simulators'
+/// event pattern: a rotating window of pending timers, two thirds of
+/// which are cancelled and rescheduled before they fire (backoff
+/// freezing), deadlines mostly near-term (MAC timers) with a quarter far
+/// out (periodic arrivals), closures a capture or two past
+/// std::function's small buffer. The map reference must cancel by key
+/// lookup — erasing a stored iterator is undefined once the event has
+/// fired, which the simulator cannot know without exactly the generation
+/// scheme the indexed heap provides.
+constexpr int kChurnTicks = 20000;
+constexpr int kChurnWindow = 64;
+
+void BM_EventQueueChurnMapRef(benchmark::State& state) {
+  using Key = std::pair<double, std::uint64_t>;
+  for (auto _ : state) {
+    std::map<Key, std::function<void()>> events;
+    std::uint64_t fired = 0, serial = 0;
+    std::vector<Key> window(kChurnWindow);
+    std::vector<char> live(kChurnWindow, 0);
+    double t = 0.0;
+    for (int i = 0; i < kChurnTicks; ++i) {
+      const int slot = i % kChurnWindow;
+      if (live[slot] && i % 3 != 0) events.erase(window[slot]);
+      const double when = (i % 4 == 0) ? t + 50.0 : t + 0.75;
+      const Key key{when, serial++};
+      events.emplace(key, [&fired, t, i] {
+        fired += static_cast<std::uint64_t>(t) + static_cast<std::uint64_t>(i);
+      });
+      window[slot] = key;
+      live[slot] = 1;
+      t += 0.25;
+      while (!events.empty() && events.begin()->first.first <= t) {
+        auto it = events.begin();
+        auto fn = std::move(it->second);
+        events.erase(it);
+        fn();
+      }
+    }
+    benchmark::DoNotOptimize(fired);
+  }
+}
+BENCHMARK(BM_EventQueueChurnMapRef);
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    mac::EventQueue q;
+    std::uint64_t fired = 0;
+    std::vector<mac::EventId> window(kChurnWindow, 0);
+    std::vector<char> live(kChurnWindow, 0);
+    double t = 0.0;
+    for (int i = 0; i < kChurnTicks; ++i) {
+      const int slot = i % kChurnWindow;
+      if (live[slot] && i % 3 != 0) q.cancel(window[slot]);
+      const double when = (i % 4 == 0) ? t + 50.0 : t + 0.75;
+      window[slot] = q.schedule_at(when, [&fired, t, i] {
+        fired += static_cast<std::uint64_t>(t) + static_cast<std::uint64_t>(i);
+      });
+      live[slot] = 1;
+      t += 0.25;
+      q.run_until(t);
+    }
+    benchmark::DoNotOptimize(fired);
+  }
+}
+BENCHMARK(BM_EventQueueChurn);
+
+// The sharded parallel CSMA engine on a 500-node constant-density
+// topology, one simulated second, at 1 worker vs 8 workers. The arg is
+// the thread count; the topology, flows and seed are identical (and so,
+// by the determinism guarantee, are the reports). Real time matters
+// here, not CPU time: 8 workers burn more CPU to finish sooner.
+struct ParallelBenchSetup {
+  benchx::Section52Setup setup;
+  std::vector<std::vector<net::LinkId>> paths;
+};
+
+const ParallelBenchSetup& parallel_bench_setup() {
+  // Topology draw and routing are one-time setup, not part of the timed
+  // region (leaked deliberately: benchmarks never tear down).
+  static const ParallelBenchSetup* cached = [] {
+    auto* s = new ParallelBenchSetup{
+        benchx::make_scaled_setup(/*seed=*/4, /*num_nodes=*/500,
+                                  /*num_flows=*/8, /*demand_mbps=*/2.0,
+                                  /*target_degree=*/12.0),
+        {}};
+    core::PhysicalInterferenceModel model(s->setup.network);
+    routing::QosRouter router(s->setup.network, model);
+    const std::vector<double> all_idle(s->setup.network.num_nodes(), 1.0);
+    for (const auto& request : s->setup.requests) {
+      const auto path = router.find_path(request.src, request.dst,
+                                         routing::Metric::kHopCount, all_idle);
+      if (path) s->paths.push_back(path->links());
+    }
+    return s;
+  }();
+  return *cached;
+}
+
+void BM_CsmaParallel(benchmark::State& state) {
+  const ParallelBenchSetup& bench = parallel_bench_setup();
+  for (auto _ : state) {
+    mac::ShardParams shard;
+    shard.threads = static_cast<std::size_t>(state.range(0));
+    mac::ParallelCsmaSimulator sim(bench.setup.network, mac::MacParams{},
+                                   shard, 4);
+    for (const auto& path : bench.paths) sim.add_flow(path, 2.0);
+    benchmark::DoNotOptimize(sim.run(0.85, 0.15));
+  }
+}
+BENCHMARK(BM_CsmaParallel)
+    ->Arg(1)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_CsmaSimulatedSecond(benchmark::State& state) {
   const net::Network network(geom::chain(4, 70.0), phy::PhyModel::paper_default());

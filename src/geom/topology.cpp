@@ -1,5 +1,7 @@
 #include "geom/topology.hpp"
 
+#include <cmath>
+#include <numbers>
 #include <queue>
 
 #include "util/error.hpp"
@@ -49,6 +51,19 @@ std::vector<Point> connected_random_rectangle(std::size_t count, double width,
   }
   throw PreconditionError(
       "could not draw a connected placement; widen the range or shrink the area");
+}
+
+std::vector<Point> connected_random_density(std::size_t count, double range,
+                                            double target_degree, Rng& rng,
+                                            int max_attempts) {
+  MRWSN_REQUIRE(count >= 1, "need at least one node");
+  MRWSN_REQUIRE(range > 0.0, "connectivity range must be positive");
+  MRWSN_REQUIRE(target_degree > 0.0, "target degree must be positive");
+  const double side =
+      range * std::sqrt(static_cast<double>(count) * std::numbers::pi /
+                        target_degree);
+  return connected_random_rectangle(count, side, side, range, rng,
+                                    max_attempts);
 }
 
 std::vector<Point> chain(std::size_t count, double spacing) {

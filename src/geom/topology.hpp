@@ -24,6 +24,19 @@ std::vector<Point> connected_random_rectangle(std::size_t count, double width,
                                               double height, double range, Rng& rng,
                                               int max_attempts = 100);
 
+/// `count` nodes in a square sized so that the *expected* number of
+/// neighbours within `range` metres is `target_degree` (the square's area
+/// is count * pi * range^2 / target_degree), re-drawn until the placement
+/// is connected at `range`. This keeps node density constant as `count`
+/// grows, which is what the scaled 100-1000-node MAC experiments need:
+/// a 1000-node draw contends like a 100-node draw, just over more area.
+/// target_degree must comfortably exceed ln(count) or the connectivity
+/// re-draws are unlikely to succeed (throws PreconditionError after
+/// `max_attempts`).
+std::vector<Point> connected_random_density(std::size_t count, double range,
+                                            double target_degree, Rng& rng,
+                                            int max_attempts = 100);
+
 /// `count` nodes on a straight line, `spacing` metres apart, starting at
 /// the origin. Used for chain scenarios like Fig. 1.
 std::vector<Point> chain(std::size_t count, double spacing);

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "mac/csma.hpp"
+#include "mac/partition.hpp"
+#include "mac/tdma.hpp"
+#include "net/network.hpp"
+
+namespace mrwsn::mac {
+
+/// Sharding knobs for the region-parallel simulators.
+///
+/// None of these change results except latency_s and interaction_floor,
+/// which are part of the *model*: the parallel simulators charge a uniform
+/// sense latency on every cross-node effect (signal sensed, NAV heard,
+/// frame handed to the next hop), which is what gives every region a
+/// guaranteed lookahead. grid/thread choices are pure performance knobs —
+/// SimReport is bit-identical across all of them.
+struct ShardParams {
+  std::size_t grid_x = 0;  ///< 0: auto-size cells by carrier-sense range
+  std::size_t grid_y = 0;
+  std::size_t threads = 0;  ///< 0: util::configured_threads()
+
+  /// Uniform latency charged on every cross-node effect, applied alike
+  /// inside and across regions; also the conservative lookahead window.
+  /// Default is DIFS-scale: two slots + a SIFS of sensing/decode latency.
+  double latency_s = 34e-6;
+
+  /// Signals weaker than this fraction of the noise floor are not
+  /// propagated at all (they could never move a carrier-sense or SINR
+  /// decision by a measurable amount). Bounds per-transmission fan-out on
+  /// large topologies; identical for every partitioning.
+  double interaction_floor = 0.01;
+};
+
+/// Region-parallel counterpart of CsmaSimulator: the same DCF model
+/// (carrier sensing, DIFS + binary exponential backoff, DATA/ACK, optional
+/// RTS/CTS NAV and ARF), restated as a message-passing simulation in which
+/// every cross-node effect arrives `latency_s` after its cause. Nodes are
+/// partitioned into spatial-grid regions, each with its own event queue;
+/// regions run in parallel inside conservative lookahead windows of
+/// latency_s and exchange time-stamped messages at window barriers.
+///
+/// Determinism: every event carries an intrinsic (class, origin, sequence)
+/// key and queues order events by (time, key), so the execution order —
+/// and therefore SimReport, bit for bit — is independent of the grid shape
+/// and thread count. See DESIGN.md §11.
+class ParallelCsmaSimulator {
+ public:
+  ParallelCsmaSimulator(const net::Network& network, MacParams params,
+                        ShardParams shard, std::uint64_t seed);
+  ~ParallelCsmaSimulator();
+
+  ParallelCsmaSimulator(const ParallelCsmaSimulator&) = delete;
+  ParallelCsmaSimulator& operator=(const ParallelCsmaSimulator&) = delete;
+
+  /// Add a CBR flow along a contiguous link path with the given demand.
+  void add_flow(std::vector<net::LinkId> path_links, double demand_mbps);
+
+  /// Run for `warmup_s + duration_s` simulated seconds; statistics cover
+  /// the final `duration_s`. May be called once per simulator. Events are
+  /// processed on the half-open interval [0, warmup_s + duration_s).
+  SimReport run(double duration_s, double warmup_s = 0.5);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Region-parallel counterpart of TdmaSimulator: executes an Eq. 6 LP
+/// schedule as a periodic TDMA frame, with links owned by the region of
+/// their transmitter and hop-to-hop packet handoffs charged the uniform
+/// latency_s. Certified slots never fail, so handoffs are the only
+/// cross-region interaction. Same determinism guarantee as the CSMA
+/// engine.
+class ParallelTdmaSimulator {
+ public:
+  ParallelTdmaSimulator(const net::Network& network,
+                        const core::InterferenceModel& model,
+                        std::vector<core::ScheduledSet> schedule,
+                        TdmaParams params, ShardParams shard,
+                        std::uint64_t seed);
+  ~ParallelTdmaSimulator();
+
+  ParallelTdmaSimulator(const ParallelTdmaSimulator&) = delete;
+  ParallelTdmaSimulator& operator=(const ParallelTdmaSimulator&) = delete;
+
+  void add_flow(std::vector<net::LinkId> path_links, double demand_mbps);
+
+  SimReport run(double duration_s, double warmup_s = 0.1);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace mrwsn::mac

@@ -1,0 +1,72 @@
+#include "mac/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace mrwsn::mac {
+
+GridPartition make_grid_partition(const net::Network& network,
+                                  std::size_t grid_x, std::size_t grid_y) {
+  MRWSN_REQUIRE(grid_x >= 1 && grid_y >= 1, "grid dimensions must be >= 1");
+  MRWSN_REQUIRE(network.num_nodes() > 0, "cannot partition an empty network");
+
+  double min_x = std::numeric_limits<double>::infinity(), max_x = -min_x;
+  double min_y = min_x, max_y = -min_x;
+  for (const net::Node& node : network.nodes()) {
+    min_x = std::min(min_x, node.position.x);
+    max_x = std::max(max_x, node.position.x);
+    min_y = std::min(min_y, node.position.y);
+    max_y = std::max(max_y, node.position.y);
+  }
+  const double width = max_x - min_x;
+  const double height = max_y - min_y;
+
+  GridPartition part;
+  part.grid_x = width > 0.0 ? grid_x : 1;
+  part.grid_y = height > 0.0 ? grid_y : 1;
+  part.region_of_node.resize(network.num_nodes());
+  part.nodes_of_region.resize(part.grid_x * part.grid_y);
+
+  for (const net::Node& node : network.nodes()) {
+    std::size_t cx = 0, cy = 0;
+    if (part.grid_x > 1) {
+      cx = static_cast<std::size_t>((node.position.x - min_x) / width *
+                                    static_cast<double>(part.grid_x));
+      cx = std::min(cx, part.grid_x - 1);
+    }
+    if (part.grid_y > 1) {
+      cy = static_cast<std::size_t>((node.position.y - min_y) / height *
+                                    static_cast<double>(part.grid_y));
+      cy = std::min(cy, part.grid_y - 1);
+    }
+    const std::size_t region = cy * part.grid_x + cx;
+    part.region_of_node[node.id] = static_cast<std::uint32_t>(region);
+    part.nodes_of_region[region].push_back(node.id);
+  }
+  // network.nodes() is ordered by id, so each region's list is ascending.
+  return part;
+}
+
+GridPartition auto_grid_partition(const net::Network& network) {
+  MRWSN_REQUIRE(network.num_nodes() > 0, "cannot partition an empty network");
+  double min_x = std::numeric_limits<double>::infinity(), max_x = -min_x;
+  double min_y = min_x, max_y = -min_x;
+  for (const net::Node& node : network.nodes()) {
+    min_x = std::min(min_x, node.position.x);
+    max_x = std::max(max_x, node.position.x);
+    min_y = std::min(min_y, node.position.y);
+    max_y = std::max(max_y, node.position.y);
+  }
+  const double cs = std::max(network.phy().carrier_sense_range(), 1.0);
+  const auto cells = [cs](double extent) {
+    const auto n = static_cast<std::size_t>(std::floor(extent / cs));
+    return std::clamp<std::size_t>(n, 1, 16);
+  };
+  return make_grid_partition(network, cells(max_x - min_x),
+                             cells(max_y - min_y));
+}
+
+}  // namespace mrwsn::mac

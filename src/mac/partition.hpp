@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace mrwsn::mac {
+
+/// A spatial partition of a network's nodes into rectangular grid regions.
+///
+/// The sharded simulator (mac/parallel_sim.*) gives each region its own
+/// event queue and runs regions in parallel between lookahead barriers.
+/// Partitioning is a *performance* knob only: cross-node effects always
+/// travel with the same sense latency whether or not they cross a region
+/// boundary, so results are bit-identical for every grid shape. Cells on
+/// the order of the carrier-sense range keep most signal traffic
+/// region-local, which is what auto_grid_partition aims for.
+struct GridPartition {
+  std::size_t grid_x = 1;
+  std::size_t grid_y = 1;
+  std::vector<std::uint32_t> region_of_node;          ///< by node id
+  std::vector<std::vector<net::NodeId>> nodes_of_region;  ///< ids ascending
+
+  std::size_t num_regions() const { return nodes_of_region.size(); }
+};
+
+/// Partition `network`'s bounding box into an exact grid_x x grid_y grid.
+/// Requires grid_x, grid_y >= 1. Degenerate extents (all nodes collinear
+/// or coincident) collapse the affected axis to a single column/row.
+GridPartition make_grid_partition(const net::Network& network,
+                                  std::size_t grid_x, std::size_t grid_y);
+
+/// Grid with cells no smaller than the PHY's carrier-sense range along
+/// each axis (capped at 16x16), so that most carrier-sense interactions
+/// stay inside one region.
+GridPartition auto_grid_partition(const net::Network& network);
+
+}  // namespace mrwsn::mac

@@ -4,6 +4,74 @@
 
 namespace mrwsn::util {
 
+namespace {
+
+/// Spin briefly before yielding: dispatch gaps between windows are usually
+/// sub-microsecond, so most waits resolve within the spin budget.
+template <typename Pred>
+void spin_until(Pred&& ready) {
+  for (int spins = 0; !ready(); ++spins) {
+    if (spins >= 4096) std::this_thread::yield();
+  }
+}
+
+}  // namespace
+
+WorkerPool::WorkerPool(std::size_t threads)
+    : size_(threads == 0 ? configured_threads() : threads) {
+  threads_.reserve(size_ > 0 ? size_ - 1 : 0);
+  for (std::size_t i = 1; i < size_; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  stop_.store(true, std::memory_order_relaxed);
+  epoch_.fetch_add(1, std::memory_order_release);
+  for (std::thread& th : threads_) th.join();
+}
+
+void WorkerPool::run(const std::function<void(std::size_t)>& fn) {
+  if (size_ <= 1) {
+    fn(0);
+    return;
+  }
+  job_ = &fn;
+  done_.store(0, std::memory_order_relaxed);
+  epoch_.fetch_add(1, std::memory_order_release);  // publishes job_
+  try {
+    fn(0);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    if (!error_) error_ = std::current_exception();
+  }
+  const std::size_t others = size_ - 1;
+  spin_until([&] { return done_.load(std::memory_order_acquire) == others; });
+  job_ = nullptr;
+  if (error_) {
+    std::exception_ptr error = error_;
+    error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+void WorkerPool::worker_loop(std::size_t index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    spin_until(
+        [&] { return epoch_.load(std::memory_order_acquire) != seen; });
+    seen = epoch_.load(std::memory_order_acquire);
+    if (stop_.load(std::memory_order_relaxed)) return;
+    try {
+      (*job_)(index);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mu_);
+      if (!error_) error_ = std::current_exception();
+    }
+    done_.fetch_add(1, std::memory_order_release);
+  }
+}
+
 std::size_t configured_threads() {
   if (const char* env = std::getenv("MRWSN_THREADS")) {
     char* end = nullptr;

@@ -2,7 +2,9 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
+#include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -49,5 +51,57 @@ void parallel_for(std::size_t count, Fn&& fn) {
   for (std::thread& th : pool) th.join();
   if (error) std::rethrow_exception(error);
 }
+
+/// A persistent pool of spinning workers for fine-grained, repeated
+/// fan-outs. util::parallel_for spawns and joins std::threads per call
+/// (fine for the colgen oracles, whose tasks run for milliseconds); the
+/// sharded MAC simulator (mac/parallel_sim.*) instead crosses a barrier
+/// every lookahead window — tens of thousands of times per simulated
+/// second — so thread spawn/join would dwarf the event work. WorkerPool
+/// keeps its workers alive between run() calls and synchronizes them with
+/// an epoch counter they spin on (yielding after a bounded number of
+/// spins), making a full dispatch+barrier round trip a few microseconds.
+///
+/// run(fn) invokes fn(worker) once per worker, including worker 0 on the
+/// calling thread. Workers partition their work statically from the worker
+/// index (see member `size()`), so a run's side effects are deterministic
+/// for any pool size as long as the per-worker work is.
+class WorkerPool {
+ public:
+  /// `threads` total workers (including the caller); 0 means
+  /// configured_threads().
+  explicit WorkerPool(std::size_t threads = 0);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  std::size_t size() const { return size_; }
+
+  /// Run fn(worker) for worker in [0, size()); fn(0) runs on the calling
+  /// thread. Returns when every worker finished. The first exception
+  /// thrown by any worker is rethrown here.
+  void run(const std::function<void(std::size_t)>& fn);
+
+  /// Static contiguous block [begin, end) of `count` items for `worker`.
+  std::pair<std::size_t, std::size_t> block(std::size_t worker,
+                                            std::size_t count) const {
+    const std::size_t base = count / size_, extra = count % size_;
+    const std::size_t begin = worker * base + std::min(worker, extra);
+    return {begin, begin + base + (worker < extra ? 1 : 0)};
+  }
+
+ private:
+  void worker_loop(std::size_t index);
+
+  std::size_t size_ = 1;
+  std::vector<std::thread> threads_;
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::size_t> done_{0};
+  std::atomic<bool> stop_{false};
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::mutex error_mu_;
+  std::exception_ptr error_;
+};
 
 }  // namespace mrwsn::util

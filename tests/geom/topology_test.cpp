@@ -67,6 +67,41 @@ TEST(Topology, ConnectedRandomRectangleIsConnected) {
   EXPECT_TRUE(is_connected_at_range(points, 158.0));
 }
 
+TEST(Topology, ConnectedRandomDensityIsConnectedAndScalesArea) {
+  Rng rng(7);
+  const double range = 150.0;
+  const auto small = connected_random_density(50, range, 12.0, rng);
+  EXPECT_TRUE(is_connected_at_range(small, range));
+  const auto large = connected_random_density(200, range, 12.0, rng);
+  EXPECT_TRUE(is_connected_at_range(large, range));
+  // 4x the nodes at the same target degree needs 4x the area (2x the side).
+  const auto side = [](const std::vector<Point>& pts) {
+    double max_x = 0.0;
+    for (const Point& p : pts) max_x = std::max(max_x, p.x);
+    return max_x;
+  };
+  EXPECT_GT(side(large), 1.5 * side(small));
+}
+
+TEST(Topology, ConnectedRandomDensityHitsTheTargetDegree) {
+  Rng rng(11);
+  const double range = 100.0, degree = 14.0;
+  const auto points = connected_random_density(300, range, degree, rng);
+  double neighbour_pairs = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = i + 1; j < points.size(); ++j) {
+      if (distance_sq(points[i], points[j]) <= range * range) {
+        neighbour_pairs += 2.0;
+      }
+    }
+  }
+  const double mean_degree = neighbour_pairs / static_cast<double>(points.size());
+  // Border effects shave the mean below the interior target; the point is
+  // that density is in the configured ballpark, not 2x off.
+  EXPECT_GT(mean_degree, 0.5 * degree);
+  EXPECT_LT(mean_degree, 1.5 * degree);
+}
+
 TEST(Topology, ConnectedRandomRectangleGivesUpEventually) {
   Rng rng(5);
   // 2 nodes in a huge area with a tiny range: virtually never connected.

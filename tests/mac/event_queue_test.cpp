@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 #include "util/error.hpp"
@@ -79,6 +80,117 @@ TEST(EventQueue, RejectsPastSchedulingAndBackwardRuns) {
   EXPECT_THROW(q.schedule_at(4.0, [] {}), PreconditionError);
   EXPECT_THROW(q.run_until(1.0), PreconditionError);
   EXPECT_THROW(q.schedule_in(5.0, nullptr), PreconditionError);
+}
+
+TEST(EventQueue, RunReportsWhetherEventsRemain) {
+  EventQueue q;
+  q.schedule_at(1.0, [] {});
+  q.schedule_at(5.0, [] {});
+  EXPECT_EQ(q.run_until(2.0), EventQueue::RunEnd::kReachedLimit);
+  EXPECT_EQ(q.run_until(6.0), EventQueue::RunEnd::kExhausted);
+}
+
+TEST(EventQueue, EmptyWindowStillAdvancesTheClock) {
+  // The parallel simulator's barrier logic depends on now() == until after
+  // every run, even when nothing fired or nothing was ever scheduled.
+  EventQueue q;
+  EXPECT_EQ(q.run_until(3.0), EventQueue::RunEnd::kExhausted);
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+  q.schedule_at(10.0, [] {});
+  EXPECT_EQ(q.run_before(7.0), EventQueue::RunEnd::kReachedLimit);
+  EXPECT_DOUBLE_EQ(q.now(), 7.0);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, RunBeforeIsHalfOpen) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule_at(1.0, [&] { fired.push_back(1); });
+  q.schedule_at(2.0, [&] { fired.push_back(2); });
+  q.run_before(2.0);  // event exactly at the bound must NOT fire
+  EXPECT_EQ(fired, (std::vector<int>{1}));
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+  q.run_until(2.0);  // inclusive run at the same instant picks it up
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, KeyedEventsOrderByClassOriginSeq) {
+  EventQueue q;
+  std::vector<int> order;
+  // Inserted deliberately out of key order, all at the same timestamp.
+  q.schedule_at(1.0, [&] { order.push_back(99); });  // plain: fires last
+  q.schedule_at(1.0, EventKey{2, 0, 0}, [&] { order.push_back(20); });
+  q.schedule_at(1.0, EventKey{1, 7, 1}, [&] { order.push_back(11); });
+  q.schedule_at(1.0, EventKey{1, 7, 0}, [&] { order.push_back(10); });
+  q.schedule_at(1.0, EventKey{1, 3, 5}, [&] { order.push_back(5); });
+  q.schedule_at(1.0, EventKey{0, 9, 9}, [&] { order.push_back(0); });
+  q.run_until(2.0);
+  EXPECT_EQ(order, (std::vector<int>{0, 5, 10, 11, 20, 99}));
+}
+
+TEST(EventQueue, KeyOrderBeatsInsertionOrder) {
+  // The determinism property the sharded simulator leans on: two events
+  // with the same key inserted in either order fire in the same order.
+  for (const bool reversed : {false, true}) {
+    EventQueue q;
+    std::vector<int> order;
+    const auto add_a = [&] {
+      q.schedule_at(1.0, EventKey{0, 1, 0}, [&] { order.push_back(1); });
+    };
+    const auto add_b = [&] {
+      q.schedule_at(1.0, EventKey{0, 2, 0}, [&] { order.push_back(2); });
+    };
+    if (reversed) {
+      add_b();
+      add_a();
+    } else {
+      add_a();
+      add_b();
+    }
+    q.run_until(2.0);
+    EXPECT_EQ(order, (std::vector<int>{1, 2})) << "reversed=" << reversed;
+  }
+}
+
+TEST(EventQueue, NextTimeSkipsTombstones) {
+  EventQueue q;
+  const EventId early = q.schedule_at(1.0, [] {});
+  q.schedule_at(2.0, [] {});
+  EXPECT_DOUBLE_EQ(q.next_time(), 1.0);
+  q.cancel(early);
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, NextTimeIsInfiniteWhenEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(std::isinf(q.next_time()));
+  const EventId id = q.schedule_at(4.0, [] {});
+  q.cancel(id);
+  EXPECT_TRUE(std::isinf(q.next_time()));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, SurvivesCancelHeavyChurn) {
+  // The backoff-freeze pattern that motivated lazy cancellation: most
+  // scheduled timers are cancelled and rescheduled before firing.
+  EventQueue q;
+  int fired = 0;
+  EventId pending_id = 0;
+  double t = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    if (i > 0 && i % 3 != 0) {
+      EXPECT_TRUE(q.cancel(pending_id));
+    }
+    pending_id = q.schedule_at(t + 1.0, [&] { ++fired; });
+    t += 0.25;
+    q.run_until(t);
+  }
+  q.run_until(t + 10.0);
+  // Every third timer (i % 3 == 0 at the *next* iteration) survives.
+  EXPECT_GT(fired, 3000);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.pending(), 0u);
 }
 
 TEST(EventQueue, ScheduleInUsesCurrentTime) {

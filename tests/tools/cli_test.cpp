@@ -246,6 +246,25 @@ TEST(Cli, SimulateWithoutFlowsFails) {
   EXPECT_EQ(r.code, 1);
 }
 
+TEST(Cli, Fig4RunsScaledEstimatorComparison) {
+  // Deliberately tiny: the point is the wiring (topology draw, parallel
+  // CSMA measurement, estimator tables), not the 500-node default.
+  const CliResult r = run({"fig4", "--nodes", "40", "--flows", "2",
+                           "--seconds", "0.1", "--threads", "2", "--rts",
+                           "on", "--seed", "6"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("RTS/CTS on"), std::string::npos);
+  EXPECT_EQ(r.out.find("RTS/CTS off"), std::string::npos);
+  EXPECT_NE(r.out.find("Eq.13 conservative"), std::string::npos);
+  EXPECT_NE(r.out.find("LP truth"), std::string::npos);
+}
+
+TEST(Cli, Fig4RejectsBadRtsMode) {
+  const CliResult r = run({"fig4", "--nodes", "40", "--rts", "sometimes"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--rts"), std::string::npos);
+}
+
 TEST(Cli, MissingScenarioFileIsAnError) {
   const CliResult r = run({"info", "/nonexistent/file.txt"});
   EXPECT_EQ(r.code, 1);

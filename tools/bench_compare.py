@@ -57,10 +57,24 @@ def main(argv=None):
         "--threshold", type=float, default=15.0,
         help="fail when any benchmark slows down by more than this many "
              "percent (default: %(default)s)")
+    parser.add_argument(
+        "--require", action="append", default=[], metavar="PREFIX",
+        help="fail unless the candidate report contains at least one "
+             "benchmark whose name starts with PREFIX (repeatable); "
+             "guards against a suite silently losing coverage, e.g. "
+             "--require BM_CsmaParallel --require BM_EventQueueChurn")
     args = parser.parse_args(argv)
 
     base = load_medians(args.baseline)
     cand = load_medians(args.candidate)
+
+    missing = [prefix for prefix in args.require
+               if not any(name.startswith(prefix) for name in cand)]
+    if missing:
+        for prefix in missing:
+            print(f"error: candidate has no benchmark starting with "
+                  f"'{prefix}'", file=sys.stderr)
+        return 2
 
     shared = sorted(set(base) & set(cand))
     added = sorted(set(cand) - set(base))

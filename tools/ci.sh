@@ -10,7 +10,16 @@
 #      suite plus the fuzz harness again (skippable for quick local
 #      iterations — see below). This includes the tiered-pricing parity
 #      tests, so the heuristic pricing oracles and the candidate-stash
-#      bookkeeping get sanitizer coverage on every gate run.
+#      bookkeeping get sanitizer coverage on every gate run. The script
+#      ends with a ThreadSanitizer stage (third build tree) that runs the
+#      sharded parallel MAC determinism suite — the repo's only
+#      multithreaded code — under TSan; MRWSN_SKIP_TSAN=1 skips it.
+#
+# Benchmark regressions are gated separately: regenerate with
+#   cmake --build build --target bench_json
+# and diff against the committed baseline with
+#   tools/bench_compare.py old.json BENCH_results.json \
+#     --require BM_CsmaParallel --require BM_EventQueueChurn
 #
 # Usage: ci.sh [build-dir]
 #   build-dir  defaults to build/ (created if missing)

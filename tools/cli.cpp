@@ -9,6 +9,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "common/scaled_fig4.hpp"
 #include "core/admission_engine.hpp"
 #include "core/estimation.hpp"
 #include "core/idle_time.hpp"
@@ -508,8 +509,28 @@ int cmd_simulate(const io::ScenarioFile& scenario, const Options& options,
   return 0;
 }
 
+/// The scaled Fig. 4 rerun (bench/common/scaled_fig4.*): estimators vs LP
+/// truth on a constant-density topology whose idle ratios are measured by
+/// the sharded parallel CSMA simulator.
+int cmd_fig4(const Options& options, std::ostream& out) {
+  benchx::ScaledFig4Options scaled;
+  scaled.num_nodes = static_cast<std::size_t>(options.get_u64("--nodes", 500));
+  scaled.num_flows = static_cast<std::size_t>(options.get_u64("--flows", 8));
+  scaled.seed = options.get_u64("--seed", 4);
+  scaled.threads = static_cast<std::size_t>(options.get_u64("--threads", 0));
+  scaled.measure_s = options.get_double("--seconds", 0.5);
+  scaled.demand_mbps = options.get_double("--demand", 2.0);
+  const std::string rts = options.get("--rts", "both");
+  MRWSN_REQUIRE(rts == "on" || rts == "off" || rts == "both",
+                "--rts must be on|off|both");
+  scaled.run_with_rts = rts != "off";
+  scaled.run_without_rts = rts != "on";
+  return benchx::run_scaled_fig4(scaled, out);
+}
+
 void usage(std::ostream& err) {
-  err << "usage: mrwsn <generate|info|capacity|available|admit|simulate> ...\n"
+  err << "usage: mrwsn <generate|info|capacity|available|admit|simulate|fig4> "
+         "...\n"
          "  mrwsn generate --nodes 30 --seed 1 --flows 8\n"
          "  mrwsn info scenario.txt\n"
          "  mrwsn capacity scenario.txt <src> <dst>\n"
@@ -520,7 +541,9 @@ void usage(std::ostream& err) {
          "  mrwsn admit scenario.txt [--metric avg] [--policy lp|eq13|...]\n"
          "  mrwsn admit scenario.txt --batch queries.csv [--metric hop]\n"
          "  mrwsn admit scenario.txt --serve [--metric hop]\n"
-         "  mrwsn simulate scenario.txt [--seconds 2] [--arf] [--seed 1]\n";
+         "  mrwsn simulate scenario.txt [--seconds 2] [--arf] [--seed 1]\n"
+         "  mrwsn fig4 [--nodes 500] [--threads 8] [--seed 4] [--flows 8]\n"
+         "             [--rts on|off|both] [--seconds 0.5]\n";
 }
 
 }  // namespace
@@ -539,6 +562,7 @@ int run_cli(const std::vector<std::string>& args, std::istream& in,
     }
     const std::string& command = args[0];
     if (command == "generate") return cmd_generate(Options(args, 1), out);
+    if (command == "fig4") return cmd_fig4(Options(args, 1), out);
 
     MRWSN_REQUIRE(args.size() >= 2, command + " needs a scenario file");
     const io::ScenarioFile scenario = io::load_scenario(args[1]);

@@ -22,3 +22,20 @@ ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc 2>/dev/null || echo 4)
 # kind of index-heavy code ASan/UBSan earn their keep on.
 "$REPO/tools/run_fuzz.sh" "$BUILD" "${MRWSN_FUZZ_SEEDS:-500}"
 echo "sanitized test run ($SANITIZERS) passed"
+
+# ThreadSanitizer stage for the sharded parallel MAC engine. TSan cannot
+# share a build with ASan, so it gets its own tree; only the parallel
+# simulator's test binary is built there — it is the only multithreaded
+# code in the repository (util::WorkerPool + mac/parallel_sim.*), and the
+# determinism suite drives every cross-region message path at several
+# thread counts, which is exactly the schedule-space TSan wants to see.
+# Skippable with MRWSN_SKIP_TSAN=1 (e.g. on kernels without ASLR compat).
+if [ "${MRWSN_SKIP_TSAN:-0}" != "1" ]; then
+  TSAN_BUILD=${MRWSN_TSAN_BUILD:-"$REPO/build-tsan"}
+  cmake -B "$TSAN_BUILD" -S "$REPO" -DMRWSN_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$TSAN_BUILD" -j "$(nproc 2>/dev/null || echo 4)" \
+    --target test_mac_parallel
+  "$TSAN_BUILD/tests/test_mac_parallel"
+  echo "tsan parallel-MAC run passed"
+fi
