@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_bound_reduction"
+  "../bench/ablation_bound_reduction.pdb"
+  "CMakeFiles/ablation_bound_reduction.dir/ablation_bound_reduction.cpp.o"
+  "CMakeFiles/ablation_bound_reduction.dir/ablation_bound_reduction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bound_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_distributed_admission"
+  "../bench/ablation_distributed_admission.pdb"
+  "CMakeFiles/ablation_distributed_admission.dir/ablation_distributed_admission.cpp.o"
+  "CMakeFiles/ablation_distributed_admission.dir/ablation_distributed_admission.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_distributed_admission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_hidden_terminal"
+  "../bench/ablation_hidden_terminal.pdb"
+  "CMakeFiles/ablation_hidden_terminal.dir/ablation_hidden_terminal.cpp.o"
+  "CMakeFiles/ablation_hidden_terminal.dir/ablation_hidden_terminal.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hidden_terminal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_hidden_terminal.
+# This may be replaced when dependencies are built.

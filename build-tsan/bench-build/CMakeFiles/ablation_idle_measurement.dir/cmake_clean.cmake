@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_idle_measurement"
+  "../bench/ablation_idle_measurement.pdb"
+  "CMakeFiles/ablation_idle_measurement.dir/ablation_idle_measurement.cpp.o"
+  "CMakeFiles/ablation_idle_measurement.dir/ablation_idle_measurement.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_idle_measurement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

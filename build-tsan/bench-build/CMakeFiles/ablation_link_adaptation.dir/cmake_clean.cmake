@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_link_adaptation"
+  "../bench/ablation_link_adaptation.pdb"
+  "CMakeFiles/ablation_link_adaptation.dir/ablation_link_adaptation.cpp.o"
+  "CMakeFiles/ablation_link_adaptation.dir/ablation_link_adaptation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_link_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

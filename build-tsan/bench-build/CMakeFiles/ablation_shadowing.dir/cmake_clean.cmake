@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_shadowing"
+  "../bench/ablation_shadowing.pdb"
+  "CMakeFiles/ablation_shadowing.dir/ablation_shadowing.cpp.o"
+  "CMakeFiles/ablation_shadowing.dir/ablation_shadowing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_shadowing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

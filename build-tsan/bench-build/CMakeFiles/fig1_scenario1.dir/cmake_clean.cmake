@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_scenario1"
+  "../bench/fig1_scenario1.pdb"
+  "CMakeFiles/fig1_scenario1.dir/fig1_scenario1.cpp.o"
+  "CMakeFiles/fig1_scenario1.dir/fig1_scenario1.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_scenario1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_topology"
+  "../bench/fig2_topology.pdb"
+  "CMakeFiles/fig2_topology.dir/fig2_topology.cpp.o"
+  "CMakeFiles/fig2_topology.dir/fig2_topology.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

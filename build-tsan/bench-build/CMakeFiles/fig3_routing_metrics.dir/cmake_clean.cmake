@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_routing_metrics"
+  "../bench/fig3_routing_metrics.pdb"
+  "CMakeFiles/fig3_routing_metrics.dir/fig3_routing_metrics.cpp.o"
+  "CMakeFiles/fig3_routing_metrics.dir/fig3_routing_metrics.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_routing_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

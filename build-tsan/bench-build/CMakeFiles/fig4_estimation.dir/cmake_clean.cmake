@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_estimation"
+  "../bench/fig4_estimation.pdb"
+  "CMakeFiles/fig4_estimation.dir/fig4_estimation.cpp.o"
+  "CMakeFiles/fig4_estimation.dir/fig4_estimation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrwsn_benchx.dir/common/experiment.cpp.o"
+  "CMakeFiles/mrwsn_benchx.dir/common/experiment.cpp.o.d"
+  "CMakeFiles/mrwsn_benchx.dir/common/scaled_fig4.cpp.o"
+  "CMakeFiles/mrwsn_benchx.dir/common/scaled_fig4.cpp.o.d"
+  "libmrwsn_benchx.a"
+  "libmrwsn_benchx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrwsn_benchx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/home_streaming.dir/home_streaming.cpp.o"
+  "CMakeFiles/home_streaming.dir/home_streaming.cpp.o.d"
+  "home_streaming"
+  "home_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/home_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for home_streaming.
+# This may be replaced when dependencies are built.

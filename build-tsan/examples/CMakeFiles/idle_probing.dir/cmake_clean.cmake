@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idle_probing.dir/idle_probing.cpp.o"
+  "CMakeFiles/idle_probing.dir/idle_probing.cpp.o.d"
+  "idle_probing"
+  "idle_probing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idle_probing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/joint_admission.dir/joint_admission.cpp.o"
+  "CMakeFiles/joint_admission.dir/joint_admission.cpp.o.d"
+  "joint_admission"
+  "joint_admission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/joint_admission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

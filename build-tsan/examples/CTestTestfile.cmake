@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build-tsan/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example.quickstart "/root/repo/build-tsan/examples/quickstart")
+set_tests_properties(example.quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;8;mrwsn_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.video_surveillance "/root/repo/build-tsan/examples/video_surveillance")
+set_tests_properties(example.video_surveillance PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;9;mrwsn_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.home_streaming "/root/repo/build-tsan/examples/home_streaming")
+set_tests_properties(example.home_streaming PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;10;mrwsn_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.idle_probing "/root/repo/build-tsan/examples/idle_probing")
+set_tests_properties(example.idle_probing PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;11;mrwsn_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.joint_admission "/root/repo/build-tsan/examples/joint_admission")
+set_tests_properties(example.joint_admission PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;12;mrwsn_add_example;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/admission_engine.cpp" "src/core/CMakeFiles/mrwsn_core.dir/admission_engine.cpp.o" "gcc" "src/core/CMakeFiles/mrwsn_core.dir/admission_engine.cpp.o.d"
+  "/root/repo/src/core/available_bandwidth.cpp" "src/core/CMakeFiles/mrwsn_core.dir/available_bandwidth.cpp.o" "gcc" "src/core/CMakeFiles/mrwsn_core.dir/available_bandwidth.cpp.o.d"
+  "/root/repo/src/core/bounds.cpp" "src/core/CMakeFiles/mrwsn_core.dir/bounds.cpp.o" "gcc" "src/core/CMakeFiles/mrwsn_core.dir/bounds.cpp.o.d"
+  "/root/repo/src/core/clique.cpp" "src/core/CMakeFiles/mrwsn_core.dir/clique.cpp.o" "gcc" "src/core/CMakeFiles/mrwsn_core.dir/clique.cpp.o.d"
+  "/root/repo/src/core/conflict_matrix.cpp" "src/core/CMakeFiles/mrwsn_core.dir/conflict_matrix.cpp.o" "gcc" "src/core/CMakeFiles/mrwsn_core.dir/conflict_matrix.cpp.o.d"
+  "/root/repo/src/core/estimation.cpp" "src/core/CMakeFiles/mrwsn_core.dir/estimation.cpp.o" "gcc" "src/core/CMakeFiles/mrwsn_core.dir/estimation.cpp.o.d"
+  "/root/repo/src/core/idle_time.cpp" "src/core/CMakeFiles/mrwsn_core.dir/idle_time.cpp.o" "gcc" "src/core/CMakeFiles/mrwsn_core.dir/idle_time.cpp.o.d"
+  "/root/repo/src/core/independent_set.cpp" "src/core/CMakeFiles/mrwsn_core.dir/independent_set.cpp.o" "gcc" "src/core/CMakeFiles/mrwsn_core.dir/independent_set.cpp.o.d"
+  "/root/repo/src/core/interference.cpp" "src/core/CMakeFiles/mrwsn_core.dir/interference.cpp.o" "gcc" "src/core/CMakeFiles/mrwsn_core.dir/interference.cpp.o.d"
+  "/root/repo/src/core/scenarios.cpp" "src/core/CMakeFiles/mrwsn_core.dir/scenarios.cpp.o" "gcc" "src/core/CMakeFiles/mrwsn_core.dir/scenarios.cpp.o.d"
+  "/root/repo/src/core/schedule.cpp" "src/core/CMakeFiles/mrwsn_core.dir/schedule.cpp.o" "gcc" "src/core/CMakeFiles/mrwsn_core.dir/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/graph/CMakeFiles/mrwsn_graph.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/lp/CMakeFiles/mrwsn_lp.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/net/CMakeFiles/mrwsn_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/phy/CMakeFiles/mrwsn_phy.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/mrwsn_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/geom/CMakeFiles/mrwsn_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrwsn_core.dir/admission_engine.cpp.o"
+  "CMakeFiles/mrwsn_core.dir/admission_engine.cpp.o.d"
+  "CMakeFiles/mrwsn_core.dir/available_bandwidth.cpp.o"
+  "CMakeFiles/mrwsn_core.dir/available_bandwidth.cpp.o.d"
+  "CMakeFiles/mrwsn_core.dir/bounds.cpp.o"
+  "CMakeFiles/mrwsn_core.dir/bounds.cpp.o.d"
+  "CMakeFiles/mrwsn_core.dir/clique.cpp.o"
+  "CMakeFiles/mrwsn_core.dir/clique.cpp.o.d"
+  "CMakeFiles/mrwsn_core.dir/conflict_matrix.cpp.o"
+  "CMakeFiles/mrwsn_core.dir/conflict_matrix.cpp.o.d"
+  "CMakeFiles/mrwsn_core.dir/estimation.cpp.o"
+  "CMakeFiles/mrwsn_core.dir/estimation.cpp.o.d"
+  "CMakeFiles/mrwsn_core.dir/idle_time.cpp.o"
+  "CMakeFiles/mrwsn_core.dir/idle_time.cpp.o.d"
+  "CMakeFiles/mrwsn_core.dir/independent_set.cpp.o"
+  "CMakeFiles/mrwsn_core.dir/independent_set.cpp.o.d"
+  "CMakeFiles/mrwsn_core.dir/interference.cpp.o"
+  "CMakeFiles/mrwsn_core.dir/interference.cpp.o.d"
+  "CMakeFiles/mrwsn_core.dir/scenarios.cpp.o"
+  "CMakeFiles/mrwsn_core.dir/scenarios.cpp.o.d"
+  "CMakeFiles/mrwsn_core.dir/schedule.cpp.o"
+  "CMakeFiles/mrwsn_core.dir/schedule.cpp.o.d"
+  "libmrwsn_core.a"
+  "libmrwsn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrwsn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

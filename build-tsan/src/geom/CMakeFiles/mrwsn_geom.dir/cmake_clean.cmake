@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrwsn_geom.dir/topology.cpp.o"
+  "CMakeFiles/mrwsn_geom.dir/topology.cpp.o.d"
+  "libmrwsn_geom.a"
+  "libmrwsn_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrwsn_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/shortest_path.cpp" "src/graph/CMakeFiles/mrwsn_graph.dir/shortest_path.cpp.o" "gcc" "src/graph/CMakeFiles/mrwsn_graph.dir/shortest_path.cpp.o.d"
+  "/root/repo/src/graph/undirected.cpp" "src/graph/CMakeFiles/mrwsn_graph.dir/undirected.cpp.o" "gcc" "src/graph/CMakeFiles/mrwsn_graph.dir/undirected.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/mrwsn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrwsn_graph.dir/shortest_path.cpp.o"
+  "CMakeFiles/mrwsn_graph.dir/shortest_path.cpp.o.d"
+  "CMakeFiles/mrwsn_graph.dir/undirected.cpp.o"
+  "CMakeFiles/mrwsn_graph.dir/undirected.cpp.o.d"
+  "libmrwsn_graph.a"
+  "libmrwsn_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrwsn_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/csv.cpp" "src/io/CMakeFiles/mrwsn_io.dir/csv.cpp.o" "gcc" "src/io/CMakeFiles/mrwsn_io.dir/csv.cpp.o.d"
+  "/root/repo/src/io/scenario.cpp" "src/io/CMakeFiles/mrwsn_io.dir/scenario.cpp.o" "gcc" "src/io/CMakeFiles/mrwsn_io.dir/scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/net/CMakeFiles/mrwsn_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/phy/CMakeFiles/mrwsn_phy.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/geom/CMakeFiles/mrwsn_geom.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/mrwsn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

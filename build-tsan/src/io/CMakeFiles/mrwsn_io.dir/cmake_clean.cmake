@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrwsn_io.dir/csv.cpp.o"
+  "CMakeFiles/mrwsn_io.dir/csv.cpp.o.d"
+  "CMakeFiles/mrwsn_io.dir/scenario.cpp.o"
+  "CMakeFiles/mrwsn_io.dir/scenario.cpp.o.d"
+  "libmrwsn_io.a"
+  "libmrwsn_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrwsn_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmrwsn_io.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrwsn_lp.dir/simplex.cpp.o"
+  "CMakeFiles/mrwsn_lp.dir/simplex.cpp.o.d"
+  "libmrwsn_lp.a"
+  "libmrwsn_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrwsn_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

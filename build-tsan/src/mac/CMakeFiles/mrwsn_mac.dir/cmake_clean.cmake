@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrwsn_mac.dir/csma.cpp.o"
+  "CMakeFiles/mrwsn_mac.dir/csma.cpp.o.d"
+  "CMakeFiles/mrwsn_mac.dir/event_queue.cpp.o"
+  "CMakeFiles/mrwsn_mac.dir/event_queue.cpp.o.d"
+  "CMakeFiles/mrwsn_mac.dir/parallel_sim.cpp.o"
+  "CMakeFiles/mrwsn_mac.dir/parallel_sim.cpp.o.d"
+  "CMakeFiles/mrwsn_mac.dir/partition.cpp.o"
+  "CMakeFiles/mrwsn_mac.dir/partition.cpp.o.d"
+  "CMakeFiles/mrwsn_mac.dir/tdma.cpp.o"
+  "CMakeFiles/mrwsn_mac.dir/tdma.cpp.o.d"
+  "libmrwsn_mac.a"
+  "libmrwsn_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrwsn_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

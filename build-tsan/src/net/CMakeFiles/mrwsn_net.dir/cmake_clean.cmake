@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrwsn_net.dir/network.cpp.o"
+  "CMakeFiles/mrwsn_net.dir/network.cpp.o.d"
+  "CMakeFiles/mrwsn_net.dir/path.cpp.o"
+  "CMakeFiles/mrwsn_net.dir/path.cpp.o.d"
+  "libmrwsn_net.a"
+  "libmrwsn_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrwsn_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

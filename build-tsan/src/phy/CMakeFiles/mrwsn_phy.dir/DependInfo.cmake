@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/phy_model.cpp" "src/phy/CMakeFiles/mrwsn_phy.dir/phy_model.cpp.o" "gcc" "src/phy/CMakeFiles/mrwsn_phy.dir/phy_model.cpp.o.d"
+  "/root/repo/src/phy/propagation.cpp" "src/phy/CMakeFiles/mrwsn_phy.dir/propagation.cpp.o" "gcc" "src/phy/CMakeFiles/mrwsn_phy.dir/propagation.cpp.o.d"
+  "/root/repo/src/phy/rate.cpp" "src/phy/CMakeFiles/mrwsn_phy.dir/rate.cpp.o" "gcc" "src/phy/CMakeFiles/mrwsn_phy.dir/rate.cpp.o.d"
+  "/root/repo/src/phy/shadowing.cpp" "src/phy/CMakeFiles/mrwsn_phy.dir/shadowing.cpp.o" "gcc" "src/phy/CMakeFiles/mrwsn_phy.dir/shadowing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/mrwsn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

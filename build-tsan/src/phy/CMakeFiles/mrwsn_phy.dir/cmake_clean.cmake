@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrwsn_phy.dir/phy_model.cpp.o"
+  "CMakeFiles/mrwsn_phy.dir/phy_model.cpp.o.d"
+  "CMakeFiles/mrwsn_phy.dir/propagation.cpp.o"
+  "CMakeFiles/mrwsn_phy.dir/propagation.cpp.o.d"
+  "CMakeFiles/mrwsn_phy.dir/rate.cpp.o"
+  "CMakeFiles/mrwsn_phy.dir/rate.cpp.o.d"
+  "CMakeFiles/mrwsn_phy.dir/shadowing.cpp.o"
+  "CMakeFiles/mrwsn_phy.dir/shadowing.cpp.o.d"
+  "libmrwsn_phy.a"
+  "libmrwsn_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrwsn_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrwsn_routing.dir/admission.cpp.o"
+  "CMakeFiles/mrwsn_routing.dir/admission.cpp.o.d"
+  "CMakeFiles/mrwsn_routing.dir/estimate_router.cpp.o"
+  "CMakeFiles/mrwsn_routing.dir/estimate_router.cpp.o.d"
+  "CMakeFiles/mrwsn_routing.dir/metrics.cpp.o"
+  "CMakeFiles/mrwsn_routing.dir/metrics.cpp.o.d"
+  "CMakeFiles/mrwsn_routing.dir/qos_router.cpp.o"
+  "CMakeFiles/mrwsn_routing.dir/qos_router.cpp.o.d"
+  "CMakeFiles/mrwsn_routing.dir/widest_path.cpp.o"
+  "CMakeFiles/mrwsn_routing.dir/widest_path.cpp.o.d"
+  "libmrwsn_routing.a"
+  "libmrwsn_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrwsn_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

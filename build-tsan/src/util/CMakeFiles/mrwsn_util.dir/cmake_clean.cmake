@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrwsn_util.dir/error.cpp.o"
+  "CMakeFiles/mrwsn_util.dir/error.cpp.o.d"
+  "CMakeFiles/mrwsn_util.dir/parallel.cpp.o"
+  "CMakeFiles/mrwsn_util.dir/parallel.cpp.o.d"
+  "CMakeFiles/mrwsn_util.dir/rng.cpp.o"
+  "CMakeFiles/mrwsn_util.dir/rng.cpp.o.d"
+  "CMakeFiles/mrwsn_util.dir/stats.cpp.o"
+  "CMakeFiles/mrwsn_util.dir/stats.cpp.o.d"
+  "CMakeFiles/mrwsn_util.dir/table.cpp.o"
+  "CMakeFiles/mrwsn_util.dir/table.cpp.o.d"
+  "libmrwsn_util.a"
+  "libmrwsn_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrwsn_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/admission_engine_test.cpp" "tests/CMakeFiles/test_core.dir/core/admission_engine_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/admission_engine_test.cpp.o.d"
+  "/root/repo/tests/core/available_bandwidth_test.cpp" "tests/CMakeFiles/test_core.dir/core/available_bandwidth_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/available_bandwidth_test.cpp.o.d"
+  "/root/repo/tests/core/bounds_test.cpp" "tests/CMakeFiles/test_core.dir/core/bounds_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/bounds_test.cpp.o.d"
+  "/root/repo/tests/core/brute_force_test.cpp" "tests/CMakeFiles/test_core.dir/core/brute_force_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/brute_force_test.cpp.o.d"
+  "/root/repo/tests/core/clique_test.cpp" "tests/CMakeFiles/test_core.dir/core/clique_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/clique_test.cpp.o.d"
+  "/root/repo/tests/core/column_generation_test.cpp" "tests/CMakeFiles/test_core.dir/core/column_generation_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/column_generation_test.cpp.o.d"
+  "/root/repo/tests/core/estimation_test.cpp" "tests/CMakeFiles/test_core.dir/core/estimation_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/estimation_test.cpp.o.d"
+  "/root/repo/tests/core/idle_time_test.cpp" "tests/CMakeFiles/test_core.dir/core/idle_time_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/idle_time_test.cpp.o.d"
+  "/root/repo/tests/core/independent_set_test.cpp" "tests/CMakeFiles/test_core.dir/core/independent_set_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/independent_set_test.cpp.o.d"
+  "/root/repo/tests/core/interference_test.cpp" "tests/CMakeFiles/test_core.dir/core/interference_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/interference_test.cpp.o.d"
+  "/root/repo/tests/core/parity_test.cpp" "tests/CMakeFiles/test_core.dir/core/parity_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/parity_test.cpp.o.d"
+  "/root/repo/tests/core/scenario_test.cpp" "tests/CMakeFiles/test_core.dir/core/scenario_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/scenario_test.cpp.o.d"
+  "/root/repo/tests/core/schedule_test.cpp" "tests/CMakeFiles/test_core.dir/core/schedule_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/schedule_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/routing/CMakeFiles/mrwsn_routing.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/mac/CMakeFiles/mrwsn_mac.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/mrwsn_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/lp/CMakeFiles/mrwsn_lp.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/graph/CMakeFiles/mrwsn_graph.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/io/CMakeFiles/mrwsn_io.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/net/CMakeFiles/mrwsn_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/geom/CMakeFiles/mrwsn_geom.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/phy/CMakeFiles/mrwsn_phy.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/mrwsn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/admission_engine_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/admission_engine_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/available_bandwidth_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/available_bandwidth_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/bounds_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/bounds_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/brute_force_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/brute_force_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/clique_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/clique_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/column_generation_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/column_generation_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/estimation_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/estimation_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/idle_time_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/idle_time_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/independent_set_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/independent_set_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/interference_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/interference_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/parity_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/parity_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/scenario_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/scenario_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/schedule_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/schedule_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_io.dir/io/csv_test.cpp.o"
+  "CMakeFiles/test_io.dir/io/csv_test.cpp.o.d"
+  "CMakeFiles/test_io.dir/io/scenario_test.cpp.o"
+  "CMakeFiles/test_io.dir/io/scenario_test.cpp.o.d"
+  "test_io"
+  "test_io.pdb"
+  "test_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

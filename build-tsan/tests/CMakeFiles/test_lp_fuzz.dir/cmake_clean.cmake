@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lp_fuzz.dir/lp/revised_simplex_fuzz_test.cpp.o"
+  "CMakeFiles/test_lp_fuzz.dir/lp/revised_simplex_fuzz_test.cpp.o.d"
+  "test_lp_fuzz"
+  "test_lp_fuzz.pdb"
+  "test_lp_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lp_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

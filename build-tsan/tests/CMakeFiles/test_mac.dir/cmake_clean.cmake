@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mac.dir/mac/csma_test.cpp.o"
+  "CMakeFiles/test_mac.dir/mac/csma_test.cpp.o.d"
+  "CMakeFiles/test_mac.dir/mac/event_queue_test.cpp.o"
+  "CMakeFiles/test_mac.dir/mac/event_queue_test.cpp.o.d"
+  "CMakeFiles/test_mac.dir/mac/tdma_test.cpp.o"
+  "CMakeFiles/test_mac.dir/mac/tdma_test.cpp.o.d"
+  "test_mac"
+  "test_mac.pdb"
+  "test_mac[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mac_parallel.dir/mac/parallel_sim_test.cpp.o"
+  "CMakeFiles/test_mac_parallel.dir/mac/parallel_sim_test.cpp.o.d"
+  "test_mac_parallel"
+  "test_mac_parallel.pdb"
+  "test_mac_parallel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mac_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/phy/phy_test.cpp" "tests/CMakeFiles/test_phy.dir/phy/phy_test.cpp.o" "gcc" "tests/CMakeFiles/test_phy.dir/phy/phy_test.cpp.o.d"
+  "/root/repo/tests/phy/shadowing_test.cpp" "tests/CMakeFiles/test_phy.dir/phy/shadowing_test.cpp.o" "gcc" "tests/CMakeFiles/test_phy.dir/phy/shadowing_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/routing/CMakeFiles/mrwsn_routing.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/mac/CMakeFiles/mrwsn_mac.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/mrwsn_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/lp/CMakeFiles/mrwsn_lp.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/graph/CMakeFiles/mrwsn_graph.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/io/CMakeFiles/mrwsn_io.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/net/CMakeFiles/mrwsn_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/geom/CMakeFiles/mrwsn_geom.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/phy/CMakeFiles/mrwsn_phy.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/mrwsn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

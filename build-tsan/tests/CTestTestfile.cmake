@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/test_util[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_lp[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_lp_fuzz[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_geom[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_phy[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_net[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_graph[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_core[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_integration[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_cli[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_io[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_routing[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_mac[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_mac_parallel[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrwsn_cli_lib.dir/cli.cpp.o"
+  "CMakeFiles/mrwsn_cli_lib.dir/cli.cpp.o.d"
+  "libmrwsn_cli_lib.a"
+  "libmrwsn_cli_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrwsn_cli_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrwsn_tool.dir/mrwsn.cpp.o"
+  "CMakeFiles/mrwsn_tool.dir/mrwsn.cpp.o.d"
+  "mrwsn"
+  "mrwsn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrwsn_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
