@@ -1,0 +1,152 @@
+// Replay-driven load benchmark for the concurrent admission service
+// (common/admission_replay.*): 1k/10k/100k-op traces of mixed
+// evaluate/commit/evict traffic at configurable thread counts, reported as
+//
+//   BM_AdmissionReplayP50/<ops>/<threads>  real_time = p50 evaluate latency
+//   BM_AdmissionReplayP99/<ops>/<threads>  real_time = p99 evaluate latency
+//   BM_AdmissionReplayQPS/<ops>/<threads>  real_time = wall time per op
+//                                          (counter `qps` = ops per second)
+//
+// plus the scenario load-path pair BM_ScenarioParseText /
+// BM_ScenarioLoadBlob on the same ~188-link replay topology. Every replay
+// run verifies 1e-6 objective parity against a sequential re-execution of
+// its writer prefix, so a reported latency is also a correctness check.
+//
+// Each (ops, threads) trace is replayed once per process and memoized:
+// repeated benchmark iterations re-report the measured run (UseManualTime)
+// instead of re-driving hundreds of thousands of LP solves.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <utility>
+
+#include "common/admission_replay.hpp"
+#include "geom/point.hpp"
+#include "io/scenario.hpp"
+#include "io/scenario_blob.hpp"
+
+namespace mrwsn {
+namespace {
+
+const benchx::ReplayRunStats& replay_once(std::int64_t ops,
+                                          std::int64_t threads) {
+  static std::map<std::pair<std::int64_t, std::int64_t>,
+                  benchx::ReplayRunStats>
+      memo;
+  const auto key = std::make_pair(ops, threads);
+  const auto it = memo.find(key);
+  if (it != memo.end()) return it->second;
+
+  benchx::ReplayTraceOptions trace_options;
+  trace_options.num_ops = static_cast<std::size_t>(ops);
+  const benchx::ReplayTrace trace = benchx::make_replay_trace(trace_options);
+  benchx::ReplayRunOptions run_options;
+  run_options.threads = static_cast<std::size_t>(threads);
+  run_options.verify_parity = true;
+  return memo.emplace(key, benchx::run_replay(trace, run_options))
+      .first->second;
+}
+
+void set_replay_counters(benchmark::State& state,
+                         const benchx::ReplayRunStats& stats) {
+  state.counters["qps"] = stats.qps;
+  state.counters["evaluates"] = double(stats.evaluates);
+  state.counters["commits"] = double(stats.commits);
+  state.counters["evicts"] = double(stats.evicts);
+  state.counters["verified"] = double(stats.verified_answers);
+}
+
+void BM_AdmissionReplayP50(benchmark::State& state) {
+  const benchx::ReplayRunStats& stats =
+      replay_once(state.range(0), state.range(1));
+  for (auto _ : state) state.SetIterationTime(stats.eval_p50_us * 1e-6);
+  set_replay_counters(state, stats);
+}
+
+void BM_AdmissionReplayP99(benchmark::State& state) {
+  const benchx::ReplayRunStats& stats =
+      replay_once(state.range(0), state.range(1));
+  for (auto _ : state) state.SetIterationTime(stats.eval_p99_us * 1e-6);
+  set_replay_counters(state, stats);
+}
+
+void BM_AdmissionReplayQPS(benchmark::State& state) {
+  const benchx::ReplayRunStats& stats =
+      replay_once(state.range(0), state.range(1));
+  const double ops = double(state.range(0));
+  for (auto _ : state)
+    state.SetIterationTime(ops > 0.0 ? stats.wall_s / ops : 0.0);
+  set_replay_counters(state, stats);
+}
+
+void register_replay(const char* name, void (*fn)(benchmark::State&)) {
+  benchmark::RegisterBenchmark(name, fn)
+      ->ArgNames({"ops", "threads"})
+      ->Args({1000, 1})
+      ->Args({1000, 4})
+      ->Args({10000, 1})
+      ->Args({10000, 4})
+      ->Args({100000, 4})
+      ->UseManualTime()
+      ->Unit(benchmark::kMicrosecond)
+      ->Iterations(1);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario load path: text parse vs binary blob decode on the replay
+// topology (26 nodes, ~188 links, 64 requests) — the per-query cost the
+// zero-copy format removes from the serve path.
+// ---------------------------------------------------------------------------
+
+io::ScenarioFile replay_scenario() {
+  benchx::ReplayTraceOptions options;
+  options.num_ops = 0;
+  const benchx::ReplayTrace trace = benchx::make_replay_trace(options);
+  io::ScenarioFile scenario;
+  for (const net::Node& node : trace.network->nodes())
+    scenario.positions.push_back(node.position);
+  for (const core::AdmissionQuery& query : trace.queries) {
+    io::ScenarioFile::Request request;
+    request.src = trace.network->link(query.path.front()).tx;
+    request.dst = trace.network->link(query.path.back()).rx;
+    request.demand_mbps = query.demand_mbps;
+    scenario.requests.push_back(request);
+  }
+  return scenario;
+}
+
+void BM_ScenarioParseText(benchmark::State& state) {
+  const std::string text = io::serialize_scenario(replay_scenario());
+  for (auto _ : state) {
+    const io::ScenarioFile parsed = io::parse_scenario(text);
+    benchmark::DoNotOptimize(parsed.positions.data());
+  }
+}
+BENCHMARK(BM_ScenarioParseText)->Unit(benchmark::kMicrosecond);
+
+void BM_ScenarioLoadBlob(benchmark::State& state) {
+  const std::vector<std::uint8_t> blob =
+      io::write_scenario_blob(replay_scenario());
+  for (auto _ : state) {
+    const io::ScenarioFile decoded = io::read_scenario_blob(blob);
+    benchmark::DoNotOptimize(decoded.positions.data());
+  }
+}
+BENCHMARK(BM_ScenarioLoadBlob)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace mrwsn
+
+int main(int argc, char** argv) {
+  mrwsn::register_replay("BM_AdmissionReplayP50",
+                         mrwsn::BM_AdmissionReplayP50);
+  mrwsn::register_replay("BM_AdmissionReplayP99",
+                         mrwsn::BM_AdmissionReplayP99);
+  mrwsn::register_replay("BM_AdmissionReplayQPS",
+                         mrwsn::BM_AdmissionReplayQPS);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/admission_engine.hpp"
+#include "core/interference.hpp"
+#include "net/network.hpp"
+
+/// Replay-driven load harness for the concurrent admission service: build a
+/// deterministic trace of mixed evaluate/commit/evict traffic over one
+/// topology, drive it through an AdmissionEngine at a configurable thread
+/// count, and report p50/p99 latency plus throughput. Shared by
+/// bench/admission_load.cpp (google-benchmark, BENCH_results.json) and
+/// `mrwsn admit --bench-replay`.
+namespace mrwsn::benchx {
+
+/// One operation of a replay trace.
+struct ReplayOp {
+  enum class Kind { kEvaluate, kCommit, kEvict };
+  Kind kind = Kind::kEvaluate;
+  std::size_t query = 0;  ///< index into ReplayTrace::queries (not kEvict)
+};
+
+/// A deterministic load trace: a routed query set over one topology plus
+/// an op sequence mixing evaluate-only reads with commit/evict writes.
+struct ReplayTrace {
+  std::shared_ptr<const net::Network> network;
+  std::shared_ptr<const core::PhysicalInterferenceModel> model;
+  std::vector<core::AdmissionQuery> queries;
+  std::vector<ReplayOp> ops;
+
+  std::size_t evaluate_count() const;
+};
+
+struct ReplayTraceOptions {
+  std::size_t num_ops = 1000;
+  std::size_t distinct_queries = 64;
+  /// Fraction of ops that commit; the rest evaluate. Committed demands are
+  /// drawn small so a long trace keeps admitting instead of saturating.
+  double commit_fraction = 0.05;
+  /// Every `evict_every` writer ops, a full evict replaces the commit.
+  std::size_t evict_every = 40;
+  std::uint64_t seed = 1;
+};
+
+/// Trace over the standard perf_micro replay topology (first connected
+/// 26-node placement on 400x600 m with >= 40 links; in practice ~188
+/// links).
+ReplayTrace make_replay_trace(const ReplayTraceOptions& options);
+
+/// Trace over a caller-provided topology (e.g. a scenario file's).
+ReplayTrace make_replay_trace(std::shared_ptr<const net::Network> network,
+                              const ReplayTraceOptions& options);
+
+struct ReplayRunOptions {
+  /// Total replay threads. Thread 0 interleaves the trace's writer ops at
+  /// their original positions; every thread drains evaluate ops. 1 = the
+  /// sequential serve baseline (same trace order, same concurrent API).
+  std::size_t threads = 1;
+  /// Re-execute the trace's writer prefix on a sequential shadow engine
+  /// and require every concurrent evaluate answer to match its epoch's
+  /// sequential answer to 1e-6. Throws PreconditionError on divergence.
+  bool verify_parity = false;
+};
+
+struct ReplayRunStats {
+  std::size_t evaluates = 0;
+  std::size_t commits = 0;
+  std::size_t evicts = 0;
+  std::size_t admitted_commits = 0;
+  double wall_s = 0.0;
+  double qps = 0.0;          ///< all ops / wall_s
+  double eval_p50_us = 0.0;  ///< evaluate-op latency percentiles
+  double eval_p99_us = 0.0;
+  std::size_t verified_answers = 0;  ///< evaluates checked when verifying
+};
+
+/// Drive `trace` through a fresh engine on `trace.model`. The engine's
+/// initial epoch is published before any worker starts, so every evaluate
+/// lands on a well-defined epoch.
+ReplayRunStats run_replay(const ReplayTrace& trace,
+                          const ReplayRunOptions& options);
+
+}  // namespace mrwsn::benchx

@@ -41,6 +41,11 @@ AdmissionEngine::AdmissionEngine(const InterferenceModel& model,
       bg_demand_(model.num_links(), 0.0),
       bg_row_of_(model.num_links(), -1) {
   std::iota(all_links_.begin(), all_links_.end(), net::LinkId{0});
+  // Epoch 0 — the empty background — is published from birth so
+  // evaluate() never needs the commit lock, not even on the first call.
+  auto snap = std::make_shared<Snapshot>();
+  snap->demand.assign(bg_demand_.size(), 0.0);
+  published_ = std::move(snap);
 }
 
 std::pair<std::size_t, bool> AdmissionEngine::pool_add(IndependentSet set) {
@@ -67,6 +72,11 @@ void AdmissionEngine::seed_singleton(net::LinkId link) {
 }
 
 void AdmissionEngine::add_background(LinkFlow flow) {
+  const std::lock_guard<std::mutex> lock(commit_mu_);
+  add_background_locked(std::move(flow));
+}
+
+void AdmissionEngine::add_background_locked(LinkFlow flow) {
   for (const net::LinkId link : flow.links) {
     MRWSN_REQUIRE(link < bg_demand_.size(),
                   "background flow references an unknown link");
@@ -85,10 +95,16 @@ void AdmissionEngine::add_background(LinkFlow flow) {
   }
   background_.push_back(std::move(flow));
   bg_dirty_ = true;
+  publish_stale_ = true;
   ++stats_.commits;
 }
 
 void AdmissionEngine::clear() {
+  const std::lock_guard<std::mutex> lock(commit_mu_);
+  clear_locked();
+}
+
+void AdmissionEngine::clear_locked() {
   background_.clear();
   std::fill(bg_demand_.begin(), bg_demand_.end(), 0.0);
   bg_links_.clear();
@@ -104,6 +120,7 @@ void AdmissionEngine::clear() {
   bg_feasible_ = true;
   bg_dirty_ = false;
   bg_impossible_ = false;
+  publish_stale_ = true;
 }
 
 std::size_t AdmissionEngine::extend_background_master() {
@@ -293,38 +310,40 @@ void AdmissionEngine::refresh_background() {
 }
 
 double AdmissionEngine::background_airtime() {
+  const std::lock_guard<std::mutex> lock(commit_mu_);
   refresh_background();
   return bg_airtime_;
 }
 
 bool AdmissionEngine::background_feasible() {
+  const std::lock_guard<std::mutex> lock(commit_mu_);
   refresh_background();
   return bg_feasible_;
 }
 
 AdmissionAnswer AdmissionEngine::solve_query(
     std::span<const net::LinkId> path, double demand_mbps,
-    std::span<const IndependentSet> pool,
+    const BackgroundView& bg,
     std::vector<IndependentSet>* fresh_columns,
     std::size_t* pool_hits) const {
   MRWSN_REQUIRE(!path.empty(), "admission query needs a non-empty path");
   AdmissionAnswer answer;
-  if (!bg_feasible_) return answer;  // Eq. 6 infeasible: nothing available
+  if (!bg.feasible) return answer;  // Eq. 6 infeasible: nothing available
   answer.background_feasible = true;
 
   // Canonical universe: background links plus the query path.
-  std::vector<net::LinkId> universe = bg_links_;
+  std::vector<net::LinkId> universe(bg.links.begin(), bg.links.end());
   universe.insert(universe.end(), path.begin(), path.end());
   std::sort(universe.begin(), universe.end());
   universe.erase(std::unique(universe.begin(), universe.end()),
                  universe.end());
-  std::vector<int> position(bg_demand_.size(), -1);
+  std::vector<int> position(bg.demand.size(), -1);
   for (std::size_t p = 0; p < universe.size(); ++p) {
-    MRWSN_REQUIRE(universe[p] < bg_demand_.size(),
+    MRWSN_REQUIRE(universe[p] < bg.demand.size(),
                   "admission query references an unknown link");
     position[universe[p]] = static_cast<int>(p);
   }
-  std::vector<char> on_path(bg_demand_.size(), 0);
+  std::vector<char> on_path(bg.demand.size(), 0);
   for (const net::LinkId link : path) on_path[link] = 1;
 
   // The query's column set: every pool column that fits the universe
@@ -341,9 +360,9 @@ AdmissionAnswer AdmissionEngine::solve_query(
   // exact best set with up to three.
   generated.reserve(universe.size() + 6 * (options_.max_rounds + 1));
   std::vector<char> covered(universe.size(), 0);
-  std::vector<int> column_of_pool(pool.size(), -1);
-  for (std::size_t idx = 0; idx < pool.size(); ++idx) {
-    const IndependentSet& set = pool[idx];
+  std::vector<int> column_of_pool(bg.pool.size(), -1);
+  for (std::size_t idx = 0; idx < bg.pool.size(); ++idx) {
+    const IndependentSet& set = bg.pool[idx];
     const bool usable =
         std::all_of(set.links.begin(), set.links.end(),
                     [&](net::LinkId e) { return position[e] >= 0; });
@@ -376,19 +395,19 @@ AdmissionAnswer AdmissionEngine::solve_query(
   // phase 1 outright and phase 2 only has to drive f up — the bulk of a
   // cold two-phase solve disappears from every query.
   lp::Basis basis;
-  if (bg_basis_.size() == bg_links_.size() && !bg_basis_.empty()) {
+  if (bg.basis && bg.basis->size() == bg.links.size() && !bg.basis->empty()) {
     basis.assign(1 + universe.size(), lp::BasisEntry{});
     basis[0] = {lp::BasisEntry::Kind::kSlack, 0};
     for (std::size_t p = 0; p < universe.size(); ++p)
       basis[1 + p] = {lp::BasisEntry::Kind::kSlack, static_cast<int>(1 + p)};
-    for (std::size_t r = 0; r < bg_links_.size(); ++r) {
-      const int q = 1 + position[bg_links_[r]];
-      const lp::BasisEntry& entry = bg_basis_[r];
+    for (std::size_t r = 0; r < bg.links.size(); ++r) {
+      const int q = 1 + position[bg.links[r]];
+      const lp::BasisEntry& entry = (*bg.basis)[r];
       if (entry.kind == lp::BasisEntry::Kind::kSlack) {
         basis[static_cast<std::size_t>(q)] = {lp::BasisEntry::Kind::kSlack, q};
         continue;
       }
-      const int column = column_of_pool[bg_master_cols_[
+      const int column = column_of_pool[bg.master_cols[
           static_cast<std::size_t>(entry.index)]];
       if (column < 0) {  // snapshot misses a background-basic column
         basis.clear();
@@ -432,7 +451,7 @@ AdmissionAnswer AdmissionEngine::solve_query(
     }
     for (std::size_t p = 0; p < universe.size(); ++p)
       master.add_constraint(rows[p], lp::Sense::kGreaterEqual,
-                            bg_demand_[universe[p]]);
+                            bg.demand[universe[p]]);
   }
 
   for (std::size_t round = 0; round <= options_.max_rounds; ++round) {
@@ -524,12 +543,35 @@ AdmissionAnswer AdmissionEngine::solve_query(
   return answer;
 }
 
-AdmissionAnswer AdmissionEngine::query(std::span<const net::LinkId> path,
-                                       double demand_mbps) {
+AdmissionEngine::BackgroundView AdmissionEngine::engine_view() const {
+  BackgroundView view;
+  view.feasible = bg_feasible_;
+  view.links = bg_links_;
+  view.demand = bg_demand_;
+  view.basis = &bg_basis_;
+  view.master_cols = bg_master_cols_;
+  view.pool = pool_;
+  return view;
+}
+
+AdmissionEngine::BackgroundView AdmissionEngine::view_of(const Snapshot& snap) {
+  BackgroundView view;
+  view.feasible = snap.feasible;
+  view.links = snap.links;
+  view.demand = snap.demand;
+  view.basis = &snap.basis;
+  view.master_cols = snap.master_cols;
+  view.pool = snap.pool;
+  return view;
+}
+
+AdmissionAnswer AdmissionEngine::query_locked(
+    std::span<const net::LinkId> path, double demand_mbps) {
   refresh_background();
   std::vector<IndependentSet> fresh;
   std::size_t hits = 0;
-  AdmissionAnswer answer = solve_query(path, demand_mbps, pool_, &fresh, &hits);
+  AdmissionAnswer answer =
+      solve_query(path, demand_mbps, engine_view(), &fresh, &hits);
   for (IndependentSet& set : fresh) {
     const auto [idx, inserted] = pool_add(std::move(set));
     (void)idx;
@@ -546,27 +588,35 @@ AdmissionAnswer AdmissionEngine::query(std::span<const net::LinkId> path,
   return answer;
 }
 
+AdmissionAnswer AdmissionEngine::query(std::span<const net::LinkId> path,
+                                       double demand_mbps) {
+  const std::lock_guard<std::mutex> lock(commit_mu_);
+  return query_locked(path, demand_mbps);
+}
+
 AdmissionAnswer AdmissionEngine::admit(std::span<const net::LinkId> path,
                                        double demand_mbps) {
-  AdmissionAnswer answer = query(path, demand_mbps);
+  const std::lock_guard<std::mutex> lock(commit_mu_);
+  AdmissionAnswer answer = query_locked(path, demand_mbps);
   if (answer.admitted)
-    add_background(LinkFlow{{path.begin(), path.end()}, demand_mbps});
+    add_background_locked(LinkFlow{{path.begin(), path.end()}, demand_mbps});
   return answer;
 }
 
 std::vector<AdmissionAnswer> AdmissionEngine::query_batch(
     std::span<const AdmissionQuery> queries) {
+  const std::lock_guard<std::mutex> lock(commit_mu_);
   refresh_background();
-  // Workers read a fixed pool snapshot and collect new columns locally;
-  // the merge happens after the join. Answers are therefore deterministic
-  // and independent of the thread count.
-  const std::span<const IndependentSet> snapshot(pool_.data(), pool_.size());
+  // Workers read a fixed view of the engine state and collect new columns
+  // locally; the merge happens after the join. Answers are therefore
+  // deterministic and independent of the thread count.
+  const BackgroundView view = engine_view();
   std::vector<AdmissionAnswer> answers(queries.size());
   std::vector<std::vector<IndependentSet>> fresh(queries.size());
   std::vector<std::size_t> hits(queries.size(), 0);
   util::parallel_for(queries.size(), [&](std::size_t i) {
-    answers[i] = solve_query(queries[i].path, queries[i].demand_mbps,
-                             snapshot, &fresh[i], &hits[i]);
+    answers[i] = solve_query(queries[i].path, queries[i].demand_mbps, view,
+                             &fresh[i], &hits[i]);
   });
   for (std::size_t i = 0; i < queries.size(); ++i) {
     for (IndependentSet& set : fresh[i]) {
@@ -584,6 +634,123 @@ std::vector<AdmissionAnswer> AdmissionEngine::query_batch(
   stats_.queries += queries.size();
   stats_.pool_columns = pool_.size();
   return answers;
+}
+
+// --- Concurrent service surface -------------------------------------------
+
+AdmissionEngine::SnapshotPtr AdmissionEngine::published() const {
+  const std::lock_guard<std::mutex> lock(snap_mu_);
+  return published_;
+}
+
+void AdmissionEngine::publish_locked() {
+  auto snap = std::make_shared<Snapshot>();
+  snap->epoch = ++epoch_counter_;
+  snap->feasible = bg_feasible_;
+  snap->airtime = bg_airtime_;
+  snap->background = background_;
+  snap->links = bg_links_;
+  snap->demand = bg_demand_;
+  snap->basis = bg_basis_;
+  snap->master_cols = bg_master_cols_;
+  snap->pool = pool_;
+  publish_stale_ = false;
+  const std::lock_guard<std::mutex> lock(snap_mu_);
+  published_ = std::move(snap);
+}
+
+std::size_t AdmissionEngine::merge_shelved_locked() {
+  std::vector<IndependentSet> shelved;
+  {
+    const std::lock_guard<std::mutex> lock(shelf_mu_);
+    shelved.swap(shelf_);
+  }
+  std::size_t merged = 0;
+  for (IndependentSet& set : shelved)
+    if (pool_add(std::move(set)).second) ++merged;
+  if (merged > 0) stats_.pool_columns = pool_.size();
+  return merged;
+}
+
+AdmissionEngine::SnapshotPtr AdmissionEngine::snapshot() {
+  const std::lock_guard<std::mutex> lock(commit_mu_);
+  refresh_background();
+  if (merge_shelved_locked() > 0 || publish_stale_ || epoch_counter_ == 0)
+    publish_locked();
+  return published();
+}
+
+AdmissionAnswer AdmissionEngine::evaluate(std::span<const net::LinkId> path,
+                                          double demand_mbps) {
+  // One shared_ptr load pins one consistent epoch for the whole solve:
+  // a commit publishing mid-flight retires the snapshot, not this read.
+  SnapshotPtr snap;
+  {
+    const std::lock_guard<std::mutex> lock(snap_mu_);
+    snap = published_;
+  }
+  std::vector<IndependentSet> fresh;
+  std::size_t hits = 0;
+  AdmissionAnswer answer =
+      solve_query(path, demand_mbps, view_of(*snap), &fresh, &hits);
+  answer.epoch = snap->epoch;
+  if (!fresh.empty()) {
+    // Shelve reader-priced columns for the next commit to fold into the
+    // persistent pool; bounded so a pathological query storm cannot grow
+    // the shelf without a commit ever draining it.
+    constexpr std::size_t kShelfCap = 4096;
+    const std::lock_guard<std::mutex> lock(shelf_mu_);
+    std::size_t taken = 0;
+    for (IndependentSet& set : fresh) {
+      if (shelf_.size() >= kShelfCap) break;
+      shelf_.push_back(std::move(set));
+      ++taken;
+    }
+    read_shelved_.fetch_add(taken, std::memory_order_relaxed);
+  }
+  read_queries_.fetch_add(1, std::memory_order_relaxed);
+  read_rounds_.fetch_add(answer.pricing_rounds, std::memory_order_relaxed);
+  read_pivots_.fetch_add(answer.lp_pivots, std::memory_order_relaxed);
+  return answer;
+}
+
+AdmissionAnswer AdmissionEngine::commit(std::span<const net::LinkId> path,
+                                        double demand_mbps) {
+  const std::lock_guard<std::mutex> lock(commit_mu_);
+  merge_shelved_locked();
+  AdmissionAnswer answer = query_locked(path, demand_mbps);
+  if (answer.admitted) {
+    add_background_locked(LinkFlow{{path.begin(), path.end()}, demand_mbps});
+    // Publish with the background master already re-solved so readers on
+    // the new epoch inherit a warm basis, not a dirty flag they cannot
+    // refresh.
+    refresh_background();
+  }
+  // Every commit publishes — even a rejection, whose epoch differs only by
+  // merged shelf columns. The k-th commit/evict therefore publishes epoch
+  // k+1 (after the initial snapshot() publication), which is what lets the
+  // replay harness verify reader answers against a sequential re-execution
+  // of the same writer prefix.
+  publish_locked();
+  answer.epoch = epoch_counter_;
+  return answer;
+}
+
+void AdmissionEngine::evict() {
+  const std::lock_guard<std::mutex> lock(commit_mu_);
+  merge_shelved_locked();
+  clear_locked();
+  refresh_background();
+  publish_locked();
+}
+
+SnapshotReadStats AdmissionEngine::snapshot_read_stats() const {
+  SnapshotReadStats stats;
+  stats.queries = read_queries_.load(std::memory_order_relaxed);
+  stats.pricing_rounds = read_rounds_.load(std::memory_order_relaxed);
+  stats.lp_pivots = read_pivots_.load(std::memory_order_relaxed);
+  stats.shelved_columns = read_shelved_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 }  // namespace mrwsn::core

@@ -1,7 +1,10 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -36,6 +39,22 @@ struct AdmissionAnswer {
   std::size_t tier0_columns = 0;
   std::size_t heuristic_columns = 0;
   std::size_t exact_rounds = 0;
+
+  /// Committed-state epoch this answer was computed against. Stamped by
+  /// the snapshot service API (evaluate/commit); sequential query/admit
+  /// leave it 0.
+  std::uint64_t epoch = 0;
+};
+
+/// Telemetry of the lock-free read side (evaluate()); separate from
+/// AdmissionEngineStats because readers run concurrently with commits and
+/// must not share its unguarded counters.
+struct SnapshotReadStats {
+  std::size_t queries = 0;         ///< evaluate() calls
+  std::size_t pricing_rounds = 0;  ///< pricing rounds across evaluations
+  std::size_t lp_pivots = 0;       ///< simplex pivots across evaluations
+  std::size_t shelved_columns = 0;  ///< fresh columns parked for the next
+                                    ///< commit to fold into the pool
 };
 
 /// Aggregate telemetry over the engine's lifetime.
@@ -91,8 +110,22 @@ struct AdmissionEngineStats {
 /// util::parallel_for. Worker queries read the engine state and the model
 /// caches (thread-safe) and collect newly priced columns locally; the pool
 /// merge happens after the join, so answers are deterministic and
-/// independent of MRWSN_THREADS. The engine itself is not safe for
-/// concurrent external mutation.
+/// independent of MRWSN_THREADS.
+///
+/// Concurrent service surface (epoch/snapshot isolation): the committed
+/// background state is additionally published as an immutable refcounted
+/// Snapshot. evaluate() loads the latest published snapshot (a mutex held
+/// only for the pointer copy, never across a solve) and answers against
+/// it, so any number of evaluate() callers run concurrently and never
+/// block behind a commit. commit()/evict() serialize on the commit lock,
+/// build the next epoch, and publish it atomically; an evaluate that races
+/// a commit sees either the pre- or the post-commit epoch in full — never
+/// a torn mix — and stamps which one in AdmissionAnswer::epoch. Fresh
+/// columns priced by readers are shelved and folded into the persistent
+/// pool at the next commit/snapshot publication. The sequential API
+/// (query/admit/add_background/clear) also takes the commit lock but does
+/// NOT advance the published snapshot; call snapshot() to publish after
+/// sequential preloading.
 ///
 /// ColumnGenOptions knobs honored: engine, max_rounds, max_columns,
 /// reduced_cost_tol, pricing, heuristic_starts. Dual smoothing (stabilize)
@@ -103,6 +136,23 @@ struct AdmissionEngineStats {
 /// Tier 0 is structural here and `tier0_columns` counts that seeding.
 class AdmissionEngine {
  public:
+  /// One published epoch of committed state: everything an evaluate-only
+  /// query needs, immutable, shared by reference count. `pool` is the
+  /// persistent column pool as of publication; `master_cols` indexes into
+  /// it and `basis` is the background master's optimal basis over `links`.
+  struct Snapshot {
+    std::uint64_t epoch = 0;
+    bool feasible = true;
+    double airtime = 0.0;
+    std::vector<LinkFlow> background;
+    std::vector<net::LinkId> links;   ///< background rows, first-seen order
+    std::vector<double> demand;       ///< by link id, num_links entries
+    lp::Basis basis;
+    std::vector<std::size_t> master_cols;
+    std::vector<IndependentSet> pool;
+  };
+  using SnapshotPtr = std::shared_ptr<const Snapshot>;
+
   explicit AdmissionEngine(const InterferenceModel& model,
                            ColumnGenOptions options = {});
 
@@ -137,8 +187,57 @@ class AdmissionEngine {
 
   const AdmissionEngineStats& stats() const { return stats_; }
 
+  // --- Concurrent service surface (see the class comment) ---
+
+  /// Thread-safe evaluate-only query against the latest published epoch.
+  /// Never takes the commit lock; safe to call from any number of threads
+  /// concurrently with one another and with commit()/evict().
+  AdmissionAnswer evaluate(std::span<const net::LinkId> path,
+                           double demand_mbps);
+
+  /// Evaluate against the committed (not merely published) state and, when
+  /// the demand fits, commit and publish the next epoch. Serializes with
+  /// other commits; readers keep answering on the previous epoch until the
+  /// new one is published. The answer's epoch is the post-call epoch.
+  AdmissionAnswer commit(std::span<const net::LinkId> path,
+                         double demand_mbps);
+
+  /// Drop the background state (pool stays warm, as clear()) and publish
+  /// the resulting empty epoch. Thread-safe against readers.
+  void evict();
+
+  /// Refresh the background if dirty, fold shelved reader columns into the
+  /// pool, and publish the current committed state; returns the published
+  /// snapshot. Call after sequential preloading (add_background) to make
+  /// the state visible to evaluate().
+  SnapshotPtr snapshot();
+
+  /// Latest published snapshot; never blocks behind a commit. Non-null
+  /// from construction (epoch 0 is the empty background).
+  SnapshotPtr published() const;
+
+  /// Epoch of the latest published snapshot.
+  std::uint64_t epoch() const { return published()->epoch; }
+
+  /// Read-side telemetry (evaluate() calls), tracked with atomics.
+  SnapshotReadStats snapshot_read_stats() const;
+
  private:
   using Signature = std::vector<std::uint64_t>;
+
+  /// The committed-state fields solve_query() needs, as borrowed views:
+  /// built either over the engine's own members (sequential paths, commit
+  /// lock held) or over an immutable Snapshot (evaluate()).
+  struct BackgroundView {
+    bool feasible = true;
+    std::span<const net::LinkId> links;
+    std::span<const double> demand;  ///< by link id; size() = num_links
+    const lp::Basis* basis = nullptr;
+    std::span<const std::size_t> master_cols;
+    std::span<const IndependentSet> pool;
+  };
+  static BackgroundView view_of(const Snapshot& snap);
+  BackgroundView engine_view() const;  // over members; commit lock held
 
   /// Pool append with signature dedup; returns (pool index, was fresh).
   std::pair<std::size_t, bool> pool_add(IndependentSet set);
@@ -156,10 +255,20 @@ class AdmissionEngine {
   /// the dual-simplex row re-solve into the pricing loop.
   void refresh_background();
   AdmissionAnswer solve_query(std::span<const net::LinkId> path,
-                              double demand_mbps,
-                              std::span<const IndependentSet> pool,
+                              double demand_mbps, const BackgroundView& bg,
                               std::vector<IndependentSet>* fresh_columns,
                               std::size_t* pool_hits) const;
+  /// query() body; caller holds commit_mu_.
+  AdmissionAnswer query_locked(std::span<const net::LinkId> path,
+                               double demand_mbps);
+  void add_background_locked(LinkFlow flow);
+  void clear_locked();
+  /// Move shelved reader columns into the pool; caller holds commit_mu_.
+  /// Returns how many were fresh.
+  std::size_t merge_shelved_locked();
+  /// Build a Snapshot from the (refreshed) members and publish it as the
+  /// next epoch; caller holds commit_mu_.
+  void publish_locked();
 
   const InterferenceModel* model_;
   ColumnGenOptions options_;
@@ -196,6 +305,24 @@ class AdmissionEngine {
   bool bg_impossible_ = false;  // a demanded link carries no usable rate
 
   AdmissionEngineStats stats_;
+
+  // --- Snapshot service state ---
+  // commit_mu_ serializes every mutation of the committed state above
+  // (all public mutating entry points take it). snap_mu_ guards only the
+  // published_ pointer swap — held for nanoseconds, which is what lets
+  // readers load a snapshot without ever waiting on a commit in flight.
+  // shelf_mu_ guards the reader column shelf.
+  mutable std::mutex commit_mu_;
+  mutable std::mutex snap_mu_;
+  SnapshotPtr published_;
+  std::uint64_t epoch_counter_ = 0;  // commit_mu_ held
+  bool publish_stale_ = false;  // committed state changed since publish
+  mutable std::mutex shelf_mu_;
+  std::vector<IndependentSet> shelf_;  // reader-priced columns awaiting merge
+  std::atomic<std::size_t> read_queries_{0};
+  std::atomic<std::size_t> read_rounds_{0};
+  std::atomic<std::size_t> read_pivots_{0};
+  std::atomic<std::size_t> read_shelved_{0};
 };
 
 }  // namespace mrwsn::core

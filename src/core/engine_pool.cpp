@@ -1,0 +1,59 @@
+#include "core/engine_pool.hpp"
+
+#include "util/error.hpp"
+
+namespace mrwsn::core {
+
+EnginePool::EntryPtr EnginePool::acquire(std::uint64_t key,
+                                         const Factory& factory) {
+  std::shared_ptr<Slot> slot;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = slots_.try_emplace(key);
+    if (inserted) it->second = std::make_shared<Slot>();
+    slot = it->second;
+  }
+  // The build runs outside mu_ under the slot's own once-flag: a slow
+  // factory for one topology never blocks acquires of another, and all
+  // racers on the same cold key get the single built entry.
+  bool built = false;
+  std::call_once(slot->once, [&] {
+    slot->entry = factory();
+    MRWSN_REQUIRE(slot->entry != nullptr,
+                  "EnginePool factory returned a null entry");
+    built = true;
+  });
+  if (built)
+    misses_.fetch_add(1, std::memory_order_relaxed);
+  else
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  return slot->entry;
+}
+
+bool EnginePool::evict(std::uint64_t key) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return slots_.erase(key) > 0;
+}
+
+void EnginePool::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  slots_.clear();
+}
+
+std::size_t EnginePool::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return slots_.size();
+}
+
+EnginePoolStats EnginePool::stats() const {
+  EnginePoolStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stats.entries = slots_.size();
+  }
+  return stats;
+}
+
+}  // namespace mrwsn::core

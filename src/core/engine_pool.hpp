@@ -1,0 +1,82 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/admission_engine.hpp"
+
+namespace mrwsn::core {
+
+/// Statistics for EnginePool::stats(): how often acquire() reused a warm
+/// engine versus paying a factory build.
+struct EnginePoolStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t entries = 0;
+};
+
+/// Keyed pool of admission engines: one engine per distinct topology or
+/// scenario, shared by every session serving that topology.
+///
+/// The key is a caller-computed 64-bit content hash (io::scenario_hash
+/// over the canonical blob bytes, for scenario-backed engines — core does
+/// not depend on io, so the hash crosses the boundary as a plain integer).
+/// acquire() returns the existing entry when the key is warm, and
+/// otherwise runs the caller's factory exactly once per key, outside the
+/// pool lock: concurrent acquires of the SAME cold key block on a per-key
+/// once-flag until the single build finishes, while acquires of other
+/// keys — warm or cold — proceed unimpeded. A factory that throws leaves
+/// the key cold, so a later acquire retries the build.
+///
+/// Entries are handed out as shared_ptr: evict() only unlinks the key, and
+/// sessions still holding the entry keep a valid engine until they drop it.
+class EnginePool {
+ public:
+  /// One pooled engine plus everything it borrows. `engine` holds a
+  /// reference to `*model`, and `context` owns whatever the model itself
+  /// borrows (network, PHY, positions) — members are declared in
+  /// destruction-safe order, engine first to die.
+  struct Entry {
+    Entry(std::shared_ptr<const void> context_in,
+          const InterferenceModel& model_in, ColumnGenOptions options = {})
+        : context(std::move(context_in)),
+          model(&model_in),
+          engine(model_in, options) {}
+
+    std::shared_ptr<const void> context;
+    const InterferenceModel* model;
+    AdmissionEngine engine;
+  };
+  using EntryPtr = std::shared_ptr<Entry>;
+  using Factory = std::function<EntryPtr()>;
+
+  /// Return the engine for `key`, building it via `factory` if cold.
+  EntryPtr acquire(std::uint64_t key, const Factory& factory);
+
+  /// Forget `key`. Returns whether anything was evicted. Outstanding
+  /// EntryPtr holders are unaffected; the next acquire() rebuilds.
+  bool evict(std::uint64_t key);
+
+  /// Drop every entry (outstanding holders keep theirs).
+  void clear();
+
+  std::size_t size() const;
+  EnginePoolStats stats() const;
+
+ private:
+  struct Slot {
+    std::once_flag once;
+    EntryPtr entry;
+  };
+
+  mutable std::mutex mu_;  ///< guards slots_ only, never held while building
+  std::unordered_map<std::uint64_t, std::shared_ptr<Slot>> slots_;
+  std::atomic<std::size_t> hits_{0};
+  std::atomic<std::size_t> misses_{0};
+};
+
+}  // namespace mrwsn::core

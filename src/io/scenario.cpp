@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "io/scenario_blob.hpp"
 #include "phy/phy_model.hpp"
 #include "phy/shadowing.hpp"
 #include "util/error.hpp"
@@ -113,11 +114,17 @@ std::string serialize_scenario(const ScenarioFile& scenario) {
 }
 
 ScenarioFile load_scenario(const std::string& path) {
-  std::ifstream file(path);
+  std::ifstream file(path, std::ios::binary);
   MRWSN_REQUIRE(file.good(), "cannot open scenario file: " + path);
   std::ostringstream buffer;
   buffer << file.rdbuf();
-  return parse_scenario(buffer.str());
+  const std::string text = buffer.str();
+  // Binary scenario blobs (io/scenario_blob.hpp) are accepted wherever a
+  // text scenario is: the magic cannot collide with a text directive.
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(text.data());
+  if (is_scenario_blob({bytes, text.size()}))
+    return read_scenario_blob({bytes, text.size()});
+  return parse_scenario(text);
 }
 
 net::Network build_network(const ScenarioFile& scenario) {

@@ -6,13 +6,22 @@ namespace mrwsn::util {
 
 namespace {
 
-/// Spin briefly before yielding: dispatch gaps between windows are usually
-/// sub-microsecond, so most waits resolve within the spin budget.
+/// Spin-wait budget before parking on a condition variable: pure spins
+/// first (dispatch gaps between MAC windows are usually sub-microsecond,
+/// so most waits resolve here), then a handful of yields for the oversized
+/// pool case, then give up and let the caller block.
+constexpr int kSpinsBeforeYield = 4096;
+constexpr int kYieldsBeforePark = 64;
+
 template <typename Pred>
-void spin_until(Pred&& ready) {
-  for (int spins = 0; !ready(); ++spins) {
-    if (spins >= 4096) std::this_thread::yield();
+bool spin_briefly(Pred&& ready) {
+  for (int spins = 0; spins < kSpinsBeforeYield; ++spins)
+    if (ready()) return true;
+  for (int yields = 0; yields < kYieldsBeforePark; ++yields) {
+    if (ready()) return true;
+    std::this_thread::yield();
   }
+  return ready();
 }
 
 }  // namespace
@@ -27,7 +36,11 @@ WorkerPool::WorkerPool(std::size_t threads)
 
 WorkerPool::~WorkerPool() {
   stop_.store(true, std::memory_order_relaxed);
-  epoch_.fetch_add(1, std::memory_order_release);
+  {
+    const std::lock_guard<std::mutex> lock(wake_mu_);
+    epoch_.fetch_add(1, std::memory_order_release);
+  }
+  wake_cv_.notify_all();
   for (std::thread& th : threads_) th.join();
 }
 
@@ -38,7 +51,15 @@ void WorkerPool::run(const std::function<void(std::size_t)>& fn) {
   }
   job_ = &fn;
   done_.store(0, std::memory_order_relaxed);
-  epoch_.fetch_add(1, std::memory_order_release);  // publishes job_
+  {
+    // Advancing the epoch under wake_mu_ closes the race with a worker
+    // that checked the epoch, exhausted its spin budget, and is about to
+    // park: it either sees the new epoch inside wait()'s predicate or is
+    // already waiting when notify_all lands.
+    const std::lock_guard<std::mutex> lock(wake_mu_);
+    epoch_.fetch_add(1, std::memory_order_release);  // publishes job_
+  }
+  wake_cv_.notify_all();
   try {
     fn(0);
   } catch (...) {
@@ -46,7 +67,13 @@ void WorkerPool::run(const std::function<void(std::size_t)>& fn) {
     if (!error_) error_ = std::current_exception();
   }
   const std::size_t others = size_ - 1;
-  spin_until([&] { return done_.load(std::memory_order_acquire) == others; });
+  const auto all_done = [&] {
+    return done_.load(std::memory_order_acquire) == others;
+  };
+  if (!spin_briefly(all_done)) {
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    done_cv_.wait(lock, all_done);
+  }
   job_ = nullptr;
   if (error_) {
     std::exception_ptr error = error_;
@@ -58,8 +85,13 @@ void WorkerPool::run(const std::function<void(std::size_t)>& fn) {
 void WorkerPool::worker_loop(std::size_t index) {
   std::uint64_t seen = 0;
   for (;;) {
-    spin_until(
-        [&] { return epoch_.load(std::memory_order_acquire) != seen; });
+    const auto job_ready = [&] {
+      return epoch_.load(std::memory_order_acquire) != seen;
+    };
+    if (!spin_briefly(job_ready)) {
+      std::unique_lock<std::mutex> lock(wake_mu_);
+      wake_cv_.wait(lock, job_ready);
+    }
     seen = epoch_.load(std::memory_order_acquire);
     if (stop_.load(std::memory_order_relaxed)) return;
     try {
@@ -68,7 +100,13 @@ void WorkerPool::worker_loop(std::size_t index) {
       std::lock_guard<std::mutex> lock(error_mu_);
       if (!error_) error_ = std::current_exception();
     }
-    done_.fetch_add(1, std::memory_order_release);
+    if (done_.fetch_add(1, std::memory_order_release) + 1 == size_ - 1) {
+      // Last one out wakes a parked caller. The empty critical section
+      // orders this increment against the caller's predicate check, so
+      // the notify cannot slip between its check and its wait.
+      { const std::lock_guard<std::mutex> lock(wake_mu_); }
+      done_cv_.notify_one();
+    }
   }
 }
 

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
@@ -59,8 +60,11 @@ void parallel_for(std::size_t count, Fn&& fn) {
 /// every lookahead window — tens of thousands of times per simulated
 /// second — so thread spawn/join would dwarf the event work. WorkerPool
 /// keeps its workers alive between run() calls and synchronizes them with
-/// an epoch counter they spin on (yielding after a bounded number of
-/// spins), making a full dispatch+barrier round trip a few microseconds.
+/// an epoch counter. Waiters spin on it for a bounded budget — dispatch
+/// gaps between MAC windows are usually sub-microsecond, so the fast path
+/// stays a few microseconds per round trip — and then park on a condition
+/// variable, so an idle pool (a serve session between requests, a bench
+/// harness between traces) costs no CPU instead of burning cores.
 ///
 /// run(fn) invokes fn(worker) once per worker, including worker 0 on the
 /// calling thread. Workers partition their work statically from the worker
@@ -102,6 +106,11 @@ class WorkerPool {
   const std::function<void(std::size_t)>* job_ = nullptr;
   std::mutex error_mu_;
   std::exception_ptr error_;
+  // Parking lot for waits that outlive the spin budget. epoch_ advances
+  // while holding wake_mu_, which closes the checked-then-slept race.
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;   ///< workers waiting for the next job
+  std::condition_variable done_cv_;   ///< caller waiting for the last worker
 };
 
 }  // namespace mrwsn::util

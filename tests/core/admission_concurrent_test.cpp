@@ -1,0 +1,296 @@
+// Snapshot isolation and the engine pool: concurrent evaluate() calls
+// racing commit()/evict() must return answers consistent with a single
+// published epoch (never a torn mix of pre- and post-commit state), the
+// published snapshot must be immutable once handed out, and EnginePool
+// must build exactly one engine per key under concurrent acquires.
+//
+// This binary is also the ThreadSanitizer target for the concurrent
+// admission path (tools/run_sanitized.sh builds it in the TSan tree).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "core/admission_engine.hpp"
+#include "core/engine_pool.hpp"
+#include "geom/topology.hpp"
+#include "net/network.hpp"
+
+namespace mrwsn::core {
+namespace {
+
+constexpr double kParityTol = 1e-6;
+
+net::Network chain_network(std::size_t nodes, double spacing) {
+  return net::Network(geom::chain(nodes, spacing),
+                      phy::PhyModel::paper_default());
+}
+
+std::vector<net::LinkId> chain_path(const net::Network& net, std::size_t first,
+                                    std::size_t hops) {
+  std::vector<net::LinkId> links;
+  for (std::size_t i = first; i < first + hops; ++i)
+    links.push_back(*net.find_link(i, i + 1));
+  return links;
+}
+
+TEST(SnapshotIsolation, EvaluateMatchesSequentialQuery) {
+  const net::Network net = chain_network(7, 70.0);
+  PhysicalInterferenceModel model(net);
+
+  AdmissionEngine concurrent(model);
+  concurrent.snapshot();
+  AdmissionEngine sequential(model);
+
+  const std::vector<std::vector<net::LinkId>> paths = {
+      chain_path(net, 0, 2), chain_path(net, 2, 3), chain_path(net, 0, 6)};
+  for (double demand : {0.5, 1.5, 3.0}) {
+    for (const auto& path : paths) {
+      const AdmissionAnswer a = concurrent.evaluate(path, demand);
+      const AdmissionAnswer b = sequential.query(path, demand);
+      EXPECT_EQ(a.admitted, b.admitted);
+      EXPECT_NEAR(a.available_mbps, b.available_mbps, kParityTol);
+      EXPECT_EQ(a.epoch, 1u);
+    }
+  }
+  EXPECT_GE(concurrent.snapshot_read_stats().queries, 9u);
+}
+
+TEST(SnapshotIsolation, PublishedSnapshotIsImmutableAcrossCommits) {
+  const net::Network net = chain_network(6, 70.0);
+  PhysicalInterferenceModel model(net);
+  AdmissionEngine engine(model);
+
+  const AdmissionEngine::SnapshotPtr before = engine.snapshot();
+  ASSERT_EQ(before->epoch, 1u);
+  EXPECT_TRUE(before->background.empty());
+
+  const auto path = chain_path(net, 1, 2);
+  ASSERT_TRUE(engine.commit(path, 1.0).admitted);
+  ASSERT_TRUE(engine.commit(path, 0.5).admitted);
+
+  // The old snapshot still describes epoch 1 — no background, no links.
+  EXPECT_EQ(before->epoch, 1u);
+  EXPECT_TRUE(before->background.empty());
+  const AdmissionEngine::SnapshotPtr after = engine.published();
+  EXPECT_EQ(after->epoch, 3u);
+  EXPECT_EQ(after->background.size(), 2u);
+  EXPECT_EQ(engine.epoch(), 3u);
+}
+
+TEST(SnapshotIsolation, EvictPublishesAnEmptyEpoch) {
+  const net::Network net = chain_network(6, 70.0);
+  PhysicalInterferenceModel model(net);
+  AdmissionEngine engine(model);
+  engine.snapshot();
+
+  const auto path = chain_path(net, 0, 3);
+  const double empty_available = engine.evaluate(path, 1.0).available_mbps;
+  ASSERT_TRUE(engine.commit(path, 2.0).admitted);
+  EXPECT_LT(engine.evaluate(path, 1.0).available_mbps, empty_available);
+
+  engine.evict();
+  const AdmissionAnswer fresh = engine.evaluate(path, 1.0);
+  EXPECT_NEAR(fresh.available_mbps, empty_available, kParityTol);
+  EXPECT_TRUE(engine.published()->background.empty());
+}
+
+// The satellite's core promise: readers racing a writer observe answers
+// explainable by a single epoch. Every evaluate records (epoch, value);
+// afterwards a sequential shadow engine replays the same commit sequence
+// and every record must match its epoch's shadow answer to 1e-6.
+TEST(SnapshotIsolation, ConcurrentEvaluatesAreEpochConsistentDuringCommits) {
+  const net::Network net = chain_network(8, 70.0);
+  PhysicalInterferenceModel model(net);
+  AdmissionEngine engine(model);
+  engine.snapshot();  // epoch 1
+
+  const std::vector<std::vector<net::LinkId>> eval_paths = {
+      chain_path(net, 0, 3), chain_path(net, 2, 4), chain_path(net, 5, 2),
+      chain_path(net, 0, 7)};
+  const double eval_demand = 1.0;
+
+  // Writer plan: commits small enough that several get admitted, plus one
+  // mid-stream evict.
+  struct WriterOp {
+    bool evict;
+    std::size_t first, hops;
+    double demand;
+  };
+  const std::vector<WriterOp> writer_ops = {
+      {false, 1, 2, 0.4}, {false, 4, 2, 0.3}, {false, 0, 5, 0.2},
+      {true, 0, 0, 0.0},  {false, 2, 3, 0.5}, {false, 5, 2, 0.25}};
+
+  struct Record {
+    std::size_t path = 0;
+    std::uint64_t epoch = 0;
+    double available = 0.0;
+    bool admitted = false;
+  };
+  constexpr std::size_t kReaders = 4;
+  constexpr std::size_t kEvalsPerReader = 200;
+  std::vector<std::vector<Record>> records(kReaders);
+  std::atomic<bool> go{false};
+
+  std::vector<std::thread> readers;
+  for (std::size_t r = 0; r < kReaders; ++r)
+    readers.emplace_back([&, r] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      records[r].reserve(kEvalsPerReader);
+      for (std::size_t i = 0; i < kEvalsPerReader; ++i) {
+        const std::size_t p = (r + i) % eval_paths.size();
+        const AdmissionAnswer answer =
+            engine.evaluate(eval_paths[p], eval_demand);
+        records[r].push_back(
+            Record{p, answer.epoch, answer.available_mbps, answer.admitted});
+      }
+    });
+
+  go.store(true, std::memory_order_release);
+  for (const WriterOp& op : writer_ops) {
+    if (op.evict)
+      engine.evict();
+    else
+      engine.commit(chain_path(net, op.first, op.hops), op.demand);
+    std::this_thread::yield();
+  }
+  for (std::thread& reader : readers) reader.join();
+
+  // Sequential shadow: expected[epoch][path] from replaying the writers.
+  std::vector<std::map<std::size_t, AdmissionAnswer>> expected(
+      writer_ops.size() + 2);
+  {
+    AdmissionEngine shadow(model);
+    for (std::size_t epoch = 1; epoch <= writer_ops.size() + 1; ++epoch) {
+      for (std::size_t p = 0; p < eval_paths.size(); ++p)
+        expected[epoch][p] = shadow.query(eval_paths[p], eval_demand);
+      if (epoch <= writer_ops.size()) {
+        const WriterOp& op = writer_ops[epoch - 1];
+        if (op.evict)
+          shadow.clear();
+        else
+          shadow.admit(chain_path(net, op.first, op.hops), op.demand);
+      }
+    }
+  }
+
+  std::size_t checked = 0;
+  for (const auto& lane : records)
+    for (const Record& record : lane) {
+      ASSERT_GE(record.epoch, 1u);
+      ASSERT_LE(record.epoch, writer_ops.size() + 1);
+      const AdmissionAnswer& want = expected[record.epoch].at(record.path);
+      EXPECT_EQ(record.admitted, want.admitted)
+          << "epoch " << record.epoch << " path " << record.path;
+      EXPECT_NEAR(record.available, want.available_mbps, kParityTol)
+          << "epoch " << record.epoch << " path " << record.path;
+      ++checked;
+    }
+  EXPECT_EQ(checked, kReaders * kEvalsPerReader);
+  EXPECT_EQ(engine.snapshot_read_stats().queries, checked);
+}
+
+TEST(SnapshotIsolation, ConcurrentCommitsSerializeWithDistinctEpochs) {
+  const net::Network net = chain_network(8, 70.0);
+  PhysicalInterferenceModel model(net);
+  AdmissionEngine engine(model);
+  engine.snapshot();
+
+  constexpr std::size_t kWriters = 4;
+  constexpr std::size_t kCommitsPerWriter = 8;
+  std::vector<std::vector<std::uint64_t>> epochs(kWriters);
+  std::atomic<std::size_t> admitted{0};
+  std::vector<std::thread> writers;
+  for (std::size_t w = 0; w < kWriters; ++w)
+    writers.emplace_back([&, w] {
+      for (std::size_t i = 0; i < kCommitsPerWriter; ++i) {
+        const AdmissionAnswer answer =
+            engine.commit(chain_path(net, (w + i) % 6, 2), 0.05);
+        epochs[w].push_back(answer.epoch);
+        if (answer.admitted) admitted.fetch_add(1);
+      }
+    });
+  for (std::thread& writer : writers) writer.join();
+
+  // Every commit published its own epoch: all stamps distinct, and the
+  // final epoch is 1 (initial) + total commits.
+  std::vector<std::uint64_t> all;
+  for (const auto& lane : epochs) all.insert(all.end(), lane.begin(), lane.end());
+  std::sort(all.begin(), all.end());
+  EXPECT_TRUE(std::adjacent_find(all.begin(), all.end()) == all.end());
+  EXPECT_EQ(engine.epoch(), 1u + kWriters * kCommitsPerWriter);
+  EXPECT_EQ(engine.published()->background.size(), admitted.load());
+}
+
+TEST(EnginePool, BuildsOncePerKeyUnderConcurrentAcquire) {
+  const net::Network net = chain_network(5, 70.0);
+  PhysicalInterferenceModel model(net);
+  EnginePool pool;
+  std::atomic<std::size_t> builds{0};
+  const auto factory = [&] {
+    builds.fetch_add(1);
+    return std::make_shared<EnginePool::Entry>(nullptr, model);
+  };
+
+  constexpr std::size_t kThreads = 8;
+  std::vector<EnginePool::EntryPtr> got(kThreads);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t)
+    threads.emplace_back(
+        [&, t] { got[t] = pool.acquire(0xABCDu, factory); });
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(builds.load(), 1u);
+  for (std::size_t t = 1; t < kThreads; ++t) EXPECT_EQ(got[t], got[0]);
+  const EnginePoolStats stats = pool.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, kThreads - 1);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(EnginePool, EvictDropsTheKeyButNotOutstandingEntries) {
+  const net::Network net = chain_network(5, 70.0);
+  PhysicalInterferenceModel model(net);
+  EnginePool pool;
+  std::size_t builds = 0;
+  const auto factory = [&] {
+    ++builds;
+    return std::make_shared<EnginePool::Entry>(nullptr, model);
+  };
+
+  const EnginePool::EntryPtr first = pool.acquire(7, factory);
+  ASSERT_TRUE(first != nullptr);
+  EXPECT_TRUE(pool.evict(7));
+  EXPECT_FALSE(pool.evict(7));
+  EXPECT_EQ(pool.size(), 0u);
+
+  // The held entry stays alive and usable after eviction.
+  first->engine.snapshot();
+  EXPECT_EQ(first->engine.epoch(), 1u);
+
+  const EnginePool::EntryPtr second = pool.acquire(7, factory);
+  EXPECT_EQ(builds, 2u);
+  EXPECT_TRUE(second != first);
+}
+
+TEST(EnginePool, DistinctKeysGetDistinctEngines) {
+  const net::Network net = chain_network(5, 70.0);
+  PhysicalInterferenceModel model(net);
+  EnginePool pool;
+  const auto factory = [&] {
+    return std::make_shared<EnginePool::Entry>(nullptr, model);
+  };
+  const EnginePool::EntryPtr a = pool.acquire(1, factory);
+  const EnginePool::EntryPtr b = pool.acquire(2, factory);
+  EXPECT_TRUE(a != b);
+  EXPECT_EQ(pool.acquire(1, factory), a);
+  EXPECT_EQ(pool.size(), 2u);
+  pool.clear();
+  EXPECT_EQ(pool.size(), 0u);
+}
+
+}  // namespace
+}  // namespace mrwsn::core

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -216,6 +217,14 @@ TEST(Cli, BatchRejectsMalformedLines) {
   EXPECT_NE(r.err.find("src,dst,demand"), std::string::npos);
 }
 
+/// Pulls `key=<token>` out of a serve response line.
+std::string field_of(const std::string& line, const std::string& key) {
+  const auto start = line.find(" " + key + "=");
+  if (start == std::string::npos) return {};
+  const auto value = start + key.size() + 2;
+  return line.substr(value, line.find(' ', value) - value);
+}
+
 TEST(Cli, ServeAnswersQueriesAndTracksState) {
   TempScenario scenario(kChain);
   const CliResult r = run_with_input(
@@ -225,10 +234,68 @@ TEST(Cli, ServeAnswersQueriesAndTracksState) {
   const auto lines = lines_of(r.out);
   ASSERT_EQ(lines.size(), 5u);
   EXPECT_EQ(lines[0].rfind("ok decision=admit available=", 0), 0u);
-  EXPECT_EQ(lines[0], lines[1]);  // query then admit of the same state
-  EXPECT_NE(lines[2].find("commits=2"), std::string::npos);  // preload + admit
+  // query then admit of the same state: identical availability, but the
+  // commit publishes the next epoch while the evaluate-only query did not.
+  EXPECT_EQ(field_of(lines[0], "available"), field_of(lines[1], "available"));
+  EXPECT_EQ(std::stoull(field_of(lines[1], "epoch")),
+            std::stoull(field_of(lines[0], "epoch")) + 1);
+  // Engine-lifetime counter: preload + admit. Assumes a cold engine pool,
+  // which holds because ctest runs each test case in its own process.
+  EXPECT_NE(lines[2].find("commits=2"), std::string::npos);
+  EXPECT_NE(lines[2].find("engines="), std::string::npos);   // pool stats
   EXPECT_EQ(lines[3], "ok reset");
   EXPECT_EQ(lines[4].rfind("err unknown command", 0), 0u);
+}
+
+TEST(Cli, ServeReadersAnswerAsyncQueriesWithIds) {
+  // A distinct topology so this session gets its own pooled engine rather
+  // than the one warmed by ServeAnswersQueriesAndTracksState.
+  TempScenario scenario(
+      "node 0 0 0\nnode 1 70 0\nnode 2 140 0\nnode 3 210 0\nnode 4 280 0\n");
+  // The trailing `reset` evicts the pooled engine's background so the
+  // test is idempotent when the process-wide pool hands the same warm
+  // engine back (e.g. under --gtest_repeat).
+  const CliResult r = run_with_input(
+      {"admit", scenario.path(), "--serve", "--readers", "2"},
+      "query 0 2 1.0\nquery 1 3 1.0\nadmit 2 4 0.5\nstats\nreset\nquit\n");
+  ASSERT_EQ(r.code, 0) << r.err;
+  const auto lines = lines_of(r.out);
+  ASSERT_EQ(lines.size(), 5u);
+  EXPECT_EQ(lines[4], "ok reset");
+  // Async reads respond in completion order tagged with their submit id;
+  // the sync commit may interleave with them in any order, but `stats`
+  // drains the queue first, so it always answers last.
+  std::vector<std::string> ids;
+  std::size_t sync_commits = 0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    if (lines[i].rfind("ok id=", 0) == 0) {
+      EXPECT_NE(lines[i].find(" decision="), std::string::npos) << lines[i];
+      ids.push_back(field_of(lines[i], "id"));
+    } else {
+      EXPECT_EQ(lines[i].rfind("ok decision=admit", 0), 0u) << lines[i];
+      ++sync_commits;
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<std::string>{"0", "1"}));
+  EXPECT_EQ(sync_commits, 1u);
+  EXPECT_NE(lines[3].find("snapshot_queries="), std::string::npos);
+}
+
+TEST(Cli, ScenarioPackRoundTripsAndAdmitLoadsBlob) {
+  TempScenario text(kChain);
+  const std::string blob = text.path() + ".mrwb";
+  const CliResult packed = run({"scenario", "pack", text.path(), blob});
+  ASSERT_EQ(packed.code, 0) << packed.err;
+  EXPECT_NE(packed.out.find("hash="), std::string::npos);
+
+  // Every scenario-taking command sniffs the format, so the packed blob
+  // drops in wherever the text file did.
+  const CliResult r = run({"admit", blob, "--policy", "eq13"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("2->3"), std::string::npos);
+  EXPECT_NE(r.out.find("admitted"), std::string::npos);
+  std::remove(blob.c_str());
 }
 
 TEST(Cli, SimulateReportsFlows) {

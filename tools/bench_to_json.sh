@@ -1,19 +1,47 @@
 #!/bin/sh
-# Run the perf_micro google-benchmark suite and write its JSON report,
-# keeping the human-readable console table on stdout.
+# Run one or more google-benchmark binaries and write a single merged JSON
+# report, keeping the human-readable console tables on stdout.
 #
-# Usage: bench_to_json.sh <perf_micro-binary> [output.json] [filter-regex]
+# Usage: bench_to_json.sh <output.json> <filter-regex> <binary> [binary...]
 #
-# Normally invoked via the `bench_json` CMake target, which points the
-# output at <repo>/BENCH_results.json.
+# Normally invoked via the `bench_json` CMake target, which runs perf_micro
+# and admission_load and points the output at <repo>/BENCH_results.json.
 set -eu
-BIN=${1:?usage: bench_to_json.sh <perf_micro-binary> [output.json] [filter-regex]}
-OUT=${2:-BENCH_results.json}
-FILTER=${3:-.}
-# Aggregates (mean/median/stddev/cv) over repetitions rather than one
-# sample per benchmark: the perf trajectory should not jitter with
-# transient host load.
-"$BIN" --benchmark_filter="$FILTER" \
-  --benchmark_repetitions=5 --benchmark_report_aggregates_only=true \
-  --benchmark_out="$OUT" --benchmark_out_format=json
+OUT=${1:?usage: bench_to_json.sh <output.json> <filter-regex> <binary>...}
+FILTER=${2:?usage: bench_to_json.sh <output.json> <filter-regex> <binary>...}
+shift 2
+[ $# -ge 1 ] || { echo "bench_to_json.sh: no benchmark binaries given" >&2; exit 2; }
+
+PARTS=""
+INDEX=0
+for BIN in "$@"; do
+  INDEX=$((INDEX + 1))
+  PART="$OUT.part$INDEX"
+  # Aggregates (mean/median/stddev/cv) over repetitions rather than one
+  # sample per benchmark: the perf trajectory should not jitter with
+  # transient host load.
+  "$BIN" --benchmark_filter="$FILTER" \
+    --benchmark_repetitions=5 --benchmark_report_aggregates_only=true \
+    --benchmark_out="$PART" --benchmark_out_format=json
+  PARTS="$PARTS $PART"
+done
+
+# Merge: keep the first report's context, concatenate every "benchmarks"
+# array. A single part passes through unchanged apart from formatting.
+python3 - "$OUT" $PARTS <<'EOF'
+import json, sys
+out, parts = sys.argv[1], sys.argv[2:]
+merged = None
+for part in parts:
+    with open(part) as f:
+        report = json.load(f)
+    if merged is None:
+        merged = report
+    else:
+        merged["benchmarks"].extend(report["benchmarks"])
+with open(out, "w") as f:
+    json.dump(merged, f, indent=1)
+    f.write("\n")
+EOF
+rm -f $PARTS
 echo "wrote $OUT"

@@ -12,10 +12,14 @@
 #      tests, so the heuristic pricing oracles and the candidate-stash
 #      bookkeeping get sanitizer coverage on every gate run. The script
 #      ends with a ThreadSanitizer stage (third build tree) that runs the
-#      sharded parallel MAC determinism suite — the repo's only
-#      multithreaded code — under TSan; MRWSN_SKIP_TSAN=1 skips it.
+#      sharded parallel MAC determinism suite and the admission
+#      concurrency suite under TSan; MRWSN_SKIP_TSAN=1 skips it.
+#   4. replay bench: the admission load harness replays the 1k-op mixed
+#      trace (with 1e-6 parity verification built in) and
+#      bench_compare.py checks the report still covers the
+#      p50/p99/QPS/scenario-load metrics against the committed baseline.
 #
-# Benchmark regressions are gated separately: regenerate with
+# Full benchmark regressions are gated separately: regenerate with
 #   cmake --build build --target bench_json
 # and diff against the committed baseline with
 #   tools/bench_compare.py old.json BENCH_results.json \
@@ -26,6 +30,7 @@
 #
 # Environment:
 #   MRWSN_CI_SKIP_SANITIZED=1  skip stage 3 (e.g. resource-starved hosts)
+#   MRWSN_CI_SKIP_BENCH=1      skip stage 4
 #   MRWSN_FUZZ_SEEDS=N         seeds per fuzz family in stage 2
 #                              (default 2000; the sanitized stage keeps
 #                              run_sanitized.sh's own default)
@@ -47,6 +52,24 @@ if [ "${MRWSN_CI_SKIP_SANITIZED:-0}" = "1" ]; then
 else
   echo "== ci stage 3: ASan+UBSan build + tests (incl. tiered-pricing parity) =="
   "$REPO/tools/run_sanitized.sh"
+fi
+
+if [ "${MRWSN_CI_SKIP_BENCH:-0}" = "1" ]; then
+  echo "== ci stage 4: replay bench skipped (MRWSN_CI_SKIP_BENCH) =="
+else
+  echo "== ci stage 4: admission replay bench + coverage guard =="
+  cmake --build "$BUILD" -j "$JOBS" --target admission_load
+  REPLAY_JSON="$BUILD/bench_replay_ci.json"
+  # The 1k traces plus the scenario load pair: every replayed evaluate is
+  # parity-checked against a sequential re-execution inside the harness,
+  # so a passing run is a correctness statement, not just a timing.
+  "$REPO/tools/bench_to_json.sh" "$REPLAY_JSON" \
+    'BM_AdmissionReplay.*/ops:1000/|BM_Scenario' \
+    "$BUILD/bench/admission_load"
+  "$REPO/tools/bench_compare.py" "$REPO/BENCH_results.json" "$REPLAY_JSON" \
+    --require BM_AdmissionReplayP50 --require BM_AdmissionReplayP99 \
+    --require BM_AdmissionReplayQPS --require BM_ScenarioParseText \
+    --require BM_ScenarioLoadBlob
 fi
 
 echo "ci gate passed"

@@ -1,21 +1,29 @@
 #include "tools/cli.hpp"
 
+#include <condition_variable>
 #include <cstdlib>
+#include <deque>
 #include <fstream>
 #include <iostream>
 #include <istream>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <ostream>
 #include <sstream>
+#include <thread>
 
+#include "common/admission_replay.hpp"
 #include "common/scaled_fig4.hpp"
 #include "core/admission_engine.hpp"
+#include "core/engine_pool.hpp"
 #include "core/estimation.hpp"
 #include "core/idle_time.hpp"
 #include "core/interference.hpp"
 #include "geom/topology.hpp"
 #include "io/scenario.hpp"
+#include "io/scenario_blob.hpp"
 #include "mac/csma.hpp"
 #include "routing/admission.hpp"
 #include "routing/qos_router.hpp"
@@ -33,7 +41,8 @@ class Options {
   Options(const std::vector<std::string>& args, std::size_t first) {
     for (std::size_t i = first; i < args.size();) {
       MRWSN_REQUIRE(args[i].rfind("--", 0) == 0, "expected --option, got " + args[i]);
-      if (args[i] == "--arf" || args[i] == "--serve") {  // value-less flags
+      if (args[i] == "--arf" || args[i] == "--serve" ||
+          args[i] == "--bench-replay") {  // value-less flags
         values_[args[i]] = "1";
         ++i;
         continue;
@@ -288,32 +297,65 @@ int cmd_admit(const io::ScenarioFile& scenario, const Options& options,
   return 0;
 }
 
-/// Shared setup of the batch/serve admission service: network, model,
-/// hop-count routing over a fully idle channel (deterministic, path choice
-/// does not depend on the admission order), and one long-lived engine
-/// preloaded with the scenario's `flow` lines.
-struct AdmissionService {
-  explicit AdmissionService(const io::ScenarioFile& scenario,
-                            const Options& options)
-      : network(io::build_network(scenario)),
-        model(network),
-        router(network, model),
-        metric(parse_metric(options.get("--metric", "hop"))),
-        engine(model) {
-    for (const core::LinkFlow& flow : background_of(scenario, network))
-      engine.add_background(flow);
-  }
-
-  std::optional<net::Path> route(net::NodeId src, net::NodeId dst) const {
-    const std::vector<double> idle(network.num_nodes(), 1.0);
-    return router.find_path(src, dst, metric, idle);
-  }
+/// Everything a pooled engine borrows: the network and the interference
+/// model, owned together so the EnginePool entry keeps them alive as long
+/// as any session holds the engine.
+struct ServiceContext {
+  explicit ServiceContext(const io::ScenarioFile& scenario)
+      : network(io::build_network(scenario)), model(network) {}
 
   net::Network network;
   core::PhysicalInterferenceModel model;
-  routing::QosRouter router;
+};
+
+/// The process-wide engine pool behind `admit --serve`: one engine per
+/// distinct scenario hash, shared by every serve session in the process so
+/// a session on a warm topology inherits the column pool and caches.
+core::EnginePool& engine_pool() {
+  static core::EnginePool pool;
+  return pool;
+}
+
+/// Shared setup of the batch/serve admission service: network, model,
+/// hop-count routing over a fully idle channel (deterministic, path choice
+/// does not depend on the admission order), and one long-lived engine
+/// preloaded with the scenario's `flow` lines. `pooled` sessions borrow
+/// the engine from engine_pool() (keyed by io::scenario_hash); the rest
+/// build a private one.
+struct AdmissionService {
+  explicit AdmissionService(const io::ScenarioFile& scenario,
+                            const Options& options, bool pooled = false)
+      : metric(parse_metric(options.get("--metric", "hop"))) {
+    const auto factory = [&scenario] {
+      auto built = std::make_shared<ServiceContext>(scenario);
+      const core::PhysicalInterferenceModel& model = built->model;
+      return std::make_shared<core::EnginePool::Entry>(std::move(built),
+                                                       model);
+    };
+    entry = pooled ? engine_pool().acquire(io::scenario_hash(scenario), factory)
+                   : factory();
+    context = std::static_pointer_cast<const ServiceContext>(entry->context);
+    router.emplace(context->network, *entry->model);
+    // Preload the scenario's `flow` lines unless a warm pooled engine
+    // already carries committed background from an earlier session.
+    if (engine().background().empty())
+      for (const core::LinkFlow& flow : background_of(scenario, context->network))
+        engine().add_background(flow);
+    engine().snapshot();  // publish the current epoch for evaluate()
+  }
+
+  core::AdmissionEngine& engine() { return entry->engine; }
+  const net::Network& network() const { return context->network; }
+
+  std::optional<net::Path> route(net::NodeId src, net::NodeId dst) const {
+    const std::vector<double> idle(network().num_nodes(), 1.0);
+    return router->find_path(src, dst, metric, idle);
+  }
+
+  core::EnginePool::EntryPtr entry;
+  std::shared_ptr<const ServiceContext> context;
+  std::optional<routing::QosRouter> router;
   routing::Metric metric;
-  core::AdmissionEngine engine;
 };
 
 std::string decision_name(const core::AdmissionAnswer& answer) {
@@ -381,7 +423,7 @@ int cmd_batch(const io::ScenarioFile& scenario, const Options& options,
     if (queries[next].commit) {
       const BatchQuery& query = queries[next];
       core::AdmissionAnswer answer;
-      if (query.path) answer = service.engine.admit(query.path->links(), query.demand_mbps);
+      if (query.path) answer = service.engine().admit(query.path->links(), query.demand_mbps);
       print_batch_row(out, next, query, answer);
       ++next;
       continue;
@@ -399,7 +441,7 @@ int cmd_batch(const io::ScenarioFile& scenario, const Options& options,
       ++segment_end;
     }
     const std::vector<core::AdmissionAnswer> answers =
-        service.engine.query_batch(segment);
+        service.engine().query_batch(segment);
     std::map<std::size_t, const core::AdmissionAnswer*> answer_of;
     for (std::size_t i = 0; i < segment_ids.size(); ++i)
       answer_of[segment_ids[i]] = &answers[i];
@@ -411,7 +453,7 @@ int cmd_batch(const io::ScenarioFile& scenario, const Options& options,
     next = segment_end;
   }
 
-  const core::AdmissionEngineStats& stats = service.engine.stats();
+  const core::AdmissionEngineStats& stats = service.engine().stats();
   err << "batch: " << stats.queries << " queries, " << stats.commits
       << " commits, " << stats.dual_resolves << " dual re-solves, "
       << stats.dual_fallbacks << " cold fallbacks, pool "
@@ -419,9 +461,114 @@ int cmd_batch(const io::ScenarioFile& scenario, const Options& options,
   return 0;
 }
 
+/// Reader thread pool for `admit --serve --readers N`: `query` lines are
+/// dispatched to N threads running engine.evaluate() on the published
+/// snapshot, so evaluates overlap one another and never block behind a
+/// commit happening on the session thread. Responses carry `id=<n>` (the
+/// submission order) and arrive in completion order.
+class ServeReaders {
+ public:
+  ServeReaders(std::size_t readers, core::AdmissionEngine& engine,
+               std::ostream& out, std::mutex& out_mu)
+      : engine_(engine), out_(out), out_mu_(out_mu) {
+    for (std::size_t i = 0; i < readers; ++i)
+      threads_.emplace_back([this] { reader_loop(); });
+  }
+
+  ~ServeReaders() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    queue_cv_.notify_all();
+    for (std::thread& thread : threads_) thread.join();
+  }
+
+  void submit(std::size_t id, std::vector<net::LinkId> path, double demand,
+              std::string path_name) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(Job{id, std::move(path), demand, std::move(path_name)});
+      ++pending_;
+    }
+    queue_cv_.notify_one();
+  }
+
+  /// Block until every submitted query has been answered.
+  void drain() {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return pending_ == 0; });
+  }
+
+ private:
+  struct Job {
+    std::size_t id = 0;
+    std::vector<net::LinkId> path;
+    double demand_mbps = 0.0;
+    std::string path_name;
+  };
+
+  void reader_loop() {
+    for (;;) {
+      Job job;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stop_ and drained
+        job = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      std::string response;
+      try {
+        const core::AdmissionAnswer answer =
+            engine_.evaluate(job.path, job.demand_mbps);
+        response = "ok id=" + std::to_string(job.id) +
+                   " decision=" + decision_name(answer) +
+                   " available=" + Table::num(answer.available_mbps, 6) +
+                   " epoch=" + std::to_string(answer.epoch) +
+                   " path=" + job.path_name;
+      } catch (const std::exception& e) {
+        response = "err id=" + std::to_string(job.id) + " " + e.what();
+      }
+      {
+        const std::lock_guard<std::mutex> lock(out_mu_);
+        out_ << response << '\n' << std::flush;
+      }
+      {
+        const std::lock_guard<std::mutex> lock(mu_);
+        if (--pending_ == 0) idle_cv_.notify_all();
+      }
+    }
+  }
+
+  core::AdmissionEngine& engine_;
+  std::ostream& out_;
+  std::mutex& out_mu_;
+  std::mutex mu_;
+  std::condition_variable queue_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<Job> queue_;
+  std::size_t pending_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
 int cmd_serve(const io::ScenarioFile& scenario, const Options& options,
               std::istream& in, std::ostream& out, std::ostream& err) {
-  AdmissionService service(scenario, options);
+  AdmissionService service(scenario, options, /*pooled=*/true);
+  const auto readers =
+      static_cast<std::size_t>(options.get_u64("--readers", 0));
+  std::mutex out_mu;
+  std::unique_ptr<ServeReaders> async;
+  if (readers > 0)
+    async = std::make_unique<ServeReaders>(readers, service.engine(), out,
+                                           out_mu);
+  const auto respond = [&](const std::string& text) {
+    const std::lock_guard<std::mutex> lock(out_mu);
+    out << text << '\n' << std::flush;
+  };
+
+  std::size_t next_id = 0;
   std::string line;
   while (std::getline(in, line)) {
     std::istringstream words(line);
@@ -430,49 +577,138 @@ int cmd_serve(const io::ScenarioFile& scenario, const Options& options,
     try {
       if (command == "quit") break;
       if (command == "stats") {
-        const core::AdmissionEngineStats& stats = service.engine.stats();
-        out << "ok queries=" << stats.queries << " commits=" << stats.commits
-            << " dual_resolves=" << stats.dual_resolves
-            << " dual_fallbacks=" << stats.dual_fallbacks
-            << " pool=" << stats.pool_columns << '\n';
+        if (async) async->drain();
+        const core::AdmissionEngineStats& stats = service.engine().stats();
+        const core::SnapshotReadStats reads =
+            service.engine().snapshot_read_stats();
+        const core::EnginePoolStats pool = engine_pool().stats();
+        std::ostringstream text;
+        text << "ok queries=" << stats.queries << " commits=" << stats.commits
+             << " dual_resolves=" << stats.dual_resolves
+             << " dual_fallbacks=" << stats.dual_fallbacks
+             << " pool=" << stats.pool_columns
+             << " epoch=" << service.engine().epoch()
+             << " snapshot_queries=" << reads.queries
+             << " shelved=" << reads.shelved_columns
+             << " engines=" << pool.entries << " engine_hits=" << pool.hits;
+        respond(text.str());
       } else if (command == "reset") {
-        service.engine.clear();
-        out << "ok reset\n";
+        service.engine().evict();
+        respond("ok reset");
       } else if (command == "query" || command == "admit" ||
                  command == "background") {
         net::NodeId src = 0, dst = 0;
         double demand = 0.0;
         if (!(words >> src >> dst >> demand)) {
-          out << "err " << command << " needs <src> <dst> <demand>\n";
+          respond("err " + command + " needs <src> <dst> <demand>");
           continue;
         }
         const auto path = service.route(src, dst);
         if (!path) {
-          out << "err no route " << src << " -> " << dst << '\n';
+          respond("err no route " + std::to_string(src) + " -> " +
+                  std::to_string(dst));
           continue;
         }
         if (command == "background") {
-          service.engine.add_background(
+          service.engine().add_background(
               core::LinkFlow{path->links(), demand});
-          out << "ok committed airtime="
-              << Table::num(service.engine.background_airtime(), 6) << '\n';
+          service.engine().snapshot();  // publish for concurrent readers
+          respond("ok committed airtime=" +
+                  Table::num(service.engine().background_airtime(), 6));
+          continue;
+        }
+        if (command == "query" && async) {
+          // Evaluate-only: hand to the reader pool and keep consuming
+          // input — a following `admit` commits concurrently with these.
+          async->submit(next_id++, {path->links().begin(),
+                                    path->links().end()},
+                        demand, path_text(*path));
           continue;
         }
         const core::AdmissionAnswer answer =
-            command == "admit" ? service.engine.admit(path->links(), demand)
-                               : service.engine.query(path->links(), demand);
-        out << "ok decision=" << decision_name(answer)
-            << " available=" << Table::num(answer.available_mbps, 6)
-            << " path=" << path_text(*path) << '\n';
+            command == "admit"
+                ? service.engine().commit(path->links(), demand)
+                : service.engine().evaluate(path->links(), demand);
+        respond("ok decision=" + decision_name(answer) +
+                " available=" + Table::num(answer.available_mbps, 6) +
+                " epoch=" + std::to_string(answer.epoch) +
+                " path=" + path_text(*path));
       } else {
-        out << "err unknown command '" << command
-            << "' (query|admit|background|stats|reset|quit)\n";
+        respond("err unknown command '" + command +
+                "' (query|admit|background|stats|reset|quit)");
       }
     } catch (const std::exception& e) {
-      out << "err " << e.what() << '\n';
+      respond(std::string("err ") + e.what());
     }
   }
+  if (async) async->drain();
   (void)err;
+  return 0;
+}
+
+/// `mrwsn admit <scenario> --bench-replay`: drive a deterministic mixed
+/// evaluate/commit/evict trace over the scenario's topology at one or more
+/// thread counts and print p50/p99 evaluate latency and throughput.
+int cmd_bench_replay(const io::ScenarioFile& scenario, const Options& options,
+                     std::ostream& out) {
+  benchx::ReplayTraceOptions trace_options;
+  trace_options.num_ops = options.get_u64("--ops", 1000);
+  trace_options.distinct_queries = options.get_u64("--queries", 64);
+  trace_options.seed = options.get_u64("--seed", 1);
+  auto network = std::make_shared<net::Network>(io::build_network(scenario));
+  const benchx::ReplayTrace trace =
+      benchx::make_replay_trace(std::move(network), trace_options);
+
+  std::vector<std::size_t> thread_counts;
+  {
+    std::istringstream list(options.get("--threads", "1,4"));
+    std::string item;
+    while (std::getline(list, item, ','))
+      thread_counts.push_back(std::stoull(item));
+    MRWSN_REQUIRE(!thread_counts.empty(), "--threads needs a list like 1,4");
+  }
+  const bool verify = options.get("--verify", "on") == "on";
+
+  out << "replay: " << trace.ops.size() << " ops ("
+      << trace.evaluate_count() << " evaluates) over "
+      << trace.network->num_links() << " links\n";
+  Table table({"threads", "p50 [us]", "p99 [us]", "QPS", "commits", "evicts",
+               "verified"});
+  for (const std::size_t threads : thread_counts) {
+    benchx::ReplayRunOptions run_options;
+    run_options.threads = threads;
+    run_options.verify_parity = verify;
+    const benchx::ReplayRunStats stats =
+        benchx::run_replay(trace, run_options);
+    table.add_row({std::to_string(threads), Table::num(stats.eval_p50_us, 1),
+                   Table::num(stats.eval_p99_us, 1), Table::num(stats.qps, 0),
+                   std::to_string(stats.commits), std::to_string(stats.evicts),
+                   verify ? std::to_string(stats.verified_answers) : "off"});
+  }
+  table.print(out);
+  return 0;
+}
+
+/// `mrwsn scenario pack|unpack <in> <out>`: convert between the text
+/// scenario format and the versioned binary blob. Both directions accept
+/// either input encoding (load_scenario sniffs the magic).
+int cmd_scenario(const std::vector<std::string>& args, std::ostream& out,
+                 std::ostream& err) {
+  if (args.size() < 4 || (args[1] != "pack" && args[1] != "unpack")) {
+    err << "usage: mrwsn scenario pack|unpack <in> <out>\n";
+    return 2;
+  }
+  const io::ScenarioFile scenario = io::load_scenario(args[2]);
+  if (args[1] == "pack") {
+    io::save_scenario_blob(scenario, args[3]);
+  } else {
+    std::ofstream file(args[3], std::ios::trunc);
+    MRWSN_REQUIRE(file.good(), "cannot create scenario file: " + args[3]);
+    file << io::serialize_scenario(scenario);
+    MRWSN_REQUIRE(file.good(), "short write to scenario file: " + args[3]);
+  }
+  out << args[1] << "ed " << args[2] << " -> " << args[3] << " (hash="
+      << io::scenario_hash(scenario) << ")\n";
   return 0;
 }
 
@@ -529,10 +765,13 @@ int cmd_fig4(const Options& options, std::ostream& out) {
 }
 
 void usage(std::ostream& err) {
-  err << "usage: mrwsn <generate|info|capacity|available|admit|simulate|fig4> "
+  err << "usage: mrwsn "
+         "<generate|info|scenario|capacity|available|admit|simulate|fig4> "
          "...\n"
          "  mrwsn generate --nodes 30 --seed 1 --flows 8\n"
          "  mrwsn info scenario.txt\n"
+         "  mrwsn scenario pack scenario.txt scenario.mrwb\n"
+         "  mrwsn scenario unpack scenario.mrwb scenario.txt\n"
          "  mrwsn capacity scenario.txt <src> <dst>\n"
          "  mrwsn available scenario.txt <src> <dst> [--metric hop|td|avg]\n"
          "                 [--method auto|enum|colgen] [--engine revised|dense]\n"
@@ -540,10 +779,14 @@ void usage(std::ostream& err) {
          "                 [--starts N]\n"
          "  mrwsn admit scenario.txt [--metric avg] [--policy lp|eq13|...]\n"
          "  mrwsn admit scenario.txt --batch queries.csv [--metric hop]\n"
-         "  mrwsn admit scenario.txt --serve [--metric hop]\n"
+         "  mrwsn admit scenario.txt --serve [--metric hop] [--readers N]\n"
+         "  mrwsn admit scenario.txt --bench-replay [--ops 1000]\n"
+         "                 [--threads 1,4] [--queries 64] [--seed 1]\n"
+         "                 [--verify on|off]\n"
          "  mrwsn simulate scenario.txt [--seconds 2] [--arf] [--seed 1]\n"
          "  mrwsn fig4 [--nodes 500] [--threads 8] [--seed 4] [--flows 8]\n"
-         "             [--rts on|off|both] [--seconds 0.5]\n";
+         "             [--rts on|off|both] [--seconds 0.5]\n"
+         "scenario files load from text or packed binary (sniffed by magic)\n";
 }
 
 }  // namespace
@@ -563,6 +806,7 @@ int run_cli(const std::vector<std::string>& args, std::istream& in,
     const std::string& command = args[0];
     if (command == "generate") return cmd_generate(Options(args, 1), out);
     if (command == "fig4") return cmd_fig4(Options(args, 1), out);
+    if (command == "scenario") return cmd_scenario(args, out, err);
 
     MRWSN_REQUIRE(args.size() >= 2, command + " needs a scenario file");
     const io::ScenarioFile scenario = io::load_scenario(args[1]);
@@ -578,6 +822,8 @@ int run_cli(const std::vector<std::string>& args, std::istream& in,
       const Options options(args, 2);
       if (options.has("--batch")) return cmd_batch(scenario, options, out, err);
       if (options.has("--serve")) return cmd_serve(scenario, options, in, out, err);
+      if (options.has("--bench-replay"))
+        return cmd_bench_replay(scenario, options, out);
       return cmd_admit(scenario, options, out, err);
     }
     if (command == "simulate")

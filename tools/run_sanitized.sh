@@ -25,17 +25,20 @@ echo "sanitized test run ($SANITIZERS) passed"
 
 # ThreadSanitizer stage for the sharded parallel MAC engine. TSan cannot
 # share a build with ASan, so it gets its own tree; only the parallel
-# simulator's test binary is built there — it is the only multithreaded
-# code in the repository (util::WorkerPool + mac/parallel_sim.*), and the
-# determinism suite drives every cross-region message path at several
-# thread counts, which is exactly the schedule-space TSan wants to see.
+# simulator's determinism suite drives every cross-region message path at
+# several thread counts, and the admission-concurrency suite races
+# snapshot readers against committing writers and concurrent EnginePool
+# acquires — between them, every multithreaded path in the repository
+# (util::WorkerPool, mac/parallel_sim.*, the engine's snapshot/commit
+# surface, EnginePool) runs under TSan.
 # Skippable with MRWSN_SKIP_TSAN=1 (e.g. on kernels without ASLR compat).
 if [ "${MRWSN_SKIP_TSAN:-0}" != "1" ]; then
   TSAN_BUILD=${MRWSN_TSAN_BUILD:-"$REPO/build-tsan"}
   cmake -B "$TSAN_BUILD" -S "$REPO" -DMRWSN_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build "$TSAN_BUILD" -j "$(nproc 2>/dev/null || echo 4)" \
-    --target test_mac_parallel
+    --target test_mac_parallel --target test_admission_concurrent
   "$TSAN_BUILD/tests/test_mac_parallel"
-  echo "tsan parallel-MAC run passed"
+  "$TSAN_BUILD/tests/test_admission_concurrent"
+  echo "tsan parallel-MAC + admission-concurrency run passed"
 fi
