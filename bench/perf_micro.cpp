@@ -14,6 +14,7 @@
 #include "mac/tdma.hpp"
 #include "core/interference.hpp"
 #include "core/scenarios.hpp"
+#include "core/topology_delta.hpp"
 #include "geom/topology.hpp"
 #include "graph/undirected.hpp"
 #include "lp/simplex.hpp"
@@ -472,6 +473,116 @@ void BM_BatchAdmissionWarm(benchmark::State& state) {
   state.counters["admitted"] = double(admitted);
 }
 BENCHMARK(BM_BatchAdmissionWarm)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// BM_ChurnReadmit{Incremental,Rebuild}: topology churn on a 100-node chain
+// with committed background flows, re-admitting a query after every event.
+//
+//   Incremental: one long-lived engine; each event goes through
+//   TopologyDelta + AdmissionEngine::apply_topology_delta (in-place model
+//   patch, pool revalidation, warm dual re-solve of the repaired master).
+//
+//   Rebuild: the pre-churn protocol — the same mutations applied to a
+//   twin network, but every event pays a cold PhysicalInterferenceModel
+//   over the mutated topology plus a cold engine replaying the background.
+//
+// The churn script is an involution (each move/power change is undone
+// later in the script), so every iteration starts from the same topology.
+// The differential fuzz suite (tests/core/topology_delta_fuzz_test.cpp)
+// pins the two paths to 1e-6 LP parity; this pair measures the speedup.
+// ---------------------------------------------------------------------------
+
+struct ChurnScript {
+  net::Network network;
+  std::vector<core::LinkFlow> background;
+  std::vector<net::LinkId> readmit_path;
+  double original_power_20 = 0.0;
+};
+
+std::vector<net::LinkId> churn_chain_path(const net::Network& net,
+                                          std::size_t first,
+                                          std::size_t hops) {
+  std::vector<net::LinkId> links;
+  for (std::size_t i = first; i < first + hops; ++i)
+    links.push_back(*net.find_link(i, i + 1));
+  return links;
+}
+
+ChurnScript make_churn_script() {
+  ChurnScript script{
+      net::Network(geom::chain(100, 70.0), phy::PhyModel::paper_default()),
+      {},
+      {},
+      0.0};
+  for (const std::size_t first : {5u, 25u, 45u, 65u, 85u})
+    script.background.push_back(
+        core::LinkFlow{churn_chain_path(script.network, first, 3), 0.4});
+  script.readmit_path = churn_chain_path(script.network, 60, 2);
+  script.original_power_20 = script.network.node_tx_power(20);
+  return script;
+}
+
+/// Apply churn event `i` (of 6) through the delta; the script returns the
+/// topology to its initial state by the end of each pass.
+core::ModelRepair churn_event(core::TopologyDelta& delta, std::size_t i,
+                              double original_power_20) {
+  switch (i) {
+    case 0: return delta.move_node(50, {3515.0, 25.0});
+    case 1: return delta.set_power(20, 0.15);
+    case 2: return delta.move_node(75, {5255.0, -20.0});
+    case 3: return delta.move_node(50, {3500.0, 0.0});
+    case 4: return delta.set_power(20, original_power_20);
+    default: return delta.move_node(75, {5250.0, 0.0});
+  }
+}
+
+void BM_ChurnReadmitIncremental(benchmark::State& state) {
+  ChurnScript script = make_churn_script();
+  core::PhysicalInterferenceModel model(script.network);
+  core::TopologyDelta delta(&script.network, &model);
+  core::AdmissionEngine engine(model);
+  for (const core::LinkFlow& flow : script.background)
+    engine.add_background(flow);
+  engine.snapshot();
+
+  std::size_t admitted = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < 6; ++i) {
+      engine.apply_topology_delta(
+          [&] { return churn_event(delta, i, script.original_power_20); });
+      if (engine.query(script.readmit_path, 0.25).admitted) ++admitted;
+    }
+    benchmark::DoNotOptimize(admitted);
+  }
+  state.counters["nodes"] = double(script.network.num_nodes());
+  state.counters["events"] = 6.0;
+  state.counters["repairs"] = double(engine.stats().topology_repairs);
+}
+BENCHMARK(BM_ChurnReadmitIncremental)->Unit(benchmark::kMillisecond);
+
+void BM_ChurnReadmitRebuild(benchmark::State& state) {
+  ChurnScript script = make_churn_script();
+  // The twin still needs a model for TopologyDelta to patch — the point
+  // is that the cold path then throws it away and rebuilds per event.
+  core::PhysicalInterferenceModel scratch(script.network);
+  core::TopologyDelta delta(&script.network, &scratch);
+
+  std::size_t admitted = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < 6; ++i) {
+      churn_event(delta, i, script.original_power_20);
+      core::PhysicalInterferenceModel fresh(script.network);
+      core::AdmissionEngine cold(fresh);
+      for (const core::LinkFlow& flow : script.background)
+        cold.add_background(flow);
+      if (cold.query(script.readmit_path, 0.25).admitted) ++admitted;
+    }
+    benchmark::DoNotOptimize(admitted);
+  }
+  state.counters["nodes"] = double(script.network.num_nodes());
+  state.counters["events"] = 6.0;
+}
+BENCHMARK(BM_ChurnReadmitRebuild)->Unit(benchmark::kMillisecond);
 
 // Cost of materializing the bitset conflict matrix over a chain universe
 // (one interferes() SINR evaluation per couple pair on a fresh model).

@@ -4,6 +4,7 @@
 #include <limits>
 #include <numeric>
 #include <set>
+#include <thread>
 #include <utility>
 
 #include "util/error.hpp"
@@ -666,8 +667,12 @@ std::size_t AdmissionEngine::merge_shelved_locked() {
     shelved.swap(shelf_);
   }
   std::size_t merged = 0;
-  for (IndependentSet& set : shelved)
+  for (IndependentSet& set : shelved) {
+    // A shelved column may have been priced on a pre-churn epoch whose
+    // topology no longer supports it; the pool only admits live columns.
+    if (!model_->supports(set.links, set.rates)) continue;
     if (pool_add(std::move(set)).second) ++merged;
+  }
   if (merged > 0) stats_.pool_columns = pool_.size();
   return merged;
 }
@@ -684,15 +689,28 @@ AdmissionAnswer AdmissionEngine::evaluate(std::span<const net::LinkId> path,
                                           double demand_mbps) {
   // One shared_ptr load pins one consistent epoch for the whole solve:
   // a commit publishing mid-flight retires the snapshot, not this read.
-  SnapshotPtr snap;
-  {
-    const std::lock_guard<std::mutex> lock(snap_mu_);
-    snap = published_;
-  }
   std::vector<IndependentSet> fresh;
   std::size_t hits = 0;
-  AdmissionAnswer answer =
-      solve_query(path, demand_mbps, view_of(*snap), &fresh, &hits);
+  AdmissionAnswer answer;
+  SnapshotPtr snap;
+  {
+    // Shared against apply_topology_delta's mutation window: the snapshot
+    // is immutable, but the solve reads the borrowed model's kernels and
+    // caches, which that window patches in place. Loading the snapshot
+    // inside the same hold is what pairs it with the model it was built
+    // over — churn repairs publish before releasing the write side, so a
+    // reader never solves a pre-churn epoch against a post-churn model.
+    // Back off while a repair is waiting: rwlocks prefer readers, and a
+    // steady evaluate() stream must not starve the churn path.
+    while (churn_pending_.load(std::memory_order_acquire))
+      std::this_thread::yield();
+    const std::shared_lock<std::shared_mutex> topo(topo_mu_);
+    {
+      const std::lock_guard<std::mutex> lock(snap_mu_);
+      snap = published_;
+    }
+    answer = solve_query(path, demand_mbps, view_of(*snap), &fresh, &hits);
+  }
   answer.epoch = snap->epoch;
   if (!fresh.empty()) {
     // Shelve reader-priced columns for the next commit to fold into the
@@ -734,6 +752,129 @@ AdmissionAnswer AdmissionEngine::commit(std::span<const net::LinkId> path,
   publish_locked();
   answer.epoch = epoch_counter_;
   return answer;
+}
+
+std::uint64_t AdmissionEngine::apply_topology_delta(
+    const std::function<ModelRepair()>& mutate) {
+  const std::lock_guard<std::mutex> lock(commit_mu_);
+  // Merge first: anything shelved so far was priced on the pre-mutation
+  // model and still validates against it; later shelvings revalidate at
+  // their own merge.
+  merge_shelved_locked();
+  // The write hold spans mutation through publication so a reader always
+  // pairs a published snapshot with the model it was repaired against.
+  churn_pending_.store(true, std::memory_order_release);
+  const std::unique_lock<std::shared_mutex> topo(topo_mu_);
+  churn_pending_.store(false, std::memory_order_release);
+  const ModelRepair repair = mutate();
+  repair_engine_locked(repair);
+  refresh_background();
+  publish_locked();
+  return epoch_counter_;
+}
+
+void AdmissionEngine::repair_engine_locked(const ModelRepair& repair) {
+  const std::size_t num_links = model_->num_links();
+  MRWSN_REQUIRE(num_links >= bg_demand_.size(),
+                "churn must keep the link id space append-only");
+  if (num_links > all_links_.size()) {
+    const std::size_t old_size = all_links_.size();
+    all_links_.resize(num_links);
+    std::iota(all_links_.begin() + static_cast<std::ptrdiff_t>(old_size),
+              all_links_.end(), static_cast<net::LinkId>(old_size));
+    bg_demand_.resize(num_links, 0.0);
+    bg_row_of_.resize(num_links, -1);
+  }
+
+  std::vector<char> affected(num_links, 0);
+  for (const net::LinkId link : repair.links) {
+    MRWSN_REQUIRE(link < num_links, "repair references an unknown link");
+    affected[link] = 1;
+  }
+
+  // Revalidate-or-drop over the pool. A column with no affected member is
+  // untouched by construction — an independent set's feasibility involves
+  // only its own members' endpoints, and the repair lists every link whose
+  // endpoints moved — so only columns touching an affected link pay the
+  // supports() check.
+  constexpr std::size_t kDropped = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> remap(pool_.size(), kDropped);
+  std::vector<IndependentSet> kept;
+  kept.reserve(pool_.size());
+  std::size_t dropped = 0;
+  for (std::size_t idx = 0; idx < pool_.size(); ++idx) {
+    IndependentSet& set = pool_[idx];
+    const bool touched =
+        std::any_of(set.links.begin(), set.links.end(),
+                    [&](net::LinkId e) { return affected[e] != 0; });
+    if (touched && !model_->supports(set.links, set.rates)) {
+      ++dropped;
+      continue;
+    }
+    remap[idx] = kept.size();
+    kept.push_back(std::move(set));
+  }
+  pool_ = std::move(kept);
+  pool_index_.clear();
+  for (std::size_t idx = 0; idx < pool_.size(); ++idx)
+    pool_index_.emplace(column_signature(pool_[idx]), idx);
+  stats_.columns_dropped += dropped;
+
+  // Background master: surviving columns keep their relative order (which
+  // is what lets the saved basis remap by position), then every background
+  // row re-seeds its singleton — the invariant that keeps the master
+  // feasible whenever the background is not impossible.
+  const std::vector<std::size_t> old_master_cols = std::move(bg_master_cols_);
+  bg_master_cols_.clear();
+  pool_in_bg_master_.assign(pool_.size(), 0);
+  std::vector<std::size_t> master_pos(old_master_cols.size(), kDropped);
+  for (std::size_t i = 0; i < old_master_cols.size(); ++i) {
+    const std::size_t idx = remap[old_master_cols[i]];
+    if (idx == kDropped) continue;
+    master_pos[i] = bg_master_cols_.size();
+    pool_in_bg_master_[idx] = 1;
+    bg_master_cols_.push_back(idx);
+  }
+  for (const net::LinkId link : bg_links_) seed_singleton(link);
+
+  // Re-materialize the master from scratch: zero sync marks tell the next
+  // sync_background_master() that nothing is materialized yet, and the
+  // stale factorization dies with the old problem.
+  bg_master_ = lp::Problem(lp::Objective::kMinimize);
+  bg_synced_cols_ = 0;
+  bg_synced_rows_ = 0;
+  bg_context_.reset();
+
+  // Basis repair: structural entries follow their column to its new
+  // position; a deleted basic column hands its row back to that row's
+  // slack. The repaired basis need not stay dual feasible — the re-solve
+  // audits it on entry and falls back cold when the churn cut too deep.
+  if (bg_basis_.size() == bg_links_.size() && !bg_basis_.empty()) {
+    for (std::size_t r = 0; r < bg_basis_.size(); ++r) {
+      lp::BasisEntry& entry = bg_basis_[r];
+      if (entry.kind != lp::BasisEntry::Kind::kStructural) continue;
+      const std::size_t old_pos = static_cast<std::size_t>(entry.index);
+      if (old_pos < master_pos.size() && master_pos[old_pos] != kDropped)
+        entry.index = static_cast<int>(master_pos[old_pos]);
+      else
+        entry = {lp::BasisEntry::Kind::kSlack, static_cast<int>(r)};
+    }
+  } else {
+    bg_basis_.clear();
+  }
+
+  // Impossibility is a property of (demand, model): recompute what a cold
+  // engine's add_background replay would have concluded on the mutated
+  // topology — churn can introduce it AND cure it.
+  bg_impossible_ = false;
+  for (const net::LinkId link : bg_links_)
+    if (bg_demand_[link] > 0.0 && !model_->max_rate_alone(link))
+      bg_impossible_ = true;
+
+  bg_dirty_ = true;
+  publish_stale_ = true;
+  ++stats_.topology_repairs;
+  stats_.pool_columns = pool_.size();
 }
 
 void AdmissionEngine::evict() {

@@ -2,9 +2,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <vector>
 
@@ -74,6 +76,8 @@ struct AdmissionEngineStats {
   std::size_t lp_pivots = 0;       ///< simplex pivots across all solves
   lp::Fallback last_fallback = lp::Fallback::kNone;  ///< reason of the
                                                      ///< latest cold fall
+  std::size_t topology_repairs = 0;  ///< apply_topology_delta() calls
+  std::size_t columns_dropped = 0;   ///< pool columns invalidated by churn
 };
 
 /// Long-lived batch admission engine: amortizes the expensive substrate of
@@ -206,6 +210,29 @@ class AdmissionEngine {
   /// the resulting empty epoch. Thread-safe against readers.
   void evict();
 
+  /// Apply a topology mutation and repair the engine in place instead of
+  /// rebuilding it. `mutate` runs under the engine's topology write lock
+  /// (readers in evaluate() hold it shared, so the model is never patched
+  /// under a solve in flight) and must perform exactly the mutation whose
+  /// ModelRepair it returns — normally one core::TopologyDelta call on the
+  /// network/model this engine was built over.
+  ///
+  /// The repair keeps every background flow and re-prices the world that
+  /// changed: link-indexed state grows for appended link ids, pool columns
+  /// touching an affected link are revalidated against the mutated model
+  /// (dropped when no longer supported, kept otherwise), the background
+  /// master is re-materialized over the surviving columns with its basis
+  /// remapped (deleted basic columns fall back to their row's slack), and
+  /// the background re-solve chains the usual audited dual warm start.
+  /// Publishes the repaired state as the next epoch and returns it.
+  ///
+  /// Parity contract (held by the churn fuzz suite): the repaired engine's
+  /// background airtime/feasibility and query answers match a cold
+  /// AdmissionEngine built over a fresh model of the mutated network to LP
+  /// tolerance.
+  std::uint64_t apply_topology_delta(
+      const std::function<ModelRepair()>& mutate);
+
   /// Refresh the background if dirty, fold shelved reader columns into the
   /// pool, and publish the current committed state; returns the published
   /// snapshot. Call after sequential preloading (add_background) to make
@@ -269,6 +296,9 @@ class AdmissionEngine {
   /// Build a Snapshot from the (refreshed) members and publish it as the
   /// next epoch; caller holds commit_mu_.
   void publish_locked();
+  /// apply_topology_delta() repair body; caller holds commit_mu_ (the
+  /// model has already been mutated under the topology write lock).
+  void repair_engine_locked(const ModelRepair& repair);
 
   const InterferenceModel* model_;
   ColumnGenOptions options_;
@@ -313,6 +343,16 @@ class AdmissionEngine {
   // readers load a snapshot without ever waiting on a commit in flight.
   // shelf_mu_ guards the reader column shelf.
   mutable std::mutex commit_mu_;
+  // topo_mu_ fences topology mutation against lock-free readers: the
+  // borrowed model is immutable to every engine path EXCEPT
+  // apply_topology_delta's mutation window, which takes it unique while
+  // evaluate() holds it shared across its solve. Sequential paths already
+  // serialize with mutations on commit_mu_ and never need it.
+  // churn_pending_ is the writer's anti-starvation gate: pthread rwlocks
+  // prefer readers, so a steady evaluate() stream could park a repair
+  // indefinitely — readers spin off the fast path while a writer waits.
+  mutable std::shared_mutex topo_mu_;
+  std::atomic<bool> churn_pending_{false};
   mutable std::mutex snap_mu_;
   SnapshotPtr published_;
   std::uint64_t epoch_counter_ = 0;  // commit_mu_ held

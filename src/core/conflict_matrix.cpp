@@ -46,6 +46,56 @@ ConflictMatrix::ConflictMatrix(const InterferenceModel& model,
   }
 }
 
+ConflictMatrix::ConflictMatrix(const InterferenceModel& model,
+                               const ConflictMatrix& prior,
+                               const std::vector<char>& link_affected)
+    : universe_(prior.universe_) {
+  const std::size_t num_rates = model.rate_table().size();
+  couples_.reserve(universe_.size() * num_rates);
+  couple_begin_.reserve(universe_.size() + 1);
+  for (net::LinkId link : universe_) {
+    MRWSN_REQUIRE(link < model.num_links(), "universe link id out of range");
+    couple_begin_.push_back(couples_.size());
+    for (phy::RateIndex r = 0; r < num_rates; ++r)
+      if (model.usable_alone(link, r)) couples_.push_back({link, r});
+  }
+  couple_begin_.push_back(couples_.size());
+
+  const std::size_t n = couples_.size();
+  conflict_ = util::BitMatrix(n, n);
+  compat_ = util::BitMatrix(n, n);
+  // An unaffected link's usable couple set is unchanged, so its couples
+  // all existed in `prior`; pairs of two such couples keep their bit.
+  const auto affected = [&](net::LinkId link) {
+    return link < link_affected.size() && link_affected[link] != 0;
+  };
+  std::vector<std::size_t> old_of(n, n);  // n = "no prior couple"
+  for (std::size_t i = 0; i < n; ++i) {
+    if (affected(couples_[i].link)) continue;
+    const auto old = prior.couple_index(couples_[i].link, couples_[i].rate);
+    MRWSN_ASSERT(old.has_value(),
+                 "unaffected couple missing from the prior conflict matrix");
+    old_of[i] = *old;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (couples_[i].link == couples_[j].link) continue;
+      const bool conflicts =
+          (old_of[i] < n && old_of[j] < n)
+              ? prior.conflict_.test(old_of[i], old_of[j])
+              : model.interferes(couples_[i].link, couples_[i].rate,
+                                 couples_[j].link, couples_[j].rate);
+      if (conflicts) {
+        conflict_.set(i, j);
+        conflict_.set(j, i);
+      } else {
+        compat_.set(i, j);
+        compat_.set(j, i);
+      }
+    }
+  }
+}
+
 std::optional<std::size_t> ConflictMatrix::couple_index(
     net::LinkId link, phy::RateIndex rate) const {
   const auto it = std::lower_bound(universe_.begin(), universe_.end(), link);
@@ -64,6 +114,20 @@ std::shared_ptr<const ConflictMatrix> ConflictCache::get(
   entries_.push_back(
       std::make_shared<const ConflictMatrix>(model, std::move(universe)));
   return entries_.back();
+}
+
+void ConflictCache::patch(const InterferenceModel& model,
+                          const std::vector<char>& link_affected) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& entry : entries_) {
+    const bool touched = std::any_of(
+        entry->universe().begin(), entry->universe().end(),
+        [&](net::LinkId link) {
+          return link < link_affected.size() && link_affected[link] != 0;
+        });
+    if (!touched) continue;
+    entry = std::make_shared<const ConflictMatrix>(model, *entry, link_affected);
+  }
 }
 
 void ConflictCache::clear() {
@@ -92,6 +156,17 @@ void MisCache::insert(std::vector<net::LinkId> canonical,
   entries_.emplace_back(std::move(canonical), std::move(sets));
 }
 
+void MisCache::invalidate(const std::vector<char>& link_affected) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::erase_if(entries_, [&](const auto& entry) {
+    return std::any_of(entry.first.begin(), entry.first.end(),
+                       [&](net::LinkId link) {
+                         return link < link_affected.size() &&
+                                link_affected[link] != 0;
+                       });
+  });
+}
+
 void MisCache::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
@@ -104,6 +179,26 @@ void PairLimitCache::ensure(std::size_t num_links) const {
   links_ = num_links;
   slots_ = std::vector<std::atomic<std::uint32_t>>(num_links * num_links);
   ready_.store(true, std::memory_order_release);
+}
+
+void PairLimitCache::invalidate(const std::vector<char>& link_affected,
+                                std::size_t num_links) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!ready_.load(std::memory_order_relaxed)) return;
+  if (num_links != links_) {
+    // Topology churn appended links: the row stride changed, so the whole
+    // table must be re-laid-out (everything resets to kUnset).
+    links_ = num_links;
+    slots_ = std::vector<std::atomic<std::uint32_t>>(num_links * num_links);
+    return;
+  }
+  for (std::size_t a = 0; a < links_; ++a) {
+    if (link_affected.size() <= a || link_affected[a] == 0) continue;
+    for (std::size_t b = 0; b < links_; ++b) {
+      if (a == b) continue;
+      store(std::min(a, b), std::max(a, b), kUnset);
+    }
+  }
 }
 
 }  // namespace mrwsn::core

@@ -45,6 +45,14 @@ class ConflictMatrix {
   ConflictMatrix(const InterferenceModel& model,
                  std::vector<net::LinkId> universe);
 
+  /// Patch constructor: rebuild `prior`'s matrix against the mutated model
+  /// when only the links flagged in `link_affected` (indexed by LinkId)
+  /// changed. Pair bits between two unaffected links are copied from
+  /// `prior`; only pairs touching an affected link re-evaluate
+  /// model.interferes — O(|affected| * n) evaluations instead of O(n^2).
+  ConflictMatrix(const InterferenceModel& model, const ConflictMatrix& prior,
+                 const std::vector<char>& link_affected);
+
   const std::vector<net::LinkId>& universe() const { return universe_; }
 
   /// Usable couples, ordered by (link ascending, rate ascending). Couple
@@ -103,6 +111,14 @@ class ConflictCache {
   std::shared_ptr<const ConflictMatrix> get(const InterferenceModel& model,
                                             std::vector<net::LinkId> universe);
 
+  /// Repair every cached matrix after a mutation that changed only the
+  /// links flagged in `link_affected`: entries touching an affected link
+  /// are replaced by a patched copy (ConflictMatrix patch constructor);
+  /// untouched entries stay shared. Readers holding the old shared_ptr keep
+  /// a consistent pre-mutation matrix.
+  void patch(const InterferenceModel& model,
+             const std::vector<char>& link_affected);
+
   void clear();
 
  private:
@@ -117,6 +133,12 @@ class MisCache {
             std::vector<IndependentSet>* out);
   void insert(std::vector<net::LinkId> canonical,
               std::vector<IndependentSet> sets);
+
+  /// Drop exactly the memos whose universe contains an affected link; a MIS
+  /// result depends only on its own universe members, so disjoint entries
+  /// survive a mutation untouched.
+  void invalidate(const std::vector<char>& link_affected);
+
   void clear();
 
  private:
@@ -145,6 +167,10 @@ struct PricingContext {
   std::vector<char> alone_usable;    ///< link carries traffic when alone
   std::vector<phy::RateIndex> alone_rate;  ///< valid when alone_usable
   std::vector<double> alone_mbps;    ///< throughput alone; 0 when unusable
+  /// Per-position copy of net::Link::rate_cap — the pricing kernels clamp
+  /// every concurrent rate to indices >= cap (indices are fastest-first),
+  /// mirroring the model's usable/interferes semantics.
+  std::vector<phy::RateIndex> rate_cap;
 
   std::size_t size() const { return universe.size(); }
 };
@@ -163,6 +189,15 @@ class PricingCache {
   /// instead of a heap allocation per round.
   std::shared_ptr<const PricingContext> find(
       std::span<const net::LinkId> universe);
+
+  /// Repair every cached context after a mutation that changed only the
+  /// links flagged in `link_affected`: touched entries are replaced by a
+  /// copy whose affected positions (signal, alone fields, rate caps, and
+  /// the cross-power rows AND columns of affected members) are re-derived
+  /// from the mutated model — O(|affected| * n) instead of O(n^2) rebuild.
+  /// Node-sharing flags are copied verbatim: link endpoints are immutable.
+  void patch(const PhysicalInterferenceModel& model,
+             const std::vector<char>& link_affected);
 
   void clear();
 
@@ -233,6 +268,14 @@ class PairLimitCache {
 
   /// Allocate num_links^2 zeroed slots on first use (thread-safe).
   void ensure(std::size_t num_links) const;
+
+  /// Forget the memoized limits of every pair touching an affected link
+  /// (their received powers may have changed). When the link count itself
+  /// changed (topology churn appended links) the slot table is re-laid-out
+  /// from scratch. Must not race readers — callers serialize mutations
+  /// against interferes() queries (AdmissionEngine's topology lock).
+  void invalidate(const std::vector<char>& link_affected,
+                  std::size_t num_links) const;
 
   std::uint32_t load(std::size_t lo, std::size_t hi) const {
     return slots_[lo * links_ + hi].load(std::memory_order_relaxed);

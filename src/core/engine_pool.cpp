@@ -6,28 +6,42 @@ namespace mrwsn::core {
 
 EnginePool::EntryPtr EnginePool::acquire(std::uint64_t key,
                                          const Factory& factory) {
-  std::shared_ptr<Slot> slot;
-  {
+  for (;;) {
+    std::shared_ptr<Slot> slot;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      auto [it, inserted] = slots_.try_emplace(key);
+      if (inserted) it->second = std::make_shared<Slot>();
+      slot = it->second;
+    }
+    // The build runs outside mu_ under the slot's own once-flag: a slow
+    // factory for one topology never blocks acquires of another, and all
+    // racers on the same cold key get the single built entry.
+    bool built = false;
+    std::call_once(slot->once, [&] {
+      slot->entry = factory();
+      MRWSN_REQUIRE(slot->entry != nullptr,
+                    "EnginePool factory returned a null entry");
+      built = true;
+    });
+    if (built) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return slot->entry;
+    }
+    if (!slot->entry->mutated()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return slot->entry;
+    }
+    // Stale hit: the entry's topology was mutated in place after the key
+    // (a load-time content hash) was computed, so the key no longer
+    // describes it. Unlink the slot — unless a racer already replaced it —
+    // and retry, which rebuilds fresh. Outstanding holders keep the
+    // mutated entry.
+    stale_.fetch_add(1, std::memory_order_relaxed);
     const std::lock_guard<std::mutex> lock(mu_);
-    auto [it, inserted] = slots_.try_emplace(key);
-    if (inserted) it->second = std::make_shared<Slot>();
-    slot = it->second;
+    const auto it = slots_.find(key);
+    if (it != slots_.end() && it->second == slot) slots_.erase(it);
   }
-  // The build runs outside mu_ under the slot's own once-flag: a slow
-  // factory for one topology never blocks acquires of another, and all
-  // racers on the same cold key get the single built entry.
-  bool built = false;
-  std::call_once(slot->once, [&] {
-    slot->entry = factory();
-    MRWSN_REQUIRE(slot->entry != nullptr,
-                  "EnginePool factory returned a null entry");
-    built = true;
-  });
-  if (built)
-    misses_.fetch_add(1, std::memory_order_relaxed);
-  else
-    hits_.fetch_add(1, std::memory_order_relaxed);
-  return slot->entry;
 }
 
 bool EnginePool::evict(std::uint64_t key) {
@@ -49,6 +63,7 @@ EnginePoolStats EnginePool::stats() const {
   EnginePoolStats stats;
   stats.hits = hits_.load(std::memory_order_relaxed);
   stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.stale = stale_.load(std::memory_order_relaxed);
   {
     const std::lock_guard<std::mutex> lock(mu_);
     stats.entries = slots_.size();

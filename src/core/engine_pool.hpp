@@ -16,6 +16,8 @@ namespace mrwsn::core {
 struct EnginePoolStats {
   std::size_t hits = 0;
   std::size_t misses = 0;
+  std::size_t stale = 0;  ///< warm entries bypassed because their topology
+                          ///< was mutated after the key was computed
   std::size_t entries = 0;
 };
 
@@ -50,6 +52,19 @@ class EnginePool {
     std::shared_ptr<const void> context;
     const InterferenceModel* model;
     AdmissionEngine engine;
+
+    /// Mutation fence for the pool key. The key is a content hash of the
+    /// LOAD-TIME scenario blob; an in-place topology mutation (a
+    /// TopologyDelta applied through apply_topology_delta) divorces the
+    /// entry from that hash, so whoever mutates a pooled entry must call
+    /// mark_mutated(). acquire() treats a marked entry as a stale miss:
+    /// the key is unlinked and rebuilt fresh, while outstanding holders
+    /// keep the mutated entry for as long as they need it.
+    void mark_mutated() { mutations.fetch_add(1, std::memory_order_release); }
+    bool mutated() const {
+      return mutations.load(std::memory_order_acquire) != 0;
+    }
+    std::atomic<std::uint64_t> mutations{0};
   };
   using EntryPtr = std::shared_ptr<Entry>;
   using Factory = std::function<EntryPtr()>;
@@ -77,6 +92,7 @@ class EnginePool {
   std::unordered_map<std::uint64_t, std::shared_ptr<Slot>> slots_;
   std::atomic<std::size_t> hits_{0};
   std::atomic<std::size_t> misses_{0};
+  std::atomic<std::size_t> stale_{0};
 };
 
 }  // namespace mrwsn::core

@@ -270,10 +270,15 @@ class PhysicalRootSearch {
 
   /// Max supported rate of universe member `u` under the current members'
   /// interference plus `extra` watts. The running sum can drift a hair
-  /// below zero after push/pop pairs; clamp it.
+  /// below zero after push/pop pairs; clamp it. The link's rate cap clamps
+  /// the result (smaller index = faster), matching the model's usable and
+  /// interferes semantics — candidates are alive by construction
+  /// (alone_usable gates data_.order).
   std::optional<phy::RateIndex> rate_of(std::size_t u, double extra) const {
-    return data_.ctx->phy->max_rate(
+    const auto rate = data_.ctx->phy->max_rate(
         data_.ctx->signal[u], std::max(interference_[u], 0.0) + extra);
+    if (!rate) return rate;
+    return std::max(*rate, data_.ctx->rate_cap[u]);
   }
 
   bool extension_feasible(std::size_t v) const {
@@ -658,9 +663,12 @@ class PhysicalHeuristicSearch {
   bool shares(std::size_t k, std::size_t u) const {
     return data_.ctx->shares[k * data_.ctx->size() + u] != 0;
   }
+  /// Same rate-cap clamp as PhysicalRootSearch::rate_of.
   std::optional<phy::RateIndex> rate_of(std::size_t u, double extra) const {
-    return data_.ctx->phy->max_rate(
+    const auto rate = data_.ctx->phy->max_rate(
         data_.ctx->signal[u], std::max(interference_[u], 0.0) + extra);
+    if (!rate) return rate;
+    return std::max(*rate, data_.ctx->rate_cap[u]);
   }
   bool extension_feasible(std::size_t v) const {
     if (!rate_of(v, 0.0)) return false;

@@ -52,20 +52,62 @@ PhysicalInterferenceModel::PhysicalInterferenceModel(const net::Network& network
   }
 }
 
+void PhysicalInterferenceModel::repair(const ModelRepair& delta) {
+  const std::size_t n = network_->num_nodes();
+  if (n * n <= kMaxEagerPowerEntries) {
+    if (delta.nodes_added || rx_power_.size() != n * n) {
+      // The row stride changed (or the table was never eager): refill.
+      rx_power_.resize(n * n);
+      for (net::NodeId from = 0; from < n; ++from)
+        for (net::NodeId at = 0; at < n; ++at)
+          rx_power_[from * n + at] = network_->received_power(from, at);
+    } else {
+      // A mutated node changes the power it delivers everywhere (its row)
+      // and the power it receives from everyone (its column); nothing else.
+      for (const net::NodeId u : delta.nodes) {
+        MRWSN_REQUIRE(u < n, "repaired node id out of range");
+        for (net::NodeId v = 0; v < n; ++v) {
+          rx_power_[u * n + v] = network_->received_power(u, v);
+          rx_power_[v * n + u] = network_->received_power(v, u);
+        }
+      }
+    }
+  } else {
+    rx_power_.clear();  // fall back to per-query network lookups
+  }
+  num_nodes_ = n;
+
+  std::vector<char> link_affected(network_->num_links(), 0);
+  for (const net::LinkId link : delta.links) {
+    MRWSN_REQUIRE(link < link_affected.size(),
+                  "repaired link id out of range");
+    link_affected[link] = 1;
+  }
+  pair_limits_.invalidate(link_affected, network_->num_links());
+  patch_caches(link_affected);
+  pricing_cache().patch(*this, link_affected);
+}
+
 const phy::RateTable& PhysicalInterferenceModel::rate_table() const {
   return network_->phy().rates();
 }
 
 std::optional<phy::RateIndex> PhysicalInterferenceModel::max_rate_alone(
     net::LinkId link) const {
-  return network_->link(link).best_rate_alone;
+  const net::Link& l = network_->link(link);
+  if (!l.alive) return std::nullopt;
+  // Rates are ordered fastest first; a rate cap (churn-driven rate
+  // adaptation) only ever slows the link down.
+  return std::max(l.best_rate_alone, l.rate_cap);
 }
 
 bool PhysicalInterferenceModel::usable_alone(net::LinkId link,
                                              phy::RateIndex rate) const {
-  // Rates are ordered fastest first; every rate at or below the lone
-  // maximum is usable (lower rates have laxer sensitivity and SINR needs).
-  return rate < rate_table().size() && rate >= network_->link(link).best_rate_alone;
+  // Every rate at or below the lone maximum is usable (lower rates have
+  // laxer sensitivity and SINR needs), down-clamped by the link's rate cap.
+  const net::Link& l = network_->link(link);
+  return l.alive && rate < rate_table().size() &&
+         rate >= std::max(l.best_rate_alone, l.rate_cap);
 }
 
 bool PhysicalInterferenceModel::shares_node(net::LinkId a, net::LinkId b) const {
@@ -110,9 +152,17 @@ bool PhysicalInterferenceModel::interferes(net::LinkId a, phy::RateIndex ra,
   const phy::RateIndex rate_lo = (a < b) ? ra : rb;
   const phy::RateIndex rate_hi = (a < b) ? rb : ra;
   // Higher rate = smaller index; a side succeeds iff its pairwise max
-  // supported rate is at least as fast as the requested one.
-  const bool lo_ok = enc_lo != 0 && static_cast<phy::RateIndex>(enc_lo - 1) <= rate_lo;
-  const bool hi_ok = enc_hi != 0 && static_cast<phy::RateIndex>(enc_hi - 1) <= rate_hi;
+  // supported rate is at least as fast as the requested one. The cached
+  // entry is pure SINR geometry; the per-link rate cap (which may change
+  // under churn without touching received powers) clamps at decode time.
+  const bool lo_ok =
+      enc_lo != 0 &&
+      std::max(static_cast<phy::RateIndex>(enc_lo - 1),
+               network_->link(lo).rate_cap) <= rate_lo;
+  const bool hi_ok =
+      enc_hi != 0 &&
+      std::max(static_cast<phy::RateIndex>(enc_hi - 1),
+               network_->link(hi).rate_cap) <= rate_hi;
   return !(lo_ok && hi_ok);
 }
 
@@ -137,6 +187,7 @@ std::optional<std::vector<phy::RateIndex>> PhysicalInterferenceModel::max_rate_v
   rates.reserve(links.size());
   for (std::size_t j = 0; j < links.size(); ++j) {
     const net::Link& lj = network_->link(links[j]);
+    if (!lj.alive) return std::nullopt;
     double interference = 0.0;
     for (std::size_t k = 0; k < links.size(); ++k) {
       if (k == j) continue;
@@ -146,7 +197,9 @@ std::optional<std::vector<phy::RateIndex>> PhysicalInterferenceModel::max_rate_v
     const double signal = rx_power(lj.tx, lj.rx);
     const auto rate = phy.max_rate(signal, interference);
     if (!rate) return std::nullopt;
-    rates.push_back(*rate);
+    // A slower rate is always decodable when a faster one is, so the cap
+    // clamp never invalidates the set.
+    rates.push_back(std::max(*rate, lj.rate_cap));
   }
   return rates;
 }
@@ -169,11 +222,15 @@ class PhysicalMisEnumerator {
     const net::Network& network = model.network();
     const std::size_t n = universe_.size();
     signal_.resize(n);
+    alive_.resize(n);
+    rate_cap_.resize(n);
     cross_power_.assign(n, std::vector<double>(n, 0.0));
     shares_.assign(n, std::vector<char>(n, 0));
     for (std::size_t u = 0; u < n; ++u) {
       const net::Link& lu = network.link(universe_[u]);
       signal_[u] = model.rx_power(lu.tx, lu.rx);
+      alive_[u] = lu.alive ? 1 : 0;
+      rate_cap_[u] = lu.rate_cap;
       for (std::size_t k = 0; k < n; ++k) {
         if (k == u) continue;
         const net::Link& lk = network.link(universe_[k]);
@@ -196,10 +253,16 @@ class PhysicalMisEnumerator {
 
  private:
   /// Max supported rate of universe member `u` given current interference
-  /// plus `extra` watts; nullopt when no rate works. The running sum can
-  /// drift a hair below zero after push/pop pairs; clamp it.
+  /// plus `extra` watts; nullopt when no rate works (a dead link never
+  /// works, however strong its residual signal). The running sum can drift
+  /// a hair below zero after push/pop pairs; clamp it. The link's rate cap
+  /// clamps the result (smaller index = faster).
   std::optional<phy::RateIndex> rate_of(std::size_t u, double extra) const {
-    return phy_.max_rate(signal_[u], std::max(interference_[u], 0.0) + extra);
+    if (alive_[u] == 0) return std::nullopt;
+    const auto rate =
+        phy_.max_rate(signal_[u], std::max(interference_[u], 0.0) + extra);
+    if (!rate) return std::nullopt;
+    return std::max(*rate, rate_cap_[u]);
   }
 
   void dfs(std::size_t start) {
@@ -298,6 +361,8 @@ class PhysicalMisEnumerator {
   const phy::PhyModel& phy_;
   std::vector<net::LinkId> universe_;
   std::vector<double> signal_;                    // by universe index
+  std::vector<char> alive_;                       // link liveness, by index
+  std::vector<phy::RateIndex> rate_cap_;          // per-link rate caps
   std::vector<std::vector<double>> cross_power_;  // [member][victim]
   std::vector<std::vector<char>> shares_;         // node-sharing flags
   std::vector<double> interference_;              // current, by universe index
@@ -339,6 +404,7 @@ std::shared_ptr<const PricingContext> PricingCache::get(
   ctx->alone_usable.assign(n, 0);
   ctx->alone_rate.assign(n, 0);
   ctx->alone_mbps.assign(n, 0.0);
+  ctx->rate_cap.assign(n, 0);
   // Hoist the link endpoints once so the O(n^2) fill below is pure table
   // lookups — for an engine-wide universe this loop is the whole cost of
   // warming the context.
@@ -348,6 +414,7 @@ std::shared_ptr<const PricingContext> PricingCache::get(
     tx[u] = lu.tx;
     rx[u] = lu.rx;
     ctx->signal[u] = model.rx_power(lu.tx, lu.rx);
+    ctx->rate_cap[u] = lu.rate_cap;
     if (const auto rate = model.max_rate_alone(ctx->universe[u])) {
       ctx->alone_usable[u] = 1;
       ctx->alone_rate[u] = *rate;
@@ -366,6 +433,49 @@ std::shared_ptr<const PricingContext> PricingCache::get(
   }
   entries_.push_back(std::move(ctx));
   return entries_.back();
+}
+
+void PricingCache::patch(const PhysicalInterferenceModel& model,
+                         const std::vector<char>& link_affected) {
+  const auto affected = [&](net::LinkId link) {
+    return link < link_affected.size() && link_affected[link] != 0;
+  };
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& entry : entries_) {
+    const std::size_t n = entry->universe.size();
+    std::vector<std::size_t> touched;  // universe positions
+    for (std::size_t u = 0; u < n; ++u)
+      if (affected(entry->universe[u])) touched.push_back(u);
+    if (touched.empty()) continue;
+
+    // Copy-on-write: readers holding the old shared_ptr keep a consistent
+    // pre-mutation context.
+    auto ctx = std::make_shared<PricingContext>(*entry);
+    const net::Network& network = model.network();
+    for (const std::size_t u : touched) {
+      const net::Link& lu = network.link(ctx->universe[u]);
+      ctx->signal[u] = model.rx_power(lu.tx, lu.rx);
+      ctx->rate_cap[u] = lu.rate_cap;
+      ctx->alone_usable[u] = 0;
+      ctx->alone_rate[u] = 0;
+      ctx->alone_mbps[u] = 0.0;
+      if (const auto rate = model.max_rate_alone(ctx->universe[u])) {
+        ctx->alone_usable[u] = 1;
+        ctx->alone_rate[u] = *rate;
+        ctx->alone_mbps[u] = ctx->phy->rates()[*rate].mbps;
+      }
+      // An affected link's transmitter may have moved or changed power
+      // (row u) and its receiver may have moved (column u); node-sharing
+      // flags depend only on the immutable endpoints and stay put.
+      for (std::size_t k = 0; k < n; ++k) {
+        if (k == u) continue;
+        const net::Link& lk = network.link(ctx->universe[k]);
+        ctx->cross_power[u * n + k] = model.rx_power(lu.tx, lk.rx);
+        ctx->cross_power[k * n + u] = model.rx_power(lk.tx, lu.rx);
+      }
+    }
+    entry = std::move(ctx);
+  }
 }
 
 void PricingCache::clear() {
@@ -455,13 +565,19 @@ void ProtocolInterferenceModel::add_conflict(net::LinkId a, phy::RateIndex ra,
   const std::size_t dim = num_links_ * rates_.size();
   conflict_[index(a, ra) * dim + index(b, rb)] = 1;
   conflict_[index(b, rb) * dim + index(a, ra)] = 1;
-  invalidate_caches();
+  patch_after_mutation(a, b);
 }
 
 void ProtocolInterferenceModel::add_conflict_all_rates(net::LinkId a, net::LinkId b) {
-  for (phy::RateIndex ra = 0; ra < rates_.size(); ++ra)
-    for (phy::RateIndex rb = 0; rb < rates_.size(); ++rb)
-      add_conflict(a, ra, b, rb);
+  MRWSN_REQUIRE(a != b, "conflicts are between distinct links");
+  const std::size_t dim = num_links_ * rates_.size();
+  for (phy::RateIndex ra = 0; ra < rates_.size(); ++ra) {
+    for (phy::RateIndex rb = 0; rb < rates_.size(); ++rb) {
+      conflict_[index(a, ra) * dim + index(b, rb)] = 1;
+      conflict_[index(b, rb) * dim + index(a, ra)] = 1;
+    }
+  }
+  patch_after_mutation(a, b);
 }
 
 void ProtocolInterferenceModel::set_usable_rates(net::LinkId link,
@@ -470,7 +586,17 @@ void ProtocolInterferenceModel::set_usable_rates(net::LinkId link,
   MRWSN_REQUIRE(usable.size() == rates_.size(),
                 "usable flags must cover every rate");
   usable_[link] = std::move(usable);
-  invalidate_caches();
+  patch_after_mutation(link, link);
+}
+
+void ProtocolInterferenceModel::patch_after_mutation(net::LinkId a,
+                                                     net::LinkId b) {
+  // A table edit touches only links a (and b): conflict matrices keep every
+  // pair bit between other links, and only MIS memos naming a or b drop.
+  std::vector<char> link_affected(num_links_, 0);
+  link_affected[a] = 1;
+  link_affected[b] = 1;
+  patch_caches(link_affected);
 }
 
 std::optional<phy::RateIndex> ProtocolInterferenceModel::max_rate_alone(

@@ -108,9 +108,19 @@ class InterferenceModel {
       std::span<const net::LinkId> universe) const;
 
  protected:
-  /// Drop every memoized result. Mutators of derived models must call this
-  /// (the physical model never mutates — its network reference is const).
+  /// Drop every memoized result. Mutators of derived models fall back to
+  /// this when a change cannot be localized.
   void invalidate_caches() const { caches_.clear(); }
+
+  /// Selective repair after a mutation that changed only the links flagged
+  /// in `link_affected` (indexed by LinkId): conflict matrices are patched
+  /// (unaffected pair bits copied), and MIS memos whose universe touches an
+  /// affected link are dropped. Pricing contexts are the physical model's
+  /// concern (see PhysicalInterferenceModel::repair).
+  void patch_caches(const std::vector<char>& link_affected) const {
+    caches_.conflict.patch(*this, link_affected);
+    caches_.mis.invalidate(link_affected);
+  }
 
   /// Per-universe memo of maximal_independent_sets results.
   MisCache& mis_cache() const { return caches_.mis; }
@@ -122,12 +132,39 @@ class InterferenceModel {
   mutable ModelCaches caches_;
 };
 
+/// What a topology mutation touched, in model terms: the nodes whose
+/// position/power/liveness changed and the links whose derived interference
+/// state that invalidates (links incident to those nodes, plus any link
+/// whose rate cap changed). core::TopologyDelta computes this set exactly —
+/// interferes(a, ·, b, ·) depends only on the four endpoints' powers, so
+/// links not incident to a mutated node are provably untouched.
+struct ModelRepair {
+  std::vector<net::NodeId> nodes;  ///< mutated (moved/re-powered/joined/left)
+  std::vector<net::LinkId> links;  ///< affected (incident or recapped/created)
+  bool nodes_added = false;        ///< the node count grew (rx table re-layout)
+};
+
 /// Cumulative-SINR interference over a concrete network (Eq. 1 + Eq. 3).
 /// Two links sharing a node can never transmit concurrently (single
 /// half-duplex radio per node).
+///
+/// Dynamic topologies: the referenced network may be mutated through
+/// core::TopologyDelta, which calls repair() after each batch of mutations
+/// so the rx-power table, pair-limit cache, and per-universe memos are
+/// patched (not rebuilt) to match. A repaired model answers every query
+/// exactly as a fresh model over the mutated network would — the
+/// differential churn fuzz suite holds it to `==` parity.
 class PhysicalInterferenceModel final : public InterferenceModel {
  public:
   explicit PhysicalInterferenceModel(const net::Network& network);
+
+  /// Patch all derived state after the network mutations summarized in
+  /// `repair`: affected rx-power rows/columns are recomputed (full refill
+  /// only when the node count changed), pair limits of affected links are
+  /// forgotten, conflict matrices are patched in place, intersecting MIS
+  /// memos dropped, and pricing contexts re-derived at affected positions.
+  /// Callers must serialize this against concurrent queries.
+  void repair(const ModelRepair& delta);
 
   std::size_t num_links() const override { return network_->num_links(); }
   const phy::RateTable& rate_table() const override;
@@ -213,6 +250,10 @@ class ProtocolInterferenceModel final : public InterferenceModel {
 
  private:
   std::size_t index(net::LinkId link, phy::RateIndex rate) const;
+
+  /// Selectively repair the memo bundle after a table edit touching links
+  /// `a` and `b` (pass a == b for single-link edits).
+  void patch_after_mutation(net::LinkId a, net::LinkId b);
 
   std::size_t num_links_;
   phy::RateTable rates_;

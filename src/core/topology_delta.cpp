@@ -1,0 +1,177 @@
+#include "core/topology_delta.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mrwsn::core {
+
+namespace {
+
+/// Weakest received power at which ANY rate of the table decodes with zero
+/// interference: a pair closer than the corresponding range has a link.
+double decode_threshold(const phy::PhyModel& phy) {
+  double threshold = 0.0;
+  for (const phy::Rate& rate : phy.rates().rates()) {
+    const double need =
+        std::max(rate.rx_sensitivity_watt, rate.sinr_min_linear * phy.noise_watt());
+    if (threshold == 0.0 || need < threshold) threshold = need;
+  }
+  MRWSN_REQUIRE(threshold > 0.0, "rate table admits links at any distance");
+  return threshold;
+}
+
+std::vector<geom::Point> live_positions(const net::Network& network) {
+  std::vector<geom::Point> points;
+  points.reserve(network.num_nodes());
+  for (const net::Node& node : network.nodes()) points.push_back(node.position);
+  return points;
+}
+
+}  // namespace
+
+TopologyDelta::TopologyDelta(net::Network* network,
+                             PhysicalInterferenceModel* model)
+    : network_(network),
+      model_(model),
+      // Cell size = nominal-power decode range: radius queries touch ~9
+      // cells until power churn inflates the radius.
+      grid_(network->phy().path_loss().range_for_power(
+          network->phy().tx_power_watt(), decode_threshold(network->phy()))),
+      decode_threshold_watt_(decode_threshold(network->phy())) {
+  MRWSN_REQUIRE(network_ != nullptr && model_ != nullptr,
+                "topology delta needs a network and its model");
+  MRWSN_REQUIRE(&model_->network() == network_,
+                "the model must be built over the mutated network");
+  MRWSN_REQUIRE(!network_->has_shadowing(),
+                "incremental repair does not support shadowed networks "
+                "(unbounded gains defeat grid-based link discovery)");
+  grid_.build(live_positions(*network_));
+  max_power_watt_ = network_->phy().tx_power_watt();
+  for (net::NodeId id = 0; id < network_->num_nodes(); ++id) {
+    max_power_watt_ = std::max(max_power_watt_, network_->node_tx_power(id));
+    if (!network_->node(id).alive) grid_.remove(id);
+  }
+}
+
+double TopologyDelta::discovery_radius() const {
+  return network_->phy().path_loss().range_for_power(max_power_watt_,
+                                                     decode_threshold_watt_);
+}
+
+void TopologyDelta::refresh_incident(net::NodeId node, ModelRepair* repair) {
+  // Copy the id lists: refresh_link may append to them (new links), and we
+  // only want the pre-existing incident set here.
+  const std::vector<net::LinkId> out = network_->links_from(node);
+  const std::vector<net::LinkId> in = network_->links_to(node);
+  for (const net::LinkId id : out) {
+    const net::Link& link = network_->link(id);
+    network_->refresh_link(link.tx, link.rx);
+    repair->links.push_back(id);
+  }
+  for (const net::LinkId id : in) {
+    const net::Link& link = network_->link(id);
+    network_->refresh_link(link.tx, link.rx);
+    repair->links.push_back(id);
+  }
+}
+
+void TopologyDelta::discover_new_links(net::NodeId node, ModelRepair* repair) {
+  std::vector<std::size_t> neighbors;
+  grid_.neighbors_within(network_->node(node).position, discovery_radius(),
+                         &neighbors);
+  for (const std::size_t other : neighbors) {
+    if (other == node) continue;
+    if (!network_->find_link(node, other)) {
+      if (const auto refresh = network_->refresh_link(node, other))
+        repair->links.push_back(refresh->id);
+    }
+    if (!network_->find_link(other, node)) {
+      if (const auto refresh = network_->refresh_link(other, node))
+        repair->links.push_back(refresh->id);
+    }
+  }
+}
+
+ModelRepair TopologyDelta::move_node(net::NodeId node, geom::Point position) {
+  MRWSN_REQUIRE(network_->node(node).alive, "cannot move a departed node");
+  network_->set_position(node, position);
+  grid_.move(node, position);
+
+  ModelRepair repair;
+  repair.nodes.push_back(node);
+  // Every incident link changed (length, and the power its endpoints
+  // deliver to every other link's receiver); pairs that newly came into
+  // range gain a link. Pairs that fell OUT of range are incident links, so
+  // the refresh pass kills them — no old-position query needed.
+  refresh_incident(node, &repair);
+  discover_new_links(node, &repair);
+  model_->repair(repair);
+  return repair;
+}
+
+ModelRepair TopologyDelta::set_power(net::NodeId node, double tx_power_watt) {
+  MRWSN_REQUIRE(network_->node(node).alive, "cannot re-power a departed node");
+  network_->set_node_tx_power(node, tx_power_watt);
+  max_power_watt_ = std::max(max_power_watt_, tx_power_watt);
+
+  ModelRepair repair;
+  repair.nodes.push_back(node);
+  // Power of `node` enters the SINR math only as "power delivered BY
+  // node" — signal of its outgoing links and interference it casts. Links
+  // into the node keep their signal and interference sums, but any link
+  // pair involving an outgoing link is affected.
+  const std::vector<net::LinkId> out = network_->links_from(node);
+  for (const net::LinkId id : out) {
+    const net::Link& link = network_->link(id);
+    network_->refresh_link(link.tx, link.rx);
+    repair.links.push_back(id);
+  }
+  // A power increase can pull new receivers into decode range (a decrease
+  // only kills existing links, which the refresh above already handled).
+  std::vector<std::size_t> neighbors;
+  grid_.neighbors_within(network_->node(node).position, discovery_radius(),
+                         &neighbors);
+  for (const std::size_t other : neighbors) {
+    if (other == node || network_->find_link(node, other)) continue;
+    if (const auto refresh = network_->refresh_link(node, other))
+      repair.links.push_back(refresh->id);
+  }
+  model_->repair(repair);
+  return repair;
+}
+
+ModelRepair TopologyDelta::set_rate(net::LinkId link, phy::RateIndex cap) {
+  network_->set_rate_cap(link, cap);
+  ModelRepair repair;
+  // No received power changed — only the usable couple set of this link.
+  repair.links.push_back(link);
+  model_->repair(repair);
+  return repair;
+}
+
+ModelRepair TopologyDelta::add_node(geom::Point position) {
+  const net::NodeId node = network_->add_node(position);
+  grid_.insert(node, position);
+
+  ModelRepair repair;
+  repair.nodes.push_back(node);
+  repair.nodes_added = true;
+  discover_new_links(node, &repair);
+  model_->repair(repair);
+  return repair;
+}
+
+ModelRepair TopologyDelta::remove_node(net::NodeId node) {
+  MRWSN_REQUIRE(network_->node(node).alive, "node already departed");
+  network_->set_node_alive(node, false);
+  grid_.remove(node);
+
+  ModelRepair repair;
+  repair.nodes.push_back(node);
+  refresh_incident(node, &repair);
+  model_->repair(repair);
+  return repair;
+}
+
+}  // namespace mrwsn::core

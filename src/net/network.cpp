@@ -17,7 +17,9 @@ Network::Network(std::vector<geom::Point> positions, phy::PhyModel phy,
     nodes_.push_back(Node{id, positions[id]});
 
   const std::size_t n = nodes_.size();
+  node_power_.assign(n, phy_.tx_power_watt());
   links_from_.assign(n, {});
+  links_to_.assign(n, {});
   by_pair_.assign(n, std::vector<std::optional<LinkId>>(n));
 
   for (NodeId tx = 0; tx < n; ++tx) {
@@ -37,13 +39,18 @@ Network::Network(std::vector<geom::Point> positions, phy::PhyModel phy,
       link.best_mbps_alone = phy_.rates()[*rate].mbps;
       by_pair_[tx][rx] = link.id;
       links_from_[tx].push_back(link.id);
+      links_to_[rx].push_back(link.id);
       links_.push_back(link);
     }
   }
 }
 
-const Node& Network::node(NodeId id) const {
+void Network::check_node(NodeId id) const {
   MRWSN_REQUIRE(id < nodes_.size(), "node id out of range");
+}
+
+const Node& Network::node(NodeId id) const {
+  check_node(id);
   return nodes_[id];
 }
 
@@ -53,23 +60,119 @@ const Link& Network::link(LinkId id) const {
 }
 
 std::optional<LinkId> Network::find_link(NodeId tx, NodeId rx) const {
-  MRWSN_REQUIRE(tx < nodes_.size() && rx < nodes_.size(), "node id out of range");
+  check_node(tx);
+  check_node(rx);
   return by_pair_[tx][rx];
 }
 
 const std::vector<LinkId>& Network::links_from(NodeId node) const {
-  MRWSN_REQUIRE(node < nodes_.size(), "node id out of range");
+  check_node(node);
   return links_from_[node];
 }
 
+const std::vector<LinkId>& Network::links_to(NodeId node) const {
+  check_node(node);
+  return links_to_[node];
+}
+
 double Network::distance(NodeId a, NodeId b) const {
-  MRWSN_REQUIRE(a < nodes_.size() && b < nodes_.size(), "node id out of range");
+  check_node(a);
+  check_node(b);
   return geom::distance(nodes_[a].position, nodes_[b].position);
 }
 
 double Network::received_power(NodeId from, NodeId at) const {
   const double gain = shadowing_ ? shadowing_->gain(from, at) : 1.0;
-  return gain * phy_.received_power(distance(from, at));
+  // Per-node power scales the pathloss-model power (which assumes the
+  // radio's nominal transmit power) linearly.
+  const double scale = node_power_[from] / phy_.tx_power_watt();
+  return gain * scale * phy_.received_power(distance(from, at));
+}
+
+void Network::set_position(NodeId id, geom::Point position) {
+  check_node(id);
+  nodes_[id].position = position;
+}
+
+void Network::set_node_tx_power(NodeId id, double tx_power_watt) {
+  check_node(id);
+  MRWSN_REQUIRE(tx_power_watt > 0.0, "node tx power must be positive");
+  node_power_[id] = tx_power_watt;
+}
+
+double Network::node_tx_power(NodeId id) const {
+  check_node(id);
+  return node_power_[id];
+}
+
+NodeId Network::add_node(geom::Point position) {
+  const NodeId id = nodes_.size();
+  nodes_.push_back(Node{id, position});
+  node_power_.push_back(phy_.tx_power_watt());
+  links_from_.emplace_back();
+  links_to_.emplace_back();
+  for (auto& row : by_pair_) row.emplace_back();
+  by_pair_.emplace_back(nodes_.size());
+  return id;
+}
+
+void Network::set_node_alive(NodeId id, bool alive) {
+  check_node(id);
+  nodes_[id].alive = alive;
+}
+
+void Network::set_rate_cap(LinkId id, phy::RateIndex cap) {
+  MRWSN_REQUIRE(id < links_.size(), "link id out of range");
+  MRWSN_REQUIRE(cap < phy_.rates().size(), "rate cap out of range");
+  links_[id].rate_cap = cap;
+}
+
+std::optional<Network::LinkRefresh> Network::refresh_link(NodeId tx,
+                                                          NodeId rx) {
+  check_node(tx);
+  check_node(rx);
+  MRWSN_REQUIRE(tx != rx, "a link needs distinct endpoints");
+
+  // Same decodability rule as the constructor — but a dead endpoint kills
+  // the link regardless of signal.
+  std::optional<phy::RateIndex> rate;
+  if (nodes_[tx].alive && nodes_[rx].alive) {
+    const double pr = received_power(tx, rx);
+    rate = phy_.rates().max_supported(pr, phy_.sinr(pr, 0.0));
+  }
+
+  const std::optional<LinkId> existing = by_pair_[tx][rx];
+  if (!existing) {
+    if (!rate) return std::nullopt;
+    Link link;
+    link.id = links_.size();
+    link.tx = tx;
+    link.rx = rx;
+    link.length_m = distance(tx, rx);
+    link.best_rate_alone = *rate;
+    link.best_mbps_alone = phy_.rates()[*rate].mbps;
+    by_pair_[tx][rx] = link.id;
+    links_from_[tx].push_back(link.id);
+    links_to_[rx].push_back(link.id);
+    links_.push_back(link);
+    return LinkRefresh{link.id, /*created=*/true, /*changed=*/true};
+  }
+
+  Link& link = links_[*existing];
+  const Link before = link;
+  link.length_m = distance(tx, rx);
+  link.alive = rate.has_value();
+  if (rate) {
+    link.best_rate_alone = *rate;
+    link.best_mbps_alone = phy_.rates()[*rate].mbps;
+  } else {
+    link.best_mbps_alone = 0.0;
+  }
+  const bool changed = link.alive != before.alive ||
+                       link.length_m != before.length_m ||
+                       link.best_rate_alone != before.best_rate_alone ||
+                       link.best_mbps_alone != before.best_mbps_alone;
+  return LinkRefresh{link.id, /*created=*/false, changed};
 }
 
 }  // namespace mrwsn::net

@@ -16,6 +16,7 @@
 
 #include "core/admission_engine.hpp"
 #include "core/engine_pool.hpp"
+#include "core/topology_delta.hpp"
 #include "geom/topology.hpp"
 #include "net/network.hpp"
 
@@ -225,6 +226,82 @@ TEST(SnapshotIsolation, ConcurrentCommitsSerializeWithDistinctEpochs) {
   EXPECT_EQ(engine.published()->background.size(), admitted.load());
 }
 
+TEST(SnapshotIsolation, ChurnRacingEvaluateIsEpochConsistent) {
+  // Deterministic mutation script (node 3 shuttles around its chain slot),
+  // replayable for the shadow pass below.
+  constexpr std::size_t kMutations = 24;
+  constexpr double kDemand = 0.25;
+  const auto target_of = [](std::size_t i) {
+    return geom::Point{3 * 70.0 + static_cast<double>(i % 3) * 9.0,
+                       (i % 2) ? 14.0 : -14.0};
+  };
+
+  net::Network net = chain_network(8, 70.0);
+  PhysicalInterferenceModel model(net);
+  TopologyDelta delta(&net, &model);
+  AdmissionEngine engine(model);
+  engine.add_background(LinkFlow{chain_path(net, 0, 2), 0.5});
+  engine.snapshot();
+  const std::vector<net::LinkId> path = chain_path(net, 4, 3);
+
+  // Phase 1: evaluate() readers race the churn writer; every answer
+  // records the epoch it was served under. TSan holds this phase to "the
+  // model is never patched under a solve in flight".
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> reads{0};
+  constexpr std::size_t kReaders = 4;
+  std::vector<std::vector<std::pair<std::uint64_t, double>>> seen(kReaders);
+  std::vector<std::thread> readers;
+  for (std::size_t t = 0; t < kReaders; ++t)
+    readers.emplace_back([&, t] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const AdmissionAnswer a = engine.evaluate(path, kDemand);
+        seen[t].emplace_back(a.epoch, a.available_mbps);
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  for (std::size_t i = 0; i < kMutations; ++i) {
+    engine.apply_topology_delta(
+        [&] { return delta.move_node(3, target_of(i)); });
+    // Pace the churn against the readers so epochs genuinely interleave
+    // with solves instead of racing past them before the threads spin up.
+    while (reads.load(std::memory_order_relaxed) < 2 * (i + 1))
+      std::this_thread::yield();
+  }
+  stop.store(true);
+  for (std::thread& reader : readers) reader.join();
+  EXPECT_EQ(engine.epoch(), 1u + kMutations);
+
+  // Phase 2: shadow replay. Run the same script sequentially, record every
+  // epoch's reference answer, and hold each racy answer to the reference
+  // of the epoch it was stamped with — a reader that raced a repair must
+  // have seen either the pre- or post-churn world in full, never a mix.
+  net::Network shadow_net = chain_network(8, 70.0);
+  PhysicalInterferenceModel shadow_model(shadow_net);
+  TopologyDelta shadow_delta(&shadow_net, &shadow_model);
+  AdmissionEngine shadow(shadow_model);
+  shadow.add_background(LinkFlow{chain_path(shadow_net, 0, 2), 0.5});
+  shadow.snapshot();
+  std::map<std::uint64_t, double> reference;
+  reference[shadow.epoch()] = shadow.query(path, kDemand).available_mbps;
+  for (std::size_t i = 0; i < kMutations; ++i) {
+    const std::uint64_t epoch = shadow.apply_topology_delta(
+        [&] { return shadow_delta.move_node(3, target_of(i)); });
+    reference[epoch] = shadow.query(path, kDemand).available_mbps;
+  }
+
+  std::size_t verified = 0;
+  for (const auto& lane : seen)
+    for (const auto& [epoch, available] : lane) {
+      const auto it = reference.find(epoch);
+      ASSERT_TRUE(it != reference.end()) << "answer from unknown epoch "
+                                         << epoch;
+      EXPECT_NEAR(available, it->second, kParityTol) << "epoch " << epoch;
+      ++verified;
+    }
+  EXPECT_GT(verified, 0u);
+}
+
 TEST(EnginePool, BuildsOncePerKeyUnderConcurrentAcquire) {
   const net::Network net = chain_network(5, 70.0);
   PhysicalInterferenceModel model(net);
@@ -274,6 +351,40 @@ TEST(EnginePool, EvictDropsTheKeyButNotOutstandingEntries) {
   const EnginePool::EntryPtr second = pool.acquire(7, factory);
   EXPECT_EQ(builds, 2u);
   EXPECT_TRUE(second != first);
+}
+
+TEST(EnginePool, MutatedEntryIsAStaleMissOnReacquire) {
+  net::Network net = chain_network(6, 70.0);
+  PhysicalInterferenceModel model(net);
+  TopologyDelta delta(&net, &model);
+  EnginePool pool;
+  std::size_t builds = 0;
+  const auto factory = [&] {
+    ++builds;
+    return std::make_shared<EnginePool::Entry>(nullptr, model);
+  };
+
+  constexpr std::uint64_t kKey = 0xB10Bu;  // stands in for io::scenario_hash
+  const EnginePool::EntryPtr first = pool.acquire(kKey, factory);
+  first->engine.snapshot();
+  const std::uint64_t pre_epoch = first->engine.epoch();
+  EXPECT_EQ(pool.acquire(kKey, factory), first);  // untouched: warm hit
+
+  // Mutate the pooled topology in place: the load-time content hash the
+  // key was computed from no longer describes this entry.
+  first->engine.apply_topology_delta(
+      [&] { return delta.move_node(0, {5.0, 5.0}); });
+  first->mark_mutated();
+
+  const EnginePool::EntryPtr second = pool.acquire(kKey, factory);
+  EXPECT_TRUE(second != first);
+  EXPECT_FALSE(second->mutated());
+  EXPECT_EQ(builds, 2u);
+  EXPECT_EQ(pool.stats().stale, 1u);
+  EXPECT_EQ(pool.acquire(kKey, factory), second);  // fresh entry is warm
+
+  // The stale holder keeps a working engine (its churn epoch survived).
+  EXPECT_GT(first->engine.epoch(), pre_epoch);
 }
 
 TEST(EnginePool, DistinctKeysGetDistinctEngines) {

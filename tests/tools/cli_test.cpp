@@ -158,6 +158,50 @@ TEST(Cli, AdmitRejectsBadPolicy) {
   EXPECT_NE(r.err.find("unknown policy"), std::string::npos);
 }
 
+TEST(Cli, MobilityReplaysTraceWithPerEpochVerification) {
+  TempScenario scenario(kChain);
+  TempScenario trace(
+      "# waypoints for the kChain topology\n"
+      "move 3 215 5\n"
+      "power 2 0.15\n"
+      "join 105 0\n"
+      "move 3 210 0\n");
+  const CliResult r = run({"mobility", scenario.path(), "--trace",
+                           trace.path(), "--verify", "on"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  // One epoch per event, each shadow-verified against a cold rebuild.
+  EXPECT_NE(r.out.find("verified 4/4 epochs"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("churn: 4 repairs"), std::string::npos) << r.out;
+  EXPECT_EQ(r.out.find("MISMATCH"), std::string::npos) << r.out;
+  // The scenario's requests are re-admitted on the final topology.
+  EXPECT_NE(r.out.find("2->3"), std::string::npos) << r.out;
+}
+
+TEST(Cli, MobilityRequiresTraceFlag) {
+  TempScenario scenario(kChain);
+  const CliResult r = run({"mobility", scenario.path()});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--trace"), std::string::npos) << r.err;
+}
+
+TEST(Cli, MobilityRejectsShadowedScenario) {
+  TempScenario scenario(std::string(kChain) + "shadowing 4 7\n");
+  TempScenario trace("move 3 210 5\n");
+  const CliResult r =
+      run({"mobility", scenario.path(), "--trace", trace.path()});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("shadowed"), std::string::npos) << r.err;
+}
+
+TEST(Cli, MobilityRejectsDanglingEventReferences) {
+  TempScenario scenario(kChain);
+  TempScenario trace("leave 9\n");
+  const CliResult r =
+      run({"mobility", scenario.path(), "--trace", trace.path()});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("mobility event 1"), std::string::npos) << r.err;
+}
+
 TEST(Cli, BatchEmitsOneCsvRowPerQueryInOrder) {
   TempScenario scenario(kChain);
   TempScenario queries(

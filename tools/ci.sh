@@ -18,6 +18,9 @@
 #      trace (with 1e-6 parity verification built in) and
 #      bench_compare.py checks the report still covers the
 #      p50/p99/QPS/scenario-load metrics against the committed baseline.
+#   5. churn bench: BM_ChurnReadmit{Incremental,Rebuild} on the 100-node
+#      churn script, with --require coverage guards for both sides of
+#      the incremental-repair-vs-cold-rebuild comparison.
 #
 # Full benchmark regressions are gated separately: regenerate with
 #   cmake --build build --target bench_json
@@ -70,6 +73,17 @@ else
     --require BM_AdmissionReplayP50 --require BM_AdmissionReplayP99 \
     --require BM_AdmissionReplayQPS --require BM_ScenarioParseText \
     --require BM_ScenarioLoadBlob
+
+  echo "== ci stage 5: churn readmission bench + coverage guard =="
+  # Incremental topology repair vs cold rebuild on the 100-node churn
+  # script; the --require guards fail the gate if either side of the
+  # comparison silently drops out of the suite.
+  cmake --build "$BUILD" -j "$JOBS" --target perf_micro
+  CHURN_JSON="$BUILD/bench_churn_ci.json"
+  "$REPO/tools/bench_to_json.sh" "$CHURN_JSON" 'BM_ChurnReadmit' \
+    "$BUILD/bench/perf_micro"
+  "$REPO/tools/bench_compare.py" "$REPO/BENCH_results.json" "$CHURN_JSON" \
+    --require BM_ChurnReadmitIncremental --require BM_ChurnReadmitRebuild
 fi
 
 echo "ci gate passed"

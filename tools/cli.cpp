@@ -1,5 +1,6 @@
 #include "tools/cli.hpp"
 
+#include <cmath>
 #include <condition_variable>
 #include <cstdlib>
 #include <deque>
@@ -21,7 +22,9 @@
 #include "core/estimation.hpp"
 #include "core/idle_time.hpp"
 #include "core/interference.hpp"
+#include "core/topology_delta.hpp"
 #include "geom/topology.hpp"
+#include "io/mobility.hpp"
 #include "io/scenario.hpp"
 #include "io/scenario_blob.hpp"
 #include "mac/csma.hpp"
@@ -712,6 +715,168 @@ int cmd_scenario(const std::vector<std::string>& args, std::ostream& out,
   return 0;
 }
 
+/// Replay one mobility event through the delta, validating the references
+/// the parser could not (node/link ids against the evolving network).
+core::ModelRepair replay_event(core::TopologyDelta& delta,
+                               const net::Network& network,
+                               const io::MobilityTrace::Event& event,
+                               std::size_t index) {
+  using Kind = io::MobilityTrace::Event::Kind;
+  auto fail = [&](const std::string& why) -> void {
+    throw PreconditionError("mobility event " + std::to_string(index + 1) +
+                            ": " + why);
+  };
+  const auto need_live_node = [&](net::NodeId node) {
+    if (node >= network.num_nodes())
+      fail("unknown node " + std::to_string(node));
+    if (!network.node(node).alive)
+      fail("node " + std::to_string(node) + " already departed");
+  };
+  switch (event.kind) {
+    case Kind::kMove:
+      need_live_node(event.node);
+      return delta.move_node(event.node, event.position);
+    case Kind::kPower:
+      need_live_node(event.node);
+      return delta.set_power(event.node, event.tx_power_watt);
+    case Kind::kRate: {
+      need_live_node(event.tx);
+      need_live_node(event.rx);
+      const auto link = network.find_link(event.tx, event.rx);
+      if (!link)
+        fail("no link " + std::to_string(event.tx) + "->" +
+             std::to_string(event.rx));
+      if (event.rate_cap >= network.phy().rates().size())
+        fail("rate cap out of range");
+      return delta.set_rate(*link, event.rate_cap);
+    }
+    case Kind::kJoin:
+      return delta.add_node(event.position);
+    case Kind::kLeave:
+      need_live_node(event.node);
+      return delta.remove_node(event.node);
+  }
+  fail("corrupt event kind");
+  return {};
+}
+
+std::string event_text(const io::MobilityTrace::Event& event) {
+  using Kind = io::MobilityTrace::Event::Kind;
+  switch (event.kind) {
+    case Kind::kMove:
+      return "move " + std::to_string(event.node) + " -> (" +
+             Table::num(event.position.x, 1) + "," +
+             Table::num(event.position.y, 1) + ")";
+    case Kind::kPower:
+      return "power " + std::to_string(event.node) + " = " +
+             Table::num(event.tx_power_watt * 1e3, 1) + " mW";
+    case Kind::kRate:
+      return "rate " + std::to_string(event.tx) + "->" +
+             std::to_string(event.rx) + " cap " +
+             std::to_string(event.rate_cap);
+    case Kind::kJoin:
+      return "join (" + Table::num(event.position.x, 1) + "," +
+             Table::num(event.position.y, 1) + ")";
+    case Kind::kLeave:
+      return "leave " + std::to_string(event.node);
+  }
+  return "?";
+}
+
+/// `mrwsn mobility <scenario> <trace>`: replay a churn trace through the
+/// incremental repair path (TopologyDelta + apply_topology_delta), one
+/// published epoch per event. --verify re-solves every epoch against a
+/// cold engine on a fresh model of the mutated network and reports the
+/// parity check; the scenario's `request` lines are re-admitted against
+/// the final topology.
+int cmd_mobility(const io::ScenarioFile& scenario, const Options& options,
+                 std::ostream& out, std::ostream& err) {
+  if (scenario.shadowing_sigma_db > 0.0) {
+    err << "mobility replay does not support shadowed scenarios "
+           "(incremental repair needs deterministic gains)\n";
+    return 1;
+  }
+  const std::string trace_file = options.get("--trace", "");
+  MRWSN_REQUIRE(!trace_file.empty(), "mobility needs --trace <file>");
+  const io::MobilityTrace trace = io::load_mobility(trace_file);
+  const bool verify = options.get("--verify", "off") == "on";
+
+  net::Network network = io::build_network(scenario);
+  core::PhysicalInterferenceModel model(network);
+  core::TopologyDelta delta(&network, &model);
+  core::AdmissionEngine engine(model);
+  const auto background = background_of(scenario, network);
+  for (const core::LinkFlow& flow : background) engine.add_background(flow);
+  engine.snapshot();
+
+  Table table(verify ? std::vector<std::string>{"event", "epoch", "links",
+                                                "airtime", "feasible", "parity"}
+                     : std::vector<std::string>{"event", "epoch", "links",
+                                                "airtime", "feasible"});
+  std::size_t verified = 0;
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    const io::MobilityTrace::Event& event = trace.events[i];
+    const std::uint64_t epoch = engine.apply_topology_delta(
+        [&] { return replay_event(delta, network, event, i); });
+    std::size_t alive_links = 0;
+    for (const net::Link& link : network.links())
+      if (link.alive) ++alive_links;
+    std::vector<std::string> row{event_text(event), std::to_string(epoch),
+                                 std::to_string(alive_links),
+                                 Table::num(engine.background_airtime(), 4),
+                                 engine.background_feasible() ? "yes" : "no"};
+    if (verify) {
+      // Shadow check: a cold engine over a fresh model of the mutated
+      // network must agree with the repaired engine to LP tolerance.
+      const core::PhysicalInterferenceModel fresh(network);
+      core::AdmissionEngine cold(fresh);
+      for (const core::LinkFlow& flow : background) cold.add_background(flow);
+      const double a = engine.background_airtime();
+      const double b = cold.background_airtime();
+      const bool match =
+          (std::isinf(a) && std::isinf(b)) ||
+          std::abs(a - b) <= 1e-6 * std::max(1.0, std::abs(b));
+      row.push_back(match ? "ok" : "MISMATCH");
+      if (match) ++verified;
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(out);
+
+  const core::AdmissionEngineStats& stats = engine.stats();
+  out << "churn: " << stats.topology_repairs << " repairs, "
+      << stats.columns_dropped << " columns dropped, "
+      << stats.dual_resolves << " dual re-solves, " << stats.dual_fallbacks
+      << " cold fallbacks, epoch " << engine.epoch() << '\n';
+  if (verify)
+    out << "verified " << verified << "/" << trace.events.size()
+        << " epochs against cold rebuilds\n";
+
+  if (!scenario.requests.empty()) {
+    // Re-admit the scenario's requests on the post-churn topology.
+    routing::QosRouter router(network, model);
+    const std::vector<double> idle(network.num_nodes(), 1.0);
+    Table admissions({"request", "path", "available [Mbps]", "admitted"});
+    for (const auto& request : scenario.requests) {
+      std::optional<net::Path> path;
+      if (request.src < network.num_nodes() &&
+          request.dst < network.num_nodes() &&
+          network.node(request.src).alive && network.node(request.dst).alive)
+        path = router.find_path(request.src, request.dst,
+                                routing::Metric::kHopCount, idle);
+      core::AdmissionAnswer answer;
+      if (path) answer = engine.query(path->links(), request.demand_mbps);
+      admissions.add_row({std::to_string(request.src) + "->" +
+                              std::to_string(request.dst),
+                          path ? path_text(*path) : "(none)",
+                          Table::num(answer.available_mbps, 3),
+                          path && answer.admitted ? "yes" : "no"});
+    }
+    admissions.print(out);
+  }
+  return 0;
+}
+
 int cmd_simulate(const io::ScenarioFile& scenario, const Options& options,
                  std::ostream& out, std::ostream& err) {
   if (scenario.flows.empty()) {
@@ -766,7 +931,8 @@ int cmd_fig4(const Options& options, std::ostream& out) {
 
 void usage(std::ostream& err) {
   err << "usage: mrwsn "
-         "<generate|info|scenario|capacity|available|admit|simulate|fig4> "
+         "<generate|info|scenario|capacity|available|admit|mobility|simulate|"
+         "fig4> "
          "...\n"
          "  mrwsn generate --nodes 30 --seed 1 --flows 8\n"
          "  mrwsn info scenario.txt\n"
@@ -783,6 +949,7 @@ void usage(std::ostream& err) {
          "  mrwsn admit scenario.txt --bench-replay [--ops 1000]\n"
          "                 [--threads 1,4] [--queries 64] [--seed 1]\n"
          "                 [--verify on|off]\n"
+         "  mrwsn mobility scenario.txt --trace trace.txt [--verify on|off]\n"
          "  mrwsn simulate scenario.txt [--seconds 2] [--arf] [--seed 1]\n"
          "  mrwsn fig4 [--nodes 500] [--threads 8] [--seed 4] [--flows 8]\n"
          "             [--rts on|off|both] [--seconds 0.5]\n"
@@ -826,6 +993,8 @@ int run_cli(const std::vector<std::string>& args, std::istream& in,
         return cmd_bench_replay(scenario, options, out);
       return cmd_admit(scenario, options, out, err);
     }
+    if (command == "mobility")
+      return cmd_mobility(scenario, Options(args, 2), out, err);
     if (command == "simulate")
       return cmd_simulate(scenario, Options(args, 2), out, err);
     usage(err);

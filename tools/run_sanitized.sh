@@ -27,10 +27,11 @@ echo "sanitized test run ($SANITIZERS) passed"
 # share a build with ASan, so it gets its own tree; only the parallel
 # simulator's determinism suite drives every cross-region message path at
 # several thread counts, and the admission-concurrency suite races
-# snapshot readers against committing writers and concurrent EnginePool
-# acquires — between them, every multithreaded path in the repository
-# (util::WorkerPool, mac/parallel_sim.*, the engine's snapshot/commit
-# surface, EnginePool) runs under TSan.
+# snapshot readers against committing writers, concurrent EnginePool
+# acquires, and churn repairs (apply_topology_delta racing evaluate(),
+# with per-epoch shadow verification) — between them, every multithreaded
+# path in the repository (util::WorkerPool, mac/parallel_sim.*, the
+# engine's snapshot/commit/churn surface, EnginePool) runs under TSan.
 # Skippable with MRWSN_SKIP_TSAN=1 (e.g. on kernels without ASLR compat).
 if [ "${MRWSN_SKIP_TSAN:-0}" != "1" ]; then
   TSAN_BUILD=${MRWSN_TSAN_BUILD:-"$REPO/build-tsan"}
