@@ -7,6 +7,11 @@
 //   BM_AdmissionReplayQPS/<ops>/<threads>  real_time = wall time per op
 //                                          (counter `qps` = ops per second)
 //
+// and the same three families with a `Write` infix
+// (BM_AdmissionReplayWrite{P50,P99,QPS}) replaying a write-heavy mix:
+// 30% commits instead of the default 5%, the load shape that exercises the
+// structure-sharing snapshot writer path.
+//
 // plus the scenario load-path pair BM_ScenarioParseText /
 // BM_ScenarioLoadBlob on the same ~188-link replay topology. Every replay
 // run verifies 1e-6 objective parity against a sequential re-execution of
@@ -17,8 +22,9 @@
 // instead of re-driving hundreds of thousands of LP solves.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <map>
-#include <utility>
+#include <tuple>
 
 #include "common/admission_replay.hpp"
 #include "geom/point.hpp"
@@ -28,17 +34,25 @@
 namespace mrwsn {
 namespace {
 
+// Commit fractions of the two replay mixes, in permille so they can ride
+// in an integer benchmark argument: the default read-heavy 5% and the
+// write-heavy 30% mix that stresses the structure-sharing commit path.
+constexpr std::int64_t kReadMixPermille = 50;
+constexpr std::int64_t kWriteMixPermille = 300;
+
 const benchx::ReplayRunStats& replay_once(std::int64_t ops,
-                                          std::int64_t threads) {
-  static std::map<std::pair<std::int64_t, std::int64_t>,
+                                          std::int64_t threads,
+                                          std::int64_t commit_permille) {
+  static std::map<std::tuple<std::int64_t, std::int64_t, std::int64_t>,
                   benchx::ReplayRunStats>
       memo;
-  const auto key = std::make_pair(ops, threads);
+  const auto key = std::make_tuple(ops, threads, commit_permille);
   const auto it = memo.find(key);
   if (it != memo.end()) return it->second;
 
   benchx::ReplayTraceOptions trace_options;
   trace_options.num_ops = static_cast<std::size_t>(ops);
+  trace_options.commit_fraction = double(commit_permille) / 1000.0;
   const benchx::ReplayTrace trace = benchx::make_replay_trace(trace_options);
   benchx::ReplayRunOptions run_options;
   run_options.threads = static_cast<std::size_t>(threads);
@@ -56,23 +70,26 @@ void set_replay_counters(benchmark::State& state,
   state.counters["verified"] = double(stats.verified_answers);
 }
 
+template <std::int64_t kCommitPermille>
 void BM_AdmissionReplayP50(benchmark::State& state) {
   const benchx::ReplayRunStats& stats =
-      replay_once(state.range(0), state.range(1));
+      replay_once(state.range(0), state.range(1), kCommitPermille);
   for (auto _ : state) state.SetIterationTime(stats.eval_p50_us * 1e-6);
   set_replay_counters(state, stats);
 }
 
+template <std::int64_t kCommitPermille>
 void BM_AdmissionReplayP99(benchmark::State& state) {
   const benchx::ReplayRunStats& stats =
-      replay_once(state.range(0), state.range(1));
+      replay_once(state.range(0), state.range(1), kCommitPermille);
   for (auto _ : state) state.SetIterationTime(stats.eval_p99_us * 1e-6);
   set_replay_counters(state, stats);
 }
 
+template <std::int64_t kCommitPermille>
 void BM_AdmissionReplayQPS(benchmark::State& state) {
   const benchx::ReplayRunStats& stats =
-      replay_once(state.range(0), state.range(1));
+      replay_once(state.range(0), state.range(1), kCommitPermille);
   const double ops = double(state.range(0));
   for (auto _ : state)
     state.SetIterationTime(ops > 0.0 ? stats.wall_s / ops : 0.0);
@@ -87,6 +104,20 @@ void register_replay(const char* name, void (*fn)(benchmark::State&)) {
       ->Args({10000, 1})
       ->Args({10000, 4})
       ->Args({100000, 4})
+      ->UseManualTime()
+      ->Unit(benchmark::kMicrosecond)
+      ->Iterations(1);
+}
+
+// The write-heavy mix replays fewer ops: at 30% commits a 100k-op trace
+// would spend most of its wall time in writer epochs rather than the
+// measured evaluate path.
+void register_replay_write(const char* name, void (*fn)(benchmark::State&)) {
+  benchmark::RegisterBenchmark(name, fn)
+      ->ArgNames({"ops", "threads"})
+      ->Args({1000, 1})
+      ->Args({1000, 4})
+      ->Args({10000, 4})
       ->UseManualTime()
       ->Unit(benchmark::kMicrosecond)
       ->Iterations(1);
@@ -139,11 +170,20 @@ BENCHMARK(BM_ScenarioLoadBlob)->Unit(benchmark::kMicrosecond);
 
 int main(int argc, char** argv) {
   mrwsn::register_replay("BM_AdmissionReplayP50",
-                         mrwsn::BM_AdmissionReplayP50);
+                         mrwsn::BM_AdmissionReplayP50<mrwsn::kReadMixPermille>);
   mrwsn::register_replay("BM_AdmissionReplayP99",
-                         mrwsn::BM_AdmissionReplayP99);
+                         mrwsn::BM_AdmissionReplayP99<mrwsn::kReadMixPermille>);
   mrwsn::register_replay("BM_AdmissionReplayQPS",
-                         mrwsn::BM_AdmissionReplayQPS);
+                         mrwsn::BM_AdmissionReplayQPS<mrwsn::kReadMixPermille>);
+  mrwsn::register_replay_write(
+      "BM_AdmissionReplayWriteP50",
+      mrwsn::BM_AdmissionReplayP50<mrwsn::kWriteMixPermille>);
+  mrwsn::register_replay_write(
+      "BM_AdmissionReplayWriteP99",
+      mrwsn::BM_AdmissionReplayP99<mrwsn::kWriteMixPermille>);
+  mrwsn::register_replay_write(
+      "BM_AdmissionReplayWriteQPS",
+      mrwsn::BM_AdmissionReplayQPS<mrwsn::kWriteMixPermille>);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

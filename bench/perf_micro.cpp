@@ -4,8 +4,12 @@
 // event throughput.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
+#include <set>
 
 #include "common/scaled_fig4.hpp"
 #include "core/admission_engine.hpp"
@@ -583,6 +587,175 @@ void BM_ChurnReadmitRebuild(benchmark::State& state) {
   state.counters["events"] = 6.0;
 }
 BENCHMARK(BM_ChurnReadmitRebuild)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// BM_CommitLatency/<columns>: writer-path latency of the concurrent
+// admission service at a large committed background. Setup synthesizes
+// `columns` distinct rate-coupled independent sets over the links the
+// replay queries touch (greedy feasibility over random link orders,
+// AdmissionEngine::preload_columns), commits a small demand along every
+// replay path so the pool columns fit the background master, and publishes
+// once cold. The measured op is one AdmissionEngine::commit() of a tiny
+// path demand — master solve + row re-solve + snapshot publication — the
+// writer path that deep-copy snapshots made O(background).
+// ---------------------------------------------------------------------------
+
+/// Distinct feasible rate-coupled sets over `universe`, built by greedy
+/// insertion along random link orders, each member at the highest rate the
+/// joint set still supports (near-maximal columns; dominated near-
+/// duplicates would only stall the master's simplex). mbps is left zero:
+/// preload_columns recomputes it from the model's rate table.
+std::vector<core::IndependentSet> synthesize_columns(
+    const core::InterferenceModel& model,
+    const std::vector<net::LinkId>& universe, std::size_t count, Rng& rng) {
+  std::vector<net::LinkId> order = universe;
+  std::set<std::vector<std::uint64_t>> seen;
+  std::vector<core::IndependentSet> out;
+  for (std::size_t attempt = 0; out.size() < count && attempt < count * 64;
+       ++attempt) {
+    for (std::size_t i = order.size() - 1; i > 0; --i)
+      std::swap(order[i], order[static_cast<std::size_t>(
+                              rng.uniform_int(0, static_cast<int>(i)))]);
+    core::IndependentSet set;
+    const std::size_t cap =
+        2 + static_cast<std::size_t>(rng.uniform_int(0, 30));
+    for (const net::LinkId link : order) {
+      const auto alone = model.max_rate_alone(link);
+      if (!alone) continue;
+      std::vector<net::LinkId> links = set.links;
+      std::vector<phy::RateIndex> rates = set.rates;
+      const auto pos = static_cast<std::size_t>(
+          std::lower_bound(links.begin(), links.end(), link) - links.begin());
+      links.insert(links.begin() + static_cast<std::ptrdiff_t>(pos), link);
+      rates.insert(rates.begin() + static_cast<std::ptrdiff_t>(pos), *alone);
+      bool supported = false;
+      for (int rate = static_cast<int>(*alone); rate >= 0; --rate) {
+        rates[pos] = static_cast<phy::RateIndex>(rate);
+        if (model.supports(links, rates)) {
+          supported = true;
+          break;
+        }
+      }
+      if (!supported) continue;
+      set.links = std::move(links);
+      set.rates = std::move(rates);
+      if (set.links.size() >= cap) break;
+    }
+    if (set.links.size() < 2) continue;
+    std::vector<std::uint64_t> key;
+    key.reserve(set.links.size());
+    for (std::size_t i = 0; i < set.links.size(); ++i)
+      key.push_back((static_cast<std::uint64_t>(set.links[i]) << 16) |
+                    static_cast<std::uint64_t>(set.rates[i]));
+    if (!seen.insert(std::move(key)).second) continue;
+    set.mbps.assign(set.links.size(), 0.0);
+    out.push_back(std::move(set));
+  }
+  return out;
+}
+
+struct CommitRig {
+  AdmissionReplay replay;
+  std::unique_ptr<core::PhysicalInterferenceModel> model;
+  std::unique_ptr<core::AdmissionEngine> engine;
+  std::vector<core::LinkFlow> baseline;  ///< background before any commit
+  std::size_t preloaded = 0;
+
+  explicit CommitRig(AdmissionReplay r) : replay(std::move(r)) {}
+
+  /// Restore the engine to its post-build state: drop every measured
+  /// commit, keep the warm column pool, re-admit the baseline demand, and
+  /// republish. Run between benchmark repetitions so each one measures
+  /// the same commit sequence from the same state instead of compounding
+  /// the previous repetitions' commits.
+  void reset() {
+    engine->evict();
+    for (const core::LinkFlow& flow : baseline) engine->add_background(flow);
+    engine->snapshot();
+  }
+};
+
+CommitRig& commit_rig(std::size_t target_columns) {
+  static std::map<std::size_t, std::unique_ptr<CommitRig>> memo;
+  auto it = memo.find(target_columns);
+  if (it != memo.end()) return *it->second;
+
+  // A long *jittered* chain rather than the dense replay floor plan:
+  // banded interference keeps exact pricing certificates cheap while the
+  // number of distinct feasible spaced subsets grows combinatorially with
+  // chain length, so pools of thousands of genuinely distinct columns
+  // exist. The jitter (and the varied per-link demands below) matters: on
+  // a perfectly regular chain with uniform demand, translation symmetry
+  // makes the master so dual-degenerate that simplex stalls against its
+  // pivot budget and column generation never certifies convergence.
+  constexpr std::size_t kNodes = 160;
+  Rng rng(target_columns * 2654435761u + 11);
+  auto points = geom::chain(kNodes, 70.0);
+  for (auto& point : points) {
+    point.x += rng.uniform(-12.0, 12.0);
+    point.y += rng.uniform(-25.0, 25.0);
+  }
+  AdmissionReplay replay{
+      net::Network(std::move(points), phy::PhyModel::paper_default()), {}};
+  std::vector<net::LinkId> forward;
+  for (std::size_t i = 0; i + 1 < kNodes; ++i)
+    if (const auto link = replay.network.find_link(i, i + 1))
+      forward.push_back(*link);
+  while (replay.queries.size() < 50) {
+    const auto hops = static_cast<std::size_t>(2 + rng.uniform_int(0, 4));
+    const auto first = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(forward.size() - hops)));
+    std::vector<net::LinkId> path(forward.begin() + first,
+                                  forward.begin() + first + hops);
+    replay.queries.push_back(core::AdmissionQuery{std::move(path), 0.1});
+  }
+
+  auto rig = std::make_unique<CommitRig>(std::move(replay));
+  rig->model =
+      std::make_unique<core::PhysicalInterferenceModel>(rig->replay.network);
+  core::ColumnGenOptions options;
+  options.max_columns = std::max<std::size_t>(32768, 4 * target_columns);
+  rig->engine = std::make_unique<core::AdmissionEngine>(*rig->model, options);
+
+  // Preload the pool, then put (varied) background demand on every
+  // forward link: every synthesized column's links are background rows,
+  // so the whole pool enters the background master on the cold solve.
+  const auto columns =
+      synthesize_columns(*rig->model, forward, target_columns, rng);
+  rig->preloaded = rig->engine->preload_columns(columns);
+  for (const net::LinkId link : forward)
+    rig->baseline.push_back(
+        core::LinkFlow{{link}, 0.002 * (1.0 + 4.0 * rng.uniform(0.0, 1.0))});
+  for (const core::LinkFlow& flow : rig->baseline)
+    rig->engine->add_background(flow);
+  rig->engine->snapshot();  // cold background solve + first publication
+  return *memo.emplace(target_columns, std::move(rig)).first->second;
+}
+
+void BM_CommitLatency(benchmark::State& state) {
+  CommitRig& rig = commit_rig(static_cast<std::size_t>(state.range(0)));
+  if (rig.engine->published()->background.size() > rig.baseline.size())
+    rig.reset();  // un-timed: repetitions measure identical commit streams
+  std::size_t i = 0;
+  std::size_t master_columns = 0;
+  for (auto _ : state) {
+    const core::AdmissionQuery& query =
+        rig.replay.queries[i++ % rig.replay.queries.size()];
+    const core::AdmissionAnswer answer = rig.engine->commit(query.path, 1e-5);
+    master_columns = answer.master_columns;
+    benchmark::DoNotOptimize(answer.admitted);
+  }
+  state.counters["pool"] = double(rig.engine->stats().pool_columns);
+  state.counters["preloaded"] = double(rig.preloaded);
+  state.counters["master_cols"] = double(master_columns);
+  state.counters["links"] = double(rig.replay.network.num_links());
+}
+BENCHMARK(BM_CommitLatency)
+    ->Arg(128)
+    ->Arg(1024)
+    ->Arg(8192)
+    ->Unit(benchmark::kMicrosecond)
+    ->Iterations(12);
 
 // Cost of materializing the bitset conflict matrix over a chain universe
 // (one interferes() SINR evaluation per couple pair on a fresh model).

@@ -20,6 +20,11 @@ constexpr double kDemandSlack = 1e-6;
 /// Background feasibility threshold on total airtime; matches
 /// flows_feasible().
 constexpr double kAirtimeTol = 1e-9;
+/// Tier-0 cap: at most this many pool columns enter a master per pricing
+/// round. The scored scan already orders candidates best-first, so the cap
+/// bounds master growth (and LP size) without losing any column the duals
+/// keep asking for — it simply arrives a round later.
+constexpr std::size_t kTier0PerRound = 64;
 
 /// Canonical (links, rates) key — the dedup signature shared by the
 /// persistent pool and the per-query column sets.
@@ -32,20 +37,33 @@ std::vector<std::uint64_t> column_signature(const IndependentSet& set) {
   return key;
 }
 
+/// Deterministic Tier-0 order: best score first, pool index as tiebreak.
+bool better_candidate(const std::pair<double, std::size_t>& a,
+                      const std::pair<double, std::size_t>& b) {
+  return a.first > b.first || (a.first == b.first && a.second < b.second);
+}
+
 }  // namespace
 
 AdmissionEngine::AdmissionEngine(const InterferenceModel& model,
                                  ColumnGenOptions options)
+    : AdmissionEngine(model, AdmissionEngineOptions{options}) {}
+
+AdmissionEngine::AdmissionEngine(const InterferenceModel& model,
+                                 AdmissionEngineOptions options)
     : model_(&model),
-      options_(options),
+      options_(options.colgen),
+      shelf_capacity_(options.shelf_capacity),
       all_links_(model.num_links()),
-      bg_demand_(model.num_links(), 0.0),
-      bg_row_of_(model.num_links(), -1) {
+      bg_row_of_(model.num_links(), -1),
+      cols_of_link_(model.num_links()),
+      bg_blocked_(model.num_links(), 0) {
   std::iota(all_links_.begin(), all_links_.end(), net::LinkId{0});
+  bg_demand_.resize(model.num_links(), 0.0);
   // Epoch 0 — the empty background — is published from birth so
   // evaluate() never needs the commit lock, not even on the first call.
   auto snap = std::make_shared<Snapshot>();
-  snap->demand.assign(bg_demand_.size(), 0.0);
+  snap->demand = bg_demand_.share();
   published_ = std::move(snap);
 }
 
@@ -53,8 +71,13 @@ std::pair<std::size_t, bool> AdmissionEngine::pool_add(IndependentSet set) {
   const auto [it, fresh] =
       pool_index_.try_emplace(column_signature(set), pool_.size());
   if (fresh) {
+    const std::size_t idx = pool_.size();
+    for (const net::LinkId link : set.links)
+      cols_of_link_[link].push_back(static_cast<std::uint32_t>(idx));
     pool_.push_back(std::move(set));
-    pool_in_bg_master_.push_back(0);
+    master_var_of_pool_.push_back(-1);
+    pool_stamp_.push_back(0);
+    ++pool_live_;
   }
   return {it->second, fresh};
 }
@@ -67,9 +90,23 @@ void AdmissionEngine::seed_singleton(net::LinkId link) {
   set.rates = {*rate};
   set.mbps = {model_->rate_table()[*rate].mbps};
   const auto [idx, fresh] = pool_add(std::move(set));
-  if (!fresh && pool_in_bg_master_[idx]) return;
-  pool_in_bg_master_[idx] = 1;
+  (void)fresh;
+  if (master_var_of_pool_[idx] >= 0) return;
+  master_var_of_pool_[idx] = static_cast<int>(bg_master_cols_.size());
   bg_master_cols_.push_back(idx);
+}
+
+void AdmissionEngine::update_blocked(net::LinkId link) {
+  const char blocked =
+      bg_demand_[link] > 0.0 && !model_->max_rate_alone(link) ? 1 : 0;
+  if (blocked != bg_blocked_[link]) {
+    bg_blocked_[link] = blocked;
+    if (blocked)
+      ++bg_blocked_count_;
+    else
+      --bg_blocked_count_;
+  }
+  bg_impossible_ = bg_blocked_count_ > 0;
 }
 
 void AdmissionEngine::add_background(LinkFlow flow) {
@@ -90,14 +127,40 @@ void AdmissionEngine::add_background_locked(LinkFlow flow) {
       // so it cannot break the dual feasibility the row re-solve needs.
       seed_singleton(link);
     }
-    bg_demand_[link] += flow.demand_mbps;
-    if (bg_demand_[link] > 0.0 && !model_->max_rate_alone(link))
-      bg_impossible_ = true;
+    bg_demand_.mutate(link) += flow.demand_mbps;
+    update_blocked(link);
   }
   background_.push_back(std::move(flow));
   bg_dirty_ = true;
   publish_stale_ = true;
   ++stats_.commits;
+}
+
+std::size_t AdmissionEngine::preload_columns(
+    std::span<const IndependentSet> columns) {
+  const std::lock_guard<std::mutex> lock(commit_mu_);
+  std::size_t added = 0;
+  for (const IndependentSet& candidate : columns) {
+    if (candidate.links.empty()) continue;
+    MRWSN_REQUIRE(candidate.links.size() == candidate.rates.size(),
+                  "preloaded column needs one rate per link");
+    MRWSN_REQUIRE(std::is_sorted(candidate.links.begin(),
+                                 candidate.links.end()),
+                  "preloaded column links must be sorted ascending");
+    if (!model_->supports(candidate.links, candidate.rates)) continue;
+    IndependentSet set;
+    set.links = candidate.links;
+    set.rates = candidate.rates;
+    set.mbps.reserve(set.rates.size());
+    for (const phy::RateIndex rate : set.rates)
+      set.mbps.push_back(model_->rate_table()[rate].mbps);
+    if (pool_add(std::move(set)).second) ++added;
+  }
+  if (added > 0) {
+    stats_.pool_columns = pool_live_;
+    publish_stale_ = true;
+  }
+  return added;
 }
 
 void AdmissionEngine::clear() {
@@ -107,37 +170,61 @@ void AdmissionEngine::clear() {
 
 void AdmissionEngine::clear_locked() {
   background_.clear();
-  std::fill(bg_demand_.begin(), bg_demand_.end(), 0.0);
+  const std::size_t num_links = bg_demand_.size();
+  bg_demand_.clear();
+  bg_demand_.resize(num_links, 0.0);
   bg_links_.clear();
   std::fill(bg_row_of_.begin(), bg_row_of_.end(), -1);
   bg_master_cols_.clear();
-  std::fill(pool_in_bg_master_.begin(), pool_in_bg_master_.end(), 0);
+  std::fill(master_var_of_pool_.begin(), master_var_of_pool_.end(), -1);
   bg_master_ = lp::Problem(lp::Objective::kMinimize);
   bg_synced_cols_ = 0;
   bg_synced_rows_ = 0;
   bg_basis_.clear();
+  bg_basis_snap_.reset();
   bg_context_.reset();
   bg_airtime_ = 0.0;
   bg_feasible_ = true;
   bg_dirty_ = false;
   bg_impossible_ = false;
+  std::fill(bg_blocked_.begin(), bg_blocked_.end(), 0);
+  bg_blocked_count_ = 0;
   publish_stale_ = true;
 }
 
-std::size_t AdmissionEngine::extend_background_master() {
-  std::size_t added = 0;
-  for (std::size_t idx = 0; idx < pool_.size(); ++idx) {
-    if (pool_in_bg_master_[idx]) continue;
-    const IndependentSet& set = pool_[idx];
-    const bool usable =
-        std::all_of(set.links.begin(), set.links.end(),
-                    [this](net::LinkId e) { return bg_row_of_[e] >= 0; });
-    if (!usable) continue;
-    pool_in_bg_master_[idx] = 1;
+std::size_t AdmissionEngine::extend_background_master(
+    const std::vector<double>& weights, double floor) {
+  // Tier-0 pricing by scan: score every live out-of-master pool column
+  // whose links all sit on background rows, and fold in the improving
+  // ones (score > floor), best first, capped per round. Unlike the old
+  // fold-everything extension this keeps the master lean — a degenerate
+  // preloaded pool no longer bloats the LP (or stalls its convergence),
+  // because a column only enters when the duals actually pay for it.
+  std::vector<std::pair<double, std::size_t>> improving;
+  pool_.for_each([&](std::size_t idx, const IndependentSet& set) {
+    if (set.links.empty()) return;              // tombstoned by churn
+    if (master_var_of_pool_[idx] >= 0) return;  // already in the master
+    double score = 0.0;
+    bool fits = true;
+    for (std::size_t k = 0; k < set.links.size(); ++k) {
+      if (bg_row_of_[set.links[k]] < 0) {
+        fits = false;
+        break;
+      }
+      score += weights[set.links[k]] * set.mbps[k];
+    }
+    if (fits && score > floor) improving.emplace_back(score, idx);
+  });
+  const std::size_t take = std::min(kTier0PerRound, improving.size());
+  std::partial_sort(improving.begin(),
+                    improving.begin() + static_cast<std::ptrdiff_t>(take),
+                    improving.end(), better_candidate);
+  for (std::size_t i = 0; i < take; ++i) {
+    const std::size_t idx = improving[i].second;
+    master_var_of_pool_[idx] = static_cast<int>(bg_master_cols_.size());
     bg_master_cols_.push_back(idx);
-    ++added;
   }
-  return added;
+  return take;
 }
 
 void AdmissionEngine::sync_background_master() {
@@ -151,11 +238,18 @@ void AdmissionEngine::sync_background_master() {
   // so a pre-sync column can never touch a post-sync row: new columns
   // extend old rows via append_term and contribute the initial terms of
   // the new rows, never the other way around.
+  //
+  // A kRetiredColumn slot (churn retired the column before it was ever
+  // materialized) still gets its variable — a stillborn zero column at
+  // cost 1, which a minimization can never price in — so the VarId <->
+  // master-position bijection survives retirement.
   std::vector<std::vector<std::pair<lp::VarId, double>>> new_rows(
       bg_links_.size() - bg_synced_rows_);
   for (std::size_t i = bg_synced_cols_; i < bg_master_cols_.size(); ++i) {
-    const IndependentSet& set = pool_[bg_master_cols_[i]];
     const lp::VarId id = bg_master_.add_variable(1.0);
+    const std::size_t pool_idx = bg_master_cols_[i];
+    if (pool_idx == kRetiredColumn) continue;
+    const IndependentSet& set = pool_[pool_idx];
     for (std::size_t k = 0; k < set.links.size(); ++k) {
       const std::size_t r = static_cast<std::size_t>(bg_row_of_[set.links[k]]);
       if (r < bg_synced_rows_)
@@ -180,6 +274,7 @@ void AdmissionEngine::refresh_background() {
     bg_feasible_ = false;
     bg_airtime_ = std::numeric_limits<double>::infinity();
     bg_basis_.clear();
+    bg_basis_snap_.reset();
     bg_context_.reset();
     return;
   }
@@ -187,6 +282,7 @@ void AdmissionEngine::refresh_background() {
     bg_feasible_ = true;
     bg_airtime_ = 0.0;
     bg_basis_.clear();
+    bg_basis_snap_.reset();
     bg_context_.reset();
     return;
   }
@@ -213,8 +309,12 @@ void AdmissionEngine::refresh_background() {
     if (!bg_basis_.empty()) {
       solve_options.warm_start = &bg_basis_;
       // Only the first master after a commit has changed rows/rhs; later
-      // rounds append columns and chain primal warm starts as usual.
+      // rounds append columns and chain primal warm starts as usual. A
+      // genuine re-solve lands within a handful of dual pivots; the cap
+      // keeps a degenerate dual stall from costing more than the cold
+      // solve it is trying to avoid.
       solve_options.dual_resolve = first;
+      solve_options.dual_pivot_cap = master.num_constraints() + 64;
     }
     sol = lp::solve(master, solve_options);
     stats_.lp_pivots += lp_stats.pivots;
@@ -227,21 +327,10 @@ void AdmissionEngine::refresh_background() {
         stats_.last_fallback = lp_stats.fallback_reason;
       }
     }
+    first = false;
     if (!sol.optimal()) break;  // master infeasible cannot happen: every
                                 // demanded row holds its singleton column
     bg_basis_ = sol.basis;
-    if (first) {
-      first = false;
-      // Queries since the last refresh may have priced columns that fit
-      // the background universe; fold them in after the dual phase (a
-      // column append is exactly what the primal warm start supports).
-      // This is the background master's pool-first (Tier 0) pricing.
-      const std::size_t seeded = extend_background_master();
-      if (seeded > 0) {
-        stats_.tier0_columns += seeded;
-        continue;
-      }
-    }
 
     std::fill(weights.begin(), weights.end(), 0.0);
     for (std::size_t r = 0; r < bg_links_.size(); ++r)
@@ -249,13 +338,23 @@ void AdmissionEngine::refresh_background() {
     const double floor = 1.0 + options_.reduced_cost_tol;
     ++stats_.pricing_rounds;
 
+    // Tier 0: scored pool re-seeding against this round's duals. Columns
+    // priced by queries (or shelved by readers) since the last refresh
+    // enter here — but only when they actually improve this master.
+    const std::size_t seeded = extend_background_master(weights, floor);
+    if (seeded > 0) {
+      stats_.tier0_columns += seeded;
+      if (bg_master_cols_.size() > options_.max_columns) break;
+      continue;
+    }
+
     // Fold `set` into pool + background master; true when the master
     // gained the column.
     const auto fold_in = [&](const IndependentSet& set) {
       const auto [idx, was_fresh] = pool_add(set);
       (void)was_fresh;
-      if (pool_in_bg_master_[idx]) return false;
-      pool_in_bg_master_[idx] = 1;
+      if (master_var_of_pool_[idx] >= 0) return false;
+      master_var_of_pool_[idx] = static_cast<int>(bg_master_cols_.size());
       bg_master_cols_.push_back(idx);
       return true;
     };
@@ -290,13 +389,13 @@ void AdmissionEngine::refresh_background() {
     }
     const auto [idx, fresh] = pool_add(priced.set);
     if (!fresh) ++stats_.pool_hits;
-    if (pool_in_bg_master_[idx]) {
+    if (master_var_of_pool_[idx] >= 0) {
       // The oracle re-priced a master column: its reduced cost sits at the
       // tolerance boundary. The master is optimal for all purposes.
       converged = true;
       break;
     }
-    pool_in_bg_master_[idx] = 1;
+    master_var_of_pool_[idx] = static_cast<int>(bg_master_cols_.size());
     bg_master_cols_.push_back(idx);
     // The oracle's runner-up extras are feasible sets over the same rows
     // (zero weight outside the row set keeps their links inside it);
@@ -304,10 +403,13 @@ void AdmissionEngine::refresh_background() {
     for (const IndependentSet& extra : priced.extras) fold_in(extra);
     if (bg_master_cols_.size() > options_.max_columns) break;
   }
-  stats_.pool_columns = pool_.size();
+  stats_.pool_columns = pool_live_;
   bg_airtime_ = sol.optimal() ? sol.objective
                               : std::numeric_limits<double>::infinity();
   bg_feasible_ = converged && bg_airtime_ <= 1.0 + kAirtimeTol;
+  // Freeze the refreshed basis once; every publish until the next
+  // re-solve aliases this copy instead of copying the basis again.
+  bg_basis_snap_ = std::make_shared<const lp::Basis>(bg_basis_);
 }
 
 double AdmissionEngine::background_airtime() {
@@ -332,27 +434,36 @@ AdmissionAnswer AdmissionEngine::solve_query(
   if (!bg.feasible) return answer;  // Eq. 6 infeasible: nothing available
   answer.background_feasible = true;
 
+  const LinkSeg& bg_links = *bg.links;
+  const DemandSeg& bg_demand = *bg.demand;
+  const IndexSeg& master_cols = *bg.master_cols;
+  const PoolSeg& pool = *bg.pool;
+
   // Canonical universe: background links plus the query path.
-  std::vector<net::LinkId> universe(bg.links.begin(), bg.links.end());
+  std::vector<net::LinkId> universe(bg_links.begin(), bg_links.end());
   universe.insert(universe.end(), path.begin(), path.end());
   std::sort(universe.begin(), universe.end());
   universe.erase(std::unique(universe.begin(), universe.end()),
                  universe.end());
-  std::vector<int> position(bg.demand.size(), -1);
+  std::vector<int> position(bg_demand.size(), -1);
   for (std::size_t p = 0; p < universe.size(); ++p) {
-    MRWSN_REQUIRE(universe[p] < bg.demand.size(),
+    MRWSN_REQUIRE(universe[p] < bg_demand.size(),
                   "admission query references an unknown link");
     position[universe[p]] = static_cast<int>(p);
   }
-  std::vector<char> on_path(bg.demand.size(), 0);
+  std::vector<char> on_path(bg_demand.size(), 0);
   for (const net::LinkId link : path) on_path[link] = 1;
 
-  // The query's column set: every pool column that fits the universe
-  // (pool-first / Tier 0 seeding), plus singletons for universe links the
-  // pool subset leaves uncovered, plus whatever pricing generates.
-  // Pointers stay valid because `generated` never reallocates (reserved to
-  // its worst case up front). `seen` holds every column's canonical
-  // signature so later oracle output dedups in one set lookup.
+  // The query's column set, seeded LEAN: the background master's live
+  // columns (their links all sit on background rows ⊂ universe, and they
+  // carry the warm basis), singletons for universe links those leave
+  // uncovered, then per-round Tier-0 improving pool columns and whatever
+  // pricing generates. Seeding the master instead of every fitting pool
+  // column is what makes the query LP track the active basis size, not
+  // the pool size. Pointers stay valid because `generated` never
+  // reallocates (reserved to its worst case up front) and pool chunks are
+  // immutable for the duration of the solve. `seen` holds every column's
+  // canonical signature so later oracle output dedups in one set lookup.
   std::vector<const IndependentSet*> columns;
   std::set<Signature> seen;
   std::vector<IndependentSet> generated;
@@ -361,18 +472,40 @@ AdmissionAnswer AdmissionEngine::solve_query(
   // exact best set with up to three.
   generated.reserve(universe.size() + 6 * (options_.max_rounds + 1));
   std::vector<char> covered(universe.size(), 0);
-  std::vector<int> column_of_pool(bg.pool.size(), -1);
-  for (std::size_t idx = 0; idx < bg.pool.size(); ++idx) {
-    const IndependentSet& set = bg.pool[idx];
-    const bool usable =
-        std::all_of(set.links.begin(), set.links.end(),
-                    [&](net::LinkId e) { return position[e] >= 0; });
-    if (!usable) continue;
-    column_of_pool[idx] = static_cast<int>(columns.size());
+  std::vector<char> pool_used(pool.size(), 0);
+  // Master position -> query column slot, for the warm-basis remap.
+  std::vector<int> col_of_master_pos(master_cols.size(), -1);
+
+  const auto add_pool_column = [&](std::size_t idx) {
+    const IndependentSet& set = pool[idx];
+    pool_used[idx] = 1;
+    const int slot = static_cast<int>(columns.size());
     columns.push_back(&set);
     seen.insert(column_signature(set));
-    if (set.size() == 1)
+    if (set.size() == 1 && position[set.links[0]] >= 0)
       covered[static_cast<std::size_t>(position[set.links[0]])] = 1;
+    return slot;
+  };
+
+  // Seed exactly the basis-referenced master columns: those reproduce
+  // the background's optimal point (the warm start below), while the
+  // master's nonbasic columns — and the rest of the pool — stay behind
+  // the per-round Tier-0 scan and only enter if this query's own duals
+  // ask for them. The query LP therefore starts at basis size, not
+  // master or pool size.
+  const bool basis_usable =
+      bg.basis && bg.basis->size() == bg_links.size() && !bg.basis->empty();
+  if (basis_usable) {
+    for (const lp::BasisEntry& entry : *bg.basis) {
+      if (entry.kind != lp::BasisEntry::Kind::kStructural) continue;
+      const std::size_t pos = static_cast<std::size_t>(entry.index);
+      if (pos >= master_cols.size()) continue;
+      const std::size_t pool_idx = master_cols[pos];
+      if (pool_idx == kRetiredColumn || pool[pool_idx].links.empty())
+        continue;  // retired under churn; the basis repair fell to slack
+      if (col_of_master_pos[pos] < 0)
+        col_of_master_pos[pos] = add_pool_column(pool_idx);
+    }
   }
   answer.tier0_columns = columns.size();
   for (std::size_t p = 0; p < universe.size(); ++p) {
@@ -396,21 +529,31 @@ AdmissionAnswer AdmissionEngine::solve_query(
   // phase 1 outright and phase 2 only has to drive f up — the bulk of a
   // cold two-phase solve disappears from every query.
   lp::Basis basis;
-  if (bg.basis && bg.basis->size() == bg.links.size() && !bg.basis->empty()) {
+  if (basis_usable) {
     basis.assign(1 + universe.size(), lp::BasisEntry{});
     basis[0] = {lp::BasisEntry::Kind::kSlack, 0};
     for (std::size_t p = 0; p < universe.size(); ++p)
       basis[1 + p] = {lp::BasisEntry::Kind::kSlack, static_cast<int>(1 + p)};
-    for (std::size_t r = 0; r < bg.links.size(); ++r) {
-      const int q = 1 + position[bg.links[r]];
+    for (std::size_t r = 0; r < bg_links.size(); ++r) {
+      const int q = 1 + position[bg_links[r]];
       const lp::BasisEntry& entry = (*bg.basis)[r];
       if (entry.kind == lp::BasisEntry::Kind::kSlack) {
-        basis[static_cast<std::size_t>(q)] = {lp::BasisEntry::Kind::kSlack, q};
+        // entry.index is the background row whose slack is basic — not
+        // necessarily row r, the entry's position — so the slack's row is
+        // remapped through the same link -> query-row translation.
+        const std::size_t row = static_cast<std::size_t>(entry.index);
+        if (row >= bg_links.size()) {
+          basis.clear();
+          break;
+        }
+        basis[static_cast<std::size_t>(q)] = {
+            lp::BasisEntry::Kind::kSlack, 1 + position[bg_links[row]]};
         continue;
       }
-      const int column = column_of_pool[bg.master_cols[
-          static_cast<std::size_t>(entry.index)]];
-      if (column < 0) {  // snapshot misses a background-basic column
+      const std::size_t pos = static_cast<std::size_t>(entry.index);
+      const int column =
+          pos < col_of_master_pos.size() ? col_of_master_pos[pos] : -1;
+      if (column < 0) {  // the basic column did not survive into the query
         basis.clear();
         break;
       }
@@ -452,8 +595,18 @@ AdmissionAnswer AdmissionEngine::solve_query(
     }
     for (std::size_t p = 0; p < universe.size(); ++p)
       master.add_constraint(rows[p], lp::Sense::kGreaterEqual,
-                            bg.demand[universe[p]]);
+                            bg_demand[universe[p]]);
   }
+
+  // Append one column to the master LP in place.
+  const auto append_master_column = [&](const IndependentSet& added) {
+    const lp::VarId id = master.add_variable(0.0);
+    master.append_term(0, id, 1.0);
+    for (std::size_t k = 0; k < added.links.size(); ++k)
+      master.append_term(
+          1 + static_cast<std::size_t>(position[added.links[k]]), id,
+          added.mbps[k]);
+  };
 
   for (std::size_t round = 0; round <= options_.max_rounds; ++round) {
     lp::SolveOptions solve_options;
@@ -476,19 +629,45 @@ AdmissionAnswer AdmissionEngine::solve_query(
         std::max(0.0, sol.dual(0)) + options_.reduced_cost_tol;
     ++answer.pricing_rounds;
 
+    // Tier 0: scored pool scan against this round's duals — the pool
+    // seeds the master on demand instead of wholesale, so a query's LP
+    // carries only the columns its own duals asked for.
+    {
+      std::vector<std::pair<double, std::size_t>> improving;
+      pool.for_each([&](std::size_t idx, const IndependentSet& set) {
+        if (pool_used[idx] || set.links.empty()) return;
+        double score = 0.0;
+        bool fits = true;
+        for (std::size_t k = 0; k < set.links.size(); ++k) {
+          if (position[set.links[k]] < 0) {
+            fits = false;
+            break;
+          }
+          score += weights[set.links[k]] * set.mbps[k];
+        }
+        if (fits && score > floor) improving.emplace_back(score, idx);
+      });
+      const std::size_t take = std::min(kTier0PerRound, improving.size());
+      std::partial_sort(improving.begin(),
+                        improving.begin() + static_cast<std::ptrdiff_t>(take),
+                        improving.end(), better_candidate);
+      for (std::size_t i = 0; i < take; ++i)
+        append_master_column(*columns[static_cast<std::size_t>(
+            add_pool_column(improving[i].second))]);
+      if (take > 0) {
+        answer.tier0_columns += take;
+        if (columns.size() > options_.max_columns) break;
+        continue;
+      }
+    }
+
     // Signature-set dedup against this query's columns; true when the
     // master gained the column.
     const auto add_column = [&](const IndependentSet& set) {
       if (!seen.insert(column_signature(set)).second) return false;
       generated.push_back(set);
       columns.push_back(&generated.back());
-      const IndependentSet& added = generated.back();
-      const lp::VarId id = master.add_variable(0.0);
-      master.append_term(0, id, 1.0);
-      for (std::size_t k = 0; k < added.links.size(); ++k)
-        master.append_term(
-            1 + static_cast<std::size_t>(position[added.links[k]]), id,
-            added.mbps[k]);
+      append_master_column(generated.back());
       return true;
     };
 
@@ -547,22 +726,22 @@ AdmissionAnswer AdmissionEngine::solve_query(
 AdmissionEngine::BackgroundView AdmissionEngine::engine_view() const {
   BackgroundView view;
   view.feasible = bg_feasible_;
-  view.links = bg_links_;
-  view.demand = bg_demand_;
+  view.links = &bg_links_;
+  view.demand = &bg_demand_;
   view.basis = &bg_basis_;
-  view.master_cols = bg_master_cols_;
-  view.pool = pool_;
+  view.master_cols = &bg_master_cols_;
+  view.pool = &pool_;
   return view;
 }
 
 AdmissionEngine::BackgroundView AdmissionEngine::view_of(const Snapshot& snap) {
   BackgroundView view;
   view.feasible = snap.feasible;
-  view.links = snap.links;
-  view.demand = snap.demand;
-  view.basis = &snap.basis;
-  view.master_cols = snap.master_cols;
-  view.pool = snap.pool;
+  view.links = &snap.links;
+  view.demand = &snap.demand;
+  view.basis = snap.basis ? snap.basis.get() : nullptr;
+  view.master_cols = &snap.master_cols;
+  view.pool = &snap.pool;
   return view;
 }
 
@@ -585,7 +764,7 @@ AdmissionAnswer AdmissionEngine::query_locked(
   stats_.tier0_columns += answer.tier0_columns;
   stats_.heuristic_columns += answer.heuristic_columns;
   stats_.exact_rounds += answer.exact_rounds;
-  stats_.pool_columns = pool_.size();
+  stats_.pool_columns = pool_live_;
   return answer;
 }
 
@@ -633,7 +812,7 @@ std::vector<AdmissionAnswer> AdmissionEngine::query_batch(
     stats_.exact_rounds += answers[i].exact_rounds;
   }
   stats_.queries += queries.size();
-  stats_.pool_columns = pool_.size();
+  stats_.pool_columns = pool_live_;
   return answers;
 }
 
@@ -645,16 +824,21 @@ AdmissionEngine::SnapshotPtr AdmissionEngine::published() const {
 }
 
 void AdmissionEngine::publish_locked() {
+  // O(Δ) publication: every SegVector share() is a spine of chunk-pointer
+  // copies — epoch N+1 aliases every chunk this commit/churn event did
+  // not touch from epoch N — and the basis is aliased from the frozen
+  // copy the last background re-solve left behind. Nothing here scales
+  // with the background or pool size beyond chunk-count pointer copies.
   auto snap = std::make_shared<Snapshot>();
   snap->epoch = ++epoch_counter_;
   snap->feasible = bg_feasible_;
   snap->airtime = bg_airtime_;
-  snap->background = background_;
-  snap->links = bg_links_;
-  snap->demand = bg_demand_;
-  snap->basis = bg_basis_;
-  snap->master_cols = bg_master_cols_;
-  snap->pool = pool_;
+  snap->background = background_.share();
+  snap->links = bg_links_.share();
+  snap->demand = bg_demand_.share();
+  snap->basis = bg_basis_snap_;
+  snap->master_cols = bg_master_cols_.share();
+  snap->pool = pool_.share();
   publish_stale_ = false;
   const std::lock_guard<std::mutex> lock(snap_mu_);
   published_ = std::move(snap);
@@ -673,7 +857,7 @@ std::size_t AdmissionEngine::merge_shelved_locked() {
     if (!model_->supports(set.links, set.rates)) continue;
     if (pool_add(std::move(set)).second) ++merged;
   }
-  if (merged > 0) stats_.pool_columns = pool_.size();
+  if (merged > 0) stats_.pool_columns = pool_live_;
   return merged;
 }
 
@@ -714,17 +898,25 @@ AdmissionAnswer AdmissionEngine::evaluate(std::span<const net::LinkId> path,
   answer.epoch = snap->epoch;
   if (!fresh.empty()) {
     // Shelve reader-priced columns for the next commit to fold into the
-    // persistent pool; bounded so a pathological query storm cannot grow
-    // the shelf without a commit ever draining it.
-    constexpr std::size_t kShelfCap = 4096;
-    const std::lock_guard<std::mutex> lock(shelf_mu_);
+    // persistent pool; bounded (AdmissionEngineOptions::shelf_capacity)
+    // so a pathological query storm cannot grow the shelf without a
+    // commit ever draining it. Overflow is dropped and counted.
     std::size_t taken = 0;
-    for (IndependentSet& set : fresh) {
-      if (shelf_.size() >= kShelfCap) break;
-      shelf_.push_back(std::move(set));
-      ++taken;
+    std::size_t dropped = 0;
+    {
+      const std::lock_guard<std::mutex> lock(shelf_mu_);
+      for (IndependentSet& set : fresh) {
+        if (shelf_.size() >= shelf_capacity_) {
+          ++dropped;
+          continue;
+        }
+        shelf_.push_back(std::move(set));
+        ++taken;
+      }
     }
     read_shelved_.fetch_add(taken, std::memory_order_relaxed);
+    if (dropped > 0)
+      read_shelf_dropped_.fetch_add(dropped, std::memory_order_relaxed);
   }
   read_queries_.fetch_add(1, std::memory_order_relaxed);
   read_rounds_.fetch_add(answer.pricing_rounds, std::memory_order_relaxed);
@@ -773,6 +965,38 @@ std::uint64_t AdmissionEngine::apply_topology_delta(
   return epoch_counter_;
 }
 
+void AdmissionEngine::retire_pool_column(std::size_t idx) {
+  const IndependentSet& column = pool_[idx];
+  pool_index_.erase(column_signature(column));
+  const int pos = master_var_of_pool_[idx];
+  if (pos >= 0) {
+    master_var_of_pool_[idx] = -1;
+    if (static_cast<std::size_t>(pos) < bg_synced_cols_) {
+      // Materialized: zero the column out of its rows in place. The LP
+      // variable survives as an inert placeholder — a zero column at cost
+      // 1 can never price into the minimization — so every other master
+      // position (and therefore the saved basis and its factorization,
+      // when the retiree was nonbasic) stays exactly as it was.
+      for (const net::LinkId link : column.links)
+        bg_master_.remove_term(static_cast<std::size_t>(bg_row_of_[link]),
+                               pos);
+      // A retired basic column hands its row back to that row's slack.
+      // The patched basis need not stay feasible — the next re-solve's
+      // dual audit (or the primal warm-start check) falls back cold when
+      // the churn cut too deep; results never change.
+      for (std::size_t r = 0; r < bg_basis_.size(); ++r) {
+        lp::BasisEntry& entry = bg_basis_[r];
+        if (entry.kind == lp::BasisEntry::Kind::kStructural &&
+            entry.index == pos)
+          entry = {lp::BasisEntry::Kind::kSlack, static_cast<int>(r)};
+      }
+    }
+    bg_master_cols_.set(static_cast<std::size_t>(pos), kRetiredColumn);
+  }
+  pool_.set(idx, IndependentSet{});  // tombstone; slot index stays stable
+  --pool_live_;
+}
+
 void AdmissionEngine::repair_engine_locked(const ModelRepair& repair) {
   const std::size_t num_links = model_->num_links();
   MRWSN_REQUIRE(num_links >= bg_demand_.size(),
@@ -784,97 +1008,45 @@ void AdmissionEngine::repair_engine_locked(const ModelRepair& repair) {
               all_links_.end(), static_cast<net::LinkId>(old_size));
     bg_demand_.resize(num_links, 0.0);
     bg_row_of_.resize(num_links, -1);
+    bg_blocked_.resize(num_links, 0);
+    cols_of_link_.resize(num_links);
   }
 
-  std::vector<char> affected(num_links, 0);
+  // Revalidate-or-retire ONLY the columns of affected links — the
+  // inverted index makes churn O(Δ) in the pool dimension. A column with
+  // no affected member is untouched by construction: an independent set's
+  // feasibility involves only its own members' endpoints, and the repair
+  // lists every link whose endpoints moved. The stamp dedups columns
+  // touching several affected links.
+  ++churn_stamp_;
+  std::size_t dropped = 0;
   for (const net::LinkId link : repair.links) {
     MRWSN_REQUIRE(link < num_links, "repair references an unknown link");
-    affected[link] = 1;
-  }
-
-  // Revalidate-or-drop over the pool. A column with no affected member is
-  // untouched by construction — an independent set's feasibility involves
-  // only its own members' endpoints, and the repair lists every link whose
-  // endpoints moved — so only columns touching an affected link pay the
-  // supports() check.
-  constexpr std::size_t kDropped = static_cast<std::size_t>(-1);
-  std::vector<std::size_t> remap(pool_.size(), kDropped);
-  std::vector<IndependentSet> kept;
-  kept.reserve(pool_.size());
-  std::size_t dropped = 0;
-  for (std::size_t idx = 0; idx < pool_.size(); ++idx) {
-    IndependentSet& set = pool_[idx];
-    const bool touched =
-        std::any_of(set.links.begin(), set.links.end(),
-                    [&](net::LinkId e) { return affected[e] != 0; });
-    if (touched && !model_->supports(set.links, set.rates)) {
+    for (const std::uint32_t idx : cols_of_link_[link]) {
+      if (pool_stamp_[idx] == churn_stamp_) continue;
+      pool_stamp_[idx] = churn_stamp_;
+      const IndependentSet& set = pool_[idx];
+      if (set.links.empty()) continue;  // tombstoned by an earlier repair
+      if (model_->supports(set.links, set.rates)) continue;
+      retire_pool_column(idx);
       ++dropped;
-      continue;
     }
-    remap[idx] = kept.size();
-    kept.push_back(std::move(set));
   }
-  pool_ = std::move(kept);
-  pool_index_.clear();
-  for (std::size_t idx = 0; idx < pool_.size(); ++idx)
-    pool_index_.emplace(column_signature(pool_[idx]), idx);
   stats_.columns_dropped += dropped;
 
-  // Background master: surviving columns keep their relative order (which
-  // is what lets the saved basis remap by position), then every background
-  // row re-seeds its singleton — the invariant that keeps the master
-  // feasible whenever the background is not impossible.
-  const std::vector<std::size_t> old_master_cols = std::move(bg_master_cols_);
-  bg_master_cols_.clear();
-  pool_in_bg_master_.assign(pool_.size(), 0);
-  std::vector<std::size_t> master_pos(old_master_cols.size(), kDropped);
-  for (std::size_t i = 0; i < old_master_cols.size(); ++i) {
-    const std::size_t idx = remap[old_master_cols[i]];
-    if (idx == kDropped) continue;
-    master_pos[i] = bg_master_cols_.size();
-    pool_in_bg_master_[idx] = 1;
-    bg_master_cols_.push_back(idx);
+  // Affected background rows re-seed their singleton (the old one may
+  // have just been retired, or a moved endpoint may now admit a better
+  // rate) and refresh their blocked flag; unaffected links' alone-rates
+  // cannot have changed, so the rest of the background needs nothing.
+  for (const net::LinkId link : repair.links) {
+    if (bg_row_of_[link] >= 0) seed_singleton(link);
+    update_blocked(link);
   }
-  for (const net::LinkId link : bg_links_) seed_singleton(link);
-
-  // Re-materialize the master from scratch: zero sync marks tell the next
-  // sync_background_master() that nothing is materialized yet, and the
-  // stale factorization dies with the old problem.
-  bg_master_ = lp::Problem(lp::Objective::kMinimize);
-  bg_synced_cols_ = 0;
-  bg_synced_rows_ = 0;
-  bg_context_.reset();
-
-  // Basis repair: structural entries follow their column to its new
-  // position; a deleted basic column hands its row back to that row's
-  // slack. The repaired basis need not stay dual feasible — the re-solve
-  // audits it on entry and falls back cold when the churn cut too deep.
-  if (bg_basis_.size() == bg_links_.size() && !bg_basis_.empty()) {
-    for (std::size_t r = 0; r < bg_basis_.size(); ++r) {
-      lp::BasisEntry& entry = bg_basis_[r];
-      if (entry.kind != lp::BasisEntry::Kind::kStructural) continue;
-      const std::size_t old_pos = static_cast<std::size_t>(entry.index);
-      if (old_pos < master_pos.size() && master_pos[old_pos] != kDropped)
-        entry.index = static_cast<int>(master_pos[old_pos]);
-      else
-        entry = {lp::BasisEntry::Kind::kSlack, static_cast<int>(r)};
-    }
-  } else {
-    bg_basis_.clear();
-  }
-
-  // Impossibility is a property of (demand, model): recompute what a cold
-  // engine's add_background replay would have concluded on the mutated
-  // topology — churn can introduce it AND cure it.
-  bg_impossible_ = false;
-  for (const net::LinkId link : bg_links_)
-    if (bg_demand_[link] > 0.0 && !model_->max_rate_alone(link))
-      bg_impossible_ = true;
 
   bg_dirty_ = true;
   publish_stale_ = true;
   ++stats_.topology_repairs;
-  stats_.pool_columns = pool_.size();
+  stats_.pool_columns = pool_live_;
 }
 
 void AdmissionEngine::evict() {

@@ -12,6 +12,7 @@
 
 #include "core/available_bandwidth.hpp"
 #include "lp/simplex.hpp"
+#include "util/seg_vector.hpp"
 
 namespace mrwsn::core {
 
@@ -78,6 +79,17 @@ struct AdmissionEngineStats {
                                                      ///< latest cold fall
   std::size_t topology_repairs = 0;  ///< apply_topology_delta() calls
   std::size_t columns_dropped = 0;   ///< pool columns invalidated by churn
+  std::size_t shelf_dropped = 0;  ///< reader columns lost to a full shelf
+};
+
+/// Engine construction knobs beyond column generation.
+struct AdmissionEngineOptions {
+  ColumnGenOptions colgen;
+  /// Capacity of the reader column shelf: fresh columns priced by
+  /// evaluate() park here until the next commit folds them into the pool.
+  /// Overflow is dropped (counted in AdmissionEngineStats::shelf_dropped)
+  /// so a query storm with no commits cannot grow the shelf unboundedly.
+  std::size_t shelf_capacity = 4096;
 };
 
 /// Long-lived batch admission engine: amortizes the expensive substrate of
@@ -140,25 +152,50 @@ struct AdmissionEngineStats {
 /// Tier 0 is structural here and `tier0_columns` counts that seeding.
 class AdmissionEngine {
  public:
+  /// Committed state lives in persistent chunked vectors (structure
+  /// sharing): publishing epoch N+1 aliases every chunk a commit or churn
+  /// event did not touch from epoch N, so the publish step is O(Δ) pointer
+  /// copies instead of a deep copy of the background. Chunk sizes follow
+  /// element weight — small for heavy IndependentSet/LinkFlow records,
+  /// larger for scalars.
+  using PoolSeg = util::SegVector<IndependentSet, 64>;
+  using FlowSeg = util::SegVector<LinkFlow, 64>;
+  using LinkSeg = util::SegVector<net::LinkId, 256>;
+  using DemandSeg = util::SegVector<double, 256>;
+  using IndexSeg = util::SegVector<std::size_t, 256>;
+
+  /// Sentinel in `master_cols` / `bg_master_cols_`: the master column at
+  /// this position was retired by churn. Its LP variable stays allocated
+  /// (a zero column at cost 1 can never price into a minimization) so the
+  /// VarId <-> master-position bijection — which saved bases rely on —
+  /// survives in-place retirement.
+  static constexpr std::size_t kRetiredColumn =
+      static_cast<std::size_t>(-1);
+
   /// One published epoch of committed state: everything an evaluate-only
   /// query needs, immutable, shared by reference count. `pool` is the
-  /// persistent column pool as of publication; `master_cols` indexes into
-  /// it and `basis` is the background master's optimal basis over `links`.
+  /// persistent column pool as of publication (retired columns read as
+  /// empty sets); `master_cols` indexes into it (kRetiredColumn marks a
+  /// retired position) and `basis` is the background master's optimal
+  /// basis over `links`, aliased — not copied — from the writer's own
+  /// refreshed copy.
   struct Snapshot {
     std::uint64_t epoch = 0;
     bool feasible = true;
     double airtime = 0.0;
-    std::vector<LinkFlow> background;
-    std::vector<net::LinkId> links;   ///< background rows, first-seen order
-    std::vector<double> demand;       ///< by link id, num_links entries
-    lp::Basis basis;
-    std::vector<std::size_t> master_cols;
-    std::vector<IndependentSet> pool;
+    FlowSeg background;
+    LinkSeg links;     ///< background rows, first-seen order
+    DemandSeg demand;  ///< by link id, num_links entries
+    std::shared_ptr<const lp::Basis> basis;
+    IndexSeg master_cols;
+    PoolSeg pool;
   };
   using SnapshotPtr = std::shared_ptr<const Snapshot>;
 
   explicit AdmissionEngine(const InterferenceModel& model,
                            ColumnGenOptions options = {});
+  AdmissionEngine(const InterferenceModel& model,
+                  AdmissionEngineOptions options);
 
   /// Evaluate one path against the current background; commits nothing.
   AdmissionAnswer query(std::span<const net::LinkId> path,
@@ -177,7 +214,15 @@ class AdmissionEngine {
   /// Commit a flow unconditionally (preloading a scenario's background).
   void add_background(LinkFlow flow);
 
-  std::span<const LinkFlow> background() const { return background_; }
+  /// Seed the persistent column pool with externally generated columns
+  /// (e.g. a previous run's pool, or synthesized warm-up sets). Each
+  /// candidate must be a sorted rate-coupled set; its mbps vector is
+  /// recomputed from the model's rate table, candidates the current model
+  /// does not support are skipped, and duplicates dedup against the pool.
+  /// Returns how many columns were actually added. Does not publish.
+  std::size_t preload_columns(std::span<const IndependentSet> columns);
+
+  const FlowSeg& background() const { return background_; }
 
   /// Drop the background state. The column pool and the model's caches
   /// survive — they depend only on the topology, and keeping them warm
@@ -189,7 +234,14 @@ class AdmissionEngine {
   double background_airtime();
   bool background_feasible();
 
-  const AdmissionEngineStats& stats() const { return stats_; }
+  /// Lifetime telemetry, by value: `shelf_dropped` is folded in from the
+  /// read side's atomic counter, which has no home in the unguarded
+  /// writer-side struct.
+  AdmissionEngineStats stats() const {
+    AdmissionEngineStats out = stats_;
+    out.shelf_dropped = read_shelf_dropped_.load(std::memory_order_relaxed);
+    return out;
+  }
 
   // --- Concurrent service surface (see the class comment) ---
 
@@ -218,13 +270,15 @@ class AdmissionEngine {
   /// network/model this engine was built over.
   ///
   /// The repair keeps every background flow and re-prices the world that
-  /// changed: link-indexed state grows for appended link ids, pool columns
-  /// touching an affected link are revalidated against the mutated model
-  /// (dropped when no longer supported, kept otherwise), the background
-  /// master is re-materialized over the surviving columns with its basis
-  /// remapped (deleted basic columns fall back to their row's slack), and
-  /// the background re-solve chains the usual audited dual warm start.
-  /// Publishes the repaired state as the next epoch and returns it.
+  /// changed, in O(Δ): link-indexed state grows for appended link ids,
+  /// the columns of affected links (via the link->columns inverted index)
+  /// are revalidated against the mutated model — a column no longer
+  /// supported is tombstoned in the pool and retired from the live master
+  /// IN PLACE (its terms zeroed out of its rows, a basis slot it held
+  /// handed back to the row's slack), never by re-materializing the
+  /// master — and the background re-solve chains the usual audited dual
+  /// warm start with the cold fallback as safety net. Publishes the
+  /// repaired state as the next epoch and returns it.
   ///
   /// Parity contract (held by the churn fuzz suite): the repaired engine's
   /// background airtime/feasibility and query answers match a cold
@@ -257,11 +311,11 @@ class AdmissionEngine {
   /// lock held) or over an immutable Snapshot (evaluate()).
   struct BackgroundView {
     bool feasible = true;
-    std::span<const net::LinkId> links;
-    std::span<const double> demand;  ///< by link id; size() = num_links
+    const LinkSeg* links = nullptr;
+    const DemandSeg* demand = nullptr;  ///< by link id; size() = num_links
     const lp::Basis* basis = nullptr;
-    std::span<const std::size_t> master_cols;
-    std::span<const IndependentSet> pool;
+    const IndexSeg* master_cols = nullptr;
+    const PoolSeg* pool = nullptr;
   };
   static BackgroundView view_of(const Snapshot& snap);
   BackgroundView engine_view() const;  // over members; commit lock held
@@ -271,12 +325,27 @@ class AdmissionEngine {
   /// Ensure the singleton column of `link` exists in pool and background
   /// master (no-op when the link carries no rate).
   void seed_singleton(net::LinkId link);
-  /// Append every pool column that fits the background universe but is
-  /// absent from the background master. Returns how many were added.
-  std::size_t extend_background_master();
+  /// Tier-0 pricing for the background master: score every live pool
+  /// column that fits the background rows against the current duals and
+  /// fold in the improving ones (score > floor), best first, at most
+  /// kTier0PerRound per call. Returns how many were added. This replaces
+  /// the old fold-everything extension — the master only ever holds
+  /// columns the duals asked for, so its size tracks the active basis,
+  /// not the pool.
+  std::size_t extend_background_master(const std::vector<double>& weights,
+                                       double floor);
+  /// Retire one pool column in place: tombstone the pool slot, erase the
+  /// dedup index, zero its materialized master column (keeping the LP
+  /// variable as an inert placeholder), and hand any basis slot it held
+  /// back to that row's slack.
+  void retire_pool_column(std::size_t idx);
+  /// Recompute the blocked flag of one link (demanded but rate-less) and
+  /// keep the aggregate count in step; bg_impossible_ == count > 0.
+  void update_blocked(net::LinkId link);
   /// Bring bg_master_ (the long-lived min-airtime Problem) up to date with
   /// bg_master_cols_ / bg_links_ / bg_demand_: new columns and rows are
-  /// appended in place, demands refreshed via set_rhs. Never rebuilds.
+  /// appended in place (kRetiredColumn slots as stillborn variables),
+  /// demands refreshed via set_rhs. Never rebuilds.
   void sync_background_master();
   /// Re-solve the background master if commits happened since, chaining
   /// the dual-simplex row re-solve into the pricing loop.
@@ -302,6 +371,7 @@ class AdmissionEngine {
 
   const InterferenceModel* model_;
   ColumnGenOptions options_;
+  std::size_t shelf_capacity_ = 4096;
 
   // Every link id in ascending order. Pricing always runs over this one
   // canonical universe (with zero weight outside the active row set), so
@@ -309,30 +379,53 @@ class AdmissionEngine {
   // engine lifetime instead of once per distinct background ∪ path set.
   std::vector<net::LinkId> all_links_;
 
-  std::vector<LinkFlow> background_;
-  std::vector<double> bg_demand_;      // by link id, model_->num_links()
-  std::vector<net::LinkId> bg_links_;  // background rows, first-seen order
-  std::vector<int> bg_row_of_;         // by link id; -1 = no row
+  FlowSeg background_;
+  DemandSeg bg_demand_;   // by link id, model_->num_links()
+  LinkSeg bg_links_;      // background rows, first-seen order
+  std::vector<int> bg_row_of_;  // by link id; -1 = no row
 
-  std::vector<IndependentSet> pool_;   // persistent cross-query columns
-  std::map<Signature, std::size_t> pool_index_;
+  // Persistent cross-query columns. Pool indices are STABLE for the
+  // engine's lifetime: churn tombstones a dead column in place (an empty
+  // IndependentSet) instead of compacting, which is what keeps every
+  // published epoch's master_cols and every inverted-index entry valid
+  // without a remap. Every pool scan skips `links.empty()` slots.
+  PoolSeg pool_;
+  std::map<Signature, std::size_t> pool_index_;  // live columns only
+  std::size_t pool_live_ = 0;                    // non-tombstoned count
+  // Inverted index link -> pool columns containing it, so churn touches
+  // only the columns of affected links (O(Δ)) instead of scanning the
+  // pool. Entries go stale on tombstoning (skipped via links.empty()).
+  std::vector<std::vector<std::uint32_t>> cols_of_link_;
+  // Churn revalidation stamps: a column touching two affected links is
+  // checked once per repair, not once per link.
+  std::vector<std::uint64_t> pool_stamp_;  // parallel to pool_
+  std::uint64_t churn_stamp_ = 0;
 
-  std::vector<std::size_t> bg_master_cols_;  // pool indices, append-only
-  std::vector<char> pool_in_bg_master_;      // parallel to pool_
+  IndexSeg bg_master_cols_;  // pool indices; append-only positions,
+                             // kRetiredColumn marks churn-retired slots
+  std::vector<int> master_var_of_pool_;  // parallel to pool_; master
+                                         // position / VarId, -1 = absent
 
   // The background master LP lives as long as the background state and
-  // only ever grows in place (columns via append_term, rows via
-  // add_constraint, demands via set_rhs); bg_synced_* mark how much of
-  // bg_master_cols_ / bg_links_ has been materialized into it.
+  // only ever mutates in place (columns via append_term, rows via
+  // add_constraint, demands via set_rhs, churn retirement via
+  // remove_term); bg_synced_* mark how much of bg_master_cols_ /
+  // bg_links_ has been materialized into it.
   lp::Problem bg_master_{lp::Objective::kMinimize};
   std::size_t bg_synced_cols_ = 0;
   std::size_t bg_synced_rows_ = 0;
   lp::Basis bg_basis_;
+  // Frozen copy of bg_basis_ refreshed once per background re-solve;
+  // publish_locked() aliases it into each snapshot, so an epoch costs no
+  // basis copy at all when the basis did not move (rejected commits).
+  std::shared_ptr<const lp::Basis> bg_basis_snap_;
   lp::RevisedContext bg_context_;
   double bg_airtime_ = 0.0;
   bool bg_feasible_ = true;
   bool bg_dirty_ = false;
   bool bg_impossible_ = false;  // a demanded link carries no usable rate
+  std::vector<char> bg_blocked_;  // by link id: demanded but rate-less
+  std::size_t bg_blocked_count_ = 0;
 
   AdmissionEngineStats stats_;
 
@@ -363,6 +456,7 @@ class AdmissionEngine {
   std::atomic<std::size_t> read_rounds_{0};
   std::atomic<std::size_t> read_pivots_{0};
   std::atomic<std::size_t> read_shelved_{0};
+  std::atomic<std::size_t> read_shelf_dropped_{0};
 };
 
 }  // namespace mrwsn::core

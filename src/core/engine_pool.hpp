@@ -49,6 +49,14 @@ class EnginePool {
           model(&model_in),
           engine(model_in, options) {}
 
+    /// Full engine options (column generation plus the reader shelf
+    /// capacity and any future knobs).
+    Entry(std::shared_ptr<const void> context_in,
+          const InterferenceModel& model_in, AdmissionEngineOptions options)
+        : context(std::move(context_in)),
+          model(&model_in),
+          engine(model_in, std::move(options)) {}
+
     std::shared_ptr<const void> context;
     const InterferenceModel* model;
     AdmissionEngine engine;

@@ -42,6 +42,13 @@ constexpr std::size_t kMaxEagerPowerEntries = std::size_t{1} << 20;
 
 }  // namespace
 
+void ModelRepair::normalize() {
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  std::sort(links.begin(), links.end());
+  links.erase(std::unique(links.begin(), links.end()), links.end());
+}
+
 PhysicalInterferenceModel::PhysicalInterferenceModel(const net::Network& network)
     : network_(&network), num_nodes_(network.num_nodes()) {
   if (num_nodes_ * num_nodes_ <= kMaxEagerPowerEntries) {

@@ -142,6 +142,12 @@ struct ModelRepair {
   std::vector<net::NodeId> nodes;  ///< mutated (moved/re-powered/joined/left)
   std::vector<net::LinkId> links;  ///< affected (incident or recapped/created)
   bool nodes_added = false;        ///< the node count grew (rx table re-layout)
+
+  /// Sort and deduplicate both id lists. TopologyDelta normalizes every
+  /// repair before handing it out, so downstream consumers (model repair,
+  /// engine repair, snapshot revalidation) touch each id exactly once even
+  /// when several mutation passes report the same link.
+  void normalize();
 };
 
 /// Cumulative-SINR interference over a concrete network (Eq. 1 + Eq. 3).

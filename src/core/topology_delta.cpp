@@ -106,6 +106,7 @@ ModelRepair TopologyDelta::move_node(net::NodeId node, geom::Point position) {
   // the refresh pass kills them — no old-position query needed.
   refresh_incident(node, &repair);
   discover_new_links(node, &repair);
+  repair.normalize();
   model_->repair(repair);
   return repair;
 }
@@ -137,6 +138,7 @@ ModelRepair TopologyDelta::set_power(net::NodeId node, double tx_power_watt) {
     if (const auto refresh = network_->refresh_link(node, other))
       repair.links.push_back(refresh->id);
   }
+  repair.normalize();
   model_->repair(repair);
   return repair;
 }
@@ -146,6 +148,7 @@ ModelRepair TopologyDelta::set_rate(net::LinkId link, phy::RateIndex cap) {
   ModelRepair repair;
   // No received power changed — only the usable couple set of this link.
   repair.links.push_back(link);
+  repair.normalize();
   model_->repair(repair);
   return repair;
 }
@@ -158,6 +161,7 @@ ModelRepair TopologyDelta::add_node(geom::Point position) {
   repair.nodes.push_back(node);
   repair.nodes_added = true;
   discover_new_links(node, &repair);
+  repair.normalize();
   model_->repair(repair);
   return repair;
 }
@@ -170,6 +174,7 @@ ModelRepair TopologyDelta::remove_node(net::NodeId node) {
   ModelRepair repair;
   repair.nodes.push_back(node);
   refresh_incident(node, &repair);
+  repair.normalize();
   model_->repair(repair);
   return repair;
 }

@@ -82,6 +82,42 @@ void Problem::set_rhs(std::size_t row, double rhs) {
   rows_[row].rhs = rhs;
 }
 
+void Problem::set_term(std::size_t row, VarId var, double coeff) {
+  MRWSN_REQUIRE(row < rows_.size(), "set_term references an unknown row");
+  MRWSN_REQUIRE(var >= 0 && static_cast<std::size_t>(var) < num_variables(),
+                "set_term references an unknown variable");
+  MRWSN_REQUIRE(std::isfinite(coeff),
+                "constraint coefficient for variable '" + variable_name(var) +
+                    "' must be finite (got NaN or infinity)");
+  std::vector<std::pair<VarId, double>>& terms = rows_[row].terms;
+  const auto it = std::lower_bound(
+      terms.begin(), terms.end(), var,
+      [](const std::pair<VarId, double>& t, VarId v) { return t.first < v; });
+  if (it != terms.end() && it->first == var) {
+    if (coeff != 0.0)
+      it->second = coeff;
+    else
+      terms.erase(it);
+  } else if (coeff != 0.0) {
+    terms.insert(it, {var, coeff});
+  }
+}
+
+void Problem::remove_term(std::size_t row, VarId var) {
+  MRWSN_REQUIRE(row < rows_.size(), "remove_term references an unknown row");
+  MRWSN_REQUIRE(var >= 0 && static_cast<std::size_t>(var) < num_variables(),
+                "remove_term references an unknown variable");
+  set_term(row, var, 0.0);
+}
+
+void Problem::set_objective_coeff(VarId var, double objective_coeff) {
+  MRWSN_REQUIRE(var >= 0 && static_cast<std::size_t>(var) < num_variables(),
+                "set_objective_coeff references an unknown variable");
+  MRWSN_REQUIRE(std::isfinite(objective_coeff),
+                "objective coefficient must be finite (got NaN or infinity)");
+  objective_coeffs_[static_cast<std::size_t>(var)] = objective_coeff;
+}
+
 namespace {
 
 /// Dense two-phase tableau simplex. Column layout:
@@ -928,7 +964,8 @@ class RevisedSimplex {
   /// Like run()/run_warm(), a mid-loop numerical failure returns true with
   /// numerical_failure() set.
   bool run_dual(const Basis& warm, std::size_t max_pivots, Solution* out,
-                RevisedContext* context, SolveStats* stats) {
+                RevisedContext* context, SolveStats* stats,
+                std::size_t dual_pivot_cap = 0) {
     budget_ = max_pivots;
     if (warm.empty() || warm.size() > rows_) {
       if (stats) stats->fallback_reason = Fallback::kDualRejected;
@@ -1004,9 +1041,24 @@ class RevisedSimplex {
     x_ = b_;
     ftran(&x_);
     if (stats) stats->dual_phase = true;
+    // The dual phase runs under its own cap when the caller set one: past
+    // it the phase is stalling on degeneracy, not converging, and the cold
+    // path is cheaper. Whatever the cap leaves unspent returns to the
+    // shared budget for phase 2.
+    const std::size_t reserve =
+        (dual_pivot_cap > 0 && dual_pivot_cap < budget_)
+            ? budget_ - dual_pivot_cap
+            : 0;
+    budget_ -= reserve;
     const LoopResult r = dual_loop();
+    budget_ += reserve;
     if (r == LoopResult::kNumericalFailure) return true;  // flag already set
     if (r == LoopResult::kLimit) {
+      if (reserve > 0) {
+        // The cap tripped before the global budget: abandon the re-solve.
+        if (stats) stats->fallback_reason = Fallback::kDualStalled;
+        return false;
+      }
       *out = limit_solution();
       return true;
     }
@@ -1593,7 +1645,8 @@ Solution solve(const Problem& problem, const SolveOptions& options) {
     const bool claimed =
         options.dual_resolve
             ? simplex.run_dual(*options.warm_start, options.max_pivots,
-                               &solution, options.context, stats)
+                               &solution, options.context, stats,
+                               options.dual_pivot_cap)
             : simplex.run_warm(*options.warm_start, options.max_pivots,
                                &solution, options.context);
     if (claimed) {

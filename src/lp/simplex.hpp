@@ -63,6 +63,21 @@ class Problem {
   /// demands moved keeps its structure — and therefore any saved basis).
   void set_rhs(std::size_t row, double rhs);
 
+  /// Set (insert, replace, or — with coeff 0 — erase) one coefficient of
+  /// an existing row, keeping the sorted-sparse invariant. O(log nnz) to
+  /// locate plus O(nnz) to shift on insert/erase. This is the in-place
+  /// repair primitive for topology churn: a retired column is zeroed out
+  /// of the rows it touches instead of rebuilding the whole master.
+  void set_term(std::size_t row, VarId var, double coeff);
+
+  /// Erase `var`'s coefficient from an existing row (no-op when absent).
+  void remove_term(std::size_t row, VarId var);
+
+  /// Replace a variable's objective coefficient in place. Retiring a
+  /// master column = remove its terms from every row it touches and set
+  /// its cost to the retired sentinel (a value that can never price in).
+  void set_objective_coeff(VarId var, double objective_coeff);
+
   std::size_t num_variables() const { return objective_coeffs_.size(); }
   std::size_t num_constraints() const { return rows_.size(); }
   Objective objective() const { return objective_; }
@@ -186,6 +201,10 @@ enum class Fallback : std::uint8_t {
   /// The revised engine failed numerically and the dense engine re-solved
   /// the instance cold.
   kNumerical,
+  /// The dual phase of a dual re-solve exceeded SolveOptions::
+  /// dual_pivot_cap (a degenerate stall, not progress) and the solve went
+  /// cold instead.
+  kDualStalled,
 };
 
 /// Optional per-solve telemetry, filled in when SolveOptions::stats is
@@ -238,6 +257,14 @@ struct SolveOptions {
   /// degenerates to the standard one. The dense engine has no dual phase;
   /// on numerical failure the instance falls back to a cold dense solve.
   bool dual_resolve = false;
+  /// Pivot cap for the dual phase of a dual re-solve (0 = bounded only by
+  /// max_pivots). A genuine rows-appended/rhs-changed re-solve lands
+  /// within a few pivots; on dual-degenerate masters the dual phase can
+  /// instead grind through an enormous stalled pivot sequence that a cold
+  /// solve would beat by orders of magnitude. When the cap trips, the
+  /// re-solve is abandoned (Fallback::kDualStalled) and the solve runs
+  /// cold — results never change, only the path taken.
+  std::size_t dual_pivot_cap = 0;
   /// Optional per-solve telemetry sink; reset at entry on every solve().
   SolveStats* stats = nullptr;
 };

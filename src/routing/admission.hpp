@@ -105,9 +105,7 @@ class AdmissionController {
   void clear();
 
   /// Telemetry of the batched LP-truth engine (dual re-solves, pool size).
-  const core::AdmissionEngineStats& engine_stats() const {
-    return engine_.stats();
-  }
+  core::AdmissionEngineStats engine_stats() const { return engine_.stats(); }
 
  private:
   double estimate_for_policy(const net::Path& path) const;

@@ -1,0 +1,163 @@
+#pragma once
+
+#include <cstddef>
+#include <iterator>
+#include <memory>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace mrwsn::util {
+
+/// Persistent chunked vector with copy-on-write structure sharing — the
+/// storage behind O(Δ) snapshot publication.
+///
+/// Elements live in fixed-size immutable-once-shared chunks held by
+/// shared_ptr; the vector itself is just the spine of chunk pointers plus
+/// a parallel "owned" flag per chunk. share() hands out a cheap aliasing
+/// copy (spine pointer copies, no element copies) and marks every chunk
+/// shared; any later mutation of a shared chunk first clones that one
+/// chunk (copy-on-write), so two epochs that differ in one element share
+/// every other chunk by pointer identity.
+///
+/// Concurrency contract (matches the admission engine's snapshot scheme):
+/// all mutation — including share(), which flips the owned flags — happens
+/// on the writer thread under its commit lock. Readers only ever touch
+/// aliasing copies obtained from a published snapshot, whose chunks the
+/// writer never mutates again: ownership is tracked by the writer-side
+/// flags alone, never by shared_ptr::use_count() (whose relaxed loads
+/// cannot order against a reader's release of its snapshot). Publication
+/// hands the aliasing copy to readers through the usual mutex, which
+/// provides the happens-before edge for the chunk contents.
+template <typename T, std::size_t kChunk = 128>
+class SegVector {
+  static_assert(kChunk > 0, "chunk capacity must be positive");
+  using Chunk = std::vector<T>;
+  using ChunkPtr = std::shared_ptr<Chunk>;
+
+ public:
+  SegVector() = default;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  const T& operator[](std::size_t i) const {
+    return (*chunks_[i / kChunk])[i % kChunk];
+  }
+
+  /// Mutable access; clones the containing chunk first when it is shared
+  /// with a previously published epoch.
+  T& mutate(std::size_t i) {
+    MRWSN_REQUIRE(i < size_, "SegVector::mutate out of range");
+    return writable_chunk(i / kChunk)[i % kChunk];
+  }
+
+  void set(std::size_t i, T value) { mutate(i) = std::move(value); }
+
+  void push_back(T value) {
+    const std::size_t c = size_ / kChunk;
+    if (c == chunks_.size()) {
+      auto chunk = std::make_shared<Chunk>();
+      chunk->reserve(kChunk);
+      chunks_.push_back(std::move(chunk));
+      owned_.push_back(1);
+    }
+    writable_chunk(c).push_back(std::move(value));
+    ++size_;
+  }
+
+  /// Grow to `n` elements, appending copies of `value` (never shrinks; the
+  /// engine's link-indexed arrays are append-only under churn).
+  void resize(std::size_t n, const T& value = T()) {
+    MRWSN_REQUIRE(n >= size_, "SegVector::resize never shrinks");
+    while (size_ < n) push_back(value);
+  }
+
+  /// Drop all elements. Chunks still referenced by published epochs live
+  /// on through their own shared_ptrs.
+  void clear() {
+    chunks_.clear();
+    owned_.clear();
+    size_ = 0;
+  }
+
+  /// Aliasing copy for publication: O(chunks) pointer copies. Marks every
+  /// chunk of *this* shared, so subsequent mutations copy-on-write and the
+  /// returned epoch stays immutable forever.
+  SegVector share() {
+    owned_.assign(owned_.size(), 0);
+    SegVector copy;
+    copy.chunks_ = chunks_;
+    copy.owned_.assign(chunks_.size(), 0);
+    copy.size_ = size_;
+    return copy;
+  }
+
+  /// Chunk-wise traversal — the iteration shape for O(n) scans (one
+  /// indirection per chunk instead of two per element).
+  template <typename F>
+  void for_each(F&& fn) const {
+    std::size_t i = 0;
+    for (const ChunkPtr& chunk : chunks_) {
+      for (const T& value : *chunk) {
+        fn(i++, value);
+        if (i == size_) return;
+      }
+    }
+  }
+
+  /// Identity of the chunk covering element index `i` — lets tests assert
+  /// that untouched segments of two epochs alias the same storage.
+  const void* chunk_identity(std::size_t i) const {
+    return chunks_[i / kChunk].get();
+  }
+  static constexpr std::size_t chunk_capacity() { return kChunk; }
+
+  class const_iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = T;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const T*;
+    using reference = const T&;
+
+    const_iterator() = default;
+    const_iterator(const SegVector* owner, std::size_t i)
+        : owner_(owner), i_(i) {}
+    reference operator*() const { return (*owner_)[i_]; }
+    pointer operator->() const { return &(*owner_)[i_]; }
+    const_iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator out = *this;
+      ++i_;
+      return out;
+    }
+    friend bool operator==(const const_iterator& a, const const_iterator& b) {
+      return a.i_ == b.i_;
+    }
+
+   private:
+    const SegVector* owner_ = nullptr;
+    std::size_t i_ = 0;
+  };
+  const_iterator begin() const { return {this, 0}; }
+  const_iterator end() const { return {this, size_}; }
+
+ private:
+  Chunk& writable_chunk(std::size_t c) {
+    if (!owned_[c]) {
+      chunks_[c] = std::make_shared<Chunk>(*chunks_[c]);
+      owned_[c] = 1;
+    }
+    return *chunks_[c];
+  }
+
+  std::vector<ChunkPtr> chunks_;
+  std::vector<char> owned_;  // 1 = exclusively ours, safe to mutate in place
+  std::size_t size_ = 0;
+};
+
+}  // namespace mrwsn::util

@@ -302,6 +302,133 @@ TEST(SnapshotIsolation, ChurnRacingEvaluateIsEpochConsistent) {
   EXPECT_GT(verified, 0u);
 }
 
+// Every supported (link, rate) singleton of the topology — enough distinct
+// columns to span several pool chunks on a moderate chain, without pulling
+// in the bench harness's randomized synthesizer.
+std::vector<IndependentSet> singleton_columns(
+    const PhysicalInterferenceModel& model, const net::Network& net) {
+  std::vector<IndependentSet> out;
+  for (net::LinkId link = 0; link < net.num_links(); ++link) {
+    const auto top = model.max_rate_alone(link);
+    if (!top) continue;
+    for (int rate = 0; rate <= static_cast<int>(*top); ++rate) {
+      IndependentSet set;
+      set.links = {link};
+      set.rates = {static_cast<phy::RateIndex>(rate)};
+      if (model.supports(set.links, set.rates)) out.push_back(std::move(set));
+    }
+  }
+  return out;
+}
+
+// The tentpole's O(Δ) publication claim, held by pointer identity: epoch
+// N+1 must alias — not copy — every full pool chunk of epoch N, because a
+// commit only ever appends fresh columns to the tail chunk.
+TEST(StructureSharing, UntouchedPoolChunksAliasAcrossEpochs) {
+  const net::Network net = chain_network(24, 70.0);
+  PhysicalInterferenceModel model(net);
+  AdmissionEngine engine(model);
+
+  constexpr std::size_t kChunk = AdmissionEngine::PoolSeg::chunk_capacity();
+  const std::size_t preloaded =
+      engine.preload_columns(singleton_columns(model, net));
+  ASSERT_GT(preloaded, kChunk) << "topology too small to span two chunks";
+
+  const AdmissionEngine::SnapshotPtr epoch_n = engine.snapshot();
+  ASSERT_TRUE(engine.commit(chain_path(net, 2, 3), 0.25).admitted);
+  const AdmissionEngine::SnapshotPtr epoch_n1 = engine.published();
+  ASSERT_EQ(epoch_n1->epoch, epoch_n->epoch + 1);
+
+  const std::size_t shared_prefix = (epoch_n->pool.size() / kChunk) * kChunk;
+  for (std::size_t i = 0; i < shared_prefix; i += kChunk)
+    EXPECT_EQ(epoch_n->pool.chunk_identity(i), epoch_n1->pool.chunk_identity(i))
+        << "pool chunk covering index " << i << " was deep-copied";
+  EXPECT_GE(epoch_n1->pool.size(), epoch_n->pool.size());
+
+  // The next epoch keeps aliasing, including the chunks the commit between
+  // N and N+1 already shared once.
+  ASSERT_TRUE(engine.commit(chain_path(net, 6, 2), 0.25).admitted);
+  const AdmissionEngine::SnapshotPtr epoch_n2 = engine.published();
+  for (std::size_t i = 0; i < shared_prefix; i += kChunk)
+    EXPECT_EQ(epoch_n->pool.chunk_identity(i), epoch_n2->pool.chunk_identity(i));
+
+  // And the commit really did advance the background without touching N.
+  EXPECT_TRUE(epoch_n->background.empty());
+  EXPECT_EQ(epoch_n2->background.size(), 2u);
+}
+
+// A retained snapshot must stay readable and bit-stable after the writer
+// evicts, commits, and repairs the topology in place: copy-on-write means
+// the in-place master/pool surgery lands in fresh chunks, never in the
+// chunks an old epoch aliases.
+TEST(StructureSharing, OldEpochReadableAfterEvictionAndChurn) {
+  net::Network net = chain_network(8, 70.0);
+  PhysicalInterferenceModel model(net);
+  TopologyDelta delta(&net, &model);
+  AdmissionEngine engine(model);
+  engine.add_background(LinkFlow{chain_path(net, 0, 2), 0.5});
+  engine.add_background(LinkFlow{chain_path(net, 3, 2), 0.25});
+
+  const AdmissionEngine::SnapshotPtr old_epoch = engine.snapshot();
+  ASSERT_TRUE(old_epoch->feasible);
+  const double old_airtime = old_epoch->airtime;
+  const std::vector<double> old_demand(old_epoch->demand.begin(),
+                                       old_epoch->demand.end());
+  const std::vector<net::LinkId> old_links(old_epoch->links.begin(),
+                                           old_epoch->links.end());
+  const std::size_t old_pool = old_epoch->pool.size();
+
+  engine.evict();
+  ASSERT_TRUE(engine.commit(chain_path(net, 4, 2), 0.125).admitted);
+  engine.apply_topology_delta(
+      [&] { return delta.move_node(3, geom::Point{3 * 70.0 + 9.0, 14.0}); });
+  engine.apply_topology_delta(
+      [&] { return delta.move_node(3, geom::Point{3 * 70.0, 0.0}); });
+
+  EXPECT_EQ(old_epoch->background.size(), 2u);
+  EXPECT_EQ(old_epoch->airtime, old_airtime);
+  EXPECT_TRUE(old_epoch->feasible);
+  EXPECT_EQ(std::vector<double>(old_epoch->demand.begin(),
+                                old_epoch->demand.end()),
+            old_demand);
+  EXPECT_EQ(std::vector<net::LinkId>(old_epoch->links.begin(),
+                                     old_epoch->links.end()),
+            old_links);
+  EXPECT_EQ(old_epoch->pool.size(), old_pool);
+  // The writer has long since moved on.
+  EXPECT_GT(engine.epoch(), old_epoch->epoch);
+  EXPECT_EQ(engine.published()->background.size(), 1u);
+}
+
+// AdmissionEngineOptions::shelf_capacity bounds the reader column shelf:
+// overflow is dropped and counted, and answers are unaffected (the shelf
+// only feeds the pool warm-up, never correctness).
+TEST(SnapshotIsolation, ShelfCapacityDropsOverflowAndCounts) {
+  const net::Network net = chain_network(10, 70.0);
+  PhysicalInterferenceModel model(net);
+
+  AdmissionEngineOptions tight_options;
+  tight_options.shelf_capacity = 1;
+  AdmissionEngine tight(model, tight_options);
+  tight.snapshot();
+  AdmissionEngine roomy(model);  // default capacity
+  roomy.snapshot();
+
+  for (std::size_t first = 0; first + 3 < 10; ++first) {
+    const auto path = chain_path(net, first, 3);
+    const AdmissionAnswer a = tight.evaluate(path, 0.5);
+    const AdmissionAnswer b = roomy.evaluate(path, 0.5);
+    EXPECT_EQ(a.admitted, b.admitted);
+    EXPECT_NEAR(a.available_mbps, b.available_mbps, kParityTol);
+  }
+
+  EXPECT_GT(tight.stats().shelf_dropped, 0u);
+  EXPECT_EQ(roomy.stats().shelf_dropped, 0u);
+  EXPECT_LE(tight.snapshot_read_stats().shelved_columns, 1u);
+  EXPECT_GT(roomy.snapshot_read_stats().shelved_columns,
+            tight.snapshot_read_stats().shelved_columns);
+}
+
 TEST(EnginePool, BuildsOncePerKeyUnderConcurrentAcquire) {
   const net::Network net = chain_network(5, 70.0);
   PhysicalInterferenceModel model(net);

@@ -239,6 +239,77 @@ TEST(Simplex, VariableNamesAreStored) {
   EXPECT_EQ(p.variable_name(b), "x1");
 }
 
+TEST(Simplex, SetTermEditsRowsInPlace) {
+  // set_term must cover insert / replace / erase while preserving the
+  // sorted-sparse row invariant that the solver matrix build relies on.
+  Problem p(Objective::kMaximize);
+  const VarId a = p.add_variable(1.0);
+  const VarId b = p.add_variable(1.0);
+  const VarId c = p.add_variable(1.0);
+  p.add_constraint({{a, 1.0}, {c, 3.0}}, Sense::kLessEqual, 6.0);
+
+  p.set_term(0, b, 2.0);  // insert in the middle
+  ASSERT_EQ(p.rows()[0].terms.size(), 3u);
+  EXPECT_EQ(p.rows()[0].coeff(b), 2.0);
+  EXPECT_TRUE(std::is_sorted(
+      p.rows()[0].terms.begin(), p.rows()[0].terms.end(),
+      [](const auto& x, const auto& y) { return x.first < y.first; }));
+
+  p.set_term(0, a, 4.0);  // replace existing
+  EXPECT_EQ(p.rows()[0].coeff(a), 4.0);
+
+  p.set_term(0, c, 0.0);  // zero coefficient erases the term
+  EXPECT_EQ(p.rows()[0].terms.size(), 2u);
+  EXPECT_EQ(p.rows()[0].coeff(c), 0.0);
+
+  p.remove_term(0, b);
+  EXPECT_EQ(p.rows()[0].terms.size(), 1u);
+  p.remove_term(0, b);  // absent: no-op
+  EXPECT_EQ(p.rows()[0].terms.size(), 1u);
+
+  // The edited problem solves to what a freshly built equivalent gives:
+  // max a + b + c s.t. 4a <= 6 with b, c unbounded... so bound them.
+  p.add_constraint({{b, 1.0}}, Sense::kLessEqual, 1.0);
+  p.add_constraint({{c, 1.0}}, Sense::kLessEqual, 1.0);
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 6.0 / 4.0 + 1.0 + 1.0, kTol);
+
+  EXPECT_THROW(p.set_term(9, a, 1.0), PreconditionError);
+  EXPECT_THROW(p.set_term(0, 99, 1.0), PreconditionError);
+  EXPECT_THROW(p.set_term(0, a, std::numeric_limits<double>::quiet_NaN()),
+               PreconditionError);
+}
+
+TEST(Simplex, RetireColumnByEditMatchesRebuild) {
+  // The churn-repair pattern: zero a column out of every row and price it
+  // out of the objective; the edited master must solve exactly like one
+  // built without the column (which keeps x=0 for the retiree).
+  Problem edited(Objective::kMinimize);
+  const VarId keep = edited.add_variable(1.0);
+  const VarId retire = edited.add_variable(0.5);
+  edited.add_constraint({{keep, 2.0}, {retire, 1.0}}, Sense::kGreaterEqual,
+                        4.0);
+  edited.add_constraint({{keep, 1.0}, {retire, 3.0}}, Sense::kGreaterEqual,
+                        3.0);
+  edited.remove_term(0, retire);
+  edited.remove_term(1, retire);
+  edited.set_objective_coeff(retire, 1.0);  // inert for minimize: cost > 0
+
+  Problem rebuilt(Objective::kMinimize);
+  const VarId k2 = rebuilt.add_variable(1.0);
+  rebuilt.add_constraint({{k2, 2.0}}, Sense::kGreaterEqual, 4.0);
+  rebuilt.add_constraint({{k2, 1.0}}, Sense::kGreaterEqual, 3.0);
+
+  const Solution a = solve(edited);
+  const Solution b = solve(rebuilt);
+  ASSERT_TRUE(a.optimal());
+  ASSERT_TRUE(b.optimal());
+  EXPECT_NEAR(a.objective, b.objective, kTol);
+  EXPECT_NEAR(a.value(retire), 0.0, kTol);
+  EXPECT_NEAR(a.value(keep), b.value(k2), kTol);
+}
+
 TEST(Simplex, SchedulingShapedProblem) {
   // Shape of Eq. 6 in miniature: two "independent set" columns serving two
   // links; maximize new-flow throughput with a background demand.
@@ -453,6 +524,57 @@ TEST(SimplexDualResolve, StaleContextIsInvalidatedWithoutDualPath) {
   EXPECT_EQ(stats.fallback_reason, Fallback::kStaleContextRows);
   // The context now belongs to the four-row problem again.
   EXPECT_EQ(context.rows(), 4u);
+}
+
+TEST(SimplexDualResolve, DualPivotCapStallsToColdFallback) {
+  // Three cutting rows leave several primal-infeasible basic slacks, so
+  // the dual phase needs at least two pivots; first establish that with an
+  // uncapped re-solve, then hold the identical edit to a cap of one and
+  // require the stall guard to abandon the dual path and land cold on the
+  // optimum (x=1, y=4 -> 23).
+  VarId x = 0, y = 0;
+  Problem warm_p = dual_base(&x, &y);
+  RevisedContext warm_context;
+  SolveOptions warm_first;
+  warm_first.context = &warm_context;
+  const Solution warm_base = solve(warm_p, warm_first);
+  ASSERT_TRUE(warm_base.optimal());
+  warm_p.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kLessEqual, 6.0);
+  warm_p.add_constraint({{x, 1.0}}, Sense::kLessEqual, 1.0);
+  warm_p.add_constraint({{y, 1.0}}, Sense::kLessEqual, 4.0);
+  SolveOptions warm_re;
+  warm_re.warm_start = &warm_base.basis;
+  warm_re.context = &warm_context;
+  warm_re.dual_resolve = true;
+  SolveStats warm_stats;
+  warm_re.stats = &warm_stats;
+  const Solution warm = solve(warm_p, warm_re);
+  ASSERT_TRUE(warm.optimal());
+  EXPECT_NEAR(warm.objective, 23.0, 1e-9);
+  EXPECT_TRUE(warm_stats.dual_phase);
+  ASSERT_GE(warm_stats.dual_pivots, 2u);
+
+  Problem capped_p = dual_base(&x, &y);
+  RevisedContext capped_context;
+  SolveOptions capped_first;
+  capped_first.context = &capped_context;
+  const Solution capped_base = solve(capped_p, capped_first);
+  ASSERT_TRUE(capped_base.optimal());
+  capped_p.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kLessEqual, 6.0);
+  capped_p.add_constraint({{x, 1.0}}, Sense::kLessEqual, 1.0);
+  capped_p.add_constraint({{y, 1.0}}, Sense::kLessEqual, 4.0);
+  SolveOptions capped_re;
+  capped_re.warm_start = &capped_base.basis;
+  capped_re.context = &capped_context;
+  capped_re.dual_resolve = true;
+  capped_re.dual_pivot_cap = 1;
+  SolveStats capped_stats;
+  capped_re.stats = &capped_stats;
+  const Solution capped = solve(capped_p, capped_re);
+  ASSERT_TRUE(capped.optimal());
+  EXPECT_NEAR(capped.objective, warm.objective, 1e-9);
+  EXPECT_TRUE(capped_stats.cold);
+  EXPECT_EQ(capped_stats.fallback_reason, Fallback::kDualStalled);
 }
 
 TEST(SimplexDualResolve, TrailingEqualityRowIsRejectedToColdPath) {

@@ -1,0 +1,143 @@
+// util::SegVector — the persistent chunked storage behind O(Δ) snapshot
+// publication. The contract under test: share() is an aliasing copy,
+// mutation after share() clones exactly the touched chunk, and untouched
+// chunks of successive epochs alias the same storage by pointer identity.
+#include "util/seg_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace mrwsn::util {
+namespace {
+
+using SmallSeg = SegVector<int, 4>;
+
+SmallSeg iota_seg(int n) {
+  SmallSeg seg;
+  for (int i = 0; i < n; ++i) seg.push_back(i);
+  return seg;
+}
+
+TEST(SegVector, BasicVectorSemantics) {
+  SmallSeg seg = iota_seg(11);
+  ASSERT_EQ(seg.size(), 11u);
+  EXPECT_FALSE(seg.empty());
+  for (int i = 0; i < 11; ++i) EXPECT_EQ(seg[static_cast<std::size_t>(i)], i);
+  seg.set(6, 60);
+  EXPECT_EQ(seg[6], 60);
+  seg.mutate(0) = -1;
+  EXPECT_EQ(seg[0], -1);
+
+  // Range-for via const_iterator matches indexed access.
+  std::vector<int> seen(seg.begin(), seg.end());
+  ASSERT_EQ(seen.size(), 11u);
+  EXPECT_EQ(seen[0], -1);
+  EXPECT_EQ(seen[6], 60);
+
+  // for_each walks every element exactly once, in order.
+  std::size_t count = 0;
+  seg.for_each([&](std::size_t i, int value) {
+    EXPECT_EQ(value, seg[i]);
+    ++count;
+  });
+  EXPECT_EQ(count, seg.size());
+
+  seg.clear();
+  EXPECT_TRUE(seg.empty());
+}
+
+TEST(SegVector, ShareAliasesEveryChunk) {
+  SmallSeg seg = iota_seg(10);  // chunks: [0..3][4..7][8..9]
+  const SmallSeg epoch = seg.share();
+  ASSERT_EQ(epoch.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(epoch[i], static_cast<int>(i));
+    EXPECT_EQ(epoch.chunk_identity(i), seg.chunk_identity(i));
+  }
+}
+
+TEST(SegVector, MutationAfterShareClonesOnlyTheTouchedChunk) {
+  SmallSeg seg = iota_seg(12);  // three full chunks
+  const SmallSeg epoch_n = seg.share();
+  seg.set(5, 500);  // middle chunk
+  const SmallSeg epoch_n1 = seg.share();
+
+  // The old epoch still reads the original value; the new one the update.
+  EXPECT_EQ(epoch_n[5], 5);
+  EXPECT_EQ(epoch_n1[5], 500);
+
+  // Pointer identity: only the touched chunk diverged.
+  EXPECT_EQ(epoch_n.chunk_identity(0), epoch_n1.chunk_identity(0));
+  EXPECT_NE(epoch_n.chunk_identity(5), epoch_n1.chunk_identity(5));
+  EXPECT_EQ(epoch_n.chunk_identity(8), epoch_n1.chunk_identity(8));
+}
+
+TEST(SegVector, PushBackAfterShareLeavesFullChunksShared) {
+  SmallSeg seg = iota_seg(8);  // two full chunks
+  const SmallSeg epoch_n = seg.share();
+  seg.push_back(100);  // opens a third chunk
+  const SmallSeg epoch_n1 = seg.share();
+
+  ASSERT_EQ(epoch_n.size(), 8u);
+  ASSERT_EQ(epoch_n1.size(), 9u);
+  EXPECT_EQ(epoch_n1[8], 100);
+  EXPECT_EQ(epoch_n.chunk_identity(0), epoch_n1.chunk_identity(0));
+  EXPECT_EQ(epoch_n.chunk_identity(4), epoch_n1.chunk_identity(4));
+}
+
+TEST(SegVector, AppendIntoPartialSharedChunkClonesIt) {
+  SmallSeg seg = iota_seg(6);  // chunk 1 holds [4, 5] with room
+  const SmallSeg epoch_n = seg.share();
+  seg.push_back(6);  // lands in chunk 1, which the epoch also references
+  ASSERT_EQ(epoch_n.size(), 6u);  // old epoch must not see the append
+  EXPECT_EQ(seg.size(), 7u);
+  EXPECT_EQ(seg[6], 6);
+  EXPECT_NE(epoch_n.chunk_identity(5), seg.chunk_identity(5));
+  EXPECT_EQ(epoch_n.chunk_identity(0), seg.chunk_identity(0));
+}
+
+TEST(SegVector, EpochSurvivesWriterClear) {
+  SmallSeg seg = iota_seg(9);
+  const SmallSeg epoch = seg.share();
+  seg.clear();
+  for (int i = 0; i < 5; ++i) seg.push_back(100 + i);
+  ASSERT_EQ(epoch.size(), 9u);
+  for (int i = 0; i < 9; ++i) EXPECT_EQ(epoch[static_cast<std::size_t>(i)], i);
+  EXPECT_EQ(seg[0], 100);
+}
+
+TEST(SegVector, ResizeGrowsWithFill) {
+  SegVector<std::string, 4> seg;
+  seg.push_back("a");
+  seg.resize(6, "pad");
+  ASSERT_EQ(seg.size(), 6u);
+  EXPECT_EQ(seg[0], "a");
+  EXPECT_EQ(seg[5], "pad");
+  EXPECT_THROW(seg.resize(2), PreconditionError);
+}
+
+TEST(SegVector, ChainedEpochsShareTransitively) {
+  SmallSeg seg = iota_seg(12);
+  const SmallSeg a = seg.share();
+  seg.set(0, -1);  // clone chunk 0
+  const SmallSeg b = seg.share();
+  seg.set(11, -2);  // clone chunk 2
+  const SmallSeg c = seg.share();
+
+  // Chunk 1 was never touched: all three epochs alias one storage block.
+  EXPECT_EQ(a.chunk_identity(4), b.chunk_identity(4));
+  EXPECT_EQ(b.chunk_identity(4), c.chunk_identity(4));
+  // Chunk 0 diverged between a and b, then stayed shared b -> c.
+  EXPECT_NE(a.chunk_identity(0), b.chunk_identity(0));
+  EXPECT_EQ(b.chunk_identity(0), c.chunk_identity(0));
+  // Values per epoch are frozen at share time.
+  EXPECT_EQ(a[0], 0);
+  EXPECT_EQ(b[0], -1);
+  EXPECT_EQ(b[11], 11);
+  EXPECT_EQ(c[11], -2);
+}
+
+}  // namespace
+}  // namespace mrwsn::util

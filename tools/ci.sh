@@ -14,13 +14,18 @@
 #      ends with a ThreadSanitizer stage (third build tree) that runs the
 #      sharded parallel MAC determinism suite and the admission
 #      concurrency suite under TSan; MRWSN_SKIP_TSAN=1 skips it.
-#   4. replay bench: the admission load harness replays the 1k-op mixed
-#      trace (with 1e-6 parity verification built in) and
-#      bench_compare.py checks the report still covers the
+#   4. replay bench: the admission load harness replays the 1k-op traces
+#      in both mixes — the default 5%-commit families and the write-heavy
+#      30% BM_AdmissionReplayWrite* ones — with 1e-6 parity verification
+#      built in, and bench_compare.py checks the report still covers the
 #      p50/p99/QPS/scenario-load metrics against the committed baseline.
-#   5. churn bench: BM_ChurnReadmit{Incremental,Rebuild} on the 100-node
-#      churn script, with --require coverage guards for both sides of
-#      the incremental-repair-vs-cold-rebuild comparison.
+#   5. churn + commit bench: BM_ChurnReadmit{Incremental,Rebuild} on the
+#      100-node churn script plus BM_CommitLatency/{128,1024,8192}, with
+#      --require coverage guards for every family.
+#
+# Stages 4 and 5 archive their median reports into BENCH_history/ (one
+# compact JSON per run, named by UTC stamp + git revision) so the perf
+# trajectory across commits stays diffable after baselines are rewritten.
 #
 # Full benchmark regressions are gated separately: regenerate with
 #   cmake --build build --target bench_json
@@ -66,24 +71,35 @@ else
   # The 1k traces plus the scenario load pair: every replayed evaluate is
   # parity-checked against a sequential re-execution inside the harness,
   # so a passing run is a correctness statement, not just a timing.
+  # Both replay mixes: the default 5%-commit families and the write-heavy
+  # 30% ones (BM_AdmissionReplayWrite*), which stress the structure-sharing
+  # commit path rather than the read side.
   "$REPO/tools/bench_to_json.sh" "$REPLAY_JSON" \
     'BM_AdmissionReplay.*/ops:1000/|BM_Scenario' \
     "$BUILD/bench/admission_load"
   "$REPO/tools/bench_compare.py" "$REPO/BENCH_results.json" "$REPLAY_JSON" \
     --require BM_AdmissionReplayP50 --require BM_AdmissionReplayP99 \
-    --require BM_AdmissionReplayQPS --require BM_ScenarioParseText \
+    --require BM_AdmissionReplayQPS --require BM_AdmissionReplayWriteP50 \
+    --require BM_AdmissionReplayWriteP99 \
+    --require BM_AdmissionReplayWriteQPS --require BM_ScenarioParseText \
     --require BM_ScenarioLoadBlob
+  "$REPO/tools/bench_archive.py" "$REPLAY_JSON" \
+    --history "$REPO/BENCH_history" --label replay
 
-  echo "== ci stage 5: churn readmission bench + coverage guard =="
+  echo "== ci stage 5: churn + commit-latency bench + coverage guard =="
   # Incremental topology repair vs cold rebuild on the 100-node churn
-  # script; the --require guards fail the gate if either side of the
-  # comparison silently drops out of the suite.
+  # script, plus the structure-sharing commit-latency family at 128/1k/8k
+  # background columns; the --require guards fail the gate if any side of
+  # either comparison silently drops out of the suite.
   cmake --build "$BUILD" -j "$JOBS" --target perf_micro
   CHURN_JSON="$BUILD/bench_churn_ci.json"
-  "$REPO/tools/bench_to_json.sh" "$CHURN_JSON" 'BM_ChurnReadmit' \
-    "$BUILD/bench/perf_micro"
+  "$REPO/tools/bench_to_json.sh" "$CHURN_JSON" \
+    'BM_ChurnReadmit|BM_CommitLatency' "$BUILD/bench/perf_micro"
   "$REPO/tools/bench_compare.py" "$REPO/BENCH_results.json" "$CHURN_JSON" \
-    --require BM_ChurnReadmitIncremental --require BM_ChurnReadmitRebuild
+    --require BM_ChurnReadmitIncremental --require BM_ChurnReadmitRebuild \
+    --require BM_CommitLatency
+  "$REPO/tools/bench_archive.py" "$CHURN_JSON" \
+    --history "$REPO/BENCH_history" --label churn
 fi
 
 echo "ci gate passed"

@@ -658,6 +658,14 @@ int cmd_bench_replay(const io::ScenarioFile& scenario, const Options& options,
   trace_options.num_ops = options.get_u64("--ops", 1000);
   trace_options.distinct_queries = options.get_u64("--queries", 64);
   trace_options.seed = options.get_u64("--seed", 1);
+  // Writer-path pressure knob: 0.3 makes roughly 30% of the ops commits
+  // (minus the periodic evicts), the write-heavy mix of the commit-latency
+  // benchmarks.
+  trace_options.commit_fraction =
+      options.get_double("--commit-ratio", trace_options.commit_fraction);
+  MRWSN_REQUIRE(trace_options.commit_fraction >= 0.0 &&
+                    trace_options.commit_fraction <= 1.0,
+                "--commit-ratio must be within [0, 1]");
   auto network = std::make_shared<net::Network>(io::build_network(scenario));
   const benchx::ReplayTrace trace =
       benchx::make_replay_trace(std::move(network), trace_options);
@@ -948,7 +956,7 @@ void usage(std::ostream& err) {
          "  mrwsn admit scenario.txt --serve [--metric hop] [--readers N]\n"
          "  mrwsn admit scenario.txt --bench-replay [--ops 1000]\n"
          "                 [--threads 1,4] [--queries 64] [--seed 1]\n"
-         "                 [--verify on|off]\n"
+         "                 [--commit-ratio 0.05] [--verify on|off]\n"
          "  mrwsn mobility scenario.txt --trace trace.txt [--verify on|off]\n"
          "  mrwsn simulate scenario.txt [--seconds 2] [--arf] [--seed 1]\n"
          "  mrwsn fig4 [--nodes 500] [--threads 8] [--seed 4] [--flows 8]\n"
